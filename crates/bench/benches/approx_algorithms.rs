@@ -1,0 +1,59 @@
+//! Figure 12(a)–(e): running time of the approximation algorithms as `k` varies.
+//!
+//! Series benchmarked per dataset: `AppInc`, `AppFast(0.0)`, `AppFast(0.5)`,
+//! `AppAcc(0.5)` — the same four curves the paper plots.  The expected shape:
+//! `AppFast` fastest, `AppInc` slowest and growing with `k`, `AppAcc` flat.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sac_bench::{bench_dataset, bench_kinds};
+use sac_core::{app_acc, app_fast, app_inc};
+
+fn bench_approx(c: &mut Criterion) {
+    for kind in bench_kinds() {
+        let data = bench_dataset(kind);
+        let g = &data.graph;
+        let mut group = c.benchmark_group(format!("fig12_approx/{}", data.name()));
+        group.sample_size(10);
+
+        for k in [4u32, 16] {
+            group.bench_with_input(BenchmarkId::new("AppInc", k), &k, |b, &k| {
+                b.iter(|| {
+                    for &q in &data.queries {
+                        black_box(app_inc(g, q, k).unwrap());
+                    }
+                });
+            });
+            group.bench_with_input(BenchmarkId::new("AppFast_0.0", k), &k, |b, &k| {
+                b.iter(|| {
+                    for &q in &data.queries {
+                        black_box(app_fast(g, q, k, 0.0).unwrap());
+                    }
+                });
+            });
+            group.bench_with_input(BenchmarkId::new("AppFast_0.5", k), &k, |b, &k| {
+                b.iter(|| {
+                    for &q in &data.queries {
+                        black_box(app_fast(g, q, k, 0.5).unwrap());
+                    }
+                });
+            });
+            group.bench_with_input(BenchmarkId::new("AppAcc_0.5", k), &k, |b, &k| {
+                b.iter(|| {
+                    for &q in &data.queries {
+                        black_box(app_acc(g, q, k, 0.5).unwrap());
+                    }
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_approx
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Figure 9: cost of tightening the approximation guarantee.
+//!
+//! The paper's Figure 9 reports quality (approximation ratio); its companion
+//! observation is that tighter guarantees cost more time.  This bench sweeps the
+//! Table 5 εF / εA grids and measures the per-query cost of `AppFast` and `AppAcc`,
+//! which together with the `sac-eval fig9` quality tables reproduces the figure.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sac_bench::bench_dataset;
+use sac_core::{app_acc, app_fast};
+use sac_data::DatasetKind;
+
+fn bench_ratio_cost(c: &mut Criterion) {
+    let data = bench_dataset(DatasetKind::Brightkite);
+    let g = &data.graph;
+    let k = 4;
+
+    let mut group = c.benchmark_group("fig9/AppFast_eps_sweep");
+    group.sample_size(10);
+    for eps_f in [0.0, 0.5, 1.0, 1.5, 2.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{eps_f:.1}")),
+            &eps_f,
+            |b, &eps_f| {
+                b.iter(|| {
+                    for &q in &data.queries {
+                        black_box(app_fast(g, q, k, eps_f).unwrap());
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig9/AppAcc_eps_sweep");
+    group.sample_size(10);
+    for eps_a in [0.05, 0.1, 0.5, 0.9] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{eps_a:.2}")),
+            &eps_a,
+            |b, &eps_a| {
+                b.iter(|| {
+                    for &q in &data.queries {
+                        black_box(app_acc(g, q, k, eps_a).unwrap());
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_ratio_cost
+}
+criterion_main!(benches);

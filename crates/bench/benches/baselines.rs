@@ -1,0 +1,70 @@
+//! Figure 10 companion: query cost of the baseline community-retrieval methods
+//! versus SAC search.
+//!
+//! `Global`/`Local` are community-search baselines answered per query; `GeoModu` is
+//! a community-detection method whose (expensive) partitioning is done once for the
+//! whole graph — both costs are reported so the online-vs-offline trade-off the
+//! paper discusses is visible.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sac_bench::bench_dataset;
+use sac_core::baselines::{geo_modularity, global_search, local_search};
+use sac_core::{app_inc, exact_plus};
+use sac_data::DatasetKind;
+
+fn bench_baselines(c: &mut Criterion) {
+    let data = bench_dataset(DatasetKind::Brightkite);
+    let g = &data.graph;
+    let k = 4;
+
+    let mut group = c.benchmark_group("fig10/per_query_methods");
+    group.sample_size(10);
+    group.bench_function("Global", |b| {
+        b.iter(|| {
+            for &q in &data.queries {
+                black_box(global_search(g, q, k).unwrap());
+            }
+        });
+    });
+    group.bench_function("Local", |b| {
+        b.iter(|| {
+            for &q in &data.queries {
+                black_box(local_search(g, q, k).unwrap());
+            }
+        });
+    });
+    group.bench_function("AppInc", |b| {
+        b.iter(|| {
+            for &q in &data.queries {
+                black_box(app_inc(g, q, k).unwrap());
+            }
+        });
+    });
+    group.bench_function("ExactPlus", |b| {
+        b.iter(|| {
+            for &q in &data.queries {
+                black_box(exact_plus(g, q, k, 1e-3).unwrap());
+            }
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("fig10/whole_graph_detection");
+    group.sample_size(10);
+    group.bench_function("GeoModu_mu1_partition", |b| {
+        b.iter(|| black_box(geo_modularity(g, 1.0).unwrap()));
+    });
+    group.bench_function("GeoModu_mu2_partition", |b| {
+        b.iter(|| black_box(geo_modularity(g, 2.0).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_baselines
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Table 4 companion: dataset surrogate generation throughput.
+//!
+//! Measures the power-law graph generator, the spatial placement model and the
+//! end-to-end preset generation used by every experiment and bench in the suite.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sac_data::{DatasetKind, DatasetSpec, PowerLawGenerator, SpatialPlacer};
+
+fn bench_datasets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4/powerlaw_generator");
+    group.sample_size(10);
+    for n in [1_000usize, 5_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(PowerLawGenerator::with_average_degree(n, 8.0).generate(&mut rng))
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("table4/spatial_placement");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(2);
+    let graph = PowerLawGenerator::with_average_degree(5_000, 8.0).generate(&mut rng);
+    group.bench_function("place_5000_vertices", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(SpatialPlacer::new().place(&graph, &mut rng))
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("table4/preset_generation");
+    group.sample_size(10);
+    for kind in [DatasetKind::Brightkite, DatasetKind::Syn1] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| black_box(DatasetSpec::scaled(kind, 0.01).generate()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_datasets
+}
+criterion_main!(benches);

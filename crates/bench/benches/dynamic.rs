@@ -1,0 +1,62 @@
+//! Figure 13 companion: cost of the dynamic-location pipeline.
+//!
+//! Measures (a) applying a batch of check-in position updates (spatial-index
+//! rebuild) and (b) re-answering a SAC query after the update — the two operations
+//! the Section 5.2.3 experiment repeats for every check-in of a mobile user.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sac_bench::bench_dataset;
+use sac_core::{app_acc, exact_plus};
+use sac_data::{CheckinGenerator, DatasetKind};
+use sac_geom::Point;
+use sac_graph::VertexId;
+
+fn bench_dynamic(c: &mut Criterion) {
+    let data = bench_dataset(DatasetKind::Brightkite);
+    let mut rng = StdRng::seed_from_u64(0xD1A);
+    let stream = CheckinGenerator::new().generate(&data.graph, &mut rng);
+    let updates: Vec<(VertexId, Point)> = stream
+        .records()
+        .iter()
+        .take(256)
+        .map(|c| (c.user, c.position))
+        .collect();
+    let q = data.queries[0];
+    let k = 4;
+
+    let mut group = c.benchmark_group("fig13/dynamic_pipeline");
+    group.sample_size(10);
+
+    group.bench_function("apply_256_checkins", |b| {
+        b.iter(|| {
+            let mut g = data.graph.clone();
+            g.apply_position_updates(black_box(&updates)).unwrap();
+            black_box(g.num_vertices())
+        });
+    });
+
+    group.bench_function("requery_exact_plus_after_update", |b| {
+        let mut g = data.graph.clone();
+        g.apply_position_updates(&updates).unwrap();
+        b.iter(|| black_box(exact_plus(&g, q, k, 1e-3).unwrap()));
+    });
+
+    group.bench_function("requery_app_acc_after_update", |b| {
+        let mut g = data.graph.clone();
+        g.apply_position_updates(&updates).unwrap();
+        b.iter(|| black_box(app_acc(&g, q, k, 0.5).unwrap()));
+    });
+
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_dynamic
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Figure 12(f)–(j): running time of the exact algorithms as `k` varies.
+//!
+//! `Exact` is cubic in the k-ĉore size, so (as in the paper, which skips runs over
+//! ten hours) it is benchmarked on an extra-small surrogate; `Exact+` is
+//! benchmarked on the standard bench datasets.  The expected shape: `Exact+` is
+//! orders of magnitude faster than `Exact`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sac_bench::{bench_dataset, bench_dataset_scaled, bench_kinds};
+use sac_core::{exact, exact_plus};
+use sac_data::DatasetKind;
+
+fn bench_exact(c: &mut Criterion) {
+    // Basic Exact on a deliberately tiny surrogate.
+    let tiny = bench_dataset_scaled(DatasetKind::Brightkite, 0.005);
+    let mut group = c.benchmark_group("fig12_exact/Exact_tiny_surrogate");
+    group.sample_size(10);
+    for k in [4u32, 7] {
+        group.bench_with_input(BenchmarkId::new("Exact", k), &k, |b, &k| {
+            let q = tiny.queries[0];
+            b.iter(|| black_box(exact(&tiny.graph, q, k).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("ExactPlus", k), &k, |b, &k| {
+            let q = tiny.queries[0];
+            b.iter(|| black_box(exact_plus(&tiny.graph, q, k, 1e-3).unwrap()));
+        });
+    }
+    group.finish();
+
+    // Exact+ on the standard bench datasets across k.
+    for kind in bench_kinds() {
+        let data = bench_dataset(kind);
+        let mut group = c.benchmark_group(format!("fig12_exact/{}", data.name()));
+        group.sample_size(10);
+        for k in [4u32, 16] {
+            group.bench_with_input(BenchmarkId::new("ExactPlus", k), &k, |b, &k| {
+                b.iter(|| {
+                    for &q in &data.queries {
+                        black_box(exact_plus(&data.graph, q, k, 1e-3).unwrap());
+                    }
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_exact
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Substrate benchmark: k-core machinery.
+//!
+//! The connected-k-core check is the inner loop of every SAC algorithm (Step 2 of
+//! the two-step framework); this bench measures the full decomposition, the global
+//! k-ĉore query and the subset-restricted solver that `AppFast`/`AppAcc`/`Exact+`
+//! call thousands of times per query.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sac_bench::{bench_dataset, bench_kinds};
+use sac_graph::{connected_kcore, core_decomposition, KCoreSolver, VertexId};
+
+fn bench_kcore(c: &mut Criterion) {
+    for kind in bench_kinds() {
+        let data = bench_dataset(kind);
+        let graph = data.graph.graph();
+        let q = data.queries[0];
+
+        let mut group = c.benchmark_group(format!("kcore/{}", data.name()));
+        group.sample_size(20);
+
+        group.bench_function("core_decomposition", |b| {
+            b.iter(|| core_decomposition(black_box(graph)));
+        });
+
+        for k in [4u32, 16] {
+            group.bench_with_input(BenchmarkId::new("connected_kcore", k), &k, |b, &k| {
+                b.iter(|| connected_kcore(black_box(graph), q, k));
+            });
+        }
+
+        // Subset-restricted solver over the vertices spatially closest to q.
+        let center = data.graph.position(q);
+        let subset: Vec<VertexId> = data
+            .graph
+            .vertices_in_circle(&sac_geom::Circle::new(center, 0.15));
+        group.bench_function("subset_kcore_containing", |b| {
+            let mut solver = KCoreSolver::new(graph.num_vertices());
+            b.iter(|| solver.kcore_containing(black_box(graph), black_box(&subset), q, 4));
+        });
+        group.finish();
+    }
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_kcore
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Substrate micro-benchmark: minimum covering circle computation.
+//!
+//! The MCC is the inner geometric primitive of every SAC algorithm (it is evaluated
+//! once per candidate community and once per enumerated vertex triple in
+//! `Exact`/`Exact+`), so its throughput matters for every figure of the paper.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sac_geom::{minimum_enclosing_circle, minimum_enclosing_circle_naive, Circle, Point};
+
+fn random_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+        .collect()
+}
+
+fn bench_mcc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcc/welzl");
+    group.sample_size(20);
+    for n in [10usize, 100, 1_000, 10_000] {
+        let pts = random_points(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| minimum_enclosing_circle(black_box(pts)).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("mcc/naive_reference");
+    group.sample_size(10);
+    for n in [10usize, 30] {
+        let pts = random_points(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| minimum_enclosing_circle_naive(black_box(pts)).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("mcc/three_point_circles");
+    group.sample_size(30);
+    let pts = random_points(30, 3);
+    group.bench_function("mcc_of_three_all_triples_of_30", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for i in 0..30 {
+                for j in (i + 1)..30 {
+                    for k in (j + 1)..30 {
+                        acc += Circle::mcc_of_three(pts[i], pts[j], pts[k]).radius;
+                    }
+                }
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_mcc
+}
+criterion_main!(benches);

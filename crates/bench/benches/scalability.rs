@@ -1,0 +1,68 @@
+//! Figure 12(k)–(o): scalability of the approximation algorithms with the vertex
+//! percentage n.
+//!
+//! Each series runs the algorithm over the query workload on induced subgraphs of
+//! 20%–100% of the surrogate's vertices; the expected shape is roughly linear
+//! growth with the graph size, `AppFast` below `AppInc`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sac_bench::bench_dataset;
+use sac_core::{app_acc, app_fast, app_inc};
+use sac_data::{induced_subgraph_by_vertices, sample_vertices, select_query_vertices, DatasetKind};
+use sac_graph::{SpatialGraph, VertexId};
+
+fn subgraph_at(data: &sac_bench::BenchDataset, fraction: f64) -> (SpatialGraph, Vec<VertexId>) {
+    if (fraction - 1.0).abs() < f64::EPSILON {
+        return (data.graph.clone(), data.queries.clone());
+    }
+    let mut rng = StdRng::seed_from_u64(0x5CA1E ^ (fraction * 1000.0) as u64);
+    let kept = sample_vertices(&data.graph, fraction, &mut rng);
+    let (sub, _) = induced_subgraph_by_vertices(&data.graph, &kept);
+    let queries = select_query_vertices(sub.graph(), data.queries.len(), 4, &mut rng);
+    (sub, queries)
+}
+
+fn bench_scalability(c: &mut Criterion) {
+    let data = bench_dataset(DatasetKind::Syn1);
+    let k = 4;
+    let mut group = c.benchmark_group("fig12_scalability/Syn1");
+    group.sample_size(10);
+
+    for fraction in [0.2, 0.6, 1.0] {
+        let (sub, queries) = subgraph_at(&data, fraction);
+        let pct = format!("{}%", (fraction * 100.0) as u32);
+        group.bench_with_input(BenchmarkId::new("AppInc", &pct), &sub, |b, sub| {
+            b.iter(|| {
+                for &q in &queries {
+                    black_box(app_inc(sub, q, k).unwrap());
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("AppFast_0.5", &pct), &sub, |b, sub| {
+            b.iter(|| {
+                for &q in &queries {
+                    black_box(app_fast(sub, q, k, 0.5).unwrap());
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("AppAcc_0.5", &pct), &sub, |b, sub| {
+            b.iter(|| {
+                for &q in &queries {
+                    black_box(app_acc(sub, q, k, 0.5).unwrap());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_scalability
+}
+criterion_main!(benches);

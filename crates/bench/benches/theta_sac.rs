@@ -1,0 +1,60 @@
+//! Figure 11 companion: cost of `θ-SAC` search across the θ grid, and of the
+//! structure-free range-only extraction.
+//!
+//! Quality results (percentage answered, radius vs the optimum) come from
+//! `sac-eval fig11`; this bench covers the runtime side: larger θ means larger
+//! candidate sets and thus more expensive k-core checks.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sac_bench::bench_dataset;
+use sac_core::{range_only, theta_sac};
+use sac_data::DatasetKind;
+
+fn bench_theta(c: &mut Criterion) {
+    let data = bench_dataset(DatasetKind::Brightkite);
+    let g = &data.graph;
+    let k = 4;
+
+    let mut group = c.benchmark_group("fig11/theta_sac");
+    group.sample_size(10);
+    for theta in [0.01, 0.05, 0.1, 0.3] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{theta:.2}")),
+            &theta,
+            |b, &theta| {
+                b.iter(|| {
+                    for &q in &data.queries {
+                        black_box(theta_sac(g, q, k, theta).unwrap());
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig11/range_only");
+    group.sample_size(10);
+    for theta in [0.01, 0.1] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{theta:.2}")),
+            &theta,
+            |b, &theta| {
+                b.iter(|| {
+                    for &q in &data.queries {
+                        black_box(range_only(g, q, theta).unwrap());
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_theta
+}
+criterion_main!(benches);

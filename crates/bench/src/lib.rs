@@ -1,0 +1,70 @@
+//! Shared fixtures for the Criterion benchmark suite.
+//!
+//! Every benchmark regenerating a paper figure uses the same small surrogate
+//! datasets so that runs are quick and comparable across benches.  The absolute
+//! numbers are not meant to match the paper's testbed; the *relative* ordering of
+//! algorithms and the trends across parameters are (see EXPERIMENTS.md).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sac_data::{select_query_vertices, DatasetKind, DatasetSpec};
+use sac_graph::{SpatialGraph, VertexId};
+
+/// Scale factor applied to the paper's dataset sizes for the benchmark suite.
+pub const BENCH_SCALE: f64 = 0.01;
+
+/// Number of query vertices benchmarked per dataset.
+pub const BENCH_QUERIES: usize = 5;
+
+/// A benchmark-ready dataset: the surrogate graph plus sampled query vertices.
+pub struct BenchDataset {
+    /// Which Table 4 dataset this mirrors.
+    pub kind: DatasetKind,
+    /// The surrogate spatial graph.
+    pub graph: SpatialGraph,
+    /// Query vertices with core number ≥ 4.
+    pub queries: Vec<VertexId>,
+}
+
+impl BenchDataset {
+    /// Short dataset name for bench ids.
+    pub fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+}
+
+/// Loads a scaled surrogate of `kind` with deterministic query vertices.
+pub fn bench_dataset(kind: DatasetKind) -> BenchDataset {
+    bench_dataset_scaled(kind, BENCH_SCALE)
+}
+
+/// Loads a surrogate of `kind` at a custom scale.
+pub fn bench_dataset_scaled(kind: DatasetKind, scale: f64) -> BenchDataset {
+    let spec = DatasetSpec::scaled(kind, scale);
+    let graph = spec.generate();
+    let mut rng = StdRng::seed_from_u64(0xBE7C ^ spec.seed);
+    let queries = select_query_vertices(graph.graph(), BENCH_QUERIES, 4, &mut rng);
+    BenchDataset { kind, graph, queries }
+}
+
+/// The datasets benchmarked by the per-figure benches (a representative subset of
+/// Table 4 keeps `cargo bench` runtimes reasonable; add more kinds here to sweep
+/// the full Table 4 list).
+pub fn bench_kinds() -> Vec<DatasetKind> {
+    vec![DatasetKind::Brightkite]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_datasets_are_usable() {
+        for kind in bench_kinds() {
+            let d = bench_dataset(kind);
+            assert!(d.graph.num_vertices() >= 500);
+            assert!(!d.queries.is_empty());
+            assert!(!d.name().is_empty());
+        }
+    }
+}

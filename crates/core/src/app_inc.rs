@@ -1,0 +1,195 @@
+//! `AppInc`: the incremental 2-approximation algorithm (Algorithm 2).
+
+use crate::common::{trivial_small_k, SearchContext};
+use crate::{Community, SacError};
+use sac_graph::{SpatialGraph, VertexId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The outcome of [`app_inc`]: the community Φ together with the two radii the
+/// paper's analysis (Lemmas 3–4) is phrased in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppIncOutcome {
+    /// The returned community Φ.
+    pub community: Community,
+    /// δ — the radius of the smallest q-centred circle that contains a feasible
+    /// solution (the distance from `q` to the last vertex the expansion added).
+    pub delta: f64,
+    /// γ — the radius of the MCC covering Φ.  By Lemma 4, `γ ≤ 2 · r_opt`.
+    pub gamma: f64,
+}
+
+/// Min-heap entry ordered by ascending distance from the query vertex.
+#[derive(Debug, PartialEq)]
+struct Frontier {
+    dist: f64,
+    vertex: VertexId,
+}
+
+impl Eq for Frontier {}
+
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the nearest vertex first.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// `AppInc` (Algorithm 2): incremental nearest-first expansion with an
+/// approximation ratio of 2.
+///
+/// Starting from `q`, vertices whose degree in `G` is at least `k` are absorbed in
+/// ascending order of their distance to `q`.  After absorbing a vertex `p`, if both
+/// `q` and `p` have at least `k` neighbours among the absorbed set `S`, the
+/// algorithm checks whether `G[S]` contains a connected k-core with `q`; the first
+/// such k-core is returned as Φ.
+///
+/// Returns `Ok(None)` when no feasible community exists (e.g. `q` is not in any
+/// k-core of `G`).
+///
+/// Complexity: `O(m · n)` — at most `n` expansion steps, each feasibility check
+/// costs `O(m)`.
+pub fn app_inc(
+    g: &SpatialGraph,
+    q: VertexId,
+    k: u32,
+) -> Result<Option<AppIncOutcome>, SacError> {
+    let mut ctx = SearchContext::new(g, q, k)?;
+    if let Some(trivial) = trivial_small_k(g, q, k) {
+        return Ok(trivial.map(|community| AppIncOutcome {
+            delta: community.radius() * 2.0,
+            gamma: community.radius(),
+            community,
+        }));
+    }
+    // q itself must be able to reach degree k.
+    if g.degree(q) < k as usize {
+        return Ok(None);
+    }
+
+    let q_pos = ctx.q_pos();
+    let n = g.num_vertices();
+    let mut in_s = vec![false; n];
+    let mut discovered = vec![false; n];
+    let mut s: Vec<VertexId> = Vec::new();
+    let mut heap = BinaryHeap::new();
+
+    discovered[q as usize] = true;
+    heap.push(Frontier { dist: 0.0, vertex: q });
+
+    // Number of q's neighbours currently inside S.
+    let mut q_neighbours_in_s = 0usize;
+
+    while let Some(Frontier { dist, vertex: p }) = heap.pop() {
+        // Absorb p.
+        in_s[p as usize] = true;
+        s.push(p);
+        if p != q && g.graph().has_edge(p, q) {
+            q_neighbours_in_s += 1;
+        }
+        // Discover p's eligible neighbours.
+        let mut p_neighbours_in_s = 0usize;
+        for &v in g.neighbors(p) {
+            if in_s[v as usize] {
+                p_neighbours_in_s += 1;
+            }
+            if !discovered[v as usize] && g.degree(v) >= k as usize {
+                discovered[v as usize] = true;
+                heap.push(Frontier { dist: g.position(v).distance(q_pos), vertex: v });
+            }
+        }
+        // Feasibility check, gated by the necessary conditions of Algorithm 2
+        // line 13: both q and the newly absorbed vertex p must already have k
+        // neighbours inside S for a new feasible solution to have appeared.
+        let gate = if p == q {
+            false
+        } else {
+            q_neighbours_in_s >= k as usize && p_neighbours_in_s >= k as usize
+        };
+        if gate {
+            if let Some(members) = ctx.solver.kcore_containing(g.graph(), &s, q, k) {
+                let community = Community::new(g, members);
+                let gamma = community.radius();
+                return Ok(Some(AppIncOutcome { community, delta: dist, gamma }));
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact;
+    use crate::fixtures::{figure3, figure3_appinc_members, figure3_graph};
+
+    #[test]
+    fn returns_c2_on_the_paper_example() {
+        // Example 2: AppInc returns {Q, A, B} because A and B are nearer to Q.
+        let g = figure3_graph();
+        let out = app_inc(&g, figure3::Q, 2).unwrap().unwrap();
+        assert_eq!(out.community.members(), figure3_appinc_members().as_slice());
+        assert!(out.gamma <= out.delta + 1e-12);
+        assert!(out.delta > 0.0);
+    }
+
+    #[test]
+    fn two_approximation_holds_on_the_paper_example() {
+        let g = figure3_graph();
+        let out = app_inc(&g, figure3::Q, 2).unwrap().unwrap();
+        let optimal = exact(&g, figure3::Q, 2).unwrap().unwrap();
+        let ratio = out.gamma / optimal.radius();
+        assert!(ratio >= 1.0 - 1e-9);
+        assert!(ratio <= 2.0 + 1e-9, "ratio {ratio} exceeds 2");
+    }
+
+    #[test]
+    fn no_community_for_infeasible_queries() {
+        let g = figure3_graph();
+        // I has core number 1, so no 2-core community exists for it.
+        assert!(app_inc(&g, figure3::I, 2).unwrap().is_none());
+        // k larger than any core number.
+        assert!(app_inc(&g, figure3::Q, 5).unwrap().is_none());
+        // Out-of-range query vertex is an error.
+        assert!(app_inc(&g, 99, 2).is_err());
+    }
+
+    #[test]
+    fn k_zero_and_one_shortcuts() {
+        let g = figure3_graph();
+        let zero = app_inc(&g, figure3::Q, 0).unwrap().unwrap();
+        assert_eq!(zero.community.members(), &[figure3::Q]);
+        let one = app_inc(&g, figure3::Q, 1).unwrap().unwrap();
+        assert_eq!(one.community.len(), 2);
+        assert!(one.community.contains(figure3::B));
+    }
+
+    #[test]
+    fn right_component_queries() {
+        let g = figure3_graph();
+        let out = app_inc(&g, figure3::F, 2).unwrap().unwrap();
+        assert_eq!(out.community.members(), &[figure3::F, figure3::G, figure3::H]);
+    }
+
+    #[test]
+    fn result_is_a_valid_community() {
+        let g = figure3_graph();
+        for q in [figure3::Q, figure3::A, figure3::C, figure3::F] {
+            let out = app_inc(&g, q, 2).unwrap().unwrap();
+            let members = out.community.members();
+            assert!(members.contains(&q));
+            assert!(sac_graph::is_connected_subset(g.graph(), members));
+            assert!(sac_graph::min_degree_in_subset(g.graph(), members).unwrap() >= 2);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The `GeoModu` community-detection baseline (Chen et al., IJGIS 2015).
+
+use crate::baselines::louvain::{louvain, LouvainResult, WeightedAdjacency};
+use crate::{Community, SacError};
+use sac_graph::{SpatialGraph, VertexId};
+
+/// Minimum distance used when re-weighting edges, so that coincident vertices do
+/// not produce infinite weights.
+const MIN_DISTANCE: f64 = 1e-6;
+
+/// The result of a `GeoModu` run: a partition of the whole graph into
+/// geo-modularity communities.
+///
+/// `GeoModu` is a community *detection* method: unlike SAC search it is not
+/// query-dependent, so the partition is computed once and then queried for the
+/// cluster containing a given vertex.
+#[derive(Debug, Clone)]
+pub struct GeoModularity {
+    partition: LouvainResult,
+    /// The decay exponent µ used for the edge weights (1 or 2 in the paper).
+    pub mu: f64,
+}
+
+impl GeoModularity {
+    /// The community (cluster) containing the query vertex `q`, as a [`Community`]
+    /// with its MCC.
+    pub fn community_containing(
+        &self,
+        g: &SpatialGraph,
+        q: VertexId,
+    ) -> Result<Community, SacError> {
+        if (q as usize) >= g.num_vertices() {
+            return Err(SacError::QueryVertexOutOfRange(q));
+        }
+        Ok(Community::new(g, self.partition.community_of(q)))
+    }
+
+    /// Number of detected communities.
+    pub fn num_communities(&self) -> usize {
+        self.partition.num_communities
+    }
+
+    /// Modularity of the detected partition (under the re-weighted graph).
+    pub fn modularity(&self) -> f64 {
+        self.partition.modularity
+    }
+
+    /// The raw community assignment, indexed by vertex id.
+    pub fn assignment(&self) -> &[u32] {
+        &self.partition.assignment
+    }
+
+    /// All communities as vertex lists.
+    pub fn communities(&self) -> Vec<Vec<VertexId>> {
+        self.partition.communities()
+    }
+}
+
+/// Runs `GeoModu`: re-weights every edge as `w(u, v) = 1 / d(u, v)^µ` and maximises
+/// modularity over the weighted graph with the Louvain method.
+///
+/// The paper evaluates µ = 1 (`GeoModu(1)`) and µ = 2 (`GeoModu(2)`).
+pub fn geo_modularity(g: &SpatialGraph, mu: f64) -> Result<GeoModularity, SacError> {
+    if !mu.is_finite() || mu <= 0.0 {
+        return Err(SacError::InvalidParameter {
+            name: "mu",
+            message: format!("decay exponent must be a positive finite number, got {mu}"),
+        });
+    }
+    let mut weighted = WeightedAdjacency::with_nodes(g.num_vertices());
+    for (u, v) in g.graph().edges() {
+        let d = g.distance(u, v).max(MIN_DISTANCE);
+        weighted.add_edge(u, v, 1.0 / d.powf(mu));
+    }
+    let partition = louvain(&weighted, 12, 24);
+    Ok(GeoModularity { partition, mu })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{figure3, figure3_graph};
+    use crate::metrics;
+    use sac_geom::Point;
+    use sac_graph::GraphBuilder;
+
+    /// Two spatially separated cliques joined by one bridge edge.
+    fn two_spatial_cliques() -> SpatialGraph {
+        let mut b = GraphBuilder::new();
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.add_edge(base + i, base + j);
+                }
+            }
+        }
+        b.add_edge(3, 4);
+        let positions = vec![
+            Point::new(0.10, 0.10),
+            Point::new(0.12, 0.11),
+            Point::new(0.11, 0.13),
+            Point::new(0.13, 0.12),
+            Point::new(0.90, 0.90),
+            Point::new(0.92, 0.91),
+            Point::new(0.91, 0.93),
+            Point::new(0.93, 0.92),
+        ];
+        SpatialGraph::new(b.build(), positions).unwrap()
+    }
+
+    #[test]
+    fn separates_spatially_distant_cliques() {
+        let g = two_spatial_cliques();
+        for mu in [1.0, 2.0] {
+            let result = geo_modularity(&g, mu).unwrap();
+            assert_eq!(result.num_communities(), 2, "mu={mu}");
+            let left = result.community_containing(&g, 0).unwrap();
+            let right = result.community_containing(&g, 5).unwrap();
+            assert_eq!(left.members(), &[0, 1, 2, 3]);
+            assert_eq!(right.members(), &[4, 5, 6, 7]);
+            assert_eq!(result.assignment().len(), 8);
+            assert!(result.modularity() > 0.0);
+            assert!((result.mu - mu).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn partitions_the_figure3_graph() {
+        let g = figure3_graph();
+        let result = geo_modularity(&g, 1.0).unwrap();
+        // The left component (Q..E) and the right component (F..I) can never be
+        // merged since there is no edge between them.
+        let q_comm = result.community_containing(&g, figure3::Q).unwrap();
+        let f_comm = result.community_containing(&g, figure3::F).unwrap();
+        assert!(q_comm.members().iter().all(|&v| v <= figure3::E));
+        assert!(f_comm.members().iter().all(|&v| v >= figure3::F));
+        assert!(result.num_communities() >= 2);
+        assert_eq!(result.communities().iter().map(Vec::len).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn geomodu_structure_cohesiveness_is_weaker_than_sac() {
+        // Section 5.2.2: GeoModu communities have low average internal degree
+        // compared with the minimum-degree guarantee of SAC search.
+        let g = figure3_graph();
+        let result = geo_modularity(&g, 1.0).unwrap();
+        let q_comm = result.community_containing(&g, figure3::Q).unwrap();
+        let sac = crate::exact(&g, figure3::Q, 2).unwrap().unwrap();
+        let geo_min = metrics::min_degree_within(&g, q_comm.members()).unwrap();
+        let sac_min = metrics::min_degree_within(&g, sac.members()).unwrap();
+        assert!(sac_min >= 2);
+        assert!(geo_min <= sac_min);
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        let g = figure3_graph();
+        assert!(geo_modularity(&g, 0.0).is_err());
+        assert!(geo_modularity(&g, -1.0).is_err());
+        assert!(geo_modularity(&g, f64::NAN).is_err());
+        let result = geo_modularity(&g, 1.0).unwrap();
+        assert!(result.community_containing(&g, 99).is_err());
+    }
+}

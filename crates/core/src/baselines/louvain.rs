@@ -1,0 +1,361 @@
+//! Weighted Louvain modularity maximisation, implemented from scratch.
+//!
+//! The `GeoModu` baseline of the paper (Chen et al., IJGIS 2015) detects
+//! communities by maximising modularity over a graph whose edge weights decay with
+//! spatial distance.  This module provides the generic weighted Louvain machinery;
+//! [`crate::baselines::geo_modularity`] supplies the distance-decayed weights.
+
+use sac_graph::VertexId;
+
+/// A weighted undirected graph in adjacency-list form, used as the working
+/// representation at every Louvain aggregation level.
+#[derive(Debug, Clone, Default)]
+pub struct WeightedAdjacency {
+    /// `adj[u]` lists `(v, w)` for every neighbour `v` of `u` (both directions
+    /// stored).  Self-loops `(u, u, w)` represent the internal weight of an
+    /// aggregated super-node and are stored once with their full weight.
+    adj: Vec<Vec<(u32, f64)>>,
+    /// Total weight of all edges (self-loops counted once), i.e. the `m` of the
+    /// modularity formula.
+    total_weight: f64,
+}
+
+impl WeightedAdjacency {
+    /// Creates an empty weighted graph with `n` nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        WeightedAdjacency { adj: vec![Vec::new(); n], total_weight: 0.0 }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Returns `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Adds an undirected edge of weight `w` (or a self-loop when `u == v`).
+    pub fn add_edge(&mut self, u: u32, v: u32, w: f64) {
+        if u == v {
+            self.adj[u as usize].push((v, w));
+        } else {
+            self.adj[u as usize].push((v, w));
+            self.adj[v as usize].push((u, w));
+        }
+        self.total_weight += w;
+    }
+
+    /// Sum of the weights of all edges incident to `u` (self-loops counted twice,
+    /// as in the standard modularity definition).
+    pub fn weighted_degree(&self, u: u32) -> f64 {
+        self.adj[u as usize]
+            .iter()
+            .map(|&(v, w)| if v == u { 2.0 * w } else { w })
+            .sum()
+    }
+
+    /// Total edge weight of the graph.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Neighbour list of `u`.
+    pub fn neighbors(&self, u: u32) -> &[(u32, f64)] {
+        &self.adj[u as usize]
+    }
+}
+
+/// The result of running Louvain: a flat assignment of every original vertex to a
+/// community id in `0..num_communities`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LouvainResult {
+    /// `assignment[v]` is the community id of vertex `v`.
+    pub assignment: Vec<u32>,
+    /// Number of communities.
+    pub num_communities: usize,
+    /// Modularity of the final partition.
+    pub modularity: f64,
+}
+
+impl LouvainResult {
+    /// All members of the community that contains `v`.
+    pub fn community_of(&self, v: VertexId) -> Vec<VertexId> {
+        let target = self.assignment[v as usize];
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == target)
+            .map(|(u, _)| u as VertexId)
+            .collect()
+    }
+
+    /// The communities as vertex lists, indexed by community id.
+    pub fn communities(&self) -> Vec<Vec<VertexId>> {
+        let mut out = vec![Vec::new(); self.num_communities];
+        for (v, &c) in self.assignment.iter().enumerate() {
+            out[c as usize].push(v as VertexId);
+        }
+        out
+    }
+}
+
+/// Modularity of a partition of `graph` given as an assignment array.
+pub fn modularity(graph: &WeightedAdjacency, assignment: &[u32]) -> f64 {
+    let m = graph.total_weight();
+    if m <= 0.0 {
+        return 0.0;
+    }
+    let num_comm = assignment.iter().copied().max().map_or(0, |c| c as usize + 1);
+    let mut internal = vec![0.0f64; num_comm];
+    let mut degree = vec![0.0f64; num_comm];
+    for u in 0..graph.len() as u32 {
+        let cu = assignment[u as usize] as usize;
+        degree[cu] += graph.weighted_degree(u);
+        for &(v, w) in graph.neighbors(u) {
+            if v == u {
+                // Self-loop: fully internal, counted once in the adjacency.
+                internal[cu] += 2.0 * w;
+            } else if assignment[v as usize] as usize == cu {
+                internal[cu] += w; // counted from both endpoints ⇒ 2·w in total
+            }
+        }
+    }
+    let two_m = 2.0 * m;
+    (0..num_comm)
+        .map(|c| internal[c] / two_m - (degree[c] / two_m).powi(2))
+        .sum()
+}
+
+/// Runs the Louvain method on a weighted graph.
+///
+/// `max_levels` bounds the number of aggregation levels and `max_passes` bounds the
+/// number of local-moving sweeps per level; both exist only to guarantee
+/// termination on adversarial inputs — real runs converge far earlier.
+pub fn louvain(graph: &WeightedAdjacency, max_levels: usize, max_passes: usize) -> LouvainResult {
+    let n = graph.len();
+    if n == 0 {
+        return LouvainResult { assignment: Vec::new(), num_communities: 0, modularity: 0.0 };
+    }
+    // assignment maps original vertices to communities of the *current* level.
+    let mut assignment: Vec<u32> = (0..n as u32).collect();
+    let mut level_graph = graph.clone();
+
+    for _level in 0..max_levels {
+        let (level_assignment, improved) = local_moving(&level_graph, max_passes);
+        if !improved {
+            break;
+        }
+        // Renumber the level communities densely.
+        let (dense, num_comm) = renumber(&level_assignment);
+        // Update the global assignment: vertex -> level node -> community.
+        for slot in assignment.iter_mut() {
+            *slot = dense[*slot as usize];
+        }
+        if num_comm == level_graph.len() {
+            break; // no aggregation happened
+        }
+        level_graph = aggregate(&level_graph, &dense, num_comm);
+    }
+
+    // `assignment` already maps every original vertex to a community of the last
+    // processed level; a final renumbering makes the ids dense.
+    let (final_assignment, num_communities) = renumber(&assignment);
+    let q = modularity(graph, &final_assignment);
+    LouvainResult { assignment: final_assignment, num_communities, modularity: q }
+}
+
+/// One level of Louvain local moving.  Returns the community assignment of the
+/// level's nodes and whether any improving move was made.
+fn local_moving(graph: &WeightedAdjacency, max_passes: usize) -> (Vec<u32>, bool) {
+    let n = graph.len();
+    let m = graph.total_weight().max(f64::MIN_POSITIVE);
+    let mut community: Vec<u32> = (0..n as u32).collect();
+    // Sum of weighted degrees per community.
+    let mut community_degree: Vec<f64> = (0..n as u32).map(|u| graph.weighted_degree(u)).collect();
+    let node_degree: Vec<f64> = community_degree.clone();
+    let mut improved_any = false;
+
+    // Scratch: weight from the current node to each neighbouring community.
+    let mut weight_to: Vec<f64> = vec![0.0; n];
+    let mut touched: Vec<u32> = Vec::new();
+
+    for _pass in 0..max_passes {
+        let mut moved = false;
+        for u in 0..n as u32 {
+            let cu = community[u as usize];
+            // Gather the weights from u to each neighbouring community.
+            touched.clear();
+            for &(v, w) in graph.neighbors(u) {
+                if v == u {
+                    continue;
+                }
+                let cv = community[v as usize];
+                if weight_to[cv as usize] == 0.0 {
+                    touched.push(cv);
+                }
+                weight_to[cv as usize] += w;
+            }
+            // Remove u from its community for the gain computation.
+            community_degree[cu as usize] -= node_degree[u as usize];
+            let base_gain = weight_to[cu as usize]
+                - community_degree[cu as usize] * node_degree[u as usize] / (2.0 * m);
+            let mut best_comm = cu;
+            let mut best_gain = base_gain;
+            for &cv in &touched {
+                if cv == cu {
+                    continue;
+                }
+                let gain = weight_to[cv as usize]
+                    - community_degree[cv as usize] * node_degree[u as usize] / (2.0 * m);
+                if gain > best_gain + 1e-12 {
+                    best_gain = gain;
+                    best_comm = cv;
+                }
+            }
+            community_degree[best_comm as usize] += node_degree[u as usize];
+            if best_comm != cu {
+                community[u as usize] = best_comm;
+                moved = true;
+                improved_any = true;
+            }
+            // Reset scratch.
+            for &c in &touched {
+                weight_to[c as usize] = 0.0;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    (community, improved_any)
+}
+
+/// Renumbers community ids densely; returns the mapping (indexed by old id) and the
+/// number of distinct communities.
+fn renumber(assignment: &[u32]) -> (Vec<u32>, usize) {
+    let max_id = assignment.iter().copied().max().map_or(0, |c| c as usize + 1);
+    let mut mapping = vec![u32::MAX; max_id];
+    let mut next = 0u32;
+    for &c in assignment {
+        if mapping[c as usize] == u32::MAX {
+            mapping[c as usize] = next;
+            next += 1;
+        }
+    }
+    (
+        assignment.iter().map(|&c| mapping[c as usize]).collect(),
+        next as usize,
+    )
+}
+
+/// Builds the aggregated graph whose nodes are the communities of the current
+/// level.
+fn aggregate(graph: &WeightedAdjacency, dense_assignment: &[u32], num_comm: usize) -> WeightedAdjacency {
+    let mut agg = WeightedAdjacency::with_nodes(num_comm);
+    // Accumulate inter-community weights in a map keyed by (min, max); intra
+    // weights become self-loops.
+    use std::collections::HashMap;
+    let mut acc: HashMap<(u32, u32), f64> = HashMap::new();
+    for u in 0..graph.len() as u32 {
+        let cu = dense_assignment[u as usize];
+        for &(v, w) in graph.neighbors(u) {
+            if v == u {
+                *acc.entry((cu, cu)).or_insert(0.0) += w;
+                continue;
+            }
+            if v < u {
+                continue; // handle each undirected edge once
+            }
+            let cv = dense_assignment[v as usize];
+            let key = if cu <= cv { (cu, cv) } else { (cv, cu) };
+            *acc.entry(key).or_insert(0.0) += w;
+        }
+    }
+    for ((a, b), w) in acc {
+        agg.add_edge(a, b, w);
+    }
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two cliques of four vertices connected by a single bridge edge.
+    fn two_cliques() -> WeightedAdjacency {
+        let mut g = WeightedAdjacency::with_nodes(8);
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    g.add_edge(base + i, base + j, 1.0);
+                }
+            }
+        }
+        g.add_edge(3, 4, 1.0);
+        g
+    }
+
+    #[test]
+    fn detects_the_two_cliques() {
+        let g = two_cliques();
+        let result = louvain(&g, 10, 20);
+        assert_eq!(result.num_communities, 2);
+        let c0 = result.community_of(0);
+        let c4 = result.community_of(4);
+        assert_eq!(c0, vec![0, 1, 2, 3]);
+        assert_eq!(c4, vec![4, 5, 6, 7]);
+        assert!(result.modularity > 0.3);
+        assert_eq!(result.communities().len(), 2);
+    }
+
+    #[test]
+    fn weighted_degree_and_totals() {
+        let mut g = WeightedAdjacency::with_nodes(3);
+        g.add_edge(0, 1, 2.0);
+        g.add_edge(1, 2, 3.0);
+        g.add_edge(2, 2, 1.0); // self-loop
+        assert_eq!(g.total_weight(), 6.0);
+        assert_eq!(g.weighted_degree(1), 5.0);
+        assert_eq!(g.weighted_degree(2), 5.0); // 3 + 2·1 (self-loop)
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn modularity_of_trivial_partitions() {
+        let g = two_cliques();
+        let all_in_one = vec![0u32; 8];
+        // Putting everything in one community gives modularity 0.
+        assert!(modularity(&g, &all_in_one).abs() < 1e-12);
+        // The natural two-community split has positive modularity.
+        let split: Vec<u32> = (0..8).map(|v| if v < 4 { 0 } else { 1 }).collect();
+        assert!(modularity(&g, &split) > 0.3);
+        // Empty graph.
+        assert_eq!(modularity(&WeightedAdjacency::with_nodes(0), &[]), 0.0);
+    }
+
+    #[test]
+    fn singleton_and_empty_graphs() {
+        let empty = louvain(&WeightedAdjacency::with_nodes(0), 5, 5);
+        assert_eq!(empty.num_communities, 0);
+        let lonely = louvain(&WeightedAdjacency::with_nodes(3), 5, 5);
+        // No edges: every vertex stays in its own community.
+        assert_eq!(lonely.num_communities, 3);
+    }
+
+    #[test]
+    fn heavier_weights_dominate_community_structure() {
+        // A 4-cycle where opposite edges are heavy: the heavy pairs team up.
+        let mut g = WeightedAdjacency::with_nodes(4);
+        g.add_edge(0, 1, 10.0);
+        g.add_edge(2, 3, 10.0);
+        g.add_edge(1, 2, 0.1);
+        g.add_edge(3, 0, 0.1);
+        let result = louvain(&g, 10, 20);
+        assert_eq!(result.assignment[0], result.assignment[1]);
+        assert_eq!(result.assignment[2], result.assignment[3]);
+        assert_ne!(result.assignment[0], result.assignment[2]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Batch SAC search — the "batch processing" direction listed in the paper's
+//! conclusions (Section 6).
+//!
+//! Applications such as event recommendation answer SAC queries for many users at
+//! once (e.g. everyone currently online in a city).  Answering them independently
+//! repeats the k-core decomposition of the whole graph once per query; the batch
+//! API here shares that work: the decomposition and the k-ĉore extraction are done
+//! once per distinct `k`, and each query then runs only the spatial part of the
+//! search.
+
+use crate::app_fast::AppFastOutcome;
+use crate::common::{knn_lower_bound, trivial_small_k, SearchContext};
+use crate::{Community, SacError};
+use sac_geom::Circle;
+use sac_graph::{core_decomposition, CoreDecomposition, SpatialGraph, VertexId};
+
+/// A batch SAC search session over one spatial graph.
+///
+/// The constructor performs the `O(m)` k-core decomposition once; every subsequent
+/// query reuses it, together with the reusable feasibility solver and range-query
+/// buffers of a [`SearchContext`].
+pub struct BatchSacSearch<'g> {
+    graph: &'g SpatialGraph,
+    decomposition: CoreDecomposition,
+}
+
+impl<'g> BatchSacSearch<'g> {
+    /// Prepares a batch session for `graph`.
+    pub fn new(graph: &'g SpatialGraph) -> Self {
+        BatchSacSearch {
+            graph,
+            decomposition: core_decomposition(graph.graph()),
+        }
+    }
+
+    /// The shared core decomposition (useful for filtering query vertices).
+    pub fn core_numbers(&self) -> &CoreDecomposition {
+        &self.decomposition
+    }
+
+    /// Answers one query with the `AppFast` algorithm, reusing the shared
+    /// decomposition to build the k-ĉore candidate set.
+    pub fn app_fast(
+        &self,
+        q: VertexId,
+        k: u32,
+        eps_f: f64,
+    ) -> Result<Option<AppFastOutcome>, SacError> {
+        if !eps_f.is_finite() || eps_f < 0.0 {
+            return Err(SacError::InvalidParameter {
+                name: "eps_f",
+                message: format!("must be a finite non-negative number, got {eps_f}"),
+            });
+        }
+        let mut ctx = SearchContext::new(self.graph, q, k)?;
+        if let Some(trivial) = trivial_small_k(self.graph, q, k) {
+            return Ok(trivial.map(|community| AppFastOutcome {
+                delta: community.radius() * 2.0,
+                gamma: community.radius(),
+                community,
+                iterations: 0,
+            }));
+        }
+        if self.decomposition.core_number(q) < k {
+            return Ok(None);
+        }
+        // k-ĉore containing q from the shared decomposition: BFS over vertices with
+        // core number >= k.
+        let graph = self.graph.graph();
+        let x = sac_graph::bfs_component(graph, q, |v| self.decomposition.core_number(v) >= k);
+        let mut in_x = vec![false; self.graph.num_vertices()];
+        for &v in &x {
+            in_x[v as usize] = true;
+        }
+        let q_pos = self.graph.position(q);
+        let mut l = match knn_lower_bound(self.graph, q, k, &in_x) {
+            Some(l) => l,
+            None => return Ok(None),
+        };
+        let mut u = x
+            .iter()
+            .map(|&v| self.graph.position(v).distance(q_pos))
+            .fold(0.0f64, f64::max);
+        let mut best = x.clone();
+        let mut best_radius_bound = u;
+        let mut iterations = 0usize;
+        let max_iterations = x.len() + 64;
+        while u > l && iterations < max_iterations {
+            iterations += 1;
+            let r = 0.5 * (l + u);
+            let alpha = if eps_f > 0.0 { r * eps_f / (2.0 + eps_f) } else { 0.0 };
+            match ctx.feasible_in_circle(&Circle::new(q_pos, r), Some(&in_x)) {
+                Some(members) => {
+                    let far = members
+                        .iter()
+                        .map(|&v| self.graph.position(v).distance(q_pos))
+                        .fold(0.0f64, f64::max);
+                    best = members;
+                    best_radius_bound = far;
+                    if r - l <= alpha {
+                        break;
+                    }
+                    u = far;
+                }
+                None => {
+                    if u - r <= alpha {
+                        break;
+                    }
+                    let next = x
+                        .iter()
+                        .map(|&v| self.graph.position(v).distance(q_pos))
+                        .filter(|&d| d > r)
+                        .fold(f64::INFINITY, f64::min);
+                    if !next.is_finite() {
+                        break;
+                    }
+                    l = next;
+                }
+            }
+        }
+        let community = Community::new(self.graph, best);
+        let gamma = community.radius();
+        Ok(Some(AppFastOutcome { delta: best_radius_bound, gamma, community, iterations }))
+    }
+
+    /// Answers a whole batch of queries, returning one entry per query vertex in
+    /// input order (`None` for infeasible queries, errors propagated per query).
+    pub fn app_fast_batch(
+        &self,
+        queries: &[VertexId],
+        k: u32,
+        eps_f: f64,
+    ) -> Vec<Result<Option<AppFastOutcome>, SacError>> {
+        queries.iter().map(|&q| self.app_fast(q, k, eps_f)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app_fast::app_fast;
+    use crate::fixtures::{figure3, figure3_graph};
+
+    #[test]
+    fn batch_results_match_single_query_results() {
+        let g = figure3_graph();
+        let batch = BatchSacSearch::new(&g);
+        for q in [figure3::Q, figure3::A, figure3::C, figure3::F, figure3::I] {
+            for eps in [0.0, 0.5] {
+                let single = app_fast(&g, q, 2, eps).unwrap();
+                let batched = batch.app_fast(q, 2, eps).unwrap();
+                match (single, batched) {
+                    (Some(s), Some(b)) => {
+                        assert_eq!(s.community.members(), b.community.members());
+                        assert!((s.gamma - b.gamma).abs() < 1e-9);
+                    }
+                    (None, None) => {}
+                    _ => panic!("feasibility mismatch for q={q}, eps={eps}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_interface_preserves_query_order() {
+        let g = figure3_graph();
+        let batch = BatchSacSearch::new(&g);
+        let queries = [figure3::Q, figure3::I, figure3::F];
+        let results = batch.app_fast_batch(&queries, 2, 0.5);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].as_ref().unwrap().is_some());
+        assert!(results[1].as_ref().unwrap().is_none()); // I has no 2-core
+        assert!(results[2].as_ref().unwrap().is_some());
+        // Shared decomposition is exposed.
+        assert!(batch.core_numbers().core_number(figure3::Q) >= 2);
+    }
+
+    #[test]
+    fn batch_errors_are_per_query() {
+        let g = figure3_graph();
+        let batch = BatchSacSearch::new(&g);
+        let results = batch.app_fast_batch(&[figure3::Q, 99], 2, 0.5);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(batch.app_fast(figure3::Q, 2, f64::NAN).is_err());
+        // Trivial k values work through the batch API too.
+        assert_eq!(batch.app_fast(figure3::Q, 0, 0.5).unwrap().unwrap().community.len(), 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! Internal helpers shared by the SAC search algorithms.
+
+use crate::{Community, SacError};
+use sac_geom::{Circle, Point};
+use sac_graph::{KCoreSolver, SpatialGraph, VertexId};
+
+/// Per-query scratch state shared by all algorithms: the validated query, a
+/// reusable subset-k-core solver and a reusable circular-range-query buffer.
+pub(crate) struct SearchContext<'g> {
+    pub g: &'g SpatialGraph,
+    pub q: VertexId,
+    pub k: u32,
+    pub solver: KCoreSolver,
+    circle_buf: Vec<VertexId>,
+    subset_buf: Vec<VertexId>,
+}
+
+impl<'g> SearchContext<'g> {
+    /// Validates the query vertex and builds the scratch state.
+    pub fn new(g: &'g SpatialGraph, q: VertexId, k: u32) -> Result<Self, SacError> {
+        if (q as usize) >= g.num_vertices() {
+            return Err(SacError::QueryVertexOutOfRange(q));
+        }
+        Ok(SearchContext {
+            g,
+            q,
+            k,
+            solver: KCoreSolver::new(g.num_vertices()),
+            circle_buf: Vec::new(),
+            subset_buf: Vec::new(),
+        })
+    }
+
+    /// Location of the query vertex.
+    pub fn q_pos(&self) -> Point {
+        self.g.position(self.q)
+    }
+
+    /// Distance from the query vertex to `v`.
+    #[allow(dead_code)]
+    pub fn dist_to_q(&self, v: VertexId) -> f64 {
+        self.g.position(v).distance(self.q_pos())
+    }
+
+    /// Returns the connected k-core containing `q` induced by the vertices inside
+    /// `circle`, optionally restricted to a universe bitmap (`universe[v] == true`
+    /// means `v` may participate).  `None` when no feasible community exists.
+    pub fn feasible_in_circle(
+        &mut self,
+        circle: &Circle,
+        universe: Option<&[bool]>,
+    ) -> Option<Vec<VertexId>> {
+        self.g.vertices_in_circle_into(circle, &mut self.circle_buf);
+        self.subset_buf.clear();
+        match universe {
+            Some(mask) => self
+                .subset_buf
+                .extend(self.circle_buf.iter().copied().filter(|&v| mask[v as usize])),
+            None => self.subset_buf.extend_from_slice(&self.circle_buf),
+        }
+        self.solver
+            .kcore_containing(self.g.graph(), &self.subset_buf, self.q, self.k)
+    }
+
+    /// Like [`SearchContext::feasible_in_circle`] but only reports existence.
+    #[allow(dead_code)]
+    pub fn is_feasible_in_circle(&mut self, circle: &Circle, universe: Option<&[bool]>) -> bool {
+        self.feasible_in_circle(circle, universe).is_some()
+    }
+}
+
+/// Builds a membership bitmap of size `n` for the given vertex list.
+pub(crate) fn membership_bitmap(n: usize, vertices: &[VertexId]) -> Vec<bool> {
+    let mut mask = vec![false; n];
+    for &v in vertices {
+        mask[v as usize] = true;
+    }
+    mask
+}
+
+/// Handles the trivial degree parameters the paper dispenses with up front
+/// (Section 4.1): for `k = 0` the query vertex alone is an optimal SAC, and for
+/// `k = 1` the optimal SAC is `q` together with its spatially nearest graph
+/// neighbour.  Returns `None` when `k >= 2` so the caller runs the full algorithm.
+pub(crate) fn trivial_small_k(
+    g: &SpatialGraph,
+    q: VertexId,
+    k: u32,
+) -> Option<Option<Community>> {
+    match k {
+        0 => Some(Some(Community::new(g, vec![q]))),
+        1 => {
+            let qp = g.position(q);
+            let nearest = g
+                .neighbors(q)
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    g.position(a)
+                        .distance(qp)
+                        .partial_cmp(&g.position(b).distance(qp))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+            Some(nearest.map(|v| Community::new(g, vec![q, v])))
+        }
+        _ => None,
+    }
+}
+
+/// The lower bound `l` of Eq. (1): the distance from `q` to its k-th nearest
+/// neighbour among `candidates ∩ nb(q)` (candidate list given as a bitmap).
+///
+/// Every feasible solution gives `q` at least `k` neighbours inside the solution's
+/// MCC, so the minimal q-centred radius δ is at least this value... the paper uses
+/// it as the binary-search lower bound.  Returns `None` when `q` has fewer than `k`
+/// eligible neighbours (in which case no feasible solution exists).
+pub(crate) fn knn_lower_bound(
+    g: &SpatialGraph,
+    q: VertexId,
+    k: u32,
+    candidate_mask: &[bool],
+) -> Option<f64> {
+    let qp = g.position(q);
+    let mut dists: Vec<f64> = g
+        .neighbors(q)
+        .iter()
+        .copied()
+        .filter(|&v| candidate_mask[v as usize])
+        .map(|v| g.position(v).distance(qp))
+        .collect();
+    if dists.len() < k as usize {
+        return None;
+    }
+    dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    Some(dists[k as usize - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{figure3, figure3_graph};
+
+    #[test]
+    fn context_validates_query_vertex() {
+        let g = figure3_graph();
+        assert!(SearchContext::new(&g, 0, 2).is_ok());
+        assert!(matches!(
+            SearchContext::new(&g, 42, 2),
+            Err(SacError::QueryVertexOutOfRange(42))
+        ));
+    }
+
+    #[test]
+    fn feasible_in_circle_finds_triangles() {
+        let g = figure3_graph();
+        let mut ctx = SearchContext::new(&g, figure3::Q, 2).unwrap();
+        // A large circle around Q covers the whole left 2-ĉore.
+        let big = Circle::new(ctx.q_pos(), 10.0);
+        let community = ctx.feasible_in_circle(&big, None).unwrap();
+        assert_eq!(community, vec![0, 1, 2, 3, 4, 5]);
+        // A tight circle around Q covers nothing feasible.
+        let tiny = Circle::new(ctx.q_pos(), 0.5);
+        assert!(ctx.feasible_in_circle(&tiny, None).is_none());
+        assert!(ctx.is_feasible_in_circle(&big, None));
+
+        // Restricting the universe to {Q, C, D} finds exactly that triangle.
+        let mask = membership_bitmap(g.num_vertices(), &[figure3::Q, figure3::C, figure3::D]);
+        let community = ctx.feasible_in_circle(&big, Some(&mask)).unwrap();
+        assert_eq!(community, vec![figure3::Q, figure3::C, figure3::D]);
+    }
+
+    #[test]
+    fn trivial_k_zero_and_one() {
+        let g = figure3_graph();
+        let zero = trivial_small_k(&g, figure3::Q, 0).unwrap().unwrap();
+        assert_eq!(zero.members(), &[figure3::Q]);
+        assert_eq!(zero.radius(), 0.0);
+
+        let one = trivial_small_k(&g, figure3::Q, 1).unwrap().unwrap();
+        assert_eq!(one.len(), 2);
+        assert!(one.contains(figure3::Q));
+        // The nearest neighbour of Q is B in the fixture coordinates.
+        assert!(one.contains(figure3::B));
+
+        // Isolated vertex with k = 1 has no community.
+        assert!(trivial_small_k(&g, figure3::I, 1).unwrap().is_some()); // I has a neighbour (H)
+        assert!(trivial_small_k(&g, figure3::Q, 2).is_none());
+    }
+
+    #[test]
+    fn knn_lower_bound_matches_sorted_distances() {
+        let g = figure3_graph();
+        let mask = vec![true; g.num_vertices()];
+        let l1 = knn_lower_bound(&g, figure3::Q, 1, &mask).unwrap();
+        let l2 = knn_lower_bound(&g, figure3::Q, 2, &mask).unwrap();
+        let l4 = knn_lower_bound(&g, figure3::Q, 4, &mask).unwrap();
+        assert!(l1 <= l2 && l2 <= l4);
+        // Q has 4 neighbours, so k = 5 is impossible.
+        assert!(knn_lower_bound(&g, figure3::Q, 5, &mask).is_none());
+        // Restricting the mask shrinks the candidate set.
+        let only_cd = membership_bitmap(g.num_vertices(), &[figure3::C, figure3::D]);
+        assert!(knn_lower_bound(&g, figure3::Q, 3, &only_cd).is_none());
+    }
+}

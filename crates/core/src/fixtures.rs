@@ -1,0 +1,137 @@
+//! The paper's running example (Figure 3) as a reusable fixture.
+//!
+//! The figure shows a geo-social network with ten vertices `Q, A, B, …, I`.
+//! Exact coordinates are not given in the paper, so this module uses a faithful
+//! *reconstruction* that preserves every qualitative property the paper derives
+//! from the example:
+//!
+//! * `{Q, A, B}`, `{Q, C, D}` and `{F, G, H}` are triangles; `E` is adjacent to
+//!   `C` and `D`; `I` is a pendant vertex attached to `H`.
+//! * The 2-core has two connected components (2-ĉores):
+//!   `{Q, A, B, C, D, E}` and `{F, G, H}`.
+//! * For the query `q = Q`, `k = 2`, the optimal SAC is `C1 = {Q, C, D}`: it has the
+//!   smallest MCC among all feasible solutions.
+//! * `A` and `B` are spatially **closer** to `Q` than `C` and `D`, so the
+//!   incremental `AppInc` algorithm returns `C2 = {Q, A, B}`, whose MCC is larger
+//!   than the optimum but within the 2-approximation bound — exactly the behaviour
+//!   Example 2 of the paper describes.
+//!
+//! Unit, integration and property tests across the workspace use this fixture as a
+//! ground-truth scenario; the `quickstart` example walks through it.
+
+use sac_geom::Point;
+use sac_graph::{GraphBuilder, SpatialGraph};
+
+/// Named vertex ids of the Figure 3 example.
+pub mod figure3 {
+    use sac_graph::VertexId;
+
+    /// Query vertex `Q`.
+    pub const Q: VertexId = 0;
+    /// Vertex `A`.
+    pub const A: VertexId = 1;
+    /// Vertex `B`.
+    pub const B: VertexId = 2;
+    /// Vertex `C`.
+    pub const C: VertexId = 3;
+    /// Vertex `D`.
+    pub const D: VertexId = 4;
+    /// Vertex `E`.
+    pub const E: VertexId = 5;
+    /// Vertex `F`.
+    pub const F: VertexId = 6;
+    /// Vertex `G`.
+    pub const G: VertexId = 7;
+    /// Vertex `H`.
+    pub const H: VertexId = 8;
+    /// Vertex `I`.
+    pub const I: VertexId = 9;
+}
+
+/// Builds the Figure 3 spatial graph.
+///
+/// See the module documentation for the properties this reconstruction preserves.
+pub fn figure3_graph() -> SpatialGraph {
+    use figure3::*;
+    let mut b = GraphBuilder::new();
+    // Left 2-ĉore: triangles {Q,A,B} and {Q,C,D}, with E hanging off C and D.
+    b.add_edges([(Q, A), (Q, B), (A, B), (Q, C), (Q, D), (C, D), (C, E), (D, E)]);
+    // Right 2-ĉore: triangle {F,G,H} with pendant I.
+    b.add_edges([(F, G), (G, H), (F, H), (H, I)]);
+
+    let positions = vec![
+        Point::new(3.0, 3.0),  // Q
+        Point::new(1.2, 2.2),  // A — close to Q, spread out from B
+        Point::new(4.8, 3.5),  // B — close to Q, opposite side from A
+        Point::new(4.0, 4.8),  // C — slightly farther from Q than A/B
+        Point::new(2.0, 4.8),  // D — slightly farther from Q than A/B
+        Point::new(3.0, 6.4),  // E — far above, attached to C and D
+        Point::new(6.5, 2.0),  // F
+        Point::new(7.5, 2.2),  // G
+        Point::new(7.0, 3.4),  // H
+        Point::new(8.2, 4.6),  // I
+    ];
+    SpatialGraph::new(b.build(), positions).expect("fixture graph is well formed")
+}
+
+/// The optimal SAC for the Figure 3 example with `q = Q`, `k = 2`: the member set
+/// `C1 = {Q, C, D}`.
+pub fn figure3_optimal_members() -> Vec<sac_graph::VertexId> {
+    vec![figure3::Q, figure3::C, figure3::D]
+}
+
+/// The community `C2 = {Q, A, B}` that `AppInc` returns on the Figure 3 example
+/// (Example 2 of the paper).
+pub fn figure3_appinc_members() -> Vec<sac_graph::VertexId> {
+    vec![figure3::Q, figure3::A, figure3::B]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_geom::minimum_enclosing_circle;
+    use sac_graph::{connected_kcore, core_decomposition};
+
+    #[test]
+    fn fixture_matches_figure3_topology() {
+        let sg = figure3_graph();
+        assert_eq!(sg.num_vertices(), 10);
+        assert_eq!(sg.num_edges(), 12);
+
+        let decomp = core_decomposition(sg.graph());
+        // 2-core components: {Q,A,B,C,D,E} and {F,G,H}; I has core number 1.
+        assert_eq!(
+            connected_kcore(sg.graph(), figure3::Q, 2).unwrap(),
+            vec![0, 1, 2, 3, 4, 5]
+        );
+        assert_eq!(
+            connected_kcore(sg.graph(), figure3::F, 2).unwrap(),
+            vec![6, 7, 8]
+        );
+        assert_eq!(decomp.core_number(figure3::I), 1);
+    }
+
+    #[test]
+    fn c1_is_spatially_tighter_than_c2() {
+        let sg = figure3_graph();
+        let c1 = minimum_enclosing_circle(&sg.positions_of(&figure3_optimal_members())).unwrap();
+        let c2 = minimum_enclosing_circle(&sg.positions_of(&figure3_appinc_members())).unwrap();
+        assert!(
+            c1.radius < c2.radius,
+            "C1 must be the tighter community: {} vs {}",
+            c1.radius,
+            c2.radius
+        );
+    }
+
+    #[test]
+    fn a_and_b_are_closer_to_q_than_c_and_d() {
+        let sg = figure3_graph();
+        let dq = |v| sg.distance(figure3::Q, v);
+        assert!(dq(figure3::A) < dq(figure3::C));
+        assert!(dq(figure3::A) < dq(figure3::D));
+        assert!(dq(figure3::B) < dq(figure3::C));
+        assert!(dq(figure3::B) < dq(figure3::D));
+        assert!(dq(figure3::E) > dq(figure3::C));
+    }
+}

@@ -1,0 +1,173 @@
+//! Community-quality metrics used throughout the paper's evaluation (Section 5).
+//!
+//! * [`community_radius`] and [`average_pairwise_distance`] (`radius`, `distPr`) —
+//!   the spatial-cohesiveness metrics of Figure 10;
+//! * [`average_degree_within`] — the structure-cohesiveness check used to compare
+//!   against `GeoModu` and the range-only communities;
+//! * [`community_jaccard_similarity`] (CJS, Eq. 9) and [`community_area_overlap`]
+//!   (CAO, Eq. 10) — the dynamic-graph metrics of Figure 13;
+//! * [`approximation_ratio`] — the measured ratio plotted in Figure 9.
+
+use sac_geom::{minimum_enclosing_circle, Circle};
+use sac_graph::{SpatialGraph, VertexId, VertexSet};
+
+/// Radius of the minimum covering circle of the given community members.
+///
+/// Returns 0.0 for an empty member list.
+pub fn community_radius(g: &SpatialGraph, members: &[VertexId]) -> f64 {
+    if members.is_empty() {
+        return 0.0;
+    }
+    minimum_enclosing_circle(&g.positions_of(members))
+        .map(|c| c.radius)
+        .unwrap_or(0.0)
+}
+
+/// The MCC itself (centre and radius) of the given community members, or `None`
+/// for an empty member list.
+pub fn community_mcc(g: &SpatialGraph, members: &[VertexId]) -> Option<Circle> {
+    if members.is_empty() {
+        return None;
+    }
+    minimum_enclosing_circle(&g.positions_of(members)).ok()
+}
+
+/// `distPr`: the average pairwise Euclidean distance between community members.
+///
+/// Returns 0.0 when the community has fewer than two members.
+pub fn average_pairwise_distance(g: &SpatialGraph, members: &[VertexId]) -> f64 {
+    let n = members.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for i in 0..n {
+        let pi = g.position(members[i]);
+        for j in (i + 1)..n {
+            sum += pi.distance(g.position(members[j]));
+        }
+    }
+    sum / (n * (n - 1) / 2) as f64
+}
+
+/// Average degree of community members *within* the community (structure
+/// cohesiveness).  Returns 0.0 for an empty member list.
+pub fn average_degree_within(g: &SpatialGraph, members: &[VertexId]) -> f64 {
+    if members.is_empty() {
+        return 0.0;
+    }
+    let set = VertexSet::from_vec(members.to_vec());
+    let total: usize = set
+        .iter()
+        .map(|v| {
+            g.neighbors(v)
+                .iter()
+                .filter(|&&u| set.contains(u))
+                .count()
+        })
+        .sum();
+    total as f64 / set.len() as f64
+}
+
+/// Minimum degree of community members within the community, or `None` for an empty
+/// member list.  A valid SAC has minimum degree ≥ k.
+pub fn min_degree_within(g: &SpatialGraph, members: &[VertexId]) -> Option<usize> {
+    sac_graph::min_degree_in_subset(g.graph(), members)
+}
+
+/// Community Jaccard Similarity (CJS, Eq. 9): the Jaccard similarity of two
+/// communities' member sets.  Both empty ⇒ 1.0.
+pub fn community_jaccard_similarity(a: &[VertexId], b: &[VertexId]) -> f64 {
+    let sa = VertexSet::from_vec(a.to_vec());
+    let sb = VertexSet::from_vec(b.to_vec());
+    sa.jaccard(&sb)
+}
+
+/// Community Area Overlap (CAO, Eq. 10): the area of the intersection of the two
+/// communities' MCCs divided by the area of their union.
+///
+/// Returns `None` when either community is empty.
+pub fn community_area_overlap(
+    g: &SpatialGraph,
+    a: &[VertexId],
+    b: &[VertexId],
+) -> Option<f64> {
+    let ca = community_mcc(g, a)?;
+    let cb = community_mcc(g, b)?;
+    Some(ca.area_jaccard(&cb))
+}
+
+/// Measured approximation ratio: the radius of an approximate community's MCC over
+/// the radius of the optimal community's MCC.
+///
+/// When the optimal radius is (numerically) zero the ratio is defined as 1.0 if the
+/// approximate radius is also zero and +∞ otherwise.
+pub fn approximation_ratio(approx_radius: f64, optimal_radius: f64) -> f64 {
+    if optimal_radius <= f64::EPSILON {
+        if approx_radius <= f64::EPSILON {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        approx_radius / optimal_radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{figure3, figure3_graph};
+
+    #[test]
+    fn radius_and_distpr_of_known_triangles() {
+        let g = figure3_graph();
+        let c1 = [figure3::Q, figure3::C, figure3::D];
+        let c2 = [figure3::Q, figure3::A, figure3::B];
+        assert!(community_radius(&g, &c1) < community_radius(&g, &c2));
+        assert!(average_pairwise_distance(&g, &c1) < average_pairwise_distance(&g, &c2));
+        assert_eq!(community_radius(&g, &[]), 0.0);
+        assert_eq!(average_pairwise_distance(&g, &[figure3::Q]), 0.0);
+        assert!(community_mcc(&g, &[]).is_none());
+    }
+
+    #[test]
+    fn degree_metrics() {
+        let g = figure3_graph();
+        let triangle = [figure3::Q, figure3::A, figure3::B];
+        assert!((average_degree_within(&g, &triangle) - 2.0).abs() < 1e-12);
+        assert_eq!(min_degree_within(&g, &triangle), Some(2));
+        // Q, A, C: A and C only touch Q inside the set.
+        let loose = [figure3::Q, figure3::A, figure3::C];
+        assert!(average_degree_within(&g, &loose) < 2.0);
+        assert_eq!(min_degree_within(&g, &loose), Some(1));
+        assert_eq!(average_degree_within(&g, &[]), 0.0);
+        assert_eq!(min_degree_within(&g, &[]), None);
+    }
+
+    #[test]
+    fn cjs_and_cao() {
+        let g = figure3_graph();
+        let a = [figure3::Q, figure3::C, figure3::D];
+        let b = [figure3::Q, figure3::A, figure3::B];
+        let same = community_jaccard_similarity(&a, &a);
+        assert!((same - 1.0).abs() < 1e-12);
+        let overlap = community_jaccard_similarity(&a, &b);
+        assert!((overlap - 0.2).abs() < 1e-12, "|{{Q}}| / |{{Q,A,B,C,D}}| = 0.2");
+
+        let cao_same = community_area_overlap(&g, &a, &a).unwrap();
+        assert!((cao_same - 1.0).abs() < 1e-9);
+        let cao_diff = community_area_overlap(&g, &a, &b).unwrap();
+        assert!((0.0..=1.0).contains(&cao_diff));
+        assert!(cao_diff < 1.0);
+        assert!(community_area_overlap(&g, &[], &a).is_none());
+    }
+
+    #[test]
+    fn approximation_ratio_edge_cases() {
+        assert_eq!(approximation_ratio(2.0, 1.0), 2.0);
+        assert_eq!(approximation_ratio(0.0, 0.0), 1.0);
+        assert_eq!(approximation_ratio(1.0, 0.0), f64::INFINITY);
+        assert!((approximation_ratio(1.5, 1.5) - 1.0).abs() < 1e-12);
+    }
+}

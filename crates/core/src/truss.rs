@@ -1,0 +1,201 @@
+//! Truss-based SAC search — the structure-cohesiveness extension the paper sketches
+//! in Section 3 ("our solutions can be easily adapted to other structure
+//! cohesiveness criteria like k-truss").
+//!
+//! A *truss-SAC* is a connected subgraph containing the query vertex in which every
+//! edge participates in at least `k − 2` triangles, located in a minimum covering
+//! circle of small radius.  The binary-search framework of `AppFast` carries over
+//! unchanged: the same Lemma 3/5 arguments only require that feasibility be
+//! monotone in the candidate set, which holds for k-trusses exactly as it does for
+//! k-cores.
+
+use crate::common::trivial_small_k;
+use crate::{Community, SacError};
+use sac_geom::Circle;
+use sac_graph::{connected_ktruss, ktruss_in_subset, SpatialGraph, VertexId};
+
+/// The truss analogue of the `Global` baseline: the connected k-truss of the whole
+/// graph containing `q`, ignoring locations.
+pub fn global_truss(
+    g: &SpatialGraph,
+    q: VertexId,
+    k: u32,
+) -> Result<Option<Community>, SacError> {
+    if (q as usize) >= g.num_vertices() {
+        return Err(SacError::QueryVertexOutOfRange(q));
+    }
+    if k <= 2 {
+        // Degenerate truss: fall back to the minimum-degree trivial handling.
+        if let Some(t) = trivial_small_k(g, q, k.min(1)) {
+            return Ok(t);
+        }
+    }
+    Ok(connected_ktruss(g.graph(), q, k).map(|members| Community::new(g, members)))
+}
+
+/// Truss-based `AppFast`: a `(2 + εF)`-approximate spatial-aware community under
+/// the k-truss structure-cohesiveness criterion.
+///
+/// Mirrors Algorithm 3: the candidate set is the connected k-truss `X` containing
+/// `q`; a binary search over the q-centred radius finds (approximately) the
+/// smallest circle whose enclosed `X`-vertices still contain a connected k-truss
+/// with `q`.
+///
+/// Returns `Ok(None)` when `q` is not part of any k-truss.
+pub fn app_fast_truss(
+    g: &SpatialGraph,
+    q: VertexId,
+    k: u32,
+    eps_f: f64,
+) -> Result<Option<Community>, SacError> {
+    if !eps_f.is_finite() || eps_f < 0.0 {
+        return Err(SacError::InvalidParameter {
+            name: "eps_f",
+            message: format!("must be a finite non-negative number, got {eps_f}"),
+        });
+    }
+    if (q as usize) >= g.num_vertices() {
+        return Err(SacError::QueryVertexOutOfRange(q));
+    }
+    if k <= 2 {
+        if let Some(t) = trivial_small_k(g, q, k.min(1)) {
+            return Ok(t);
+        }
+    }
+
+    let x = match connected_ktruss(g.graph(), q, k) {
+        Some(x) => x,
+        None => return Ok(None),
+    };
+    let q_pos = g.position(q);
+    let mut in_x = vec![false; g.num_vertices()];
+    for &v in &x {
+        in_x[v as usize] = true;
+    }
+
+    // Bounds: q needs at least k − 1 truss neighbours inside the circle, so the
+    // (k − 1)-th nearest X-neighbour distance is a lower bound on δ; the farthest
+    // X-vertex is an upper bound.
+    let mut neighbour_dists: Vec<f64> = g
+        .neighbors(q)
+        .iter()
+        .copied()
+        .filter(|&v| in_x[v as usize])
+        .map(|v| g.position(v).distance(q_pos))
+        .collect();
+    if neighbour_dists.len() + 1 < k as usize {
+        return Ok(None);
+    }
+    neighbour_dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mut l = neighbour_dists[(k as usize).saturating_sub(2)];
+    let mut u = x
+        .iter()
+        .map(|&v| g.position(v).distance(q_pos))
+        .fold(0.0f64, f64::max);
+
+    let mut best = x.clone();
+    let mut iterations = 0usize;
+    let max_iterations = x.len() + 64;
+    let mut circle_buf: Vec<VertexId> = Vec::new();
+
+    while u > l && iterations < max_iterations {
+        iterations += 1;
+        let r = 0.5 * (l + u);
+        let alpha = if eps_f > 0.0 { r * eps_f / (2.0 + eps_f) } else { 0.0 };
+        g.vertices_in_circle_into(&Circle::new(q_pos, r), &mut circle_buf);
+        let candidates: Vec<VertexId> = circle_buf
+            .iter()
+            .copied()
+            .filter(|&v| in_x[v as usize])
+            .collect();
+        match ktruss_in_subset(g.graph(), &candidates, q, k) {
+            Some(members) => {
+                let far = members
+                    .iter()
+                    .map(|&v| g.position(v).distance(q_pos))
+                    .fold(0.0f64, f64::max);
+                best = members;
+                if r - l <= alpha {
+                    break;
+                }
+                u = far;
+            }
+            None => {
+                if u - r <= alpha {
+                    break;
+                }
+                let next = x
+                    .iter()
+                    .map(|&v| g.position(v).distance(q_pos))
+                    .filter(|&d| d > r)
+                    .fold(f64::INFINITY, f64::min);
+                if !next.is_finite() {
+                    break;
+                }
+                l = next;
+            }
+        }
+    }
+    Ok(Some(Community::new(g, best)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{figure3, figure3_graph};
+    use sac_graph::is_connected_subset;
+
+    #[test]
+    fn truss_sac_on_the_paper_example() {
+        let g = figure3_graph();
+        // With k = 3 (every edge in at least one triangle), the tightest community
+        // around Q is one of its triangles; the global 3-truss is the whole left
+        // 2-ĉore {Q, A, B, C, D, E} (E forms the triangle C–D–E).
+        let global = global_truss(&g, figure3::Q, 3).unwrap().unwrap();
+        assert_eq!(global.members(), &[0, 1, 2, 3, 4, 5]);
+
+        let sac = app_fast_truss(&g, figure3::Q, 3, 0.0).unwrap().unwrap();
+        assert!(sac.len() >= 3);
+        assert!(sac.contains(figure3::Q));
+        assert!(sac.radius() <= global.radius() + 1e-9);
+        assert!(is_connected_subset(g.graph(), sac.members()));
+    }
+
+    #[test]
+    fn truss_sac_is_spatially_tighter_than_global_truss() {
+        let g = figure3_graph();
+        let global = global_truss(&g, figure3::Q, 3).unwrap().unwrap();
+        let sac = app_fast_truss(&g, figure3::Q, 3, 0.5).unwrap().unwrap();
+        assert!(sac.radius() <= global.radius() + 1e-9);
+        // The tightest triangle containing Q is {Q, C, D} in the fixture, whose
+        // radius is well below the global truss's.
+        assert!(sac.radius() < global.radius());
+    }
+
+    #[test]
+    fn infeasible_and_invalid_inputs() {
+        let g = figure3_graph();
+        // I is not in any triangle.
+        assert!(global_truss(&g, figure3::I, 3).unwrap().is_none());
+        assert!(app_fast_truss(&g, figure3::I, 3, 0.5).unwrap().is_none());
+        // k = 5 truss would need every edge in 3 triangles — impossible here.
+        assert!(app_fast_truss(&g, figure3::Q, 5, 0.5).unwrap().is_none());
+        assert!(app_fast_truss(&g, 77, 3, 0.5).is_err());
+        assert!(app_fast_truss(&g, figure3::Q, 3, -0.5).is_err());
+    }
+
+    #[test]
+    fn degenerate_small_k() {
+        let g = figure3_graph();
+        // k <= 2: degenerate truss, behaves like the trivial minimum-degree cases.
+        assert_eq!(global_truss(&g, figure3::Q, 1).unwrap().unwrap().len(), 2);
+        assert_eq!(app_fast_truss(&g, figure3::Q, 2, 0.5).unwrap().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn right_component_truss() {
+        let g = figure3_graph();
+        let sac = app_fast_truss(&g, figure3::G, 3, 0.0).unwrap().unwrap();
+        assert_eq!(sac.members(), &[figure3::F, figure3::G, figure3::H]);
+    }
+}

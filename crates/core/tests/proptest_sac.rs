@@ -1,0 +1,139 @@
+//! Property-based tests of the SAC search algorithms on random spatial graphs.
+//!
+//! Every algorithm is checked against the properties the paper proves:
+//!
+//! * every returned community is connected, contains `q`, and has minimum internal
+//!   degree ≥ k (Problem 1, properties 1–2);
+//! * `Exact+` matches the optimum computed by the brute-force `Exact`;
+//! * the measured approximation ratios respect the theoretical bounds of Table 3
+//!   (`AppInc` ≤ 2, `AppFast` ≤ 2 + εF, `AppAcc` ≤ 1 + εA);
+//! * whenever one algorithm finds a community, they all do (feasibility is a
+//!   property of `(G, q, k)` alone).
+
+use proptest::prelude::*;
+use sac_core::{app_acc, app_fast, app_inc, exact, exact_plus, theta_sac};
+use sac_geom::Point;
+use sac_graph::{
+    is_connected_subset, min_degree_in_subset, GraphBuilder, SpatialGraph, VertexId,
+};
+
+/// A random small spatial graph: `n` vertices in the unit square, random edges.
+fn arb_spatial_graph() -> impl Strategy<Value = SpatialGraph> {
+    (5usize..18)
+        .prop_flat_map(|n| {
+            let edges = proptest::collection::vec((0..n as u32, 0..n as u32), n..(n * 4));
+            let coords = proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), n);
+            (Just(n), edges, coords)
+        })
+        .prop_map(|(n, edges, coords)| {
+            let mut b = GraphBuilder::new();
+            b.ensure_vertex(n as u32 - 1);
+            b.add_edges(edges);
+            let positions: Vec<Point> = coords.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            SpatialGraph::new(b.build(), positions).expect("valid random graph")
+        })
+}
+
+fn check_validity(g: &SpatialGraph, q: VertexId, k: u32, members: &[VertexId]) {
+    assert!(members.contains(&q), "community must contain q");
+    assert!(is_connected_subset(g.graph(), members), "community must be connected");
+    assert!(
+        min_degree_in_subset(g.graph(), members).unwrap() >= k as usize,
+        "community must have min degree >= k"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All algorithms agree on feasibility and return structurally valid
+    /// communities; approximation ratios respect their theoretical bounds.
+    #[test]
+    fn algorithms_agree_and_respect_bounds(g in arb_spatial_graph(), q_raw in 0u32..18, k in 2u32..4) {
+        let q = q_raw % g.num_vertices() as u32;
+
+        let optimal = exact(&g, q, k).unwrap();
+        let plus = exact_plus(&g, q, k, 1e-3).unwrap();
+        let inc = app_inc(&g, q, k).unwrap();
+        let fast0 = app_fast(&g, q, k, 0.0).unwrap();
+        let fast5 = app_fast(&g, q, k, 0.5).unwrap();
+        let acc = app_acc(&g, q, k, 0.5).unwrap();
+
+        // Feasibility is a property of (G, q, k): either all find a community or none.
+        let feasible = optimal.is_some();
+        prop_assert_eq!(plus.is_some(), feasible);
+        prop_assert_eq!(inc.is_some(), feasible);
+        prop_assert_eq!(fast0.is_some(), feasible);
+        prop_assert_eq!(fast5.is_some(), feasible);
+        prop_assert_eq!(acc.is_some(), feasible);
+        if !feasible {
+            return Ok(());
+        }
+
+        let optimal = optimal.unwrap();
+        let plus = plus.unwrap();
+        let inc = inc.unwrap();
+        let fast0 = fast0.unwrap();
+        let fast5 = fast5.unwrap();
+        let acc = acc.unwrap();
+
+        // Structural validity of every result.
+        check_validity(&g, q, k, optimal.members());
+        check_validity(&g, q, k, plus.members());
+        check_validity(&g, q, k, inc.community.members());
+        check_validity(&g, q, k, fast0.community.members());
+        check_validity(&g, q, k, fast5.community.members());
+        check_validity(&g, q, k, acc.members());
+
+        let r_opt = optimal.radius();
+        // Exact+ is exact.
+        prop_assert!((plus.radius() - r_opt).abs() < 1e-6,
+            "Exact+ radius {} differs from Exact radius {}", plus.radius(), r_opt);
+        // No algorithm can beat the optimum.
+        let tol = 1e-9 * (1.0 + r_opt);
+        prop_assert!(inc.gamma + tol >= r_opt);
+        prop_assert!(fast0.gamma + tol >= r_opt);
+        prop_assert!(fast5.gamma + tol >= r_opt);
+        prop_assert!(acc.radius() + tol >= r_opt);
+        // Approximation bounds (Table 3).
+        if r_opt > 1e-12 {
+            prop_assert!(inc.gamma / r_opt <= 2.0 + 1e-6, "AppInc ratio {}", inc.gamma / r_opt);
+            prop_assert!(fast0.gamma / r_opt <= 2.0 + 1e-6, "AppFast(0) ratio {}", fast0.gamma / r_opt);
+            prop_assert!(fast5.gamma / r_opt <= 2.5 + 1e-6, "AppFast(0.5) ratio {}", fast5.gamma / r_opt);
+            prop_assert!(acc.radius() / r_opt <= 1.5 + 1e-6, "AppAcc(0.5) ratio {}", acc.radius() / r_opt);
+        }
+    }
+
+    /// θ-SAC with θ large enough to cover the whole graph agrees with Global-style
+    /// feasibility, and its result is valid; with θ = 0 it finds nothing for k ≥ 2.
+    #[test]
+    fn theta_sac_extremes(g in arb_spatial_graph(), q_raw in 0u32..18, k in 2u32..4) {
+        let q = q_raw % g.num_vertices() as u32;
+        let huge = theta_sac(&g, q, k, 10.0).unwrap();
+        let feasible = exact(&g, q, k).unwrap().is_some();
+        prop_assert_eq!(huge.is_some(), feasible);
+        if let Some(c) = huge {
+            check_validity(&g, q, k, c.members());
+        }
+        prop_assert!(theta_sac(&g, q, k, 0.0).unwrap().is_none());
+    }
+
+    /// The AppFast community radius is monotonically non-decreasing in εF only in
+    /// the bound, not necessarily in the measured value — but the measured radius is
+    /// always sandwiched between the optimum and the bound.
+    #[test]
+    fn app_fast_eps_sweep(g in arb_spatial_graph(), q_raw in 0u32..18) {
+        let q = q_raw % g.num_vertices() as u32;
+        let k = 2;
+        if let Some(optimal) = exact(&g, q, k).unwrap() {
+            let r_opt = optimal.radius();
+            for eps in [0.0, 0.5, 1.0, 2.0] {
+                let out = app_fast(&g, q, k, eps).unwrap().unwrap();
+                prop_assert!(out.gamma + 1e-9 >= r_opt);
+                if r_opt > 1e-12 {
+                    prop_assert!(out.gamma / r_opt <= 2.0 + eps + 1e-6);
+                }
+            }
+        }
+    }
+}

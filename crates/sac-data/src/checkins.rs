@@ -1,0 +1,232 @@
+//! Synthetic check-in streams for the dynamic-location experiment (Section 5.2.3).
+//!
+//! Brightkite-style geo-social services record timestamped *check-ins*: the user's
+//! position at a moment in time.  The paper replays such a stream, updating each
+//! user's location to her latest check-in, and re-runs SAC search for a set of
+//! highly mobile query users to measure how their communities drift (Figure 13).
+//!
+//! This module synthesises an equivalent stream: every user has a *home region*
+//! and performs a bounded random walk around it, with occasional long-distance
+//! relocations (travel), which is what produces the community churn the experiment
+//! measures.
+
+use crate::NormalSampler;
+use rand::Rng;
+use sac_geom::Point;
+use sac_graph::{SpatialGraph, VertexId};
+
+/// One check-in record: a user reporting a position at a timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Checkin {
+    /// The user (vertex) checking in.
+    pub user: VertexId,
+    /// Timestamp in days since the start of the stream.
+    pub time_days: f64,
+    /// The reported position.
+    pub position: Point,
+}
+
+/// A chronologically sorted check-in stream.
+#[derive(Debug, Clone, Default)]
+pub struct CheckinStream {
+    records: Vec<Checkin>,
+}
+
+impl CheckinStream {
+    /// The records, ordered by ascending timestamp.
+    pub fn records(&self) -> &[Checkin] {
+        &self.records
+    }
+
+    /// Number of check-ins in the stream.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` when the stream holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total time span covered by the stream, in days.
+    pub fn span_days(&self) -> f64 {
+        match (self.records.first(), self.records.last()) {
+            (Some(first), Some(last)) => last.time_days - first.time_days,
+            _ => 0.0,
+        }
+    }
+
+    /// Check-ins of a single user, in chronological order.
+    pub fn of_user(&self, user: VertexId) -> Vec<Checkin> {
+        self.records.iter().copied().filter(|c| c.user == user).collect()
+    }
+
+    /// Total travel distance of a user: the sum of distances between her
+    /// consecutive check-ins.  The paper uses this to select its 100 most mobile
+    /// query users.
+    pub fn travel_distance(&self, user: VertexId) -> f64 {
+        let mine = self.of_user(user);
+        mine.windows(2)
+            .map(|w| w[0].position.distance(w[1].position))
+            .sum()
+    }
+
+    /// The users with the largest total travel distance, most mobile first.
+    pub fn most_mobile_users(&self, count: usize) -> Vec<VertexId> {
+        use std::collections::HashMap;
+        let mut travelled: HashMap<VertexId, (Point, f64)> = HashMap::new();
+        for c in &self.records {
+            travelled
+                .entry(c.user)
+                .and_modify(|(last, total)| {
+                    *total += last.distance(c.position);
+                    *last = c.position;
+                })
+                .or_insert((c.position, 0.0));
+        }
+        let mut ranked: Vec<(VertexId, f64)> =
+            travelled.into_iter().map(|(u, (_, d))| (u, d)).collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        ranked.into_iter().take(count).map(|(u, _)| u).collect()
+    }
+}
+
+/// Generator of synthetic check-in streams.
+#[derive(Debug, Clone)]
+pub struct CheckinGenerator {
+    /// Number of check-ins per user (on average).
+    pub checkins_per_user: usize,
+    /// Length of the simulated period in days.
+    pub duration_days: f64,
+    /// Standard deviation of the local random walk around the home position.
+    pub local_mobility: f64,
+    /// Probability that a check-in is a long-distance relocation rather than a
+    /// local move.
+    pub travel_probability: f64,
+}
+
+impl Default for CheckinGenerator {
+    fn default() -> Self {
+        CheckinGenerator {
+            checkins_per_user: 20,
+            duration_days: 30.0,
+            local_mobility: 0.02,
+            travel_probability: 0.08,
+        }
+    }
+}
+
+impl CheckinGenerator {
+    /// A generator with the default mobility model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Generates a stream for every user of `graph`, starting from the graph's
+    /// static positions (which play the role of the users' home locations).
+    pub fn generate<R: Rng + ?Sized>(&self, graph: &SpatialGraph, rng: &mut R) -> CheckinStream {
+        let mut records = Vec::with_capacity(graph.num_vertices() * self.checkins_per_user);
+        let mut local = NormalSampler::new(0.0, self.local_mobility);
+        for user in 0..graph.num_vertices() as VertexId {
+            let home = graph.position(user);
+            let mut current = home;
+            // Jitter the per-user check-in count ±50% so activity levels differ.
+            let count = ((self.checkins_per_user as f64)
+                * rng.gen_range(0.5..1.5))
+            .round()
+            .max(1.0) as usize;
+            for _ in 0..count {
+                let time_days = rng.gen_range(0.0..self.duration_days);
+                if rng.gen_bool(self.travel_probability) {
+                    // Travel: relocate to a fresh uniformly random position.
+                    current = Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
+                } else {
+                    // Local move around the current position.
+                    current = Point::new(
+                        current.x + local.sample(rng),
+                        current.y + local.sample(rng),
+                    )
+                    .clamp(0.0, 1.0);
+                }
+                records.push(Checkin { user, time_days, position: current });
+            }
+        }
+        records.sort_by(|a, b| {
+            a.time_days
+                .partial_cmp(&b.time_days)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        CheckinStream { records }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetKind, DatasetSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn stream() -> (SpatialGraph, CheckinStream) {
+        let g = DatasetSpec::scaled(DatasetKind::Brightkite, 0.01).generate();
+        let s = CheckinGenerator::new().generate(&g, &mut StdRng::seed_from_u64(13));
+        (g, s)
+    }
+
+    #[test]
+    fn stream_is_sorted_and_covers_all_users() {
+        let (g, s) = stream();
+        assert!(!s.is_empty());
+        assert!(s.records().windows(2).all(|w| w[0].time_days <= w[1].time_days));
+        assert!(s.span_days() <= 30.0);
+        // Every user appears at least once.
+        let mut seen = vec![false; g.num_vertices()];
+        for c in s.records() {
+            seen[c.user as usize] = true;
+            assert!((0.0..=1.0).contains(&c.position.x));
+            assert!((0.0..=1.0).contains(&c.position.y));
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn per_user_queries() {
+        let (_, s) = stream();
+        let user = s.records()[0].user;
+        let mine = s.of_user(user);
+        assert!(!mine.is_empty());
+        assert!(mine.windows(2).all(|w| w[0].time_days <= w[1].time_days));
+        assert!(s.travel_distance(user) >= 0.0);
+    }
+
+    #[test]
+    fn most_mobile_users_are_ranked_by_travel() {
+        let (_, s) = stream();
+        let top = s.most_mobile_users(10);
+        assert_eq!(top.len(), 10);
+        let d0 = s.travel_distance(top[0]);
+        let d9 = s.travel_distance(top[9]);
+        assert!(d0 >= d9);
+        // The most mobile user travels a non-trivial distance thanks to the travel
+        // probability in the mobility model.
+        assert!(d0 > 0.1);
+    }
+
+    #[test]
+    fn empty_stream_behaviour() {
+        let s = CheckinStream::default();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.span_days(), 0.0);
+        assert!(s.most_mobile_users(5).is_empty());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = DatasetSpec::scaled(DatasetKind::Brightkite, 0.01).generate();
+        let a = CheckinGenerator::new().generate(&g, &mut StdRng::seed_from_u64(2));
+        let b = CheckinGenerator::new().generate(&g, &mut StdRng::seed_from_u64(2));
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.records()[10], b.records()[10]);
+    }
+}

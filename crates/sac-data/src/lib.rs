@@ -1,0 +1,51 @@
+//! # sac-data
+//!
+//! Synthetic spatial-graph datasets and workload generators for the SAC search
+//! experiments.
+//!
+//! The paper evaluates on four real geo-social networks (Brightkite, Gowalla,
+//! Flickr, Foursquare) and two synthetic graphs produced by GTGraph (Syn1, Syn2).
+//! The real datasets are not redistributable with this repository, so this crate
+//! builds **surrogates** that preserve the properties the SAC algorithms are
+//! sensitive to — power-law degree distributions, the average degrees of Table 4
+//! and spatially correlated vertex locations — using exactly the location model the
+//! paper itself uses for its synthetic data (neighbour offsets drawn from a normal
+//! distribution with µ = 0.09 and σ = 0.16, locations normalised to the unit
+//! square).  Real SNAP dumps can still be loaded through [`sac_graph::io`] and fed
+//! to the same experiment harness.
+//!
+//! Components:
+//!
+//! * [`PowerLawGenerator`] — preferential-attachment graph generator with a target
+//!   average degree (GTGraph-like degree distributions);
+//! * [`SpatialPlacer`] — the paper's location model: a BFS-ordered placement where
+//!   each vertex is dropped near its already-placed neighbours;
+//! * [`DatasetSpec`] / [`presets`] — Table 4 dataset presets with a scale knob;
+//! * [`CheckinGenerator`] — timestamped check-in streams with user mobility for the
+//!   dynamic experiment of Section 5.2.3 (Figure 13);
+//! * [`sample_vertices`] / [`select_query_vertices`] — the n%-scalability sampler
+//!   and the core-number-≥ 4 query-vertex selection used throughout Section 5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checkins;
+mod normal;
+mod powerlaw;
+mod presets;
+mod sampler;
+mod spatial_place;
+
+pub use checkins::{Checkin, CheckinGenerator, CheckinStream};
+pub use normal::NormalSampler;
+pub use powerlaw::PowerLawGenerator;
+pub use presets::{presets, DatasetKind, DatasetSpec};
+pub use sampler::{induced_subgraph_by_vertices, sample_vertices, select_query_vertices};
+pub use spatial_place::SpatialPlacer;
+
+/// Mean of the neighbour-offset distance distribution (derived from the Brightkite
+/// dataset, per Section 5.1 of the paper).
+pub const DEFAULT_PLACEMENT_MU: f64 = 0.09;
+
+/// Standard deviation of the neighbour-offset distance distribution (Section 5.1).
+pub const DEFAULT_PLACEMENT_SIGMA: f64 = 0.16;

@@ -1,0 +1,93 @@
+//! Normal-distribution sampling via the Box–Muller transform.
+//!
+//! The `rand` crate's default feature set only ships uniform distributions; the
+//! location model of the paper needs Gaussian offsets, so we implement the
+//! polar-rejection Box–Muller method here (two uniforms per pair of normals).
+
+use rand::Rng;
+
+/// A sampler for the normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone)]
+pub struct NormalSampler {
+    mean: f64,
+    std_dev: f64,
+    /// Cached second variate of the most recent Box–Muller pair.
+    spare: Option<f64>,
+}
+
+impl NormalSampler {
+    /// Creates a sampler with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `std_dev` is negative or either parameter is not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(std_dev >= 0.0 && std_dev.is_finite() && mean.is_finite(),
+            "invalid normal parameters: mean={mean}, std_dev={std_dev}");
+        NormalSampler { mean, std_dev, spare: None }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return self.mean + self.std_dev * z;
+        }
+        // Marsaglia polar method.
+        loop {
+            let u: f64 = rng.gen_range(-1.0..1.0);
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * factor);
+                return self.mean + self.std_dev * (u * factor);
+            }
+        }
+    }
+
+    /// The configured mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The configured standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_statistics_match_parameters() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sampler = NormalSampler::new(0.09, 0.16);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| sampler.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 0.09).abs() < 0.005, "sample mean {mean}");
+        assert!((var.sqrt() - 0.16).abs() < 0.005, "sample std dev {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_std_dev_returns_the_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sampler = NormalSampler::new(2.5, 0.0);
+        for _ in 0..10 {
+            assert_eq!(sampler.sample(&mut rng), 2.5);
+        }
+        assert_eq!(sampler.mean(), 2.5);
+        assert_eq!(sampler.std_dev(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid normal parameters")]
+    fn negative_std_dev_panics() {
+        let _ = NormalSampler::new(0.0, -1.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Power-law (preferential-attachment) graph generation.
+//!
+//! The paper generates its synthetic graphs with GTGraph using default parameters,
+//! which produce power-law degree distributions typical of social networks.  This
+//! module provides an equivalent generator: a Barabási–Albert-style preferential
+//! attachment process with a configurable number of edges per new vertex, so that
+//! the resulting average degree matches the target (e.g. `d̂ = 20` for Syn1/Syn2,
+//! or the Table 4 averages for the real-dataset surrogates).
+
+use rand::Rng;
+use sac_graph::{Graph, GraphBuilder, VertexId};
+
+/// Configurable preferential-attachment generator.
+#[derive(Debug, Clone)]
+pub struct PowerLawGenerator {
+    vertices: usize,
+    edges_per_vertex: usize,
+}
+
+impl PowerLawGenerator {
+    /// A generator for `vertices` vertices where each newly arriving vertex attaches
+    /// to `edges_per_vertex` existing vertices chosen preferentially by degree.
+    ///
+    /// The resulting average degree is roughly `2 · edges_per_vertex`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vertices` is zero or `edges_per_vertex` is zero.
+    pub fn new(vertices: usize, edges_per_vertex: usize) -> Self {
+        assert!(vertices > 0, "need at least one vertex");
+        assert!(edges_per_vertex > 0, "need at least one edge per vertex");
+        PowerLawGenerator { vertices, edges_per_vertex }
+    }
+
+    /// A generator sized to hit a target **average degree** (`d̂ = 2m/n`), which is
+    /// how Table 4 describes the datasets.
+    pub fn with_average_degree(vertices: usize, average_degree: f64) -> Self {
+        let per_vertex = ((average_degree / 2.0).round() as usize).max(1);
+        PowerLawGenerator::new(vertices, per_vertex)
+    }
+
+    /// Number of vertices this generator will produce.
+    pub fn vertices(&self) -> usize {
+        self.vertices
+    }
+
+    /// Number of attachment edges per arriving vertex.
+    pub fn edges_per_vertex(&self) -> usize {
+        self.edges_per_vertex
+    }
+
+    /// Generates the graph.
+    ///
+    /// Preferential attachment is implemented with the standard "repeated endpoints"
+    /// trick: a vertex is chosen with probability proportional to its degree by
+    /// sampling uniformly from the list of all edge endpoints seen so far.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Graph {
+        let n = self.vertices;
+        let m0 = (self.edges_per_vertex + 1).min(n);
+        let mut builder = GraphBuilder::with_capacity(n * self.edges_per_vertex);
+        builder.ensure_vertex(n as VertexId - 1);
+
+        // Endpoint multiset for degree-proportional sampling.
+        let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * self.edges_per_vertex);
+
+        // Seed clique over the first m0 vertices so early vertices have degree > 0.
+        for u in 0..m0 as VertexId {
+            for v in (u + 1)..m0 as VertexId {
+                builder.add_edge(u, v);
+                endpoints.push(u);
+                endpoints.push(v);
+            }
+        }
+
+        for v in m0 as VertexId..n as VertexId {
+            let mut targets: Vec<VertexId> = Vec::with_capacity(self.edges_per_vertex);
+            let mut guard = 0usize;
+            while targets.len() < self.edges_per_vertex && guard < 50 * self.edges_per_vertex {
+                guard += 1;
+                let candidate = if endpoints.is_empty() {
+                    rng.gen_range(0..v)
+                } else {
+                    endpoints[rng.gen_range(0..endpoints.len())]
+                };
+                if candidate != v && !targets.contains(&candidate) {
+                    targets.push(candidate);
+                }
+            }
+            for &t in &targets {
+                builder.add_edge(v, t);
+                endpoints.push(v);
+                endpoints.push(t);
+            }
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sac_graph::degree_histogram;
+
+    #[test]
+    fn produces_the_requested_size() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let gen = PowerLawGenerator::new(500, 4);
+        let g = gen.generate(&mut rng);
+        assert_eq!(g.num_vertices(), 500);
+        // m ≈ n · edges_per_vertex (minus the seed-clique adjustment).
+        assert!(g.num_edges() > 450 * 4 / 2);
+        assert!((g.average_degree() - 8.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn average_degree_targeting() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let gen = PowerLawGenerator::with_average_degree(800, 20.0);
+        assert_eq!(gen.edges_per_vertex(), 10);
+        assert_eq!(gen.vertices(), 800);
+        let g = gen.generate(&mut rng);
+        assert!((g.average_degree() - 20.0).abs() < 3.0, "average degree {}", g.average_degree());
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = PowerLawGenerator::new(2000, 3).generate(&mut rng);
+        let hist = degree_histogram(&g);
+        let max_degree = hist.len() - 1;
+        // A power-law graph has hubs far above the average degree...
+        assert!(max_degree > 30, "max degree {max_degree}");
+        // ... while most vertices stay near the minimum degree.
+        let low_degree_vertices: usize = hist.iter().take(8).sum();
+        assert!(low_degree_vertices > g.num_vertices() / 2);
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let gen = PowerLawGenerator::new(300, 5);
+        let g1 = gen.generate(&mut StdRng::seed_from_u64(9));
+        let g2 = gen.generate(&mut StdRng::seed_from_u64(9));
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        assert_eq!(g1.neighbors(17), g2.neighbors(17));
+    }
+
+    #[test]
+    fn tiny_graphs_are_handled() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = PowerLawGenerator::new(3, 5).generate(&mut rng);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3); // the seed clique is capped at n
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vertex")]
+    fn zero_vertices_panics() {
+        let _ = PowerLawGenerator::new(0, 2);
+    }
+}

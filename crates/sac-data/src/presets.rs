@@ -1,0 +1,199 @@
+//! Dataset presets mirroring Table 4 of the paper.
+//!
+//! | Name | Vertices | Edges | d̂ |
+//! |------|----------|-------|-----|
+//! | Brightkite | 51,406 | 197,167 | 7.67 |
+//! | Gowalla | 107,092 | 456,830 | 8.53 |
+//! | Flickr | 214,698 | 2,096,306 | 19.5 |
+//! | Foursquare | 2,127,093 | 8,640,352 | 8.12 |
+//! | Syn1 | 30,000 | 300,000 | 20 |
+//! | Syn2 | 400,000 | 4,000,000 | 20 |
+//!
+//! The real datasets are replaced by synthetic surrogates with the same size and
+//! degree characteristics (see DESIGN.md §4 for the substitution rationale); a
+//! `scale` factor shrinks every preset proportionally so the full experiment suite
+//! can run quickly on a laptop while preserving the relative ordering between
+//! datasets.
+
+use crate::{PowerLawGenerator, SpatialPlacer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sac_graph::SpatialGraph;
+
+/// The datasets of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// Brightkite-like surrogate (51k vertices, d̂ ≈ 7.7).
+    Brightkite,
+    /// Gowalla-like surrogate (107k vertices, d̂ ≈ 8.5).
+    Gowalla,
+    /// Flickr-like surrogate (215k vertices, d̂ ≈ 19.5).
+    Flickr,
+    /// Foursquare-like surrogate (2.1M vertices, d̂ ≈ 8.1).
+    Foursquare,
+    /// Synthetic graph Syn1 (30k vertices, d̂ = 20).
+    Syn1,
+    /// Synthetic graph Syn2 (400k vertices, d̂ = 20).
+    Syn2,
+}
+
+impl DatasetKind {
+    /// Human-readable dataset name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Brightkite => "Brightkite",
+            DatasetKind::Gowalla => "Gowalla",
+            DatasetKind::Flickr => "Flickr",
+            DatasetKind::Foursquare => "Foursquare",
+            DatasetKind::Syn1 => "Syn1",
+            DatasetKind::Syn2 => "Syn2",
+        }
+    }
+}
+
+/// A generable dataset specification: target vertex count and average degree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Which Table 4 dataset this spec mirrors.
+    pub kind: DatasetKind,
+    /// Number of vertices to generate.
+    pub vertices: usize,
+    /// Target average degree `d̂`.
+    pub average_degree: f64,
+    /// Seed for reproducible generation.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// The paper-sized specification of a dataset (Table 4 sizes).
+    pub fn full(kind: DatasetKind) -> Self {
+        let (vertices, average_degree) = match kind {
+            DatasetKind::Brightkite => (51_406, 7.67),
+            DatasetKind::Gowalla => (107_092, 8.53),
+            DatasetKind::Flickr => (214_698, 19.5),
+            DatasetKind::Foursquare => (2_127_093, 8.12),
+            DatasetKind::Syn1 => (30_000, 20.0),
+            DatasetKind::Syn2 => (400_000, 20.0),
+        };
+        DatasetSpec { kind, vertices, average_degree, seed: default_seed(kind) }
+    }
+
+    /// A proportionally scaled-down specification (`scale` in `(0, 1]`).
+    ///
+    /// The vertex count is multiplied by `scale` (with a floor of 500 vertices so
+    /// that k-core structure survives); the average degree is preserved, which is
+    /// what the SAC algorithms' behaviour depends on.
+    pub fn scaled(kind: DatasetKind, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1], got {scale}");
+        let full = Self::full(kind);
+        DatasetSpec {
+            vertices: ((full.vertices as f64 * scale) as usize).max(500),
+            ..full
+        }
+    }
+
+    /// Overrides the generation seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Expected number of edges (`n · d̂ / 2`).
+    pub fn expected_edges(&self) -> usize {
+        (self.vertices as f64 * self.average_degree / 2.0) as usize
+    }
+
+    /// Generates the surrogate spatial graph for this specification.
+    pub fn generate(&self) -> SpatialGraph {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let graph =
+            PowerLawGenerator::with_average_degree(self.vertices, self.average_degree)
+                .generate(&mut rng);
+        let positions = SpatialPlacer::new().place(&graph, &mut rng);
+        SpatialGraph::new(graph, positions).expect("generated graph is well formed")
+    }
+}
+
+fn default_seed(kind: DatasetKind) -> u64 {
+    match kind {
+        DatasetKind::Brightkite => 0xB219,
+        DatasetKind::Gowalla => 0x60A1,
+        DatasetKind::Flickr => 0xF11C,
+        DatasetKind::Foursquare => 0x4547,
+        DatasetKind::Syn1 => 0x5171,
+        DatasetKind::Syn2 => 0x5172,
+    }
+}
+
+/// All Table 4 datasets in the order the paper lists them.
+pub fn presets() -> Vec<DatasetKind> {
+    vec![
+        DatasetKind::Brightkite,
+        DatasetKind::Gowalla,
+        DatasetKind::Flickr,
+        DatasetKind::Foursquare,
+        DatasetKind::Syn1,
+        DatasetKind::Syn2,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_graph::GraphStats;
+
+    #[test]
+    fn full_specs_match_table4() {
+        let bk = DatasetSpec::full(DatasetKind::Brightkite);
+        assert_eq!(bk.vertices, 51_406);
+        assert!((bk.average_degree - 7.67).abs() < 1e-9);
+        assert_eq!(bk.kind.name(), "Brightkite");
+
+        let syn2 = DatasetSpec::full(DatasetKind::Syn2);
+        assert_eq!(syn2.vertices, 400_000);
+        assert_eq!(syn2.expected_edges(), 4_000_000);
+        assert_eq!(presets().len(), 6);
+    }
+
+    #[test]
+    fn scaled_specs_shrink_proportionally() {
+        let spec = DatasetSpec::scaled(DatasetKind::Gowalla, 0.05);
+        assert_eq!(spec.vertices, (107_092.0f64 * 0.05) as usize);
+        assert!((spec.average_degree - 8.53).abs() < 1e-9);
+        // The floor protects tiny scales.
+        let tiny = DatasetSpec::scaled(DatasetKind::Syn1, 0.001);
+        assert_eq!(tiny.vertices, 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in (0, 1]")]
+    fn invalid_scale_panics() {
+        let _ = DatasetSpec::scaled(DatasetKind::Syn1, 0.0);
+    }
+
+    #[test]
+    fn generated_surrogate_has_the_requested_shape() {
+        let spec = DatasetSpec::scaled(DatasetKind::Brightkite, 0.02).with_seed(99);
+        let g = spec.generate();
+        let stats = GraphStats::compute(g.graph());
+        assert_eq!(stats.vertices, spec.vertices);
+        assert!(
+            (stats.average_degree - spec.average_degree).abs() < 3.0,
+            "average degree {} vs target {}",
+            stats.average_degree,
+            spec.average_degree
+        );
+        // Core structure rich enough for k = 4 queries.
+        assert!(stats.core4_vertices > 0);
+        // Locations are inside the unit square.
+        assert!(g.positions().iter().all(|p| (0.0..=1.0).contains(&p.x)));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = DatasetSpec::scaled(DatasetKind::Syn1, 0.02).generate();
+        let b = DatasetSpec::scaled(DatasetKind::Syn1, 0.02).generate();
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.position(100), b.position(100));
+    }
+}

@@ -1,0 +1,151 @@
+//! Workload sampling: the n%-scalability subgraphs and query-vertex selection.
+
+use rand::Rng;
+use sac_geom::Point;
+use sac_graph::{core_decomposition, Graph, GraphBuilder, SpatialGraph, VertexId};
+
+/// Samples `fraction` of the vertices uniformly at random (without replacement).
+///
+/// Used by the scalability experiment (Figure 12(k)–(o)), which evaluates the
+/// algorithms on induced subgraphs of 20%–100% of each dataset's vertices.
+pub fn sample_vertices<R: Rng + ?Sized>(
+    g: &SpatialGraph,
+    fraction: f64,
+    rng: &mut R,
+) -> Vec<VertexId> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1], got {fraction}");
+    let n = g.num_vertices();
+    let target = ((n as f64) * fraction).round() as usize;
+    let mut ids: Vec<VertexId> = (0..n as VertexId).collect();
+    // Partial Fisher–Yates: shuffle only the prefix we keep.
+    for i in 0..target.min(n.saturating_sub(1)) {
+        let j = rng.gen_range(i..n);
+        ids.swap(i, j);
+    }
+    let mut kept: Vec<VertexId> = ids.into_iter().take(target).collect();
+    kept.sort_unstable();
+    kept
+}
+
+/// Builds the spatial subgraph induced by `vertices`, relabelling vertex ids to
+/// `0..vertices.len()` (in the sorted order of the original ids).
+///
+/// Returns the subgraph together with the mapping from new ids back to the original
+/// ids.
+pub fn induced_subgraph_by_vertices(
+    g: &SpatialGraph,
+    vertices: &[VertexId],
+) -> (SpatialGraph, Vec<VertexId>) {
+    let mut sorted: Vec<VertexId> = vertices.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert!(!sorted.is_empty(), "induced subgraph needs at least one vertex");
+
+    let mut new_id = vec![u32::MAX; g.num_vertices()];
+    for (idx, &v) in sorted.iter().enumerate() {
+        new_id[v as usize] = idx as u32;
+    }
+    let mut builder = GraphBuilder::new();
+    builder.ensure_vertex(sorted.len() as u32 - 1);
+    for &v in &sorted {
+        for &u in g.neighbors(v) {
+            if u > v && new_id[u as usize] != u32::MAX {
+                builder.add_edge(new_id[v as usize], new_id[u as usize]);
+            }
+        }
+    }
+    let positions: Vec<Point> = sorted.iter().map(|&v| g.position(v)).collect();
+    let sub = SpatialGraph::new(builder.build(), positions).expect("induced subgraph is valid");
+    (sub, sorted)
+}
+
+/// Selects up to `count` query vertices whose core number is at least `min_core`
+/// (the paper uses 200 queries with core number ≥ 4).
+///
+/// Returns fewer vertices when the graph does not contain enough eligible ones.
+pub fn select_query_vertices<R: Rng + ?Sized>(
+    graph: &Graph,
+    count: usize,
+    min_core: u32,
+    rng: &mut R,
+) -> Vec<VertexId> {
+    let decomposition = core_decomposition(graph);
+    let mut eligible: Vec<VertexId> = graph
+        .vertices()
+        .filter(|&v| decomposition.core_number(v) >= min_core)
+        .collect();
+    // Fisher–Yates shuffle, then take the prefix.
+    for i in (1..eligible.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        eligible.swap(i, j);
+    }
+    eligible.truncate(count);
+    eligible.sort_unstable();
+    eligible
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetKind, DatasetSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_surrogate() -> SpatialGraph {
+        DatasetSpec::scaled(DatasetKind::Syn1, 0.02).generate()
+    }
+
+    #[test]
+    fn sampling_fraction_is_respected() {
+        let g = small_surrogate();
+        let mut rng = StdRng::seed_from_u64(4);
+        for fraction in [0.2, 0.5, 1.0] {
+            let sample = sample_vertices(&g, fraction, &mut rng);
+            let expected = (g.num_vertices() as f64 * fraction).round() as usize;
+            assert_eq!(sample.len(), expected);
+            // No duplicates.
+            let mut dedup = sample.clone();
+            dedup.dedup();
+            assert_eq!(dedup.len(), sample.len());
+        }
+        assert!(sample_vertices(&g, 0.0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_edges_and_positions() {
+        let g = small_surrogate();
+        let mut rng = StdRng::seed_from_u64(5);
+        let sample = sample_vertices(&g, 0.5, &mut rng);
+        let (sub, mapping) = induced_subgraph_by_vertices(&g, &sample);
+        assert_eq!(sub.num_vertices(), sample.len());
+        assert_eq!(mapping.len(), sample.len());
+        // Every subgraph edge exists in the original graph between the mapped ids.
+        for (u, v) in sub.graph().edges().take(500) {
+            assert!(g.graph().has_edge(mapping[u as usize], mapping[v as usize]));
+        }
+        // Positions carried over.
+        for (new, &orig) in mapping.iter().enumerate().take(100) {
+            assert_eq!(sub.position(new as VertexId), g.position(orig));
+        }
+    }
+
+    #[test]
+    fn query_vertices_have_high_core_numbers() {
+        let g = small_surrogate();
+        let mut rng = StdRng::seed_from_u64(6);
+        let queries = select_query_vertices(g.graph(), 50, 4, &mut rng);
+        assert!(!queries.is_empty());
+        assert!(queries.len() <= 50);
+        let decomp = core_decomposition(g.graph());
+        assert!(queries.iter().all(|&q| decomp.core_number(q) >= 4));
+        // Requesting an impossible core number returns an empty list.
+        assert!(select_query_vertices(g.graph(), 10, 10_000, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in [0, 1]")]
+    fn invalid_fraction_panics() {
+        let g = small_surrogate();
+        let _ = sample_vertices(&g, 1.5, &mut StdRng::seed_from_u64(1));
+    }
+}

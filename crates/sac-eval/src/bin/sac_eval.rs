@@ -1,0 +1,169 @@
+//! Command-line entry point for the experiment harness.
+//!
+//! ```text
+//! sac-eval [OPTIONS] <EXPERIMENT>
+//!
+//! Experiments:
+//!   table4, fig9, fig10, fig11, fig12-approx, fig12-exact, fig12-scale,
+//!   fig13, fig14, all
+//!
+//! Options:
+//!   --scale <f>        dataset scale factor in (0, 1]     (default: 0.02)
+//!   --queries <n>      query vertices per dataset         (default: 20)
+//!   --datasets <list>  comma-separated dataset names      (default: all six)
+//!   --full             use the paper's full-scale configuration
+//!   --out <dir>        also write each table as CSV into <dir>
+//!   --seed <n>         random seed                        (default: 0x5AC5)
+//! ```
+
+use sac_data::DatasetKind;
+use sac_eval::experiments::{experiment_names, run_by_name};
+use sac_eval::ExperimentConfig;
+use std::process::ExitCode;
+
+fn print_usage() {
+    eprintln!("usage: sac-eval [--scale F] [--queries N] [--datasets A,B] [--full] [--seed N] [--out DIR] <experiment>");
+    eprintln!("experiments: {}", experiment_names().join(", "));
+}
+
+fn parse_dataset(name: &str) -> Option<DatasetKind> {
+    match name.to_ascii_lowercase().as_str() {
+        "brightkite" => Some(DatasetKind::Brightkite),
+        "gowalla" => Some(DatasetKind::Gowalla),
+        "flickr" => Some(DatasetKind::Flickr),
+        "foursquare" => Some(DatasetKind::Foursquare),
+        "syn1" => Some(DatasetKind::Syn1),
+        "syn2" => Some(DatasetKind::Syn2),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+
+    let mut config = ExperimentConfig::quick();
+    let mut experiment: Option<String> = None;
+    let mut out_dir: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => config = ExperimentConfig::full_paper_scale(),
+            "--scale" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(s) if s > 0.0 && s <= 1.0 => config.scale = s,
+                    _ => {
+                        eprintln!("--scale expects a number in (0, 1]");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--queries" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => config.num_queries = n,
+                    _ => {
+                        eprintln!("--queries expects a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(s) => config.seed = s,
+                    None => {
+                        eprintln!("--seed expects an integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--datasets" => {
+                i += 1;
+                let Some(list) = args.get(i) else {
+                    eprintln!("--datasets expects a comma-separated list");
+                    return ExitCode::FAILURE;
+                };
+                let mut datasets = Vec::new();
+                for name in list.split(',') {
+                    match parse_dataset(name.trim()) {
+                        Some(kind) => datasets.push(kind),
+                        None => {
+                            eprintln!("unknown dataset `{name}`");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                config.datasets = datasets;
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => out_dir = Some(dir.clone()),
+                    None => {
+                        eprintln!("--out expects a directory");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown option `{other}`");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+            other => {
+                if experiment.is_some() {
+                    eprintln!("multiple experiments given; run them one at a time or use `all`");
+                    return ExitCode::FAILURE;
+                }
+                experiment = Some(other.to_string());
+            }
+        }
+        i += 1;
+    }
+
+    let Some(experiment) = experiment else {
+        print_usage();
+        return ExitCode::FAILURE;
+    };
+
+    eprintln!(
+        "running `{experiment}` (scale = {}, queries = {}, datasets = {})",
+        config.scale,
+        config.num_queries,
+        config
+            .datasets
+            .iter()
+            .map(|d| d.name())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+
+    let Some(tables) = run_by_name(&experiment, &config) else {
+        eprintln!("unknown experiment `{experiment}`");
+        print_usage();
+        return ExitCode::FAILURE;
+    };
+
+    for table in &tables {
+        println!("{table}");
+        if let Some(dir) = &out_dir {
+            let path = std::path::Path::new(dir).join(format!("{}.csv", table.slug()));
+            if let Err(e) = table.write_csv(&path) {
+                eprintln!("failed to write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}

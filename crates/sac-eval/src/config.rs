@@ -1,0 +1,170 @@
+//! Experiment configuration (the paper's Table 5 parameter grid plus scaling).
+
+use sac_data::DatasetKind;
+
+/// Configuration shared by every experiment runner.
+///
+/// The parameter ranges and defaults follow Table 5 of the paper; the `scale` and
+/// `num_queries` knobs shrink the workload so the full suite runs quickly on a
+/// laptop (the paper uses 200 queries on the full datasets).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Fraction of each dataset's paper-scale vertex count to generate.
+    pub scale: f64,
+    /// Number of query vertices per dataset (core number ≥ 4).
+    pub num_queries: usize,
+    /// Seed for query selection and dataset generation offsets.
+    pub seed: u64,
+    /// Datasets to include.
+    pub datasets: Vec<DatasetKind>,
+    /// Values of `k` to sweep (Table 5: 4, 7, 10, 13, 16).
+    pub k_values: Vec<u32>,
+    /// Default `k` (Table 5: 4).
+    pub default_k: u32,
+    /// Values of `εF` to sweep (Table 5: 0.0 … 2.0).
+    pub eps_f_values: Vec<f64>,
+    /// Default `εF` (Table 5: 0.5).
+    pub default_eps_f: f64,
+    /// Values of `εA` to sweep (Table 5: 0.01 … 0.9).
+    pub eps_a_values: Vec<f64>,
+    /// Default `εA` (Table 5: 0.5).
+    pub default_eps_a: f64,
+    /// `εA` used inside `Exact+` (Figure 12(f)–(j) uses 1e-4).
+    pub exact_plus_eps_a: f64,
+    /// Values of `εA` swept for Figure 14.
+    pub fig14_eps_a_values: Vec<f64>,
+    /// Values of θ to sweep (Table 5: 1e-6 … 1e-2).
+    pub theta_values: Vec<f64>,
+    /// Vertex percentages for the scalability experiment (Table 5: 20% … 100%).
+    pub percentages: Vec<f64>,
+    /// Time-gap thresholds η (in days) for the dynamic experiment (Figure 13).
+    pub eta_days: Vec<f64>,
+    /// Size limit on the k-ĉore beyond which the basic `Exact` algorithm is skipped
+    /// (the paper likewise skips runs exceeding 10 hours).
+    pub exact_kcore_limit: usize,
+    /// Maximum number of queries used for the exact-algorithm experiments (they are
+    /// orders of magnitude slower than the approximations).
+    pub exact_queries: usize,
+}
+
+impl ExperimentConfig {
+    /// Quick configuration: small surrogates, few queries — the default for
+    /// `sac-eval` and the benchmark suite.  Finishes the whole suite in minutes.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            scale: 0.02,
+            num_queries: 20,
+            seed: 0x5AC5,
+            datasets: vec![
+                DatasetKind::Brightkite,
+                DatasetKind::Gowalla,
+                DatasetKind::Flickr,
+                DatasetKind::Foursquare,
+                DatasetKind::Syn1,
+                DatasetKind::Syn2,
+            ],
+            k_values: vec![4, 7, 10, 13, 16],
+            default_k: 4,
+            eps_f_values: vec![0.0, 0.5, 1.0, 1.5, 2.0],
+            default_eps_f: 0.5,
+            eps_a_values: vec![0.01, 0.05, 0.1, 0.5, 0.9],
+            default_eps_a: 0.5,
+            exact_plus_eps_a: 1e-3,
+            fig14_eps_a_values: vec![1e-4, 1e-3, 1e-2, 1e-1],
+            theta_values: vec![1e-3, 1e-2, 5e-2, 1e-1, 3e-1],
+            percentages: vec![0.2, 0.4, 0.6, 0.8, 1.0],
+            eta_days: vec![0.25, 0.5, 1.0, 3.0, 5.0, 7.0, 10.0, 15.0],
+            exact_kcore_limit: 400,
+            exact_queries: 5,
+        }
+    }
+
+    /// A configuration using the paper's full Table 4 dataset sizes, 200 queries and
+    /// the exact Table 5 parameter grid.  Expect hours of runtime.
+    pub fn full_paper_scale() -> Self {
+        ExperimentConfig {
+            scale: 1.0,
+            num_queries: 200,
+            exact_plus_eps_a: 1e-4,
+            fig14_eps_a_values: vec![1e-6, 1e-5, 1e-4, 1e-3],
+            theta_values: vec![1e-6, 1e-5, 1e-4, 1e-3, 1e-2],
+            exact_queries: 20,
+            ..Self::quick()
+        }
+    }
+
+    /// A minimal configuration for unit/integration tests: two tiny datasets, a few
+    /// queries.  Finishes in seconds.
+    pub fn smoke_test() -> Self {
+        ExperimentConfig {
+            scale: 0.01,
+            num_queries: 5,
+            datasets: vec![DatasetKind::Brightkite, DatasetKind::Syn1],
+            k_values: vec![4, 7],
+            eps_f_values: vec![0.0, 0.5],
+            eps_a_values: vec![0.1, 0.5],
+            fig14_eps_a_values: vec![1e-2, 1e-1],
+            theta_values: vec![1e-2, 1e-1],
+            percentages: vec![0.5, 1.0],
+            eta_days: vec![0.25, 1.0, 5.0],
+            exact_kcore_limit: 250,
+            exact_queries: 3,
+            ..Self::quick()
+        }
+    }
+
+    /// Restricts the configuration to the given datasets.
+    pub fn with_datasets(mut self, datasets: Vec<DatasetKind>) -> Self {
+        self.datasets = datasets;
+        self
+    }
+
+    /// Effective θ values: on scaled-down datasets the spatial density differs from
+    /// the paper's, so the sweep adapts by including the configured values as-is
+    /// (they are already expressed in unit-square coordinates).
+    pub fn thetas(&self) -> &[f64] {
+        &self.theta_values
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_config_matches_table5_grid() {
+        let c = ExperimentConfig::quick();
+        assert_eq!(c.k_values, vec![4, 7, 10, 13, 16]);
+        assert_eq!(c.default_k, 4);
+        assert_eq!(c.eps_f_values, vec![0.0, 0.5, 1.0, 1.5, 2.0]);
+        assert_eq!(c.eps_a_values, vec![0.01, 0.05, 0.1, 0.5, 0.9]);
+        assert_eq!(c.default_eps_f, 0.5);
+        assert_eq!(c.default_eps_a, 0.5);
+        assert_eq!(c.percentages, vec![0.2, 0.4, 0.6, 0.8, 1.0]);
+        assert_eq!(c.datasets.len(), 6);
+        assert_eq!(ExperimentConfig::default(), c);
+    }
+
+    #[test]
+    fn full_scale_uses_paper_parameters() {
+        let c = ExperimentConfig::full_paper_scale();
+        assert_eq!(c.scale, 1.0);
+        assert_eq!(c.num_queries, 200);
+        assert_eq!(c.exact_plus_eps_a, 1e-4);
+        assert_eq!(c.theta_values, vec![1e-6, 1e-5, 1e-4, 1e-3, 1e-2]);
+    }
+
+    #[test]
+    fn smoke_test_is_small() {
+        let c = ExperimentConfig::smoke_test().with_datasets(vec![DatasetKind::Syn1]);
+        assert_eq!(c.datasets, vec![DatasetKind::Syn1]);
+        assert!(c.num_queries <= 5);
+        assert!(!c.thetas().is_empty());
+    }
+}

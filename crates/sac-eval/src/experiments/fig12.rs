@@ -1,0 +1,211 @@
+//! Figure 12: efficiency evaluation.
+//!
+//! * (a)–(e): running time of the approximation algorithms as `k` varies;
+//! * (f)–(j): running time of the exact algorithms as `k` varies;
+//! * (k)–(o): scalability of the approximation algorithms as the vertex
+//!   percentage n varies.
+
+use crate::runner::{load_dataset, mean_seconds, time_it};
+use crate::{ExperimentConfig, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sac_core::{app_acc, app_fast, app_inc, exact, exact_plus};
+use sac_data::{induced_subgraph_by_vertices, sample_vertices, select_query_vertices};
+use sac_graph::connected_kcore;
+use std::time::Duration;
+
+/// Figure 12(a)–(e): mean query time of `AppInc`, `AppFast(0)`, `AppFast(0.5)` and
+/// `AppAcc(0.5)` as `k` sweeps over the Table 5 grid, one table per dataset.
+///
+/// The shape to reproduce: `AppFast` is the fastest and `AppInc` the slowest of the
+/// approximations, `AppInc`'s cost grows with `k` while `AppFast`'s shrinks, and
+/// `AppAcc`'s cost is roughly flat in `k`.
+pub fn fig12_approx(config: &ExperimentConfig) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for &kind in &config.datasets {
+        let bundle = load_dataset(kind, config);
+        let g = &bundle.graph;
+        let mut table = Table::new(
+            format!("Figure 12(a-e): approximation algorithms vs k — {}", bundle.name()),
+            &["k", "AppInc (s)", "AppFast(0.0) (s)", "AppFast(0.5) (s)", "AppAcc(0.5) (s)"],
+        );
+        for &k in &config.k_values {
+            let mut t_inc = Vec::new();
+            let mut t_fast0 = Vec::new();
+            let mut t_fast5 = Vec::new();
+            let mut t_acc = Vec::new();
+            for &q in &bundle.queries {
+                let (_, d) = time_it(|| app_inc(g, q, k));
+                t_inc.push(d);
+                let (_, d) = time_it(|| app_fast(g, q, k, 0.0));
+                t_fast0.push(d);
+                let (_, d) = time_it(|| app_fast(g, q, k, 0.5));
+                t_fast5.push(d);
+                let (_, d) = time_it(|| app_acc(g, q, k, config.default_eps_a));
+                t_acc.push(d);
+            }
+            table.add_row(vec![
+                k.to_string(),
+                Table::fmt_num(mean_seconds(&t_inc)),
+                Table::fmt_num(mean_seconds(&t_fast0)),
+                Table::fmt_num(mean_seconds(&t_fast5)),
+                Table::fmt_num(mean_seconds(&t_acc)),
+            ]);
+        }
+        tables.push(table);
+    }
+    tables
+}
+
+/// Figure 12(f)–(j): mean query time of `Exact` and `Exact+` as `k` varies.
+///
+/// Like the paper (which skips `Exact` runs that exceed 10 hours), the basic exact
+/// algorithm is only run when the query's k-ĉore is small enough
+/// (`config.exact_kcore_limit`); skipped configurations are reported as `skipped`.
+/// The shape to reproduce: `Exact+` is orders of magnitude faster than `Exact`.
+pub fn fig12_exact(config: &ExperimentConfig) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for &kind in &config.datasets {
+        let bundle = load_dataset(kind, config);
+        let g = &bundle.graph;
+        let queries: Vec<_> = bundle.queries.iter().copied().take(config.exact_queries).collect();
+        let mut table = Table::new(
+            format!(
+                "Figure 12(f-j): exact algorithms vs k — {} (eps_a = {})",
+                bundle.name(),
+                config.exact_plus_eps_a
+            ),
+            &["k", "Exact (s)", "Exact runs", "Exact+ (s)", "Exact+ runs"],
+        );
+        for &k in &config.k_values {
+            let mut t_exact: Vec<Duration> = Vec::new();
+            let mut t_plus: Vec<Duration> = Vec::new();
+            for &q in &queries {
+                // Only attempt the basic Exact when the candidate k-ĉore is small.
+                let core_size = connected_kcore(g.graph(), q, k).map_or(0, |c| c.len());
+                if core_size > 0 && core_size <= config.exact_kcore_limit {
+                    let (_, d) = time_it(|| exact(g, q, k));
+                    t_exact.push(d);
+                }
+                let (_, d) = time_it(|| exact_plus(g, q, k, config.exact_plus_eps_a));
+                t_plus.push(d);
+            }
+            let exact_cell = if t_exact.is_empty() {
+                "skipped".to_string()
+            } else {
+                Table::fmt_num(mean_seconds(&t_exact))
+            };
+            table.add_row(vec![
+                k.to_string(),
+                exact_cell,
+                t_exact.len().to_string(),
+                Table::fmt_num(mean_seconds(&t_plus)),
+                t_plus.len().to_string(),
+            ]);
+        }
+        tables.push(table);
+    }
+    tables
+}
+
+/// Figure 12(k)–(o): scalability of the approximation algorithms over induced
+/// subgraphs of 20%–100% of the vertices.
+///
+/// The shape to reproduce: all three approximation algorithms scale roughly
+/// linearly with the graph size, with `AppFast` below `AppInc`.
+pub fn fig12_scalability(config: &ExperimentConfig) -> Vec<Table> {
+    let k = config.default_k;
+    let mut tables = Vec::new();
+    for &kind in &config.datasets {
+        let bundle = load_dataset(kind, config);
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5CA1E);
+        let mut table = Table::new(
+            format!("Figure 12(k-o): scalability vs vertex percentage — {}", bundle.name()),
+            &[
+                "percentage",
+                "vertices",
+                "AppInc (s)",
+                "AppFast(0.0) (s)",
+                "AppFast(0.5) (s)",
+                "AppAcc(0.5) (s)",
+            ],
+        );
+        for &fraction in &config.percentages {
+            let (sub, queries) = if (fraction - 1.0).abs() < f64::EPSILON {
+                (bundle.graph.clone(), bundle.queries.clone())
+            } else {
+                let kept = sample_vertices(&bundle.graph, fraction, &mut rng);
+                let (sub, _mapping) = induced_subgraph_by_vertices(&bundle.graph, &kept);
+                let queries =
+                    select_query_vertices(sub.graph(), config.num_queries, 4, &mut rng);
+                (sub, queries)
+            };
+            let mut t_inc = Vec::new();
+            let mut t_fast0 = Vec::new();
+            let mut t_fast5 = Vec::new();
+            let mut t_acc = Vec::new();
+            for &q in &queries {
+                let (_, d) = time_it(|| app_inc(&sub, q, k));
+                t_inc.push(d);
+                let (_, d) = time_it(|| app_fast(&sub, q, k, 0.0));
+                t_fast0.push(d);
+                let (_, d) = time_it(|| app_fast(&sub, q, k, 0.5));
+                t_fast5.push(d);
+                let (_, d) = time_it(|| app_acc(&sub, q, k, config.default_eps_a));
+                t_acc.push(d);
+            }
+            table.add_row(vec![
+                format!("{}%", (fraction * 100.0).round() as u32),
+                sub.num_vertices().to_string(),
+                Table::fmt_num(mean_seconds(&t_inc)),
+                Table::fmt_num(mean_seconds(&t_fast0)),
+                Table::fmt_num(mean_seconds(&t_fast5)),
+                Table::fmt_num(mean_seconds(&t_acc)),
+            ]);
+        }
+        tables.push(table);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_data::DatasetKind;
+
+    fn tiny_config() -> ExperimentConfig {
+        let mut c = ExperimentConfig::smoke_test().with_datasets(vec![DatasetKind::Brightkite]);
+        c.num_queries = 3;
+        c.k_values = vec![4];
+        c.percentages = vec![0.5, 1.0];
+        c
+    }
+
+    #[test]
+    fn approx_efficiency_tables_have_expected_shape() {
+        let config = tiny_config();
+        let tables = fig12_approx(&config);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), 1);
+        assert_eq!(tables[0].headers.len(), 5);
+    }
+
+    #[test]
+    fn exact_efficiency_reports_runs() {
+        let config = tiny_config();
+        let tables = fig12_exact(&config);
+        assert_eq!(tables.len(), 1);
+        let row = &tables[0].rows[0];
+        // Exact+ always runs on every sampled query.
+        let plus_runs: usize = row[4].parse().unwrap();
+        assert!(plus_runs > 0);
+    }
+
+    #[test]
+    fn scalability_covers_all_percentages() {
+        let config = tiny_config();
+        let tables = fig12_scalability(&config);
+        assert_eq!(tables[0].len(), config.percentages.len());
+        assert!(tables[0].rows.iter().any(|r| r[0] == "100%"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Figure 14: effect of the `Exact+` accuracy parameter εA on its running time and
+//! on the number of candidate fixed vertices |F1|.
+
+use crate::runner::{load_dataset, mean, mean_seconds, time_it};
+use crate::{ExperimentConfig, Table};
+use sac_core::exact_plus_detailed;
+
+/// Reproduces Figure 14: for every εA value, the mean `Exact+` query time (a) and
+/// the mean size of the pruned fixed-vertex candidate set F1 (b).
+///
+/// The shape to reproduce: |F1| grows with εA (a looser AppAcc bound keeps more
+/// candidates), while the running time has a shallow optimum — very small εA makes
+/// the embedded AppAcc phase dominate, very large εA makes the enumeration phase
+/// dominate.
+pub fn fig14(config: &ExperimentConfig) -> Vec<Table> {
+    let k = config.default_k;
+    let mut tables = Vec::new();
+
+    for &kind in &config.datasets {
+        let bundle = load_dataset(kind, config);
+        let g = &bundle.graph;
+        let queries: Vec<_> = bundle.queries.iter().copied().take(config.exact_queries).collect();
+        let mut table = Table::new(
+            format!("Figure 14: effect of eps_a on Exact+ — {} (k = {k})", bundle.name()),
+            &["eps_a", "time (s)", "|F1| (mean)", "triples evaluated (mean)", "queries"],
+        );
+        for &eps_a in &config.fig14_eps_a_values {
+            let mut times = Vec::new();
+            let mut f1_sizes = Vec::new();
+            let mut triples = Vec::new();
+            for &q in &queries {
+                let (result, elapsed) = time_it(|| exact_plus_detailed(g, q, k, eps_a));
+                times.push(elapsed);
+                if let Ok(Some(detail)) = result {
+                    f1_sizes.push(detail.fixed_vertex_candidates as f64);
+                    triples.push(detail.triples_evaluated as f64);
+                }
+            }
+            table.add_row(vec![
+                Table::fmt_num(eps_a),
+                Table::fmt_num(mean_seconds(&times)),
+                Table::fmt_num(mean(&f1_sizes)),
+                Table::fmt_num(mean(&triples)),
+                queries.len().to_string(),
+            ]);
+        }
+        tables.push(table);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_data::DatasetKind;
+
+    #[test]
+    fn f1_grows_with_eps_a() {
+        let mut config = ExperimentConfig::smoke_test().with_datasets(vec![DatasetKind::Brightkite]);
+        config.exact_queries = 3;
+        config.fig14_eps_a_values = vec![1e-3, 0.5];
+        let tables = fig14(&config);
+        assert_eq!(tables.len(), 1);
+        let rows = &tables[0].rows;
+        assert_eq!(rows.len(), 2);
+        let f1_small: f64 = rows[0][2].parse().unwrap_or(f64::NAN);
+        let f1_large: f64 = rows[1][2].parse().unwrap_or(f64::NAN);
+        if f1_small.is_finite() && f1_large.is_finite() {
+            assert!(
+                f1_large + 1e-9 >= f1_small,
+                "|F1| should not shrink as eps_a grows: {f1_small} vs {f1_large}"
+            );
+        }
+    }
+}

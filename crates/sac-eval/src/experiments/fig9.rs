@@ -1,0 +1,121 @@
+//! Figure 9: theoretical vs actual approximation ratios of `AppFast` and `AppAcc`.
+
+use crate::runner::{load_dataset, mean};
+use crate::{ExperimentConfig, Table};
+use sac_core::{app_acc, app_fast, exact_plus, metrics};
+use sac_data::DatasetKind;
+
+/// Datasets the paper uses for this figure (Brightkite and Gowalla).
+fn figure9_datasets(config: &ExperimentConfig) -> Vec<DatasetKind> {
+    config
+        .datasets
+        .iter()
+        .copied()
+        .filter(|k| matches!(k, DatasetKind::Brightkite | DatasetKind::Gowalla))
+        .collect()
+}
+
+/// Reproduces Figure 9: for every εF (resp. εA) value, the mean measured
+/// approximation ratio against the optimal radius computed by `Exact+`.
+///
+/// The paper's observation to reproduce: measured ratios are far below the
+/// theoretical guarantees (e.g. ≈ 2.0 measured when the bound is 4.0 for εF = 2,
+/// and ≈ 1.0x for `AppAcc`).
+pub fn fig9(config: &ExperimentConfig) -> Vec<Table> {
+    let k = config.default_k;
+    let mut tables = Vec::new();
+
+    for kind in figure9_datasets(config) {
+        let bundle = load_dataset(kind, config);
+        // Ground-truth optimal radii per query.
+        let optima: Vec<(u32, f64)> = bundle
+            .queries
+            .iter()
+            .filter_map(|&q| {
+                exact_plus(&bundle.graph, q, k, config.exact_plus_eps_a)
+                    .ok()
+                    .flatten()
+                    .map(|c| (q, c.radius()))
+            })
+            .collect();
+
+        // Figure 9(a): AppFast.
+        let mut fast_table = Table::new(
+            format!("Figure 9(a): AppFast approximation ratio — {}", bundle.name()),
+            &["eps_f", "theoretical ratio", "actual ratio (mean)", "queries"],
+        );
+        for &eps_f in &config.eps_f_values {
+            let ratios: Vec<f64> = optima
+                .iter()
+                .filter_map(|&(q, r_opt)| {
+                    app_fast(&bundle.graph, q, k, eps_f)
+                        .ok()
+                        .flatten()
+                        .map(|out| metrics::approximation_ratio(out.gamma, r_opt))
+                })
+                .collect();
+            fast_table.add_row(vec![
+                Table::fmt_num(eps_f),
+                Table::fmt_num(2.0 + eps_f),
+                Table::fmt_num(mean(&ratios)),
+                ratios.len().to_string(),
+            ]);
+        }
+        tables.push(fast_table);
+
+        // Figure 9(b): AppAcc.
+        let mut acc_table = Table::new(
+            format!("Figure 9(b): AppAcc approximation ratio — {}", bundle.name()),
+            &["eps_a", "theoretical ratio", "actual ratio (mean)", "queries"],
+        );
+        for &eps_a in &config.eps_a_values {
+            let ratios: Vec<f64> = optima
+                .iter()
+                .filter_map(|&(q, r_opt)| {
+                    app_acc(&bundle.graph, q, k, eps_a)
+                        .ok()
+                        .flatten()
+                        .map(|c| metrics::approximation_ratio(c.radius(), r_opt))
+                })
+                .collect();
+            acc_table.add_row(vec![
+                Table::fmt_num(eps_a),
+                Table::fmt_num(1.0 + eps_a),
+                Table::fmt_num(mean(&ratios)),
+                ratios.len().to_string(),
+            ]);
+        }
+        tables.push(acc_table);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_respect_the_theoretical_bounds() {
+        let config = ExperimentConfig::smoke_test();
+        let tables = fig9(&config);
+        // Brightkite is in the smoke-test dataset list ⇒ two tables (9a, 9b).
+        assert_eq!(tables.len(), 2);
+        for table in &tables {
+            for row in &table.rows {
+                let theoretical: f64 = row[1].parse().unwrap();
+                let actual: f64 = match row[2].as_str() {
+                    "n/a" => continue,
+                    s => s.parse().unwrap(),
+                };
+                assert!(
+                    actual <= theoretical + 1e-6,
+                    "{}: actual {} exceeds theoretical {}",
+                    table.title,
+                    actual,
+                    theoretical
+                );
+                assert!(actual >= 1.0 - 1e-9);
+            }
+        }
+    }
+}

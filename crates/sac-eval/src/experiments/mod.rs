@@ -1,0 +1,69 @@
+//! One module per paper artefact (table or figure); see the crate-level docs for
+//! the mapping.
+
+mod fig10;
+mod fig11;
+mod fig12;
+mod fig13;
+mod fig14;
+mod fig9;
+mod table4;
+
+pub use fig10::fig10;
+pub use fig11::fig11;
+pub use fig12::{fig12_approx, fig12_exact, fig12_scalability};
+pub use fig13::fig13;
+pub use fig14::fig14;
+pub use fig9::fig9;
+pub use table4::table4;
+
+use crate::{ExperimentConfig, Table};
+
+/// Runs every experiment in paper order and returns all result tables.
+pub fn run_all(config: &ExperimentConfig) -> Vec<Table> {
+    let mut tables = Vec::new();
+    tables.extend(table4(config));
+    tables.extend(fig9(config));
+    tables.extend(fig10(config));
+    tables.extend(fig11(config));
+    tables.extend(fig12_approx(config));
+    tables.extend(fig12_exact(config));
+    tables.extend(fig12_scalability(config));
+    tables.extend(fig13(config));
+    tables.extend(fig14(config));
+    tables
+}
+
+/// The experiments that can be requested by name from the CLI.
+pub fn experiment_names() -> Vec<&'static str> {
+    vec![
+        "table4",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12-approx",
+        "fig12-exact",
+        "fig12-scale",
+        "fig13",
+        "fig14",
+        "all",
+    ]
+}
+
+/// Dispatches an experiment by CLI name.  Returns `None` for an unknown name.
+pub fn run_by_name(name: &str, config: &ExperimentConfig) -> Option<Vec<Table>> {
+    let tables = match name {
+        "table4" => table4(config),
+        "fig9" => fig9(config),
+        "fig10" => fig10(config),
+        "fig11" => fig11(config),
+        "fig12-approx" => fig12_approx(config),
+        "fig12-exact" => fig12_exact(config),
+        "fig12-scale" => fig12_scalability(config),
+        "fig13" => fig13(config),
+        "fig14" => fig14(config),
+        "all" => run_all(config),
+        _ => return None,
+    };
+    Some(tables)
+}

@@ -1,0 +1,36 @@
+//! # sac-eval
+//!
+//! The experiment harness that regenerates every table and figure of the SAC search
+//! paper's evaluation (Section 5).
+//!
+//! Each experiment is a function taking an [`ExperimentConfig`] and returning one or
+//! more [`Table`]s — the same rows/series the paper plots — which the `sac-eval`
+//! binary prints and optionally writes as CSV files.  The mapping between paper
+//! figures and experiment runners is:
+//!
+//! | Paper artefact | Runner |
+//! |---|---|
+//! | Table 4 (dataset statistics) | [`experiments::table4`] |
+//! | Figure 9 (approximation ratios) | [`experiments::fig9`] |
+//! | Figure 10 (comparison with CD/CS methods) | [`experiments::fig10`] |
+//! | Figure 11 (θ-SAC sensitivity) | [`experiments::fig11`] |
+//! | Figure 12(a–e) (approx. algorithms vs k) | [`experiments::fig12_approx`] |
+//! | Figure 12(f–j) (exact algorithms vs k) | [`experiments::fig12_exact`] |
+//! | Figure 12(k–o) (scalability vs n%) | [`experiments::fig12_scalability`] |
+//! | Figure 13 (dynamic adaptability, CJS/CAO) | [`experiments::fig13`] |
+//! | Figure 14 (effect of εA on Exact+) | [`experiments::fig14`] |
+//!
+//! The harness defaults to scaled-down surrogate datasets so the whole suite runs
+//! in minutes; `ExperimentConfig::full_paper_scale` switches to Table 4 sizes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod experiments;
+mod report;
+mod runner;
+
+pub use config::ExperimentConfig;
+pub use report::Table;
+pub use runner::{load_dataset, time_it, DatasetBundle};

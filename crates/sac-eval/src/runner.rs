@@ -1,0 +1,94 @@
+//! Dataset loading and timing helpers shared by the experiment runners.
+
+use crate::ExperimentConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sac_data::{select_query_vertices, DatasetKind, DatasetSpec};
+use sac_graph::{SpatialGraph, VertexId};
+use std::time::{Duration, Instant};
+
+/// A dataset ready for experiments: the (surrogate) spatial graph plus the query
+/// vertices sampled from it (core number ≥ 4, as in Section 5.1).
+#[derive(Debug, Clone)]
+pub struct DatasetBundle {
+    /// Which Table 4 dataset this bundle mirrors.
+    pub kind: DatasetKind,
+    /// The spatial graph.
+    pub graph: SpatialGraph,
+    /// Query vertices (sorted by id).
+    pub queries: Vec<VertexId>,
+}
+
+impl DatasetBundle {
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+}
+
+/// Generates (or loads) the dataset `kind` at the configuration's scale and samples
+/// its query vertices.
+pub fn load_dataset(kind: DatasetKind, config: &ExperimentConfig) -> DatasetBundle {
+    let spec = if (config.scale - 1.0).abs() < f64::EPSILON {
+        DatasetSpec::full(kind)
+    } else {
+        DatasetSpec::scaled(kind, config.scale)
+    };
+    let graph = spec.generate();
+    let mut rng = StdRng::seed_from_u64(config.seed ^ spec.seed);
+    let queries = select_query_vertices(graph.graph(), config.num_queries, 4, &mut rng);
+    DatasetBundle { kind, graph, queries }
+}
+
+/// Runs `f` and returns its result together with the elapsed wall-clock time.
+pub fn time_it<T, F: FnOnce() -> T>(f: F) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Averages a slice of durations, in seconds.  Empty input yields 0.
+pub fn mean_seconds(durations: &[Duration]) -> f64 {
+    if durations.is_empty() {
+        return 0.0;
+    }
+    durations.iter().map(|d| d.as_secs_f64()).sum::<f64>() / durations.len() as f64
+}
+
+/// Averages an `f64` slice, ignoring NaNs.  Empty (or all-NaN) input yields NaN.
+pub fn mean(values: &[f64]) -> f64 {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return f64::NAN;
+    }
+    finite.iter().sum::<f64>() / finite.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_graph::core_decomposition;
+
+    #[test]
+    fn load_dataset_produces_queries_with_core_at_least_4() {
+        let config = ExperimentConfig::smoke_test();
+        let bundle = load_dataset(DatasetKind::Brightkite, &config);
+        assert_eq!(bundle.name(), "Brightkite");
+        assert!(!bundle.queries.is_empty());
+        assert!(bundle.queries.len() <= config.num_queries);
+        let decomp = core_decomposition(bundle.graph.graph());
+        assert!(bundle.queries.iter().all(|&q| decomp.core_number(q) >= 4));
+    }
+
+    #[test]
+    fn timing_and_averages() {
+        let (value, elapsed) = time_it(|| (0..1000).sum::<u64>());
+        assert_eq!(value, 499_500);
+        assert!(elapsed.as_secs_f64() >= 0.0);
+        assert_eq!(mean_seconds(&[]), 0.0);
+        assert!((mean_seconds(&[Duration::from_millis(100), Duration::from_millis(300)]) - 0.2).abs() < 1e-9);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((mean(&[1.0, f64::NAN, 3.0]) - 2.0).abs() < 1e-12);
+        assert!(mean(&[]).is_nan());
+    }
+}

@@ -1,0 +1,47 @@
+//! Error types for geometric computations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the geometry substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeomError {
+    /// An operation that requires at least one point received an empty set.
+    EmptyPointSet,
+    /// The input was numerically degenerate (e.g. collinear points where a proper
+    /// circumcircle was required).
+    Degenerate,
+    /// A parameter was outside its valid range (e.g. a negative radius or a
+    /// non-positive grid cell size).
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::EmptyPointSet => write!(f, "operation requires a non-empty point set"),
+            GeomError::Degenerate => write!(f, "degenerate geometric configuration"),
+            GeomError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(GeomError::EmptyPointSet.to_string().contains("non-empty"));
+        assert!(GeomError::Degenerate.to_string().contains("degenerate"));
+        assert!(GeomError::InvalidParameter("cell size").to_string().contains("cell size"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error>(_: E) {}
+        assert_error(GeomError::Degenerate);
+    }
+}

@@ -1,0 +1,246 @@
+//! Minimum enclosing circle (Welzl's algorithm) plus a brute-force reference.
+//!
+//! The paper relies on the classical result (its Lemma 1, after Elzinga & Hearn)
+//! that the minimum covering circle of a point set is determined by at most three
+//! points on its boundary, and on the existence of a linear-time MCC algorithm
+//! (Megiddo [24]; in practice Welzl's randomised algorithm, which runs in expected
+//! linear time, is the standard choice and is what we implement here).
+
+use crate::{Circle, GeomError, Point};
+#[cfg(test)]
+use crate::EPS;
+
+/// A tiny deterministic SplitMix64 generator used only to shuffle the input points.
+///
+/// Welzl's algorithm is expected-linear when the points are processed in random
+/// order; using an internal PRNG keeps this crate dependency-free and makes the
+/// computation reproducible.
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `0..bound` (bound > 0) via Lemire-style rejection-free mapping.
+    fn next_index(&mut self, bound: usize) -> usize {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+}
+
+fn shuffle(points: &mut [Point], rng: &mut SplitMix64) {
+    for i in (1..points.len()).rev() {
+        let j = rng.next_index(i + 1);
+        points.swap(i, j);
+    }
+}
+
+/// Iterative variant of Welzl's move-to-front algorithm.
+///
+/// The classical recursive formulation overflows the stack on large inputs, so we
+/// use the well-known incremental restatement: process points one by one; whenever
+/// a point falls outside the current circle it must be on the boundary of the MCC of
+/// the prefix, and we recompute the circle with that point pinned to the boundary.
+fn welzl(points: &[Point]) -> Circle {
+    let mut c = Circle::point(points[0]);
+    for i in 1..points.len() {
+        if c.contains(points[i]) {
+            continue;
+        }
+        // points[i] is on the boundary of MCC(points[0..=i]).
+        c = Circle::point(points[i]);
+        for j in 0..i {
+            if c.contains(points[j]) {
+                continue;
+            }
+            // points[j] is also on the boundary.
+            c = Circle::from_diameter(points[i], points[j]);
+            for k in 0..j {
+                if c.contains(points[k]) {
+                    continue;
+                }
+                // Three boundary points fully determine the circle.
+                c = Circle::mcc_of_three(points[i], points[j], points[k]);
+            }
+        }
+    }
+    c
+}
+
+/// Computes the minimum enclosing circle of `points` in expected linear time.
+///
+/// Returns [`GeomError::EmptyPointSet`] for an empty input.  A single point yields a
+/// degenerate circle of radius zero.
+///
+/// # Example
+///
+/// ```
+/// use sac_geom::{minimum_enclosing_circle, Point};
+/// let pts = [Point::new(0.0, 0.0), Point::new(0.0, 2.0), Point::new(2.0, 0.0), Point::new(1.0, 1.0)];
+/// let c = minimum_enclosing_circle(&pts).unwrap();
+/// assert!((c.radius - 2f64.sqrt()).abs() < 1e-9);
+/// ```
+pub fn minimum_enclosing_circle(points: &[Point]) -> Result<Circle, GeomError> {
+    if points.is_empty() {
+        return Err(GeomError::EmptyPointSet);
+    }
+    if points.len() == 1 {
+        return Ok(Circle::point(points[0]));
+    }
+    if points.len() == 2 {
+        return Ok(Circle::from_diameter(points[0], points[1]));
+    }
+    let mut pts = points.to_vec();
+    // Deterministic seed derived from the input size keeps results reproducible
+    // while still giving the expected-linear behaviour of randomised Welzl.
+    let mut rng = SplitMix64::new(0x5AC5_EA2C_u64 ^ (points.len() as u64).wrapping_mul(0x9E37));
+    shuffle(&mut pts, &mut rng);
+    Ok(welzl(&pts))
+}
+
+/// Brute-force reference implementation of the minimum enclosing circle.
+///
+/// Enumerates every pair (diametral circle) and triple (MCC of three points) and
+/// returns the smallest circle covering the whole set.  Cubic in the number of
+/// points; exposed for testing and for the tiny candidate sets that appear inside
+/// the `Exact`/`Exact+` SAC algorithms.
+pub fn minimum_enclosing_circle_naive(points: &[Point]) -> Result<Circle, GeomError> {
+    if points.is_empty() {
+        return Err(GeomError::EmptyPointSet);
+    }
+    if points.len() == 1 {
+        return Ok(Circle::point(points[0]));
+    }
+    let mut best: Option<Circle> = None;
+    let n = points.len();
+    let mut consider = |c: Circle| {
+        if c.contains_all(points) {
+            best = match best {
+                Some(prev) if prev.radius <= c.radius => Some(prev),
+                _ => Some(c),
+            };
+        }
+    };
+    for i in 0..n {
+        for j in (i + 1)..n {
+            consider(Circle::from_diameter(points[i], points[j]));
+            for k in (j + 1)..n {
+                consider(Circle::mcc_of_three(points[i], points[j], points[k]));
+            }
+        }
+    }
+    best.ok_or(GeomError::Degenerate)
+}
+
+/// Returns `true` when `circle` covers every point and no strictly smaller circle
+/// covering all points exists (up to tolerance), by comparison against the
+/// brute-force reference.  Intended for tests.
+#[cfg(test)]
+pub(crate) fn is_minimal_cover(circle: &Circle, points: &[Point]) -> bool {
+    if !circle.contains_all(points) {
+        return false;
+    }
+    match minimum_enclosing_circle_naive(points) {
+        Ok(reference) => circle.radius <= reference.radius + EPS * (1.0 + reference.radius),
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(matches!(
+            minimum_enclosing_circle(&[]),
+            Err(GeomError::EmptyPointSet)
+        ));
+        assert!(matches!(
+            minimum_enclosing_circle_naive(&[]),
+            Err(GeomError::EmptyPointSet)
+        ));
+    }
+
+    #[test]
+    fn single_and_double_point_sets() {
+        let p = Point::new(0.4, 0.6);
+        let c = minimum_enclosing_circle(&[p]).unwrap();
+        assert_eq!(c.radius, 0.0);
+        assert_eq!(c.center, p);
+
+        let q = Point::new(1.4, 0.6);
+        let c = minimum_enclosing_circle(&[p, q]).unwrap();
+        assert!((c.radius - 0.5).abs() < 1e-12);
+        assert_eq!(c.center, p.midpoint(q));
+    }
+
+    #[test]
+    fn duplicate_points_are_handled() {
+        let p = Point::new(0.25, 0.75);
+        let pts = vec![p; 17];
+        let c = minimum_enclosing_circle(&pts).unwrap();
+        assert!(c.radius < 1e-12);
+    }
+
+    #[test]
+    fn square_corners() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 1.0),
+        ];
+        let c = minimum_enclosing_circle(&pts).unwrap();
+        assert!((c.radius - (0.5f64 * 2.0f64.sqrt())).abs() < 1e-9);
+        assert!(c.contains_all(&pts));
+    }
+
+    #[test]
+    fn matches_naive_on_fixed_grid() {
+        let mut pts = Vec::new();
+        for i in 0..6 {
+            for j in 0..4 {
+                pts.push(Point::new(i as f64 * 0.37, j as f64 * 0.91 + (i % 2) as f64 * 0.2));
+            }
+        }
+        let fast = minimum_enclosing_circle(&pts).unwrap();
+        let slow = minimum_enclosing_circle_naive(&pts).unwrap();
+        assert!((fast.radius - slow.radius).abs() < 1e-7);
+        assert!(fast.contains_all(&pts));
+    }
+
+    #[test]
+    fn minimality_helper_detects_oversized_circles() {
+        let pts = [Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let exact = Circle::from_diameter(pts[0], pts[1]);
+        let oversized = Circle::new(Point::new(0.5, 0.0), 2.0);
+        assert!(is_minimal_cover(&exact, &pts));
+        assert!(!is_minimal_cover(&oversized, &pts));
+    }
+
+    #[test]
+    fn paper_example_c1_radius() {
+        // Example 1 of the paper: C1 = {Q, C, D} has r_opt = 1.5 in the Fig. 3
+        // coordinate system (Q=(3,3), C=(4.5,5), D=(2,5) approximately reproduce
+        // the stated radius of 1.5 with the MCC through the three points).
+        let q = Point::new(3.0, 3.0);
+        let c = Point::new(4.0, 5.0);
+        let d = Point::new(2.0, 5.0);
+        let mcc = minimum_enclosing_circle(&[q, c, d]).unwrap();
+        let naive = minimum_enclosing_circle_naive(&[q, c, d]).unwrap();
+        assert!((mcc.radius - naive.radius).abs() < 1e-9);
+        assert!(mcc.contains_all(&[q, c, d]));
+    }
+}

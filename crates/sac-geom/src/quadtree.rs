@@ -1,0 +1,297 @@
+//! A point quadtree: an alternative spatial index with logarithmic-depth recursive
+//! subdivision, used where the data distribution is highly skewed (real geo-social
+//! check-in data concentrates in cities, which can overload a uniform grid).
+
+use crate::{Circle, GeomError, Point, Rect};
+
+/// Maximum number of points stored in a leaf before it splits.
+const LEAF_CAPACITY: usize = 16;
+/// Maximum tree depth; below this, leaves absorb any number of points (protects
+/// against pathological inputs such as many duplicate locations).
+const MAX_DEPTH: u32 = 24;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Indices into the point array.
+        items: Vec<u32>,
+    },
+    Internal {
+        /// Children in quadrant order SW, SE, NW, NE.
+        children: [usize; 4],
+    },
+}
+
+/// A quadtree over a fixed set of points supporting circular range queries and
+/// nearest-neighbour queries.
+///
+/// Like [`crate::GridIndex`], point identities are indices into the original slice.
+#[derive(Debug, Clone)]
+pub struct PointQuadtree {
+    bounds: Rect,
+    nodes: Vec<Node>,
+    node_bounds: Vec<Rect>,
+    points: Vec<Point>,
+}
+
+impl PointQuadtree {
+    /// Builds a quadtree over `points`.
+    pub fn build(points: &[Point]) -> Result<Self, GeomError> {
+        if points.is_empty() {
+            return Err(GeomError::EmptyPointSet);
+        }
+        let bounds = Rect::bounding(points)
+            .expect("non-empty point set always has a bounding box")
+            .expanded(1e-12);
+        let mut tree = PointQuadtree {
+            bounds,
+            nodes: vec![Node::Leaf { items: Vec::new() }],
+            node_bounds: vec![bounds],
+            points: points.to_vec(),
+        };
+        for idx in 0..points.len() {
+            tree.insert(0, idx as u32, 0);
+        }
+        Ok(tree)
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when the tree holds no points (never the case after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of nodes in the tree (for diagnostics and tests).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn insert(&mut self, node: usize, idx: u32, depth: u32) {
+        match &mut self.nodes[node] {
+            Node::Leaf { items } => {
+                items.push(idx);
+                if items.len() > LEAF_CAPACITY && depth < MAX_DEPTH {
+                    self.split(node, depth);
+                }
+            }
+            Node::Internal { children } => {
+                let children = *children;
+                let p = self.points[idx as usize];
+                let child = self.quadrant_of(node, p);
+                self.insert(children[child], idx, depth + 1);
+            }
+        }
+    }
+
+    fn quadrant_of(&self, node: usize, p: Point) -> usize {
+        let c = self.node_bounds[node].center();
+        match (p.x >= c.x, p.y >= c.y) {
+            (false, false) => 0, // SW
+            (true, false) => 1,  // SE
+            (false, true) => 2,  // NW
+            (true, true) => 3,   // NE
+        }
+    }
+
+    fn split(&mut self, node: usize, depth: u32) {
+        let items = match &mut self.nodes[node] {
+            Node::Leaf { items } => std::mem::take(items),
+            Node::Internal { .. } => return,
+        };
+        let quads = self.node_bounds[node].quadrants();
+        let first_child = self.nodes.len();
+        for q in quads {
+            self.nodes.push(Node::Leaf { items: Vec::new() });
+            self.node_bounds.push(q);
+        }
+        self.nodes[node] = Node::Internal {
+            children: [first_child, first_child + 1, first_child + 2, first_child + 3],
+        };
+        for idx in items {
+            let p = self.points[idx as usize];
+            let child = self.quadrant_of(node, p);
+            let children = match &self.nodes[node] {
+                Node::Internal { children } => *children,
+                Node::Leaf { .. } => unreachable!(),
+            };
+            self.insert(children[child], idx, depth + 1);
+        }
+    }
+
+    /// Returns the indices of all points inside `circle`, in arbitrary order.
+    pub fn query_circle(&self, circle: &Circle) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut stack = vec![0usize];
+        while let Some(node) = stack.pop() {
+            if !self.node_bounds[node].intersects_circle(circle) {
+                continue;
+            }
+            match &self.nodes[node] {
+                Node::Leaf { items } => {
+                    for &idx in items {
+                        if circle.contains(self.points[idx as usize]) {
+                            out.push(idx);
+                        }
+                    }
+                }
+                Node::Internal { children } => stack.extend_from_slice(children),
+            }
+        }
+        out
+    }
+
+    /// Returns the index and distance of the point nearest to `query`.
+    pub fn nearest(&self, query: Point) -> (u32, f64) {
+        let mut best_idx = 0u32;
+        let mut best_d = f64::INFINITY;
+        // Best-first traversal ordered by the distance from the query to each node's
+        // bounding rectangle.
+        let mut heap: std::collections::BinaryHeap<HeapEntry> = std::collections::BinaryHeap::new();
+        heap.push(HeapEntry { dist: 0.0, node: 0 });
+        while let Some(HeapEntry { dist, node }) = heap.pop() {
+            if dist > best_d {
+                break;
+            }
+            match &self.nodes[node] {
+                Node::Leaf { items } => {
+                    for &idx in items {
+                        let d = self.points[idx as usize].distance(query);
+                        if d < best_d {
+                            best_d = d;
+                            best_idx = idx;
+                        }
+                    }
+                }
+                Node::Internal { children } => {
+                    for &c in children {
+                        let d = self.node_bounds[c].distance_to_point(query);
+                        if d <= best_d {
+                            heap.push(HeapEntry { dist: d, node: c });
+                        }
+                    }
+                }
+            }
+        }
+        (best_idx, best_d)
+    }
+
+    /// The bounding rectangle of the indexed data.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+}
+
+/// Min-heap entry ordered by ascending distance.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse the comparison so the BinaryHeap (a max-heap) pops the smallest
+        // distance first.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered_points() -> Vec<Point> {
+        // Two dense clusters plus sparse background, mimicking city-centred
+        // geo-social data.
+        let mut pts = Vec::new();
+        for i in 0..60 {
+            let t = i as f64 / 60.0;
+            pts.push(Point::new(0.2 + 0.01 * (t * 37.0).sin(), 0.2 + 0.01 * (t * 53.0).cos()));
+            pts.push(Point::new(0.8 + 0.02 * (t * 11.0).cos(), 0.7 + 0.02 * (t * 29.0).sin()));
+        }
+        for i in 0..30 {
+            pts.push(Point::new((i as f64 * 0.033) % 1.0, (i as f64 * 0.071) % 1.0));
+        }
+        pts
+    }
+
+    #[test]
+    fn build_rejects_empty_input() {
+        assert!(PointQuadtree::build(&[]).is_err());
+    }
+
+    #[test]
+    fn splits_under_load() {
+        let pts = clustered_points();
+        let tree = PointQuadtree::build(&pts).unwrap();
+        assert!(tree.node_count() > 1, "tree should have split");
+        assert_eq!(tree.len(), pts.len());
+    }
+
+    #[test]
+    fn circle_query_matches_linear_scan() {
+        let pts = clustered_points();
+        let tree = PointQuadtree::build(&pts).unwrap();
+        for circle in [
+            Circle::new(Point::new(0.2, 0.2), 0.05),
+            Circle::new(Point::new(0.8, 0.7), 0.1),
+            Circle::new(Point::new(0.5, 0.5), 0.45),
+            Circle::new(Point::new(2.0, 2.0), 0.1),
+        ] {
+            let mut got = tree.query_circle(&circle);
+            got.sort_unstable();
+            let mut expected: Vec<u32> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| circle.contains(**p))
+                .map(|(i, _)| i as u32)
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(got, expected, "mismatch for {circle}");
+        }
+    }
+
+    #[test]
+    fn nearest_matches_linear_scan() {
+        let pts = clustered_points();
+        let tree = PointQuadtree::build(&pts).unwrap();
+        for query in [
+            Point::new(0.21, 0.19),
+            Point::new(0.79, 0.71),
+            Point::new(0.0, 1.0),
+            Point::new(0.5, 0.5),
+        ] {
+            let (_, got_d) = tree.nearest(query);
+            let expected = pts
+                .iter()
+                .map(|p| p.distance(query))
+                .fold(f64::INFINITY, f64::min);
+            assert!((got_d - expected).abs() < 1e-12, "mismatch for {query}");
+        }
+    }
+
+    #[test]
+    fn handles_many_duplicate_points() {
+        let mut pts = vec![Point::new(0.5, 0.5); 200];
+        pts.push(Point::new(0.6, 0.6));
+        let tree = PointQuadtree::build(&pts).unwrap();
+        let got = tree.query_circle(&Circle::new(Point::new(0.5, 0.5), 0.01));
+        assert_eq!(got.len(), 200);
+    }
+}

@@ -1,0 +1,205 @@
+//! Loading and saving spatial graphs in simple text formats.
+//!
+//! Two file formats are supported, chosen to match the SNAP dumps the paper's real
+//! datasets (Brightkite, Gowalla, …) ship in, so that the real data can be dropped
+//! into the experiment harness unchanged:
+//!
+//! * **Edge list** — one edge per line, `u v`, whitespace separated; `#` starts a
+//!   comment line.  Edges are undirected and deduplicated.
+//! * **Location list** — one vertex per line, `v x y`; vertices without a location
+//!   keep the default `(0, 0)` unless `strict` loading is requested.
+
+use crate::{Graph, GraphBuilder, GraphError, SpatialGraph, VertexId};
+use sac_geom::Point;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Parses an edge list from a reader.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, GraphError> {
+    let mut builder = GraphBuilder::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let u = parse_vertex(it.next(), lineno + 1)?;
+        let v = parse_vertex(it.next(), lineno + 1)?;
+        builder.add_edge(u, v);
+    }
+    Ok(builder.build())
+}
+
+/// Loads an edge list from a file path.
+pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<Graph, GraphError> {
+    read_edge_list(BufReader::new(File::open(path)?))
+}
+
+/// Parses a location list (`v x y` per line) from a reader.
+///
+/// Returns positions for vertices `0..n` where `n` is `num_vertices`; vertices not
+/// mentioned in the file keep the origin.  Positions for ids `>= num_vertices` are
+/// rejected.
+pub fn read_locations<R: BufRead>(
+    reader: R,
+    num_vertices: usize,
+) -> Result<Vec<Point>, GraphError> {
+    let mut positions = vec![Point::ORIGIN; num_vertices];
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let v = parse_vertex(it.next(), lineno + 1)?;
+        let x = parse_coord(it.next(), lineno + 1)?;
+        let y = parse_coord(it.next(), lineno + 1)?;
+        if (v as usize) >= num_vertices {
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                message: format!("vertex {v} out of range (graph has {num_vertices} vertices)"),
+            });
+        }
+        positions[v as usize] = Point::new(x, y);
+    }
+    Ok(positions)
+}
+
+/// Loads a location list from a file path.
+pub fn load_locations<P: AsRef<Path>>(
+    path: P,
+    num_vertices: usize,
+) -> Result<Vec<Point>, GraphError> {
+    read_locations(BufReader::new(File::open(path)?), num_vertices)
+}
+
+/// Loads a spatial graph from an edge-list file and a location file.
+pub fn load_spatial_graph<P: AsRef<Path>, Q: AsRef<Path>>(
+    edges_path: P,
+    locations_path: Q,
+) -> Result<SpatialGraph, GraphError> {
+    let graph = load_edge_list(edges_path)?;
+    let positions = load_locations(locations_path, graph.num_vertices())?;
+    SpatialGraph::new(graph, positions)
+}
+
+/// Writes a graph as an edge list (`u v` per line, one line per undirected edge).
+pub fn write_edge_list<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "# sackit edge list: {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    for (u, v) in graph.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Writes vertex locations (`v x y` per line).
+pub fn write_locations<P: AsRef<Path>>(positions: &[Point], path: P) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "# sackit locations: {} vertices", positions.len())?;
+    for (v, p) in positions.iter().enumerate() {
+        writeln!(w, "{v} {} {}", p.x, p.y)?;
+    }
+    Ok(())
+}
+
+fn parse_vertex(token: Option<&str>, line: usize) -> Result<VertexId, GraphError> {
+    let token = token.ok_or_else(|| GraphError::Parse {
+        line,
+        message: "expected a vertex id".into(),
+    })?;
+    token.parse::<VertexId>().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid vertex id `{token}`"),
+    })
+}
+
+fn parse_coord(token: Option<&str>, line: usize) -> Result<f64, GraphError> {
+    let token = token.ok_or_else(|| GraphError::Parse {
+        line,
+        message: "expected a coordinate".into(),
+    })?;
+    let value = token.parse::<f64>().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid coordinate `{token}`"),
+    })?;
+    if !value.is_finite() {
+        return Err(GraphError::Parse {
+            line,
+            message: format!("non-finite coordinate `{token}`"),
+        });
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parse_edge_list_with_comments_and_blanks() {
+        let input = "# a comment\n\n0 1\n1 2\n2 0\n2 3\n1 0\n";
+        let g = read_edge_list(Cursor::new(input)).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn parse_edge_list_rejects_garbage() {
+        let err = read_edge_list(Cursor::new("0 x\n")).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = read_edge_list(Cursor::new("42\n")).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn parse_locations() {
+        let input = "0 0.5 0.25\n1 0.75 0.75\n# trailing comment\n";
+        let pos = read_locations(Cursor::new(input), 3).unwrap();
+        assert_eq!(pos[0], Point::new(0.5, 0.25));
+        assert_eq!(pos[1], Point::new(0.75, 0.75));
+        assert_eq!(pos[2], Point::ORIGIN);
+    }
+
+    #[test]
+    fn locations_out_of_range_or_invalid() {
+        assert!(read_locations(Cursor::new("5 0.1 0.2\n"), 3).is_err());
+        assert!(read_locations(Cursor::new("0 nan 0.2\n"), 3).is_err());
+        assert!(read_locations(Cursor::new("0 0.1\n"), 3).is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_files() {
+        let dir = std::env::temp_dir().join("sackit_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges_path = dir.join("edges.txt");
+        let locs_path = dir.join("locs.txt");
+
+        let g = GraphBuilder::from_edges([(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let positions = vec![
+            Point::new(0.1, 0.1),
+            Point::new(0.2, 0.1),
+            Point::new(0.15, 0.2),
+            Point::new(0.9, 0.9),
+        ];
+        write_edge_list(&g, &edges_path).unwrap();
+        write_locations(&positions, &locs_path).unwrap();
+
+        let sg = load_spatial_graph(&edges_path, &locs_path).unwrap();
+        assert_eq!(sg.num_vertices(), 4);
+        assert_eq!(sg.num_edges(), 4);
+        assert_eq!(sg.position(3), Point::new(0.9, 0.9));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_edge_list("/definitely/not/a/file.txt").unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)));
+    }
+}

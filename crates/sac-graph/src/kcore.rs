@@ -1,0 +1,323 @@
+//! Connected k-core ("k-ĉore") queries.
+//!
+//! Every SAC search algorithm repeatedly asks: *does the subgraph induced by some
+//! vertex set `S` contain a connected k-core that includes the query vertex `q`,
+//! and if so, which vertices form it?*  This module provides:
+//!
+//! * [`connected_kcore`] — the k-ĉore of the **whole graph** containing `q`
+//!   (the `Global` baseline and Step 1 of the paper's two-step framework), and
+//! * [`KCoreSolver`] — a reusable solver answering the **subset-restricted**
+//!   question without allocating per call, which is the inner loop of `Exact`,
+//!   `AppInc`, `AppFast`, `AppAcc` and `Exact+`.
+
+use crate::{core_decomposition, Graph, VertexId};
+
+/// Returns the vertex set of the connected k-core (k-ĉore) of `graph` that contains
+/// `q`, or `None` when `q` is not part of any k-core.
+///
+/// The result is sorted by vertex id.  This is exactly what the `Global` community
+/// search baseline of Sozio & Gionis returns.
+pub fn connected_kcore(graph: &Graph, q: VertexId, k: u32) -> Option<Vec<VertexId>> {
+    if (q as usize) >= graph.num_vertices() {
+        return None;
+    }
+    let decomp = core_decomposition(graph);
+    if decomp.core_number(q) < k {
+        return None;
+    }
+    // BFS from q over vertices with core number >= k.
+    let mut visited = vec![false; graph.num_vertices()];
+    let mut component = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    visited[q as usize] = true;
+    queue.push_back(q);
+    while let Some(v) = queue.pop_front() {
+        component.push(v);
+        for &u in graph.neighbors(v) {
+            if !visited[u as usize] && decomp.core_number(u) >= k {
+                visited[u as usize] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    component.sort_unstable();
+    Some(component)
+}
+
+/// A reusable solver for subset-restricted connected-k-core queries.
+///
+/// Given a vertex subset `S`, [`KCoreSolver::kcore_containing`] peels `G[S]` down to
+/// its k-core and returns the connected component containing `q`, if any.  All
+/// scratch buffers are epoch-marked so repeated calls do not pay an `O(n)` reset;
+/// the cost of a call is `O(Σ_{v ∈ S} deg_G(v))`.
+#[derive(Debug, Clone)]
+pub struct KCoreSolver {
+    epoch: u32,
+    /// `in_subset[v] == epoch` ⇔ vertex `v` belongs to the current call's subset.
+    in_subset: Vec<u32>,
+    /// `removed[v] == epoch` ⇔ vertex `v` was peeled away in the current call.
+    removed: Vec<u32>,
+    /// `seen[v] == epoch` ⇔ vertex `v` was visited by the current call's BFS.
+    seen: Vec<u32>,
+    /// Degree of `v` restricted to the current subset (valid only for subset members).
+    deg: Vec<u32>,
+    /// Scratch stack shared by peeling and BFS.
+    stack: Vec<VertexId>,
+}
+
+impl KCoreSolver {
+    /// Creates a solver for graphs with at most `n` vertices.
+    pub fn new(n: usize) -> Self {
+        KCoreSolver {
+            epoch: 0,
+            in_subset: vec![0; n],
+            removed: vec![0; n],
+            seen: vec![0; n],
+            deg: vec![0; n],
+            stack: Vec::new(),
+        }
+    }
+
+    /// Grows the internal buffers if the graph has more vertices than anticipated.
+    fn ensure_capacity(&mut self, n: usize) {
+        if self.in_subset.len() < n {
+            self.in_subset.resize(n, 0);
+            self.removed.resize(n, 0);
+            self.seen.resize(n, 0);
+            self.deg.resize(n, 0);
+        }
+    }
+
+    fn bump_epoch(&mut self) {
+        if self.epoch == u32::MAX {
+            // Extremely unlikely in practice; reset all marks to start over.
+            self.in_subset.iter_mut().for_each(|x| *x = 0);
+            self.removed.iter_mut().for_each(|x| *x = 0);
+            self.seen.iter_mut().for_each(|x| *x = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Returns the vertex set (sorted by id) of the connected k-core of `G[subset]`
+    /// containing `q`, or `None` when no such subgraph exists.
+    ///
+    /// `subset` may contain duplicates and need not contain `q`; if it does not,
+    /// the answer is `None`.
+    pub fn kcore_containing(
+        &mut self,
+        graph: &Graph,
+        subset: &[VertexId],
+        q: VertexId,
+        k: u32,
+    ) -> Option<Vec<VertexId>> {
+        self.ensure_capacity(graph.num_vertices());
+        self.bump_epoch();
+        let epoch = self.epoch;
+
+        // Mark the subset.
+        for &v in subset {
+            self.in_subset[v as usize] = epoch;
+        }
+        if (q as usize) >= graph.num_vertices() || self.in_subset[q as usize] != epoch {
+            return None;
+        }
+
+        // Degree of every subset vertex restricted to the subset.
+        // (Iterate over `subset` but skip duplicates via the `deg-initialised` trick:
+        // reset deg when first touched this epoch, using `seen` as the init marker.)
+        for &v in subset {
+            if self.seen[v as usize] == epoch {
+                continue; // duplicate entry
+            }
+            self.seen[v as usize] = epoch;
+            let mut d = 0u32;
+            for &u in graph.neighbors(v) {
+                if self.in_subset[u as usize] == epoch {
+                    d += 1;
+                }
+            }
+            self.deg[v as usize] = d;
+        }
+
+        // Peel vertices whose subset-degree is below k.
+        self.stack.clear();
+        for &v in subset {
+            if self.removed[v as usize] != epoch && self.deg[v as usize] < k {
+                self.removed[v as usize] = epoch;
+                self.stack.push(v);
+            }
+        }
+        while let Some(v) = self.stack.pop() {
+            for &u in graph.neighbors(v) {
+                if self.in_subset[u as usize] == epoch && self.removed[u as usize] != epoch {
+                    self.deg[u as usize] -= 1;
+                    if self.deg[u as usize] + 1 == k {
+                        self.removed[u as usize] = epoch;
+                        self.stack.push(u);
+                    }
+                }
+            }
+        }
+        if self.removed[q as usize] == epoch {
+            return None;
+        }
+
+        // BFS from q over surviving subset vertices.  Reuse `seen` with a fresh
+        // epoch-like trick: flip to a "visited" state by bumping seen to epoch + ...
+        // Simpler: use the stack plus a dedicated visited value (epoch stored in
+        // `seen` was used for dedup above, so we track BFS visits by temporarily
+        // marking visited vertices as removed — they are part of the answer and the
+        // call ends right after).
+        let mut component = Vec::new();
+        self.stack.clear();
+        self.stack.push(q);
+        self.removed[q as usize] = epoch; // mark visited
+        while let Some(v) = self.stack.pop() {
+            component.push(v);
+            for &u in graph.neighbors(v) {
+                if self.in_subset[u as usize] == epoch && self.removed[u as usize] != epoch {
+                    self.removed[u as usize] = epoch;
+                    self.stack.push(u);
+                }
+            }
+        }
+        component.sort_unstable();
+        Some(component)
+    }
+
+    /// Convenience wrapper: returns `true` when `G[subset]` contains a connected
+    /// k-core that includes `q`.
+    pub fn contains_kcore(
+        &mut self,
+        graph: &Graph,
+        subset: &[VertexId],
+        q: VertexId,
+        k: u32,
+    ) -> bool {
+        self.kcore_containing(graph, subset, q, k).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn figure3_graph() -> Graph {
+        // See `core_decomp::tests::paper_figure3_example` for the vertex mapping.
+        GraphBuilder::from_edges([
+            (0, 1), (0, 2), (1, 2),
+            (0, 3), (0, 4), (3, 4),
+            (3, 5), (4, 5),
+            (6, 7), (7, 8), (6, 8),
+            (8, 9),
+        ])
+    }
+
+    #[test]
+    fn global_kcore_of_figure3() {
+        let g = figure3_graph();
+        // 2-ĉore containing Q (=0) is {Q,A,B,C,D,E}.
+        assert_eq!(connected_kcore(&g, 0, 2).unwrap(), vec![0, 1, 2, 3, 4, 5]);
+        // 2-ĉore containing F (=6) is {F,G,H}.
+        assert_eq!(connected_kcore(&g, 6, 2).unwrap(), vec![6, 7, 8]);
+        // I (=9) has no 2-core.
+        assert!(connected_kcore(&g, 9, 2).is_none());
+        // Out-of-range query vertex.
+        assert!(connected_kcore(&g, 99, 2).is_none());
+    }
+
+    #[test]
+    fn subset_restricted_kcore() {
+        let g = figure3_graph();
+        let mut solver = KCoreSolver::new(g.num_vertices());
+
+        // Within {Q,A,B}: the triangle is a 2-core containing Q.
+        assert_eq!(
+            solver.kcore_containing(&g, &[0, 1, 2], 0, 2).unwrap(),
+            vec![0, 1, 2]
+        );
+        // Within {Q,A,C}: A has only Q as a neighbour, C has only Q — no 2-core.
+        assert!(solver.kcore_containing(&g, &[0, 1, 3], 0, 2).is_none());
+        // Within {Q,C,D,E}: {Q,C,D} is a triangle; E has degree 2 (C, D) so the
+        // whole set has min degree 2.
+        assert_eq!(
+            solver.kcore_containing(&g, &[0, 3, 4, 5], 0, 2).unwrap(),
+            vec![0, 3, 4, 5]
+        );
+        // q not in subset → None.
+        assert!(solver.kcore_containing(&g, &[1, 2], 0, 2).is_none());
+        // Duplicate entries in the subset are tolerated.
+        assert_eq!(
+            solver.kcore_containing(&g, &[0, 1, 2, 1, 0, 2], 0, 2).unwrap(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn connected_component_is_restricted_to_q() {
+        // Two disjoint triangles in the same subset: only q's triangle is returned.
+        let g = GraphBuilder::from_edges([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        let mut solver = KCoreSolver::new(g.num_vertices());
+        let all: Vec<VertexId> = (0..6).collect();
+        assert_eq!(solver.kcore_containing(&g, &all, 0, 2).unwrap(), vec![0, 1, 2]);
+        assert_eq!(solver.kcore_containing(&g, &all, 4, 2).unwrap(), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn peeling_cascades() {
+        // A path 0-1-2-3-4 plus a triangle on {0,1,5}: asking for the 2-core from 0
+        // must peel the entire path tail (4, then 3, then 2) and keep the triangle.
+        let g = GraphBuilder::from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (0, 5), (1, 5)]);
+        let mut solver = KCoreSolver::new(g.num_vertices());
+        let all: Vec<VertexId> = (0..6).collect();
+        assert_eq!(solver.kcore_containing(&g, &all, 0, 2).unwrap(), vec![0, 1, 5]);
+        // k = 3 is impossible here.
+        assert!(solver.kcore_containing(&g, &all, 0, 3).is_none());
+    }
+
+    #[test]
+    fn repeated_calls_reuse_buffers_correctly() {
+        let g = figure3_graph();
+        let mut solver = KCoreSolver::new(g.num_vertices());
+        for _ in 0..100 {
+            assert_eq!(
+                solver.kcore_containing(&g, &[0, 1, 2], 0, 2).unwrap(),
+                vec![0, 1, 2]
+            );
+            assert!(solver.kcore_containing(&g, &[0, 1, 3], 0, 2).is_none());
+            assert_eq!(
+                solver.kcore_containing(&g, &[0, 1, 2, 3, 4, 5], 0, 2).unwrap(),
+                vec![0, 1, 2, 3, 4, 5]
+            );
+        }
+    }
+
+    #[test]
+    fn solver_grows_with_larger_graphs() {
+        let small = GraphBuilder::from_edges([(0, 1), (1, 2), (0, 2)]);
+        let mut solver = KCoreSolver::new(small.num_vertices());
+        assert!(solver.kcore_containing(&small, &[0, 1, 2], 0, 2).is_some());
+        // Now a larger graph with the same solver instance.
+        let big = GraphBuilder::from_edges([(10, 11), (11, 12), (10, 12)]);
+        assert_eq!(
+            solver.kcore_containing(&big, &[10, 11, 12], 10, 2).unwrap(),
+            vec![10, 11, 12]
+        );
+    }
+
+    #[test]
+    fn k_zero_and_k_one() {
+        let g = GraphBuilder::from_edges([(0, 1), (1, 2)]);
+        let mut solver = KCoreSolver::new(g.num_vertices());
+        // k = 0: every connected subset containing q qualifies.
+        assert_eq!(solver.kcore_containing(&g, &[0, 1, 2], 0, 0).unwrap(), vec![0, 1, 2]);
+        // k = 1: path survives entirely.
+        assert_eq!(solver.kcore_containing(&g, &[0, 1, 2], 0, 1).unwrap(), vec![0, 1, 2]);
+        // Isolated q with k = 1 fails.
+        assert!(solver.kcore_containing(&g, &[0], 0, 1).is_none());
+        // Isolated q with k = 0 is just {q}.
+        assert_eq!(solver.kcore_containing(&g, &[0], 0, 0).unwrap(), vec![0]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Summary statistics over graphs (reproduces the columns of Table 4).
+
+use crate::{core_decomposition, Graph};
+
+/// Summary statistics of a graph, matching the columns reported in Table 4 of the
+/// paper (vertices, edges, average degree) plus a few extras useful for sanity
+/// checks of the synthetic surrogates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices `n`.
+    pub vertices: usize,
+    /// Number of undirected edges `m`.
+    pub edges: usize,
+    /// Average degree `d̂ = 2m / n`.
+    pub average_degree: f64,
+    /// Maximum vertex degree.
+    pub max_degree: usize,
+    /// Maximum core number (degeneracy).
+    pub max_core: u32,
+    /// Number of vertices with core number ≥ 4 — the pool from which the paper
+    /// samples its 200 query vertices.
+    pub core4_vertices: usize,
+}
+
+impl GraphStats {
+    /// Computes the statistics of `graph`.
+    pub fn compute(graph: &Graph) -> Self {
+        let decomp = core_decomposition(graph);
+        GraphStats {
+            vertices: graph.num_vertices(),
+            edges: graph.num_edges(),
+            average_degree: graph.average_degree(),
+            max_degree: graph.max_degree(),
+            max_core: decomp.max_core(),
+            core4_vertices: decomp.kcore_size(4),
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} d̂={:.2} max_deg={} max_core={} |core≥4|={}",
+            self.vertices,
+            self.edges,
+            self.average_degree,
+            self.max_degree,
+            self.max_core,
+            self.core4_vertices
+        )
+    }
+}
+
+/// Histogram of vertex degrees: `histogram[d]` is the number of vertices of degree
+/// `d`.  Used to verify the power-law shape of synthetic datasets.
+pub fn degree_histogram(graph: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; graph.max_degree() + 1];
+    for v in graph.vertices() {
+        hist[graph.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn stats_of_triangle_with_tail() {
+        let g = GraphBuilder::from_edges([(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.vertices, 4);
+        assert_eq!(s.edges, 4);
+        assert!((s.average_degree - 2.0).abs() < 1e-12);
+        assert_eq!(s.max_degree, 3);
+        assert_eq!(s.max_core, 2);
+        assert_eq!(s.core4_vertices, 0);
+        assert!(s.to_string().contains("n=4"));
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_n() {
+        let g = GraphBuilder::from_edges([(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), g.num_vertices());
+        assert_eq!(h[1], 1); // vertex 3
+        assert_eq!(h[2], 2); // vertices 0, 1
+        assert_eq!(h[3], 1); // vertex 2
+    }
+
+    #[test]
+    fn core4_counts_clique_members() {
+        // K5: every vertex has core number 4.
+        let mut b = GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b.add_edge(u, v);
+            }
+        }
+        let s = GraphStats::compute(&b.build());
+        assert_eq!(s.core4_vertices, 5);
+        assert_eq!(s.max_core, 4);
+    }
+}

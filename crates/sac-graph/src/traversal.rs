@@ -1,0 +1,261 @@
+//! Graph traversal utilities: BFS, connected components, subset predicates.
+
+use crate::{Graph, VertexId};
+use std::collections::VecDeque;
+
+/// A set of vertices backed by a sorted `Vec`.
+///
+/// Community members returned by SAC algorithms are naturally small (tens to a few
+/// thousand vertices) and are consumed both as ordered lists and as membership
+/// tests; a sorted vector gives compact storage, cheap iteration and `O(log n)`
+/// membership without hashing.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VertexSet {
+    sorted: Vec<VertexId>,
+}
+
+impl VertexSet {
+    /// Creates a set from any vertex list (duplicates removed).
+    pub fn from_vec(mut v: Vec<VertexId>) -> Self {
+        v.sort_unstable();
+        v.dedup();
+        VertexSet { sorted: v }
+    }
+
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of vertices in the set.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.sorted.binary_search(&v).is_ok()
+    }
+
+    /// The members as a sorted slice.
+    pub fn as_slice(&self) -> &[VertexId] {
+        &self.sorted
+    }
+
+    /// Iterator over the members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.sorted.iter().copied()
+    }
+
+    /// Size of the intersection with another set.
+    pub fn intersection_size(&self, other: &VertexSet) -> usize {
+        let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+        while i < self.sorted.len() && j < other.sorted.len() {
+            match self.sorted[i].cmp(&other.sorted[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Size of the union with another set.
+    pub fn union_size(&self, other: &VertexSet) -> usize {
+        self.len() + other.len() - self.intersection_size(other)
+    }
+
+    /// Jaccard similarity of the two member sets (1.0 when both are empty).
+    pub fn jaccard(&self, other: &VertexSet) -> f64 {
+        let union = self.union_size(other);
+        if union == 0 {
+            return 1.0;
+        }
+        self.intersection_size(other) as f64 / union as f64
+    }
+}
+
+impl From<Vec<VertexId>> for VertexSet {
+    fn from(v: Vec<VertexId>) -> Self {
+        VertexSet::from_vec(v)
+    }
+}
+
+impl FromIterator<VertexId> for VertexSet {
+    fn from_iter<T: IntoIterator<Item = VertexId>>(iter: T) -> Self {
+        VertexSet::from_vec(iter.into_iter().collect())
+    }
+}
+
+/// Returns the connected component of `start` inside the subgraph induced by the
+/// vertices for which `allowed` returns `true`.  The component is sorted by id.
+///
+/// `allowed(start)` must hold, otherwise the result is empty.
+pub fn bfs_component<F: Fn(VertexId) -> bool>(
+    graph: &Graph,
+    start: VertexId,
+    allowed: F,
+) -> Vec<VertexId> {
+    if (start as usize) >= graph.num_vertices() || !allowed(start) {
+        return Vec::new();
+    }
+    let mut visited = vec![false; graph.num_vertices()];
+    let mut queue = VecDeque::new();
+    let mut component = Vec::new();
+    visited[start as usize] = true;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        component.push(v);
+        for &u in graph.neighbors(v) {
+            if !visited[u as usize] && allowed(u) {
+                visited[u as usize] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    component.sort_unstable();
+    component
+}
+
+/// Decomposes the whole graph into connected components.
+///
+/// Returns one sorted vertex list per component, ordered by their smallest member.
+pub fn connected_components(graph: &Graph) -> Vec<Vec<VertexId>> {
+    let n = graph.num_vertices();
+    let mut visited = vec![false; n];
+    let mut components = Vec::new();
+    for start in 0..n as VertexId {
+        if visited[start as usize] {
+            continue;
+        }
+        let mut queue = VecDeque::new();
+        let mut component = Vec::new();
+        visited[start as usize] = true;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            component.push(v);
+            for &u in graph.neighbors(v) {
+                if !visited[u as usize] {
+                    visited[u as usize] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+        component.sort_unstable();
+        components.push(component);
+    }
+    components
+}
+
+/// Returns `true` when the subgraph induced by `subset` is connected.
+///
+/// An empty subset is considered connected.
+pub fn is_connected_subset(graph: &Graph, subset: &[VertexId]) -> bool {
+    if subset.is_empty() {
+        return true;
+    }
+    let set = VertexSet::from_vec(subset.to_vec());
+    let component = bfs_component(graph, set.as_slice()[0], |v| set.contains(v));
+    component.len() == set.len()
+}
+
+/// The minimum degree of the subgraph induced by `subset`
+/// (the paper's structure-cohesiveness measure), or `None` for an empty subset.
+pub fn min_degree_in_subset(graph: &Graph, subset: &[VertexId]) -> Option<usize> {
+    if subset.is_empty() {
+        return None;
+    }
+    let set = VertexSet::from_vec(subset.to_vec());
+    set.iter()
+        .map(|v| {
+            graph
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| set.contains(u))
+                .count()
+        })
+        .min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn two_triangles_and_isolated() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_edges([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        b.ensure_vertex(6);
+        b.build()
+    }
+
+    #[test]
+    fn vertex_set_basics() {
+        let s = VertexSet::from_vec(vec![3, 1, 2, 1, 3]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(2));
+        assert!(!s.contains(4));
+        assert_eq!(s.as_slice(), &[1, 2, 3]);
+
+        let t: VertexSet = vec![2, 3, 4].into();
+        assert_eq!(s.intersection_size(&t), 2);
+        assert_eq!(s.union_size(&t), 4);
+        assert!((s.jaccard(&t) - 0.5).abs() < 1e-12);
+        assert_eq!(VertexSet::new().jaccard(&VertexSet::new()), 1.0);
+    }
+
+    #[test]
+    fn vertex_set_from_iterator() {
+        let s: VertexSet = (0..5).collect();
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn bfs_component_respects_predicate() {
+        let g = two_triangles_and_isolated();
+        assert_eq!(bfs_component(&g, 0, |_| true), vec![0, 1, 2]);
+        // Forbid vertex 1: still connected through 2.
+        assert_eq!(bfs_component(&g, 0, |v| v != 1), vec![0, 2]);
+        // Start not allowed.
+        assert!(bfs_component(&g, 0, |v| v != 0).is_empty());
+        // Start out of range.
+        assert!(bfs_component(&g, 42, |_| true).is_empty());
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = two_triangles_and_isolated();
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![0, 1, 2]);
+        assert_eq!(comps[1], vec![3, 4, 5]);
+        assert_eq!(comps[2], vec![6]);
+    }
+
+    #[test]
+    fn connectivity_of_subsets() {
+        let g = two_triangles_and_isolated();
+        assert!(is_connected_subset(&g, &[0, 1, 2]));
+        assert!(!is_connected_subset(&g, &[0, 1, 3]));
+        assert!(is_connected_subset(&g, &[]));
+        assert!(is_connected_subset(&g, &[6]));
+    }
+
+    #[test]
+    fn min_degree_of_subsets() {
+        let g = two_triangles_and_isolated();
+        assert_eq!(min_degree_in_subset(&g, &[0, 1, 2]), Some(2));
+        assert_eq!(min_degree_in_subset(&g, &[0, 1]), Some(1));
+        assert_eq!(min_degree_in_subset(&g, &[0, 3]), Some(0));
+        assert_eq!(min_degree_in_subset(&g, &[]), None);
+    }
+}

@@ -1,0 +1,306 @@
+//! Connected k-truss queries.
+//!
+//! The paper notes (Section 3, "Remarks") that its minimum-degree structure
+//! cohesiveness can be swapped for stronger notions such as the **k-truss**
+//! (every edge of the community participates in at least `k − 2` triangles inside
+//! the community).  This module provides the truss machinery needed by the
+//! `sac-core::truss` extension: a global connected-k-truss query and a
+//! subset-restricted solver mirroring [`crate::KCoreSolver`].
+
+use crate::{Graph, VertexId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Key of an undirected edge with the endpoints in ascending order.
+#[inline]
+fn edge_key(u: VertexId, v: VertexId) -> (VertexId, VertexId) {
+    if u < v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// Computes the connected k-truss containing `q` within the subgraph of `graph`
+/// induced by `subset`.
+///
+/// A k-truss (k ≥ 2) is a subgraph in which every edge is contained in at least
+/// `k − 2` triangles of the subgraph.  The returned community is the connected
+/// component of `q` in the edge-maximal k-truss of `G[subset]`, as a sorted vertex
+/// list; `None` when `q` has no incident k-truss edge (for `k ≥ 3`) or when `q` is
+/// not in `subset`.
+///
+/// For `k ≤ 2` the k-truss degenerates to "any connected subgraph with at least one
+/// edge", matching the usual convention.
+pub fn ktruss_in_subset(
+    graph: &Graph,
+    subset: &[VertexId],
+    q: VertexId,
+    k: u32,
+) -> Option<Vec<VertexId>> {
+    if (q as usize) >= graph.num_vertices() {
+        return None;
+    }
+    let members: HashSet<VertexId> = subset.iter().copied().collect();
+    if !members.contains(&q) {
+        return None;
+    }
+
+    // Local adjacency restricted to the subset, sorted for fast intersections.
+    let mut adj: HashMap<VertexId, Vec<VertexId>> = HashMap::with_capacity(members.len());
+    for &v in &members {
+        let mut local: Vec<VertexId> = graph
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|u| members.contains(u))
+            .collect();
+        local.sort_unstable();
+        adj.insert(v, local);
+    }
+
+    // Support (triangle count) of every subset edge.
+    let mut support: HashMap<(VertexId, VertexId), i64> = HashMap::new();
+    let mut alive: HashSet<(VertexId, VertexId)> = HashSet::new();
+    for (&v, neighbours) in &adj {
+        for &u in neighbours {
+            if u <= v {
+                continue;
+            }
+            let key = (v, u);
+            let s = sorted_intersection_count(&adj[&v], &adj[&u]) as i64;
+            support.insert(key, s);
+            alive.insert(key);
+        }
+    }
+    if alive.is_empty() {
+        return None;
+    }
+
+    // Peel edges whose support is below k − 2.
+    let threshold = k.saturating_sub(2) as i64;
+    let mut queue: VecDeque<(VertexId, VertexId)> = support
+        .iter()
+        .filter(|(_, &s)| s < threshold)
+        .map(|(&e, _)| e)
+        .collect();
+    let mut removed: HashSet<(VertexId, VertexId)> = HashSet::new();
+    while let Some((u, v)) = queue.pop_front() {
+        if removed.contains(&(u, v)) || !alive.contains(&(u, v)) {
+            continue;
+        }
+        removed.insert((u, v));
+        alive.remove(&(u, v));
+        // Every common neighbour w loses one triangle on edges (u, w) and (v, w).
+        let common = sorted_intersection(&adj[&u], &adj[&v]);
+        for w in common {
+            for e in [edge_key(u, w), edge_key(v, w)] {
+                if alive.contains(&e) {
+                    if let Some(s) = support.get_mut(&e) {
+                        *s -= 1;
+                        if *s < threshold {
+                            queue.push_back(e);
+                        }
+                    }
+                }
+            }
+        }
+        // Keep the adjacency consistent with the surviving edge set.
+        if let Some(nu) = adj.get_mut(&u) {
+            if let Ok(pos) = nu.binary_search(&v) {
+                nu.remove(pos);
+            }
+        }
+        if let Some(nv) = adj.get_mut(&v) {
+            if let Ok(pos) = nv.binary_search(&u) {
+                nv.remove(pos);
+            }
+        }
+    }
+
+    // BFS from q over surviving edges.
+    if adj.get(&q).map_or(true, |n| n.is_empty()) {
+        // q has no surviving incident edge: a k-truss community around q exists only
+        // in the degenerate k ≤ 2 sense when q still has subset neighbours.
+        return None;
+    }
+    let mut visited: HashSet<VertexId> = HashSet::new();
+    let mut component = Vec::new();
+    let mut bfs = VecDeque::new();
+    visited.insert(q);
+    bfs.push_back(q);
+    while let Some(v) = bfs.pop_front() {
+        component.push(v);
+        for &u in &adj[&v] {
+            if visited.insert(u) {
+                bfs.push_back(u);
+            }
+        }
+    }
+    component.sort_unstable();
+    Some(component)
+}
+
+/// The connected k-truss of the whole graph containing `q` (the truss analogue of
+/// [`crate::connected_kcore`]).
+pub fn connected_ktruss(graph: &Graph, q: VertexId, k: u32) -> Option<Vec<VertexId>> {
+    let all: Vec<VertexId> = graph.vertices().collect();
+    ktruss_in_subset(graph, &all, q, k)
+}
+
+/// Returns `true` when every edge of the subgraph induced by `members` is contained
+/// in at least `k − 2` triangles of that subgraph — i.e. `members` induces a
+/// k-truss.  Used by tests and by the truss-based SAC validity checks.
+pub fn is_ktruss(graph: &Graph, members: &[VertexId], k: u32) -> bool {
+    let set: HashSet<VertexId> = members.iter().copied().collect();
+    let threshold = k.saturating_sub(2) as usize;
+    let mut adj: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+    for &v in &set {
+        let mut local: Vec<VertexId> = graph
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|u| set.contains(u))
+            .collect();
+        local.sort_unstable();
+        adj.insert(v, local);
+    }
+    for (&v, neighbours) in &adj {
+        for &u in neighbours {
+            if u <= v {
+                continue;
+            }
+            if sorted_intersection_count(&adj[&v], &adj[&u]) < threshold {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn sorted_intersection_count(a: &[VertexId], b: &[VertexId]) -> usize {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+fn sorted_intersection(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut out = Vec::new();
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// Two triangles sharing vertex 0, plus a path hanging off vertex 3.
+    fn butterfly_with_tail() -> Graph {
+        GraphBuilder::from_edges([
+            (0, 1),
+            (1, 2),
+            (0, 2),
+            (0, 3),
+            (3, 4),
+            (0, 4),
+            (3, 5),
+            (5, 6),
+        ])
+    }
+
+    #[test]
+    fn triangle_is_a_3_truss() {
+        let g = butterfly_with_tail();
+        // Both triangles survive the peeling; they share vertex 0, so the connected
+        // 3-truss around any wing vertex spans both wings (the tail dissolves).
+        let t = connected_ktruss(&g, 1, 3).unwrap();
+        assert_eq!(t, vec![0, 1, 2, 3, 4]);
+        assert_eq!(connected_ktruss(&g, 4, 3).unwrap(), vec![0, 1, 2, 3, 4]);
+        // Path vertices have no 3-truss.
+        assert!(connected_ktruss(&g, 6, 3).is_none());
+        assert!(connected_ktruss(&g, 99, 3).is_none());
+        assert!(is_ktruss(&g, &[0, 1, 2], 3));
+        assert!(!is_ktruss(&g, &[3, 5, 6], 3));
+    }
+
+    #[test]
+    fn four_truss_requires_denser_structure() {
+        // K4 is a 4-truss; K4 minus an edge is not.
+        let k4 = GraphBuilder::from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(connected_ktruss(&k4, 0, 4).unwrap(), vec![0, 1, 2, 3]);
+        assert!(is_ktruss(&k4, &[0, 1, 2, 3], 4));
+
+        let broken = GraphBuilder::from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)]);
+        assert!(connected_ktruss(&broken, 0, 4).is_none());
+        assert!(!is_ktruss(&broken, &[0, 1, 2, 3], 4));
+    }
+
+    #[test]
+    fn subset_restriction_is_respected() {
+        let g = butterfly_with_tail();
+        // Restricting to the right wing only: {0, 3, 4} is still a 3-truss.
+        assert_eq!(ktruss_in_subset(&g, &[0, 3, 4], 0, 3).unwrap(), vec![0, 3, 4]);
+        // Restricting away vertex 4 leaves no triangle through 3.
+        assert!(ktruss_in_subset(&g, &[0, 1, 2, 3], 3, 3).is_none());
+        // q outside the subset.
+        assert!(ktruss_in_subset(&g, &[0, 1, 2], 4, 3).is_none());
+    }
+
+    #[test]
+    fn truss_peeling_cascades() {
+        // A 5-cycle with one chord: the chord's triangle... actually a cycle has no
+        // triangles, so the whole thing dissolves for k = 3.
+        let cycle = GraphBuilder::from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert!(connected_ktruss(&cycle, 0, 3).is_none());
+        // For k = 2 (degenerate) the cycle survives as a connected edge set.
+        assert_eq!(connected_ktruss(&cycle, 0, 2).unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn every_vertex_of_a_ktruss_has_degree_at_least_k_minus_1() {
+        // Structural sanity on a denser pseudo-random graph: the (k)-truss is a
+        // (k-1)-core, so each member keeps at least k-1 truss neighbours.
+        let mut b = GraphBuilder::new();
+        let mut x: u64 = 99;
+        for _ in 0..400 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((x >> 33) % 60) as VertexId;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = ((x >> 33) % 60) as VertexId;
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        let k = 4;
+        for q in 0..60u32 {
+            if let Some(members) = connected_ktruss(&g, q, k) {
+                assert!(members.contains(&q));
+                let set: std::collections::HashSet<_> = members.iter().copied().collect();
+                for &v in &members {
+                    let deg = g.neighbors(v).iter().filter(|u| set.contains(u)).count();
+                    assert!(deg + 1 >= k as usize, "vertex {v} has truss-degree {deg}");
+                }
+            }
+        }
+    }
+}

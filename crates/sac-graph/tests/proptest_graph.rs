@@ -1,0 +1,109 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use sac_graph::{
+    connected_kcore, core_decomposition, is_connected_subset, min_degree_in_subset, GraphBuilder,
+    KCoreSolver, VertexId,
+};
+
+/// Strategy producing small random undirected graphs as edge lists over `0..n`.
+fn arb_edges(max_n: u32, max_m: usize) -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (2..max_n).prop_flat_map(move |n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..max_m);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The CSR structure is symmetric and satisfies the handshake lemma.
+    #[test]
+    fn builder_produces_consistent_csr((n, edges) in arb_edges(60, 300)) {
+        let mut b = GraphBuilder::new();
+        b.ensure_vertex(n - 1);
+        b.add_edges(edges);
+        let g = b.build();
+        prop_assert_eq!(g.num_vertices(), n as usize);
+        let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+        for u in g.vertices() {
+            for &v in g.neighbors(u) {
+                prop_assert!(v != u, "self loop survived");
+                prop_assert!(g.has_edge(v, u), "asymmetric edge {}-{}", u, v);
+            }
+            // Neighbour lists are sorted and deduplicated.
+            prop_assert!(g.neighbors(u).windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// Every vertex of the k-core has at least k neighbours inside the k-core, and
+    /// core numbers are monotone under the definition (maximality is covered by the
+    /// unit test comparing against the naive peeler).
+    #[test]
+    fn kcore_degree_invariant((n, edges) in arb_edges(50, 250), k in 1u32..5) {
+        let mut b = GraphBuilder::new();
+        b.ensure_vertex(n - 1);
+        b.add_edges(edges);
+        let g = b.build();
+        let decomp = core_decomposition(&g);
+        let members = decomp.vertices_in_kcore(k);
+        let in_core = |v: VertexId| decomp.core_number(v) >= k;
+        for &v in &members {
+            let deg_in = g.neighbors(v).iter().filter(|&&u| in_core(u)).count();
+            prop_assert!(deg_in >= k as usize,
+                "vertex {} has only {} neighbours in the {}-core", v, deg_in, k);
+        }
+        // Core numbers never exceed degrees.
+        for v in g.vertices() {
+            prop_assert!(decomp.core_number(v) as usize <= g.degree(v));
+        }
+    }
+
+    /// `connected_kcore` returns a connected subgraph of minimum degree ≥ k that
+    /// contains q, and it is exactly q's component of the k-core.
+    #[test]
+    fn connected_kcore_is_valid((n, edges) in arb_edges(50, 250), q in 0u32..50, k in 1u32..4) {
+        let mut b = GraphBuilder::new();
+        b.ensure_vertex(n - 1);
+        b.add_edges(edges);
+        let g = b.build();
+        let q = q % n;
+        match connected_kcore(&g, q, k) {
+            None => {
+                let decomp = core_decomposition(&g);
+                prop_assert!(decomp.core_number(q) < k);
+            }
+            Some(community) => {
+                prop_assert!(community.contains(&q));
+                prop_assert!(is_connected_subset(&g, &community));
+                prop_assert!(min_degree_in_subset(&g, &community).unwrap() >= k as usize);
+            }
+        }
+    }
+
+    /// The subset-restricted solver agrees with `connected_kcore` when the subset is
+    /// the whole vertex set, and always returns valid communities on subsets.
+    #[test]
+    fn subset_solver_agrees_with_global((n, edges) in arb_edges(40, 200), q in 0u32..40, k in 1u32..4) {
+        let mut b = GraphBuilder::new();
+        b.ensure_vertex(n - 1);
+        b.add_edges(edges);
+        let g = b.build();
+        let q = q % n;
+        let mut solver = KCoreSolver::new(g.num_vertices());
+        let all: Vec<VertexId> = g.vertices().collect();
+        let via_subset = solver.kcore_containing(&g, &all, q, k);
+        let via_global = connected_kcore(&g, q, k);
+        prop_assert_eq!(via_subset, via_global);
+
+        // On the half subset, any result must still be a valid community within it.
+        let half: Vec<VertexId> = g.vertices().filter(|v| v % 2 == 0).collect();
+        if let Some(community) = solver.kcore_containing(&g, &half, q, k) {
+            prop_assert!(community.contains(&q));
+            prop_assert!(community.iter().all(|v| half.contains(v)));
+            prop_assert!(is_connected_subset(&g, &community));
+            prop_assert!(min_degree_in_subset(&g, &community).unwrap() >= k as usize);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Method comparison: SAC search vs the existing community-retrieval methods.
+//!
+//! Reproduces the flavour of Figure 10 on a small synthetic dataset: for a batch of
+//! query users, compare the communities returned by `Global`, `Local`,
+//! `GeoModu(1)`, `GeoModu(2)` and the SAC algorithms on the paper's quality metrics
+//! (MCC radius, average pairwise distance, average internal degree).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example method_comparison
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sackit::core::baselines::{geo_modularity, global_search, local_search};
+use sackit::core::{app_inc, exact_plus};
+use sackit::data::{select_query_vertices, DatasetKind, DatasetSpec};
+use sackit::metrics;
+use sackit::{SpatialGraph, VertexId};
+
+/// Accumulates the Figure 10 metrics for one method.
+#[derive(Default)]
+struct Row {
+    radius: Vec<f64>,
+    dist_pr: Vec<f64>,
+    degree: Vec<f64>,
+}
+
+impl Row {
+    fn record(&mut self, g: &SpatialGraph, members: &[VertexId]) {
+        self.radius.push(metrics::community_radius(g, members));
+        self.dist_pr.push(metrics::average_pairwise_distance(g, members));
+        self.degree.push(metrics::average_degree_within(g, members));
+    }
+
+    fn print(&self, name: &str) {
+        let mean = |v: &Vec<f64>| {
+            if v.is_empty() { f64::NAN } else { v.iter().sum::<f64>() / v.len() as f64 }
+        };
+        println!(
+            "{name:<12}  radius = {:>8.4}   distPr = {:>8.4}   avg degree = {:>6.2}   answered = {}",
+            mean(&self.radius),
+            mean(&self.dist_pr),
+            mean(&self.degree),
+            self.radius.len()
+        );
+    }
+}
+
+fn main() {
+    let k = 4;
+    let graph = DatasetSpec::scaled(DatasetKind::Brightkite, 0.02).generate();
+    let mut rng = StdRng::seed_from_u64(7);
+    let queries = select_query_vertices(graph.graph(), 15, 4, &mut rng);
+    println!(
+        "Brightkite-like surrogate: {} users, {} friendships, {} queries, k = {k}\n",
+        graph.num_vertices(),
+        graph.num_edges(),
+        queries.len()
+    );
+
+    // GeoModu partitions the whole graph once (it is a community-detection method).
+    let geo1 = geo_modularity(&graph, 1.0).unwrap();
+    let geo2 = geo_modularity(&graph, 2.0).unwrap();
+
+    let mut rows: Vec<(&str, Row)> = vec![
+        ("Global", Row::default()),
+        ("Local", Row::default()),
+        ("GeoModu(1)", Row::default()),
+        ("GeoModu(2)", Row::default()),
+        ("AppInc", Row::default()),
+        ("Exact+", Row::default()),
+    ];
+
+    for &q in &queries {
+        if let Ok(Some(c)) = global_search(&graph, q, k) {
+            rows[0].1.record(&graph, c.members());
+        }
+        if let Ok(Some(c)) = local_search(&graph, q, k) {
+            rows[1].1.record(&graph, c.members());
+        }
+        if let Ok(c) = geo1.community_containing(&graph, q) {
+            rows[2].1.record(&graph, c.members());
+        }
+        if let Ok(c) = geo2.community_containing(&graph, q) {
+            rows[3].1.record(&graph, c.members());
+        }
+        if let Ok(Some(out)) = app_inc(&graph, q, k) {
+            rows[4].1.record(&graph, out.community.members());
+        }
+        if let Ok(Some(c)) = exact_plus(&graph, q, k, 1e-3) {
+            rows[5].1.record(&graph, c.members());
+        }
+    }
+
+    println!("average community quality over the query workload (lower radius/distPr = more spatially cohesive):\n");
+    for (name, row) in &rows {
+        row.print(name);
+    }
+    println!(
+        "\nObservations to compare with Figure 10 of the paper: the SAC methods (AppInc, \
+         Exact+) return communities in far smaller circles than Global/Local, while still \
+         guaranteeing every member has at least k = {k} neighbours inside the community — \
+         which GeoModu does not."
+    );
+}

@@ -1,0 +1,68 @@
+//! Integration test of the experiment harness: the runners produce well-formed
+//! tables whose headline relationships match the paper's qualitative claims.
+
+use sackit::data::DatasetKind;
+use sackit::eval::experiments::{run_by_name, table4};
+use sackit::eval::ExperimentConfig;
+
+fn tiny_config() -> ExperimentConfig {
+    let mut c = ExperimentConfig::smoke_test().with_datasets(vec![DatasetKind::Brightkite]);
+    c.num_queries = 4;
+    c.k_values = vec![4];
+    c.eps_f_values = vec![0.0, 1.0];
+    c.eps_a_values = vec![0.1, 0.5];
+    c.theta_values = vec![1e-2, 1e-1];
+    c.percentages = vec![0.5, 1.0];
+    c.exact_queries = 2;
+    c
+}
+
+#[test]
+fn table4_reports_every_requested_dataset() {
+    let config = tiny_config();
+    let tables = table4(&config);
+    assert_eq!(tables.len(), 1);
+    assert_eq!(tables[0].len(), 1);
+    assert_eq!(tables[0].rows[0][0], "Brightkite");
+    // Vertices column is a positive number.
+    let n: usize = tables[0].rows[0][1].parse().unwrap();
+    assert!(n >= 500);
+}
+
+#[test]
+fn fig9_actual_ratio_below_theoretical() {
+    let config = tiny_config();
+    let tables = run_by_name("fig9", &config).unwrap();
+    assert_eq!(tables.len(), 2);
+    for table in &tables {
+        for row in &table.rows {
+            if row[2] == "n/a" {
+                continue;
+            }
+            let theoretical: f64 = row[1].parse().unwrap();
+            let actual: f64 = row[2].parse().unwrap();
+            assert!(actual <= theoretical + 1e-6);
+        }
+    }
+}
+
+#[test]
+fn unknown_experiment_name_is_rejected() {
+    let config = tiny_config();
+    assert!(run_by_name("does-not-exist", &config).is_none());
+    assert!(run_by_name("fig11", &config).is_some());
+}
+
+#[test]
+fn csv_export_of_experiment_tables() {
+    let config = tiny_config();
+    let tables = run_by_name("table4", &config).unwrap();
+    let dir = std::env::temp_dir().join("sackit_experiment_csv");
+    for t in &tables {
+        let path = dir.join(format!("{}.csv", t.slug()));
+        t.write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.lines().count() >= 2);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,116 @@
+//! End-to-end integration test: dataset generation → query selection → every SAC
+//! algorithm → metric validation, spanning all workspace crates.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sackit::core::{app_acc, app_fast, app_inc, exact_plus, theta_sac};
+use sackit::data::{select_query_vertices, DatasetKind, DatasetSpec};
+use sackit::graph::{is_connected_subset, min_degree_in_subset};
+use sackit::metrics;
+
+fn surrogate() -> sackit::SpatialGraph {
+    DatasetSpec::scaled(DatasetKind::Brightkite, 0.015)
+        .with_seed(424242)
+        .generate()
+}
+
+#[test]
+fn full_pipeline_produces_valid_communities() {
+    let graph = surrogate();
+    let mut rng = StdRng::seed_from_u64(1);
+    let queries = select_query_vertices(graph.graph(), 5, 4, &mut rng);
+    assert!(!queries.is_empty(), "surrogate must contain core-4 vertices");
+
+    let k = 4;
+    let mut answered = 0usize;
+    for &q in &queries {
+        let optimal = exact_plus(&graph, q, k, 1e-3).unwrap();
+        let inc = app_inc(&graph, q, k).unwrap();
+        let fast = app_fast(&graph, q, k, 0.5).unwrap();
+        let acc = app_acc(&graph, q, k, 0.5).unwrap();
+
+        // All algorithms agree on feasibility.
+        assert_eq!(optimal.is_some(), inc.is_some());
+        assert_eq!(optimal.is_some(), fast.is_some());
+        assert_eq!(optimal.is_some(), acc.is_some());
+        let (Some(optimal), Some(inc), Some(fast), Some(acc)) = (optimal, inc, fast, acc) else {
+            continue;
+        };
+        answered += 1;
+
+        // Structural validity (Problem 1, properties 1–2).
+        for members in [
+            optimal.members(),
+            inc.community.members(),
+            fast.community.members(),
+            acc.members(),
+        ] {
+            assert!(members.contains(&q));
+            assert!(is_connected_subset(graph.graph(), members));
+            assert!(min_degree_in_subset(graph.graph(), members).unwrap() >= k as usize);
+        }
+
+        // Spatial optimality ordering and approximation bounds.
+        let r_opt = optimal.radius();
+        assert!(inc.gamma + 1e-9 >= r_opt);
+        assert!(acc.radius() + 1e-9 >= r_opt);
+        if r_opt > 1e-9 {
+            assert!(metrics::approximation_ratio(inc.gamma, r_opt) <= 2.0 + 1e-6);
+            assert!(metrics::approximation_ratio(fast.gamma, r_opt) <= 2.5 + 1e-6);
+            assert!(metrics::approximation_ratio(acc.radius(), r_opt) <= 1.5 + 1e-6);
+        }
+
+        // The SAC is never spatially looser than the whole k-ĉore (Global).
+        let global = sackit::baselines::global_search(&graph, q, k).unwrap().unwrap();
+        assert!(optimal.radius() <= global.radius() + 1e-9);
+    }
+    assert!(answered > 0, "at least one query must be answerable");
+}
+
+#[test]
+fn theta_sac_brackets_the_optimum() {
+    let graph = surrogate();
+    let mut rng = StdRng::seed_from_u64(2);
+    let queries = select_query_vertices(graph.graph(), 5, 4, &mut rng);
+    let k = 4;
+    for &q in &queries {
+        let Some(optimal) = exact_plus(&graph, q, k, 1e-3).unwrap() else { continue };
+        // θ below the optimal radius cannot possibly contain a community around q
+        // whose MCC is the optimum; θ large enough always finds one.
+        let huge = theta_sac(&graph, q, k, 2.0).unwrap();
+        assert!(huge.is_some());
+        assert!(huge.unwrap().radius() + 1e-9 >= optimal.radius());
+        let zero = theta_sac(&graph, q, k, 0.0).unwrap();
+        assert!(zero.is_none());
+    }
+}
+
+#[test]
+fn io_roundtrip_preserves_query_results() {
+    // Write the surrogate to disk, read it back, and check that SAC results agree.
+    let graph = surrogate();
+    let dir = std::env::temp_dir().join("sackit_integration_io");
+    std::fs::create_dir_all(&dir).unwrap();
+    let edges = dir.join("edges.txt");
+    let locs = dir.join("locations.txt");
+    sackit::graph::io::write_edge_list(graph.graph(), &edges).unwrap();
+    sackit::graph::io::write_locations(graph.positions(), &locs).unwrap();
+    let reloaded = sackit::graph::io::load_spatial_graph(&edges, &locs).unwrap();
+    assert_eq!(reloaded.num_vertices(), graph.num_vertices());
+    assert_eq!(reloaded.num_edges(), graph.num_edges());
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let queries = select_query_vertices(graph.graph(), 3, 4, &mut rng);
+    for &q in &queries {
+        let a = app_inc(&graph, q, 4).unwrap();
+        let b = app_inc(&reloaded, q, 4).unwrap();
+        match (a, b) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.community.members(), b.community.members());
+            }
+            (None, None) => {}
+            _ => panic!("feasibility differs after IO roundtrip"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
