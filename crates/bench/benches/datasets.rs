@@ -36,14 +36,18 @@ fn bench_datasets(c: &mut Criterion) {
     let mut group = c.benchmark_group("table4/preset_generation");
     group.sample_size(10);
     for kind in [DatasetKind::Brightkite, DatasetKind::Syn1] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| black_box(DatasetSpec::scaled(kind, 0.01).generate()));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| black_box(DatasetSpec::scaled(kind, 0.01).generate()));
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .measurement_time(std::time::Duration::from_secs(1))

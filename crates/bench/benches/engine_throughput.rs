@@ -1,0 +1,133 @@
+//! Serving-layer benchmark: `sac-engine` batch throughput and the effect of
+//! the k-core index cache.
+//!
+//! Three questions:
+//! 1. What does the cache buy on repeated same-`k` traffic? (`cold_direct`
+//!    recomputes the k-ĉore per query the way a library caller would;
+//!    `engine_warm` serves the same workload from the warmed engine.)
+//! 2. How much does the infeasibility fast path save? (`infeasible_*`)
+//! 3. How does batch throughput scale with worker threads?
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sac_bench::bench_dataset;
+use sac_core::app_fast;
+use sac_data::DatasetKind;
+use sac_engine::{EngineConfig, QueryBudget, SacEngine, SacRequest};
+use std::sync::Arc;
+
+fn bench_engine(c: &mut Criterion) {
+    let data = bench_dataset(DatasetKind::Brightkite);
+    let graph = Arc::new(data.graph);
+    let k = 4u32;
+
+    // Exercise the approximation planner arms (no small-core exact upgrade).
+    let config = EngineConfig {
+        small_exact_threshold: 0,
+        ..EngineConfig::default()
+    };
+
+    let mut group = c.benchmark_group(format!("engine/{}", data.kind.name()));
+    group.sample_size(10);
+
+    // 1a. Library baseline: every query re-derives the k-core structure.
+    group.bench_function("repeated_k/cold_direct", |b| {
+        b.iter(|| {
+            for &q in &data.queries {
+                black_box(app_fast(&graph, q, k, 0.5).unwrap());
+            }
+        });
+    });
+
+    // 1b. Warmed engine, same queries: the decomposition and per-k component
+    // index are cache hits.
+    group.bench_function("repeated_k/engine_warm", |b| {
+        let engine = SacEngine::with_config(Arc::clone(&graph), config);
+        engine.warm(&[k]);
+        let budget = QueryBudget::within_ratio(2.5).with_tier(sac_engine::LatencyTier::Interactive);
+        b.iter(|| {
+            for (i, &q) in data.queries.iter().enumerate() {
+                let request = SacRequest::new(i as u64, q, k).with_budget(budget);
+                black_box(engine.execute(&request));
+            }
+        });
+    });
+
+    // 1c. The structural phase in isolation: repeated same-k connected-core
+    // queries against the library (O(m) peel per query) vs the warmed cache
+    // (component-label lookup + member-slice copy).
+    group.bench_function("repeated_k/kcore_direct", |b| {
+        b.iter(|| {
+            for &q in &data.queries {
+                black_box(sac_graph::connected_kcore(graph.graph(), q, k));
+            }
+        });
+    });
+    group.bench_function("repeated_k/kcore_cached", |b| {
+        let engine = SacEngine::with_config(Arc::clone(&graph), config);
+        engine.warm(&[k]);
+        b.iter(|| {
+            for &q in &data.queries {
+                black_box(engine.connected_core(q, k));
+            }
+        });
+    });
+
+    // 2. Infeasible queries: direct call vs cache fast path.  Query vertices
+    // with core number < k at a k above the graph's typical core.
+    let infeasible_k = 24u32;
+    let q = data.queries[0];
+    group.bench_function("infeasible/direct", |b| {
+        b.iter(|| black_box(app_fast(&graph, q, infeasible_k, 0.5).unwrap()));
+    });
+    group.bench_function("infeasible/engine_fast_path", |b| {
+        let engine = SacEngine::with_config(Arc::clone(&graph), config);
+        engine.warm(&[infeasible_k]);
+        b.iter(|| {
+            black_box(engine.execute(&SacRequest::new(0, q, infeasible_k)));
+        });
+    });
+
+    // 3. Batch throughput across thread counts, mixed budgets.  (Scaling with
+    // thread count requires actual cores; on a single-CPU host the sweep only
+    // demonstrates that the executor adds no contention overhead.)
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let budgets = [
+        QueryBudget::balanced(),
+        QueryBudget::within_ratio(2.0),
+        QueryBudget::interactive(),
+        QueryBudget::balanced().with_theta(0.15),
+    ];
+    let requests: Vec<SacRequest> = (0..128)
+        .map(|i| {
+            let q = if i % 4 == 0 {
+                rng.gen_range(0..graph.num_vertices() as u32)
+            } else {
+                data.queries[i % data.queries.len()]
+            };
+            SacRequest::new(i as u64, q, k).with_budget(budgets[i % budgets.len()])
+        })
+        .collect();
+    for threads in [1usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("batch128_threads", threads),
+            &threads,
+            |b, &threads| {
+                let engine = SacEngine::with_config(Arc::clone(&graph), config);
+                engine.warm(&[k]);
+                b.iter(|| black_box(engine.execute_batch(&requests, threads)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_engine
+}
+criterion_main!(benches);

@@ -44,7 +44,11 @@ pub fn bench_dataset_scaled(kind: DatasetKind, scale: f64) -> BenchDataset {
     let graph = spec.generate();
     let mut rng = StdRng::seed_from_u64(0xBE7C ^ spec.seed);
     let queries = select_query_vertices(graph.graph(), BENCH_QUERIES, 4, &mut rng);
-    BenchDataset { kind, graph, queries }
+    BenchDataset {
+        kind,
+        graph,
+        queries,
+    }
 }
 
 /// The datasets benchmarked by the per-figure benches (a representative subset of

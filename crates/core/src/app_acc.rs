@@ -343,7 +343,10 @@ mod tests {
     #[test]
     fn trivial_k_values() {
         let g = figure3_graph();
-        assert_eq!(app_acc(&g, figure3::Q, 0, 0.5).unwrap().unwrap().members(), &[figure3::Q]);
+        assert_eq!(
+            app_acc(&g, figure3::Q, 0, 0.5).unwrap().unwrap().members(),
+            &[figure3::Q]
+        );
         assert_eq!(app_acc(&g, figure3::Q, 1, 0.5).unwrap().unwrap().len(), 2);
     }
 

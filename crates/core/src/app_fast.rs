@@ -89,7 +89,11 @@ pub fn app_fast(
     while u > l && iterations < max_iterations {
         iterations += 1;
         let r = 0.5 * (l + u);
-        let alpha = if eps_f > 0.0 { r * eps_f / (2.0 + eps_f) } else { 0.0 };
+        let alpha = if eps_f > 0.0 {
+            r * eps_f / (2.0 + eps_f)
+        } else {
+            0.0
+        };
         let circle = Circle::new(q_pos, r);
         match ctx.feasible_in_circle(&circle, Some(&in_x)) {
             Some(members) => {
@@ -189,10 +193,21 @@ mod tests {
     fn trivial_k_values() {
         let g = figure3_graph();
         assert_eq!(
-            app_fast(&g, figure3::Q, 0, 0.5).unwrap().unwrap().community.members(),
+            app_fast(&g, figure3::Q, 0, 0.5)
+                .unwrap()
+                .unwrap()
+                .community
+                .members(),
             &[figure3::Q]
         );
-        assert_eq!(app_fast(&g, figure3::Q, 1, 0.5).unwrap().unwrap().community.len(), 2);
+        assert_eq!(
+            app_fast(&g, figure3::Q, 1, 0.5)
+                .unwrap()
+                .unwrap()
+                .community
+                .len(),
+            2
+        );
     }
 
     #[test]

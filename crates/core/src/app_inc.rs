@@ -59,11 +59,7 @@ impl PartialOrd for Frontier {
 ///
 /// Complexity: `O(m · n)` — at most `n` expansion steps, each feasibility check
 /// costs `O(m)`.
-pub fn app_inc(
-    g: &SpatialGraph,
-    q: VertexId,
-    k: u32,
-) -> Result<Option<AppIncOutcome>, SacError> {
+pub fn app_inc(g: &SpatialGraph, q: VertexId, k: u32) -> Result<Option<AppIncOutcome>, SacError> {
     let mut ctx = SearchContext::new(g, q, k)?;
     if let Some(trivial) = trivial_small_k(g, q, k) {
         return Ok(trivial.map(|community| AppIncOutcome {
@@ -85,7 +81,10 @@ pub fn app_inc(
     let mut heap = BinaryHeap::new();
 
     discovered[q as usize] = true;
-    heap.push(Frontier { dist: 0.0, vertex: q });
+    heap.push(Frontier {
+        dist: 0.0,
+        vertex: q,
+    });
 
     // Number of q's neighbours currently inside S.
     let mut q_neighbours_in_s = 0usize;
@@ -105,7 +104,10 @@ pub fn app_inc(
             }
             if !discovered[v as usize] && g.degree(v) >= k as usize {
                 discovered[v as usize] = true;
-                heap.push(Frontier { dist: g.position(v).distance(q_pos), vertex: v });
+                heap.push(Frontier {
+                    dist: g.position(v).distance(q_pos),
+                    vertex: v,
+                });
             }
         }
         // Feasibility check, gated by the necessary conditions of Algorithm 2
@@ -120,7 +122,11 @@ pub fn app_inc(
             if let Some(members) = ctx.solver.kcore_containing(g.graph(), &s, q, k) {
                 let community = Community::new(g, members);
                 let gamma = community.radius();
-                return Ok(Some(AppIncOutcome { community, delta: dist, gamma }));
+                return Ok(Some(AppIncOutcome {
+                    community,
+                    delta: dist,
+                    gamma,
+                }));
             }
         }
     }
@@ -178,7 +184,10 @@ mod tests {
     fn right_component_queries() {
         let g = figure3_graph();
         let out = app_inc(&g, figure3::F, 2).unwrap().unwrap();
-        assert_eq!(out.community.members(), &[figure3::F, figure3::G, figure3::H]);
+        assert_eq!(
+            out.community.members(),
+            &[figure3::F, figure3::G, figure3::H]
+        );
     }
 
     #[test]

@@ -11,11 +11,7 @@ use sac_graph::{connected_kcore, SpatialGraph, VertexId};
 /// results.
 ///
 /// Returns `Ok(None)` when `q` is not part of any k-core.
-pub fn global_search(
-    g: &SpatialGraph,
-    q: VertexId,
-    k: u32,
-) -> Result<Option<Community>, SacError> {
+pub fn global_search(g: &SpatialGraph, q: VertexId, k: u32) -> Result<Option<Community>, SacError> {
     if (q as usize) >= g.num_vertices() {
         return Err(SacError::QueryVertexOutOfRange(q));
     }
@@ -53,7 +49,10 @@ mod tests {
         let g = figure3_graph();
         assert!(global_search(&g, figure3::I, 2).unwrap().is_none());
         assert!(global_search(&g, 21, 2).is_err());
-        assert_eq!(global_search(&g, figure3::Q, 0).unwrap().unwrap().members(), &[figure3::Q]);
+        assert_eq!(
+            global_search(&g, figure3::Q, 0).unwrap().unwrap().members(),
+            &[figure3::Q]
+        );
         // k = 1: the whole connected component survives.
         let c = global_search(&g, figure3::I, 1).unwrap().unwrap();
         assert!(c.contains(figure3::I));

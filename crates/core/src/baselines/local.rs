@@ -21,11 +21,7 @@ use sac_graph::{connected_kcore, KCoreSolver, SpatialGraph, VertexId};
 /// termination with a feasible answer whenever one exists.
 ///
 /// Returns `Ok(None)` when `q` is not part of any k-core.
-pub fn local_search(
-    g: &SpatialGraph,
-    q: VertexId,
-    k: u32,
-) -> Result<Option<Community>, SacError> {
+pub fn local_search(g: &SpatialGraph, q: VertexId, k: u32) -> Result<Option<Community>, SacError> {
     if (q as usize) >= g.num_vertices() {
         return Err(SacError::QueryVertexOutOfRange(q));
     }
@@ -69,7 +65,14 @@ pub fn local_search(
         }
     };
 
-    absorb(q, &mut c, &mut in_c, &mut frontier, &mut in_frontier, &mut links_into_c);
+    absorb(
+        q,
+        &mut c,
+        &mut in_c,
+        &mut frontier,
+        &mut in_frontier,
+        &mut links_into_c,
+    );
 
     while !frontier.is_empty() {
         // Pick the frontier vertex with the most links into C; break ties towards
@@ -87,7 +90,14 @@ pub fn local_search(
             .expect("frontier is non-empty");
         frontier.swap_remove(pos);
         in_frontier[next as usize] = false;
-        absorb(next, &mut c, &mut in_c, &mut frontier, &mut in_frontier, &mut links_into_c);
+        absorb(
+            next,
+            &mut c,
+            &mut in_c,
+            &mut frontier,
+            &mut in_frontier,
+            &mut links_into_c,
+        );
 
         // Cheap necessary condition before the full check: q needs k neighbours in C.
         if links_into_c[q as usize] < k {
@@ -137,7 +147,10 @@ mod tests {
         let g = figure3_graph();
         assert!(local_search(&g, figure3::I, 2).unwrap().is_none());
         assert!(local_search(&g, 33, 2).is_err());
-        assert_eq!(local_search(&g, figure3::Q, 0).unwrap().unwrap().members(), &[figure3::Q]);
+        assert_eq!(
+            local_search(&g, figure3::Q, 0).unwrap().unwrap().members(),
+            &[figure3::Q]
+        );
         // k = 1 over the right component.
         let c = local_search(&g, figure3::I, 1).unwrap().unwrap();
         assert!(c.contains(figure3::I));

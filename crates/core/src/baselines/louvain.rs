@@ -23,7 +23,10 @@ pub struct WeightedAdjacency {
 impl WeightedAdjacency {
     /// Creates an empty weighted graph with `n` nodes.
     pub fn with_nodes(n: usize) -> Self {
-        WeightedAdjacency { adj: vec![Vec::new(); n], total_weight: 0.0 }
+        WeightedAdjacency {
+            adj: vec![Vec::new(); n],
+            total_weight: 0.0,
+        }
     }
 
     /// Number of nodes.
@@ -107,7 +110,11 @@ pub fn modularity(graph: &WeightedAdjacency, assignment: &[u32]) -> f64 {
     if m <= 0.0 {
         return 0.0;
     }
-    let num_comm = assignment.iter().copied().max().map_or(0, |c| c as usize + 1);
+    let num_comm = assignment
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |c| c as usize + 1);
     let mut internal = vec![0.0f64; num_comm];
     let mut degree = vec![0.0f64; num_comm];
     for u in 0..graph.len() as u32 {
@@ -136,7 +143,11 @@ pub fn modularity(graph: &WeightedAdjacency, assignment: &[u32]) -> f64 {
 pub fn louvain(graph: &WeightedAdjacency, max_levels: usize, max_passes: usize) -> LouvainResult {
     let n = graph.len();
     if n == 0 {
-        return LouvainResult { assignment: Vec::new(), num_communities: 0, modularity: 0.0 };
+        return LouvainResult {
+            assignment: Vec::new(),
+            num_communities: 0,
+            modularity: 0.0,
+        };
     }
     // assignment maps original vertices to communities of the *current* level.
     let mut assignment: Vec<u32> = (0..n as u32).collect();
@@ -163,7 +174,11 @@ pub fn louvain(graph: &WeightedAdjacency, max_levels: usize, max_passes: usize) 
     // processed level; a final renumbering makes the ids dense.
     let (final_assignment, num_communities) = renumber(&assignment);
     let q = modularity(graph, &final_assignment);
-    LouvainResult { assignment: final_assignment, num_communities, modularity: q }
+    LouvainResult {
+        assignment: final_assignment,
+        num_communities,
+        modularity: q,
+    }
 }
 
 /// One level of Louvain local moving.  Returns the community assignment of the
@@ -235,7 +250,11 @@ fn local_moving(graph: &WeightedAdjacency, max_passes: usize) -> (Vec<u32>, bool
 /// Renumbers community ids densely; returns the mapping (indexed by old id) and the
 /// number of distinct communities.
 fn renumber(assignment: &[u32]) -> (Vec<u32>, usize) {
-    let max_id = assignment.iter().copied().max().map_or(0, |c| c as usize + 1);
+    let max_id = assignment
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |c| c as usize + 1);
     let mut mapping = vec![u32::MAX; max_id];
     let mut next = 0u32;
     for &c in assignment {
@@ -252,7 +271,11 @@ fn renumber(assignment: &[u32]) -> (Vec<u32>, usize) {
 
 /// Builds the aggregated graph whose nodes are the communities of the current
 /// level.
-fn aggregate(graph: &WeightedAdjacency, dense_assignment: &[u32], num_comm: usize) -> WeightedAdjacency {
+fn aggregate(
+    graph: &WeightedAdjacency,
+    dense_assignment: &[u32],
+    num_comm: usize,
+) -> WeightedAdjacency {
     let mut agg = WeightedAdjacency::with_nodes(num_comm);
     // Accumulate inter-community weights in a map keyed by (min, max); intra
     // weights become self-loops.

@@ -13,6 +13,7 @@ use crate::common::{knn_lower_bound, trivial_small_k, SearchContext};
 use crate::{Community, SacError};
 use sac_geom::Circle;
 use sac_graph::{core_decomposition, CoreDecomposition, SpatialGraph, VertexId};
+use std::sync::Arc;
 
 /// A batch SAC search session over one spatial graph.
 ///
@@ -21,7 +22,9 @@ use sac_graph::{core_decomposition, CoreDecomposition, SpatialGraph, VertexId};
 /// buffers of a [`SearchContext`].
 pub struct BatchSacSearch<'g> {
     graph: &'g SpatialGraph,
-    decomposition: CoreDecomposition,
+    // Arc so a serving-layer cache can hand out one decomposition to many
+    // sessions without copying the per-vertex core numbers.
+    decomposition: Arc<CoreDecomposition>,
 }
 
 impl<'g> BatchSacSearch<'g> {
@@ -29,7 +32,36 @@ impl<'g> BatchSacSearch<'g> {
     pub fn new(graph: &'g SpatialGraph) -> Self {
         BatchSacSearch {
             graph,
-            decomposition: core_decomposition(graph.graph()),
+            decomposition: Arc::new(core_decomposition(graph.graph())),
+        }
+    }
+
+    /// Prepares a batch session from an already-computed core decomposition of
+    /// `graph`, skipping the `O(m)` peeling pass.
+    ///
+    /// This is the hook the `sac-engine` k-core cache uses to share one
+    /// decomposition across many queries.  The decomposition must have been
+    /// computed on exactly this graph; a mismatched one (wrong vertex count)
+    /// panics, and a stale one silently returns wrong communities.
+    pub fn with_decomposition(graph: &'g SpatialGraph, decomposition: CoreDecomposition) -> Self {
+        BatchSacSearch::with_shared_decomposition(graph, Arc::new(decomposition))
+    }
+
+    /// Like [`BatchSacSearch::with_decomposition`], but shares the
+    /// decomposition instead of taking ownership — no per-session copy of the
+    /// `O(n)` core-number table.
+    pub fn with_shared_decomposition(
+        graph: &'g SpatialGraph,
+        decomposition: Arc<CoreDecomposition>,
+    ) -> Self {
+        assert_eq!(
+            decomposition.core_numbers().len(),
+            graph.num_vertices(),
+            "decomposition does not match graph"
+        );
+        BatchSacSearch {
+            graph,
+            decomposition,
         }
     }
 
@@ -88,7 +120,11 @@ impl<'g> BatchSacSearch<'g> {
         while u > l && iterations < max_iterations {
             iterations += 1;
             let r = 0.5 * (l + u);
-            let alpha = if eps_f > 0.0 { r * eps_f / (2.0 + eps_f) } else { 0.0 };
+            let alpha = if eps_f > 0.0 {
+                r * eps_f / (2.0 + eps_f)
+            } else {
+                0.0
+            };
             match ctx.feasible_in_circle(&Circle::new(q_pos, r), Some(&in_x)) {
                 Some(members) => {
                     let far = members
@@ -120,7 +156,12 @@ impl<'g> BatchSacSearch<'g> {
         }
         let community = Community::new(self.graph, best);
         let gamma = community.radius();
-        Ok(Some(AppFastOutcome { delta: best_radius_bound, gamma, community, iterations }))
+        Ok(Some(AppFastOutcome {
+            delta: best_radius_bound,
+            gamma,
+            community,
+            iterations,
+        }))
     }
 
     /// Answers a whole batch of queries, returning one entry per query vertex in
@@ -131,7 +172,10 @@ impl<'g> BatchSacSearch<'g> {
         k: u32,
         eps_f: f64,
     ) -> Vec<Result<Option<AppFastOutcome>, SacError>> {
-        queries.iter().map(|&q| self.app_fast(q, k, eps_f)).collect()
+        queries
+            .iter()
+            .map(|&q| self.app_fast(q, k, eps_f))
+            .collect()
     }
 }
 
@@ -184,6 +228,14 @@ mod tests {
         assert!(results[1].is_err());
         assert!(batch.app_fast(figure3::Q, 2, f64::NAN).is_err());
         // Trivial k values work through the batch API too.
-        assert_eq!(batch.app_fast(figure3::Q, 0, 0.5).unwrap().unwrap().community.len(), 1);
+        assert_eq!(
+            batch
+                .app_fast(figure3::Q, 0, 0.5)
+                .unwrap()
+                .unwrap()
+                .community
+                .len(),
+            1
+        );
     }
 }

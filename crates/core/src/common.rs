@@ -53,9 +53,12 @@ impl<'g> SearchContext<'g> {
         self.g.vertices_in_circle_into(circle, &mut self.circle_buf);
         self.subset_buf.clear();
         match universe {
-            Some(mask) => self
-                .subset_buf
-                .extend(self.circle_buf.iter().copied().filter(|&v| mask[v as usize])),
+            Some(mask) => self.subset_buf.extend(
+                self.circle_buf
+                    .iter()
+                    .copied()
+                    .filter(|&v| mask[v as usize]),
+            ),
             None => self.subset_buf.extend_from_slice(&self.circle_buf),
         }
         self.solver
@@ -82,25 +85,17 @@ pub(crate) fn membership_bitmap(n: usize, vertices: &[VertexId]) -> Vec<bool> {
 /// (Section 4.1): for `k = 0` the query vertex alone is an optimal SAC, and for
 /// `k = 1` the optimal SAC is `q` together with its spatially nearest graph
 /// neighbour.  Returns `None` when `k >= 2` so the caller runs the full algorithm.
-pub(crate) fn trivial_small_k(
-    g: &SpatialGraph,
-    q: VertexId,
-    k: u32,
-) -> Option<Option<Community>> {
+pub(crate) fn trivial_small_k(g: &SpatialGraph, q: VertexId, k: u32) -> Option<Option<Community>> {
     match k {
         0 => Some(Some(Community::new(g, vec![q]))),
         1 => {
             let qp = g.position(q);
-            let nearest = g
-                .neighbors(q)
-                .iter()
-                .copied()
-                .min_by(|&a, &b| {
-                    g.position(a)
-                        .distance(qp)
-                        .partial_cmp(&g.position(b).distance(qp))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                });
+            let nearest = g.neighbors(q).iter().copied().min_by(|&a, &b| {
+                g.position(a)
+                    .distance(qp)
+                    .partial_cmp(&g.position(b).distance(qp))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
             Some(nearest.map(|v| Community::new(g, vec![q, v])))
         }
         _ => None,

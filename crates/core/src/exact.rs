@@ -61,11 +61,8 @@ pub fn exact(g: &SpatialGraph, q: VertexId, k: u32) -> Result<Option<Community>,
         }
         for j in 0..i.saturating_sub(1) {
             for h in (j + 1)..i {
-                let mcc = Circle::mcc_of_three(
-                    g.position(x[i]),
-                    g.position(x[j]),
-                    g.position(x[h]),
-                );
+                let mcc =
+                    Circle::mcc_of_three(g.position(x[i]), g.position(x[j]), g.position(x[h]));
                 if mcc.radius >= best_radius {
                     continue;
                 }
@@ -125,7 +122,10 @@ mod tests {
     #[test]
     fn trivial_k_values() {
         let g = figure3_graph();
-        assert_eq!(exact(&g, figure3::Q, 0).unwrap().unwrap().members(), &[figure3::Q]);
+        assert_eq!(
+            exact(&g, figure3::Q, 0).unwrap().unwrap().members(),
+            &[figure3::Q]
+        );
         assert_eq!(exact(&g, figure3::Q, 1).unwrap().unwrap().len(), 2);
     }
 

@@ -115,9 +115,9 @@ pub fn exact_plus_detailed(
 
     // Helper evaluating one candidate circle.
     let consider = |circle: &Circle,
-                        ctx: &mut SearchContext<'_>,
-                        r_cur: &mut f64,
-                        best_members: &mut Vec<VertexId>| {
+                    ctx: &mut SearchContext<'_>,
+                    r_cur: &mut f64,
+                    best_members: &mut Vec<VertexId>| {
         if circle.radius >= *r_cur {
             return;
         }
@@ -200,8 +200,17 @@ mod tests {
     #[test]
     fn matches_exact_for_every_feasible_query_vertex() {
         let g = figure3_graph();
-        for q in [figure3::Q, figure3::A, figure3::B, figure3::C, figure3::D, figure3::E,
-                  figure3::F, figure3::G, figure3::H] {
+        for q in [
+            figure3::Q,
+            figure3::A,
+            figure3::B,
+            figure3::C,
+            figure3::D,
+            figure3::E,
+            figure3::F,
+            figure3::G,
+            figure3::H,
+        ] {
             let plus = exact_plus(&g, q, 2, 1e-3).unwrap().unwrap();
             let basic = exact(&g, q, 2).unwrap().unwrap();
             assert!(
@@ -216,8 +225,12 @@ mod tests {
     #[test]
     fn larger_eps_keeps_exactness_but_changes_pruning() {
         let g = figure3_graph();
-        let fine = exact_plus_detailed(&g, figure3::Q, 2, 1e-4).unwrap().unwrap();
-        let coarse = exact_plus_detailed(&g, figure3::Q, 2, 0.5).unwrap().unwrap();
+        let fine = exact_plus_detailed(&g, figure3::Q, 2, 1e-4)
+            .unwrap()
+            .unwrap();
+        let coarse = exact_plus_detailed(&g, figure3::Q, 2, 0.5)
+            .unwrap()
+            .unwrap();
         // Both are exact...
         assert!((fine.community.radius() - coarse.community.radius()).abs() < 1e-9);
         // ... and the annulus (hence F1) grows with εA, as Figure 14(b) reports.
@@ -237,8 +250,17 @@ mod tests {
     #[test]
     fn trivial_k_values() {
         let g = figure3_graph();
-        assert_eq!(exact_plus(&g, figure3::Q, 0, 1e-3).unwrap().unwrap().members(), &[figure3::Q]);
-        assert_eq!(exact_plus(&g, figure3::Q, 1, 1e-3).unwrap().unwrap().len(), 2);
+        assert_eq!(
+            exact_plus(&g, figure3::Q, 0, 1e-3)
+                .unwrap()
+                .unwrap()
+                .members(),
+            &[figure3::Q]
+        );
+        assert_eq!(
+            exact_plus(&g, figure3::Q, 1, 1e-3).unwrap().unwrap().len(),
+            2
+        );
     }
 
     #[test]

@@ -55,21 +55,30 @@ pub fn figure3_graph() -> SpatialGraph {
     use figure3::*;
     let mut b = GraphBuilder::new();
     // Left 2-ĉore: triangles {Q,A,B} and {Q,C,D}, with E hanging off C and D.
-    b.add_edges([(Q, A), (Q, B), (A, B), (Q, C), (Q, D), (C, D), (C, E), (D, E)]);
+    b.add_edges([
+        (Q, A),
+        (Q, B),
+        (A, B),
+        (Q, C),
+        (Q, D),
+        (C, D),
+        (C, E),
+        (D, E),
+    ]);
     // Right 2-ĉore: triangle {F,G,H} with pendant I.
     b.add_edges([(F, G), (G, H), (F, H), (H, I)]);
 
     let positions = vec![
-        Point::new(3.0, 3.0),  // Q
-        Point::new(1.2, 2.2),  // A — close to Q, spread out from B
-        Point::new(4.8, 3.5),  // B — close to Q, opposite side from A
-        Point::new(4.0, 4.8),  // C — slightly farther from Q than A/B
-        Point::new(2.0, 4.8),  // D — slightly farther from Q than A/B
-        Point::new(3.0, 6.4),  // E — far above, attached to C and D
-        Point::new(6.5, 2.0),  // F
-        Point::new(7.5, 2.2),  // G
-        Point::new(7.0, 3.4),  // H
-        Point::new(8.2, 4.6),  // I
+        Point::new(3.0, 3.0), // Q
+        Point::new(1.2, 2.2), // A — close to Q, spread out from B
+        Point::new(4.8, 3.5), // B — close to Q, opposite side from A
+        Point::new(4.0, 4.8), // C — slightly farther from Q than A/B
+        Point::new(2.0, 4.8), // D — slightly farther from Q than A/B
+        Point::new(3.0, 6.4), // E — far above, attached to C and D
+        Point::new(6.5, 2.0), // F
+        Point::new(7.5, 2.2), // G
+        Point::new(7.0, 3.4), // H
+        Point::new(8.2, 4.6), // I
     ];
     SpatialGraph::new(b.build(), positions).expect("fixture graph is well formed")
 }

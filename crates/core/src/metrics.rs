@@ -41,10 +41,10 @@ pub fn average_pairwise_distance(g: &SpatialGraph, members: &[VertexId]) -> f64 
         return 0.0;
     }
     let mut sum = 0.0;
-    for i in 0..n {
-        let pi = g.position(members[i]);
-        for j in (i + 1)..n {
-            sum += pi.distance(g.position(members[j]));
+    for (i, &u) in members.iter().enumerate() {
+        let pi = g.position(u);
+        for &v in &members[i + 1..] {
+            sum += pi.distance(g.position(v));
         }
     }
     sum / (n * (n - 1) / 2) as f64
@@ -59,12 +59,7 @@ pub fn average_degree_within(g: &SpatialGraph, members: &[VertexId]) -> f64 {
     let set = VertexSet::from_vec(members.to_vec());
     let total: usize = set
         .iter()
-        .map(|v| {
-            g.neighbors(v)
-                .iter()
-                .filter(|&&u| set.contains(u))
-                .count()
-        })
+        .map(|v| g.neighbors(v).iter().filter(|&&u| set.contains(u)).count())
         .sum();
     total as f64 / set.len() as f64
 }
@@ -87,11 +82,7 @@ pub fn community_jaccard_similarity(a: &[VertexId], b: &[VertexId]) -> f64 {
 /// communities' MCCs divided by the area of their union.
 ///
 /// Returns `None` when either community is empty.
-pub fn community_area_overlap(
-    g: &SpatialGraph,
-    a: &[VertexId],
-    b: &[VertexId],
-) -> Option<f64> {
+pub fn community_area_overlap(g: &SpatialGraph, a: &[VertexId], b: &[VertexId]) -> Option<f64> {
     let ca = community_mcc(g, a)?;
     let cb = community_mcc(g, b)?;
     Some(ca.area_jaccard(&cb))
@@ -153,7 +144,10 @@ mod tests {
         let same = community_jaccard_similarity(&a, &a);
         assert!((same - 1.0).abs() < 1e-12);
         let overlap = community_jaccard_similarity(&a, &b);
-        assert!((overlap - 0.2).abs() < 1e-12, "|{{Q}}| / |{{Q,A,B,C,D}}| = 0.2");
+        assert!(
+            (overlap - 0.2).abs() < 1e-12,
+            "|{{Q}}| / |{{Q,A,B,C,D}}| = 0.2"
+        );
 
         let cao_same = community_area_overlap(&g, &a, &a).unwrap();
         assert!((cao_same - 1.0).abs() < 1e-9);

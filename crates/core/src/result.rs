@@ -30,8 +30,8 @@ impl Community {
         vertices.sort_unstable();
         vertices.dedup();
         let positions = graph.positions_of(&vertices);
-        let mcc = minimum_enclosing_circle(&positions)
-            .expect("non-empty community always has an MCC");
+        let mcc =
+            minimum_enclosing_circle(&positions).expect("non-empty community always has an MCC");
         Community { vertices, mcc }
     }
 
@@ -113,7 +113,11 @@ mod tests {
         let g = GraphBuilder::from_edges([(0, 1), (1, 2), (0, 2)]);
         SpatialGraph::new(
             g,
-            vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(1.0, 1.0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(2.0, 0.0),
+                Point::new(1.0, 1.0),
+            ],
         )
         .unwrap()
     }
@@ -141,7 +145,10 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(SacError::QueryVertexOutOfRange(9).to_string().contains('9'));
-        let e = SacError::InvalidParameter { name: "eps_a", message: "must be in (0,1)".into() };
+        let e = SacError::InvalidParameter {
+            name: "eps_a",
+            message: "must be in (0,1)".into(),
+        };
         assert!(e.to_string().contains("eps_a"));
     }
 }

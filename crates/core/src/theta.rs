@@ -126,7 +126,13 @@ mod tests {
         assert!(theta_sac(&g, figure3::Q, 1, 1.0).unwrap().is_none());
         assert!(theta_sac(&g, figure3::Q, 1, 2.0).unwrap().is_some());
         // k = 0 is always {q}, distance 0.
-        assert_eq!(theta_sac(&g, figure3::Q, 0, 0.0).unwrap().unwrap().members(), &[figure3::Q]);
+        assert_eq!(
+            theta_sac(&g, figure3::Q, 0, 0.0)
+                .unwrap()
+                .unwrap()
+                .members(),
+            &[figure3::Q]
+        );
     }
 
     #[test]
@@ -141,7 +147,10 @@ mod tests {
         let avg = metrics::average_degree_within(&g, c.members());
         let kcore_avg = metrics::average_degree_within(
             &g,
-            theta_sac(&g, figure3::Q, 2, 2.5).unwrap().unwrap().members(),
+            theta_sac(&g, figure3::Q, 2, 2.5)
+                .unwrap()
+                .unwrap()
+                .members(),
         );
         assert!(avg <= kcore_avg + 1e-9);
     }

@@ -16,11 +16,7 @@ use sac_graph::{connected_ktruss, ktruss_in_subset, SpatialGraph, VertexId};
 
 /// The truss analogue of the `Global` baseline: the connected k-truss of the whole
 /// graph containing `q`, ignoring locations.
-pub fn global_truss(
-    g: &SpatialGraph,
-    q: VertexId,
-    k: u32,
-) -> Result<Option<Community>, SacError> {
+pub fn global_truss(g: &SpatialGraph, q: VertexId, k: u32) -> Result<Option<Community>, SacError> {
     if (q as usize) >= g.num_vertices() {
         return Err(SacError::QueryVertexOutOfRange(q));
     }
@@ -101,7 +97,11 @@ pub fn app_fast_truss(
     while u > l && iterations < max_iterations {
         iterations += 1;
         let r = 0.5 * (l + u);
-        let alpha = if eps_f > 0.0 { r * eps_f / (2.0 + eps_f) } else { 0.0 };
+        let alpha = if eps_f > 0.0 {
+            r * eps_f / (2.0 + eps_f)
+        } else {
+            0.0
+        };
         g.vertices_in_circle_into(&Circle::new(q_pos, r), &mut circle_buf);
         let candidates: Vec<VertexId> = circle_buf
             .iter()
@@ -189,7 +189,13 @@ mod tests {
         let g = figure3_graph();
         // k <= 2: degenerate truss, behaves like the trivial minimum-degree cases.
         assert_eq!(global_truss(&g, figure3::Q, 1).unwrap().unwrap().len(), 2);
-        assert_eq!(app_fast_truss(&g, figure3::Q, 2, 0.5).unwrap().unwrap().len(), 2);
+        assert_eq!(
+            app_fast_truss(&g, figure3::Q, 2, 0.5)
+                .unwrap()
+                .unwrap()
+                .len(),
+            2
+        );
     }
 
     #[test]

@@ -13,9 +13,7 @@
 use proptest::prelude::*;
 use sac_core::{app_acc, app_fast, app_inc, exact, exact_plus, theta_sac};
 use sac_geom::Point;
-use sac_graph::{
-    is_connected_subset, min_degree_in_subset, GraphBuilder, SpatialGraph, VertexId,
-};
+use sac_graph::{is_connected_subset, min_degree_in_subset, GraphBuilder, SpatialGraph, VertexId};
 
 /// A random small spatial graph: `n` vertices in the unit square, random edges.
 fn arb_spatial_graph() -> impl Strategy<Value = SpatialGraph> {
@@ -36,7 +34,10 @@ fn arb_spatial_graph() -> impl Strategy<Value = SpatialGraph> {
 
 fn check_validity(g: &SpatialGraph, q: VertexId, k: u32, members: &[VertexId]) {
     assert!(members.contains(&q), "community must contain q");
-    assert!(is_connected_subset(g.graph(), members), "community must be connected");
+    assert!(
+        is_connected_subset(g.graph(), members),
+        "community must be connected"
+    );
     assert!(
         min_degree_in_subset(g.graph(), members).unwrap() >= k as usize,
         "community must have min degree >= k"

@@ -58,7 +58,11 @@ impl CheckinStream {
 
     /// Check-ins of a single user, in chronological order.
     pub fn of_user(&self, user: VertexId) -> Vec<Checkin> {
-        self.records.iter().copied().filter(|c| c.user == user).collect()
+        self.records
+            .iter()
+            .copied()
+            .filter(|c| c.user == user)
+            .collect()
     }
 
     /// Total travel distance of a user: the sum of distances between her
@@ -131,10 +135,9 @@ impl CheckinGenerator {
             let home = graph.position(user);
             let mut current = home;
             // Jitter the per-user check-in count ±50% so activity levels differ.
-            let count = ((self.checkins_per_user as f64)
-                * rng.gen_range(0.5..1.5))
-            .round()
-            .max(1.0) as usize;
+            let count = ((self.checkins_per_user as f64) * rng.gen_range(0.5..1.5))
+                .round()
+                .max(1.0) as usize;
             for _ in 0..count {
                 let time_days = rng.gen_range(0.0..self.duration_days);
                 if rng.gen_bool(self.travel_probability) {
@@ -142,13 +145,15 @@ impl CheckinGenerator {
                     current = Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
                 } else {
                     // Local move around the current position.
-                    current = Point::new(
-                        current.x + local.sample(rng),
-                        current.y + local.sample(rng),
-                    )
-                    .clamp(0.0, 1.0);
+                    current =
+                        Point::new(current.x + local.sample(rng), current.y + local.sample(rng))
+                            .clamp(0.0, 1.0);
                 }
-                records.push(Checkin { user, time_days, position: current });
+                records.push(Checkin {
+                    user,
+                    time_days,
+                    position: current,
+                });
             }
         }
         records.sort_by(|a, b| {
@@ -177,7 +182,10 @@ mod tests {
     fn stream_is_sorted_and_covers_all_users() {
         let (g, s) = stream();
         assert!(!s.is_empty());
-        assert!(s.records().windows(2).all(|w| w[0].time_days <= w[1].time_days));
+        assert!(s
+            .records()
+            .windows(2)
+            .all(|w| w[0].time_days <= w[1].time_days));
         assert!(s.span_days() <= 30.0);
         // Every user appears at least once.
         let mut seen = vec![false; g.num_vertices()];

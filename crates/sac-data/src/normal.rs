@@ -22,9 +22,15 @@ impl NormalSampler {
     ///
     /// Panics when `std_dev` is negative or either parameter is not finite.
     pub fn new(mean: f64, std_dev: f64) -> Self {
-        assert!(std_dev >= 0.0 && std_dev.is_finite() && mean.is_finite(),
-            "invalid normal parameters: mean={mean}, std_dev={std_dev}");
-        NormalSampler { mean, std_dev, spare: None }
+        assert!(
+            std_dev >= 0.0 && std_dev.is_finite() && mean.is_finite(),
+            "invalid normal parameters: mean={mean}, std_dev={std_dev}"
+        );
+        NormalSampler {
+            mean,
+            std_dev,
+            spare: None,
+        }
     }
 
     /// Draws one sample.
@@ -71,7 +77,11 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 0.09).abs() < 0.005, "sample mean {mean}");
-        assert!((var.sqrt() - 0.16).abs() < 0.005, "sample std dev {}", var.sqrt());
+        assert!(
+            (var.sqrt() - 0.16).abs() < 0.005,
+            "sample std dev {}",
+            var.sqrt()
+        );
     }
 
     #[test]

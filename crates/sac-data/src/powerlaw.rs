@@ -29,7 +29,10 @@ impl PowerLawGenerator {
     pub fn new(vertices: usize, edges_per_vertex: usize) -> Self {
         assert!(vertices > 0, "need at least one vertex");
         assert!(edges_per_vertex > 0, "need at least one edge per vertex");
-        PowerLawGenerator { vertices, edges_per_vertex }
+        PowerLawGenerator {
+            vertices,
+            edges_per_vertex,
+        }
     }
 
     /// A generator sized to hit a target **average degree** (`d̂ = 2m/n`), which is
@@ -121,7 +124,11 @@ mod tests {
         assert_eq!(gen.edges_per_vertex(), 10);
         assert_eq!(gen.vertices(), 800);
         let g = gen.generate(&mut rng);
-        assert!((g.average_degree() - 20.0).abs() < 3.0, "average degree {}", g.average_degree());
+        assert!(
+            (g.average_degree() - 20.0).abs() < 3.0,
+            "average degree {}",
+            g.average_degree()
+        );
     }
 
     #[test]

@@ -75,7 +75,12 @@ impl DatasetSpec {
             DatasetKind::Syn1 => (30_000, 20.0),
             DatasetKind::Syn2 => (400_000, 20.0),
         };
-        DatasetSpec { kind, vertices, average_degree, seed: default_seed(kind) }
+        DatasetSpec {
+            kind,
+            vertices,
+            average_degree,
+            seed: default_seed(kind),
+        }
     }
 
     /// A proportionally scaled-down specification (`scale` in `(0, 1]`).
@@ -84,7 +89,10 @@ impl DatasetSpec {
     /// that k-core structure survives); the average degree is preserved, which is
     /// what the SAC algorithms' behaviour depends on.
     pub fn scaled(kind: DatasetKind, scale: f64) -> Self {
-        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1], got {scale}");
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "scale must be in (0, 1], got {scale}"
+        );
         let full = Self::full(kind);
         DatasetSpec {
             vertices: ((full.vertices as f64 * scale) as usize).max(500),
@@ -106,9 +114,8 @@ impl DatasetSpec {
     /// Generates the surrogate spatial graph for this specification.
     pub fn generate(&self) -> SpatialGraph {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let graph =
-            PowerLawGenerator::with_average_degree(self.vertices, self.average_degree)
-                .generate(&mut rng);
+        let graph = PowerLawGenerator::with_average_degree(self.vertices, self.average_degree)
+            .generate(&mut rng);
         let positions = SpatialPlacer::new().place(&graph, &mut rng);
         SpatialGraph::new(graph, positions).expect("generated graph is well formed")
     }

@@ -13,7 +13,10 @@ pub fn sample_vertices<R: Rng + ?Sized>(
     fraction: f64,
     rng: &mut R,
 ) -> Vec<VertexId> {
-    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1], got {fraction}");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1], got {fraction}"
+    );
     let n = g.num_vertices();
     let target = ((n as f64) * fraction).round() as usize;
     let mut ids: Vec<VertexId> = (0..n as VertexId).collect();
@@ -39,7 +42,10 @@ pub fn induced_subgraph_by_vertices(
     let mut sorted: Vec<VertexId> = vertices.to_vec();
     sorted.sort_unstable();
     sorted.dedup();
-    assert!(!sorted.is_empty(), "induced subgraph needs at least one vertex");
+    assert!(
+        !sorted.is_empty(),
+        "induced subgraph needs at least one vertex"
+    );
 
     let mut new_id = vec![u32::MAX; g.num_vertices()];
     for (idx, &v) in sorted.iter().enumerate() {

@@ -27,7 +27,10 @@ pub struct SpatialPlacer {
 
 impl Default for SpatialPlacer {
     fn default() -> Self {
-        SpatialPlacer { mu: DEFAULT_PLACEMENT_MU, sigma: DEFAULT_PLACEMENT_SIGMA }
+        SpatialPlacer {
+            mu: DEFAULT_PLACEMENT_MU,
+            sigma: DEFAULT_PLACEMENT_SIGMA,
+        }
     }
 }
 
@@ -43,8 +46,10 @@ impl SpatialPlacer {
     ///
     /// Panics when `sigma` is negative or either parameter is not finite.
     pub fn with_offsets(mu: f64, sigma: f64) -> Self {
-        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
-            "invalid placement parameters: mu={mu}, sigma={sigma}");
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "invalid placement parameters: mu={mu}, sigma={sigma}"
+        );
         SpatialPlacer { mu, sigma }
     }
 
@@ -133,7 +138,9 @@ mod tests {
         let placer = SpatialPlacer::new();
         let positions = placer.place(&g, &mut StdRng::seed_from_u64(5));
         assert_eq!(positions.len(), 200);
-        assert!(positions.iter().all(|p| (0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y)));
+        assert!(positions
+            .iter()
+            .all(|p| (0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y)));
         assert!((placer.mu() - 0.09).abs() < 1e-12);
         assert!((placer.sigma() - 0.16).abs() < 1e-12);
     }
@@ -152,7 +159,10 @@ mod tests {
             count += 1;
         }
         let avg = sum / count as f64;
-        assert!(avg < 0.4, "average neighbour distance {avg} is not spatially correlated");
+        assert!(
+            avg < 0.4,
+            "average neighbour distance {avg} is not spatially correlated"
+        );
     }
 
     #[test]
@@ -162,8 +172,8 @@ mod tests {
         b.add_edge(2, 3);
         b.ensure_vertex(5); // isolated vertices 4, 5
         let g = b.build();
-        let positions = SpatialPlacer::with_offsets(0.05, 0.01)
-            .place(&g, &mut StdRng::seed_from_u64(3));
+        let positions =
+            SpatialPlacer::with_offsets(0.05, 0.01).place(&g, &mut StdRng::seed_from_u64(3));
         assert_eq!(positions.len(), 6);
         // Edge endpoints are close, per the tight offset distribution.
         assert!(positions[0].distance(positions[1]) < 0.2);
@@ -172,7 +182,9 @@ mod tests {
     #[test]
     fn empty_graph() {
         let g = GraphBuilder::new().build();
-        assert!(SpatialPlacer::new().place(&g, &mut StdRng::seed_from_u64(1)).is_empty());
+        assert!(SpatialPlacer::new()
+            .place(&g, &mut StdRng::seed_from_u64(1))
+            .is_empty());
     }
 
     #[test]

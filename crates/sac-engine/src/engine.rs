@@ -1,0 +1,491 @@
+//! The serving engine: an immutable graph snapshot, the shared k-core cache,
+//! the planner, and a concurrent batch executor.
+
+use crate::cache::{CacheStats, KCoreCache, KCoreComponents};
+use crate::planner::{plan_query, Plan, PlanContext, QueryBudget};
+use sac_core::{
+    app_acc, app_inc, exact_plus, theta_sac, BatchSacSearch, Community, SacError, EXACT_PLUS_EPS_A,
+};
+use sac_graph::{CoreDecomposition, SpatialGraph, VertexId};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Tunables of a [`SacEngine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Connected-k-core size at or below which the planner upgrades any
+    /// unconstrained budget to `Exact+` (the candidate set is so small that an
+    /// exact answer costs no more than an approximate one).
+    pub small_exact_threshold: usize,
+    /// `εA` used inside `Exact+` plans (the paper's exact-experiment value).
+    pub exact_eps_a: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            small_exact_threshold: 48,
+            exact_eps_a: EXACT_PLUS_EPS_A,
+        }
+    }
+}
+
+/// One SAC query against the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SacRequest {
+    /// Caller-chosen id, echoed in the response.
+    pub id: u64,
+    /// Query vertex.
+    pub q: VertexId,
+    /// Minimum degree constraint.
+    pub k: u32,
+    /// Accuracy/latency budget driving plan selection.
+    pub budget: QueryBudget,
+}
+
+impl SacRequest {
+    /// A request with the default (balanced) budget.
+    pub fn new(id: u64, q: VertexId, k: u32) -> Self {
+        SacRequest {
+            id,
+            q,
+            k,
+            budget: QueryBudget::default(),
+        }
+    }
+
+    /// Replaces the budget.
+    pub fn with_budget(mut self, budget: QueryBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+/// The engine's answer to one [`SacRequest`].
+#[derive(Debug, Clone)]
+pub struct SacResponse {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Echo of the query vertex.
+    pub q: VertexId,
+    /// Echo of the degree constraint.
+    pub k: u32,
+    /// The plan the engine dispatched.
+    pub plan: Plan,
+    /// The community (or `None` when infeasible), or the per-query error.
+    pub outcome: Result<Option<Community>, SacError>,
+    /// Wall-clock service time in microseconds (planning + execution).
+    pub micros: u64,
+    /// Whether the k-core cache was already warm when the query arrived.
+    pub cache_hit: bool,
+}
+
+impl SacResponse {
+    /// The community when the query succeeded and was feasible.
+    pub fn community(&self) -> Option<&Community> {
+        self.outcome.as_ref().ok().and_then(|c| c.as_ref())
+    }
+}
+
+/// Aggregate serving counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineStats {
+    /// Queries answered (including errors).
+    pub queries: u64,
+    /// Queries short-circuited by the cache feasibility check.
+    pub infeasible_fast_path: u64,
+    /// Queries that returned a per-query error.
+    pub errors: u64,
+    /// Cache counters.
+    pub cache: CacheStats,
+}
+
+/// A thread-safe SAC query engine over one immutable graph snapshot.
+///
+/// The engine owns an `Arc<SpatialGraph>` snapshot (shared, read-only — see
+/// the `Send + Sync` assertions in `sac-graph`), a [`KCoreCache`] that
+/// memoises the core decomposition and per-`k` connected-core indexes, and a
+/// planner that turns each request's [`QueryBudget`] into one of the paper's
+/// algorithms.  All methods take `&self`; one engine serves any number of
+/// threads concurrently.
+///
+/// ```
+/// use sac_engine::{QueryBudget, SacEngine, SacRequest};
+///
+/// let engine = SacEngine::new(sac_core::fixtures::figure3_graph());
+/// let request = SacRequest::new(0, sac_core::fixtures::figure3::Q, 2)
+///     .with_budget(QueryBudget::exact());
+/// let response = engine.execute(&request);
+/// let community = response.community().expect("Q has a 2-core community");
+/// assert!(community.contains(sac_core::fixtures::figure3::Q));
+/// ```
+#[derive(Debug)]
+pub struct SacEngine {
+    graph: Arc<SpatialGraph>,
+    cache: KCoreCache,
+    config: EngineConfig,
+    queries: AtomicU64,
+    infeasible_fast_path: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl SacEngine {
+    /// An engine owning `graph` as its immutable snapshot.
+    pub fn new(graph: SpatialGraph) -> Self {
+        SacEngine::from_snapshot(Arc::new(graph))
+    }
+
+    /// An engine over an existing shared snapshot.
+    pub fn from_snapshot(graph: Arc<SpatialGraph>) -> Self {
+        SacEngine::with_config(graph, EngineConfig::default())
+    }
+
+    /// An engine with custom tunables.
+    pub fn with_config(graph: Arc<SpatialGraph>, config: EngineConfig) -> Self {
+        SacEngine {
+            graph,
+            cache: KCoreCache::new(),
+            config,
+            queries: AtomicU64::new(0),
+            infeasible_fast_path: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared snapshot this engine serves.
+    pub fn snapshot(&self) -> Arc<SpatialGraph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// Pre-computes the decomposition and the component indexes for `ks`, so
+    /// the first real queries don't pay the build cost.
+    pub fn warm(&self, ks: &[u32]) {
+        let graph = self.graph.graph();
+        self.cache.decomposition(graph);
+        for &k in ks {
+            self.cache.components(graph, k);
+        }
+    }
+
+    /// The memoised core decomposition of the snapshot.
+    pub fn decomposition(&self) -> Arc<CoreDecomposition> {
+        self.cache.decomposition(self.graph.graph())
+    }
+
+    /// The memoised connected-component index of the k-core for `k`.
+    pub fn core_components(&self, k: u32) -> Arc<KCoreComponents> {
+        self.cache.components(self.graph.graph(), k)
+    }
+
+    /// Cache-served structural query: the sorted members of the connected
+    /// k-core containing `q` (no spatial optimisation), or `None` when `q` is
+    /// in no k-core.
+    pub fn connected_core(&self, q: VertexId, k: u32) -> Option<Vec<VertexId>> {
+        self.core_components(k).core_of(q).map(<[VertexId]>::to_vec)
+    }
+
+    /// The plan the engine would dispatch for `request` (exposed for tests,
+    /// tooling and the equivalence suite).
+    pub fn plan_for(&self, request: &SacRequest) -> Result<Plan, SacError> {
+        request.budget.validate()?;
+        let n = self.graph.num_vertices();
+        if request.q as usize >= n {
+            return Err(SacError::QueryVertexOutOfRange(request.q));
+        }
+        let ctx = self.plan_context(request);
+        Ok(plan_query(
+            &request.budget,
+            &ctx,
+            self.config.small_exact_threshold,
+            self.config.exact_eps_a,
+        ))
+    }
+
+    /// Structural facts for the planner.  The cache feasibility rule is only
+    /// sound for `k >= 2`: for `k <= 1` the algorithms have trivial answers
+    /// (single vertex / nearest neighbour) that exist even outside any k-core,
+    /// so those queries always go to the algorithm.
+    fn plan_context(&self, request: &SacRequest) -> PlanContext {
+        if request.k < 2 {
+            return PlanContext {
+                core_size: None,
+                infeasible: false,
+            };
+        }
+        // O(1) feasibility from the decomposition first: infeasible queries
+        // (including arbitrary wire-supplied k) never build a per-k index.
+        let decomposition = self.decomposition();
+        if decomposition.core_number(request.q) < request.k {
+            return PlanContext {
+                core_size: None,
+                infeasible: true,
+            };
+        }
+        let components = self.core_components(request.k);
+        PlanContext {
+            core_size: components.core_size_of(request.q),
+            infeasible: false,
+        }
+    }
+
+    /// Answers one request: plans, dispatches, and annotates the response with
+    /// timing and cache metadata.
+    pub fn execute(&self, request: &SacRequest) -> SacResponse {
+        let start = Instant::now();
+        let cache_hit = self.cache.is_warm();
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let (plan, outcome) = match self.plan_for(request) {
+            Err(e) => (Plan::Rejected, Err(e)),
+            Ok(plan) => {
+                let outcome = self.dispatch(request, plan);
+                (plan, outcome)
+            }
+        };
+        match &outcome {
+            Err(_) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(_) if plan == Plan::Infeasible => {
+                self.infeasible_fast_path.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(_) => {}
+        }
+        SacResponse {
+            id: request.id,
+            q: request.q,
+            k: request.k,
+            plan,
+            outcome,
+            micros: start.elapsed().as_micros() as u64,
+            cache_hit,
+        }
+    }
+
+    /// Runs the planned algorithm.  Every arm calls the same `sac_core` entry
+    /// point a direct caller would use, so engine answers are bit-identical to
+    /// library answers (the equivalence suite asserts this).
+    fn dispatch(&self, request: &SacRequest, plan: Plan) -> Result<Option<Community>, SacError> {
+        let (g, q, k) = (&*self.graph, request.q, request.k);
+        match plan {
+            Plan::Infeasible => Ok(None),
+            Plan::Rejected => unreachable!("rejected plans never reach dispatch"),
+            Plan::ExactPlus { eps_a } => exact_plus(g, q, k, eps_a),
+            Plan::AppAcc { eps_a } => app_acc(g, q, k, eps_a),
+            Plan::AppInc => Ok(app_inc(g, q, k)?.map(|outcome| outcome.community)),
+            Plan::ThetaSac { theta } => theta_sac(g, q, k, theta),
+            Plan::AppFast { eps_f } => {
+                // The one cache-accelerated arm: share the memoised
+                // decomposition instead of re-deriving the k-ĉore per query.
+                let session = BatchSacSearch::with_shared_decomposition(g, self.decomposition());
+                Ok(session
+                    .app_fast(q, k, eps_f)?
+                    .map(|outcome| outcome.community))
+            }
+        }
+    }
+
+    /// Fans `requests` across `threads` workers sharing this engine and
+    /// returns the responses in request order.
+    ///
+    /// Work is distributed by an atomic cursor (cheap dynamic load balancing:
+    /// slow exact queries don't stall a whole stripe of the batch).
+    pub fn execute_batch(&self, requests: &[SacRequest], threads: usize) -> Vec<SacResponse> {
+        let n = requests.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = threads.clamp(1, n);
+        if threads == 1 {
+            return requests.iter().map(|r| self.execute(r)).collect();
+        }
+        // Warm the decomposition once up front so concurrent first-queries
+        // don't all compute it.
+        self.cache.decomposition(self.graph.graph());
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<SacResponse>> = (0..n).map(|_| OnceLock::new()).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let response = self.execute(&requests[i]);
+                    slots[i].set(response).expect("each slot is written once");
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("all slots filled"))
+            .collect()
+    }
+
+    /// Current serving counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            infeasible_fast_path: self.infeasible_fast_path.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+        }
+    }
+}
+
+// One engine is shared by reference across worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SacEngine>();
+    assert_send_sync::<SacRequest>();
+    assert_send_sync::<SacResponse>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::LatencyTier;
+    use sac_core::fixtures::{figure3, figure3_graph};
+
+    fn engine() -> SacEngine {
+        SacEngine::new(figure3_graph())
+    }
+
+    #[test]
+    fn exact_budget_returns_paper_answer() {
+        let engine = engine();
+        let response =
+            engine.execute(&SacRequest::new(1, figure3::Q, 2).with_budget(QueryBudget::exact()));
+        assert_eq!(response.id, 1);
+        assert!(matches!(response.plan, Plan::ExactPlus { .. }));
+        let community = response.community().expect("feasible");
+        let direct = exact_plus(&figure3_graph(), figure3::Q, 2, EXACT_PLUS_EPS_A)
+            .unwrap()
+            .unwrap();
+        assert_eq!(community.members(), direct.members());
+        assert!(!response.cache_hit, "first query sees a cold cache");
+    }
+
+    #[test]
+    fn infeasible_queries_short_circuit_through_cache() {
+        let engine = engine();
+        // Vertex I (pendant) has core number 1: no 2-core community.
+        let response = engine.execute(&SacRequest::new(2, figure3::I, 2));
+        assert_eq!(response.plan, Plan::Infeasible);
+        assert_eq!(response.outcome, Ok(None));
+        let stats = engine.stats();
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.infeasible_fast_path, 1);
+    }
+
+    #[test]
+    fn absurd_k_values_never_build_or_cache_indexes() {
+        let engine = engine();
+        for k in [100u32, 1_000_000, u32::MAX] {
+            let response = engine.execute(&SacRequest::new(9, figure3::Q, k));
+            assert_eq!(response.plan, Plan::Infeasible);
+            assert_eq!(response.outcome, Ok(None));
+        }
+        // Feasibility came from the O(1) decomposition lookup: no per-k
+        // component index was built for any of the absurd k values.
+        let stats = engine.stats();
+        assert_eq!(stats.cache.components.misses, 0);
+        assert_eq!(stats.infeasible_fast_path, 3);
+        // The public structural query is also safe against huge k.
+        assert!(engine.connected_core(figure3::Q, 10_000).is_none());
+        assert_eq!(engine.stats().cache.components.misses, 0);
+    }
+
+    #[test]
+    fn trivial_k_queries_bypass_the_feasibility_fast_path() {
+        let engine = engine();
+        // k = 0 has a trivial single-vertex answer even for the pendant vertex.
+        let response = engine.execute(&SacRequest::new(3, figure3::I, 0));
+        let community = response.community().expect("k=0 is always feasible");
+        assert_eq!(community.members(), &[figure3::I]);
+    }
+
+    #[test]
+    fn second_query_hits_the_cache() {
+        let engine = engine();
+        let req = SacRequest::new(4, figure3::Q, 2);
+        let first = engine.execute(&req);
+        let second = engine.execute(&req);
+        assert!(!first.cache_hit);
+        assert!(second.cache_hit);
+        assert_eq!(
+            first.community().unwrap().members(),
+            second.community().unwrap().members()
+        );
+    }
+
+    #[test]
+    fn errors_are_reported_per_query() {
+        let engine = engine();
+        let out_of_range = engine.execute(&SacRequest::new(5, 999, 2));
+        assert_eq!(out_of_range.plan, Plan::Rejected);
+        assert_eq!(
+            out_of_range.outcome,
+            Err(SacError::QueryVertexOutOfRange(999))
+        );
+        let bad_budget = engine.execute(
+            &SacRequest::new(6, figure3::Q, 2).with_budget(QueryBudget::within_ratio(0.2)),
+        );
+        assert_eq!(bad_budget.plan, Plan::Rejected);
+        assert!(bad_budget.outcome.is_err());
+        assert_eq!(engine.stats().errors, 2);
+    }
+
+    #[test]
+    fn batch_execution_preserves_order_and_results() {
+        let engine = engine();
+        let requests: Vec<SacRequest> = (0..40)
+            .map(|i| {
+                let q = [figure3::Q, figure3::A, figure3::F, figure3::I][i % 4];
+                SacRequest::new(i as u64, q, 2)
+            })
+            .collect();
+        let batch = engine.execute_batch(&requests, 4);
+        assert_eq!(batch.len(), 40);
+        for (i, response) in batch.iter().enumerate() {
+            assert_eq!(response.id, i as u64);
+            let single = engine.execute(&requests[i]);
+            match (response.community(), single.community()) {
+                (Some(a), Some(b)) => assert_eq!(a.members(), b.members()),
+                (None, None) => {}
+                _ => panic!("batch/single feasibility mismatch at {i}"),
+            }
+        }
+    }
+
+    #[test]
+    fn structural_core_queries_come_from_the_cache() {
+        let engine = engine();
+        let core = engine
+            .connected_core(figure3::Q, 2)
+            .expect("Q is in the 2-core");
+        assert!(core.contains(&figure3::Q));
+        assert!(engine.connected_core(figure3::I, 2).is_none());
+        // Small fixture: the planner upgrades every feasible plan to Exact+.
+        let plan = engine
+            .plan_for(&SacRequest::new(7, figure3::Q, 2).with_budget(QueryBudget::interactive()))
+            .unwrap();
+        assert!(matches!(plan, Plan::ExactPlus { .. }));
+    }
+
+    #[test]
+    fn theta_budgets_dispatch_theta_sac() {
+        let engine = engine();
+        let request = SacRequest::new(8, figure3::Q, 2).with_budget(
+            QueryBudget::balanced()
+                .with_theta(10.0)
+                .with_tier(LatencyTier::Batch),
+        );
+        let response = engine.execute(&request);
+        assert_eq!(response.plan, Plan::ThetaSac { theta: 10.0 });
+        let direct = theta_sac(&figure3_graph(), figure3::Q, 2, 10.0)
+            .unwrap()
+            .unwrap();
+        assert_eq!(response.community().unwrap().members(), direct.members());
+    }
+}

@@ -1,0 +1,57 @@
+//! # sac-engine
+//!
+//! A concurrent, cache-aware query-serving engine for spatial-aware community
+//! (SAC) search — the serving layer on top of the `sac-core` algorithms of
+//!
+//! > Fang, Cheng, Li, Luo, Hu. *Effective Community Search over Large Spatial
+//! > Graphs.* PVLDB 10(6), 2017.
+//!
+//! The library crates answer one query at a time from scratch; a production
+//! deployment answers millions over one slowly-changing graph.  This crate
+//! adds the engine-level machinery that gap requires:
+//!
+//! * **Immutable snapshots** — the engine owns an `Arc<SpatialGraph>`; all
+//!   query state is read-only and every entry point takes `&self`, so one
+//!   engine serves any number of threads (see [`SacEngine`]).
+//! * **A k-core index cache** — the `O(m)` core decomposition and the per-`k`
+//!   connected-core labellings are memoised per snapshot ([`KCoreCache`]),
+//!   turning the structural phase of repeated queries into cache hits.
+//! * **A budget-driven planner** — each request carries a [`QueryBudget`]
+//!   (worst acceptable approximation ratio + latency tier); the planner picks
+//!   the cheapest of `exact_plus` / `app_acc` / `app_fast` / `app_inc` /
+//!   `theta_sac` whose proven ratio fits, with a workload-aware upgrade to
+//!   exact search when the cached candidate set is tiny ([`Plan`]).
+//! * **A concurrent executor** — [`SacEngine::execute_batch`] fans a batch of
+//!   [`SacRequest`]s across a thread pool with dynamic load balancing and
+//!   returns structured [`SacResponse`]s carrying plan, timing and cache
+//!   metadata.
+//! * **A serving binary** — `sac-serve` speaks line-delimited JSON over
+//!   stdin/stdout (see the crate README section in the repository root).
+//!
+//! ## Example
+//!
+//! ```
+//! use sac_engine::{QueryBudget, SacEngine, SacRequest};
+//!
+//! let engine = SacEngine::new(sac_core::fixtures::figure3_graph());
+//! let requests: Vec<SacRequest> = (0..8)
+//!     .map(|i| SacRequest::new(i, sac_core::fixtures::figure3::Q, 2)
+//!         .with_budget(QueryBudget::balanced()))
+//!     .collect();
+//! let responses = engine.execute_batch(&requests, 4);
+//! assert!(responses.iter().all(|r| r.community().is_some()));
+//! // After the first query the k-core indexes are served from cache.
+//! assert!(engine.stats().cache.components.hits > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod engine;
+pub mod json;
+mod planner;
+
+pub use cache::{CacheLayerStats, CacheStats, KCoreCache, KCoreComponents};
+pub use engine::{EngineConfig, EngineStats, SacEngine, SacRequest, SacResponse};
+pub use planner::{plan_query, LatencyTier, Plan, PlanContext, QueryBudget};

@@ -1,0 +1,372 @@
+//! The query planner: maps a per-request accuracy/latency budget onto one of
+//! the paper's SAC algorithms.
+//!
+//! The paper's Table 3 gives every algorithm a proven approximation ratio on
+//! the MCC radius and an asymptotic cost; the planner inverts that table.  A
+//! request states the worst ratio it tolerates ([`QueryBudget::max_ratio`])
+//! and how much latency it can spend ([`LatencyTier`]); the planner picks the
+//! cheapest algorithm whose proven ratio fits, using the k-core cache's
+//! structural statistics for one workload-aware upgrade: when the candidate
+//! set (the connected k-core containing `q`, which every community is a subset
+//! of) is tiny, even `Exact+` is effectively free, so the budget's slack is
+//! converted into an exact answer at no latency cost.
+//!
+//! | budget | plan |
+//! |---|---|
+//! | `theta` set | [`Plan::ThetaSac`] (radius-constrained variant, §3) |
+//! | `q` not in any k-core (cache lookup) | [`Plan::Infeasible`] — answered without running any algorithm |
+//! | k-ĉore of `q` ≤ `small_exact_threshold` | [`Plan::ExactPlus`] |
+//! | `max_ratio` = 1 | [`Plan::ExactPlus`] |
+//! | 1 < `max_ratio` < 2 | [`Plan::AppAcc`] with `εA = max_ratio − 1` |
+//! | `max_ratio` ≥ 2, [`LatencyTier::Interactive`] | [`Plan::AppFast`] with `εF = max_ratio − 2` |
+//! | `max_ratio` ≥ 2, otherwise | [`Plan::AppInc`] |
+
+use sac_core::SacError;
+use std::fmt;
+
+/// How much latency a request is willing to spend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LatencyTier {
+    /// Sub-millisecond target: always the cheapest algorithm that fits the
+    /// accuracy budget.
+    Interactive,
+    /// Default tier for online serving.
+    #[default]
+    Standard,
+    /// Offline / analytical: latency is secondary to result quality.
+    Batch,
+}
+
+impl LatencyTier {
+    /// Parses the wire names used by `sac-serve` (`interactive`, `standard`,
+    /// `batch`).
+    pub fn parse(name: &str) -> Option<LatencyTier> {
+        match name {
+            "interactive" => Some(LatencyTier::Interactive),
+            "standard" => Some(LatencyTier::Standard),
+            "batch" => Some(LatencyTier::Batch),
+            _ => None,
+        }
+    }
+}
+
+/// Per-request accuracy/latency budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryBudget {
+    /// Largest acceptable approximation ratio on the MCC radius (`>= 1`; `1`
+    /// demands the optimum).
+    pub max_ratio: f64,
+    /// Latency tier.
+    pub tier: LatencyTier,
+    /// When set, ask the θ-SAC variant instead: the community must lie inside
+    /// the circle of radius `theta` around the query vertex.
+    pub theta: Option<f64>,
+}
+
+impl Default for QueryBudget {
+    fn default() -> Self {
+        QueryBudget::balanced()
+    }
+}
+
+impl QueryBudget {
+    /// Demands the optimal community (ratio 1) at batch latency.
+    pub fn exact() -> Self {
+        QueryBudget {
+            max_ratio: 1.0,
+            tier: LatencyTier::Batch,
+            theta: None,
+        }
+    }
+
+    /// The default online budget: ratio ≤ 1.5 at standard latency (the paper's
+    /// `AppAcc` configuration, Table 5).
+    pub fn balanced() -> Self {
+        QueryBudget {
+            max_ratio: 1.5,
+            tier: LatencyTier::Standard,
+            theta: None,
+        }
+    }
+
+    /// The low-latency budget: ratio ≤ 2.5 (the paper's `AppFast`
+    /// configuration) at interactive latency.
+    pub fn interactive() -> Self {
+        QueryBudget {
+            max_ratio: 2.5,
+            tier: LatencyTier::Interactive,
+            theta: None,
+        }
+    }
+
+    /// A budget tolerating approximation ratio `max_ratio` at standard
+    /// latency.
+    pub fn within_ratio(max_ratio: f64) -> Self {
+        QueryBudget {
+            max_ratio,
+            tier: LatencyTier::Standard,
+            theta: None,
+        }
+    }
+
+    /// Sets the latency tier.
+    pub fn with_tier(mut self, tier: LatencyTier) -> Self {
+        self.tier = tier;
+        self
+    }
+
+    /// Requests the θ-SAC variant with radius constraint `theta`.
+    pub fn with_theta(mut self, theta: f64) -> Self {
+        self.theta = Some(theta);
+        self
+    }
+
+    /// Validates the budget parameters.
+    pub fn validate(&self) -> Result<(), SacError> {
+        if !self.max_ratio.is_finite() || self.max_ratio < 1.0 {
+            return Err(SacError::InvalidParameter {
+                name: "max_ratio",
+                message: format!("must be a finite number >= 1, got {}", self.max_ratio),
+            });
+        }
+        if let Some(theta) = self.theta {
+            if !theta.is_finite() || theta < 0.0 {
+                return Err(SacError::InvalidParameter {
+                    name: "theta",
+                    message: format!("must be a finite non-negative number, got {theta}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The algorithm chosen for one request, with its accuracy parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Plan {
+    /// `Exact+` (Algorithm 5): optimal result.
+    ExactPlus {
+        /// `εA` passed to the `AppAcc` bootstrap phase.
+        eps_a: f64,
+    },
+    /// `AppAcc` (Algorithm 4): ratio `1 + εA`.
+    AppAcc {
+        /// Accuracy parameter `εA ∈ (0, 1)`.
+        eps_a: f64,
+    },
+    /// `AppFast` (Algorithm 3): ratio `2 + εF`.
+    AppFast {
+        /// Accuracy parameter `εF ≥ 0`.
+        eps_f: f64,
+    },
+    /// `AppInc` (Algorithm 2): ratio 2.
+    AppInc,
+    /// `θ-SAC` (§3): community constrained to the circle `O(q, θ)`.
+    ThetaSac {
+        /// Radius constraint.
+        theta: f64,
+    },
+    /// Answered from the k-core cache without running any algorithm: `q` is in
+    /// no k-core, so no SAC community exists (every algorithm returns `None`).
+    Infeasible,
+    /// The request never reached an algorithm (invalid budget or query).
+    Rejected,
+}
+
+impl Plan {
+    /// The approximation ratio this plan guarantees (`None` for plans that do
+    /// not return an unconstrained SAC community).
+    pub fn guaranteed_ratio(&self) -> Option<f64> {
+        match self {
+            Plan::ExactPlus { .. } => Some(1.0),
+            Plan::AppAcc { eps_a } => Some(1.0 + eps_a),
+            Plan::AppFast { eps_f } => Some(2.0 + eps_f),
+            Plan::AppInc => Some(2.0),
+            Plan::ThetaSac { .. } | Plan::Infeasible | Plan::Rejected => None,
+        }
+    }
+
+    /// Short wire/bench label, e.g. `exact_plus(eps_a=0.0001)`.
+    pub fn label(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Plan::ExactPlus { eps_a } => write!(f, "exact_plus(eps_a={eps_a})"),
+            Plan::AppAcc { eps_a } => write!(f, "app_acc(eps_a={eps_a})"),
+            Plan::AppFast { eps_f } => write!(f, "app_fast(eps_f={eps_f})"),
+            Plan::AppInc => write!(f, "app_inc"),
+            Plan::ThetaSac { theta } => write!(f, "theta_sac(theta={theta})"),
+            Plan::Infeasible => write!(f, "infeasible(cache)"),
+            Plan::Rejected => write!(f, "rejected"),
+        }
+    }
+}
+
+/// Structural facts the planner reads from the k-core cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanContext {
+    /// Size of the connected k-core containing `q`; `None` when `q` is in no
+    /// k-core (or the check was skipped because `k < 2`).
+    pub core_size: Option<usize>,
+    /// Whether the cache proved the query infeasible (`k >= 2` and
+    /// `core(q) < k`).
+    pub infeasible: bool,
+}
+
+/// `AppAcc` requires `εA ∈ (0, 1)`: keep planner-derived values inside the
+/// open interval.
+fn clamp_eps_a(eps: f64) -> f64 {
+    eps.clamp(1e-6, 1.0 - 1e-6)
+}
+
+/// Picks the cheapest plan whose guaranteed ratio fits `budget` (see the
+/// module docs for the full decision table).
+pub fn plan_query(
+    budget: &QueryBudget,
+    ctx: &PlanContext,
+    small_exact_threshold: usize,
+    exact_eps_a: f64,
+) -> Plan {
+    if let Some(theta) = budget.theta {
+        if ctx.infeasible {
+            return Plan::Infeasible;
+        }
+        return Plan::ThetaSac { theta };
+    }
+    if ctx.infeasible {
+        return Plan::Infeasible;
+    }
+    // Workload-aware upgrade: every SAC community is a subset of the connected
+    // k-core containing q, so a tiny candidate set makes Exact+ as cheap as
+    // the approximations — spend the slack on exactness.
+    if let Some(size) = ctx.core_size {
+        if size <= small_exact_threshold {
+            return Plan::ExactPlus { eps_a: exact_eps_a };
+        }
+    }
+    if budget.max_ratio <= 1.0 + 1e-12 {
+        return Plan::ExactPlus { eps_a: exact_eps_a };
+    }
+    if budget.max_ratio < 2.0 {
+        return Plan::AppAcc {
+            eps_a: clamp_eps_a(budget.max_ratio - 1.0),
+        };
+    }
+    match budget.tier {
+        LatencyTier::Interactive => Plan::AppFast {
+            eps_f: budget.max_ratio - 2.0,
+        },
+        LatencyTier::Standard | LatencyTier::Batch => Plan::AppInc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CTX_BIG: PlanContext = PlanContext {
+        core_size: Some(100_000),
+        infeasible: false,
+    };
+
+    fn plan(budget: &QueryBudget, ctx: &PlanContext) -> Plan {
+        plan_query(budget, ctx, 48, 1e-4)
+    }
+
+    #[test]
+    fn accuracy_budget_selects_algorithm_family() {
+        assert!(matches!(
+            plan(&QueryBudget::exact(), &CTX_BIG),
+            Plan::ExactPlus { .. }
+        ));
+        let acc = plan(&QueryBudget::within_ratio(1.5), &CTX_BIG);
+        assert!(matches!(acc, Plan::AppAcc { eps_a } if (eps_a - 0.5).abs() < 1e-9));
+        assert!(matches!(
+            plan(&QueryBudget::within_ratio(2.0), &CTX_BIG),
+            Plan::AppInc
+        ));
+        let fast = plan(
+            &QueryBudget::within_ratio(2.5).with_tier(LatencyTier::Interactive),
+            &CTX_BIG,
+        );
+        assert!(matches!(fast, Plan::AppFast { eps_f } if (eps_f - 0.5).abs() < 1e-9));
+    }
+
+    #[test]
+    fn every_plan_fits_its_budget() {
+        for ratio in [1.0, 1.2, 1.5, 1.99, 2.0, 2.5, 4.0] {
+            for tier in [
+                LatencyTier::Interactive,
+                LatencyTier::Standard,
+                LatencyTier::Batch,
+            ] {
+                let budget = QueryBudget::within_ratio(ratio).with_tier(tier);
+                let plan = plan(&budget, &CTX_BIG);
+                let guaranteed = plan.guaranteed_ratio().expect("feasible plans have ratios");
+                assert!(
+                    guaranteed <= ratio + 1e-9,
+                    "plan {plan} (ratio {guaranteed}) exceeds budget {ratio}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theta_and_infeasibility_short_circuit() {
+        let budget = QueryBudget::balanced().with_theta(0.25);
+        assert_eq!(plan(&budget, &CTX_BIG), Plan::ThetaSac { theta: 0.25 });
+        let infeasible = PlanContext {
+            core_size: None,
+            infeasible: true,
+        };
+        assert_eq!(plan(&budget, &infeasible), Plan::Infeasible);
+        assert_eq!(plan(&QueryBudget::exact(), &infeasible), Plan::Infeasible);
+    }
+
+    #[test]
+    fn tiny_core_upgrades_to_exact() {
+        let small = PlanContext {
+            core_size: Some(12),
+            infeasible: false,
+        };
+        assert!(matches!(
+            plan(&QueryBudget::interactive(), &small),
+            Plan::ExactPlus { .. }
+        ));
+        // Just above the threshold: no upgrade.
+        let medium = PlanContext {
+            core_size: Some(49),
+            infeasible: false,
+        };
+        assert!(matches!(
+            plan(&QueryBudget::interactive(), &medium),
+            Plan::AppFast { .. }
+        ));
+    }
+
+    #[test]
+    fn budget_validation_rejects_nonsense() {
+        assert!(QueryBudget::within_ratio(0.5).validate().is_err());
+        assert!(QueryBudget::within_ratio(f64::NAN).validate().is_err());
+        assert!(QueryBudget::balanced().with_theta(-1.0).validate().is_err());
+        assert!(QueryBudget::balanced()
+            .with_theta(f64::INFINITY)
+            .validate()
+            .is_err());
+        assert!(QueryBudget::balanced().validate().is_ok());
+        assert!(QueryBudget::exact().validate().is_ok());
+    }
+
+    #[test]
+    fn plans_render_stable_labels() {
+        assert_eq!(Plan::AppInc.label(), "app_inc");
+        assert_eq!(Plan::AppFast { eps_f: 0.5 }.label(), "app_fast(eps_f=0.5)");
+        assert_eq!(Plan::Infeasible.label(), "infeasible(cache)");
+        assert_eq!(LatencyTier::parse("batch"), Some(LatencyTier::Batch));
+        assert_eq!(LatencyTier::parse("bogus"), None);
+    }
+}

@@ -21,8 +21,10 @@ struct MethodStats {
 impl MethodStats {
     fn record(&mut self, g: &SpatialGraph, members: &[VertexId]) {
         self.radii.push(metrics::community_radius(g, members));
-        self.dist_pr.push(metrics::average_pairwise_distance(g, members));
-        self.avg_degree.push(metrics::average_degree_within(g, members));
+        self.dist_pr
+            .push(metrics::average_pairwise_distance(g, members));
+        self.avg_degree
+            .push(metrics::average_degree_within(g, members));
         self.sizes.push(members.len() as f64);
         self.answered += 1;
     }

@@ -34,7 +34,10 @@ pub fn fig11(config: &ExperimentConfig) -> Vec<Table> {
             .collect();
 
         let mut table = Table::new(
-            format!("Figure 11: theta-SAC sensitivity — {} (k = {k})", bundle.name()),
+            format!(
+                "Figure 11: theta-SAC sensitivity — {} (k = {k})",
+                bundle.name()
+            ),
             &[
                 "theta",
                 "% non-empty",

@@ -26,8 +26,17 @@ pub fn fig12_approx(config: &ExperimentConfig) -> Vec<Table> {
         let bundle = load_dataset(kind, config);
         let g = &bundle.graph;
         let mut table = Table::new(
-            format!("Figure 12(a-e): approximation algorithms vs k — {}", bundle.name()),
-            &["k", "AppInc (s)", "AppFast(0.0) (s)", "AppFast(0.5) (s)", "AppAcc(0.5) (s)"],
+            format!(
+                "Figure 12(a-e): approximation algorithms vs k — {}",
+                bundle.name()
+            ),
+            &[
+                "k",
+                "AppInc (s)",
+                "AppFast(0.0) (s)",
+                "AppFast(0.5) (s)",
+                "AppAcc(0.5) (s)",
+            ],
         );
         for &k in &config.k_values {
             let mut t_inc = Vec::new();
@@ -68,7 +77,12 @@ pub fn fig12_exact(config: &ExperimentConfig) -> Vec<Table> {
     for &kind in &config.datasets {
         let bundle = load_dataset(kind, config);
         let g = &bundle.graph;
-        let queries: Vec<_> = bundle.queries.iter().copied().take(config.exact_queries).collect();
+        let queries: Vec<_> = bundle
+            .queries
+            .iter()
+            .copied()
+            .take(config.exact_queries)
+            .collect();
         let mut table = Table::new(
             format!(
                 "Figure 12(f-j): exact algorithms vs k — {} (eps_a = {})",
@@ -120,7 +134,10 @@ pub fn fig12_scalability(config: &ExperimentConfig) -> Vec<Table> {
         let bundle = load_dataset(kind, config);
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5CA1E);
         let mut table = Table::new(
-            format!("Figure 12(k-o): scalability vs vertex percentage — {}", bundle.name()),
+            format!(
+                "Figure 12(k-o): scalability vs vertex percentage — {}",
+                bundle.name()
+            ),
             &[
                 "percentage",
                 "vertices",
@@ -136,8 +153,7 @@ pub fn fig12_scalability(config: &ExperimentConfig) -> Vec<Table> {
             } else {
                 let kept = sample_vertices(&bundle.graph, fraction, &mut rng);
                 let (sub, _mapping) = induced_subgraph_by_vertices(&bundle.graph, &kept);
-                let queries =
-                    select_query_vertices(sub.graph(), config.num_queries, 4, &mut rng);
+                let queries = select_query_vertices(sub.graph(), config.num_queries, 4, &mut rng);
                 (sub, queries)
             };
             let mut t_inc = Vec::new();

@@ -41,7 +41,7 @@ pub fn fig13(config: &ExperimentConfig) -> Vec<Table> {
     let eligible: Vec<VertexId> = stream
         .most_mobile_users(config.num_queries * 4)
         .into_iter()
-        .filter(|&u| bundle.queries.contains(&u) || bundle.graph.degree(u) >= k as usize + 1)
+        .filter(|&u| bundle.queries.contains(&u) || bundle.graph.degree(u) > k as usize)
         .take(config.num_queries)
         .collect();
 
@@ -86,7 +86,10 @@ pub fn fig13(config: &ExperimentConfig) -> Vec<Table> {
     // For every η, average CJS and CAO over all pairs of communities of the same
     // user separated by at least η days.
     let mut table = Table::new(
-        format!("Figure 13: dynamic adaptability (CJS / CAO) — {} (k = {k})", bundle.name()),
+        format!(
+            "Figure 13: dynamic adaptability (CJS / CAO) — {} (k = {k})",
+            bundle.name()
+        ),
         &["eta (days)", "avg CJS", "avg CAO", "pairs"],
     );
     for &eta in &config.eta_days {

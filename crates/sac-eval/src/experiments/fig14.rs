@@ -19,10 +19,24 @@ pub fn fig14(config: &ExperimentConfig) -> Vec<Table> {
     for &kind in &config.datasets {
         let bundle = load_dataset(kind, config);
         let g = &bundle.graph;
-        let queries: Vec<_> = bundle.queries.iter().copied().take(config.exact_queries).collect();
+        let queries: Vec<_> = bundle
+            .queries
+            .iter()
+            .copied()
+            .take(config.exact_queries)
+            .collect();
         let mut table = Table::new(
-            format!("Figure 14: effect of eps_a on Exact+ — {} (k = {k})", bundle.name()),
-            &["eps_a", "time (s)", "|F1| (mean)", "triples evaluated (mean)", "queries"],
+            format!(
+                "Figure 14: effect of eps_a on Exact+ — {} (k = {k})",
+                bundle.name()
+            ),
+            &[
+                "eps_a",
+                "time (s)",
+                "|F1| (mean)",
+                "triples evaluated (mean)",
+                "queries",
+            ],
         );
         for &eps_a in &config.fig14_eps_a_values {
             let mut times = Vec::new();
@@ -56,7 +70,8 @@ mod tests {
 
     #[test]
     fn f1_grows_with_eps_a() {
-        let mut config = ExperimentConfig::smoke_test().with_datasets(vec![DatasetKind::Brightkite]);
+        let mut config =
+            ExperimentConfig::smoke_test().with_datasets(vec![DatasetKind::Brightkite]);
         config.exact_queries = 3;
         config.fig14_eps_a_values = vec![1e-3, 0.5];
         let tables = fig14(&config);

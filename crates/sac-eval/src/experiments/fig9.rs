@@ -41,8 +41,16 @@ pub fn fig9(config: &ExperimentConfig) -> Vec<Table> {
 
         // Figure 9(a): AppFast.
         let mut fast_table = Table::new(
-            format!("Figure 9(a): AppFast approximation ratio — {}", bundle.name()),
-            &["eps_f", "theoretical ratio", "actual ratio (mean)", "queries"],
+            format!(
+                "Figure 9(a): AppFast approximation ratio — {}",
+                bundle.name()
+            ),
+            &[
+                "eps_f",
+                "theoretical ratio",
+                "actual ratio (mean)",
+                "queries",
+            ],
         );
         for &eps_f in &config.eps_f_values {
             let ratios: Vec<f64> = optima
@@ -65,8 +73,16 @@ pub fn fig9(config: &ExperimentConfig) -> Vec<Table> {
 
         // Figure 9(b): AppAcc.
         let mut acc_table = Table::new(
-            format!("Figure 9(b): AppAcc approximation ratio — {}", bundle.name()),
-            &["eps_a", "theoretical ratio", "actual ratio (mean)", "queries"],
+            format!(
+                "Figure 9(b): AppAcc approximation ratio — {}",
+                bundle.name()
+            ),
+            &[
+                "eps_a",
+                "theoretical ratio",
+                "actual ratio (mean)",
+                "queries",
+            ],
         );
         for &eps_a in &config.eps_a_values {
             let ratios: Vec<f64> = optima

@@ -95,7 +95,13 @@ impl Table {
     pub fn slug(&self) -> String {
         self.title
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect::<String>()
             .split('_')
             .filter(|s| !s.is_empty())
@@ -121,7 +127,11 @@ impl fmt::Display for Table {
             .map(|(i, h)| format!("{:>width$}", h, width = widths[i]))
             .collect();
         writeln!(f, "{}", header_line.join("  "))?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        )?;
         for row in &self.rows {
             let line: Vec<String> = row
                 .iter()
@@ -140,8 +150,16 @@ mod tests {
 
     fn sample_table() -> Table {
         let mut t = Table::new("Figure 9(a): test", &["k", "time (s)", "ratio"]);
-        t.add_row(vec!["4".into(), Table::fmt_num(0.1234), Table::fmt_num(1.5)]);
-        t.add_row(vec!["7".into(), Table::fmt_num(12345.0), Table::fmt_num(0.00001)]);
+        t.add_row(vec![
+            "4".into(),
+            Table::fmt_num(0.1234),
+            Table::fmt_num(1.5),
+        ]);
+        t.add_row(vec![
+            "7".into(),
+            Table::fmt_num(12345.0),
+            Table::fmt_num(0.00001),
+        ]);
         t
     }
 

@@ -37,7 +37,11 @@ pub fn load_dataset(kind: DatasetKind, config: &ExperimentConfig) -> DatasetBund
     let graph = spec.generate();
     let mut rng = StdRng::seed_from_u64(config.seed ^ spec.seed);
     let queries = select_query_vertices(graph.graph(), config.num_queries, 4, &mut rng);
-    DatasetBundle { kind, graph, queries }
+    DatasetBundle {
+        kind,
+        graph,
+        queries,
+    }
 }
 
 /// Runs `f` and returns its result together with the elapsed wall-clock time.
@@ -86,7 +90,10 @@ mod tests {
         assert_eq!(value, 499_500);
         assert!(elapsed.as_secs_f64() >= 0.0);
         assert_eq!(mean_seconds(&[]), 0.0);
-        assert!((mean_seconds(&[Duration::from_millis(100), Duration::from_millis(300)]) - 0.2).abs() < 1e-9);
+        assert!(
+            (mean_seconds(&[Duration::from_millis(100), Duration::from_millis(300)]) - 0.2).abs()
+                < 1e-9
+        );
         assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
         assert!((mean(&[1.0, f64::NAN, 3.0]) - 2.0).abs() < 1e-12);
         assert!(mean(&[]).is_nan());

@@ -25,7 +25,11 @@ pub struct AnchorCell {
 impl AnchorCell {
     /// Creates the root cell: a square of width `width` centred at `center`.
     pub fn root(center: Point, width: f64) -> Self {
-        AnchorCell { center, width, depth: 0 }
+        AnchorCell {
+            center,
+            width,
+            depth: 0,
+        }
     }
 
     /// The four child cells obtained by splitting this cell into quadrants.
@@ -37,10 +41,26 @@ impl AnchorCell {
         let w = self.width * 0.5;
         let d = self.depth + 1;
         [
-            AnchorCell { center: Point::new(self.center.x - q, self.center.y - q), width: w, depth: d },
-            AnchorCell { center: Point::new(self.center.x + q, self.center.y - q), width: w, depth: d },
-            AnchorCell { center: Point::new(self.center.x - q, self.center.y + q), width: w, depth: d },
-            AnchorCell { center: Point::new(self.center.x + q, self.center.y + q), width: w, depth: d },
+            AnchorCell {
+                center: Point::new(self.center.x - q, self.center.y - q),
+                width: w,
+                depth: d,
+            },
+            AnchorCell {
+                center: Point::new(self.center.x + q, self.center.y - q),
+                width: w,
+                depth: d,
+            },
+            AnchorCell {
+                center: Point::new(self.center.x - q, self.center.y + q),
+                width: w,
+                depth: d,
+            },
+            AnchorCell {
+                center: Point::new(self.center.x + q, self.center.y + q),
+                width: w,
+                depth: d,
+            },
         ]
     }
 
@@ -130,7 +150,10 @@ mod tests {
             Point::new(1.3, -0.7),
             Point::new(1.99, 1.99),
         ] {
-            assert!(leaves.iter().any(|c| c.contains(p)), "point {p} not covered");
+            assert!(
+                leaves.iter().any(|c| c.contains(p)),
+                "point {p} not covered"
+            );
         }
     }
 }

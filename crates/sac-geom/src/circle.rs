@@ -20,14 +20,20 @@ impl Circle {
     /// Panics in debug builds when `radius` is negative or not finite.
     #[inline]
     pub fn new(center: Point, radius: f64) -> Self {
-        debug_assert!(radius >= 0.0 && radius.is_finite(), "invalid radius {radius}");
+        debug_assert!(
+            radius >= 0.0 && radius.is_finite(),
+            "invalid radius {radius}"
+        );
         Circle { center, radius }
     }
 
     /// The degenerate circle of radius zero around a single point.
     #[inline]
     pub fn point(center: Point) -> Self {
-        Circle { center, radius: 0.0 }
+        Circle {
+            center,
+            radius: 0.0,
+        }
     }
 
     /// The smallest circle through two points: the segment `a`–`b` is a diameter.
@@ -83,8 +89,7 @@ impl Circle {
         }
         // Acute triangle: the circumcircle is the MCC.  Collinear points always hit
         // one of the diametral cases above, so the circumcircle exists here.
-        Circle::circumscribing(a, b, c)
-            .unwrap_or_else(|| Circle::from_diameter(a, b))
+        Circle::circumscribing(a, b, c).unwrap_or_else(|| Circle::from_diameter(a, b))
     }
 
     /// The minimum covering circle of one or two points.
@@ -163,7 +168,11 @@ impl Circle {
     pub fn area_jaccard(&self, other: &Circle) -> f64 {
         let union = self.union_area(other);
         if union <= EPS {
-            return if self.center.distance(other.center) <= EPS { 1.0 } else { 0.0 };
+            return if self.center.distance(other.center) <= EPS {
+                1.0
+            } else {
+                0.0
+            };
         }
         (self.intersection_area(other) / union).clamp(0.0, 1.0)
     }

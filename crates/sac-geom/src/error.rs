@@ -36,7 +36,9 @@ mod tests {
     fn display_messages_are_informative() {
         assert!(GeomError::EmptyPointSet.to_string().contains("non-empty"));
         assert!(GeomError::Degenerate.to_string().contains("degenerate"));
-        assert!(GeomError::InvalidParameter("cell size").to_string().contains("cell size"));
+        assert!(GeomError::InvalidParameter("cell size")
+            .to_string()
+            .contains("cell size"));
     }
 
     #[test]

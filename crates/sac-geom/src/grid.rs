@@ -38,7 +38,9 @@ impl GridIndex {
             return Err(GeomError::EmptyPointSet);
         }
         if target_per_cell == 0 {
-            return Err(GeomError::InvalidParameter("target_per_cell must be positive"));
+            return Err(GeomError::InvalidParameter(
+                "target_per_cell must be positive",
+            ));
         }
         let bounds = Rect::bounding(points)
             .expect("non-empty point set always has a bounding box")
@@ -337,7 +339,10 @@ mod tests {
             .collect();
         expected.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         for i in 0..k {
-            assert!((got[i].1 - expected[i].1).abs() < 1e-12, "rank {i} distance mismatch");
+            assert!(
+                (got[i].1 - expected[i].1).abs() < 1e-12,
+                "rank {i} distance mismatch"
+            );
         }
         // Distances must be non-decreasing.
         assert!(got.windows(2).all(|w| w[0].1 <= w[1].1));

@@ -6,9 +6,9 @@
 //! (Megiddo [24]; in practice Welzl's randomised algorithm, which runs in expected
 //! linear time, is the standard choice and is what we implement here).
 
-use crate::{Circle, GeomError, Point};
 #[cfg(test)]
 use crate::EPS;
+use crate::{Circle, GeomError, Point};
 
 /// A tiny deterministic SplitMix64 generator used only to shuffle the input points.
 ///
@@ -212,7 +212,10 @@ mod tests {
         let mut pts = Vec::new();
         for i in 0..6 {
             for j in 0..4 {
-                pts.push(Point::new(i as f64 * 0.37, j as f64 * 0.91 + (i % 2) as f64 * 0.2));
+                pts.push(Point::new(
+                    i as f64 * 0.37,
+                    j as f64 * 0.91 + (i % 2) as f64 * 0.2,
+                ));
             }
         }
         let fast = minimum_enclosing_circle(&pts).unwrap();

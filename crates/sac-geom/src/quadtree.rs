@@ -109,7 +109,12 @@ impl PointQuadtree {
             self.node_bounds.push(q);
         }
         self.nodes[node] = Node::Internal {
-            children: [first_child, first_child + 1, first_child + 2, first_child + 3],
+            children: [
+                first_child,
+                first_child + 1,
+                first_child + 2,
+                first_child + 3,
+            ],
         };
         for idx in items {
             let p = self.points[idx as usize];
@@ -222,11 +227,20 @@ mod tests {
         let mut pts = Vec::new();
         for i in 0..60 {
             let t = i as f64 / 60.0;
-            pts.push(Point::new(0.2 + 0.01 * (t * 37.0).sin(), 0.2 + 0.01 * (t * 53.0).cos()));
-            pts.push(Point::new(0.8 + 0.02 * (t * 11.0).cos(), 0.7 + 0.02 * (t * 29.0).sin()));
+            pts.push(Point::new(
+                0.2 + 0.01 * (t * 37.0).sin(),
+                0.2 + 0.01 * (t * 53.0).cos(),
+            ));
+            pts.push(Point::new(
+                0.8 + 0.02 * (t * 11.0).cos(),
+                0.7 + 0.02 * (t * 29.0).sin(),
+            ));
         }
         for i in 0..30 {
-            pts.push(Point::new((i as f64 * 0.033) % 1.0, (i as f64 * 0.071) % 1.0));
+            pts.push(Point::new(
+                (i as f64 * 0.033) % 1.0,
+                (i as f64 * 0.071) % 1.0,
+            ));
         }
         pts
     }

@@ -41,7 +41,10 @@ impl Rect {
     /// Returns `None` for an empty slice.
     pub fn bounding(points: &[Point]) -> Option<Self> {
         let first = *points.first()?;
-        let mut r = Rect { min: first, max: first };
+        let mut r = Rect {
+            min: first,
+            max: first,
+        };
         for p in &points[1..] {
             r.min.x = r.min.x.min(p.x);
             r.min.y = r.min.y.min(p.y);

@@ -147,9 +147,13 @@ mod tests {
         let mut b = GraphBuilder::new();
         let mut x: u64 = 12345;
         for _ in 0..5_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = ((x >> 33) % 500) as VertexId;
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = ((x >> 33) % 500) as VertexId;
             b.add_edge(u, v);
         }

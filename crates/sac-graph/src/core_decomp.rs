@@ -58,7 +58,10 @@ impl CoreDecomposition {
 pub fn core_decomposition(graph: &Graph) -> CoreDecomposition {
     let n = graph.num_vertices();
     if n == 0 {
-        return CoreDecomposition { core_numbers: Vec::new(), max_core: 0 };
+        return CoreDecomposition {
+            core_numbers: Vec::new(),
+            max_core: 0,
+        };
     }
 
     // degree[v] starts at deg_G(v) and decreases as neighbours are peeled.
@@ -113,7 +116,10 @@ pub fn core_decomposition(graph: &Graph) -> CoreDecomposition {
         }
     }
 
-    CoreDecomposition { core_numbers: core, max_core }
+    CoreDecomposition {
+        core_numbers: core,
+        max_core,
+    }
 }
 
 #[cfg(test)]
@@ -193,11 +199,18 @@ mod tests {
         // A-B-Q form a triangle, giving the 2-ĉore {Q,A,B,C,D,E}; {F,G,H} is a
         // separate triangle (2-ĉore), and I is a pendant attached to H (1-core).
         let g = GraphBuilder::from_edges([
-            (0, 1), (0, 2), (1, 2),          // Q-A-B triangle
-            (0, 3), (0, 4), (3, 4),          // Q-C-D triangle
-            (3, 5), (4, 5),                  // E connected to C and D
-            (6, 7), (7, 8), (6, 8),          // F-G-H triangle
-            (8, 9),                          // I pendant on H
+            (0, 1),
+            (0, 2),
+            (1, 2), // Q-A-B triangle
+            (0, 3),
+            (0, 4),
+            (3, 4), // Q-C-D triangle
+            (3, 5),
+            (4, 5), // E connected to C and D
+            (6, 7),
+            (7, 8),
+            (6, 8), // F-G-H triangle
+            (8, 9), // I pendant on H
         ]);
         let d = core_decomposition(&g);
         // 2-core has two connected components: {Q,A,B,C,D,E} and {F,G,H}.
@@ -212,9 +225,13 @@ mod tests {
             let mut b = GraphBuilder::new();
             let mut x = seed;
             for _ in 0..600 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let u = ((x >> 33) % 120) as VertexId;
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let v = ((x >> 33) % 120) as VertexId;
                 b.add_edge(u, v);
             }

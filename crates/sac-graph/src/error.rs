@@ -35,7 +35,10 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::PositionCountMismatch { vertices, positions } => write!(
+            GraphError::PositionCountMismatch {
+                vertices,
+                positions,
+            } => write!(
                 f,
                 "graph has {vertices} vertices but {positions} positions were supplied"
             ),
@@ -73,12 +76,18 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = GraphError::PositionCountMismatch { vertices: 3, positions: 2 };
+        let e = GraphError::PositionCountMismatch {
+            vertices: 3,
+            positions: 2,
+        };
         assert!(e.to_string().contains("3 vertices"));
         assert!(GraphError::InvalidPosition(7).to_string().contains('7'));
         assert!(GraphError::VertexOutOfRange(9).to_string().contains('9'));
         assert!(GraphError::EmptyGraph.to_string().contains("non-empty"));
-        let p = GraphError::Parse { line: 12, message: "bad token".into() };
+        let p = GraphError::Parse {
+            line: 12,
+            message: "bad token".into(),
+        };
         assert!(p.to_string().contains("line 12"));
         let io_err = GraphError::from(io::Error::new(io::ErrorKind::NotFound, "missing"));
         assert!(io_err.to_string().contains("missing"));
@@ -86,7 +95,7 @@ mod tests {
 
     #[test]
     fn io_error_has_source() {
-        let io_err = GraphError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        let io_err = GraphError::from(io::Error::other("boom"));
         assert!(io_err.source().is_some());
         assert!(GraphError::EmptyGraph.source().is_none());
     }

@@ -89,7 +89,12 @@ pub fn load_spatial_graph<P: AsRef<Path>, Q: AsRef<Path>>(
 /// Writes a graph as an edge list (`u v` per line, one line per undirected edge).
 pub fn write_edge_list<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<(), GraphError> {
     let mut w = BufWriter::new(File::create(path)?);
-    writeln!(w, "# sackit edge list: {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    writeln!(
+        w,
+        "# sackit edge list: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
     for (u, v) in graph.edges() {
         writeln!(w, "{u} {v}")?;
     }

@@ -207,10 +207,17 @@ mod tests {
     fn figure3_graph() -> Graph {
         // See `core_decomp::tests::paper_figure3_example` for the vertex mapping.
         GraphBuilder::from_edges([
-            (0, 1), (0, 2), (1, 2),
-            (0, 3), (0, 4), (3, 4),
-            (3, 5), (4, 5),
-            (6, 7), (7, 8), (6, 8),
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (0, 3),
+            (0, 4),
+            (3, 4),
+            (3, 5),
+            (4, 5),
+            (6, 7),
+            (7, 8),
+            (6, 8),
             (8, 9),
         ])
     }
@@ -250,7 +257,9 @@ mod tests {
         assert!(solver.kcore_containing(&g, &[1, 2], 0, 2).is_none());
         // Duplicate entries in the subset are tolerated.
         assert_eq!(
-            solver.kcore_containing(&g, &[0, 1, 2, 1, 0, 2], 0, 2).unwrap(),
+            solver
+                .kcore_containing(&g, &[0, 1, 2, 1, 0, 2], 0, 2)
+                .unwrap(),
             vec![0, 1, 2]
         );
     }
@@ -261,8 +270,14 @@ mod tests {
         let g = GraphBuilder::from_edges([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
         let mut solver = KCoreSolver::new(g.num_vertices());
         let all: Vec<VertexId> = (0..6).collect();
-        assert_eq!(solver.kcore_containing(&g, &all, 0, 2).unwrap(), vec![0, 1, 2]);
-        assert_eq!(solver.kcore_containing(&g, &all, 4, 2).unwrap(), vec![3, 4, 5]);
+        assert_eq!(
+            solver.kcore_containing(&g, &all, 0, 2).unwrap(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(
+            solver.kcore_containing(&g, &all, 4, 2).unwrap(),
+            vec![3, 4, 5]
+        );
     }
 
     #[test]
@@ -272,7 +287,10 @@ mod tests {
         let g = GraphBuilder::from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (0, 5), (1, 5)]);
         let mut solver = KCoreSolver::new(g.num_vertices());
         let all: Vec<VertexId> = (0..6).collect();
-        assert_eq!(solver.kcore_containing(&g, &all, 0, 2).unwrap(), vec![0, 1, 5]);
+        assert_eq!(
+            solver.kcore_containing(&g, &all, 0, 2).unwrap(),
+            vec![0, 1, 5]
+        );
         // k = 3 is impossible here.
         assert!(solver.kcore_containing(&g, &all, 0, 3).is_none());
     }
@@ -288,7 +306,9 @@ mod tests {
             );
             assert!(solver.kcore_containing(&g, &[0, 1, 3], 0, 2).is_none());
             assert_eq!(
-                solver.kcore_containing(&g, &[0, 1, 2, 3, 4, 5], 0, 2).unwrap(),
+                solver
+                    .kcore_containing(&g, &[0, 1, 2, 3, 4, 5], 0, 2)
+                    .unwrap(),
                 vec![0, 1, 2, 3, 4, 5]
             );
         }
@@ -312,9 +332,15 @@ mod tests {
         let g = GraphBuilder::from_edges([(0, 1), (1, 2)]);
         let mut solver = KCoreSolver::new(g.num_vertices());
         // k = 0: every connected subset containing q qualifies.
-        assert_eq!(solver.kcore_containing(&g, &[0, 1, 2], 0, 0).unwrap(), vec![0, 1, 2]);
+        assert_eq!(
+            solver.kcore_containing(&g, &[0, 1, 2], 0, 0).unwrap(),
+            vec![0, 1, 2]
+        );
         // k = 1: path survives entirely.
-        assert_eq!(solver.kcore_containing(&g, &[0, 1, 2], 0, 1).unwrap(), vec![0, 1, 2]);
+        assert_eq!(
+            solver.kcore_containing(&g, &[0, 1, 2], 0, 1).unwrap(),
+            vec![0, 1, 2]
+        );
         // Isolated q with k = 1 fails.
         assert!(solver.kcore_containing(&g, &[0], 0, 1).is_none());
         // Isolated q with k = 0 is just {q}.

@@ -10,6 +10,9 @@ use sac_geom::{Circle, GridIndex, Point};
 /// search algorithms take a `&SpatialGraph`.
 #[derive(Debug, Clone)]
 pub struct SpatialGraph {
+    // NOTE: keep this type free of interior mutability.  `sac-engine` serves
+    // immutable `Arc<SpatialGraph>` snapshots across threads; the static
+    // assertion at the bottom of this file enforces `Send + Sync`.
     graph: Graph,
     positions: Vec<Point>,
     index: GridIndex,
@@ -34,7 +37,11 @@ impl SpatialGraph {
             return Err(GraphError::InvalidPosition(i as VertexId));
         }
         let index = GridIndex::build(&positions, 8).expect("non-empty positions");
-        Ok(SpatialGraph { graph, positions, index })
+        Ok(SpatialGraph {
+            graph,
+            positions,
+            index,
+        })
     }
 
     /// The underlying graph topology.
@@ -158,6 +165,17 @@ impl SpatialGraph {
     }
 }
 
+// Shared read-only serving contract: `sac-engine` hands one snapshot to many
+// worker threads behind an `Arc`, so the substrate types must stay `Send + Sync`
+// (no interior mutability).  Breaking this is a compile error here rather than a
+// distant trait-bound error in the engine.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SpatialGraph>();
+    assert_send_sync::<crate::Graph>();
+    assert_send_sync::<crate::CoreDecomposition>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,11 +202,9 @@ mod tests {
     fn construction_validates_input() {
         let g = GraphBuilder::from_edges([(0, 1)]);
         assert!(SpatialGraph::new(g.clone(), vec![Point::ORIGIN]).is_err());
-        assert!(SpatialGraph::new(
-            g.clone(),
-            vec![Point::ORIGIN, Point::new(f64::NAN, 0.0)]
-        )
-        .is_err());
+        assert!(
+            SpatialGraph::new(g.clone(), vec![Point::ORIGIN, Point::new(f64::NAN, 0.0)]).is_err()
+        );
         assert!(SpatialGraph::new(g, vec![Point::ORIGIN, Point::new(1.0, 0.0)]).is_ok());
         assert!(SpatialGraph::new(Graph::empty(0), vec![]).is_err());
     }
@@ -199,7 +215,10 @@ mod tests {
         assert_eq!(sg.num_vertices(), 9);
         assert_eq!(sg.position(4), Point::new(1.0, 1.0));
         assert!((sg.distance(0, 8) - (8f64).sqrt()).abs() < 1e-12);
-        assert_eq!(sg.positions_of(&[0, 4]), vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]);
+        assert_eq!(
+            sg.positions_of(&[0, 4]),
+            vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]
+        );
     }
 
     #[test]
@@ -208,7 +227,10 @@ mod tests {
         let mut got = sg.vertices_in_circle(&Circle::new(Point::new(1.0, 1.0), 1.0));
         got.sort_unstable();
         assert_eq!(got, vec![1, 3, 4, 5, 7]);
-        assert_eq!(sg.count_in_circle(&Circle::new(Point::new(1.0, 1.0), 1.0)), 5);
+        assert_eq!(
+            sg.count_in_circle(&Circle::new(Point::new(1.0, 1.0), 1.0)),
+            5
+        );
 
         let mut buf = Vec::new();
         sg.vertices_in_circle_into(&Circle::new(Point::new(0.0, 0.0), 0.5), &mut buf);
@@ -226,7 +248,9 @@ mod tests {
     #[test]
     fn position_updates_rebuild_index() {
         let sg = grid_graph();
-        let moved = sg.with_updated_positions(&[(0, Point::new(10.0, 10.0))]).unwrap();
+        let moved = sg
+            .with_updated_positions(&[(0, Point::new(10.0, 10.0))])
+            .unwrap();
         assert_eq!(moved.position(0), Point::new(10.0, 10.0));
         assert!(moved
             .vertices_in_circle(&Circle::new(Point::new(10.0, 10.0), 0.5))
@@ -236,7 +260,8 @@ mod tests {
 
         // In-place variant.
         let mut sg2 = grid_graph();
-        sg2.apply_position_updates(&[(8, Point::new(-5.0, -5.0))]).unwrap();
+        sg2.apply_position_updates(&[(8, Point::new(-5.0, -5.0))])
+            .unwrap();
         assert_eq!(sg2.position(8), Point::new(-5.0, -5.0));
         assert!(sg2
             .vertices_in_circle(&Circle::new(Point::new(-5.0, -5.0), 0.1))
@@ -244,6 +269,8 @@ mod tests {
 
         // Invalid updates are rejected.
         assert!(sg.with_updated_positions(&[(99, Point::ORIGIN)]).is_err());
-        assert!(sg.with_updated_positions(&[(0, Point::new(f64::INFINITY, 0.0))]).is_err());
+        assert!(sg
+            .with_updated_positions(&[(0, Point::new(f64::INFINITY, 0.0))])
+            .is_err());
     }
 }

@@ -118,7 +118,7 @@ pub fn ktruss_in_subset(
     }
 
     // BFS from q over surviving edges.
-    if adj.get(&q).map_or(true, |n| n.is_empty()) {
+    if adj.get(&q).is_none_or(|n| n.is_empty()) {
         // q has no surviving incident edge: a k-truss community around q exists only
         // in the degenerate k ≤ 2 sense when q still has subset neighbours.
         return None;
@@ -260,7 +260,10 @@ mod tests {
     fn subset_restriction_is_respected() {
         let g = butterfly_with_tail();
         // Restricting to the right wing only: {0, 3, 4} is still a 3-truss.
-        assert_eq!(ktruss_in_subset(&g, &[0, 3, 4], 0, 3).unwrap(), vec![0, 3, 4]);
+        assert_eq!(
+            ktruss_in_subset(&g, &[0, 3, 4], 0, 3).unwrap(),
+            vec![0, 3, 4]
+        );
         // Restricting away vertex 4 leaves no triangle through 3.
         assert!(ktruss_in_subset(&g, &[0, 1, 2, 3], 3, 3).is_none());
         // q outside the subset.
@@ -284,9 +287,13 @@ mod tests {
         let mut b = GraphBuilder::new();
         let mut x: u64 = 99;
         for _ in 0..400 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = ((x >> 33) % 60) as VertexId;
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = ((x >> 33) % 60) as VertexId;
             b.add_edge(u, v);
         }

@@ -1,0 +1,415 @@
+//! Offline drop-in shim for the subset of the `criterion` 0.5 API this
+//! workspace uses.
+//!
+//! The build environment has no network access, so the real `criterion` crate
+//! cannot be fetched.  This shim keeps every bench target compiling and
+//! producing useful wall-clock numbers with plain `std::time::Instant` timing:
+//! a warm-up phase sizes the iteration count, then `sample_size` samples are
+//! measured and the mean/min/max per-iteration times are printed in the same
+//! `group/function/param` naming scheme criterion uses, so existing bench
+//! invocations (`cargo bench`, `cargo bench kcore`) keep working.
+//!
+//! Not implemented: statistical outlier analysis, HTML reports, baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver (shim of `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+    /// `cargo test` runs bench binaries with `--test`: execute each routine
+    /// once for smoke coverage instead of timing it.
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        // Skip argv[0] and cargo-bench plumbing flags; a bare positional
+        // argument is a substring filter, as with the real criterion.
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" | "--nocapture" | "-q" | "--quiet" => {}
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion {
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+            sample_size: 10,
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Benchmarks a single routine.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_benchmark_id().label();
+        run_benchmark(self.clone(), None, &label, |b| f(b));
+        self
+    }
+
+    /// Benchmarks a routine parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.into_benchmark_id().label();
+        run_benchmark(self.clone(), None, &label, |b| f(b, input));
+        self
+    }
+
+    /// Runs registered group functions (used by `criterion_main!`).
+    pub fn final_summary(&self) {}
+}
+
+/// A named group of related benchmarks (shim of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Overrides the measurement time for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = Some(t);
+        self
+    }
+
+    /// Benchmarks a single routine within the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut config = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            config.sample_size = n;
+        }
+        if let Some(t) = self.measurement_time {
+            config.measurement_time = t;
+        }
+        let label = id.into_benchmark_id().label();
+        run_benchmark(config, Some(&self.name), &label, |b| f(b));
+        self
+    }
+
+    /// Benchmarks a routine parameterised by `input` within the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group (shim of `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A `function/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id distinguished by parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("bench"),
+        }
+    }
+}
+
+/// Conversion of `&str` / `String` / [`BenchmarkId`] into a benchmark id.
+pub trait IntoBenchmarkId {
+    /// Converts `self` into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(self.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(self),
+            parameter: None,
+        }
+    }
+}
+
+/// Timing harness handed to benchmark closures (shim of `criterion::Bencher`).
+pub struct Bencher {
+    config: Criterion,
+    /// Mean/min/max per-iteration nanoseconds, filled in by [`Bencher::iter`].
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration statistics.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.config.test_mode {
+            black_box(routine());
+            self.result = Some((0.0, 0.0, 0.0));
+            return;
+        }
+        // Warm-up: find an iteration count whose batch runtime is measurable.
+        let mut iters_per_sample = 1u64;
+        let warm_up_deadline = Instant::now() + self.config.warm_up_time;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if Instant::now() >= warm_up_deadline {
+                break;
+            }
+            if elapsed < Duration::from_millis(1) {
+                iters_per_sample = iters_per_sample.saturating_mul(2);
+            }
+        }
+        let samples = self.config.sample_size;
+        let budget_per_sample = self.config.measurement_time.as_secs_f64() / samples as f64;
+        let mut mean_sum = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        let mut taken = 0usize;
+        let deadline = Instant::now() + self.config.measurement_time;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let per_iter = start.elapsed().as_secs_f64() / iters_per_sample as f64;
+            mean_sum += per_iter;
+            min = min.min(per_iter);
+            max = max.max(per_iter);
+            taken += 1;
+            // Keep slow benchmarks within ~2x the measurement budget.
+            if Instant::now() > deadline && per_iter > budget_per_sample {
+                break;
+            }
+        }
+        let mean = mean_sum / taken as f64;
+        self.result = Some((mean * 1e9, min * 1e9, max * 1e9));
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    config: Criterion,
+    group: Option<&str>,
+    label: &str,
+    mut f: F,
+) {
+    let full = match group {
+        Some(g) => format!("{g}/{label}"),
+        None => label.to_string(),
+    };
+    if let Some(filter) = &config.filter {
+        if !full.contains(filter.as_str()) {
+            return;
+        }
+    }
+    if config.test_mode {
+        let mut bencher = Bencher {
+            config,
+            result: None,
+        };
+        f(&mut bencher);
+        println!("test {full} ... ok");
+        return;
+    }
+    let mut bencher = Bencher {
+        config,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((mean, min, max)) => println!(
+            "{full:<60} time: [{} {} {}]",
+            format_ns(min),
+            format_ns(mean),
+            format_ns(max)
+        ),
+        None => println!("{full:<60} (no measurement)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions (shim of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` entry point (shim of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        let c = Criterion {
+            test_mode: false,
+            filter: None,
+            ..Criterion::default()
+        };
+        c.measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5))
+            .sample_size(3)
+    }
+
+    #[test]
+    fn bencher_measures_positive_time() {
+        let mut c = quick();
+        c.bench_function("spin", |b| {
+            b.iter(|| (0..1000u64).map(black_box).sum::<u64>())
+        });
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_render_labels() {
+        assert_eq!(BenchmarkId::new("f", 3).label(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).label(), "7");
+        assert_eq!("plain".into_benchmark_id().label(), "plain");
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert!(format_ns(12.0).contains("ns"));
+        assert!(format_ns(12_000.0).contains("µs"));
+        assert!(format_ns(12_000_000.0).contains("ms"));
+        assert!(format_ns(2.0e9).contains('s'));
+    }
+}

@@ -1,0 +1,485 @@
+//! Offline drop-in shim for the subset of the `proptest` API this workspace
+//! uses.
+//!
+//! The build environment has no network access, so the real `proptest` crate
+//! cannot be fetched.  This shim keeps the property-based test suites running
+//! as *randomised tests with deterministic per-test seeds*: the [`Strategy`]
+//! trait samples random values (ranges, tuples, [`Just`], `prop_map`,
+//! `prop_flat_map`, [`collection::vec`]), and the [`proptest!`] macro expands
+//! each property into a `#[test]` that runs `ProptestConfig::cases` sampled
+//! cases and reports the case number and seed of the first failure.
+//!
+//! Not implemented: shrinking, failure persistence, `prop_oneof!`, regexes.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+
+use test_runner::TestRng;
+
+/// Everything the tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Per-property configuration (shim of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property case (shim of `proptest::test_runner::TestCaseError`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError(message.into())
+    }
+
+    /// A rejected case (filtered out by `prop_assume!`); the runner simply
+    /// moves on to the next case.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError(format!("[rejected] {}", message.into()))
+    }
+
+    /// Whether the case was rejected rather than failed.
+    pub fn is_rejection(&self) -> bool {
+        self.0.starts_with("[rejected] ")
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A generator of random test values (shim of `proptest::strategy::Strategy`).
+///
+/// Unlike the real proptest, sampling is direct (no value tree, no shrinking):
+/// `generate` draws one value from the deterministic per-test RNG.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draws one random value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Chains a dependent strategy computed from each generated value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Filters generated values; cases failing the predicate are resampled (up
+    /// to an attempt cap, then rejected).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+}
+
+/// A strategy that always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let candidate = self.inner.generate(rng);
+            if (self.f)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!(
+            "prop_filter '{}' rejected 1000 consecutive samples",
+            self.whence
+        );
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F)
+);
+
+/// Runs the cases of one property; used by the [`proptest!`] macro expansion.
+///
+/// `body` receives the per-case RNG and returns `Err` on `prop_assert!`
+/// failure; panics inside the body propagate with case context attached via
+/// the failure message of the surrounding `#[test]`.
+pub fn run_property<F>(test_name: &str, config: &ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rejected = 0u32;
+    for case in 0..config.cases {
+        let seed = test_runner::case_seed(test_name, case);
+        let mut rng = TestRng::from_seed(seed);
+        match body(&mut rng) {
+            Ok(()) => {}
+            Err(e) if e.is_rejection() => rejected += 1,
+            Err(e) => panic!(
+                "proptest property failed at case {case}/{} (seed {seed:#x}): {e}",
+                config.cases
+            ),
+        }
+    }
+    if rejected > config.cases / 2 {
+        eprintln!(
+            "proptest warning: {test_name} rejected {rejected}/{} cases via prop_assume!",
+            config.cases
+        );
+    }
+}
+
+/// Deterministic RNG plumbing for the shim.
+pub mod test_runner {
+    use super::*;
+
+    /// The RNG handed to strategies (wraps the workspace's seeded generator).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        pub(crate) rng: StdRng,
+    }
+
+    impl TestRng {
+        /// Creates a generator from a 64-bit seed.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                rng: StdRng::seed_from_u64(seed),
+            }
+        }
+    }
+
+    /// FNV-1a over the test name mixed with the case index: every property
+    /// gets a distinct, stable stream per case, so failures are reproducible
+    /// across runs without persistence files.
+    pub fn case_seed(test_name: &str, case: u32) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// The `proptest!` macro: expands each property into a `#[test]` running
+/// [`ProptestConfig::cases`] random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[allow(
+                clippy::redundant_closure_call,
+                clippy::needless_return,
+                unused_variables
+            )]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let full_name = concat!(module_path!(), "::", stringify!($name));
+                $crate::run_property(full_name, &config, |__proptest_rng| {
+                    $(
+                        let $arg = $crate::Strategy::generate(&($strategy), __proptest_rng);
+                    )+
+                    (move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property, failing the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                if !(*__left == *__right) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        __left,
+                        __right
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                if !(*__left == *__right) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "{}\n  left: {:?}\n right: {:?}",
+                        format!($($fmt)+),
+                        __left,
+                        __right
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a property, failing the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                if *__left == *__right {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{} != {}`\n  both: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        __left
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::test_runner::TestRng;
+    use super::Strategy;
+
+    #[test]
+    fn ranges_tuples_and_combinators_sample_in_bounds() {
+        let mut rng = TestRng::from_seed(5);
+        let strat = (1usize..9, 0.0f64..1.0)
+            .prop_map(|(n, x)| (n * 2, x))
+            .prop_flat_map(|(n, x)| (Just(n), 0..n, Just(x)));
+        for _ in 0..200 {
+            let (n, i, x) = strat.generate(&mut rng);
+            assert!((2..18).contains(&n) && n % 2 == 0);
+            assert!(i < n);
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_ranges() {
+        let mut rng = TestRng::from_seed(6);
+        let exact = crate::collection::vec(0u32..5, 7usize);
+        let ranged = crate::collection::vec(0u32..5, 2usize..6);
+        for _ in 0..100 {
+            assert_eq!(exact.generate(&mut rng).len(), 7);
+            let v = ranged.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn case_seeds_are_stable_and_distinct() {
+        let a = crate::test_runner::case_seed("mod::test", 0);
+        let b = crate::test_runner::case_seed("mod::test", 1);
+        let c = crate::test_runner::case_seed("mod::other", 0);
+        assert_eq!(a, crate::test_runner::case_seed("mod::test", 0));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: bindings, assumptions, early return, asserts.
+        #[test]
+        fn macro_machinery_works(n in 1usize..50, (a, b) in (0u32..10, 0u32..10)) {
+            prop_assume!(n != 13);
+            prop_assert!(n < 50, "n was {}", n);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(n, 13);
+            if n == 1 {
+                return Ok(());
+            }
+            prop_assert!(n > 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics_with_case_context() {
+        crate::run_property("t", &ProptestConfig::with_cases(3), |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

@@ -1,0 +1,256 @@
+//! Offline drop-in shim for the subset of the `rand` 0.8 API this workspace uses.
+//!
+//! The build environment has no network access, so the real `rand` crate cannot
+//! be fetched from crates.io.  This crate re-implements exactly the surface the
+//! workspace relies on — `rand::rngs::StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::gen_range` over integer and float ranges, and `Rng::gen_bool` — with a
+//! deterministic, seedable generator (SplitMix64, Steele et al., OOPSLA 2014).
+//!
+//! Determinism note: streams differ from the real `rand` crate's `StdRng`
+//! (ChaCha12), but every consumer in this workspace only requires *seeded
+//! reproducibility within a build*, never cross-crate stream compatibility.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of randomness (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// A generator that can be instantiated from a seed (subset of
+/// `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing random-value methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// Supports `Range` and `RangeInclusive` over the integer types used in the
+    /// workspace and `Range<f64>` / `Range<f32>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty, matching the real `rand` behaviour.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p <= 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool: p must be in [0, 1], got {p}"
+        );
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types that [`Rng::gen_range`] can sample uniformly (subset of
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples uniformly from `[lo, hi)` (`hi` inclusive when `inclusive`).
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from (subset of
+/// `rand::distributions::uniform::SampleRange`).
+///
+/// Blanket-implemented over `Range<T>` / `RangeInclusive<T>` for every
+/// [`SampleUniform`] `T`, mirroring the real rand's impl structure so type
+/// inference behaves identically (e.g. float literals default to `f64`).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_uniform(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty inclusive range");
+        T::sample_uniform(lo, hi, true, rng)
+    }
+}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let base = lo as u128;
+                let span = (hi as u128)
+                    .wrapping_sub(base)
+                    .wrapping_add(inclusive as u128);
+                // Modulo reduction: the bias is < span / 2^64, negligible for
+                // the span sizes used in this workspace.
+                lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        _inclusive: bool,
+        rng: &mut R,
+    ) -> Self {
+        lo + (hi - lo) * unit_f64(rng.next_u64())
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        _inclusive: bool,
+        rng: &mut R,
+    ) -> Self {
+        lo + (hi - lo) * unit_f64(rng.next_u64()) as f32
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator.
+    ///
+    /// SplitMix64: a 64-bit state advanced by a Weyl sequence and finalised with
+    /// an avalanche mix.  Passes BigCrush; one `u64` per step.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..u64::MAX), b.gen_range(0u64..u64::MAX));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let equal = (0..100)
+            .filter(|_| a.gen_range(0u32..1000) == c.gen_range(0u32..1000))
+            .count();
+        assert!(equal < 100, "different seeds must give different streams");
+    }
+
+    #[test]
+    fn int_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(0u32..=5);
+            assert!(w <= 5);
+            let s = rng.gen_range(-4i64..=4);
+            assert!((-4..=4).contains(&s));
+        }
+    }
+
+    #[test]
+    fn float_ranges_and_bool_are_sane() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            let x = rng.gen_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / N as f64;
+        assert!((mean - 0.5).abs() < 0.02, "uniform mean drifted: {mean}");
+
+        let heads = (0..N).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = heads as f64 / N as f64;
+        assert!(
+            (rate - 0.25).abs() < 0.02,
+            "gen_bool(0.25) rate drifted: {rate}"
+        );
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn generic_consumers_can_take_unsized_rng() {
+        fn sample<R: super::Rng + ?Sized>(rng: &mut R) -> usize {
+            rng.gen_range(0usize..10)
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        let dynrng: &mut StdRng = &mut rng;
+        assert!(sample(dynrng) < 10);
+    }
+}

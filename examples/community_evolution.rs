@@ -79,7 +79,9 @@ fn main() {
 
     // Drift of the community over increasing time gaps (the Figure 13 measurement).
     if observed.len() >= 2 {
-        println!("\ncommunity drift between observations (CJS = member overlap, CAO = area overlap):");
+        println!(
+            "\ncommunity drift between observations (CJS = member overlap, CAO = area overlap):"
+        );
         for eta in [1.0, 3.0, 7.0] {
             let mut cjs = Vec::new();
             let mut cao = Vec::new();
@@ -88,14 +90,23 @@ fn main() {
                     if observed[j].0 - observed[i].0 < eta {
                         continue;
                     }
-                    cjs.push(metrics::community_jaccard_similarity(&observed[i].1, &observed[j].1));
-                    if let Some(a) = metrics::community_area_overlap(&graph, &observed[i].1, &observed[j].1) {
+                    cjs.push(metrics::community_jaccard_similarity(
+                        &observed[i].1,
+                        &observed[j].1,
+                    ));
+                    if let Some(a) =
+                        metrics::community_area_overlap(&graph, &observed[i].1, &observed[j].1)
+                    {
                         cao.push(a);
                     }
                 }
             }
             let mean = |v: &Vec<f64>| {
-                if v.is_empty() { f64::NAN } else { v.iter().sum::<f64>() / v.len() as f64 }
+                if v.is_empty() {
+                    f64::NAN
+                } else {
+                    v.iter().sum::<f64>() / v.len() as f64
+                }
             };
             println!(
                 "  gap >= {eta:>4.1} days: avg CJS = {:.3}, avg CAO = {:.3} ({} pairs)",

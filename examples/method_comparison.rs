@@ -30,13 +30,18 @@ struct Row {
 impl Row {
     fn record(&mut self, g: &SpatialGraph, members: &[VertexId]) {
         self.radius.push(metrics::community_radius(g, members));
-        self.dist_pr.push(metrics::average_pairwise_distance(g, members));
+        self.dist_pr
+            .push(metrics::average_pairwise_distance(g, members));
         self.degree.push(metrics::average_degree_within(g, members));
     }
 
     fn print(&self, name: &str) {
         let mean = |v: &Vec<f64>| {
-            if v.is_empty() { f64::NAN } else { v.iter().sum::<f64>() / v.len() as f64 }
+            if v.is_empty() {
+                f64::NAN
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
         };
         println!(
             "{name:<12}  radius = {:>8.4}   distPr = {:>8.4}   avg degree = {:>6.2}   answered = {}",

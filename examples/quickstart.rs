@@ -31,7 +31,9 @@ fn main() {
     println!("SAC search on the Figure 3 example — query q = Q, k = {k}\n");
 
     // Ground truth: the basic exact algorithm.
-    let optimal = exact(&graph, q, k).unwrap().expect("Q has a 2-core community");
+    let optimal = exact(&graph, q, k)
+        .unwrap()
+        .expect("Q has a 2-core community");
     println!(
         "Exact        : {{{}}}  mcc radius = {:.4}  (optimal)",
         label(optimal.members()),

@@ -15,7 +15,9 @@
 //! * [`graph`] — spatial-graph substrate (CSR graphs, k-cores, traversal, IO);
 //! * [`core`] — the SAC search algorithms, baselines and quality metrics;
 //! * [`data`] — synthetic dataset and workload generators;
-//! * [`eval`] — the experiment harness reproducing the paper's tables and figures.
+//! * [`eval`] — the experiment harness reproducing the paper's tables and figures;
+//! * [`engine`] — the concurrent, cache-aware query-serving engine (and the
+//!   `sac-serve` binary).
 //!
 //! The most common entry points are re-exported at the crate root.
 //!
@@ -53,10 +55,14 @@ pub use sac_data as data;
 /// Experiment harness (re-export of [`sac_eval`]).
 pub use sac_eval as eval;
 
+/// Query-serving engine (re-export of [`sac_engine`]).
+pub use sac_engine as engine;
+
 pub use sac_core::{
     app_acc, app_fast, app_inc, baselines, exact, exact_plus, fixtures, metrics, range_only,
     theta_sac, Community, SacError,
 };
+pub use sac_engine::{LatencyTier, Plan, QueryBudget, SacEngine, SacRequest, SacResponse};
 pub use sac_geom::{Circle, Point};
 pub use sac_graph::{Graph, GraphBuilder, SpatialGraph, VertexId};
 
@@ -65,7 +71,9 @@ mod tests {
     #[test]
     fn facade_reexports_are_usable() {
         let g = crate::fixtures::figure3_graph();
-        let c = crate::exact(&g, crate::fixtures::figure3::Q, 2).unwrap().unwrap();
+        let c = crate::exact(&g, crate::fixtures::figure3::Q, 2)
+            .unwrap()
+            .unwrap();
         assert_eq!(c.len(), 3);
         let stats = crate::graph::GraphStats::compute(g.graph());
         assert_eq!(stats.vertices, 10);

@@ -5,14 +5,16 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sackit::baselines::{geo_modularity, global_search, local_search};
-use sackit::core::{app_inc, exact_plus};
+use sackit::core::exact_plus;
 use sackit::data::{select_query_vertices, DatasetKind, DatasetSpec};
 use sackit::metrics;
 
 #[test]
 fn sac_search_beats_global_and_local_on_spatial_cohesiveness() {
     let k = 4;
-    let graph = DatasetSpec::scaled(DatasetKind::Gowalla, 0.01).with_seed(31).generate();
+    let graph = DatasetSpec::scaled(DatasetKind::Gowalla, 0.01)
+        .with_seed(31)
+        .generate();
     let mut rng = StdRng::seed_from_u64(8);
     let queries = select_query_vertices(graph.graph(), 6, 4, &mut rng);
     assert!(!queries.is_empty());
@@ -53,7 +55,9 @@ fn sac_search_beats_global_and_local_on_spatial_cohesiveness() {
 #[test]
 fn geo_modularity_lacks_the_minimum_degree_guarantee() {
     let k = 4;
-    let graph = DatasetSpec::scaled(DatasetKind::Brightkite, 0.01).with_seed(32).generate();
+    let graph = DatasetSpec::scaled(DatasetKind::Brightkite, 0.01)
+        .with_seed(32)
+        .generate();
     let mut rng = StdRng::seed_from_u64(9);
     let queries = select_query_vertices(graph.graph(), 5, 4, &mut rng);
 

@@ -1,0 +1,245 @@
+//! Integration tests of the `sac-engine` serving subsystem: concurrency smoke
+//! (many threads × many queries over one shared engine) and planner-dispatch
+//! equivalence (engine answers must be identical to direct `sac_core` calls).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sackit::core::{app_acc, app_fast, app_inc, exact_plus, theta_sac};
+use sackit::data::{select_query_vertices, DatasetKind, DatasetSpec};
+use sackit::engine::{EngineConfig, LatencyTier, Plan, SacEngine};
+use sackit::fixtures::{figure3, figure3_graph};
+use sackit::graph::{is_connected_subset, min_degree_in_subset};
+use sackit::{Community, QueryBudget, SacRequest, SpatialGraph};
+use std::sync::Arc;
+
+fn surrogate() -> SpatialGraph {
+    DatasetSpec::scaled(DatasetKind::Brightkite, 0.01)
+        .with_seed(7_2024)
+        .generate()
+}
+
+/// A mixed workload: every budget family (exact / acc / inc / fast / theta),
+/// feasible and infeasible vertices, several k.
+fn mixed_requests(graph: &SpatialGraph, count: usize) -> Vec<SacRequest> {
+    let mut rng = StdRng::seed_from_u64(0xE47);
+    let queries = select_query_vertices(graph.graph(), 8, 4, &mut rng);
+    assert!(!queries.is_empty(), "surrogate must have core-4 vertices");
+    let budgets = [
+        QueryBudget::exact(),
+        QueryBudget::balanced(),
+        QueryBudget::within_ratio(2.0),
+        QueryBudget::within_ratio(2.5).with_tier(LatencyTier::Interactive),
+        QueryBudget::balanced().with_theta(0.2),
+    ];
+    (0..count)
+        .map(|i| {
+            // Mix in random (often infeasible at k=5) vertices.
+            let q = if i % 3 == 0 {
+                rng.gen_range(0..graph.num_vertices() as u32)
+            } else {
+                queries[i % queries.len()]
+            };
+            let k = [2u32, 4, 5][i % 3];
+            SacRequest::new(i as u64, q, k).with_budget(budgets[i % budgets.len()])
+        })
+        .collect()
+}
+
+/// The direct `sac_core` call corresponding to a dispatched plan.
+fn direct_call(graph: &SpatialGraph, request: &SacRequest, plan: Plan) -> Option<Community> {
+    match plan {
+        Plan::ExactPlus { eps_a } => exact_plus(graph, request.q, request.k, eps_a).unwrap(),
+        Plan::AppAcc { eps_a } => app_acc(graph, request.q, request.k, eps_a).unwrap(),
+        Plan::AppFast { eps_f } => app_fast(graph, request.q, request.k, eps_f)
+            .unwrap()
+            .map(|o| o.community),
+        Plan::AppInc => app_inc(graph, request.q, request.k)
+            .unwrap()
+            .map(|o| o.community),
+        Plan::ThetaSac { theta } => theta_sac(graph, request.q, request.k, theta).unwrap(),
+        Plan::Infeasible => None,
+        Plan::Rejected => panic!("mixed workload must not produce rejected plans"),
+    }
+}
+
+/// ≥ 100 mixed-algorithm queries fanned across multiple threads: every
+/// response must be identical to the direct `sac_core` call for its plan, and
+/// every community structurally valid.
+#[test]
+fn concurrent_mixed_workload_matches_direct_calls() {
+    let graph = surrogate();
+    // Disable the small-core exact upgrade so the workload genuinely exercises
+    // every algorithm family, not just Exact+.
+    let config = EngineConfig {
+        small_exact_threshold: 0,
+        ..EngineConfig::default()
+    };
+    let engine = SacEngine::with_config(Arc::new(graph), config);
+    let snapshot = engine.snapshot();
+
+    let requests = mixed_requests(&snapshot, 120);
+    let responses = engine.execute_batch(&requests, 8);
+    assert_eq!(responses.len(), requests.len());
+
+    let mut plans_seen = std::collections::BTreeSet::new();
+    let mut feasible = 0usize;
+    for (request, response) in requests.iter().zip(&responses) {
+        assert_eq!(response.id, request.id);
+        let members = response
+            .outcome
+            .as_ref()
+            .expect("no errors in this workload");
+        let family = match response.plan {
+            Plan::ExactPlus { .. } => "exact_plus",
+            Plan::AppAcc { .. } => "app_acc",
+            Plan::AppFast { .. } => "app_fast",
+            Plan::AppInc => "app_inc",
+            Plan::ThetaSac { .. } => "theta_sac",
+            Plan::Infeasible => "infeasible",
+            Plan::Rejected => "rejected",
+        };
+        plans_seen.insert(family);
+        let direct = direct_call(&snapshot, request, response.plan);
+        match (members, &direct) {
+            (Some(got), Some(want)) => {
+                assert_eq!(
+                    got.members(),
+                    want.members(),
+                    "engine/direct mismatch for q={} k={} plan={}",
+                    request.q,
+                    request.k,
+                    response.plan
+                );
+                assert!(got.contains(request.q));
+                assert!(is_connected_subset(snapshot.graph(), got.members()));
+                assert!(
+                    min_degree_in_subset(snapshot.graph(), got.members()).unwrap()
+                        >= request.k as usize
+                );
+                feasible += 1;
+            }
+            (None, None) => {}
+            _ => panic!(
+                "feasibility mismatch for q={} k={} plan={}",
+                request.q, request.k, response.plan
+            ),
+        }
+    }
+    assert!(
+        feasible >= 20,
+        "workload too degenerate: only {feasible} feasible"
+    );
+    assert!(
+        plans_seen.len() >= 4,
+        "workload must exercise several algorithm families, saw {}",
+        plans_seen.len()
+    );
+    let stats = engine.stats();
+    assert_eq!(stats.queries as usize, requests.len());
+    assert_eq!(stats.errors, 0);
+    assert!(
+        stats.cache.decomposition.hits > 0,
+        "repeated queries must hit the cache"
+    );
+}
+
+/// N threads × M queries, each thread issuing single queries against the
+/// shared engine (no batch API): exercises the cache under racy first access.
+#[test]
+fn engine_is_safe_under_many_threads() {
+    let engine = Arc::new(SacEngine::new(surrogate()));
+    let snapshot = engine.snapshot();
+    let requests = Arc::new(mixed_requests(&snapshot, 64));
+    let mut handles = Vec::new();
+    for t in 0..6 {
+        let engine = Arc::clone(&engine);
+        let requests = Arc::clone(&requests);
+        handles.push(std::thread::spawn(move || {
+            let mut checksum = 0u64;
+            for request in requests.iter().skip(t % 2) {
+                let response = engine.execute(request);
+                if let Ok(Some(c)) = &response.outcome {
+                    checksum = checksum.wrapping_add(c.len() as u64);
+                }
+            }
+            checksum
+        }));
+    }
+    let checksums: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // Same skip-parity threads must agree bit-for-bit.
+    assert_eq!(checksums[0], checksums[2]);
+    assert_eq!(checksums[1], checksums[3]);
+    let stats = engine.stats();
+    assert_eq!(stats.queries, 6 * 64 - 3);
+    assert_eq!(
+        stats.cache.decomposition.misses, 1,
+        "decomposition computed once"
+    );
+}
+
+/// Planner dispatch on the paper's Figure 3 fixture: every budget family gives
+/// exactly the community the corresponding direct call gives.
+#[test]
+fn figure3_engine_answers_match_direct_calls() {
+    let graph = figure3_graph();
+    let config = EngineConfig {
+        small_exact_threshold: 0,
+        ..EngineConfig::default()
+    };
+    let engine = SacEngine::with_config(Arc::new(graph), config);
+    let snapshot = engine.snapshot();
+    let budgets = [
+        QueryBudget::exact(),
+        QueryBudget::balanced(),
+        QueryBudget::within_ratio(2.0),
+        QueryBudget::interactive(),
+        QueryBudget::balanced().with_theta(5.0),
+    ];
+    let mut id = 0u64;
+    for q in [figure3::Q, figure3::A, figure3::C, figure3::F, figure3::I] {
+        for k in [2u32, 3] {
+            for budget in budgets {
+                id += 1;
+                let request = SacRequest::new(id, q, k).with_budget(budget);
+                let response = engine.execute(&request);
+                let direct = direct_call(&snapshot, &request, response.plan);
+                let got = response.outcome.as_ref().unwrap();
+                match (got, &direct) {
+                    (Some(a), Some(b)) => assert_eq!(
+                        a.members(),
+                        b.members(),
+                        "q={q} k={k} plan={}",
+                        response.plan
+                    ),
+                    (None, None) => {}
+                    _ => panic!("feasibility mismatch q={q} k={k} plan={}", response.plan),
+                }
+            }
+        }
+    }
+    // The cache proves infeasibility without running algorithms: I at k=2.
+    let response = engine.execute(&SacRequest::new(id + 1, figure3::I, 2));
+    assert_eq!(response.plan, Plan::Infeasible);
+    assert!(engine.stats().infeasible_fast_path > 0);
+}
+
+/// The cache-served structural query agrees with the library's
+/// `connected_kcore`.
+#[test]
+fn cached_connected_core_matches_library() {
+    let graph = surrogate();
+    let engine = SacEngine::new(graph);
+    let snapshot = engine.snapshot();
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..30 {
+        let q = rng.gen_range(0..snapshot.num_vertices() as u32);
+        for k in [2u32, 3, 4] {
+            let cached = engine.connected_core(q, k);
+            let direct = sackit::graph::connected_kcore(snapshot.graph(), q, k).map(|mut v| {
+                v.sort_unstable();
+                v
+            });
+            assert_eq!(cached, direct, "q={q} k={k}");
+        }
+    }
+}

@@ -19,7 +19,10 @@ fn full_pipeline_produces_valid_communities() {
     let graph = surrogate();
     let mut rng = StdRng::seed_from_u64(1);
     let queries = select_query_vertices(graph.graph(), 5, 4, &mut rng);
-    assert!(!queries.is_empty(), "surrogate must contain core-4 vertices");
+    assert!(
+        !queries.is_empty(),
+        "surrogate must contain core-4 vertices"
+    );
 
     let k = 4;
     let mut answered = 0usize;
@@ -61,7 +64,9 @@ fn full_pipeline_produces_valid_communities() {
         }
 
         // The SAC is never spatially looser than the whole k-ĉore (Global).
-        let global = sackit::baselines::global_search(&graph, q, k).unwrap().unwrap();
+        let global = sackit::baselines::global_search(&graph, q, k)
+            .unwrap()
+            .unwrap();
         assert!(optimal.radius() <= global.radius() + 1e-9);
     }
     assert!(answered > 0, "at least one query must be answerable");
@@ -74,7 +79,9 @@ fn theta_sac_brackets_the_optimum() {
     let queries = select_query_vertices(graph.graph(), 5, 4, &mut rng);
     let k = 4;
     for &q in &queries {
-        let Some(optimal) = exact_plus(&graph, q, k, 1e-3).unwrap() else { continue };
+        let Some(optimal) = exact_plus(&graph, q, k, 1e-3).unwrap() else {
+            continue;
+        };
         // θ below the optimal radius cannot possibly contain a community around q
         // whose MCC is the optimum; θ large enough always finds one.
         let huge = theta_sac(&graph, q, k, 2.0).unwrap();
