@@ -1,0 +1,174 @@
+//! Live-update benchmark: write-front update throughput, incremental commit
+//! versus full rebuild, and post-commit query latency with cache carry-over.
+//!
+//! Three questions:
+//! 1. How fast does the write front absorb edge churn? (`updates/*` — every
+//!    mutation includes the incremental core repair.)
+//! 2. What does incremental maintenance buy per published delta?
+//!    (`commit/small_delta_incremental` applies 8 edges and publishes — CSR +
+//!    grid rebuilt once, decomposition maintained, untouched indexes carried.
+//!    `commit/full_rebuild_baseline` is what a snapshot-only stack redoes for
+//!    the same delta: rebuild the CSR from the updated edge list, rebuild the
+//!    grid index, re-peel the full core decomposition, rebuild the warmed
+//!    per-k component indexes.)
+//! 3. What does selective invalidation buy right after the swap?
+//!    (`post_commit/*` — structural k-ĉore queries against carried indexes vs
+//!    a cold engine paying the peel + index build.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sac_bench::bench_dataset_scaled;
+use sac_data::DatasetKind;
+use sac_engine::{KCoreComponents, SacEngine};
+use sac_geom::Point;
+use sac_graph::{core_decomposition, GraphBuilder, SpatialGraph, VertexId};
+use sac_live::LiveEngine;
+use std::sync::Arc;
+
+/// Pseudo-random vertex pairs that are *not* edges of `graph` (so a toggle
+/// insert-then-remove restores the starting state exactly).
+fn non_edges(graph: &SpatialGraph, count: usize, seed: u64) -> Vec<(u32, u32)> {
+    let n = graph.num_vertices() as u32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(count);
+    while pairs.len() < count {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v && !graph.graph().has_edge(u, v) && !pairs.contains(&(u, v)) {
+            pairs.push((u, v));
+        }
+    }
+    pairs
+}
+
+fn bench_live_updates(c: &mut Criterion) {
+    // A larger surrogate than the per-figure benches: the point of the live
+    // path is that per-delta cost stays local while rebuild cost grows with
+    // the graph.
+    let data = bench_dataset_scaled(DatasetKind::Brightkite, 0.05);
+    let graph = Arc::new(data.graph);
+    let warm_ks = [2u32, 4];
+
+    let mut group = c.benchmark_group(format!("live/{}", data.kind.name()));
+    group.sample_size(10);
+
+    // 1. Update throughput through the write front (toggles restore state, so
+    //    every iteration does the same work: 64 inserts + 64 removals, each
+    //    with its incremental core repair).
+    let toggles = non_edges(&graph, 64, 0x71A);
+    group.bench_function("updates/toggle_128_mutations", |b| {
+        let live = LiveEngine::new(Arc::new(SacEngine::from_snapshot(Arc::clone(&graph))));
+        b.iter(|| {
+            for &(u, v) in &toggles {
+                black_box(live.add_edge(u, v).unwrap());
+            }
+            for &(u, v) in &toggles {
+                black_box(live.remove_edge(u, v).unwrap());
+            }
+        });
+    });
+
+    // 2a. Incremental path, per small localized delta: a user joins, gains a
+    //     few high-core friends, commit; the friendships dissolve, commit
+    //     (state restored each iteration; two published epochs).  Targeting
+    //     high-core vertices keeps every repair O(deg) — the joiner's core
+    //     climbs below its neighbours' — so the measured cost is the publish
+    //     path itself: CSR + grid rebuild and the epoch swap, with **no**
+    //     re-peel (the published decomposition is the maintained one).
+    let decomposition = core_decomposition(graph.graph());
+    let mut by_core: Vec<u32> = (0..graph.num_vertices() as u32).collect();
+    by_core.sort_by_key(|&v| std::cmp::Reverse(decomposition.core_number(v)));
+    let friends: Vec<u32> = by_core[..4].to_vec();
+    group.bench_function("commit/small_delta_incremental", |b| {
+        let engine = Arc::new(SacEngine::from_snapshot(Arc::clone(&graph)));
+        engine.warm(&warm_ks);
+        let live = LiveEngine::new(Arc::clone(&engine));
+        let joiner = live.add_vertex(Point::new(0.25, 0.75)).unwrap();
+        live.commit().unwrap();
+        b.iter(|| {
+            for &f in &friends {
+                live.add_edge(joiner, f).unwrap();
+            }
+            black_box(live.commit().unwrap());
+            for &f in &friends {
+                live.remove_edge(joiner, f).unwrap();
+            }
+            black_box(live.commit().unwrap());
+        });
+    });
+
+    // 2b. The rebuild-everything baseline for the same two deltas: construct
+    //     the updated CSR from the edge list, rebuild the spatial index,
+    //     re-peel the whole decomposition and rebuild the warmed per-k
+    //     indexes — the fixed cost a snapshot-only stack pays per change no
+    //     matter how small the delta is.
+    let base_edges: Vec<(VertexId, VertexId)> = graph.graph().edges().collect();
+    let joiner_id = graph.num_vertices() as VertexId;
+    group.bench_function("commit/full_rebuild_baseline", |b| {
+        b.iter(|| {
+            for round in 0..2 {
+                let mut builder = GraphBuilder::with_capacity(base_edges.len() + friends.len());
+                builder.add_edges(base_edges.iter().copied());
+                if round == 0 {
+                    builder.add_edges(friends.iter().map(|&f| (joiner_id, f)));
+                }
+                builder.ensure_vertex(joiner_id);
+                let mut positions = graph.positions().to_vec();
+                positions.push(Point::new(0.25, 0.75));
+                let rebuilt = SpatialGraph::new(builder.build(), positions).unwrap();
+                let decomposition = core_decomposition(rebuilt.graph());
+                for &k in &warm_ks {
+                    black_box(KCoreComponents::build(rebuilt.graph(), &decomposition, k));
+                }
+                black_box(rebuilt);
+            }
+        });
+    });
+
+    // 3. Post-commit structural latency.  A pendant-vertex delta dirties only
+    //    k <= 1, so the k = 4 index carries across the swap: k-ĉore queries
+    //    right after the commit are label lookups.  The cold engine pays the
+    //    peel + component build first.
+    let committed = {
+        let engine = Arc::new(SacEngine::from_snapshot(Arc::clone(&graph)));
+        engine.warm(&warm_ks);
+        let live = LiveEngine::new(Arc::clone(&engine));
+        let v = live.add_vertex(Point::new(0.123, 0.456)).unwrap();
+        live.add_edge(v, data.queries[0]).unwrap();
+        let report = live.commit().unwrap();
+        assert!(
+            report.components_carried >= warm_ks.len() as u64,
+            "pendant delta must carry the warmed indexes"
+        );
+        engine
+    };
+    group.bench_function("post_commit/kcore_carried_cache", |b| {
+        b.iter(|| {
+            for &q in &data.queries {
+                black_box(committed.connected_core(q, 4));
+            }
+        });
+    });
+    group.bench_function("post_commit/kcore_cold_engine", |b| {
+        let snapshot = committed.snapshot();
+        b.iter(|| {
+            // A fresh engine per iteration: the first query pays the peel and
+            // the index build a carried cache avoids.
+            let cold = SacEngine::from_snapshot(Arc::clone(&snapshot));
+            for &q in &data.queries {
+                black_box(cold.connected_core(q, 4));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_live_updates
+}
+criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! `AppAcc`: the anchor-point (1+εA)-approximation algorithm (Algorithm 4).
 
-use crate::app_fast::app_fast;
+use crate::app_fast::app_fast_with_ctx;
 use crate::common::{knn_lower_bound, membership_bitmap, trivial_small_k, SearchContext};
 use crate::{Community, SacError};
 use sac_geom::{AnchorCell, Circle, Point};
@@ -59,13 +59,32 @@ pub fn app_acc_detailed(
     k: u32,
     eps_a: f64,
 ) -> Result<Option<AppAccDetail>, SacError> {
+    validate_eps_a(eps_a)?;
+    let mut ctx = SearchContext::new(g, q, k)?;
+    app_acc_detailed_with_ctx(&mut ctx, eps_a)
+}
+
+/// Validates the `εA` parameter shared by the `AppAcc`/`Exact+` entry points.
+pub(crate) fn validate_eps_a(eps_a: f64) -> Result<(), SacError> {
     if !eps_a.is_finite() || eps_a <= 0.0 || eps_a >= 1.0 {
         return Err(SacError::InvalidParameter {
             name: "eps_a",
             message: format!("must lie strictly between 0 and 1, got {eps_a}"),
         });
     }
-    let mut ctx = SearchContext::new(g, q, k)?;
+    Ok(())
+}
+
+/// `AppAcc` over an existing [`SearchContext`] (assumes `eps_a` validated).
+///
+/// A context carrying a shared core decomposition accelerates the embedded
+/// `AppFast(εF = 0)` bootstrap — the candidate-set extraction the planner
+/// previously paid per query on the `AppAcc` and `Exact+` arms.
+pub(crate) fn app_acc_detailed_with_ctx(
+    ctx: &mut SearchContext<'_>,
+    eps_a: f64,
+) -> Result<Option<AppAccDetail>, SacError> {
+    let (g, q, k) = (ctx.g, ctx.q, ctx.k);
     if let Some(trivial) = trivial_small_k(g, q, k) {
         return Ok(trivial.map(|community| AppAccDetail {
             radius: community.radius(),
@@ -79,8 +98,9 @@ pub fn app_acc_detailed(
         }));
     }
 
-    // Line 2: run AppFast with εF = 0 to obtain Φ, δ and γ.
-    let seed = match app_fast(g, q, k, 0.0)? {
+    // Line 2: run AppFast with εF = 0 to obtain Φ, δ and γ (sharing this
+    // context's scratch state and, when present, its core decomposition).
+    let seed = match app_fast_with_ctx(ctx, 0.0)? {
         Some(seed) => seed,
         None => return Ok(None),
     };
@@ -177,7 +197,7 @@ pub fn app_acc_detailed(
                     // Binary search for the smallest feasible radius around p
                     // (Algorithm 4 lines 11–22).
                     let (members, _rp, inf) = anchor_binary_search(
-                        &mut ctx,
+                        &mut *ctx,
                         g,
                         &in_s,
                         p,

@@ -3,7 +3,7 @@
 use crate::common::{knn_lower_bound, membership_bitmap, trivial_small_k, SearchContext};
 use crate::{Community, SacError};
 use sac_geom::Circle;
-use sac_graph::{connected_kcore, SpatialGraph, VertexId};
+use sac_graph::{SpatialGraph, VertexId};
 
 /// The outcome of [`app_fast`]: the community Λ plus the radii needed by `AppAcc`
 /// and `Exact+` (which run `AppFast` with `εF = 0` as their first step).
@@ -43,13 +43,32 @@ pub fn app_fast(
     k: u32,
     eps_f: f64,
 ) -> Result<Option<AppFastOutcome>, SacError> {
+    validate_eps_f(eps_f)?;
+    let mut ctx = SearchContext::new(g, q, k)?;
+    app_fast_with_ctx(&mut ctx, eps_f)
+}
+
+/// Validates the `εF` parameter shared by the `AppFast` entry points.
+pub(crate) fn validate_eps_f(eps_f: f64) -> Result<(), SacError> {
     if !eps_f.is_finite() || eps_f < 0.0 {
         return Err(SacError::InvalidParameter {
             name: "eps_f",
             message: format!("must be a finite non-negative number, got {eps_f}"),
         });
     }
-    let mut ctx = SearchContext::new(g, q, k)?;
+    Ok(())
+}
+
+/// `AppFast` over an existing [`SearchContext`] (assumes `eps_f` validated).
+///
+/// This is the single implementation behind [`app_fast`], the batch session
+/// and the `AppAcc`/`Exact+` bootstrap: when the context carries a shared core
+/// decomposition, the k-ĉore extraction skips the `O(m)` peel.
+pub(crate) fn app_fast_with_ctx(
+    ctx: &mut SearchContext<'_>,
+    eps_f: f64,
+) -> Result<Option<AppFastOutcome>, SacError> {
+    let (g, q, k) = (ctx.g, ctx.q, ctx.k);
     if let Some(trivial) = trivial_small_k(g, q, k) {
         return Ok(trivial.map(|community| AppFastOutcome {
             delta: community.radius() * 2.0,
@@ -60,7 +79,7 @@ pub fn app_fast(
     }
 
     // Step 1 of the two-step framework: the k-ĉore X containing q.
-    let x = match connected_kcore(g.graph(), q, k) {
+    let x = match ctx.global_kcore_of_q() {
         Some(x) => x,
         None => return Ok(None),
     };

@@ -8,10 +8,11 @@
 //! once per distinct `k`, and each query then runs only the spatial part of the
 //! search.
 
-use crate::app_fast::AppFastOutcome;
-use crate::common::{knn_lower_bound, trivial_small_k, SearchContext};
+use crate::app_acc::{validate_eps_a, AppAccDetail};
+use crate::app_fast::{app_fast_with_ctx, validate_eps_f, AppFastOutcome};
+use crate::common::SearchContext;
+use crate::exact_plus::ExactPlusDetail;
 use crate::{Community, SacError};
-use sac_geom::Circle;
 use sac_graph::{core_decomposition, CoreDecomposition, SpatialGraph, VertexId};
 use std::sync::Arc;
 
@@ -70,6 +71,11 @@ impl<'g> BatchSacSearch<'g> {
         &self.decomposition
     }
 
+    /// A per-query [`SearchContext`] carrying the shared decomposition.
+    fn context(&self, q: VertexId, k: u32) -> Result<SearchContext<'g>, SacError> {
+        SearchContext::with_decomposition(self.graph, q, k, Arc::clone(&self.decomposition))
+    }
+
     /// Answers one query with the `AppFast` algorithm, reusing the shared
     /// decomposition to build the k-ĉore candidate set.
     pub fn app_fast(
@@ -78,90 +84,50 @@ impl<'g> BatchSacSearch<'g> {
         k: u32,
         eps_f: f64,
     ) -> Result<Option<AppFastOutcome>, SacError> {
-        if !eps_f.is_finite() || eps_f < 0.0 {
-            return Err(SacError::InvalidParameter {
-                name: "eps_f",
-                message: format!("must be a finite non-negative number, got {eps_f}"),
-            });
-        }
-        let mut ctx = SearchContext::new(self.graph, q, k)?;
-        if let Some(trivial) = trivial_small_k(self.graph, q, k) {
-            return Ok(trivial.map(|community| AppFastOutcome {
-                delta: community.radius() * 2.0,
-                gamma: community.radius(),
-                community,
-                iterations: 0,
-            }));
-        }
-        if self.decomposition.core_number(q) < k {
-            return Ok(None);
-        }
-        // k-ĉore containing q from the shared decomposition: BFS over vertices with
-        // core number >= k.
-        let graph = self.graph.graph();
-        let x = sac_graph::bfs_component(graph, q, |v| self.decomposition.core_number(v) >= k);
-        let mut in_x = vec![false; self.graph.num_vertices()];
-        for &v in &x {
-            in_x[v as usize] = true;
-        }
-        let q_pos = self.graph.position(q);
-        let mut l = match knn_lower_bound(self.graph, q, k, &in_x) {
-            Some(l) => l,
-            None => return Ok(None),
-        };
-        let mut u = x
-            .iter()
-            .map(|&v| self.graph.position(v).distance(q_pos))
-            .fold(0.0f64, f64::max);
-        let mut best = x.clone();
-        let mut best_radius_bound = u;
-        let mut iterations = 0usize;
-        let max_iterations = x.len() + 64;
-        while u > l && iterations < max_iterations {
-            iterations += 1;
-            let r = 0.5 * (l + u);
-            let alpha = if eps_f > 0.0 {
-                r * eps_f / (2.0 + eps_f)
-            } else {
-                0.0
-            };
-            match ctx.feasible_in_circle(&Circle::new(q_pos, r), Some(&in_x)) {
-                Some(members) => {
-                    let far = members
-                        .iter()
-                        .map(|&v| self.graph.position(v).distance(q_pos))
-                        .fold(0.0f64, f64::max);
-                    best = members;
-                    best_radius_bound = far;
-                    if r - l <= alpha {
-                        break;
-                    }
-                    u = far;
-                }
-                None => {
-                    if u - r <= alpha {
-                        break;
-                    }
-                    let next = x
-                        .iter()
-                        .map(|&v| self.graph.position(v).distance(q_pos))
-                        .filter(|&d| d > r)
-                        .fold(f64::INFINITY, f64::min);
-                    if !next.is_finite() {
-                        break;
-                    }
-                    l = next;
-                }
-            }
-        }
-        let community = Community::new(self.graph, best);
-        let gamma = community.radius();
-        Ok(Some(AppFastOutcome {
-            delta: best_radius_bound,
-            gamma,
-            community,
-            iterations,
-        }))
+        validate_eps_f(eps_f)?;
+        let mut ctx = self.context(q, k)?;
+        app_fast_with_ctx(&mut ctx, eps_f)
+    }
+
+    /// Answers one query with the `AppAcc` algorithm, reusing the shared
+    /// decomposition for the embedded `AppFast(εF = 0)` bootstrap instead of
+    /// re-deriving the k-ĉore per query.
+    pub fn app_acc(&self, q: VertexId, k: u32, eps_a: f64) -> Result<Option<Community>, SacError> {
+        Ok(self.app_acc_detailed(q, k, eps_a)?.map(|d| d.community))
+    }
+
+    /// Like [`BatchSacSearch::app_acc`] but returns the full detail record.
+    pub fn app_acc_detailed(
+        &self,
+        q: VertexId,
+        k: u32,
+        eps_a: f64,
+    ) -> Result<Option<AppAccDetail>, SacError> {
+        validate_eps_a(eps_a)?;
+        let mut ctx = self.context(q, k)?;
+        crate::app_acc::app_acc_detailed_with_ctx(&mut ctx, eps_a)
+    }
+
+    /// Answers one query with the `Exact+` algorithm, reusing the shared
+    /// decomposition for the embedded `AppAcc` bootstrap.
+    pub fn exact_plus(
+        &self,
+        q: VertexId,
+        k: u32,
+        eps_a: f64,
+    ) -> Result<Option<Community>, SacError> {
+        Ok(self.exact_plus_detailed(q, k, eps_a)?.map(|d| d.community))
+    }
+
+    /// Like [`BatchSacSearch::exact_plus`] but returns pruning statistics.
+    pub fn exact_plus_detailed(
+        &self,
+        q: VertexId,
+        k: u32,
+        eps_a: f64,
+    ) -> Result<Option<ExactPlusDetail>, SacError> {
+        let mut ctx = self.context(q, k)?;
+        crate::exact_plus::exact_plus_detailed_with_ctx(&mut ctx, eps_a)
     }
 
     /// Answers a whole batch of queries, returning one entry per query vertex in
@@ -217,6 +183,46 @@ mod tests {
         assert!(results[2].as_ref().unwrap().is_some());
         // Shared decomposition is exposed.
         assert!(batch.core_numbers().core_number(figure3::Q) >= 2);
+    }
+
+    #[test]
+    fn batch_app_acc_and_exact_plus_match_direct_calls() {
+        // The decomposition-backed arms must be bit-identical to the free
+        // functions (the engine's equivalence suite relies on this).
+        let g = figure3_graph();
+        let batch = BatchSacSearch::new(&g);
+        for q in [figure3::Q, figure3::A, figure3::C, figure3::F, figure3::I] {
+            let direct_acc = crate::app_acc(&g, q, 2, 0.3).unwrap();
+            let batched_acc = batch.app_acc(q, 2, 0.3).unwrap();
+            assert_eq!(
+                direct_acc.as_ref().map(Community::members),
+                batched_acc.as_ref().map(Community::members),
+                "app_acc mismatch for q={q}"
+            );
+            let direct_plus = crate::exact_plus(&g, q, 2, 1e-3).unwrap();
+            let batched_plus = batch.exact_plus(q, 2, 1e-3).unwrap();
+            assert_eq!(
+                direct_plus.as_ref().map(Community::members),
+                batched_plus.as_ref().map(Community::members),
+                "exact_plus mismatch for q={q}"
+            );
+        }
+        // Detail records agree on the pruning statistics, too.
+        let direct = crate::exact_plus_detailed(&g, figure3::Q, 2, 1e-3)
+            .unwrap()
+            .unwrap();
+        let batched = batch
+            .exact_plus_detailed(figure3::Q, 2, 1e-3)
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            direct.fixed_vertex_candidates,
+            batched.fixed_vertex_candidates
+        );
+        assert_eq!(direct.triples_evaluated, batched.triples_evaluated);
+        // Parameter validation matches the free functions.
+        assert!(batch.app_acc(figure3::Q, 2, 0.0).is_err());
+        assert!(batch.exact_plus(99, 2, 1e-3).is_err());
     }
 
     #[test]

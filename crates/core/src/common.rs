@@ -2,15 +2,19 @@
 
 use crate::{Community, SacError};
 use sac_geom::{Circle, Point};
-use sac_graph::{KCoreSolver, SpatialGraph, VertexId};
+use sac_graph::{connected_kcore, CoreDecomposition, KCoreSolver, SpatialGraph, VertexId};
+use std::sync::Arc;
 
 /// Per-query scratch state shared by all algorithms: the validated query, a
-/// reusable subset-k-core solver and a reusable circular-range-query buffer.
+/// reusable subset-k-core solver, a reusable circular-range-query buffer and —
+/// when the caller already has one — a shared core decomposition that lets the
+/// structural phase skip its `O(m)` peel.
 pub(crate) struct SearchContext<'g> {
     pub g: &'g SpatialGraph,
     pub q: VertexId,
     pub k: u32,
     pub solver: KCoreSolver,
+    decomposition: Option<Arc<CoreDecomposition>>,
     circle_buf: Vec<VertexId>,
     subset_buf: Vec<VertexId>,
 }
@@ -18,6 +22,33 @@ pub(crate) struct SearchContext<'g> {
 impl<'g> SearchContext<'g> {
     /// Validates the query vertex and builds the scratch state.
     pub fn new(g: &'g SpatialGraph, q: VertexId, k: u32) -> Result<Self, SacError> {
+        SearchContext::build(g, q, k, None)
+    }
+
+    /// Like [`SearchContext::new`], but reuses an already-computed core
+    /// decomposition of `g` (e.g. the serving engine's cached one):
+    /// [`SearchContext::global_kcore_of_q`] then costs a BFS instead of a full
+    /// peel.  The decomposition must belong to exactly this graph.
+    pub fn with_decomposition(
+        g: &'g SpatialGraph,
+        q: VertexId,
+        k: u32,
+        decomposition: Arc<CoreDecomposition>,
+    ) -> Result<Self, SacError> {
+        assert_eq!(
+            decomposition.core_numbers().len(),
+            g.num_vertices(),
+            "decomposition does not match graph"
+        );
+        SearchContext::build(g, q, k, Some(decomposition))
+    }
+
+    fn build(
+        g: &'g SpatialGraph,
+        q: VertexId,
+        k: u32,
+        decomposition: Option<Arc<CoreDecomposition>>,
+    ) -> Result<Self, SacError> {
         if (q as usize) >= g.num_vertices() {
             return Err(SacError::QueryVertexOutOfRange(q));
         }
@@ -26,9 +57,31 @@ impl<'g> SearchContext<'g> {
             q,
             k,
             solver: KCoreSolver::new(g.num_vertices()),
+            decomposition,
             circle_buf: Vec::new(),
             subset_buf: Vec::new(),
         })
+    }
+
+    /// The k-ĉore containing `q` in the **whole** graph (Step 1 of the paper's
+    /// two-step framework), sorted by id; `None` when `q` is in no k-core.
+    ///
+    /// With a shared decomposition this is a BFS over vertices with core
+    /// number ≥ `k`; without one it falls back to
+    /// [`sac_graph::connected_kcore`], which recomputes the decomposition.
+    /// Both paths return the identical sorted vertex set.
+    pub fn global_kcore_of_q(&self) -> Option<Vec<VertexId>> {
+        match &self.decomposition {
+            Some(d) => {
+                if d.core_number(self.q) < self.k {
+                    return None;
+                }
+                Some(sac_graph::bfs_component(self.g.graph(), self.q, |v| {
+                    d.core_number(v) >= self.k
+                }))
+            }
+            None => connected_kcore(self.g.graph(), self.q, self.k),
+        }
     }
 
     /// Location of the query vertex.

@@ -1,6 +1,6 @@
 //! `Exact+`: the advanced exact algorithm (Algorithm 5).
 
-use crate::app_acc::app_acc_detailed;
+use crate::app_acc::{app_acc_detailed_with_ctx, validate_eps_a};
 use crate::common::{membership_bitmap, trivial_small_k, SearchContext};
 use crate::{Community, SacError};
 use sac_geom::Circle;
@@ -53,6 +53,16 @@ pub fn exact_plus_detailed(
     eps_a: f64,
 ) -> Result<Option<ExactPlusDetail>, SacError> {
     let mut ctx = SearchContext::new(g, q, k)?;
+    exact_plus_detailed_with_ctx(&mut ctx, eps_a)
+}
+
+/// `Exact+` over an existing [`SearchContext`]: a context carrying a shared
+/// core decomposition accelerates the embedded `AppAcc` bootstrap.
+pub(crate) fn exact_plus_detailed_with_ctx(
+    ctx: &mut SearchContext<'_>,
+    eps_a: f64,
+) -> Result<Option<ExactPlusDetail>, SacError> {
+    let (g, q, k) = (ctx.g, ctx.q, ctx.k);
     if let Some(trivial) = trivial_small_k(g, q, k) {
         return Ok(trivial.map(|community| ExactPlusDetail {
             community,
@@ -62,8 +72,9 @@ pub fn exact_plus_detailed(
         }));
     }
 
-    // Line 2: run AppAcc.
-    let detail = match app_acc_detailed(g, q, k, eps_a)? {
+    // Line 2: run AppAcc (sharing this context's scratch and decomposition).
+    validate_eps_a(eps_a)?;
+    let detail = match app_acc_detailed_with_ctx(ctx, eps_a)? {
         Some(d) => d,
         None => return Ok(None),
     };
@@ -141,7 +152,7 @@ pub fn exact_plus_detailed(
             }
             let circle = Circle::from_diameter(p1, p2);
             triples += 1;
-            consider(&circle, &mut ctx, &mut r_cur, &mut best_members);
+            consider(&circle, &mut *ctx, &mut r_cur, &mut best_members);
         }
     }
 
@@ -169,7 +180,7 @@ pub fn exact_plus_detailed(
                 }
                 let circle = Circle::mcc_of_three(p1, p2, p3);
                 triples += 1;
-                consider(&circle, &mut ctx, &mut r_cur, &mut best_members);
+                consider(&circle, &mut *ctx, &mut r_cur, &mut best_members);
             }
         }
     }

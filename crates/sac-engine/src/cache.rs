@@ -160,6 +160,42 @@ impl KCoreCache {
         KCoreCache::default()
     }
 
+    /// A cache pre-seeded for a new epoch: the decomposition is already
+    /// resident (e.g. maintained incrementally by the live-update path) and
+    /// `carried` holds the per-`k` component indexes that survived the epoch's
+    /// delta unchanged.
+    ///
+    /// Carried entries are real cache contents: lookups against them count as
+    /// hits, which is how cross-epoch carry-over shows up in [`CacheStats`].
+    pub fn seeded(
+        decomposition: Arc<CoreDecomposition>,
+        carried: impl IntoIterator<Item = Arc<KCoreComponents>>,
+    ) -> Self {
+        let cache = KCoreCache::default();
+        cache
+            .decomposition
+            .set(decomposition)
+            .expect("fresh OnceLock");
+        {
+            let mut map = cache.components.write().expect("cache lock poisoned");
+            for entry in carried {
+                map.insert(entry.k(), entry);
+            }
+        }
+        cache
+    }
+
+    /// The resident per-`k` component indexes (used by the epoch-publish path
+    /// to decide what carries over to the next snapshot).
+    pub fn component_entries(&self) -> Vec<Arc<KCoreComponents>> {
+        self.components
+            .read()
+            .expect("cache lock poisoned")
+            .values()
+            .cloned()
+            .collect()
+    }
+
     /// Whether the decomposition is already resident.
     pub fn is_warm(&self) -> bool {
         self.decomposition.get().is_some()

@@ -1,14 +1,13 @@
-//! The serving engine: an immutable graph snapshot, the shared k-core cache,
-//! the planner, and a concurrent batch executor.
+//! The serving engine: epoch-published immutable graph snapshots, the shared
+//! k-core cache, the planner, and a concurrent batch executor.
 
-use crate::cache::{CacheStats, KCoreCache, KCoreComponents};
+use crate::cache::{CacheLayerStats, CacheStats, KCoreCache, KCoreComponents};
+use crate::epoch::EpochCell;
 use crate::planner::{plan_query, Plan, PlanContext, QueryBudget};
-use sac_core::{
-    app_acc, app_inc, exact_plus, theta_sac, BatchSacSearch, Community, SacError, EXACT_PLUS_EPS_A,
-};
+use sac_core::{app_inc, theta_sac, BatchSacSearch, Community, SacError, EXACT_PLUS_EPS_A};
 use sac_graph::{CoreDecomposition, SpatialGraph, VertexId};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Tunables of a [`SacEngine`].
@@ -97,8 +96,38 @@ pub struct EngineStats {
     pub infeasible_fast_path: u64,
     /// Queries that returned a per-query error.
     pub errors: u64,
-    /// Cache counters.
+    /// Cache counters, cumulative across all epochs (retired epochs' counters
+    /// are folded in when a new snapshot is published).
     pub cache: CacheStats,
+    /// Number of the currently served epoch (1 for a freshly built engine).
+    pub epoch: u64,
+    /// Snapshots published over this engine's lifetime (epoch swaps).
+    pub epochs_published: u64,
+    /// Per-`k` component indexes carried over across epoch swaps (their `k`
+    /// was untouched by the delta, so the index stayed valid).
+    pub components_carried: u64,
+    /// Per-`k` component indexes dropped at epoch swaps because the delta
+    /// touched their `k`.
+    pub components_invalidated: u64,
+}
+
+/// The engine's answer to one snapshot publication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublishReport {
+    /// Number of the newly current epoch.
+    pub epoch: u64,
+    /// Per-`k` component indexes carried over from the previous epoch.
+    pub components_carried: u64,
+    /// Per-`k` component indexes invalidated by the delta.
+    pub components_invalidated: u64,
+}
+
+/// One served epoch: a snapshot and the k-core cache built against it.
+#[derive(Debug)]
+struct EngineEpoch {
+    number: u64,
+    graph: Arc<SpatialGraph>,
+    cache: KCoreCache,
 }
 
 /// A thread-safe SAC query engine over one immutable graph snapshot.
@@ -122,12 +151,17 @@ pub struct EngineStats {
 /// ```
 #[derive(Debug)]
 pub struct SacEngine {
-    graph: Arc<SpatialGraph>,
-    cache: KCoreCache,
+    epoch: EpochCell<EngineEpoch>,
     config: EngineConfig,
     queries: AtomicU64,
     infeasible_fast_path: AtomicU64,
     errors: AtomicU64,
+    epochs_published: AtomicU64,
+    components_carried: AtomicU64,
+    components_invalidated: AtomicU64,
+    /// Cache counters of retired epochs, folded in at publish time so
+    /// [`EngineStats::cache`] stays cumulative across swaps.
+    retired_cache: Mutex<CacheStats>,
 }
 
 impl SacEngine {
@@ -144,38 +178,121 @@ impl SacEngine {
     /// An engine with custom tunables.
     pub fn with_config(graph: Arc<SpatialGraph>, config: EngineConfig) -> Self {
         SacEngine {
-            graph,
-            cache: KCoreCache::new(),
+            epoch: EpochCell::new(Arc::new(EngineEpoch {
+                number: 1,
+                graph,
+                cache: KCoreCache::new(),
+            })),
             config,
             queries: AtomicU64::new(0),
             infeasible_fast_path: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            epochs_published: AtomicU64::new(0),
+            components_carried: AtomicU64::new(0),
+            components_invalidated: AtomicU64::new(0),
+            retired_cache: Mutex::new(CacheStats::default()),
         }
     }
 
-    /// The shared snapshot this engine serves.
+    /// The shared snapshot of the current epoch.
     pub fn snapshot(&self) -> Arc<SpatialGraph> {
-        Arc::clone(&self.graph)
+        Arc::clone(&self.epoch.load().graph)
+    }
+
+    /// Number of the currently served epoch (starts at 1).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load().number
+    }
+
+    /// Publishes a new snapshot as the next epoch, selectively carrying the
+    /// k-core index cache across.
+    ///
+    /// `decomposition` must be the core decomposition of `graph` (the
+    /// live-update path maintains it incrementally).  `dirty_up_to` is the
+    /// largest `k` whose k-core may differ from the previous snapshot (see
+    /// [`sac_graph::EdgeChange::dirty_up_to`]): cached component indexes for
+    /// `k > dirty_up_to` remain valid and carry over to the new epoch; the
+    /// rest — and any `k = 0` index, since vertex additions change the 0-core
+    /// — are dropped.  In-flight queries keep the epoch they loaded and finish
+    /// on the old snapshot.
+    ///
+    /// Concurrent publishers are memory-safe but should be serialised by the
+    /// caller (the live-update front does) so epoch numbers stay sequential.
+    pub fn publish(
+        &self,
+        graph: Arc<SpatialGraph>,
+        decomposition: CoreDecomposition,
+        dirty_up_to: u32,
+    ) -> PublishReport {
+        assert_eq!(
+            decomposition.core_numbers().len(),
+            graph.num_vertices(),
+            "decomposition does not match the published graph"
+        );
+        let previous = self.epoch.load();
+        let mut carried = 0u64;
+        let mut invalidated = 0u64;
+        let surviving: Vec<Arc<KCoreComponents>> = previous
+            .cache
+            .component_entries()
+            .into_iter()
+            .filter(|entry| {
+                let keep = entry.k() != 0 && entry.k() > dirty_up_to;
+                if keep {
+                    carried += 1;
+                } else {
+                    invalidated += 1;
+                }
+                keep
+            })
+            .collect();
+        let next = EngineEpoch {
+            number: previous.number + 1,
+            graph,
+            cache: KCoreCache::seeded(Arc::new(decomposition), surviving),
+        };
+        // Swap and fold the retired epoch's cache counters under the same
+        // lock `stats()` takes, so a concurrent reader never sees the retired
+        // epoch both folded into the total and still live (double-counted).
+        let retired = {
+            let mut acc = self.retired_cache.lock().expect("stats lock poisoned");
+            let retired = self.epoch.swap(Arc::new(next));
+            *acc = add_cache_stats(*acc, retired.cache.stats());
+            retired
+        };
+        self.epochs_published.fetch_add(1, Ordering::Relaxed);
+        self.components_carried
+            .fetch_add(carried, Ordering::Relaxed);
+        self.components_invalidated
+            .fetch_add(invalidated, Ordering::Relaxed);
+        PublishReport {
+            epoch: retired.number + 1,
+            components_carried: carried,
+            components_invalidated: invalidated,
+        }
     }
 
     /// Pre-computes the decomposition and the component indexes for `ks`, so
     /// the first real queries don't pay the build cost.
     pub fn warm(&self, ks: &[u32]) {
-        let graph = self.graph.graph();
-        self.cache.decomposition(graph);
+        let epoch = self.epoch.load();
+        let graph = epoch.graph.graph();
+        epoch.cache.decomposition(graph);
         for &k in ks {
-            self.cache.components(graph, k);
+            epoch.cache.components(graph, k);
         }
     }
 
-    /// The memoised core decomposition of the snapshot.
+    /// The memoised core decomposition of the current snapshot.
     pub fn decomposition(&self) -> Arc<CoreDecomposition> {
-        self.cache.decomposition(self.graph.graph())
+        let epoch = self.epoch.load();
+        epoch.cache.decomposition(epoch.graph.graph())
     }
 
     /// The memoised connected-component index of the k-core for `k`.
     pub fn core_components(&self, k: u32) -> Arc<KCoreComponents> {
-        self.cache.components(self.graph.graph(), k)
+        let epoch = self.epoch.load();
+        epoch.cache.components(epoch.graph.graph(), k)
     }
 
     /// Cache-served structural query: the sorted members of the connected
@@ -188,12 +305,16 @@ impl SacEngine {
     /// The plan the engine would dispatch for `request` (exposed for tests,
     /// tooling and the equivalence suite).
     pub fn plan_for(&self, request: &SacRequest) -> Result<Plan, SacError> {
+        self.plan_on(&self.epoch.load(), request)
+    }
+
+    fn plan_on(&self, epoch: &EngineEpoch, request: &SacRequest) -> Result<Plan, SacError> {
         request.budget.validate()?;
-        let n = self.graph.num_vertices();
+        let n = epoch.graph.num_vertices();
         if request.q as usize >= n {
             return Err(SacError::QueryVertexOutOfRange(request.q));
         }
-        let ctx = self.plan_context(request);
+        let ctx = Self::plan_context(epoch, request);
         Ok(plan_query(
             &request.budget,
             &ctx,
@@ -206,7 +327,7 @@ impl SacEngine {
     /// sound for `k >= 2`: for `k <= 1` the algorithms have trivial answers
     /// (single vertex / nearest neighbour) that exist even outside any k-core,
     /// so those queries always go to the algorithm.
-    fn plan_context(&self, request: &SacRequest) -> PlanContext {
+    fn plan_context(epoch: &EngineEpoch, request: &SacRequest) -> PlanContext {
         if request.k < 2 {
             return PlanContext {
                 core_size: None,
@@ -215,14 +336,15 @@ impl SacEngine {
         }
         // O(1) feasibility from the decomposition first: infeasible queries
         // (including arbitrary wire-supplied k) never build a per-k index.
-        let decomposition = self.decomposition();
+        let graph = epoch.graph.graph();
+        let decomposition = epoch.cache.decomposition(graph);
         if decomposition.core_number(request.q) < request.k {
             return PlanContext {
                 core_size: None,
                 infeasible: true,
             };
         }
-        let components = self.core_components(request.k);
+        let components = epoch.cache.components(graph, request.k);
         PlanContext {
             core_size: components.core_size_of(request.q),
             infeasible: false,
@@ -231,14 +353,21 @@ impl SacEngine {
 
     /// Answers one request: plans, dispatches, and annotates the response with
     /// timing and cache metadata.
+    ///
+    /// The epoch is loaded once at entry; a snapshot published mid-query does
+    /// not affect this request.
     pub fn execute(&self, request: &SacRequest) -> SacResponse {
+        self.execute_on(&self.epoch.load(), request)
+    }
+
+    fn execute_on(&self, epoch: &EngineEpoch, request: &SacRequest) -> SacResponse {
         let start = Instant::now();
-        let cache_hit = self.cache.is_warm();
+        let cache_hit = epoch.cache.is_warm();
         self.queries.fetch_add(1, Ordering::Relaxed);
-        let (plan, outcome) = match self.plan_for(request) {
+        let (plan, outcome) = match self.plan_on(epoch, request) {
             Err(e) => (Plan::Rejected, Err(e)),
             Ok(plan) => {
-                let outcome = self.dispatch(request, plan);
+                let outcome = Self::dispatch(epoch, request, plan);
                 (plan, outcome)
             }
         };
@@ -265,43 +394,58 @@ impl SacEngine {
     /// Runs the planned algorithm.  Every arm calls the same `sac_core` entry
     /// point a direct caller would use, so engine answers are bit-identical to
     /// library answers (the equivalence suite asserts this).
-    fn dispatch(&self, request: &SacRequest, plan: Plan) -> Result<Option<Community>, SacError> {
-        let (g, q, k) = (&*self.graph, request.q, request.k);
+    fn dispatch(
+        epoch: &EngineEpoch,
+        request: &SacRequest,
+        plan: Plan,
+    ) -> Result<Option<Community>, SacError> {
+        let (g, q, k) = (&*epoch.graph, request.q, request.k);
+        // Every algorithm arm shares the epoch's memoised decomposition
+        // through a batch session instead of re-deriving the k-ĉore per query
+        // (`theta_sac` and `app_inc` never extract the global k-ĉore, so they
+        // have nothing to share).
+        let session = || {
+            BatchSacSearch::with_shared_decomposition(
+                g,
+                epoch.cache.decomposition(epoch.graph.graph()),
+            )
+        };
         match plan {
             Plan::Infeasible => Ok(None),
             Plan::Rejected => unreachable!("rejected plans never reach dispatch"),
-            Plan::ExactPlus { eps_a } => exact_plus(g, q, k, eps_a),
-            Plan::AppAcc { eps_a } => app_acc(g, q, k, eps_a),
+            Plan::ExactPlus { eps_a } => session().exact_plus(q, k, eps_a),
+            Plan::AppAcc { eps_a } => session().app_acc(q, k, eps_a),
             Plan::AppInc => Ok(app_inc(g, q, k)?.map(|outcome| outcome.community)),
             Plan::ThetaSac { theta } => theta_sac(g, q, k, theta),
-            Plan::AppFast { eps_f } => {
-                // The one cache-accelerated arm: share the memoised
-                // decomposition instead of re-deriving the k-ĉore per query.
-                let session = BatchSacSearch::with_shared_decomposition(g, self.decomposition());
-                Ok(session
-                    .app_fast(q, k, eps_f)?
-                    .map(|outcome| outcome.community))
-            }
+            Plan::AppFast { eps_f } => Ok(session()
+                .app_fast(q, k, eps_f)?
+                .map(|outcome| outcome.community)),
         }
     }
 
     /// Fans `requests` across `threads` workers sharing this engine and
     /// returns the responses in request order.
     ///
-    /// Work is distributed by an atomic cursor (cheap dynamic load balancing:
-    /// slow exact queries don't stall a whole stripe of the batch).
+    /// The epoch is loaded once for the whole batch, so every request of a
+    /// batch is answered against the same snapshot even when a publish lands
+    /// mid-batch.  Work is distributed by an atomic cursor (cheap dynamic load
+    /// balancing: slow exact queries don't stall a whole stripe of the batch).
     pub fn execute_batch(&self, requests: &[SacRequest], threads: usize) -> Vec<SacResponse> {
         let n = requests.len();
         if n == 0 {
             return Vec::new();
         }
+        let epoch = self.epoch.load();
         let threads = threads.clamp(1, n);
         if threads == 1 {
-            return requests.iter().map(|r| self.execute(r)).collect();
+            return requests
+                .iter()
+                .map(|r| self.execute_on(&epoch, r))
+                .collect();
         }
         // Warm the decomposition once up front so concurrent first-queries
         // don't all compute it.
-        self.cache.decomposition(self.graph.graph());
+        epoch.cache.decomposition(epoch.graph.graph());
         let cursor = AtomicUsize::new(0);
         let slots: Vec<OnceLock<SacResponse>> = (0..n).map(|_| OnceLock::new()).collect();
         std::thread::scope(|scope| {
@@ -311,7 +455,7 @@ impl SacEngine {
                     if i >= n {
                         break;
                     }
-                    let response = self.execute(&requests[i]);
+                    let response = self.execute_on(&epoch, &requests[i]);
                     slots[i].set(response).expect("each slot is written once");
                 });
             }
@@ -322,14 +466,38 @@ impl SacEngine {
             .collect()
     }
 
-    /// Current serving counters.
+    /// Current serving counters (cache counters cumulative across epochs).
     pub fn stats(&self) -> EngineStats {
+        // Read the accumulator and the live epoch under the accumulator's
+        // lock (publish folds + swaps under the same lock), so an epoch's
+        // counters are never counted both as retired and as live.
+        let (retired, epoch) = {
+            let acc = self.retired_cache.lock().expect("stats lock poisoned");
+            (*acc, self.epoch.load())
+        };
         EngineStats {
             queries: self.queries.load(Ordering::Relaxed),
             infeasible_fast_path: self.infeasible_fast_path.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
-            cache: self.cache.stats(),
+            cache: add_cache_stats(retired, epoch.cache.stats()),
+            epoch: epoch.number,
+            epochs_published: self.epochs_published.load(Ordering::Relaxed),
+            components_carried: self.components_carried.load(Ordering::Relaxed),
+            components_invalidated: self.components_invalidated.load(Ordering::Relaxed),
         }
+    }
+}
+
+fn add_cache_stats(a: CacheStats, b: CacheStats) -> CacheStats {
+    fn add_layer(a: CacheLayerStats, b: CacheLayerStats) -> CacheLayerStats {
+        CacheLayerStats {
+            hits: a.hits + b.hits,
+            misses: a.misses + b.misses,
+        }
+    }
+    CacheStats {
+        decomposition: add_layer(a.decomposition, b.decomposition),
+        components: add_layer(a.components, b.components),
     }
 }
 
@@ -345,6 +513,7 @@ const _: () = {
 mod tests {
     use super::*;
     use crate::planner::LatencyTier;
+    use sac_core::exact_plus;
     use sac_core::fixtures::{figure3, figure3_graph};
 
     fn engine() -> SacEngine {
@@ -471,6 +640,71 @@ mod tests {
             .plan_for(&SacRequest::new(7, figure3::Q, 2).with_budget(QueryBudget::interactive()))
             .unwrap();
         assert!(matches!(plan, Plan::ExactPlus { .. }));
+    }
+
+    #[test]
+    fn publish_swaps_epochs_and_carries_untouched_indexes() {
+        use sac_graph::DynamicGraph;
+
+        let engine = engine();
+        assert_eq!(engine.epoch(), 1);
+        engine.warm(&[1, 2]);
+
+        // Delta: drop the pendant edge H–I (vertices 8 and 9 in the fixture).
+        // I has core 1, so only k <= 1 cores can change: the k = 2 index must
+        // carry over, the k = 1 index must be dropped.
+        let old_snapshot = engine.snapshot();
+        let mut dynamic = DynamicGraph::from_graph(old_snapshot.graph());
+        let change = dynamic.remove_edge(figure3::H, figure3::I).unwrap();
+        assert_eq!(change.dirty_up_to, 1);
+        let new_graph =
+            sac_graph::SpatialGraph::new(dynamic.to_graph(), old_snapshot.positions().to_vec())
+                .unwrap();
+        let report = engine.publish(Arc::new(new_graph), dynamic.decomposition(), 1);
+        assert_eq!(report.epoch, 2);
+        assert_eq!(report.components_carried, 1);
+        assert_eq!(report.components_invalidated, 1);
+        assert_eq!(engine.epoch(), 2);
+
+        // The carried k = 2 index answers without a rebuild (a component hit,
+        // no new miss beyond the two warming builds).
+        let before = engine.stats().cache.components;
+        let core = engine.connected_core(figure3::Q, 2).unwrap();
+        assert!(core.contains(&figure3::Q));
+        let after = engine.stats().cache.components;
+        assert_eq!(after.misses, before.misses, "carried index must be a hit");
+        assert_eq!(after.hits, before.hits + 1);
+
+        // The new snapshot is live: I is now isolated, so even k = 1 is
+        // infeasible structurally.
+        assert!(engine.connected_core(figure3::I, 1).is_none());
+        // In-flight holders of the old snapshot still see the edge.
+        assert!(old_snapshot.graph().has_edge(figure3::H, figure3::I));
+        let stats = engine.stats();
+        assert_eq!(stats.epoch, 2);
+        assert_eq!(stats.epochs_published, 1);
+        assert_eq!(stats.components_carried, 1);
+        assert_eq!(stats.components_invalidated, 1);
+    }
+
+    #[test]
+    fn stats_accumulate_across_epochs() {
+        let engine = engine();
+        let req = SacRequest::new(1, figure3::Q, 2);
+        engine.execute(&req);
+        let before = engine.stats();
+        assert!(before.cache.decomposition.misses >= 1);
+
+        // Republish the same graph with a full invalidation: the old epoch's
+        // counters must not vanish from the cumulative stats.
+        let snapshot = engine.snapshot();
+        let decomposition = sac_graph::core_decomposition(snapshot.graph());
+        engine.publish(snapshot, decomposition, u32::MAX);
+        let after = engine.stats();
+        assert!(after.cache.decomposition.misses >= before.cache.decomposition.misses);
+        assert!(after.cache.components.misses >= before.cache.components.misses);
+        assert_eq!(after.queries, before.queries);
+        assert_eq!(after.epoch, 2);
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Epoch-based snapshot publication.
+//!
+//! The live-update path swaps a whole epoch — graph snapshot plus its k-core
+//! cache — under readers that never block on writers for more than a pointer
+//! clone.  No `arc-swap` dependency: [`EpochCell`] is the classic
+//! lock-around-the-pointer pattern (an `RwLock<Arc<T>>` guarding only the
+//! pointer, never the data — readers share the lock), which the crate's
+//! `#![forbid(unsafe_code)]` permits where a hand-rolled `AtomicPtr` juggling
+//! act would not.
+//!
+//! Readers call [`EpochCell::load`] once per query and keep the returned
+//! `Arc` for the query's whole lifetime: a concurrent [`EpochCell::swap`]
+//! publishes the next epoch to *subsequent* loads while in-flight queries
+//! finish on the snapshot they started with — exactly the paper-serving
+//! contract the engine's concurrency tests pin down.
+
+use std::sync::{Arc, RwLock};
+
+/// A shared slot holding the current `Arc<T>`, swappable under readers.
+///
+/// `load` is a shared read-lock + pointer clone (no data copy, ~tens of
+/// nanoseconds, and concurrent readers never serialise on each other — this
+/// sits on the per-query hot path); `swap` takes the write lock, replaces the
+/// pointer and returns the previous value so the publisher can harvest state
+/// (e.g. cache entries to carry over).  The lock is held only for the pointer
+/// operation, never while the data is used.
+#[derive(Debug)]
+pub struct EpochCell<T> {
+    current: RwLock<Arc<T>>,
+}
+
+impl<T> EpochCell<T> {
+    /// A cell initially holding `value`.
+    pub fn new(value: Arc<T>) -> Self {
+        EpochCell {
+            current: RwLock::new(value),
+        }
+    }
+
+    /// The current value.  The returned `Arc` stays valid (and unchanged)
+    /// across any number of concurrent swaps.
+    pub fn load(&self) -> Arc<T> {
+        Arc::clone(&self.current.read().expect("epoch cell poisoned"))
+    }
+
+    /// Publishes `next`, returning the previous value.
+    pub fn swap(&self, next: Arc<T>) -> Arc<T> {
+        let mut slot = self.current.write().expect("epoch cell poisoned");
+        std::mem::replace(&mut *slot, next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn load_and_swap_roundtrip() {
+        let cell = EpochCell::new(Arc::new(1u32));
+        assert_eq!(*cell.load(), 1);
+        let old = cell.swap(Arc::new(2));
+        assert_eq!(*old, 1);
+        assert_eq!(*cell.load(), 2);
+    }
+
+    #[test]
+    fn readers_keep_their_snapshot_across_swaps() {
+        let cell = Arc::new(EpochCell::new(Arc::new(0usize)));
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let snapshot = cell.load();
+                        let seen = *snapshot;
+                        // The held Arc must never change underneath us.
+                        std::hint::spin_loop();
+                        assert_eq!(*snapshot, seen);
+                    }
+                });
+            }
+            for i in 1..200usize {
+                cell.swap(Arc::new(i));
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(*cell.load(), 199);
+    }
+}

@@ -10,9 +10,15 @@
 //! deployment answers millions over one slowly-changing graph.  This crate
 //! adds the engine-level machinery that gap requires:
 //!
-//! * **Immutable snapshots** — the engine owns an `Arc<SpatialGraph>`; all
+//! * **Epoch-published immutable snapshots** — the engine serves an
+//!   `Arc<SpatialGraph>` behind a hand-rolled atomic epoch pointer
+//!   ([`EpochCell`], an `RwLock<Arc>` pointer swap — no `arc-swap` dependency); all
 //!   query state is read-only and every entry point takes `&self`, so one
-//!   engine serves any number of threads (see [`SacEngine`]).
+//!   engine serves any number of threads (see [`SacEngine`]).  The live-update
+//!   layer (`sac-live`) publishes new epochs via [`SacEngine::publish`] while
+//!   in-flight queries finish on the snapshot they started with, and the
+//!   per-`k` index cache is *selectively* invalidated: only the `k` entries a
+//!   delta actually touched are dropped, the rest carry over.
 //! * **A k-core index cache** — the `O(m)` core decomposition and the per-`k`
 //!   connected-core labellings are memoised per snapshot ([`KCoreCache`]),
 //!   turning the structural phase of repeated queries into cache hits.
@@ -49,9 +55,11 @@
 
 mod cache;
 mod engine;
+mod epoch;
 pub mod json;
 mod planner;
 
 pub use cache::{CacheLayerStats, CacheStats, KCoreCache, KCoreComponents};
-pub use engine::{EngineConfig, EngineStats, SacEngine, SacRequest, SacResponse};
+pub use engine::{EngineConfig, EngineStats, PublishReport, SacEngine, SacRequest, SacResponse};
+pub use epoch::EpochCell;
 pub use planner::{plan_query, LatencyTier, Plan, PlanContext, QueryBudget};

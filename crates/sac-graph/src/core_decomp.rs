@@ -15,6 +15,20 @@ pub struct CoreDecomposition {
 }
 
 impl CoreDecomposition {
+    /// Wraps already-known core numbers (e.g. maintained incrementally by
+    /// [`crate::DynamicGraph`]) without recomputing them.
+    ///
+    /// The caller is responsible for the numbers being the true core numbers
+    /// of the graph they will be used with; the dynamic-graph property suite
+    /// asserts this invariant for the incremental-maintenance path.
+    pub fn from_core_numbers(core_numbers: Vec<u32>) -> Self {
+        let max_core = core_numbers.iter().copied().max().unwrap_or(0);
+        CoreDecomposition {
+            core_numbers,
+            max_core,
+        }
+    }
+
     /// Core number of vertex `v`.
     #[inline]
     pub fn core_number(&self, v: VertexId) -> u32 {

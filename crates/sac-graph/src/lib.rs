@@ -50,6 +50,7 @@
 
 mod builder;
 mod core_decomp;
+mod dynamic;
 mod error;
 mod graph;
 pub mod io;
@@ -61,6 +62,7 @@ mod truss;
 
 pub use builder::GraphBuilder;
 pub use core_decomp::{core_decomposition, CoreDecomposition};
+pub use dynamic::{DynamicGraph, EdgeChange};
 pub use error::GraphError;
 pub use graph::{Graph, VertexId};
 pub use kcore::{connected_kcore, KCoreSolver};

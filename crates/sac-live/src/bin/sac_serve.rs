@@ -1,4 +1,5 @@
-//! `sac-serve` — a line-delimited-JSON SAC query server over stdin/stdout.
+//! `sac-serve` — a line-delimited-JSON SAC query server over stdin/stdout,
+//! with live graph updates.
 //!
 //! ```text
 //! sac-serve [OPTIONS]
@@ -21,16 +22,24 @@
 //!   {"id":2,"q":17,"k":4,"ratio":1.5,"tier":"interactive","theta":0.25}
 //!   [{...},{...}]                                → a batch, fanned across threads
 //!   {"cmd":"stats"} | {"cmd":"warm","ks":[2,4]} | {"cmd":"core","q":17,"k":4}
+//!   {"cmd":"add_edge","u":17,"v":23}             → live updates (buffered...
+//!   {"cmd":"remove_edge","u":17,"v":23}
+//!   {"cmd":"add_vertex","x":0.25,"y":0.75}
+//!   {"cmd":"commit"}                             → ...until published here)
 //!   {"cmd":"quit"}
-//! Every input line produces exactly one output line.
+//! Every input line produces exactly one output line.  Mutations maintain the
+//! k-core structure incrementally; `commit` swaps in a new snapshot epoch while
+//! in-flight queries finish on the old one.
 //! ```
 
 use sac_data::{DatasetKind, DatasetSpec};
 use sac_engine::json::{obj, Json};
 use sac_engine::{LatencyTier, QueryBudget, SacEngine, SacRequest, SacResponse};
 use sac_graph::io::load_spatial_graph;
+use sac_live::LiveEngine;
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Options {
     preset: DatasetKind,
@@ -233,11 +242,12 @@ fn error_line(message: impl Into<String>) -> Json {
 
 /// Handles an admin command; returns `None` to quit.
 fn handle_command(
-    engine: &SacEngine,
+    live: &LiveEngine,
     cmd: &str,
     value: &Json,
     include_members: bool,
 ) -> Option<Json> {
+    let engine: &SacEngine = live.engine();
     match cmd {
         "quit" | "shutdown" => None,
         "stats" => {
@@ -247,6 +257,9 @@ fn handle_command(
                 ("ok", Json::Bool(true)),
                 ("vertices", Json::Num(graph.num_vertices() as f64)),
                 ("edges", Json::Num(graph.num_edges() as f64)),
+                ("epoch", Json::Num(stats.epoch as f64)),
+                ("epochs_published", Json::Num(stats.epochs_published as f64)),
+                ("pending_mutations", Json::Num(live.pending() as f64)),
                 ("queries", Json::Num(stats.queries as f64)),
                 (
                     "infeasible_fast_path",
@@ -269,20 +282,101 @@ fn handle_command(
                     "component_misses",
                     Json::Num(stats.cache.components.misses as f64),
                 ),
+                (
+                    "components_carried",
+                    Json::Num(stats.components_carried as f64),
+                ),
+                (
+                    "components_invalidated",
+                    Json::Num(stats.components_invalidated as f64),
+                ),
             ]))
         }
+        "add_edge" | "remove_edge" => {
+            let (Some(u), Some(v)) = (
+                value.get("u").and_then(Json::as_u64),
+                value.get("v").and_then(Json::as_u64),
+            ) else {
+                return Some(error_line(format!(
+                    "'{cmd}' needs numeric fields 'u' and 'v'"
+                )));
+            };
+            if u > u32::MAX as u64 || v > u32::MAX as u64 {
+                return Some(error_line("'u' and 'v' must fit in 32 bits"));
+            }
+            let result = if cmd == "add_edge" {
+                live.add_edge(u as u32, v as u32)
+            } else {
+                live.remove_edge(u as u32, v as u32)
+            };
+            Some(match result {
+                Err(e) => error_line(e.to_string()),
+                Ok(change) => obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("applied", Json::Bool(change.applied)),
+                    ("cores_changed", Json::Num(change.changed.len() as f64)),
+                    ("pending", Json::Num(live.pending() as f64)),
+                ]),
+            })
+        }
+        "add_vertex" => {
+            let (Some(x), Some(y)) = (
+                value.get("x").and_then(Json::as_f64),
+                value.get("y").and_then(Json::as_f64),
+            ) else {
+                return Some(error_line("'add_vertex' needs numeric fields 'x' and 'y'"));
+            };
+            Some(match live.add_vertex(sac_geom::Point::new(x, y)) {
+                Err(e) => error_line(e.to_string()),
+                Ok(vertex) => obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("vertex", Json::Num(vertex as f64)),
+                    ("pending", Json::Num(live.pending() as f64)),
+                ]),
+            })
+        }
+        "commit" => Some(match live.commit() {
+            Err(e) => error_line(e.to_string()),
+            Ok(report) => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("epoch", Json::Num(report.epoch as f64)),
+                ("mutations", Json::Num(report.mutations as f64)),
+                ("edges_inserted", Json::Num(report.edges_inserted as f64)),
+                ("edges_removed", Json::Num(report.edges_removed as f64)),
+                ("vertices_added", Json::Num(report.vertices_added as f64)),
+                ("cores_changed", Json::Num(report.cores_changed as f64)),
+                ("dirty_up_to", Json::Num(report.dirty_up_to as f64)),
+                (
+                    "components_carried",
+                    Json::Num(report.components_carried as f64),
+                ),
+                (
+                    "components_invalidated",
+                    Json::Num(report.components_invalidated as f64),
+                ),
+                ("micros", Json::Num(report.micros as f64)),
+            ]),
+        }),
         "warm" => {
-            let ks: Vec<u32> = value
+            let Some(ks) = value
                 .get("ks")
                 .and_then(Json::as_array)
                 .map(|items| {
                     items
                         .iter()
-                        .filter_map(Json::as_u64)
-                        .map(|k| k as u32)
-                        .collect()
+                        .map(|item| {
+                            item.as_u64()
+                                .filter(|&k| k <= u32::MAX as u64)
+                                .map(|k| k as u32)
+                        })
+                        .collect::<Option<Vec<u32>>>()
                 })
-                .unwrap_or_default();
+                .unwrap_or(Some(Vec::new()))
+            else {
+                return Some(error_line(
+                    "'ks' entries must be integers fitting in 32 bits",
+                ));
+            };
             engine.warm(&ks);
             Some(obj(vec![
                 ("ok", Json::Bool(true)),
@@ -296,6 +390,9 @@ fn handle_command(
             ) else {
                 return Some(error_line("'core' needs numeric fields 'q' and 'k'"));
             };
+            if q > u32::MAX as u64 || k > u32::MAX as u64 {
+                return Some(error_line("'q' and 'k' must fit in 32 bits"));
+            }
             match engine.connected_core(q as u32, k as u32) {
                 None => Some(obj(vec![
                     ("ok", Json::Bool(true)),
@@ -321,7 +418,8 @@ fn handle_command(
     }
 }
 
-fn serve(engine: &SacEngine, opts: &Options) -> std::io::Result<()> {
+fn serve(live: &LiveEngine, opts: &Options) -> std::io::Result<()> {
+    let engine: &SacEngine = live.engine();
     let stdin = std::io::stdin().lock();
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
@@ -334,7 +432,7 @@ fn serve(engine: &SacEngine, opts: &Options) -> std::io::Result<()> {
             Err(e) => error_line(e.to_string()),
             Ok(value) => {
                 if let Some(cmd) = value.get("cmd").and_then(Json::as_str) {
-                    match handle_command(engine, cmd, &value, opts.members) {
+                    match handle_command(live, cmd, &value, opts.members) {
                         Some(reply) => reply,
                         None => break,
                     }
@@ -406,13 +504,14 @@ fn main() -> ExitCode {
         graph.num_edges(),
         opts.threads
     );
-    let engine = SacEngine::new(graph);
+    let engine = Arc::new(SacEngine::new(graph));
     if !opts.warm.is_empty() {
         engine.warm(&opts.warm);
         eprintln!("sac-serve: warmed k-core indexes for k = {:?}", opts.warm);
     }
+    let live = LiveEngine::new(engine);
 
-    match serve(&engine, &opts) {
+    match serve(&live, &opts) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("sac-serve: io error: {e}");

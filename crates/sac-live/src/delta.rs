@@ -1,0 +1,97 @@
+//! Graph deltas: the batched mutation record between two epochs.
+
+use sac_geom::Point;
+use sac_graph::VertexId;
+
+/// One graph mutation accepted by the write front.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mutation {
+    /// Insert the undirected edge `{u, v}`.
+    InsertEdge(VertexId, VertexId),
+    /// Remove the undirected edge `{u, v}`.
+    RemoveEdge(VertexId, VertexId),
+    /// Add a new vertex at the given location; its id is assigned on apply.
+    AddVertex(Point),
+}
+
+/// The ordered mutations accumulated since the last commit.
+///
+/// A delta is a *record*, not a plan: the write front applies each mutation
+/// eagerly (so core numbers are maintained incrementally, one edge at a time)
+/// and appends it here so a commit can report what the epoch contains — and
+/// so callers can replay or audit the stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GraphDelta {
+    ops: Vec<Mutation>,
+    edges_inserted: usize,
+    edges_removed: usize,
+    vertices_added: usize,
+}
+
+impl GraphDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        GraphDelta::default()
+    }
+
+    /// Records one mutation.
+    pub fn push(&mut self, op: Mutation) {
+        match op {
+            Mutation::InsertEdge(..) => self.edges_inserted += 1,
+            Mutation::RemoveEdge(..) => self.edges_removed += 1,
+            Mutation::AddVertex(..) => self.vertices_added += 1,
+        }
+        self.ops.push(op);
+    }
+
+    /// The recorded mutations in application order.
+    pub fn ops(&self) -> &[Mutation] {
+        &self.ops
+    }
+
+    /// Total number of recorded mutations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the delta records no mutations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of recorded edge insertions.
+    pub fn edges_inserted(&self) -> usize {
+        self.edges_inserted
+    }
+
+    /// Number of recorded edge removals.
+    pub fn edges_removed(&self) -> usize {
+        self.edges_removed
+    }
+
+    /// Number of recorded vertex additions.
+    pub fn vertices_added(&self) -> usize {
+        self.vertices_added
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_counts_by_kind() {
+        let mut delta = GraphDelta::new();
+        assert!(delta.is_empty());
+        delta.push(Mutation::InsertEdge(0, 1));
+        delta.push(Mutation::AddVertex(Point::new(1.0, 2.0)));
+        delta.push(Mutation::InsertEdge(1, 2));
+        delta.push(Mutation::RemoveEdge(0, 1));
+        assert_eq!(delta.len(), 4);
+        assert_eq!(delta.edges_inserted(), 2);
+        assert_eq!(delta.edges_removed(), 1);
+        assert_eq!(delta.vertices_added(), 1);
+        assert_eq!(delta.ops()[0], Mutation::InsertEdge(0, 1));
+        assert!(!delta.is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! # sac-live
+//!
+//! Dynamic-graph subsystem for the SAC serving stack: a **mutable write
+//! front** over the read-optimised `sac-engine` path.
+//!
+//! The paper's incremental variant (`AppInc`) exists because real geo-social
+//! graphs mutate continuously; serving them from one frozen snapshot means a
+//! full rebuild — graph, spatial index, core decomposition, every per-`k`
+//! k-core index — on every edge change.  This crate closes that gap:
+//!
+//! * **Write front** — [`LiveEngine`] accepts edge insertions/removals and
+//!   vertex additions (with positions), applying each to a
+//!   [`sac_graph::DynamicGraph`] whose core numbers are maintained
+//!   **incrementally**: a mutation walks only the affected subcore, and the
+//!   result is bit-identical to a full recomputation (asserted by the
+//!   property suite on random update streams).
+//! * **Deltas** — mutations batch into a [`GraphDelta`] between commits;
+//!   [`LiveEngine::commit`] rebuilds the immutable CSR + grid index once per
+//!   epoch and publishes through the engine's atomic epoch pointer.
+//! * **Epoch snapshots** — in-flight queries finish on the snapshot they
+//!   loaded; new queries see the new epoch.  The engine's k-core index cache
+//!   is *selectively* invalidated: only the `k` entries whose cores the delta
+//!   touched are dropped, the rest carry over (observable via
+//!   `EngineStats::components_carried`).
+//! * **`sac-serve`** — the line-delimited-JSON serving binary lives here, at
+//!   the top of the stack, and adds `add_edge` / `remove_edge` / `add_vertex`
+//!   / `commit` commands to the query protocol.
+//!
+//! ## Example
+//!
+//! ```
+//! use sac_engine::{SacEngine, SacRequest};
+//! use sac_live::LiveEngine;
+//! use sac_geom::Point;
+//! use std::sync::Arc;
+//!
+//! let engine = Arc::new(SacEngine::new(sac_core::fixtures::figure3_graph()));
+//! let live = LiveEngine::new(Arc::clone(&engine));
+//!
+//! // Mutate: a newcomer joins next to Q and befriends the Q–A–B triangle.
+//! let v = live.add_vertex(Point::new(1.0, 0.5)).unwrap();
+//! live.add_edge(v, sac_core::fixtures::figure3::Q).unwrap();
+//! live.add_edge(v, sac_core::fixtures::figure3::A).unwrap();
+//!
+//! // Publish: epoch 2 serves the grown graph, cache carried where possible.
+//! let report = live.commit().unwrap();
+//! assert_eq!(report.epoch, 2);
+//! let response = engine.execute(&SacRequest::new(1, v, 2));
+//! assert!(response.community().expect("v sits in a 2-core").contains(v));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod delta;
+mod live;
+
+pub use delta::{GraphDelta, Mutation};
+pub use live::{CommitReport, LiveEngine};

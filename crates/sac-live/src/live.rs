@@ -1,0 +1,316 @@
+//! The live-update handle: a mutable write front over a [`SacEngine`].
+
+use crate::delta::{GraphDelta, Mutation};
+use sac_engine::SacEngine;
+use sac_geom::Point;
+use sac_graph::{DynamicGraph, EdgeChange, GraphError, SpatialGraph, VertexId};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// What one [`LiveEngine::commit`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitReport {
+    /// Epoch now being served (unchanged when the delta was empty).
+    pub epoch: u64,
+    /// Mutations applied in this delta.
+    pub mutations: usize,
+    /// Edge insertions among them.
+    pub edges_inserted: usize,
+    /// Edge removals among them.
+    pub edges_removed: usize,
+    /// Vertex additions among them.
+    pub vertices_added: usize,
+    /// Vertices whose core number changed during the delta (sum over
+    /// mutations; a vertex flapping up and down is counted every time).
+    pub cores_changed: u64,
+    /// Largest `k` whose k-core the delta may have touched; cached per-`k`
+    /// indexes above this carried over to the new epoch.
+    pub dirty_up_to: u32,
+    /// Per-`k` component indexes carried across the swap.
+    pub components_carried: u64,
+    /// Per-`k` component indexes invalidated by the swap.
+    pub components_invalidated: u64,
+    /// Wall-clock cost of the commit (CSR + spatial-index rebuild + publish),
+    /// in microseconds.
+    pub micros: u64,
+}
+
+/// Mutable state between two epochs: the maintained dynamic graph, the vertex
+/// positions, and the record of what changed.
+#[derive(Debug)]
+struct WriteFront {
+    dynamic: DynamicGraph,
+    positions: Vec<Point>,
+    delta: GraphDelta,
+    dirty_up_to: u32,
+    cores_changed: u64,
+}
+
+/// A concurrent-safe live-update handle over a shared [`SacEngine`].
+///
+/// The handle owns the *write front*: a [`DynamicGraph`] (adjacency +
+/// incrementally maintained core numbers) plus the vertex positions.  Edge
+/// insertions/removals and vertex additions are applied to the front
+/// immediately — each one repairs the core numbers by walking only the
+/// affected subcore — and are batched into a [`GraphDelta`] until
+/// [`LiveEngine::commit`] rebuilds the immutable snapshot (CSR + grid index)
+/// once and publishes it as the engine's next epoch.  Queries running against
+/// the engine never see the front: they finish on the epoch they loaded, and
+/// the k-core index cache carries over every `k` entry the delta did not
+/// touch.
+///
+/// ```
+/// use sac_engine::SacEngine;
+/// use sac_live::LiveEngine;
+/// use sac_geom::Point;
+/// use std::sync::Arc;
+///
+/// let engine = Arc::new(SacEngine::new(sac_core::fixtures::figure3_graph()));
+/// let live = LiveEngine::new(Arc::clone(&engine));
+///
+/// let v = live.add_vertex(Point::new(2.0, 2.0)).unwrap();
+/// live.add_edge(v, sac_core::fixtures::figure3::Q).unwrap();
+/// let report = live.commit().unwrap();
+/// assert_eq!(report.epoch, 2);
+/// assert_eq!(engine.snapshot().num_vertices(), 11);
+/// ```
+#[derive(Debug)]
+pub struct LiveEngine {
+    engine: Arc<SacEngine>,
+    front: Mutex<WriteFront>,
+}
+
+impl LiveEngine {
+    /// A write front seeded from the engine's current snapshot; the engine's
+    /// memoised decomposition seeds the maintained core numbers, so no peel is
+    /// paid here.
+    pub fn new(engine: Arc<SacEngine>) -> Self {
+        let snapshot = engine.snapshot();
+        let decomposition = engine.decomposition();
+        let dynamic = DynamicGraph::from_parts(snapshot.graph(), &decomposition);
+        let positions = snapshot.positions().to_vec();
+        LiveEngine {
+            engine,
+            front: Mutex::new(WriteFront {
+                dynamic,
+                positions,
+                delta: GraphDelta::new(),
+                dirty_up_to: 0,
+                cores_changed: 0,
+            }),
+        }
+    }
+
+    /// The engine this handle publishes into.
+    pub fn engine(&self) -> &Arc<SacEngine> {
+        &self.engine
+    }
+
+    /// Number of mutations buffered since the last commit.
+    pub fn pending(&self) -> usize {
+        self.front.lock().expect("write front poisoned").delta.len()
+    }
+
+    /// A copy of the buffered delta (application order).
+    pub fn pending_delta(&self) -> GraphDelta {
+        self.front
+            .lock()
+            .expect("write front poisoned")
+            .delta
+            .clone()
+    }
+
+    /// Inserts the undirected edge `{u, v}` into the write front.
+    ///
+    /// Returns the incremental core repair (`applied == false` for self-loops
+    /// and already-present edges); errors when an endpoint does not exist.
+    pub fn add_edge(&self, u: VertexId, v: VertexId) -> Result<EdgeChange, GraphError> {
+        let mut front = self.front.lock().expect("write front poisoned");
+        let change = front.dynamic.insert_edge(u, v)?;
+        if change.applied {
+            front.delta.push(Mutation::InsertEdge(u, v));
+            front.dirty_up_to = front.dirty_up_to.max(change.dirty_up_to);
+            front.cores_changed += change.changed.len() as u64;
+        }
+        Ok(change)
+    }
+
+    /// Removes the undirected edge `{u, v}` from the write front.
+    pub fn remove_edge(&self, u: VertexId, v: VertexId) -> Result<EdgeChange, GraphError> {
+        let mut front = self.front.lock().expect("write front poisoned");
+        let change = front.dynamic.remove_edge(u, v)?;
+        if change.applied {
+            front.delta.push(Mutation::RemoveEdge(u, v));
+            front.dirty_up_to = front.dirty_up_to.max(change.dirty_up_to);
+            front.cores_changed += change.changed.len() as u64;
+        }
+        Ok(change)
+    }
+
+    /// Adds a new vertex at `position` (core number 0 until edges attach it)
+    /// and returns its id.
+    pub fn add_vertex(&self, position: Point) -> Result<VertexId, GraphError> {
+        let mut front = self.front.lock().expect("write front poisoned");
+        if !position.is_finite() {
+            return Err(GraphError::InvalidPosition(
+                front.dynamic.num_vertices() as VertexId
+            ));
+        }
+        let v = front.dynamic.add_vertex();
+        front.positions.push(position);
+        front.delta.push(Mutation::AddVertex(position));
+        Ok(v)
+    }
+
+    /// Rebuilds the immutable snapshot from the write front and publishes it
+    /// as the engine's next epoch.
+    ///
+    /// The CSR adjacency and the spatial grid index are rebuilt once per
+    /// commit (`O(n + m)`), but the core decomposition is **not** recomputed —
+    /// the incrementally maintained numbers are published as-is, and the
+    /// engine carries over every cached per-`k` component index the delta did
+    /// not touch.  An empty delta publishes nothing and reports the current
+    /// epoch.
+    pub fn commit(&self) -> Result<CommitReport, GraphError> {
+        let mut front = self.front.lock().expect("write front poisoned");
+        if front.delta.is_empty() {
+            return Ok(CommitReport {
+                epoch: self.engine.epoch(),
+                mutations: 0,
+                edges_inserted: 0,
+                edges_removed: 0,
+                vertices_added: 0,
+                cores_changed: 0,
+                dirty_up_to: 0,
+                components_carried: 0,
+                components_invalidated: 0,
+                micros: 0,
+            });
+        }
+        let start = Instant::now();
+        let graph = front.dynamic.to_graph();
+        let decomposition = front.dynamic.decomposition();
+        let snapshot = SpatialGraph::new(graph, front.positions.clone())?;
+        let dirty_up_to = front.dirty_up_to;
+        let report = self
+            .engine
+            .publish(Arc::new(snapshot), decomposition, dirty_up_to);
+        let delta = std::mem::take(&mut front.delta);
+        let cores_changed = std::mem::take(&mut front.cores_changed);
+        front.dirty_up_to = 0;
+        Ok(CommitReport {
+            epoch: report.epoch,
+            mutations: delta.len(),
+            edges_inserted: delta.edges_inserted(),
+            edges_removed: delta.edges_removed(),
+            vertices_added: delta.vertices_added(),
+            cores_changed,
+            dirty_up_to,
+            components_carried: report.components_carried,
+            components_invalidated: report.components_invalidated,
+            micros: start.elapsed().as_micros() as u64,
+        })
+    }
+}
+
+// The handle is shared across writer threads alongside the engine.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<LiveEngine>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_core::fixtures::{figure3, figure3_graph};
+    use sac_engine::{QueryBudget, SacRequest};
+    use sac_graph::core_decomposition;
+
+    fn live() -> LiveEngine {
+        LiveEngine::new(Arc::new(SacEngine::new(figure3_graph())))
+    }
+
+    #[test]
+    fn mutations_buffer_until_commit() {
+        let live = live();
+        let engine = Arc::clone(live.engine());
+        let before = engine.snapshot();
+
+        let v = live.add_vertex(Point::new(0.5, 0.5)).unwrap();
+        live.add_edge(v, figure3::Q).unwrap();
+        live.add_edge(v, figure3::A).unwrap();
+        assert_eq!(live.pending(), 3);
+        // The served snapshot is untouched until commit.
+        assert_eq!(engine.snapshot().num_vertices(), before.num_vertices());
+
+        let report = live.commit().unwrap();
+        assert_eq!(report.epoch, 2);
+        assert_eq!(report.mutations, 3);
+        assert_eq!(report.edges_inserted, 2);
+        assert_eq!(report.vertices_added, 1);
+        assert_eq!(live.pending(), 0);
+        let snapshot = engine.snapshot();
+        assert_eq!(snapshot.num_vertices(), before.num_vertices() + 1);
+        assert!(snapshot.graph().has_edge(v, figure3::Q));
+        // Published core numbers equal a fresh decomposition.
+        assert_eq!(
+            engine.decomposition().core_numbers(),
+            core_decomposition(snapshot.graph()).core_numbers()
+        );
+    }
+
+    #[test]
+    fn committed_updates_change_query_answers() {
+        let live = live();
+        let engine = Arc::clone(live.engine());
+        // I (pendant) has no 2-core community on epoch 1.
+        let req = SacRequest::new(1, figure3::I, 2).with_budget(QueryBudget::exact());
+        assert!(engine.execute(&req).community().is_none());
+
+        // Close the triangle F–G–H–I: now I belongs to a 2-core.
+        live.add_edge(figure3::I, figure3::F).unwrap();
+        let report = live.commit().unwrap();
+        assert!(report.cores_changed >= 1);
+        let response = engine.execute(&req);
+        let community = response.community().expect("I joined a 2-core");
+        assert!(community.contains(figure3::I));
+    }
+
+    #[test]
+    fn empty_commit_is_a_noop() {
+        let live = live();
+        let before = live.engine().epoch();
+        let report = live.commit().unwrap();
+        assert_eq!(report.epoch, before);
+        assert_eq!(report.mutations, 0);
+        assert_eq!(live.engine().epoch(), before);
+    }
+
+    #[test]
+    fn noop_mutations_do_not_grow_the_delta() {
+        let live = live();
+        // Q–A already exists in the fixture.
+        let change = live.add_edge(figure3::Q, figure3::A).unwrap();
+        assert!(!change.applied);
+        let change = live.remove_edge(figure3::Q, figure3::I).unwrap(); // absent edge
+        assert!(!change.applied);
+        assert_eq!(live.pending(), 0);
+        assert!(live.add_edge(figure3::Q, 999).is_err());
+        assert!(live.add_vertex(Point::new(f64::NAN, 0.0)).is_err());
+        assert_eq!(live.pending(), 0);
+    }
+
+    #[test]
+    fn selective_invalidation_carries_untouched_k() {
+        let live = live();
+        let engine = Arc::clone(live.engine());
+        engine.warm(&[1, 2]);
+
+        // Removing the pendant edge H–I only dirties k <= 1.
+        live.remove_edge(figure3::H, figure3::I).unwrap();
+        let report = live.commit().unwrap();
+        assert_eq!(report.dirty_up_to, 1);
+        assert_eq!(report.components_carried, 1); // k = 2 survived
+        assert_eq!(report.components_invalidated, 1); // k = 1 dropped
+    }
+}

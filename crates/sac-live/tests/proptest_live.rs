@@ -1,0 +1,128 @@
+//! Property suite for the live-update subsystem: random edge insert/delete
+//! streams (with vertex additions) must keep the incrementally maintained
+//! core numbers **bit-identical** to a full recomputation at every commit,
+//! and the engine's cache-served structural answers must match the library.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sac_engine::SacEngine;
+use sac_geom::Point;
+use sac_graph::{core_decomposition, GraphBuilder, SpatialGraph};
+use sac_live::LiveEngine;
+use std::sync::Arc;
+
+const N: u32 = 40;
+
+/// Deterministic distinct-ish positions on a grid.
+fn grid_positions(n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| Point::new((i % 8) as f64, (i / 8) as f64 + 0.25 * (i % 3) as f64))
+        .collect()
+}
+
+fn live_over(initial: &[(u32, u32)]) -> (Arc<SacEngine>, LiveEngine) {
+    let mut builder = GraphBuilder::new();
+    builder.ensure_vertex(N - 1);
+    builder.add_edges(initial.iter().copied().filter(|(u, v)| u != v));
+    let graph = builder.build();
+    let spatial = SpatialGraph::new(graph, grid_positions(N as usize)).unwrap();
+    let engine = Arc::new(SacEngine::new(spatial));
+    engine.warm(&[2, 3]);
+    let live = LiveEngine::new(Arc::clone(&engine));
+    (engine, live)
+}
+
+/// Asserts the published epoch is internally consistent: maintained cores
+/// equal a fresh decomposition, and the cache-served k-ĉore queries agree
+/// with the library computed from scratch.
+fn check_epoch(engine: &SacEngine) -> Result<(), TestCaseError> {
+    let snapshot = engine.snapshot();
+    let fresh = core_decomposition(snapshot.graph());
+    let published = engine.decomposition();
+    prop_assert_eq!(
+        published.core_numbers(),
+        fresh.core_numbers(),
+        "incremental cores diverged from full recomputation"
+    );
+    for q in [0u32, 7, 19, N - 1] {
+        for k in [1u32, 2, 3] {
+            let cached = engine.connected_core(q, k);
+            let direct = sac_graph::connected_kcore(snapshot.graph(), q, k);
+            prop_assert_eq!(cached, direct, "k-ĉore mismatch at q={}, k={}", q, k);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random toggle streams with interleaved commits: every published epoch
+    /// must be exact.
+    #[test]
+    fn incremental_cores_match_full_recompute_at_every_commit(
+        initial in vec((0u32..N, 0u32..N), 0usize..90),
+        stream in vec((0u32..N, 0u32..N, 0u32..8), 20usize..140),
+        commit_every in 1usize..9,
+    ) {
+        let (engine, live) = live_over(&initial);
+        let mut commits = 0usize;
+        for (i, &(u, v, op)) in stream.iter().enumerate() {
+            if op == 7 {
+                // Occasionally a new vertex joins and befriends u.
+                let newcomer = live.add_vertex(Point::new(9.0, i as f64)).unwrap();
+                live.add_edge(newcomer, u % N).unwrap();
+            } else if u != v {
+                // Toggle the edge: insert when absent, remove when present.
+                let inserted = live.add_edge(u, v).unwrap();
+                if !inserted.applied {
+                    let removed = live.remove_edge(u, v).unwrap();
+                    prop_assert!(removed.applied);
+                }
+            }
+            if (i + 1) % commit_every == 0 && live.pending() > 0 {
+                live.commit().unwrap();
+                commits += 1;
+                check_epoch(&engine)?;
+            }
+        }
+        live.commit().unwrap();
+        check_epoch(&engine)?;
+        prop_assert_eq!(engine.epoch(), engine.stats().epochs_published + 1);
+        prop_assert!(commits <= engine.stats().epochs_published as usize);
+    }
+
+    /// Carry-over safety: whatever the stream, a query against a carried
+    /// per-k index must answer exactly like a freshly built one.
+    #[test]
+    fn carried_indexes_answer_like_fresh_ones(
+        initial in vec((0u32..N, 0u32..N), 30usize..90),
+        stream in vec((0u32..N, 0u32..N), 5usize..40),
+    ) {
+        let (engine, live) = live_over(&initial);
+        // Make the per-k indexes resident before mutating.
+        engine.warm(&[1, 2, 3, 4]);
+        for &(u, v) in &stream {
+            if u == v {
+                continue;
+            }
+            let inserted = live.add_edge(u, v).unwrap();
+            if !inserted.applied {
+                live.remove_edge(u, v).unwrap();
+            }
+        }
+        live.commit().unwrap();
+        // The selective invalidation decides which of k=1..4 carried; every
+        // answer — carried or rebuilt — must match a from-scratch engine.
+        let reference = SacEngine::new((*engine.snapshot()).clone());
+        for q in 0..N {
+            for k in [1u32, 2, 3, 4] {
+                prop_assert_eq!(
+                    engine.connected_core(q, k),
+                    reference.connected_core(q, k),
+                    "carried index diverged at q={}, k={}", q, k
+                );
+            }
+        }
+    }
+}

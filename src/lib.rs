@@ -16,8 +16,10 @@
 //! * [`core`] — the SAC search algorithms, baselines and quality metrics;
 //! * [`data`] — synthetic dataset and workload generators;
 //! * [`eval`] — the experiment harness reproducing the paper's tables and figures;
-//! * [`engine`] — the concurrent, cache-aware query-serving engine (and the
-//!   `sac-serve` binary).
+//! * [`engine`] — the concurrent, cache-aware query-serving engine with
+//!   epoch-published snapshots;
+//! * [`live`] — the dynamic-graph write front (incremental k-core maintenance,
+//!   delta commits, the `sac-serve` binary).
 //!
 //! The most common entry points are re-exported at the crate root.
 //!
@@ -58,13 +60,17 @@ pub use sac_eval as eval;
 /// Query-serving engine (re-export of [`sac_engine`]).
 pub use sac_engine as engine;
 
+/// Dynamic-graph write front (re-export of [`sac_live`]).
+pub use sac_live as live;
+
 pub use sac_core::{
     app_acc, app_fast, app_inc, baselines, exact, exact_plus, fixtures, metrics, range_only,
     theta_sac, Community, SacError,
 };
 pub use sac_engine::{LatencyTier, Plan, QueryBudget, SacEngine, SacRequest, SacResponse};
 pub use sac_geom::{Circle, Point};
-pub use sac_graph::{Graph, GraphBuilder, SpatialGraph, VertexId};
+pub use sac_graph::{DynamicGraph, Graph, GraphBuilder, SpatialGraph, VertexId};
+pub use sac_live::{CommitReport, LiveEngine};
 
 #[cfg(test)]
 mod tests {
