@@ -9,11 +9,17 @@ use std::sync::Arc;
 /// reusable subset-k-core solver, a reusable circular-range-query buffer and —
 /// when the caller already has one — a shared core decomposition that lets the
 /// structural phase skip its `O(m)` peel.
-pub(crate) struct SearchContext<'g> {
-    pub g: &'g SpatialGraph,
-    pub q: VertexId,
-    pub k: u32,
-    pub solver: KCoreSolver,
+///
+/// A context is the execution environment a
+/// [`CommunitySearch`](crate::CommunitySearch) implementation runs in: the
+/// serving engine builds one per query (threading its cached decomposition
+/// through [`SearchContext::with_decomposition`]) and hands it to whichever
+/// registered algorithm the planner picked.
+pub struct SearchContext<'g> {
+    pub(crate) g: &'g SpatialGraph,
+    pub(crate) q: VertexId,
+    pub(crate) k: u32,
+    pub(crate) solver: KCoreSolver,
     decomposition: Option<Arc<CoreDecomposition>>,
     circle_buf: Vec<VertexId>,
     subset_buf: Vec<VertexId>,
@@ -82,6 +88,27 @@ impl<'g> SearchContext<'g> {
             }
             None => connected_kcore(self.g.graph(), self.q, self.k),
         }
+    }
+
+    /// The graph this context searches.
+    pub fn graph(&self) -> &'g SpatialGraph {
+        self.g
+    }
+
+    /// The query vertex this context was built for.
+    pub fn query_vertex(&self) -> VertexId {
+        self.q
+    }
+
+    /// The minimum-degree constraint `k` this context was built for.
+    pub fn degree_bound(&self) -> u32 {
+        self.k
+    }
+
+    /// Whether this context carries a shared (pre-computed) core
+    /// decomposition; when `true`, k-ĉore extraction costs a BFS, not a peel.
+    pub fn has_shared_decomposition(&self) -> bool {
+        self.decomposition.is_some()
     }
 
     /// Location of the query vertex.

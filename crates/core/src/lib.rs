@@ -25,6 +25,15 @@
 //! The approximation ratio is the radius of the returned community's MCC divided by
 //! the radius of the optimal community's MCC.
 //!
+//! ## Unified algorithm interface
+//!
+//! Every algorithm (and the baselines) also implements the [`CommunitySearch`]
+//! trait — `run(&mut SearchContext, &SacQuery) -> Result<SacOutcome, SacError>` —
+//! and declares an [`AlgorithmProfile`] (proven ratio band, cost class,
+//! θ-support).  The [`AlgorithmRegistry`] collects them by name; the
+//! `sac-engine` planner selects over the registered profiles, so a new
+//! algorithm becomes servable by registering it, with no dispatch-site edits.
+//!
 //! ## Baselines
 //!
 //! The [`baselines`] module implements the community-retrieval methods the paper
@@ -58,6 +67,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod algorithm;
 mod app_acc;
 mod app_fast;
 mod app_inc;
@@ -72,10 +82,16 @@ mod result;
 mod theta;
 mod truss;
 
+pub use algorithm::{
+    AlgorithmProfile, AlgorithmRegistry, AppAccSearch, AppFastSearch, AppIncSearch,
+    CommunitySearch, CostClass, ExactPlusSearch, ExactSearch, GlobalBaselineSearch,
+    LocalBaselineSearch, RatioGuarantee, SacOutcome, SacQuery, ThetaSacSearch,
+};
 pub use app_acc::{app_acc, app_acc_detailed, AppAccDetail};
 pub use app_fast::{app_fast, AppFastOutcome};
 pub use app_inc::{app_inc, AppIncOutcome};
 pub use batch::BatchSacSearch;
+pub use common::SearchContext;
 pub use exact::exact;
 pub use exact_plus::{exact_plus, exact_plus_detailed, ExactPlusDetail};
 pub use result::{Community, SacError};

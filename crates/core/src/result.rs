@@ -73,7 +73,7 @@ impl fmt::Display for Community {
     }
 }
 
-/// Errors reported by SAC search algorithms.
+/// Errors reported by SAC search algorithms and the query-serving layers.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SacError {
     /// The query vertex id is not a vertex of the graph.
@@ -86,6 +86,18 @@ pub enum SacError {
         /// Description of the violated constraint.
         message: String,
     },
+    /// The requested worst-case approximation ratio is not a finite number
+    /// `>= 1` (a ratio below 1 would demand a community smaller than the
+    /// optimum).
+    InvalidRatio(f64),
+    /// The requested θ radius constraint is not a finite number `> 0`.
+    InvalidTheta(f64),
+    /// A latency/accuracy budget could not be understood (e.g. an unknown
+    /// latency-tier name on the wire).
+    InvalidBudget(String),
+    /// The named algorithm is not registered in the
+    /// [`AlgorithmRegistry`](crate::AlgorithmRegistry) serving the request.
+    UnknownAlgorithm(String),
 }
 
 impl fmt::Display for SacError {
@@ -96,6 +108,22 @@ impl fmt::Display for SacError {
             }
             SacError::InvalidParameter { name, message } => {
                 write!(f, "invalid parameter `{name}`: {message}")
+            }
+            SacError::InvalidRatio(r) => {
+                write!(
+                    f,
+                    "invalid budget: max_ratio must be a finite number >= 1, got {r}"
+                )
+            }
+            SacError::InvalidTheta(t) => {
+                write!(
+                    f,
+                    "invalid budget: theta must be a finite number > 0, got {t}"
+                )
+            }
+            SacError::InvalidBudget(message) => write!(f, "invalid budget: {message}"),
+            SacError::UnknownAlgorithm(name) => {
+                write!(f, "algorithm '{name}' is not registered")
             }
         }
     }

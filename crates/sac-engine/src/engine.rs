@@ -3,8 +3,8 @@
 
 use crate::cache::{CacheLayerStats, CacheStats, KCoreCache, KCoreComponents};
 use crate::epoch::EpochCell;
-use crate::planner::{plan_query, Plan, PlanContext, QueryBudget};
-use sac_core::{app_inc, theta_sac, BatchSacSearch, Community, SacError, EXACT_PLUS_EPS_A};
+use crate::planner::{LatencyTier, Plan, PlanContext, PlannedQuery, Planner, QueryBudget};
+use sac_core::{AlgorithmRegistry, Community, SacError, SearchContext, EXACT_PLUS_EPS_A};
 use sac_graph::{CoreDecomposition, SpatialGraph, VertexId};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -59,6 +59,116 @@ impl SacRequest {
         self.budget = budget;
         self
     }
+
+    /// A validating builder for a request against vertex `q` with degree
+    /// bound `k` (see [`SacRequestBuilder`]).
+    pub fn builder(q: VertexId, k: u32) -> SacRequestBuilder {
+        SacRequestBuilder {
+            id: 0,
+            q,
+            k,
+            budget: QueryBudget::default(),
+        }
+    }
+}
+
+/// A validating builder for [`SacRequest`]: budget nonsense (`max_ratio < 1`,
+/// non-finite or non-positive `theta`) is rejected with typed errors at
+/// construction time, before the request ever reaches an engine.
+///
+/// ```
+/// use sac_engine::{LatencyTier, SacRequest};
+/// use sac_core::SacError;
+///
+/// let request = SacRequest::builder(17, 4)
+///     .id(1)
+///     .ratio(1.5)
+///     .tier(LatencyTier::Interactive)
+///     .build()
+///     .unwrap();
+/// assert_eq!(request.budget.max_ratio, 1.5);
+///
+/// // Invalid budgets never become requests.
+/// assert_eq!(
+///     SacRequest::builder(17, 4).ratio(0.5).build(),
+///     Err(SacError::InvalidRatio(0.5))
+/// );
+/// assert_eq!(
+///     SacRequest::builder(17, 4).theta(0.0).build(),
+///     Err(SacError::InvalidTheta(0.0))
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SacRequestBuilder {
+    id: u64,
+    q: VertexId,
+    k: u32,
+    budget: QueryBudget,
+}
+
+impl SacRequestBuilder {
+    /// Sets the caller-chosen request id (echoed in the response).
+    pub fn id(mut self, id: u64) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// Sets the largest acceptable approximation ratio (`>= 1`).
+    pub fn ratio(mut self, max_ratio: f64) -> Self {
+        self.budget.max_ratio = max_ratio;
+        self
+    }
+
+    /// Sets the latency tier.
+    pub fn tier(mut self, tier: LatencyTier) -> Self {
+        self.budget.tier = tier;
+        self
+    }
+
+    /// Requests the θ-SAC variant with radius constraint `theta` (`> 0`).
+    pub fn theta(mut self, theta: f64) -> Self {
+        self.budget.theta = Some(theta);
+        self
+    }
+
+    /// Replaces the whole budget.
+    pub fn budget(mut self, budget: QueryBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Validates the budget and builds the request.
+    ///
+    /// Typed errors: [`SacError::InvalidRatio`] for `max_ratio < 1` (or
+    /// non-finite), [`SacError::InvalidTheta`] for `theta <= 0` (or
+    /// non-finite).  An unknown query vertex is reported by the engine — the
+    /// builder has no graph to check against — as the equally typed
+    /// [`SacError::QueryVertexOutOfRange`].
+    pub fn build(self) -> Result<SacRequest, SacError> {
+        self.budget.validate()?;
+        Ok(SacRequest {
+            id: self.id,
+            q: self.q,
+            k: self.k,
+            budget: self.budget,
+        })
+    }
+}
+
+/// Per-request trace metadata: where and how a response was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QueryTrace {
+    /// Epoch (snapshot generation) the query was answered against.
+    pub epoch: u64,
+    /// Microseconds spent planning (budget validation, cache feasibility
+    /// lookup, profile selection).
+    pub plan_micros: u64,
+    /// Microseconds spent executing the selected algorithm.
+    pub exec_micros: u64,
+    /// Whether the k-core cache was already warm when the query arrived.
+    pub cache_hit: bool,
+    /// The approximation ratio the dispatched plan guarantees, when any.
+    pub guaranteed_ratio: Option<f64>,
 }
 
 /// The engine's answer to one [`SacRequest`].
@@ -76,8 +186,8 @@ pub struct SacResponse {
     pub outcome: Result<Option<Community>, SacError>,
     /// Wall-clock service time in microseconds (planning + execution).
     pub micros: u64,
-    /// Whether the k-core cache was already warm when the query arrived.
-    pub cache_hit: bool,
+    /// Trace metadata: epoch, phase timings, cache state, guarantee.
+    pub trace: QueryTrace,
 }
 
 impl SacResponse {
@@ -152,7 +262,7 @@ struct EngineEpoch {
 #[derive(Debug)]
 pub struct SacEngine {
     epoch: EpochCell<EngineEpoch>,
-    config: EngineConfig,
+    planner: Planner,
     queries: AtomicU64,
     infeasible_fast_path: AtomicU64,
     errors: AtomicU64,
@@ -175,15 +285,27 @@ impl SacEngine {
         SacEngine::with_config(graph, EngineConfig::default())
     }
 
-    /// An engine with custom tunables.
+    /// An engine with custom tunables over the built-in algorithm registry.
     pub fn with_config(graph: Arc<SpatialGraph>, config: EngineConfig) -> Self {
+        SacEngine::with_registry(graph, config, Arc::new(AlgorithmRegistry::builtin()))
+    }
+
+    /// An engine serving the algorithms of a caller-supplied registry: the
+    /// planner selects over the registered profiles and every query arm
+    /// dispatches by name, so registering an algorithm is all it takes to
+    /// serve it.
+    pub fn with_registry(
+        graph: Arc<SpatialGraph>,
+        config: EngineConfig,
+        registry: Arc<AlgorithmRegistry>,
+    ) -> Self {
         SacEngine {
             epoch: EpochCell::new(Arc::new(EngineEpoch {
                 number: 1,
                 graph,
                 cache: KCoreCache::new(),
             })),
-            config,
+            planner: Planner::new(registry, config.small_exact_threshold, config.exact_eps_a),
             queries: AtomicU64::new(0),
             infeasible_fast_path: AtomicU64::new(0),
             errors: AtomicU64::new(0),
@@ -192,6 +314,11 @@ impl SacEngine {
             components_invalidated: AtomicU64::new(0),
             retired_cache: Mutex::new(CacheStats::default()),
         }
+    }
+
+    /// The algorithm registry this engine dispatches into.
+    pub fn registry(&self) -> &Arc<AlgorithmRegistry> {
+        self.planner.registry()
     }
 
     /// The shared snapshot of the current epoch.
@@ -309,18 +436,15 @@ impl SacEngine {
     }
 
     fn plan_on(&self, epoch: &EngineEpoch, request: &SacRequest) -> Result<Plan, SacError> {
-        request.budget.validate()?;
+        // Budget validation happens inside `Planner::plan` — the one choke
+        // point every query path goes through.
         let n = epoch.graph.num_vertices();
         if request.q as usize >= n {
             return Err(SacError::QueryVertexOutOfRange(request.q));
         }
         let ctx = Self::plan_context(epoch, request);
-        Ok(plan_query(
-            &request.budget,
-            &ctx,
-            self.config.small_exact_threshold,
-            self.config.exact_eps_a,
-        ))
+        self.planner
+            .plan(request.q, request.k, &request.budget, &ctx)
     }
 
     /// Structural facts for the planner.  The cache feasibility rule is only
@@ -364,11 +488,12 @@ impl SacEngine {
         let start = Instant::now();
         let cache_hit = epoch.cache.is_warm();
         self.queries.fetch_add(1, Ordering::Relaxed);
-        let (plan, outcome) = match self.plan_on(epoch, request) {
-            Err(e) => (Plan::Rejected, Err(e)),
+        let (plan, plan_micros, outcome) = match self.plan_on(epoch, request) {
+            Err(e) => (Plan::Rejected, start.elapsed().as_micros() as u64, Err(e)),
             Ok(plan) => {
-                let outcome = Self::dispatch(epoch, request, plan);
-                (plan, outcome)
+                let plan_micros = start.elapsed().as_micros() as u64;
+                let outcome = self.dispatch(epoch, &plan);
+                (plan, plan_micros, outcome)
             }
         };
         match &outcome {
@@ -380,47 +505,59 @@ impl SacEngine {
             }
             Ok(_) => {}
         }
+        let micros = start.elapsed().as_micros() as u64;
         SacResponse {
             id: request.id,
             q: request.q,
             k: request.k,
-            plan,
             outcome,
-            micros: start.elapsed().as_micros() as u64,
-            cache_hit,
+            micros,
+            trace: QueryTrace {
+                epoch: epoch.number,
+                plan_micros,
+                exec_micros: micros.saturating_sub(plan_micros),
+                cache_hit,
+                guaranteed_ratio: plan.guaranteed_ratio(),
+            },
+            plan,
         }
     }
 
-    /// Runs the planned algorithm.  Every arm calls the same `sac_core` entry
-    /// point a direct caller would use, so engine answers are bit-identical to
-    /// library answers (the equivalence suite asserts this).
-    fn dispatch(
-        epoch: &EngineEpoch,
-        request: &SacRequest,
-        plan: Plan,
-    ) -> Result<Option<Community>, SacError> {
-        let (g, q, k) = (&*epoch.graph, request.q, request.k);
-        // Every algorithm arm shares the epoch's memoised decomposition
-        // through a batch session instead of re-deriving the k-ĉore per query
-        // (`theta_sac` and `app_inc` never extract the global k-ĉore, so they
-        // have nothing to share).
-        let session = || {
-            BatchSacSearch::with_shared_decomposition(
-                g,
-                epoch.cache.decomposition(epoch.graph.graph()),
-            )
-        };
-        match plan {
-            Plan::Infeasible => Ok(None),
+    /// Runs the planned algorithm by looking it up in the registry — the
+    /// engine has no per-algorithm dispatch arms.  Every registered
+    /// implementation runs the same `sac_core` entry point a direct caller
+    /// would use, so engine answers are bit-identical to library answers (the
+    /// equivalence suite asserts this); the [`SearchContext`] carries the
+    /// epoch's memoised decomposition, so k-ĉore-extracting algorithms skip
+    /// the `O(m)` peel.
+    fn dispatch(&self, epoch: &EngineEpoch, plan: &Plan) -> Result<Option<Community>, SacError> {
+        let planned: &PlannedQuery = match plan {
+            Plan::Infeasible => return Ok(None),
             Plan::Rejected => unreachable!("rejected plans never reach dispatch"),
-            Plan::ExactPlus { eps_a } => session().exact_plus(q, k, eps_a),
-            Plan::AppAcc { eps_a } => session().app_acc(q, k, eps_a),
-            Plan::AppInc => Ok(app_inc(g, q, k)?.map(|outcome| outcome.community)),
-            Plan::ThetaSac { theta } => theta_sac(g, q, k, theta),
-            Plan::AppFast { eps_f } => Ok(session()
-                .app_fast(q, k, eps_f)?
-                .map(|outcome| outcome.community)),
-        }
+            Plan::Execute(planned) => planned,
+        };
+        let algorithm = self
+            .planner
+            .registry()
+            .get(planned.algorithm)
+            .ok_or_else(|| SacError::UnknownAlgorithm(planned.algorithm.to_string()))?;
+        let graph = &*epoch.graph;
+        // Only k-ĉore-extracting algorithms consume the shared decomposition;
+        // the rest (theta_sac, app_inc, ...) must not force the `O(m)` peel
+        // on a cold cache for nothing.
+        let mut ctx = if algorithm.profile().shares_decomposition {
+            SearchContext::with_decomposition(
+                graph,
+                planned.query.q,
+                planned.query.k,
+                epoch.cache.decomposition(graph.graph()),
+            )?
+        } else {
+            SearchContext::new(graph, planned.query.q, planned.query.k)?
+        };
+        algorithm
+            .run(&mut ctx, &planned.query)
+            .map(|outcome| outcome.community)
     }
 
     /// Fans `requests` across `threads` workers sharing this engine and
@@ -513,8 +650,8 @@ const _: () = {
 mod tests {
     use super::*;
     use crate::planner::LatencyTier;
-    use sac_core::exact_plus;
     use sac_core::fixtures::{figure3, figure3_graph};
+    use sac_core::{exact_plus, theta_sac};
 
     fn engine() -> SacEngine {
         SacEngine::new(figure3_graph())
@@ -526,13 +663,16 @@ mod tests {
         let response =
             engine.execute(&SacRequest::new(1, figure3::Q, 2).with_budget(QueryBudget::exact()));
         assert_eq!(response.id, 1);
-        assert!(matches!(response.plan, Plan::ExactPlus { .. }));
+        assert!(response.plan.dispatches("exact_plus"));
         let community = response.community().expect("feasible");
         let direct = exact_plus(&figure3_graph(), figure3::Q, 2, EXACT_PLUS_EPS_A)
             .unwrap()
             .unwrap();
         assert_eq!(community.members(), direct.members());
-        assert!(!response.cache_hit, "first query sees a cold cache");
+        assert!(!response.trace.cache_hit, "first query sees a cold cache");
+        assert_eq!(response.trace.epoch, 1);
+        assert_eq!(response.trace.guaranteed_ratio, Some(1.0));
+        assert!(response.micros >= response.trace.plan_micros);
     }
 
     #[test]
@@ -580,8 +720,8 @@ mod tests {
         let req = SacRequest::new(4, figure3::Q, 2);
         let first = engine.execute(&req);
         let second = engine.execute(&req);
-        assert!(!first.cache_hit);
-        assert!(second.cache_hit);
+        assert!(!first.trace.cache_hit);
+        assert!(second.trace.cache_hit);
         assert_eq!(
             first.community().unwrap().members(),
             second.community().unwrap().members()
@@ -639,7 +779,7 @@ mod tests {
         let plan = engine
             .plan_for(&SacRequest::new(7, figure3::Q, 2).with_budget(QueryBudget::interactive()))
             .unwrap();
-        assert!(matches!(plan, Plan::ExactPlus { .. }));
+        assert!(plan.dispatches("exact_plus"));
     }
 
     #[test]
@@ -708,6 +848,24 @@ mod tests {
     }
 
     #[test]
+    fn non_core_extracting_algorithms_skip_the_decomposition() {
+        let engine = engine();
+        // θ query with k = 0: the planner's feasibility check skips the
+        // decomposition (k < 2) and theta_sac declares it does not consume
+        // one — so a cold engine must not pay the O(m) peel for it.
+        let response = engine.execute(
+            &SacRequest::new(1, figure3::Q, 0).with_budget(QueryBudget::balanced().with_theta(5.0)),
+        );
+        assert!(response.plan.dispatches("theta_sac"));
+        assert!(response.community().is_some());
+        assert_eq!(
+            engine.stats().cache.decomposition.misses,
+            0,
+            "theta_sac must not force the decomposition"
+        );
+    }
+
+    #[test]
     fn theta_budgets_dispatch_theta_sac() {
         let engine = engine();
         let request = SacRequest::new(8, figure3::Q, 2).with_budget(
@@ -716,7 +874,9 @@ mod tests {
                 .with_tier(LatencyTier::Batch),
         );
         let response = engine.execute(&request);
-        assert_eq!(response.plan, Plan::ThetaSac { theta: 10.0 });
+        assert!(response.plan.dispatches("theta_sac"));
+        assert_eq!(response.plan.label(), "theta_sac(theta=10)");
+        assert_eq!(response.trace.guaranteed_ratio, None);
         let direct = theta_sac(&figure3_graph(), figure3::Q, 2, 10.0)
             .unwrap()
             .unwrap();

@@ -22,17 +22,23 @@
 //! * **A k-core index cache** — the `O(m)` core decomposition and the per-`k`
 //!   connected-core labellings are memoised per snapshot ([`KCoreCache`]),
 //!   turning the structural phase of repeated queries into cache hits.
-//! * **A budget-driven planner** — each request carries a [`QueryBudget`]
-//!   (worst acceptable approximation ratio + latency tier); the planner picks
-//!   the cheapest of `exact_plus` / `app_acc` / `app_fast` / `app_inc` /
-//!   `theta_sac` whose proven ratio fits, with a workload-aware upgrade to
-//!   exact search when the cached candidate set is tiny ([`Plan`]).
+//! * **A profile-driven planner** — each request carries a [`QueryBudget`]
+//!   (worst acceptable approximation ratio + latency tier); the [`Planner`]
+//!   selects over the declared [`AlgorithmProfile`](sac_core::AlgorithmProfile)s
+//!   of an [`AlgorithmRegistry`](sac_core::AlgorithmRegistry) — proven ratio
+//!   band, cost class, θ-support — with a workload-aware upgrade to exact
+//!   search when the cached candidate set is tiny ([`Plan`]).  Registering an
+//!   algorithm is all it takes to serve it; the engine has no per-algorithm
+//!   dispatch arms.
+//! * **A validating request API** — [`SacRequest::builder`] rejects invalid
+//!   budgets with typed errors at construction time, and every
+//!   [`SacResponse`] carries per-request trace metadata ([`QueryTrace`]:
+//!   epoch, phase timings, cache state, guaranteed ratio).
 //! * **A concurrent executor** — [`SacEngine::execute_batch`] fans a batch of
-//!   [`SacRequest`]s across a thread pool with dynamic load balancing and
-//!   returns structured [`SacResponse`]s carrying plan, timing and cache
-//!   metadata.
-//! * **A serving binary** — `sac-serve` speaks line-delimited JSON over
-//!   stdin/stdout (see the crate README section in the repository root).
+//!   [`SacRequest`]s across a thread pool with dynamic load balancing.
+//! * **Transports** — the `sac-proto` crate defines the typed wire protocol;
+//!   the `sac-serve` (LDJSON) and `sac-http` (HTTP/1.1) binaries in
+//!   `sac-live` are thin shells over it (see the repository README).
 //!
 //! ## Example
 //!
@@ -56,10 +62,12 @@
 mod cache;
 mod engine;
 mod epoch;
-pub mod json;
 mod planner;
 
 pub use cache::{CacheLayerStats, CacheStats, KCoreCache, KCoreComponents};
-pub use engine::{EngineConfig, EngineStats, PublishReport, SacEngine, SacRequest, SacResponse};
+pub use engine::{
+    EngineConfig, EngineStats, PublishReport, QueryTrace, SacEngine, SacRequest, SacRequestBuilder,
+    SacResponse,
+};
 pub use epoch::EpochCell;
-pub use planner::{plan_query, LatencyTier, Plan, PlanContext, QueryBudget};
+pub use planner::{LatencyTier, Plan, PlanContext, PlannedQuery, Planner, QueryBudget};

@@ -1,28 +1,46 @@
 //! The query planner: maps a per-request accuracy/latency budget onto one of
-//! the paper's SAC algorithms.
+//! the registered SAC algorithms.
 //!
 //! The paper's Table 3 gives every algorithm a proven approximation ratio on
-//! the MCC radius and an asymptotic cost; the planner inverts that table.  A
-//! request states the worst ratio it tolerates ([`QueryBudget::max_ratio`])
-//! and how much latency it can spend ([`LatencyTier`]); the planner picks the
-//! cheapest algorithm whose proven ratio fits, using the k-core cache's
-//! structural statistics for one workload-aware upgrade: when the candidate
-//! set (the connected k-core containing `q`, which every community is a subset
-//! of) is tiny, even `Exact+` is effectively free, so the budget's slack is
-//! converted into an exact answer at no latency cost.
+//! the MCC radius and an asymptotic cost; each implementation now *declares*
+//! that row as an [`AlgorithmProfile`](sac_core::AlgorithmProfile) (a
+//! [`RatioGuarantee`] band plus a [`CostClass`](sac_core::CostClass)), and the
+//! [`Planner`] inverts the table by selecting over the profiles of an
+//! [`AlgorithmRegistry`] — no per-algorithm dispatch arms.  A request states
+//! the worst ratio it tolerates ([`QueryBudget::max_ratio`]) and how much
+//! latency it can spend ([`LatencyTier`]); the planner picks among the
+//! algorithms whose declared band contains the budget:
+//!
+//! * **Interactive** minimises `(cost class, tuned guarantee)` — the cheapest
+//!   fitting algorithm wins.
+//! * **Standard/Batch** minimise `(tuned guarantee, parameter-free first,
+//!   cost class)` — latency slack is spent on the tightest guarantee, and a
+//!   fixed (parameter-free) guarantee beats a tunable one at equal ratio.
+//!
+//! Exact-ratio algorithms are reached through two dedicated doors rather than
+//! the band competition: a budget demanding ratio 1, and the workload-aware
+//! *small-core upgrade* — when the connected k-core containing `q` (which
+//! every community is a subset of) is tiny, even `Exact+` is effectively
+//! free, so the budget's slack is converted into an exact answer at no
+//! latency cost.
+//!
+//! With the built-in registry the decision table is:
 //!
 //! | budget | plan |
 //! |---|---|
-//! | `theta` set | [`Plan::ThetaSac`] (radius-constrained variant, §3) |
+//! | `theta` set | `theta_sac` (cheapest θ-capable algorithm, §3) |
 //! | `q` not in any k-core (cache lookup) | [`Plan::Infeasible`] — answered without running any algorithm |
-//! | k-ĉore of `q` ≤ `small_exact_threshold` | [`Plan::ExactPlus`] |
-//! | `max_ratio` = 1 | [`Plan::ExactPlus`] |
-//! | 1 < `max_ratio` < 2 | [`Plan::AppAcc`] with `εA = max_ratio − 1` |
-//! | `max_ratio` ≥ 2, [`LatencyTier::Interactive`] | [`Plan::AppFast`] with `εF = max_ratio − 2` |
-//! | `max_ratio` ≥ 2, otherwise | [`Plan::AppInc`] |
+//! | k-ĉore of `q` ≤ `small_exact_threshold` | `exact_plus` |
+//! | `max_ratio` = 1 | `exact_plus` |
+//! | 1 < `max_ratio` < 2 | `app_acc` with `εA = max_ratio − 1` |
+//! | `max_ratio` ≥ 2, [`LatencyTier::Interactive`] | `app_fast` with `εF = max_ratio − 2` |
+//! | `max_ratio` ≥ 2, otherwise | `app_inc` |
 
-use sac_core::SacError;
+use sac_core::{AlgorithmProfile, AlgorithmRegistry, RatioGuarantee, SacError, SacQuery};
+use sac_graph::VertexId;
 use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
 
 /// How much latency a request is willing to spend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -38,14 +56,36 @@ pub enum LatencyTier {
 }
 
 impl LatencyTier {
-    /// Parses the wire names used by `sac-serve` (`interactive`, `standard`,
+    /// The wire name used by the serving protocol (`interactive`, `standard`,
     /// `batch`).
-    pub fn parse(name: &str) -> Option<LatencyTier> {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            LatencyTier::Interactive => "interactive",
+            LatencyTier::Standard => "standard",
+            LatencyTier::Batch => "batch",
+        }
+    }
+}
+
+impl fmt::Display for LatencyTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for LatencyTier {
+    type Err = SacError;
+
+    /// Parses the wire names used by the serving protocol, with a typed
+    /// [`SacError::InvalidBudget`] for anything else.
+    fn from_str(name: &str) -> Result<LatencyTier, SacError> {
         match name {
-            "interactive" => Some(LatencyTier::Interactive),
-            "standard" => Some(LatencyTier::Standard),
-            "batch" => Some(LatencyTier::Batch),
-            _ => None,
+            "interactive" => Ok(LatencyTier::Interactive),
+            "standard" => Ok(LatencyTier::Standard),
+            "batch" => Ok(LatencyTier::Batch),
+            other => Err(SacError::InvalidBudget(format!(
+                "unknown latency tier '{other}' (expected interactive|standard|batch)"
+            ))),
         }
     }
 }
@@ -121,51 +161,39 @@ impl QueryBudget {
         self
     }
 
-    /// Validates the budget parameters.
+    /// Validates the budget parameters with typed errors:
+    /// [`SacError::InvalidRatio`] unless `max_ratio` is a finite number `>= 1`,
+    /// [`SacError::InvalidTheta`] unless a set `theta` is finite and `> 0`.
     pub fn validate(&self) -> Result<(), SacError> {
         if !self.max_ratio.is_finite() || self.max_ratio < 1.0 {
-            return Err(SacError::InvalidParameter {
-                name: "max_ratio",
-                message: format!("must be a finite number >= 1, got {}", self.max_ratio),
-            });
+            return Err(SacError::InvalidRatio(self.max_ratio));
         }
         if let Some(theta) = self.theta {
-            if !theta.is_finite() || theta < 0.0 {
-                return Err(SacError::InvalidParameter {
-                    name: "theta",
-                    message: format!("must be a finite non-negative number, got {theta}"),
-                });
+            if !theta.is_finite() || theta <= 0.0 {
+                return Err(SacError::InvalidTheta(theta));
             }
         }
         Ok(())
     }
 }
 
-/// The algorithm chosen for one request, with its accuracy parameters.
+/// One algorithm selected from the registry, with its tuned query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedQuery {
+    /// Registry name of the algorithm to dispatch.
+    pub algorithm: &'static str,
+    /// The tuned query (accuracy parameters derived from the budget).
+    pub query: SacQuery,
+    /// The approximation ratio the tuned algorithm guarantees (`None` for
+    /// radius-constrained plans, which answer a different objective).
+    pub guaranteed_ratio: Option<f64>,
+}
+
+/// The outcome of planning one request.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Plan {
-    /// `Exact+` (Algorithm 5): optimal result.
-    ExactPlus {
-        /// `εA` passed to the `AppAcc` bootstrap phase.
-        eps_a: f64,
-    },
-    /// `AppAcc` (Algorithm 4): ratio `1 + εA`.
-    AppAcc {
-        /// Accuracy parameter `εA ∈ (0, 1)`.
-        eps_a: f64,
-    },
-    /// `AppFast` (Algorithm 3): ratio `2 + εF`.
-    AppFast {
-        /// Accuracy parameter `εF ≥ 0`.
-        eps_f: f64,
-    },
-    /// `AppInc` (Algorithm 2): ratio 2.
-    AppInc,
-    /// `θ-SAC` (§3): community constrained to the circle `O(q, θ)`.
-    ThetaSac {
-        /// Radius constraint.
-        theta: f64,
-    },
+    /// Dispatch the selected algorithm from the registry.
+    Execute(PlannedQuery),
     /// Answered from the k-core cache without running any algorithm: `q` is in
     /// no k-core, so no SAC community exists (every algorithm returns `None`).
     Infeasible,
@@ -174,15 +202,25 @@ pub enum Plan {
 }
 
 impl Plan {
+    /// The registry name of the algorithm this plan dispatches, when any.
+    pub fn algorithm(&self) -> Option<&'static str> {
+        match self {
+            Plan::Execute(planned) => Some(planned.algorithm),
+            Plan::Infeasible | Plan::Rejected => None,
+        }
+    }
+
+    /// Whether this plan dispatches the named algorithm.
+    pub fn dispatches(&self, name: &str) -> bool {
+        self.algorithm() == Some(name)
+    }
+
     /// The approximation ratio this plan guarantees (`None` for plans that do
     /// not return an unconstrained SAC community).
     pub fn guaranteed_ratio(&self) -> Option<f64> {
         match self {
-            Plan::ExactPlus { .. } => Some(1.0),
-            Plan::AppAcc { eps_a } => Some(1.0 + eps_a),
-            Plan::AppFast { eps_f } => Some(2.0 + eps_f),
-            Plan::AppInc => Some(2.0),
-            Plan::ThetaSac { .. } | Plan::Infeasible | Plan::Rejected => None,
+            Plan::Execute(planned) => planned.guaranteed_ratio,
+            Plan::Infeasible | Plan::Rejected => None,
         }
     }
 
@@ -192,16 +230,16 @@ impl Plan {
     }
 }
 
+// Stable wire labels: `<algorithm>(<explicit params>)`, and the two
+// algorithm-free outcomes keep their historical names.
 impl fmt::Display for Plan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Plan::ExactPlus { eps_a } => write!(f, "exact_plus(eps_a={eps_a})"),
-            Plan::AppAcc { eps_a } => write!(f, "app_acc(eps_a={eps_a})"),
-            Plan::AppFast { eps_f } => write!(f, "app_fast(eps_f={eps_f})"),
-            Plan::AppInc => write!(f, "app_inc"),
-            Plan::ThetaSac { theta } => write!(f, "theta_sac(theta={theta})"),
-            Plan::Infeasible => write!(f, "infeasible(cache)"),
-            Plan::Rejected => write!(f, "rejected"),
+            Plan::Execute(planned) => {
+                write!(f, "{}{}", planned.algorithm, planned.query.params_label())
+            }
+            Plan::Infeasible => f.write_str("infeasible(cache)"),
+            Plan::Rejected => f.write_str("rejected"),
         }
     }
 }
@@ -223,45 +261,180 @@ fn clamp_eps_a(eps: f64) -> f64 {
     eps.clamp(1e-6, 1.0 - 1e-6)
 }
 
-/// Picks the cheapest plan whose guaranteed ratio fits `budget` (see the
-/// module docs for the full decision table).
-pub fn plan_query(
-    budget: &QueryBudget,
-    ctx: &PlanContext,
+/// A budget-to-algorithm planner over the profiles of an
+/// [`AlgorithmRegistry`] (see the module docs for the selection policy and
+/// the resulting decision table).
+#[derive(Debug, Clone)]
+pub struct Planner {
+    registry: Arc<AlgorithmRegistry>,
     small_exact_threshold: usize,
     exact_eps_a: f64,
-) -> Plan {
-    if let Some(theta) = budget.theta {
+}
+
+impl Planner {
+    /// A planner selecting over `registry`, upgrading to an exact algorithm
+    /// when the candidate k-core has at most `small_exact_threshold` members,
+    /// and passing `exact_eps_a` to exact plans' bootstrap phase.
+    pub fn new(
+        registry: Arc<AlgorithmRegistry>,
+        small_exact_threshold: usize,
+        exact_eps_a: f64,
+    ) -> Self {
+        Planner {
+            registry,
+            small_exact_threshold,
+            exact_eps_a,
+        }
+    }
+
+    /// The registry this planner selects from.
+    pub fn registry(&self) -> &Arc<AlgorithmRegistry> {
+        &self.registry
+    }
+
+    /// Plans one query: validates the budget, then picks the best registered
+    /// algorithm for it (see the module docs for the policy).
+    ///
+    /// Errors are typed: an invalid budget is rejected here, and a registry
+    /// with no fitting algorithm yields [`SacError::InvalidBudget`].
+    pub fn plan(
+        &self,
+        q: VertexId,
+        k: u32,
+        budget: &QueryBudget,
+        ctx: &PlanContext,
+    ) -> Result<Plan, SacError> {
+        budget.validate()?;
         if ctx.infeasible {
-            return Plan::Infeasible;
+            return Ok(Plan::Infeasible);
         }
-        return Plan::ThetaSac { theta };
-    }
-    if ctx.infeasible {
-        return Plan::Infeasible;
-    }
-    // Workload-aware upgrade: every SAC community is a subset of the connected
-    // k-core containing q, so a tiny candidate set makes Exact+ as cheap as
-    // the approximations — spend the slack on exactness.
-    if let Some(size) = ctx.core_size {
-        if size <= small_exact_threshold {
-            return Plan::ExactPlus { eps_a: exact_eps_a };
+        if let Some(theta) = budget.theta {
+            return self.theta_plan(q, k, theta);
         }
+        // Workload-aware upgrade: every SAC community is a subset of the
+        // connected k-core containing q, so a tiny candidate set makes an
+        // exact algorithm as cheap as the approximations — spend the slack on
+        // exactness.
+        let small_core = ctx
+            .core_size
+            .is_some_and(|size| size <= self.small_exact_threshold);
+        if small_core || budget.max_ratio <= 1.0 + 1e-12 {
+            return self.exact_plan(q, k);
+        }
+        self.approximate_plan(q, k, budget)
     }
-    if budget.max_ratio <= 1.0 + 1e-12 {
-        return Plan::ExactPlus { eps_a: exact_eps_a };
+
+    /// Radius-constrained request: the cheapest θ-capable algorithm.
+    fn theta_plan(&self, q: VertexId, k: u32, theta: f64) -> Result<Plan, SacError> {
+        let profile = self
+            .fitting_profiles(|p| p.supports_theta)
+            .into_iter()
+            .min_by_key(|p| p.cost)
+            .ok_or_else(|| {
+                SacError::InvalidBudget("no registered algorithm supports theta".to_string())
+            })?;
+        Ok(Plan::Execute(PlannedQuery {
+            algorithm: profile.name,
+            query: SacQuery::new(q, k).with_theta(theta),
+            guaranteed_ratio: None,
+        }))
     }
-    if budget.max_ratio < 2.0 {
-        return Plan::AppAcc {
-            eps_a: clamp_eps_a(budget.max_ratio - 1.0),
+
+    /// Exact demand (ratio 1 or small-core upgrade): the cheapest exact-ratio
+    /// algorithm.
+    fn exact_plan(&self, q: VertexId, k: u32) -> Result<Plan, SacError> {
+        let profile = self
+            .fitting_profiles(|p| p.ratio.is_exact())
+            .into_iter()
+            .min_by_key(|p| p.cost)
+            .ok_or_else(|| {
+                SacError::InvalidBudget("no registered algorithm is exact".to_string())
+            })?;
+        Ok(Plan::Execute(PlannedQuery {
+            algorithm: profile.name,
+            query: SacQuery::new(q, k).with_eps_a(self.exact_eps_a),
+            guaranteed_ratio: Some(1.0),
+        }))
+    }
+
+    /// Approximate demand: selects among the algorithms whose declared
+    /// guarantee band contains `max_ratio` (exact-ratio algorithms compete
+    /// only through [`Planner::exact_plan`]'s doors).
+    fn approximate_plan(
+        &self,
+        q: VertexId,
+        k: u32,
+        budget: &QueryBudget,
+    ) -> Result<Plan, SacError> {
+        let candidates =
+            self.fitting_profiles(|p| !p.ratio.is_exact() && p.ratio.fits(budget.max_ratio));
+        let chosen = match budget.tier {
+            // Interactive: cheapest wins; guarantee breaks cost ties.
+            LatencyTier::Interactive => candidates.into_iter().min_by(|a, b| {
+                (a.cost, tuned(a, budget))
+                    .partial_cmp(&(b.cost, tuned(b, budget)))
+                    .expect("fitting guarantees are finite")
+            }),
+            // Standard/Batch: tightest guarantee wins; a parameter-free
+            // (fixed) guarantee beats a tunable one at equal ratio — it hits
+            // its bound without accuracy-parameter slack; cost breaks what
+            // remains.
+            LatencyTier::Standard | LatencyTier::Batch => candidates.into_iter().min_by(|a, b| {
+                (tuned(a, budget), a.ratio.is_tunable(), a.cost)
+                    .partial_cmp(&(tuned(b, budget), b.ratio.is_tunable(), b.cost))
+                    .expect("fitting guarantees are finite")
+            }),
         };
+        // Nothing in-band (possible with a stripped-down registry): fall back
+        // to an exact answer, which trivially satisfies any ratio.
+        let Some(profile) = chosen else {
+            return self.exact_plan(q, k);
+        };
+        let mut query = SacQuery::new(q, k);
+        let guaranteed = match profile.ratio {
+            RatioGuarantee::OnePlusEpsA => {
+                let eps_a = clamp_eps_a(budget.max_ratio - 1.0);
+                query = query.with_eps_a(eps_a);
+                1.0 + eps_a
+            }
+            RatioGuarantee::TwoPlusEpsF => {
+                let eps_f = budget.max_ratio - 2.0;
+                query = query.with_eps_f(eps_f);
+                2.0 + eps_f
+            }
+            RatioGuarantee::Fixed(ratio) => ratio,
+            RatioGuarantee::Exact => 1.0,
+            RatioGuarantee::Unbounded => {
+                unreachable!("unbounded guarantees never fit a ratio budget")
+            }
+        };
+        Ok(Plan::Execute(PlannedQuery {
+            algorithm: profile.name,
+            query,
+            guaranteed_ratio: Some(guaranteed),
+        }))
     }
-    match budget.tier {
-        LatencyTier::Interactive => Plan::AppFast {
-            eps_f: budget.max_ratio - 2.0,
-        },
-        LatencyTier::Standard | LatencyTier::Batch => Plan::AppInc,
+
+    /// The registered profiles passing `filter`.
+    fn fitting_profiles(
+        &self,
+        filter: impl Fn(&AlgorithmProfile) -> bool,
+    ) -> Vec<AlgorithmProfile> {
+        self.registry
+            .iter()
+            .map(|a| a.profile())
+            .filter(|p| filter(p))
+            .collect()
     }
+}
+
+/// The guarantee `profile` achieves when tuned for `budget` (infinite when it
+/// cannot fit, so it loses every comparison).
+fn tuned(profile: &AlgorithmProfile, budget: &QueryBudget) -> f64 {
+    profile
+        .ratio
+        .tuned(budget.max_ratio)
+        .unwrap_or(f64::INFINITY)
 }
 
 #[cfg(test)]
@@ -273,27 +446,30 @@ mod tests {
         infeasible: false,
     };
 
+    fn planner() -> Planner {
+        Planner::new(Arc::new(AlgorithmRegistry::builtin()), 48, 1e-4)
+    }
+
     fn plan(budget: &QueryBudget, ctx: &PlanContext) -> Plan {
-        plan_query(budget, ctx, 48, 1e-4)
+        planner().plan(0, 2, budget, ctx).unwrap()
     }
 
     #[test]
     fn accuracy_budget_selects_algorithm_family() {
-        assert!(matches!(
-            plan(&QueryBudget::exact(), &CTX_BIG),
-            Plan::ExactPlus { .. }
-        ));
+        assert!(plan(&QueryBudget::exact(), &CTX_BIG).dispatches("exact_plus"));
         let acc = plan(&QueryBudget::within_ratio(1.5), &CTX_BIG);
-        assert!(matches!(acc, Plan::AppAcc { eps_a } if (eps_a - 0.5).abs() < 1e-9));
-        assert!(matches!(
-            plan(&QueryBudget::within_ratio(2.0), &CTX_BIG),
-            Plan::AppInc
-        ));
+        assert!(acc.dispatches("app_acc"));
+        assert!(
+            matches!(acc, Plan::Execute(p) if (p.query.eps_a() - 0.5).abs() < 1e-9),
+            "AppAcc must be tuned to eps_a = max_ratio - 1"
+        );
+        assert!(plan(&QueryBudget::within_ratio(2.0), &CTX_BIG).dispatches("app_inc"));
         let fast = plan(
             &QueryBudget::within_ratio(2.5).with_tier(LatencyTier::Interactive),
             &CTX_BIG,
         );
-        assert!(matches!(fast, Plan::AppFast { eps_f } if (eps_f - 0.5).abs() < 1e-9));
+        assert!(fast.dispatches("app_fast"));
+        assert!(matches!(fast, Plan::Execute(p) if (p.query.eps_f() - 0.5).abs() < 1e-9));
     }
 
     #[test]
@@ -318,7 +494,10 @@ mod tests {
     #[test]
     fn theta_and_infeasibility_short_circuit() {
         let budget = QueryBudget::balanced().with_theta(0.25);
-        assert_eq!(plan(&budget, &CTX_BIG), Plan::ThetaSac { theta: 0.25 });
+        let plan_theta = plan(&budget, &CTX_BIG);
+        assert!(plan_theta.dispatches("theta_sac"));
+        assert_eq!(plan_theta.label(), "theta_sac(theta=0.25)");
+        assert_eq!(plan_theta.guaranteed_ratio(), None);
         let infeasible = PlanContext {
             core_size: None,
             infeasible: true,
@@ -333,40 +512,102 @@ mod tests {
             core_size: Some(12),
             infeasible: false,
         };
-        assert!(matches!(
-            plan(&QueryBudget::interactive(), &small),
-            Plan::ExactPlus { .. }
-        ));
+        assert!(plan(&QueryBudget::interactive(), &small).dispatches("exact_plus"));
         // Just above the threshold: no upgrade.
         let medium = PlanContext {
             core_size: Some(49),
             infeasible: false,
         };
-        assert!(matches!(
-            plan(&QueryBudget::interactive(), &medium),
-            Plan::AppFast { .. }
-        ));
+        assert!(plan(&QueryBudget::interactive(), &medium).dispatches("app_fast"));
     }
 
     #[test]
     fn budget_validation_rejects_nonsense() {
-        assert!(QueryBudget::within_ratio(0.5).validate().is_err());
+        assert_eq!(
+            QueryBudget::within_ratio(0.5).validate(),
+            Err(SacError::InvalidRatio(0.5))
+        );
         assert!(QueryBudget::within_ratio(f64::NAN).validate().is_err());
-        assert!(QueryBudget::balanced().with_theta(-1.0).validate().is_err());
+        assert_eq!(
+            QueryBudget::balanced().with_theta(-1.0).validate(),
+            Err(SacError::InvalidTheta(-1.0))
+        );
+        assert_eq!(
+            QueryBudget::balanced().with_theta(0.0).validate(),
+            Err(SacError::InvalidTheta(0.0))
+        );
         assert!(QueryBudget::balanced()
             .with_theta(f64::INFINITY)
             .validate()
             .is_err());
         assert!(QueryBudget::balanced().validate().is_ok());
         assert!(QueryBudget::exact().validate().is_ok());
+        // The planner applies the same validation.
+        assert!(planner()
+            .plan(0, 2, &QueryBudget::within_ratio(0.2), &CTX_BIG)
+            .is_err());
     }
 
     #[test]
     fn plans_render_stable_labels() {
-        assert_eq!(Plan::AppInc.label(), "app_inc");
-        assert_eq!(Plan::AppFast { eps_f: 0.5 }.label(), "app_fast(eps_f=0.5)");
+        let inc = plan(&QueryBudget::within_ratio(2.0), &CTX_BIG);
+        assert_eq!(inc.label(), "app_inc");
+        let fast = plan(
+            &QueryBudget::within_ratio(2.5).with_tier(LatencyTier::Interactive),
+            &CTX_BIG,
+        );
+        assert_eq!(fast.label(), "app_fast(eps_f=0.5)");
         assert_eq!(Plan::Infeasible.label(), "infeasible(cache)");
-        assert_eq!(LatencyTier::parse("batch"), Some(LatencyTier::Batch));
-        assert_eq!(LatencyTier::parse("bogus"), None);
+        assert_eq!(Plan::Rejected.label(), "rejected");
+        assert_eq!("batch".parse::<LatencyTier>(), Ok(LatencyTier::Batch));
+        assert_eq!(LatencyTier::Batch.as_str(), "batch");
+        assert!(matches!(
+            "bogus".parse::<LatencyTier>(),
+            Err(SacError::InvalidBudget(_))
+        ));
+    }
+
+    #[test]
+    fn fixed_guarantees_never_exceed_the_budget() {
+        // Just below 2: AppInc's fixed ratio 2 does NOT fit — the plan must
+        // stay in AppAcc's band even at interactive latency, so the handed-
+        // back guarantee never exceeds what the caller demanded.
+        let ratio = 2.0 - 1e-10;
+        for tier in [
+            LatencyTier::Interactive,
+            LatencyTier::Standard,
+            LatencyTier::Batch,
+        ] {
+            let plan = plan(&QueryBudget::within_ratio(ratio).with_tier(tier), &CTX_BIG);
+            assert!(plan.dispatches("app_acc"), "tier {tier:?}");
+            assert!(plan.guaranteed_ratio().unwrap() <= ratio);
+        }
+    }
+
+    #[test]
+    fn stripped_registries_fall_back_or_reject_with_typed_errors() {
+        // Only AppInc registered: a 1.5-ratio budget has nothing in band and
+        // no exact fallback -> typed error.
+        let mut registry = AlgorithmRegistry::empty();
+        registry.register(Arc::new(sac_core::AppIncSearch));
+        let planner = Planner::new(Arc::new(registry), 0, 1e-4);
+        assert!(matches!(
+            planner.plan(0, 2, &QueryBudget::within_ratio(1.5), &CTX_BIG),
+            Err(SacError::InvalidBudget(_))
+        ));
+        // ...and a theta request has no capable algorithm either.
+        assert!(planner
+            .plan(0, 2, &QueryBudget::balanced().with_theta(1.0), &CTX_BIG)
+            .is_err());
+
+        // AppInc + Exact+: the out-of-band budget falls back to exact.
+        let mut registry = AlgorithmRegistry::empty();
+        registry.register(Arc::new(sac_core::AppIncSearch));
+        registry.register(Arc::new(sac_core::ExactPlusSearch));
+        let planner = Planner::new(Arc::new(registry), 0, 1e-4);
+        let plan = planner
+            .plan(0, 2, &QueryBudget::within_ratio(1.5), &CTX_BIG)
+            .unwrap();
+        assert!(plan.dispatches("exact_plus"));
     }
 }

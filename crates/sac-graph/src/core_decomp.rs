@@ -7,7 +7,7 @@ use crate::{Graph, VertexId};
 /// The *core number* of `v` is the largest `k` such that `v` belongs to the k-core
 /// of the graph (Definition 1 of the paper).  Core numbers are computed once per
 /// graph in `O(m)` time by the bucket-based peeling algorithm of Batagelj &
-/// Zaversnik, which the paper cites as reference [3].
+/// Zaversnik, which the paper cites as reference \[3\].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoreDecomposition {
     core_numbers: Vec<u32>,

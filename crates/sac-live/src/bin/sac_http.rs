@@ -1,0 +1,61 @@
+//! `sac-http` — the HTTP/1.1 SAC serving front end: a hand-rolled
+//! `std::net::TcpListener` server that is a thin shell around the shared
+//! [`sac_live::SacService`], speaking the same `sac-proto` protocol as
+//! `sac-serve` (payloads are byte-identical).
+//!
+//! ```text
+//! sac-http [OPTIONS]
+//!
+//! Graph source and serving options: identical to sac-serve, plus
+//!   --addr <host:port>   listener address (default: 127.0.0.1:7878)
+//!
+//! Routes:
+//!   POST /api            body = one protocol JSON document
+//!   GET  /stats          shorthand for {"cmd":"stats"}
+//!   GET  /healthz        liveness probe
+//!
+//! Example:
+//!   $ sac-http --preset brightkite --scale 0.02 --warm 4 &
+//!   $ curl -s -d '{"q":17,"k":4,"ratio":1.5}' http://127.0.0.1:7878/api
+//! ```
+
+use sac_live::{cli, http};
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match cli::parse_args(&args, true) {
+        Ok(opts) => opts,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("sac-http: {message}");
+            }
+            eprintln!("{}", cli::usage("sac-http", true));
+            return ExitCode::from(2);
+        }
+    };
+    let service = match opts.build_service() {
+        Ok(service) => Arc::new(service),
+        Err(message) => {
+            eprintln!("sac-http: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let listener = match TcpListener::bind(&opts.addr) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!("sac-http: cannot bind {}: {e}", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("sac-http: listening on http://{}", opts.addr);
+    match http::serve_http(service, listener) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sac-http: io error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

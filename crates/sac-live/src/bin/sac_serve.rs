@@ -1,5 +1,6 @@
-//! `sac-serve` — a line-delimited-JSON SAC query server over stdin/stdout,
-//! with live graph updates.
+//! `sac-serve` — the line-delimited-JSON SAC serving front end over
+//! stdin/stdout: a thin shell around the shared [`sac_live::SacService`],
+//! speaking the `sac-proto` protocol.
 //!
 //! ```text
 //! sac-serve [OPTIONS]
@@ -16,502 +17,41 @@
 //!   --threads <n>        worker threads for batched requests (default: 4)
 //!   --warm <k1,k2,...>   pre-build the k-core indexes for these k
 //!   --no-members         omit member lists from responses (ids/sizes only)
+//!   --no-timing          omit wall-clock fields (deterministic output)
 //!
-//! Protocol: one JSON value per input line.
-//!   {"id":1,"q":17,"k":4}                        → one query, default budget
-//!   {"id":2,"q":17,"k":4,"ratio":1.5,"tier":"interactive","theta":0.25}
-//!   [{...},{...}]                                → a batch, fanned across threads
-//!   {"cmd":"stats"} | {"cmd":"warm","ks":[2,4]} | {"cmd":"core","q":17,"k":4}
-//!   {"cmd":"add_edge","u":17,"v":23}             → live updates (buffered...
-//!   {"cmd":"remove_edge","u":17,"v":23}
-//!   {"cmd":"add_vertex","x":0.25,"y":0.75}
-//!   {"cmd":"commit"}                             → ...until published here)
-//!   {"cmd":"quit"}
-//! Every input line produces exactly one output line.  Mutations maintain the
-//! k-core structure incrementally; `commit` swaps in a new snapshot epoch while
-//! in-flight queries finish on the old one.
+//! Protocol: one JSON document per input line (see the `sac-proto` crate
+//! docs); every non-blank input line produces exactly one output line.
+//! Mutations maintain the k-core structure incrementally; `commit` swaps in a
+//! new snapshot epoch while in-flight queries finish on the old one.  The
+//! same protocol is served over HTTP by the `sac-http` binary.
 //! ```
 
-use sac_data::{DatasetKind, DatasetSpec};
-use sac_engine::json::{obj, Json};
-use sac_engine::{LatencyTier, QueryBudget, SacEngine, SacRequest, SacResponse};
-use sac_graph::io::load_spatial_graph;
-use sac_live::LiveEngine;
-use std::io::{BufRead, Write};
+use sac_live::{cli, ldjson};
 use std::process::ExitCode;
-use std::sync::Arc;
-
-struct Options {
-    preset: DatasetKind,
-    scale: f64,
-    seed: Option<u64>,
-    edges: Option<String>,
-    locations: Option<String>,
-    threads: usize,
-    warm: Vec<u32>,
-    members: bool,
-}
-
-impl Default for Options {
-    fn default() -> Self {
-        Options {
-            preset: DatasetKind::Brightkite,
-            scale: 0.02,
-            seed: None,
-            edges: None,
-            locations: None,
-            threads: 4,
-            warm: Vec::new(),
-            members: true,
-        }
-    }
-}
-
-fn parse_preset(name: &str) -> Option<DatasetKind> {
-    match name.to_ascii_lowercase().as_str() {
-        "brightkite" => Some(DatasetKind::Brightkite),
-        "gowalla" => Some(DatasetKind::Gowalla),
-        "flickr" => Some(DatasetKind::Flickr),
-        "foursquare" => Some(DatasetKind::Foursquare),
-        "syn1" => Some(DatasetKind::Syn1),
-        "syn2" => Some(DatasetKind::Syn2),
-        _ => None,
-    }
-}
-
-fn print_usage() {
-    eprintln!(
-        "usage: sac-serve [--preset NAME] [--scale F] [--seed N] \
-         [--edges FILE --locations FILE] [--threads N] [--warm K1,K2] [--no-members]"
-    );
-}
-
-fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut opts = Options::default();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("{name} requires a value"))
-        };
-        match arg.as_str() {
-            "--preset" => {
-                let name = value("--preset")?;
-                opts.preset =
-                    parse_preset(&name).ok_or_else(|| format!("unknown preset '{name}'"))?;
-            }
-            "--scale" => {
-                opts.scale = value("--scale")?
-                    .parse::<f64>()
-                    .ok()
-                    .filter(|s| *s > 0.0 && *s <= 1.0)
-                    .ok_or("--scale must be in (0, 1]")?;
-            }
-            "--seed" => {
-                opts.seed = Some(
-                    value("--seed")?
-                        .parse()
-                        .map_err(|_| "--seed must be an integer")?,
-                );
-            }
-            "--edges" => opts.edges = Some(value("--edges")?),
-            "--locations" => opts.locations = Some(value("--locations")?),
-            "--threads" => {
-                opts.threads = value("--threads")?
-                    .parse::<usize>()
-                    .ok()
-                    .filter(|t| *t >= 1)
-                    .ok_or("--threads must be a positive integer")?;
-            }
-            "--warm" => {
-                for part in value("--warm")?.split(',') {
-                    opts.warm.push(
-                        part.trim()
-                            .parse()
-                            .map_err(|_| format!("bad --warm value '{part}'"))?,
-                    );
-                }
-            }
-            "--no-members" => opts.members = false,
-            "--help" | "-h" => return Err(String::new()),
-            other => return Err(format!("unknown argument '{other}'")),
-        }
-    }
-    if opts.edges.is_some() != opts.locations.is_some() {
-        return Err("--edges and --locations must be given together".into());
-    }
-    Ok(opts)
-}
-
-/// Decodes one request object into a [`SacRequest`].
-fn decode_request(value: &Json, fallback_id: u64) -> Result<SacRequest, String> {
-    let q = value
-        .get("q")
-        .and_then(Json::as_u64)
-        .ok_or("missing or invalid field 'q'")?;
-    let k = value
-        .get("k")
-        .and_then(Json::as_u64)
-        .ok_or("missing or invalid field 'k'")?;
-    if q > u32::MAX as u64 || k > u32::MAX as u64 {
-        return Err("'q' and 'k' must fit in 32 bits".into());
-    }
-    let id = value
-        .get("id")
-        .and_then(Json::as_u64)
-        .unwrap_or(fallback_id);
-    let mut budget = QueryBudget::default();
-    if let Some(ratio) = value.get("ratio") {
-        budget.max_ratio = ratio.as_f64().ok_or("field 'ratio' must be a number")?;
-    }
-    if let Some(tier) = value.get("tier") {
-        let name = tier.as_str().ok_or("field 'tier' must be a string")?;
-        budget.tier = LatencyTier::parse(name)
-            .ok_or_else(|| format!("unknown tier '{name}' (interactive|standard|batch)"))?;
-    }
-    match value.get("theta") {
-        None => {}
-        Some(theta) if theta.is_null() => {}
-        Some(theta) => {
-            budget.theta = Some(theta.as_f64().ok_or("field 'theta' must be a number")?);
-        }
-    }
-    Ok(SacRequest {
-        id,
-        q: q as u32,
-        k: k as u32,
-        budget,
-    })
-}
-
-/// Encodes one engine response as a JSON line.
-fn encode_response(response: &SacResponse, include_members: bool) -> Json {
-    let mut fields = vec![
-        ("id", Json::Num(response.id as f64)),
-        ("q", Json::Num(response.q as f64)),
-        ("k", Json::Num(response.k as f64)),
-        ("plan", Json::Str(response.plan.label())),
-    ];
-    match &response.outcome {
-        Err(e) => {
-            fields.insert(0, ("ok", Json::Bool(false)));
-            fields.push(("error", Json::Str(e.to_string())));
-        }
-        Ok(None) => {
-            fields.insert(0, ("ok", Json::Bool(true)));
-            fields.push(("feasible", Json::Bool(false)));
-        }
-        Ok(Some(community)) => {
-            fields.insert(0, ("ok", Json::Bool(true)));
-            fields.push(("feasible", Json::Bool(true)));
-            fields.push(("size", Json::Num(community.len() as f64)));
-            fields.push(("radius", Json::Num(community.radius())));
-            fields.push((
-                "center",
-                Json::Arr(vec![
-                    Json::Num(community.mcc.center.x),
-                    Json::Num(community.mcc.center.y),
-                ]),
-            ));
-            if include_members {
-                fields.push((
-                    "members",
-                    Json::Arr(
-                        community
-                            .members()
-                            .iter()
-                            .map(|&v| Json::Num(v as f64))
-                            .collect(),
-                    ),
-                ));
-            }
-        }
-    }
-    fields.push(("micros", Json::Num(response.micros as f64)));
-    fields.push(("cache_hit", Json::Bool(response.cache_hit)));
-    obj(fields)
-}
-
-fn error_line(message: impl Into<String>) -> Json {
-    obj(vec![
-        ("ok", Json::Bool(false)),
-        ("error", Json::Str(message.into())),
-    ])
-}
-
-/// Handles an admin command; returns `None` to quit.
-fn handle_command(
-    live: &LiveEngine,
-    cmd: &str,
-    value: &Json,
-    include_members: bool,
-) -> Option<Json> {
-    let engine: &SacEngine = live.engine();
-    match cmd {
-        "quit" | "shutdown" => None,
-        "stats" => {
-            let stats = engine.stats();
-            let graph = engine.snapshot();
-            Some(obj(vec![
-                ("ok", Json::Bool(true)),
-                ("vertices", Json::Num(graph.num_vertices() as f64)),
-                ("edges", Json::Num(graph.num_edges() as f64)),
-                ("epoch", Json::Num(stats.epoch as f64)),
-                ("epochs_published", Json::Num(stats.epochs_published as f64)),
-                ("pending_mutations", Json::Num(live.pending() as f64)),
-                ("queries", Json::Num(stats.queries as f64)),
-                (
-                    "infeasible_fast_path",
-                    Json::Num(stats.infeasible_fast_path as f64),
-                ),
-                ("errors", Json::Num(stats.errors as f64)),
-                (
-                    "decomp_hits",
-                    Json::Num(stats.cache.decomposition.hits as f64),
-                ),
-                (
-                    "decomp_misses",
-                    Json::Num(stats.cache.decomposition.misses as f64),
-                ),
-                (
-                    "component_hits",
-                    Json::Num(stats.cache.components.hits as f64),
-                ),
-                (
-                    "component_misses",
-                    Json::Num(stats.cache.components.misses as f64),
-                ),
-                (
-                    "components_carried",
-                    Json::Num(stats.components_carried as f64),
-                ),
-                (
-                    "components_invalidated",
-                    Json::Num(stats.components_invalidated as f64),
-                ),
-            ]))
-        }
-        "add_edge" | "remove_edge" => {
-            let (Some(u), Some(v)) = (
-                value.get("u").and_then(Json::as_u64),
-                value.get("v").and_then(Json::as_u64),
-            ) else {
-                return Some(error_line(format!(
-                    "'{cmd}' needs numeric fields 'u' and 'v'"
-                )));
-            };
-            if u > u32::MAX as u64 || v > u32::MAX as u64 {
-                return Some(error_line("'u' and 'v' must fit in 32 bits"));
-            }
-            let result = if cmd == "add_edge" {
-                live.add_edge(u as u32, v as u32)
-            } else {
-                live.remove_edge(u as u32, v as u32)
-            };
-            Some(match result {
-                Err(e) => error_line(e.to_string()),
-                Ok(change) => obj(vec![
-                    ("ok", Json::Bool(true)),
-                    ("applied", Json::Bool(change.applied)),
-                    ("cores_changed", Json::Num(change.changed.len() as f64)),
-                    ("pending", Json::Num(live.pending() as f64)),
-                ]),
-            })
-        }
-        "add_vertex" => {
-            let (Some(x), Some(y)) = (
-                value.get("x").and_then(Json::as_f64),
-                value.get("y").and_then(Json::as_f64),
-            ) else {
-                return Some(error_line("'add_vertex' needs numeric fields 'x' and 'y'"));
-            };
-            Some(match live.add_vertex(sac_geom::Point::new(x, y)) {
-                Err(e) => error_line(e.to_string()),
-                Ok(vertex) => obj(vec![
-                    ("ok", Json::Bool(true)),
-                    ("vertex", Json::Num(vertex as f64)),
-                    ("pending", Json::Num(live.pending() as f64)),
-                ]),
-            })
-        }
-        "commit" => Some(match live.commit() {
-            Err(e) => error_line(e.to_string()),
-            Ok(report) => obj(vec![
-                ("ok", Json::Bool(true)),
-                ("epoch", Json::Num(report.epoch as f64)),
-                ("mutations", Json::Num(report.mutations as f64)),
-                ("edges_inserted", Json::Num(report.edges_inserted as f64)),
-                ("edges_removed", Json::Num(report.edges_removed as f64)),
-                ("vertices_added", Json::Num(report.vertices_added as f64)),
-                ("cores_changed", Json::Num(report.cores_changed as f64)),
-                ("dirty_up_to", Json::Num(report.dirty_up_to as f64)),
-                (
-                    "components_carried",
-                    Json::Num(report.components_carried as f64),
-                ),
-                (
-                    "components_invalidated",
-                    Json::Num(report.components_invalidated as f64),
-                ),
-                ("micros", Json::Num(report.micros as f64)),
-            ]),
-        }),
-        "warm" => {
-            let Some(ks) = value
-                .get("ks")
-                .and_then(Json::as_array)
-                .map(|items| {
-                    items
-                        .iter()
-                        .map(|item| {
-                            item.as_u64()
-                                .filter(|&k| k <= u32::MAX as u64)
-                                .map(|k| k as u32)
-                        })
-                        .collect::<Option<Vec<u32>>>()
-                })
-                .unwrap_or(Some(Vec::new()))
-            else {
-                return Some(error_line(
-                    "'ks' entries must be integers fitting in 32 bits",
-                ));
-            };
-            engine.warm(&ks);
-            Some(obj(vec![
-                ("ok", Json::Bool(true)),
-                ("warmed", Json::Num(ks.len() as f64)),
-            ]))
-        }
-        "core" => {
-            let (Some(q), Some(k)) = (
-                value.get("q").and_then(Json::as_u64),
-                value.get("k").and_then(Json::as_u64),
-            ) else {
-                return Some(error_line("'core' needs numeric fields 'q' and 'k'"));
-            };
-            if q > u32::MAX as u64 || k > u32::MAX as u64 {
-                return Some(error_line("'q' and 'k' must fit in 32 bits"));
-            }
-            match engine.connected_core(q as u32, k as u32) {
-                None => Some(obj(vec![
-                    ("ok", Json::Bool(true)),
-                    ("feasible", Json::Bool(false)),
-                ])),
-                Some(members) => {
-                    let mut fields = vec![
-                        ("ok", Json::Bool(true)),
-                        ("feasible", Json::Bool(true)),
-                        ("size", Json::Num(members.len() as f64)),
-                    ];
-                    if include_members {
-                        fields.push((
-                            "members",
-                            Json::Arr(members.iter().map(|&v| Json::Num(v as f64)).collect()),
-                        ));
-                    }
-                    Some(obj(fields))
-                }
-            }
-        }
-        other => Some(error_line(format!("unknown command '{other}'"))),
-    }
-}
-
-fn serve(live: &LiveEngine, opts: &Options) -> std::io::Result<()> {
-    let engine: &SacEngine = live.engine();
-    let stdin = std::io::stdin().lock();
-    let stdout = std::io::stdout();
-    let mut out = std::io::BufWriter::new(stdout.lock());
-    for line in stdin.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let reply = match Json::parse(&line) {
-            Err(e) => error_line(e.to_string()),
-            Ok(value) => {
-                if let Some(cmd) = value.get("cmd").and_then(Json::as_str) {
-                    match handle_command(live, cmd, &value, opts.members) {
-                        Some(reply) => reply,
-                        None => break,
-                    }
-                } else if let Some(items) = value.as_array() {
-                    // A batch: decode all, fan across the worker pool.
-                    match items
-                        .iter()
-                        .enumerate()
-                        .map(|(i, item)| decode_request(item, i as u64))
-                        .collect::<Result<Vec<_>, _>>()
-                    {
-                        Err(e) => error_line(e),
-                        Ok(requests) => {
-                            let responses = engine.execute_batch(&requests, opts.threads);
-                            Json::Arr(
-                                responses
-                                    .iter()
-                                    .map(|r| encode_response(r, opts.members))
-                                    .collect(),
-                            )
-                        }
-                    }
-                } else {
-                    match decode_request(&value, 0) {
-                        Err(e) => error_line(e),
-                        Ok(request) => encode_response(&engine.execute(&request), opts.members),
-                    }
-                }
-            }
-        };
-        writeln!(out, "{reply}")?;
-        out.flush()?;
-    }
-    Ok(())
-}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match parse_args(&args) {
+    let opts = match cli::parse_args(&args, false) {
         Ok(opts) => opts,
         Err(message) => {
             if !message.is_empty() {
                 eprintln!("sac-serve: {message}");
             }
-            print_usage();
+            eprintln!("{}", cli::usage("sac-serve", false));
             return ExitCode::from(2);
         }
     };
-
-    let graph = if let (Some(edges), Some(locations)) = (&opts.edges, &opts.locations) {
-        match load_spatial_graph(edges, locations) {
-            Ok(graph) => graph,
-            Err(e) => {
-                eprintln!("sac-serve: failed to load graph: {e}");
-                return ExitCode::FAILURE;
-            }
+    let service = match opts.build_service() {
+        Ok(service) => service,
+        Err(message) => {
+            eprintln!("sac-serve: {message}");
+            return ExitCode::FAILURE;
         }
-    } else {
-        let mut spec = DatasetSpec::scaled(opts.preset, opts.scale);
-        if let Some(seed) = opts.seed {
-            spec = spec.with_seed(seed);
-        }
-        spec.generate()
     };
-
-    eprintln!(
-        "sac-serve: snapshot ready ({} vertices, {} edges), {} worker threads",
-        graph.num_vertices(),
-        graph.num_edges(),
-        opts.threads
-    );
-    let engine = Arc::new(SacEngine::new(graph));
-    if !opts.warm.is_empty() {
-        engine.warm(&opts.warm);
-        eprintln!("sac-serve: warmed k-core indexes for k = {:?}", opts.warm);
-    }
-    let live = LiveEngine::new(engine);
-
-    match serve(&live, &opts) {
+    let stdin = std::io::stdin().lock();
+    let stdout = std::io::stdout();
+    let out = std::io::BufWriter::new(stdout.lock());
+    match ldjson::serve(&service, stdin, out) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("sac-serve: io error: {e}");

@@ -1,0 +1,232 @@
+//! Shared command-line plumbing for the serving binaries (`sac-serve`,
+//! `sac-http`): graph-source selection, service tunables, and the listener
+//! address for the HTTP front end.
+
+use crate::{SacService, ServiceConfig};
+use sac_data::{DatasetKind, DatasetSpec};
+use sac_engine::SacEngine;
+use sac_graph::io::load_spatial_graph;
+use sac_graph::SpatialGraph;
+use sac_proto::EncodeOptions;
+use std::sync::Arc;
+
+/// Parsed options shared by the serving binaries.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Surrogate dataset preset (ignored when `edges`/`locations` are set).
+    pub preset: DatasetKind,
+    /// Preset scale factor in `(0, 1]`.
+    pub scale: f64,
+    /// Preset generator seed.
+    pub seed: Option<u64>,
+    /// SNAP-style edge-list path (paired with `locations`).
+    pub edges: Option<String>,
+    /// Location-file path (paired with `edges`).
+    pub locations: Option<String>,
+    /// Worker threads for batched requests.
+    pub threads: usize,
+    /// Pre-build the k-core indexes for these `k`.
+    pub warm: Vec<u32>,
+    /// Include member lists in responses.
+    pub members: bool,
+    /// Include timing fields in responses (disable for deterministic,
+    /// byte-comparable output).
+    pub timing: bool,
+    /// Listener address (`sac-http` only).
+    pub addr: String,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            preset: DatasetKind::Brightkite,
+            scale: 0.02,
+            seed: None,
+            edges: None,
+            locations: None,
+            threads: 4,
+            warm: Vec::new(),
+            members: true,
+            timing: true,
+            addr: "127.0.0.1:7878".to_string(),
+        }
+    }
+}
+
+fn parse_preset(name: &str) -> Option<DatasetKind> {
+    match name.to_ascii_lowercase().as_str() {
+        "brightkite" => Some(DatasetKind::Brightkite),
+        "gowalla" => Some(DatasetKind::Gowalla),
+        "flickr" => Some(DatasetKind::Flickr),
+        "foursquare" => Some(DatasetKind::Foursquare),
+        "syn1" => Some(DatasetKind::Syn1),
+        "syn2" => Some(DatasetKind::Syn2),
+        _ => None,
+    }
+}
+
+/// The usage line for `binary` (`--addr` is shown only when accepted).
+pub fn usage(binary: &str, with_addr: bool) -> String {
+    let addr = if with_addr { " [--addr HOST:PORT]" } else { "" };
+    format!(
+        "usage: {binary} [--preset NAME] [--scale F] [--seed N] \
+         [--edges FILE --locations FILE] [--threads N] [--warm K1,K2] \
+         [--no-members] [--no-timing]{addr}"
+    )
+}
+
+/// Parses the shared serving options; `with_addr` additionally accepts
+/// `--addr` (the HTTP listener).  An empty error message means "help was
+/// requested".
+pub fn parse_args(args: &[String], with_addr: bool) -> Result<ServeOptions, String> {
+    let mut opts = ServeOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--preset" => {
+                let name = value("--preset")?;
+                opts.preset =
+                    parse_preset(&name).ok_or_else(|| format!("unknown preset '{name}'"))?;
+            }
+            "--scale" => {
+                opts.scale = value("--scale")?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|s| *s > 0.0 && *s <= 1.0)
+                    .ok_or("--scale must be in (0, 1]")?;
+            }
+            "--seed" => {
+                opts.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|_| "--seed must be an integer")?,
+                );
+            }
+            "--edges" => opts.edges = Some(value("--edges")?),
+            "--locations" => opts.locations = Some(value("--locations")?),
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|t| *t >= 1)
+                    .ok_or("--threads must be a positive integer")?;
+            }
+            "--warm" => {
+                for part in value("--warm")?.split(',') {
+                    opts.warm.push(
+                        part.trim()
+                            .parse()
+                            .map_err(|_| format!("bad --warm value '{part}'"))?,
+                    );
+                }
+            }
+            "--no-members" => opts.members = false,
+            "--no-timing" => opts.timing = false,
+            "--addr" if with_addr => opts.addr = value("--addr")?,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if opts.edges.is_some() != opts.locations.is_some() {
+        return Err("--edges and --locations must be given together".into());
+    }
+    Ok(opts)
+}
+
+impl ServeOptions {
+    /// Builds the snapshot graph these options describe.
+    pub fn build_graph(&self) -> Result<SpatialGraph, String> {
+        if let (Some(edges), Some(locations)) = (&self.edges, &self.locations) {
+            return load_spatial_graph(edges, locations)
+                .map_err(|e| format!("failed to load graph: {e}"));
+        }
+        let mut spec = DatasetSpec::scaled(self.preset, self.scale);
+        if let Some(seed) = self.seed {
+            spec = spec.with_seed(seed);
+        }
+        Ok(spec.generate())
+    }
+
+    /// The service configuration these options describe.
+    pub fn service_config(&self) -> ServiceConfig {
+        ServiceConfig {
+            threads: self.threads,
+            encode: EncodeOptions {
+                members: self.members,
+                timing: self.timing,
+            },
+        }
+    }
+
+    /// Builds the graph, warms the requested indexes and stands up the
+    /// protocol service.
+    pub fn build_service(&self) -> Result<SacService, String> {
+        let graph = self.build_graph()?;
+        eprintln!(
+            "snapshot ready ({} vertices, {} edges), {} worker threads",
+            graph.num_vertices(),
+            graph.num_edges(),
+            self.threads
+        );
+        let engine = Arc::new(SacEngine::new(graph));
+        if !self.warm.is_empty() {
+            engine.warm(&self.warm);
+            eprintln!("warmed k-core indexes for k = {:?}", self.warm);
+        }
+        Ok(SacService::new(engine, self.service_config()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_shared_and_http_options() {
+        let opts = parse_args(
+            &args(&[
+                "--preset",
+                "syn1",
+                "--scale",
+                "0.5",
+                "--seed",
+                "7",
+                "--threads",
+                "2",
+                "--warm",
+                "2,4",
+                "--no-members",
+                "--no-timing",
+            ]),
+            false,
+        )
+        .unwrap();
+        assert_eq!(opts.preset, DatasetKind::Syn1);
+        assert_eq!(opts.scale, 0.5);
+        assert_eq!(opts.seed, Some(7));
+        assert_eq!(opts.threads, 2);
+        assert_eq!(opts.warm, vec![2, 4]);
+        assert!(!opts.members && !opts.timing);
+        let config = opts.service_config();
+        assert!(!config.encode.members && !config.encode.timing);
+
+        let opts = parse_args(&args(&["--addr", "0.0.0.0:9000"]), true).unwrap();
+        assert_eq!(opts.addr, "0.0.0.0:9000");
+        // --addr is rejected where it makes no sense (the LDJSON binary).
+        assert!(parse_args(&args(&["--addr", "x"]), false).is_err());
+        assert!(parse_args(&args(&["--scale", "2"]), false).is_err());
+        assert!(parse_args(&args(&["--edges", "a.txt"]), false).is_err());
+        assert_eq!(parse_args(&args(&["--help"]), false).unwrap_err(), "");
+        assert!(usage("sac-http", true).contains("--addr"));
+        assert!(!usage("sac-serve", false).contains("--addr"));
+    }
+}

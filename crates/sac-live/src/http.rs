@@ -1,0 +1,421 @@
+//! The HTTP/1.1 transport: a hand-rolled `std::net::TcpListener` front end
+//! speaking the same typed protocol as the LDJSON loop.
+//!
+//! No external HTTP crate is available in the build environment, so this
+//! module implements the small, well-defined subset the protocol needs:
+//! request-line + header parsing, `Content-Length` bodies, keep-alive, and
+//! fixed-length responses.  Routing is deliberately tiny — the protocol
+//! payloads are the *same bytes* the LDJSON transport reads and writes, so
+//! both transports stay thin shells over one [`SacService`]:
+//!
+//! | route | behaviour |
+//! |---|---|
+//! | `POST /api` | body = one protocol JSON document; reply body = the protocol reply line |
+//! | `GET /stats` | shorthand for `{"cmd":"stats"}` |
+//! | `GET /healthz` | liveness probe, `{"ok":true}` |
+//!
+//! A `{"cmd":"quit"}` document closes the connection (the server keeps
+//! accepting new ones); transport-level problems (unknown route, missing
+//! body) use HTTP status codes, while protocol-level errors travel as normal
+//! `{"ok":false,...}` payloads with status 200 — exactly what the LDJSON
+//! transport would emit.
+
+use crate::SacService;
+use sac_proto::{ProtoRequest, ProtoResponse};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+/// Largest request body the server will read.  Protocol documents are small
+/// (the biggest legitimate ones are query batches); anything larger is
+/// rejected *before* the body buffer is allocated, so a hostile
+/// `Content-Length` cannot force a huge allocation.
+const MAX_BODY_BYTES: usize = 16 << 20;
+
+/// Largest request line or header line, and the most header lines, the
+/// server will read: the head is bounded just like the body, so an endless
+/// unterminated header cannot grow a `String` without limit either.
+const MAX_HEAD_LINE_BYTES: u64 = 8 << 10;
+const MAX_HEADER_COUNT: usize = 128;
+
+/// Reads one CRLF-terminated head line with [`MAX_HEAD_LINE_BYTES`] enforced;
+/// `Ok(None)` signals an over-long line (connection must close — the rest of
+/// the line is unread, so the stream cannot be resynchronised).
+fn read_head_line(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+) -> std::io::Result<Option<usize>> {
+    let n = reader.by_ref().take(MAX_HEAD_LINE_BYTES).read_line(line)?;
+    if n as u64 >= MAX_HEAD_LINE_BYTES && !line.ends_with('\n') {
+        return Ok(None);
+    }
+    Ok(Some(n))
+}
+
+/// One parsed HTTP request head plus its body.
+struct HttpRequest {
+    method: String,
+    path: String,
+    body: String,
+    keep_alive: bool,
+    /// Set when the head was readable but the request must be refused with
+    /// this status (body unread — the connection cannot be resynchronised
+    /// and must close after the error response).
+    reject: Option<(&'static str, &'static str)>,
+}
+
+/// A head-level refusal: respond with this status and close the connection.
+const REJECT_HEAD_TOO_LARGE: (&str, &str) = (
+    "431 Request Header Fields Too Large",
+    "request head exceeds the 8 KiB line / 128 header limit",
+);
+
+/// Reads one HTTP/1.1 request; `Ok(None)` on a cleanly closed connection.
+fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<HttpRequest>> {
+    let mut reject: Option<(&'static str, &'static str)> = None;
+    let mut request_line = String::new();
+    match read_head_line(reader, &mut request_line)? {
+        Some(0) => return Ok(None),
+        Some(_) => {}
+        None => reject = Some(REJECT_HEAD_TOO_LARGE),
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    let version = parts.next().unwrap_or_default().to_string();
+    let mut content_length = 0usize;
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+    let mut keep_alive = version != "HTTP/1.0";
+    let mut headers_seen = 0usize;
+    while reject.is_none() {
+        let mut header = String::new();
+        match read_head_line(reader, &mut header)? {
+            Some(0) => return Ok(None),
+            Some(_) => {}
+            None => {
+                reject = Some(REJECT_HEAD_TOO_LARGE);
+                break;
+            }
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        headers_seen += 1;
+        if headers_seen > MAX_HEADER_COUNT {
+            reject = Some(REJECT_HEAD_TOO_LARGE);
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
+            match name.to_ascii_lowercase().as_str() {
+                "content-length" => {
+                    content_length = value.parse().map_err(|_| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            "invalid Content-Length",
+                        )
+                    })?;
+                }
+                "connection" => {
+                    keep_alive = !value.eq_ignore_ascii_case("close");
+                }
+                // Chunked (or any non-identity) transfer coding is not
+                // implemented; reading on as if the body were fixed-length
+                // would desynchronise the connection, so refuse and close.
+                "transfer-encoding" if !value.eq_ignore_ascii_case("identity") => {
+                    reject = Some((
+                        "501 Not Implemented",
+                        "Transfer-Encoding is not supported; send a Content-Length body",
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        reject = reject.or(Some((
+            "413 Payload Too Large",
+            "request body exceeds the 16 MiB limit",
+        )));
+    }
+    if reject.is_some() {
+        // The body (if any) is deliberately left unread.
+        return Ok(Some(HttpRequest {
+            method,
+            path,
+            body: String::new(),
+            keep_alive: false,
+            reject,
+        }));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+    Ok(Some(HttpRequest {
+        method,
+        path,
+        body,
+        keep_alive,
+        reject: None,
+    }))
+}
+
+/// Writes one fixed-length response.
+fn write_response(
+    writer: &mut TcpStream,
+    status: &str,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        writer,
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()
+}
+
+/// Serves one connection until it closes, an IO error occurs, or the client
+/// sends `{"cmd":"quit"}`.
+pub fn handle_connection(service: &SacService, stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    while let Some(request) = read_request(&mut reader)? {
+        let keep_alive = request.keep_alive;
+        if let Some((status, message)) = request.reject {
+            let reply = ProtoResponse::error(message).encode_line(service.encode_options());
+            write_response(&mut writer, status, &format!("{reply}\n"), false)?;
+            return Ok(());
+        }
+        match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/api") | ("POST", "/") => {
+                let body = request.body.trim();
+                if body.is_empty() {
+                    let reply = ProtoResponse::error("empty request body")
+                        .encode_line(service.encode_options());
+                    write_response(
+                        &mut writer,
+                        "400 Bad Request",
+                        &format!("{reply}\n"),
+                        keep_alive,
+                    )?;
+                } else {
+                    match service.handle_line(body) {
+                        Some(reply) => write_response(
+                            &mut writer,
+                            "200 OK",
+                            &format!("{reply}\n"),
+                            keep_alive,
+                        )?,
+                        // quit: acknowledge and close this connection (the
+                        // listener keeps accepting others).
+                        None => {
+                            write_response(&mut writer, "200 OK", "{\"ok\":true}\n", false)?;
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+            ("GET", "/stats") => {
+                let reply = service
+                    .handle(&ProtoRequest::Stats)
+                    .expect("stats never quits")
+                    .encode_line(service.encode_options());
+                write_response(&mut writer, "200 OK", &format!("{reply}\n"), keep_alive)?;
+            }
+            ("GET", "/healthz") => {
+                write_response(&mut writer, "200 OK", "{\"ok\":true}\n", keep_alive)?;
+            }
+            ("POST", _) | ("GET", _) => {
+                let reply = ProtoResponse::error(format!("unknown route {}", request.path))
+                    .encode_line(service.encode_options());
+                write_response(
+                    &mut writer,
+                    "404 Not Found",
+                    &format!("{reply}\n"),
+                    keep_alive,
+                )?;
+            }
+            (method, _) => {
+                let reply = ProtoResponse::error(format!("unsupported method {method}"))
+                    .encode_line(service.encode_options());
+                write_response(
+                    &mut writer,
+                    "405 Method Not Allowed",
+                    &format!("{reply}\n"),
+                    keep_alive,
+                )?;
+            }
+        }
+        if !keep_alive {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Accept loop: serves every incoming connection on its own thread, sharing
+/// the service.  Runs until the listener errors (the process normally ends
+/// it by exiting).
+pub fn serve_http(service: Arc<SacService>, listener: TcpListener) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || {
+            let _ = handle_connection(&service, stream);
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServiceConfig;
+    use sac_core::fixtures::{figure3, figure3_graph};
+    use sac_engine::SacEngine;
+
+    fn spawn_server() -> std::net::SocketAddr {
+        let service = Arc::new(SacService::new(
+            Arc::new(SacEngine::new(figure3_graph())),
+            ServiceConfig::default(),
+        ));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let _ = serve_http(service, listener);
+        });
+        addr
+    }
+
+    fn roundtrip(stream: &mut TcpStream, request: &str) -> (String, String) {
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            reader.read_line(&mut header).unwrap();
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some(value) = header
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+            {
+                content_length = value.parse().unwrap();
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+        (
+            status.trim_end().to_string(),
+            String::from_utf8(body).unwrap(),
+        )
+    }
+
+    fn post(stream: &mut TcpStream, body: &str) -> (String, String) {
+        roundtrip(
+            stream,
+            &format!(
+                "POST /api HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        )
+    }
+
+    #[test]
+    fn http_speaks_the_protocol_with_keep_alive() {
+        let addr = spawn_server();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // Two sequential requests on one connection (keep-alive).
+        let (status, body) = post(&mut stream, &format!(r#"{{"q":{},"k":2}}"#, figure3::Q));
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains(r#""feasible":true"#), "got: {body}");
+        let (status, body) = post(&mut stream, r#"{"cmd":"stats"}"#);
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains(r#""queries":1"#), "got: {body}");
+        // Protocol-level errors come back as 200 + ok:false, like LDJSON.
+        let (status, body) = post(&mut stream, r#"{"cmd":"frobnicate"}"#);
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains(r#""ok":false"#));
+
+        // GET sugar routes.
+        let (status, body) = roundtrip(&mut stream, "GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, "{\"ok\":true}\n");
+        let (status, body) = roundtrip(&mut stream, "GET /stats HTTP/1.1\r\nHost: test\r\n\r\n");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains(r#""vertices":10"#));
+
+        // Transport-level problems use HTTP statuses.
+        let (status, _) = roundtrip(&mut stream, "GET /nope HTTP/1.1\r\nHost: test\r\n\r\n");
+        assert_eq!(status, "HTTP/1.1 404 Not Found");
+        let (status, _) = roundtrip(&mut stream, "DELETE /api HTTP/1.1\r\nHost: test\r\n\r\n");
+        assert_eq!(status, "HTTP/1.1 405 Method Not Allowed");
+        let (status, _) = post(&mut stream, "");
+        assert_eq!(status, "HTTP/1.1 400 Bad Request");
+
+        // quit closes this connection; the server accepts new ones.
+        let (status, body) = post(&mut stream, r#"{"cmd":"quit"}"#);
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, "{\"ok\":true}\n");
+        let mut fresh = TcpStream::connect(addr).unwrap();
+        let (status, body) = post(&mut fresh, r#"{"cmd":"stats"}"#);
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains(r#""ok":true"#));
+    }
+
+    #[test]
+    fn hostile_heads_are_refused_without_reading_the_body() {
+        let addr = spawn_server();
+        // A huge Content-Length must not allocate: 413 and close, instantly.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let (status, body) = roundtrip(
+            &mut stream,
+            "POST /api HTTP/1.1\r\nHost: t\r\nContent-Length: 99999999999999\r\n\r\n",
+        );
+        assert_eq!(status, "HTTP/1.1 413 Payload Too Large");
+        assert!(body.contains("16 MiB"));
+        // Chunked bodies would desynchronise the framing: 501 and close.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let (status, body) = roundtrip(
+            &mut stream,
+            "POST /api HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n2a\r\n",
+        );
+        assert_eq!(status, "HTTP/1.1 501 Not Implemented");
+        assert!(body.contains("Transfer-Encoding"));
+        // The server is still healthy for well-formed clients.
+        let mut fresh = TcpStream::connect(addr).unwrap();
+        let (status, _) = post(&mut fresh, r#"{"cmd":"stats"}"#);
+        assert_eq!(status, "HTTP/1.1 200 OK");
+    }
+
+    #[test]
+    fn live_updates_persist_across_connections() {
+        let addr = spawn_server();
+        let mut a = TcpStream::connect(addr).unwrap();
+        post(
+            &mut a,
+            &format!(
+                r#"{{"cmd":"add_edge","u":{},"v":{}}}"#,
+                figure3::I,
+                figure3::F
+            ),
+        );
+        let (_, commit) = post(&mut a, r#"{"cmd":"commit"}"#);
+        assert!(commit.contains(r#""epoch":2"#), "got: {commit}");
+        drop(a);
+        // A different connection sees the published epoch.
+        let mut b = TcpStream::connect(addr).unwrap();
+        let (_, body) = post(&mut b, &format!(r#"{{"q":{},"k":2}}"#, figure3::I));
+        assert!(body.contains(r#""feasible":true"#), "got: {body}");
+        assert!(body.contains(r#""epoch":2"#));
+    }
+}

@@ -1,0 +1,59 @@
+//! The line-delimited-JSON transport: one protocol document per input line,
+//! one reply line per request — a thin shell over [`SacService`].
+
+use crate::SacService;
+use std::io::{BufRead, Write};
+
+/// Serves LDJSON requests from `input` to `output` until EOF or a `quit`
+/// command.  Blank lines are skipped; every other line produces exactly one
+/// reply line (malformed input included, as an error reply).
+pub fn serve<R: BufRead, W: Write>(
+    service: &SacService,
+    input: R,
+    mut output: W,
+) -> std::io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match service.handle_line(&line) {
+            Some(reply) => {
+                writeln!(output, "{reply}")?;
+                output.flush()?;
+            }
+            None => break,
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServiceConfig;
+    use sac_core::fixtures::{figure3, figure3_graph};
+    use sac_engine::SacEngine;
+    use std::sync::Arc;
+
+    #[test]
+    fn serves_lines_until_quit() {
+        let service = SacService::new(
+            Arc::new(SacEngine::new(figure3_graph())),
+            ServiceConfig::default(),
+        );
+        let input = format!(
+            "{{\"id\":1,\"q\":{},\"k\":2}}\n\n{{\"cmd\":\"stats\"}}\n{{\"cmd\":\"quit\"}}\n{{\"q\":0,\"k\":2}}\n",
+            figure3::Q
+        );
+        let mut output = Vec::new();
+        serve(&service, input.as_bytes(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Two replies: the query and the stats; quit stops the loop before
+        // the trailing query is read.
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"feasible\":true"));
+        assert!(lines[1].contains("\"queries\":1"));
+    }
+}

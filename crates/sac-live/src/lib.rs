@@ -22,9 +22,12 @@
 //!   is *selectively* invalidated: only the `k` entries whose cores the delta
 //!   touched are dropped, the rest carry over (observable via
 //!   `EngineStats::components_carried`).
-//! * **`sac-serve`** — the line-delimited-JSON serving binary lives here, at
-//!   the top of the stack, and adds `add_edge` / `remove_edge` / `add_vertex`
-//!   / `commit` commands to the query protocol.
+//! * **The protocol service and its transports** — [`SacService`] executes
+//!   typed `sac-proto` requests (queries, batches, live updates, admin
+//!   commands) against the engine + write front; the `sac-serve` (LDJSON
+//!   over stdin/stdout, [`ldjson`]) and `sac-http` (hand-rolled HTTP/1.1
+//!   over `std::net::TcpListener`, [`http`]) binaries are thin shells over
+//!   it, speaking byte-identical payloads.
 //!
 //! ## Example
 //!
@@ -52,8 +55,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 mod delta;
+pub mod http;
+pub mod ldjson;
 mod live;
+mod service;
 
 pub use delta::{GraphDelta, Mutation};
 pub use live::{CommitReport, LiveEngine};
+pub use service::{SacService, ServiceConfig};

@@ -1,0 +1,283 @@
+//! The transport-agnostic protocol service: typed requests in, typed
+//! responses out.
+//!
+//! Every transport (LDJSON over stdin/stdout, HTTP/1.1 over a socket, an
+//! in-process test harness) decodes bytes into a
+//! [`ProtoRequest`](sac_proto::ProtoRequest), calls [`SacService::handle`],
+//! and encodes the returned [`ProtoResponse`](sac_proto::ProtoResponse) — the
+//! service owns *all* protocol semantics, so transports cannot drift apart.
+
+use crate::LiveEngine;
+use sac_engine::SacEngine;
+use sac_proto::{
+    CommitReply, CoreReply, EncodeOptions, MutationReply, ProtoRequest, ProtoResponse, QueryReply,
+    StatsReply, VertexReply,
+};
+use std::sync::Arc;
+
+/// Tunables of a [`SacService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads batched queries are fanned across.
+    pub threads: usize,
+    /// Response-encoding options (member lists, timing fields).
+    pub encode: EncodeOptions,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            threads: 4,
+            encode: EncodeOptions::default(),
+        }
+    }
+}
+
+/// The shared protocol service: one typed API every transport is a thin
+/// shell over.
+///
+/// `handle` returns `None` exactly once — for [`ProtoRequest::Quit`] — which
+/// transports interpret as "end this session" (the LDJSON loop stops, an
+/// HTTP connection closes).
+#[derive(Debug)]
+pub struct SacService {
+    live: LiveEngine,
+    config: ServiceConfig,
+}
+
+impl SacService {
+    /// A service over a fresh live front for `engine`.
+    pub fn new(engine: Arc<SacEngine>, config: ServiceConfig) -> Self {
+        SacService::with_live(LiveEngine::new(engine), config)
+    }
+
+    /// A service over an existing live front.
+    pub fn with_live(live: LiveEngine, config: ServiceConfig) -> Self {
+        SacService { live, config }
+    }
+
+    /// The engine queries run against.
+    pub fn engine(&self) -> &Arc<SacEngine> {
+        self.live.engine()
+    }
+
+    /// The live-update front mutations go through.
+    pub fn live(&self) -> &LiveEngine {
+        &self.live
+    }
+
+    /// The encoding options transports must encode responses with.
+    pub fn encode_options(&self) -> EncodeOptions {
+        self.config.encode
+    }
+
+    /// Handles one typed request; `None` means "quit" (the transport ends
+    /// the session without a reply).
+    pub fn handle(&self, request: &ProtoRequest) -> Option<ProtoResponse> {
+        let engine = self.engine();
+        Some(match request {
+            ProtoRequest::Quit => return None,
+            ProtoRequest::Query(spec) => match spec.to_request(0) {
+                Err(e) => ProtoResponse::Query(QueryReply::rejected(spec, 0, &e)),
+                Ok(request) => ProtoResponse::Query(QueryReply::from_response(
+                    &engine.execute(&request),
+                    self.config.encode,
+                )),
+            },
+            ProtoRequest::Batch(specs) => {
+                // Build-validate every spec first; invalid budgets become
+                // per-query `rejected` replies while the valid remainder is
+                // fanned across the worker pool in one batch.
+                let mut replies: Vec<Option<QueryReply>> = vec![None; specs.len()];
+                let mut requests = Vec::with_capacity(specs.len());
+                let mut positions = Vec::with_capacity(specs.len());
+                for (i, spec) in specs.iter().enumerate() {
+                    match spec.to_request(i as u64) {
+                        Err(e) => replies[i] = Some(QueryReply::rejected(spec, i as u64, &e)),
+                        Ok(request) => {
+                            requests.push(request);
+                            positions.push(i);
+                        }
+                    }
+                }
+                let responses = engine.execute_batch(&requests, self.config.threads);
+                for (&i, response) in positions.iter().zip(&responses) {
+                    replies[i] = Some(QueryReply::from_response(response, self.config.encode));
+                }
+                ProtoResponse::Batch(
+                    replies
+                        .into_iter()
+                        .map(|r| r.expect("every batch slot is filled"))
+                        .collect(),
+                )
+            }
+            ProtoRequest::Stats => {
+                let stats = engine.stats();
+                let graph = engine.snapshot();
+                ProtoResponse::Stats(StatsReply::from_stats(
+                    &stats,
+                    graph.num_vertices(),
+                    graph.num_edges(),
+                    self.live.pending(),
+                ))
+            }
+            ProtoRequest::Warm(ks) => {
+                engine.warm(ks);
+                ProtoResponse::Warmed { count: ks.len() }
+            }
+            ProtoRequest::Core { q, k } => ProtoResponse::Core {
+                reply: CoreReply {
+                    members: engine.connected_core(*q, *k),
+                },
+                include_members: self.config.encode.members,
+            },
+            ProtoRequest::AddEdge { u, v } => match self.live.add_edge(*u, *v) {
+                Err(e) => ProtoResponse::error(e.to_string()),
+                Ok(change) => ProtoResponse::Mutation(MutationReply {
+                    applied: change.applied,
+                    cores_changed: change.changed.len(),
+                    pending: self.live.pending(),
+                }),
+            },
+            ProtoRequest::RemoveEdge { u, v } => match self.live.remove_edge(*u, *v) {
+                Err(e) => ProtoResponse::error(e.to_string()),
+                Ok(change) => ProtoResponse::Mutation(MutationReply {
+                    applied: change.applied,
+                    cores_changed: change.changed.len(),
+                    pending: self.live.pending(),
+                }),
+            },
+            ProtoRequest::AddVertex { x, y } => {
+                match self.live.add_vertex(sac_geom::Point::new(*x, *y)) {
+                    Err(e) => ProtoResponse::error(e.to_string()),
+                    Ok(vertex) => ProtoResponse::Vertex(VertexReply {
+                        vertex,
+                        pending: self.live.pending(),
+                    }),
+                }
+            }
+            ProtoRequest::Commit => match self.live.commit() {
+                Err(e) => ProtoResponse::error(e.to_string()),
+                Ok(report) => ProtoResponse::Commit(CommitReply {
+                    epoch: report.epoch,
+                    mutations: report.mutations,
+                    edges_inserted: report.edges_inserted,
+                    edges_removed: report.edges_removed,
+                    vertices_added: report.vertices_added,
+                    cores_changed: report.cores_changed,
+                    dirty_up_to: report.dirty_up_to,
+                    components_carried: report.components_carried,
+                    components_invalidated: report.components_invalidated,
+                    micros: Some(report.micros),
+                }),
+            },
+        })
+    }
+
+    /// The full LDJSON round trip for one line: decode, handle, encode.
+    /// Malformed input becomes an error reply; `None` means "quit".
+    pub fn handle_line(&self, line: &str) -> Option<String> {
+        let response = match ProtoRequest::parse_line(line) {
+            Err(e) => ProtoResponse::error(e.to_string()),
+            Ok(request) => self.handle(&request)?,
+        };
+        Some(response.encode_line(self.config.encode))
+    }
+}
+
+// One service is shared across transport threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SacService>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_core::fixtures::{figure3, figure3_graph};
+    use sac_proto::QuerySpec;
+
+    fn service() -> SacService {
+        SacService::new(
+            Arc::new(SacEngine::new(figure3_graph())),
+            ServiceConfig::default(),
+        )
+    }
+
+    #[test]
+    fn queries_and_commands_round_trip() {
+        let service = service();
+        let reply = service
+            .handle(&ProtoRequest::Query(QuerySpec::new(figure3::Q, 2)))
+            .unwrap();
+        let ProtoResponse::Query(reply) = reply else {
+            panic!("expected a query reply");
+        };
+        assert!(matches!(
+            reply.result,
+            sac_proto::QueryResult::Community { .. }
+        ));
+        assert_eq!(reply.epoch, 1);
+
+        let ProtoResponse::Stats(stats) = service.handle(&ProtoRequest::Stats).unwrap() else {
+            panic!("expected stats");
+        };
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.vertices, 10);
+
+        assert!(service.handle(&ProtoRequest::Quit).is_none());
+        assert!(service.handle_line(r#"{"cmd":"quit"}"#).is_none());
+    }
+
+    #[test]
+    fn invalid_budgets_are_rejected_per_query_not_per_batch() {
+        let service = service();
+        let mut bad = QuerySpec::new(figure3::Q, 2);
+        bad.ratio = Some(0.5);
+        let batch = ProtoRequest::Batch(vec![QuerySpec::new(figure3::Q, 2), bad]);
+        let ProtoResponse::Batch(replies) = service.handle(&batch).unwrap() else {
+            panic!("expected a batch reply");
+        };
+        assert_eq!(replies.len(), 2);
+        assert!(matches!(
+            replies[0].result,
+            sac_proto::QueryResult::Community { .. }
+        ));
+        assert_eq!(replies[1].plan, "rejected");
+        assert!(matches!(
+            replies[1].result,
+            sac_proto::QueryResult::Error(_)
+        ));
+        // Rejected queries never reached the engine.
+        assert_eq!(service.engine().stats().queries, 1);
+    }
+
+    #[test]
+    fn live_updates_flow_through_the_service() {
+        let service = service();
+        let reply = service
+            .handle(&ProtoRequest::AddEdge {
+                u: figure3::I,
+                v: figure3::F,
+            })
+            .unwrap();
+        assert!(matches!(
+            reply,
+            ProtoResponse::Mutation(MutationReply { applied: true, .. })
+        ));
+        let ProtoResponse::Commit(commit) = service.handle(&ProtoRequest::Commit).unwrap() else {
+            panic!("expected a commit reply");
+        };
+        assert_eq!(commit.epoch, 2);
+        assert_eq!(commit.edges_inserted, 1);
+        // The published edge changes query answers.
+        let line = service
+            .handle_line(&format!(r#"{{"q":{},"k":2}}"#, figure3::I))
+            .unwrap();
+        assert!(line.contains(r#""feasible":true"#), "got: {line}");
+        assert!(line.contains(r#""epoch":2"#));
+        // Malformed input becomes a transport-level error reply.
+        let err = service.handle_line("{oops").unwrap();
+        assert!(err.starts_with(r#"{"ok":false,"error":"#));
+    }
+}

@@ -1,10 +1,10 @@
-//! Minimal JSON support for the `sac-serve` wire protocol.
+//! Minimal JSON support for the SAC wire protocol.
 //!
 //! The build environment has no network access, so `serde`/`serde_json` are
-//! unavailable; this module implements the small subset the line-delimited
-//! protocol needs: a recursive-descent parser into a [`Json`] tree, accessors,
-//! and a serialiser.  Numbers are `f64` (ids and vertex ids in this protocol
-//! stay far below 2^53, where `f64` is exact).
+//! unavailable; this module implements the small subset the protocol needs: a
+//! recursive-descent parser into a [`Json`] tree, accessors, and a
+//! serialiser.  Numbers are `f64` (ids and vertex ids in this protocol stay
+//! far below 2^53, where `f64` is exact).
 
 use std::fmt;
 

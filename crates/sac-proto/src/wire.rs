@@ -1,0 +1,814 @@
+//! The typed wire protocol: request/response enums plus the JSON codec.
+//!
+//! Every transport (the `sac-serve` LDJSON loop, the `sac-http` HTTP/1.1
+//! front end) decodes bytes into a [`ProtoRequest`], hands it to the shared
+//! service, and encodes the returned [`ProtoResponse`] — the transports never
+//! touch engine types directly, so the two front ends cannot drift apart (an
+//! integration test asserts their payloads are byte-identical).
+
+use crate::json::{obj, Json};
+use sac_engine::{EngineStats, SacRequest, SacResponse};
+use std::fmt;
+
+/// A wire-level decode failure (malformed JSON is reported separately by
+/// [`Json::parse`]; this covers structurally invalid requests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Human-readable description, echoed to the client.
+    pub message: String,
+}
+
+impl ProtoError {
+    /// A decode failure with the given description.
+    pub fn new(message: impl Into<String>) -> Self {
+        ProtoError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// One SAC query as it appears on the wire: required vertex and degree bound,
+/// optional id and budget fields.
+///
+/// Budget *values* are not validated here — [`QuerySpec::to_request`] routes
+/// them through the engine's validating [`SacRequest::builder`], so invalid
+/// budgets surface as typed per-query errors rather than transport errors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuerySpec {
+    /// Caller-chosen id (a transport-assigned fallback is used when absent).
+    pub id: Option<u64>,
+    /// Query vertex.
+    pub q: u32,
+    /// Minimum degree constraint.
+    pub k: u32,
+    /// Largest acceptable approximation ratio.
+    pub ratio: Option<f64>,
+    /// Latency tier wire name (`interactive` | `standard` | `batch`).
+    pub tier: Option<sac_engine::LatencyTier>,
+    /// θ radius constraint (requests the radius-constrained variant).
+    pub theta: Option<f64>,
+}
+
+impl QuerySpec {
+    /// A spec with only the required fields set.
+    pub fn new(q: u32, k: u32) -> Self {
+        QuerySpec {
+            id: None,
+            q,
+            k,
+            ratio: None,
+            tier: None,
+            theta: None,
+        }
+    }
+
+    /// Decodes one request object.
+    pub fn from_json(value: &Json) -> Result<QuerySpec, ProtoError> {
+        let q = value
+            .get("q")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ProtoError::new("missing or invalid field 'q'"))?;
+        let k = value
+            .get("k")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ProtoError::new("missing or invalid field 'k'"))?;
+        if q > u32::MAX as u64 || k > u32::MAX as u64 {
+            return Err(ProtoError::new("'q' and 'k' must fit in 32 bits"));
+        }
+        let mut spec = QuerySpec::new(q as u32, k as u32);
+        spec.id = value.get("id").and_then(Json::as_u64);
+        if let Some(ratio) = value.get("ratio") {
+            spec.ratio = Some(
+                ratio
+                    .as_f64()
+                    .ok_or_else(|| ProtoError::new("field 'ratio' must be a number"))?,
+            );
+        }
+        if let Some(tier) = value.get("tier") {
+            let name = tier
+                .as_str()
+                .ok_or_else(|| ProtoError::new("field 'tier' must be a string"))?;
+            spec.tier = Some(name.parse().map_err(|e| ProtoError::new(format!("{e}")))?);
+        }
+        match value.get("theta") {
+            None => {}
+            Some(theta) if theta.is_null() => {}
+            Some(theta) => {
+                spec.theta = Some(
+                    theta
+                        .as_f64()
+                        .ok_or_else(|| ProtoError::new("field 'theta' must be a number"))?,
+                );
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Builds the validated engine request (typed budget errors from the
+    /// engine's [`SacRequest::builder`]), using `fallback_id` when the spec
+    /// carries no id.
+    pub fn to_request(&self, fallback_id: u64) -> Result<SacRequest, sac_core::SacError> {
+        let mut builder = SacRequest::builder(self.q, self.k).id(self.id.unwrap_or(fallback_id));
+        if let Some(ratio) = self.ratio {
+            builder = builder.ratio(ratio);
+        }
+        if let Some(tier) = self.tier {
+            builder = builder.tier(tier);
+        }
+        if let Some(theta) = self.theta {
+            builder = builder.theta(theta);
+        }
+        builder.build()
+    }
+
+    /// The id this spec resolves to under `fallback_id`.
+    pub fn resolved_id(&self, fallback_id: u64) -> u64 {
+        self.id.unwrap_or(fallback_id)
+    }
+}
+
+/// A decoded protocol request: one query, a batch, or an admin/live command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtoRequest {
+    /// One SAC query.
+    Query(QuerySpec),
+    /// A batch of queries, fanned across the service's worker threads.
+    Batch(Vec<QuerySpec>),
+    /// Serving counters and snapshot facts.
+    Stats,
+    /// Pre-build the k-core indexes for these `k`.
+    Warm(Vec<u32>),
+    /// Structural query: the connected k-core containing `q`.
+    Core {
+        /// Query vertex.
+        q: u32,
+        /// Minimum degree constraint.
+        k: u32,
+    },
+    /// Live update: insert the undirected edge `{u, v}`.
+    AddEdge {
+        /// First endpoint.
+        u: u32,
+        /// Second endpoint.
+        v: u32,
+    },
+    /// Live update: remove the undirected edge `{u, v}`.
+    RemoveEdge {
+        /// First endpoint.
+        u: u32,
+        /// Second endpoint.
+        v: u32,
+    },
+    /// Live update: add a vertex at `(x, y)`.
+    AddVertex {
+        /// X coordinate.
+        x: f64,
+        /// Y coordinate.
+        y: f64,
+    },
+    /// Publish the buffered live updates as a new snapshot epoch.
+    Commit,
+    /// End the session.
+    Quit,
+}
+
+/// Reads a pair of named `u32` fields (`'u'`/`'v'`, `'q'`/`'k'`...).
+fn u32_pair(value: &Json, cmd: &str, a: &str, b: &str) -> Result<(u32, u32), ProtoError> {
+    let (Some(x), Some(y)) = (
+        value.get(a).and_then(Json::as_u64),
+        value.get(b).and_then(Json::as_u64),
+    ) else {
+        return Err(ProtoError::new(format!(
+            "'{cmd}' needs numeric fields '{a}' and '{b}'"
+        )));
+    };
+    if x > u32::MAX as u64 || y > u32::MAX as u64 {
+        return Err(ProtoError::new(format!(
+            "'{a}' and '{b}' must fit in 32 bits"
+        )));
+    }
+    Ok((x as u32, y as u32))
+}
+
+impl ProtoRequest {
+    /// Decodes one protocol document (an object or a batch array).
+    pub fn from_json(value: &Json) -> Result<ProtoRequest, ProtoError> {
+        if let Some(items) = value.as_array() {
+            return items
+                .iter()
+                .map(QuerySpec::from_json)
+                .collect::<Result<Vec<_>, _>>()
+                .map(ProtoRequest::Batch);
+        }
+        let Some(cmd) = value.get("cmd").and_then(Json::as_str) else {
+            return QuerySpec::from_json(value).map(ProtoRequest::Query);
+        };
+        match cmd {
+            "quit" | "shutdown" => Ok(ProtoRequest::Quit),
+            "stats" => Ok(ProtoRequest::Stats),
+            "commit" => Ok(ProtoRequest::Commit),
+            "warm" => {
+                let ks = value
+                    .get("ks")
+                    .and_then(Json::as_array)
+                    .map(|items| {
+                        items
+                            .iter()
+                            .map(|item| {
+                                item.as_u64()
+                                    .filter(|&k| k <= u32::MAX as u64)
+                                    .map(|k| k as u32)
+                            })
+                            .collect::<Option<Vec<u32>>>()
+                    })
+                    .unwrap_or(Some(Vec::new()))
+                    .ok_or_else(|| {
+                        ProtoError::new("'ks' entries must be integers fitting in 32 bits")
+                    })?;
+                Ok(ProtoRequest::Warm(ks))
+            }
+            "core" => {
+                let (q, k) = u32_pair(value, cmd, "q", "k")?;
+                Ok(ProtoRequest::Core { q, k })
+            }
+            "add_edge" => {
+                let (u, v) = u32_pair(value, cmd, "u", "v")?;
+                Ok(ProtoRequest::AddEdge { u, v })
+            }
+            "remove_edge" => {
+                let (u, v) = u32_pair(value, cmd, "u", "v")?;
+                Ok(ProtoRequest::RemoveEdge { u, v })
+            }
+            "add_vertex" => {
+                let (Some(x), Some(y)) = (
+                    value.get("x").and_then(Json::as_f64),
+                    value.get("y").and_then(Json::as_f64),
+                ) else {
+                    return Err(ProtoError::new(
+                        "'add_vertex' needs numeric fields 'x' and 'y'",
+                    ));
+                };
+                Ok(ProtoRequest::AddVertex { x, y })
+            }
+            other => Err(ProtoError::new(format!("unknown command '{other}'"))),
+        }
+    }
+
+    /// Decodes one LDJSON line.
+    pub fn parse_line(line: &str) -> Result<ProtoRequest, ProtoError> {
+        let value = Json::parse(line).map_err(|e| ProtoError::new(e.to_string()))?;
+        ProtoRequest::from_json(&value)
+    }
+}
+
+/// Response-encoding options a transport/service is configured with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeOptions {
+    /// Include community member lists (can be large).
+    pub members: bool,
+    /// Include wall-clock timing fields (`micros`).  Disable for
+    /// deterministic, byte-comparable output (the transport-equivalence
+    /// suite does).
+    pub timing: bool,
+}
+
+impl Default for EncodeOptions {
+    fn default() -> Self {
+        EncodeOptions {
+            members: true,
+            timing: true,
+        }
+    }
+}
+
+/// The community part of a [`QueryReply`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// The query failed with a per-query error.
+    Error(String),
+    /// No community satisfies the constraints.
+    Infeasible,
+    /// A community was found.
+    Community {
+        /// Number of members.
+        size: usize,
+        /// MCC radius.
+        radius: f64,
+        /// MCC centre `(x, y)`.
+        center: (f64, f64),
+        /// Sorted member ids (omitted under `members: false`).
+        members: Option<Vec<u32>>,
+    },
+}
+
+/// The typed reply to one SAC query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReply {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Echo of the query vertex.
+    pub q: u32,
+    /// Echo of the degree constraint.
+    pub k: u32,
+    /// The dispatched plan's wire label.
+    pub plan: String,
+    /// The outcome.
+    pub result: QueryResult,
+    /// Service time in microseconds (`None` under `timing: false`).
+    pub micros: Option<u64>,
+    /// Whether the k-core cache was warm on arrival.
+    pub cache_hit: bool,
+    /// Epoch the query was answered against (0 when it never reached an
+    /// engine, e.g. budget rejection at decode time).
+    pub epoch: u64,
+    /// The approximation ratio the dispatched plan guarantees, when any.
+    pub ratio: Option<f64>,
+}
+
+impl QueryReply {
+    /// Builds the wire reply from an engine response.
+    pub fn from_response(response: &SacResponse, options: EncodeOptions) -> QueryReply {
+        let result = match &response.outcome {
+            Err(e) => QueryResult::Error(e.to_string()),
+            Ok(None) => QueryResult::Infeasible,
+            Ok(Some(community)) => QueryResult::Community {
+                size: community.len(),
+                radius: community.radius(),
+                center: (community.mcc.center.x, community.mcc.center.y),
+                members: options.members.then(|| community.members().to_vec()),
+            },
+        };
+        QueryReply {
+            id: response.id,
+            q: response.q,
+            k: response.k,
+            plan: response.plan.label(),
+            result,
+            micros: options.timing.then_some(response.micros),
+            cache_hit: response.trace.cache_hit,
+            epoch: response.trace.epoch,
+            ratio: response.trace.guaranteed_ratio,
+        }
+    }
+
+    /// A reply for a query rejected before reaching an engine (e.g. a budget
+    /// the validating builder refused).
+    pub fn rejected(spec: &QuerySpec, fallback_id: u64, error: &sac_core::SacError) -> QueryReply {
+        QueryReply {
+            id: spec.resolved_id(fallback_id),
+            q: spec.q,
+            k: spec.k,
+            plan: "rejected".to_string(),
+            result: QueryResult::Error(error.to_string()),
+            micros: None,
+            cache_hit: false,
+            epoch: 0,
+            ratio: None,
+        }
+    }
+
+    fn to_json(&self, options: EncodeOptions) -> Json {
+        let mut fields = vec![
+            (
+                "ok",
+                Json::Bool(!matches!(self.result, QueryResult::Error(_))),
+            ),
+            ("id", Json::Num(self.id as f64)),
+            ("q", Json::Num(self.q as f64)),
+            ("k", Json::Num(self.k as f64)),
+            ("plan", Json::Str(self.plan.clone())),
+        ];
+        match &self.result {
+            QueryResult::Error(message) => {
+                fields.push(("error", Json::Str(message.clone())));
+            }
+            QueryResult::Infeasible => {
+                fields.push(("feasible", Json::Bool(false)));
+            }
+            QueryResult::Community {
+                size,
+                radius,
+                center,
+                members,
+            } => {
+                fields.push(("feasible", Json::Bool(true)));
+                fields.push(("size", Json::Num(*size as f64)));
+                fields.push(("radius", Json::Num(*radius)));
+                fields.push((
+                    "center",
+                    Json::Arr(vec![Json::Num(center.0), Json::Num(center.1)]),
+                ));
+                if let Some(members) = members {
+                    fields.push((
+                        "members",
+                        Json::Arr(members.iter().map(|&v| Json::Num(v as f64)).collect()),
+                    ));
+                }
+            }
+        }
+        if options.timing {
+            if let Some(micros) = self.micros {
+                fields.push(("micros", Json::Num(micros as f64)));
+            }
+        }
+        fields.push(("cache_hit", Json::Bool(self.cache_hit)));
+        fields.push(("epoch", Json::Num(self.epoch as f64)));
+        if let Some(ratio) = self.ratio {
+            fields.push(("ratio", Json::Num(ratio)));
+        }
+        obj(fields)
+    }
+}
+
+/// The typed reply to a `stats` command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsReply {
+    /// Vertices in the served snapshot.
+    pub vertices: usize,
+    /// Edges in the served snapshot.
+    pub edges: usize,
+    /// Currently served epoch.
+    pub epoch: u64,
+    /// Snapshots published over the engine's lifetime.
+    pub epochs_published: u64,
+    /// Mutations buffered since the last commit.
+    pub pending_mutations: usize,
+    /// Queries answered.
+    pub queries: u64,
+    /// Queries short-circuited by the cache feasibility check.
+    pub infeasible_fast_path: u64,
+    /// Queries that returned a per-query error.
+    pub errors: u64,
+    /// Decomposition-cache hits.
+    pub decomp_hits: u64,
+    /// Decomposition-cache misses.
+    pub decomp_misses: u64,
+    /// Per-`k` component-index hits.
+    pub component_hits: u64,
+    /// Per-`k` component-index misses.
+    pub component_misses: u64,
+    /// Component indexes carried across epoch swaps.
+    pub components_carried: u64,
+    /// Component indexes invalidated at epoch swaps.
+    pub components_invalidated: u64,
+}
+
+impl StatsReply {
+    /// Builds the wire reply from engine counters plus snapshot/front facts.
+    pub fn from_stats(
+        stats: &EngineStats,
+        vertices: usize,
+        edges: usize,
+        pending_mutations: usize,
+    ) -> StatsReply {
+        StatsReply {
+            vertices,
+            edges,
+            epoch: stats.epoch,
+            epochs_published: stats.epochs_published,
+            pending_mutations,
+            queries: stats.queries,
+            infeasible_fast_path: stats.infeasible_fast_path,
+            errors: stats.errors,
+            decomp_hits: stats.cache.decomposition.hits,
+            decomp_misses: stats.cache.decomposition.misses,
+            component_hits: stats.cache.components.hits,
+            component_misses: stats.cache.components.misses,
+            components_carried: stats.components_carried,
+            components_invalidated: stats.components_invalidated,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        obj(vec![
+            ("ok", Json::Bool(true)),
+            ("vertices", Json::Num(self.vertices as f64)),
+            ("edges", Json::Num(self.edges as f64)),
+            ("epoch", Json::Num(self.epoch as f64)),
+            ("epochs_published", Json::Num(self.epochs_published as f64)),
+            (
+                "pending_mutations",
+                Json::Num(self.pending_mutations as f64),
+            ),
+            ("queries", Json::Num(self.queries as f64)),
+            (
+                "infeasible_fast_path",
+                Json::Num(self.infeasible_fast_path as f64),
+            ),
+            ("errors", Json::Num(self.errors as f64)),
+            ("decomp_hits", Json::Num(self.decomp_hits as f64)),
+            ("decomp_misses", Json::Num(self.decomp_misses as f64)),
+            ("component_hits", Json::Num(self.component_hits as f64)),
+            ("component_misses", Json::Num(self.component_misses as f64)),
+            (
+                "components_carried",
+                Json::Num(self.components_carried as f64),
+            ),
+            (
+                "components_invalidated",
+                Json::Num(self.components_invalidated as f64),
+            ),
+        ])
+    }
+}
+
+/// The typed reply to an `add_edge`/`remove_edge` mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutationReply {
+    /// Whether the mutation changed the graph (`false` for self-loops,
+    /// duplicate inserts and absent removals).
+    pub applied: bool,
+    /// Vertices whose core number changed.
+    pub cores_changed: usize,
+    /// Mutations buffered since the last commit.
+    pub pending: usize,
+}
+
+/// The typed reply to an `add_vertex` mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VertexReply {
+    /// Id of the new vertex.
+    pub vertex: u32,
+    /// Mutations buffered since the last commit.
+    pub pending: usize,
+}
+
+/// The typed reply to a `commit`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitReply {
+    /// Epoch now being served.
+    pub epoch: u64,
+    /// Mutations applied in this delta.
+    pub mutations: usize,
+    /// Edge insertions among them.
+    pub edges_inserted: usize,
+    /// Edge removals among them.
+    pub edges_removed: usize,
+    /// Vertex additions among them.
+    pub vertices_added: usize,
+    /// Core-number changes across the delta.
+    pub cores_changed: u64,
+    /// Largest `k` whose k-core the delta may have touched.
+    pub dirty_up_to: u32,
+    /// Component indexes carried across the swap.
+    pub components_carried: u64,
+    /// Component indexes invalidated by the swap.
+    pub components_invalidated: u64,
+    /// Commit wall-clock cost in microseconds (`None` under `timing: false`).
+    pub micros: Option<u64>,
+}
+
+/// The typed reply to a `core` structural query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreReply {
+    /// Sorted members of the connected k-core containing `q`, or `None` when
+    /// `q` is in no k-core.
+    pub members: Option<Vec<u32>>,
+}
+
+/// A decoded protocol response — what a transport encodes back to the client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtoResponse {
+    /// Reply to one query.
+    Query(QueryReply),
+    /// Replies to a batch, in request order.
+    Batch(Vec<QueryReply>),
+    /// Reply to `stats`.
+    Stats(StatsReply),
+    /// Reply to `add_edge`/`remove_edge`.
+    Mutation(MutationReply),
+    /// Reply to `add_vertex`.
+    Vertex(VertexReply),
+    /// Reply to `commit`.
+    Commit(CommitReply),
+    /// Reply to `warm`.
+    Warmed {
+        /// Number of `k` values warmed.
+        count: usize,
+    },
+    /// Reply to `core`.
+    Core {
+        /// The structural result.
+        reply: CoreReply,
+        /// Whether member lists are included (`members: false` strips them).
+        include_members: bool,
+    },
+    /// A transport- or command-level error.
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl ProtoResponse {
+    /// An error response.
+    pub fn error(message: impl Into<String>) -> ProtoResponse {
+        ProtoResponse::Error {
+            message: message.into(),
+        }
+    }
+
+    /// Encodes the response as a JSON document, honouring `options`.
+    pub fn to_json(&self, options: EncodeOptions) -> Json {
+        match self {
+            ProtoResponse::Query(reply) => reply.to_json(options),
+            ProtoResponse::Batch(replies) => {
+                Json::Arr(replies.iter().map(|r| r.to_json(options)).collect())
+            }
+            ProtoResponse::Stats(stats) => stats.to_json(),
+            ProtoResponse::Mutation(m) => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("applied", Json::Bool(m.applied)),
+                ("cores_changed", Json::Num(m.cores_changed as f64)),
+                ("pending", Json::Num(m.pending as f64)),
+            ]),
+            ProtoResponse::Vertex(v) => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("vertex", Json::Num(v.vertex as f64)),
+                ("pending", Json::Num(v.pending as f64)),
+            ]),
+            ProtoResponse::Commit(c) => {
+                let mut fields = vec![
+                    ("ok", Json::Bool(true)),
+                    ("epoch", Json::Num(c.epoch as f64)),
+                    ("mutations", Json::Num(c.mutations as f64)),
+                    ("edges_inserted", Json::Num(c.edges_inserted as f64)),
+                    ("edges_removed", Json::Num(c.edges_removed as f64)),
+                    ("vertices_added", Json::Num(c.vertices_added as f64)),
+                    ("cores_changed", Json::Num(c.cores_changed as f64)),
+                    ("dirty_up_to", Json::Num(c.dirty_up_to as f64)),
+                    ("components_carried", Json::Num(c.components_carried as f64)),
+                    (
+                        "components_invalidated",
+                        Json::Num(c.components_invalidated as f64),
+                    ),
+                ];
+                if options.timing {
+                    if let Some(micros) = c.micros {
+                        fields.push(("micros", Json::Num(micros as f64)));
+                    }
+                }
+                obj(fields)
+            }
+            ProtoResponse::Warmed { count } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("warmed", Json::Num(*count as f64)),
+            ]),
+            ProtoResponse::Core {
+                reply,
+                include_members,
+            } => match &reply.members {
+                None => obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("feasible", Json::Bool(false)),
+                ]),
+                Some(members) => {
+                    let mut fields = vec![
+                        ("ok", Json::Bool(true)),
+                        ("feasible", Json::Bool(true)),
+                        ("size", Json::Num(members.len() as f64)),
+                    ];
+                    if *include_members {
+                        fields.push((
+                            "members",
+                            Json::Arr(members.iter().map(|&v| Json::Num(v as f64)).collect()),
+                        ));
+                    }
+                    obj(fields)
+                }
+            },
+            ProtoResponse::Error { message } => obj(vec![
+                ("ok", Json::Bool(false)),
+                ("error", Json::Str(message.clone())),
+            ]),
+        }
+    }
+
+    /// Encodes the response as one LDJSON line (no trailing newline).
+    pub fn encode_line(&self, options: EncodeOptions) -> String {
+        self.to_json(options).to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_engine::LatencyTier;
+
+    #[test]
+    fn decodes_queries_batches_and_commands() {
+        let query = ProtoRequest::parse_line(
+            r#"{"id":3,"q":17,"k":4,"ratio":1.5,"tier":"interactive","theta":0.25}"#,
+        )
+        .unwrap();
+        let ProtoRequest::Query(spec) = query else {
+            panic!("expected a query");
+        };
+        assert_eq!(spec.id, Some(3));
+        assert_eq!((spec.q, spec.k), (17, 4));
+        assert_eq!(spec.ratio, Some(1.5));
+        assert_eq!(spec.tier, Some(LatencyTier::Interactive));
+        assert_eq!(spec.theta, Some(0.25));
+        let request = spec.to_request(0).unwrap();
+        assert_eq!(request.id, 3);
+        assert_eq!(request.budget.theta, Some(0.25));
+
+        let batch = ProtoRequest::parse_line(r#"[{"q":1,"k":2},{"q":2,"k":2}]"#).unwrap();
+        assert!(matches!(batch, ProtoRequest::Batch(specs) if specs.len() == 2));
+
+        assert_eq!(
+            ProtoRequest::parse_line(r#"{"cmd":"stats"}"#).unwrap(),
+            ProtoRequest::Stats
+        );
+        assert_eq!(
+            ProtoRequest::parse_line(r#"{"cmd":"warm","ks":[2,4]}"#).unwrap(),
+            ProtoRequest::Warm(vec![2, 4])
+        );
+        assert_eq!(
+            ProtoRequest::parse_line(r#"{"cmd":"add_edge","u":1,"v":2}"#).unwrap(),
+            ProtoRequest::AddEdge { u: 1, v: 2 }
+        );
+        assert_eq!(
+            ProtoRequest::parse_line(r#"{"cmd":"add_vertex","x":0.5,"y":-0.5}"#).unwrap(),
+            ProtoRequest::AddVertex { x: 0.5, y: -0.5 }
+        );
+        assert_eq!(
+            ProtoRequest::parse_line(r#"{"cmd":"quit"}"#).unwrap(),
+            ProtoRequest::Quit
+        );
+    }
+
+    #[test]
+    fn decode_errors_are_typed_and_descriptive() {
+        for (line, needle) in [
+            (r#"{"k":2}"#, "field 'q'"),
+            (r#"{"q":1}"#, "field 'k'"),
+            (r#"{"q":99999999999,"k":2}"#, "32 bits"),
+            (r#"{"q":1,"k":2,"ratio":"fast"}"#, "'ratio'"),
+            (r#"{"q":1,"k":2,"tier":"warp"}"#, "latency tier"),
+            (r#"{"q":1,"k":2,"theta":"wide"}"#, "'theta'"),
+            (r#"{"cmd":"frobnicate"}"#, "unknown command"),
+            (r#"{"cmd":"add_edge","u":1}"#, "'u' and 'v'"),
+            (r#"{"cmd":"warm","ks":[1.5]}"#, "'ks'"),
+            ("{not json", "parse error"),
+        ] {
+            let err = ProtoRequest::parse_line(line).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "error for {line} should mention {needle}, got: {err}"
+            );
+        }
+        // Budget *values* decode fine and fail later, at request construction.
+        let ProtoRequest::Query(spec) =
+            ProtoRequest::parse_line(r#"{"q":1,"k":2,"ratio":0.5}"#).unwrap()
+        else {
+            panic!("expected a query");
+        };
+        assert_eq!(
+            spec.to_request(0),
+            Err(sac_core::SacError::InvalidRatio(0.5))
+        );
+    }
+
+    #[test]
+    fn replies_encode_with_stable_field_layout() {
+        let reply = QueryReply {
+            id: 7,
+            q: 1,
+            k: 2,
+            plan: "app_inc".to_string(),
+            result: QueryResult::Community {
+                size: 3,
+                radius: 1.25,
+                center: (0.5, 0.25),
+                members: Some(vec![1, 2, 3]),
+            },
+            micros: Some(42),
+            cache_hit: true,
+            epoch: 2,
+            ratio: Some(2.0),
+        };
+        let line = ProtoResponse::Query(reply.clone()).encode_line(EncodeOptions::default());
+        assert_eq!(
+            line,
+            r#"{"ok":true,"id":7,"q":1,"k":2,"plan":"app_inc","feasible":true,"size":3,"radius":1.25,"center":[0.5,0.25],"members":[1,2,3],"micros":42,"cache_hit":true,"epoch":2,"ratio":2}"#
+        );
+        // Deterministic mode drops the volatile timing field.
+        let no_timing = ProtoResponse::Query(reply).encode_line(EncodeOptions {
+            members: true,
+            timing: false,
+        });
+        assert!(!no_timing.contains("micros"));
+
+        let error = ProtoResponse::error("boom").encode_line(EncodeOptions::default());
+        assert_eq!(error, r#"{"ok":false,"error":"boom"}"#);
+    }
+}

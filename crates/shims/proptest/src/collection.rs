@@ -5,7 +5,7 @@ use crate::Strategy;
 use rand::Rng;
 use std::ops::Range;
 
-/// A length specification for [`vec`]: an exact length or a half-open range.
+/// A length specification for [`vec()`]: an exact length or a half-open range.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     min: usize,

@@ -1,6 +1,8 @@
 //! End-to-end serving example: stand up a `SacEngine` over a surrogate
-//! geo-social graph, fan a mixed workload across worker threads, and show what
-//! the k-core cache buys on repeated traffic.
+//! geo-social graph, fan a mixed workload across worker threads, show what
+//! the k-core cache buys on repeated traffic, and drive the same engine
+//! through the typed `sac-proto` protocol the `sac-serve`/`sac-http`
+//! transports speak.
 //!
 //! Run with: `cargo run --release --example sac_serving`
 
@@ -8,7 +10,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sackit::data::{select_query_vertices, DatasetKind, DatasetSpec};
 use sackit::engine::LatencyTier;
-use sackit::{QueryBudget, SacEngine, SacRequest};
+use sackit::{QueryBudget, SacEngine, SacRequest, SacService, ServiceConfig};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -21,8 +24,23 @@ fn main() {
         graph.num_vertices(),
         graph.num_edges()
     );
-    let engine = SacEngine::new(graph);
+    let engine = Arc::new(SacEngine::new(graph));
     let snapshot = engine.snapshot();
+
+    // The planner selects over the declared profiles of the algorithm
+    // registry — this is the whole dispatch table, printed from the data the
+    // engine actually plans with.
+    println!("registered algorithms:");
+    for profile in engine.registry().profiles() {
+        println!(
+            "  {:<12} ratio {:?}, cost {}, theta {}  [{}]",
+            profile.name,
+            profile.ratio,
+            profile.cost,
+            if profile.supports_theta { "yes" } else { "no" },
+            profile.reference
+        );
+    }
 
     // 2. Interactive traffic over popular query vertices: low-latency lookups,
     //    radius-constrained (θ-SAC) queries, and the occasional vertex that is
@@ -73,18 +91,31 @@ fn main() {
         ("theta=0.5  ", QueryBudget::balanced().with_theta(0.5)),
     ];
     for (i, (name, budget)) in showcase.into_iter().enumerate() {
-        let request = SacRequest::new(1000 + i as u64, queries[0], 4).with_budget(budget);
+        // The validating builder rejects budget nonsense before the engine
+        // ever sees it; valid budgets build into plain requests.
+        let request = SacRequest::builder(queries[0], 4)
+            .id(1000 + i as u64)
+            .budget(budget)
+            .build()
+            .expect("showcase budgets are valid");
         let response = engine.execute(&request);
         let answer = match response.community() {
             Some(c) => format!("{} members, radius {:.4}", c.len(), c.radius()),
             None => "infeasible".to_string(),
         };
         println!(
-            "  {name} -> plan {:<24} {answer:<32} {}us",
+            "  {name} -> plan {:<24} {answer:<32} {}us (epoch {}, plan {}us + exec {}us)",
             response.plan.to_string(),
-            response.micros
+            response.micros,
+            response.trace.epoch,
+            response.trace.plan_micros,
+            response.trace.exec_micros,
         );
     }
+    assert!(SacRequest::builder(queries[0], 4)
+        .ratio(0.2)
+        .build()
+        .is_err());
 
     // 6. Engine counters: the cache hit on everything after the first queries.
     let stats = engine.stats();
@@ -101,4 +132,16 @@ fn main() {
         stats.cache.decomposition.misses, 1,
         "one decomposition per snapshot"
     );
+
+    // 7. The same engine behind the typed wire protocol (what `sac-serve`
+    //    and `sac-http` serve): one LDJSON document in, one reply line out.
+    let service = SacService::new(Arc::clone(&engine), ServiceConfig::default());
+    for line in [
+        format!(r#"{{"id":1,"q":{},"k":4,"ratio":1.5}}"#, queries[0]),
+        r#"{"cmd":"stats"}"#.to_string(),
+    ] {
+        let reply = service.handle_line(&line).expect("not a quit command");
+        println!("proto> {line}");
+        println!("     < {reply}");
+    }
 }

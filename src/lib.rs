@@ -17,9 +17,11 @@
 //! * [`data`] — synthetic dataset and workload generators;
 //! * [`eval`] — the experiment harness reproducing the paper's tables and figures;
 //! * [`engine`] — the concurrent, cache-aware query-serving engine with
-//!   epoch-published snapshots;
+//!   epoch-published snapshots and the profile-driven planner;
+//! * [`proto`] — the typed, transport-agnostic wire protocol (LDJSON codec);
 //! * [`live`] — the dynamic-graph write front (incremental k-core maintenance,
-//!   delta commits, the `sac-serve` binary).
+//!   delta commits) plus the protocol service and the `sac-serve`/`sac-http`
+//!   binaries.
 //!
 //! The most common entry points are re-exported at the crate root.
 //!
@@ -60,17 +62,23 @@ pub use sac_eval as eval;
 /// Query-serving engine (re-export of [`sac_engine`]).
 pub use sac_engine as engine;
 
+/// Typed wire protocol (re-export of [`sac_proto`]).
+pub use sac_proto as proto;
+
 /// Dynamic-graph write front (re-export of [`sac_live`]).
 pub use sac_live as live;
 
 pub use sac_core::{
     app_acc, app_fast, app_inc, baselines, exact, exact_plus, fixtures, metrics, range_only,
-    theta_sac, Community, SacError,
+    theta_sac, AlgorithmProfile, AlgorithmRegistry, Community, CommunitySearch, SacError,
+    SacOutcome, SacQuery, SearchContext,
 };
-pub use sac_engine::{LatencyTier, Plan, QueryBudget, SacEngine, SacRequest, SacResponse};
+pub use sac_engine::{
+    LatencyTier, Plan, QueryBudget, QueryTrace, SacEngine, SacRequest, SacResponse,
+};
 pub use sac_geom::{Circle, Point};
 pub use sac_graph::{DynamicGraph, Graph, GraphBuilder, SpatialGraph, VertexId};
-pub use sac_live::{CommitReport, LiveEngine};
+pub use sac_live::{CommitReport, LiveEngine, SacService, ServiceConfig};
 
 #[cfg(test)]
 mod tests {

@@ -45,20 +45,30 @@ fn mixed_requests(graph: &SpatialGraph, count: usize) -> Vec<SacRequest> {
         .collect()
 }
 
-/// The direct `sac_core` call corresponding to a dispatched plan.
+/// The direct `sac_core` free-function call corresponding to a dispatched
+/// plan (the planner's tuned parameters are read back out of the plan).
 fn direct_call(graph: &SpatialGraph, request: &SacRequest, plan: Plan) -> Option<Community> {
-    match plan {
-        Plan::ExactPlus { eps_a } => exact_plus(graph, request.q, request.k, eps_a).unwrap(),
-        Plan::AppAcc { eps_a } => app_acc(graph, request.q, request.k, eps_a).unwrap(),
-        Plan::AppFast { eps_f } => app_fast(graph, request.q, request.k, eps_f)
-            .unwrap()
-            .map(|o| o.community),
-        Plan::AppInc => app_inc(graph, request.q, request.k)
-            .unwrap()
-            .map(|o| o.community),
-        Plan::ThetaSac { theta } => theta_sac(graph, request.q, request.k, theta).unwrap(),
-        Plan::Infeasible => None,
+    let planned = match plan {
+        Plan::Infeasible => return None,
         Plan::Rejected => panic!("mixed workload must not produce rejected plans"),
+        Plan::Execute(planned) => planned,
+    };
+    let (q, k) = (request.q, request.k);
+    match planned.algorithm {
+        "exact_plus" => exact_plus(graph, q, k, planned.query.eps_a()).unwrap(),
+        "app_acc" => app_acc(graph, q, k, planned.query.eps_a()).unwrap(),
+        "app_fast" => app_fast(graph, q, k, planned.query.eps_f())
+            .unwrap()
+            .map(|o| o.community),
+        "app_inc" => app_inc(graph, q, k).unwrap().map(|o| o.community),
+        "theta_sac" => theta_sac(
+            graph,
+            q,
+            k,
+            planned.query.theta().expect("theta plans carry theta"),
+        )
+        .unwrap(),
+        other => panic!("unexpected algorithm '{other}' in mixed workload"),
     }
 }
 
@@ -89,16 +99,7 @@ fn concurrent_mixed_workload_matches_direct_calls() {
             .outcome
             .as_ref()
             .expect("no errors in this workload");
-        let family = match response.plan {
-            Plan::ExactPlus { .. } => "exact_plus",
-            Plan::AppAcc { .. } => "app_acc",
-            Plan::AppFast { .. } => "app_fast",
-            Plan::AppInc => "app_inc",
-            Plan::ThetaSac { .. } => "theta_sac",
-            Plan::Infeasible => "infeasible",
-            Plan::Rejected => "rejected",
-        };
-        plans_seen.insert(family);
+        plans_seen.insert(response.plan.algorithm().unwrap_or("infeasible"));
         let direct = direct_call(&snapshot, request, response.plan);
         match (members, &direct) {
             (Some(got), Some(want)) => {

@@ -1,0 +1,201 @@
+//! Transport equivalence: the LDJSON (`sac-serve`) and HTTP (`sac-http`)
+//! front ends are thin shells over one typed protocol, so the *same request
+//! stream* — queries, live updates, structural lookups, stats — must produce
+//! **byte-identical** protocol payloads on both.
+//!
+//! Determinism notes: each transport gets its own service over an identically
+//! built engine; timing fields are disabled (`EncodeOptions::timing`), and the
+//! stream starts with a `warm` command so cache-hit flags don't depend on
+//! thread interleaving inside batches.
+
+use sackit::engine::EngineConfig;
+use sackit::fixtures::{figure3, figure3_graph};
+use sackit::live::{http, ldjson};
+use sackit::proto::EncodeOptions;
+use sackit::{SacEngine, SacService, ServiceConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+fn service() -> SacService {
+    // Disable the small-core exact upgrade so the tiny fixture still
+    // exercises every algorithm family.
+    let config = EngineConfig {
+        small_exact_threshold: 0,
+        ..EngineConfig::default()
+    };
+    SacService::new(
+        Arc::new(SacEngine::with_config(Arc::new(figure3_graph()), config)),
+        ServiceConfig {
+            threads: 2,
+            encode: EncodeOptions {
+                members: true,
+                timing: false,
+            },
+        },
+    )
+}
+
+/// The mixed request stream: warm-up, every budget family, an infeasible
+/// vertex, typed rejections (bad ratio, out-of-range vertex), a batch, a
+/// structural lookup, live updates with commits, stats before/after, and one
+/// malformed line.
+fn request_stream() -> Vec<String> {
+    let q = figure3::Q;
+    let i = figure3::I;
+    let f = figure3::F;
+    vec![
+        r#"{"cmd":"warm","ks":[1,2,3]}"#.to_string(),
+        format!(r#"{{"id":1,"q":{q},"k":2}}"#),
+        format!(r#"{{"id":2,"q":{q},"k":2,"ratio":1}}"#),
+        format!(r#"{{"id":3,"q":{q},"k":2,"ratio":2.5,"tier":"interactive"}}"#),
+        format!(r#"{{"id":4,"q":{q},"k":2,"theta":2.5,"tier":"batch"}}"#),
+        format!(r#"{{"id":5,"q":{i},"k":2}}"#),
+        format!(r#"{{"id":6,"q":{q},"k":2,"ratio":0.5}}"#),
+        r#"{"id":7,"q":999,"k":2}"#.to_string(),
+        format!(r#"[{{"q":{q},"k":2}},{{"q":{i},"k":2,"theta":-1}},{{"q":{f},"k":3,"ratio":2}}]"#),
+        format!(r#"{{"cmd":"core","q":{q},"k":2}}"#),
+        r#"{"cmd":"stats"}"#.to_string(),
+        format!(r#"{{"cmd":"add_edge","u":{i},"v":{f}}}"#),
+        r#"{"cmd":"add_vertex","x":0.25,"y":0.75}"#.to_string(),
+        r#"{"cmd":"commit"}"#.to_string(),
+        format!(r#"{{"id":8,"q":{i},"k":2}}"#),
+        format!(r#"{{"cmd":"remove_edge","u":{i},"v":{f}}}"#),
+        r#"{"cmd":"commit"}"#.to_string(),
+        format!(r#"{{"id":9,"q":{i},"k":2}}"#),
+        r#"{this is not json"#.to_string(),
+        r#"{"cmd":"stats"}"#.to_string(),
+    ]
+}
+
+/// Runs the stream through the LDJSON transport loop (what `sac-serve`
+/// drives) and returns one reply line per request.
+fn ldjson_replies(stream: &[String]) -> Vec<String> {
+    let service = service();
+    let input = stream.join("\n");
+    let mut output = Vec::new();
+    ldjson::serve(&service, input.as_bytes(), &mut output).unwrap();
+    String::from_utf8(output)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+/// Runs the stream through a live HTTP server (what `sac-http` serves), one
+/// `POST /api` per request on a keep-alive connection, and returns the
+/// response bodies (sans trailing newline, to mirror `lines()`).
+fn http_replies(stream: &[String]) -> Vec<String> {
+    let service = Arc::new(service());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = Arc::clone(&service);
+    std::thread::spawn(move || {
+        let _ = http::serve_http(server, listener);
+    });
+    let mut conn = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let mut replies = Vec::new();
+    for request in stream {
+        write!(
+            conn,
+            "POST /api HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{request}",
+            request.len()
+        )
+        .unwrap();
+        conn.flush().unwrap();
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        assert!(status.starts_with("HTTP/1.1 200"), "status: {status}");
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            reader.read_line(&mut header).unwrap();
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some(value) = header
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+            {
+                content_length = value.parse().unwrap();
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+        let body = String::from_utf8(body).unwrap();
+        replies.push(body.trim_end_matches('\n').to_string());
+    }
+    replies
+}
+
+#[test]
+fn ldjson_and_http_transports_are_byte_identical() {
+    let stream = request_stream();
+    let ldjson = ldjson_replies(&stream);
+    let http = http_replies(&stream);
+    assert_eq!(
+        ldjson.len(),
+        stream.len(),
+        "every request produces exactly one reply"
+    );
+    assert_eq!(http.len(), stream.len());
+    for (i, (a, b)) in ldjson.iter().zip(&http).enumerate() {
+        assert_eq!(a, b, "transport divergence on request {i}: {}", stream[i]);
+    }
+
+    // The stream genuinely exercised the protocol: spot-check the payloads.
+    assert!(ldjson[1].contains(r#""feasible":true"#)); // default budget query
+    assert!(ldjson[2].contains(r#""plan":"exact_plus"#)); // ratio 1
+    assert!(ldjson[3].contains(r#""plan":"app_fast"#)); // interactive 2.5
+    assert!(ldjson[4].contains(r#""plan":"theta_sac(theta=2.5)""#));
+    assert!(ldjson[5].contains(r#""plan":"infeasible(cache)""#)); // pendant vertex
+    assert!(
+        ldjson[6].contains(r#""plan":"rejected""#),
+        "typed budget rejection"
+    );
+    assert!(ldjson[6].contains("max_ratio"));
+    assert!(ldjson[7].contains("out of range"));
+    assert!(ldjson[8].starts_with('[') && ldjson[8].contains(r#""plan":"rejected""#));
+    assert!(ldjson[10].contains(r#""pending_mutations":0"#));
+    assert!(ldjson[13].contains(r#""epoch":2"#)); // first commit
+    assert!(ldjson[14].contains(r#""feasible":true"#)); // I joined a 2-core
+    assert!(ldjson[16].contains(r#""epoch":3"#)); // second commit
+    assert!(ldjson[17].contains(r#""feasible":false"#)); // ...and left it
+    assert!(ldjson[18].contains(r#""ok":false"#)); // malformed line
+    assert!(ldjson[19].contains(r#""epochs_published":2"#));
+    // Deterministic mode: no volatile timing fields anywhere.
+    for line in &ldjson {
+        assert!(!line.contains("micros"), "timing leaked into: {line}");
+    }
+}
+
+/// The HTTP `GET /stats` sugar returns the same payload as the protocol's
+/// `{"cmd":"stats"}` document.
+#[test]
+fn http_get_stats_matches_protocol_stats() {
+    let service = Arc::new(service());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = Arc::clone(&service);
+    std::thread::spawn(move || {
+        let _ = http::serve_http(server, listener);
+    });
+    let via_service = service.handle_line(r#"{"cmd":"stats"}"#).unwrap();
+
+    let mut conn = TcpStream::connect(addr).unwrap();
+    write!(
+        conn,
+        "GET /stats HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    BufReader::new(conn).read_to_string(&mut response).unwrap();
+    let body = response
+        .split("\r\n\r\n")
+        .nth(1)
+        .expect("response has a body");
+    assert_eq!(body.trim_end_matches('\n'), via_service);
+}
