@@ -1,0 +1,70 @@
+//! From-scratch vs incremental radius-sweep probing.
+//!
+//! Every SAC algorithm is a loop of circle-feasibility probes.  This bench
+//! measures exactly that loop in isolation at 10/100/1000 probes per query:
+//!
+//! * `from_scratch/N` — each probe pays a grid range query plus a full subset
+//!   peel (`SearchContext::feasible_in_circle`, the pre-sweep behaviour);
+//! * `sweep/N` — one `begin_sweep` (grid query + sort) and N incremental
+//!   probes (`SearchContext::probe`).
+//!
+//! The probe schedule is the shared binary-search emulation of
+//! [`sac_bench::radius_probe`], mimicking the non-monotone radius pattern of
+//! the paper's binary searches.  `examples/bench_radius_sweep.rs` runs the
+//! same loops with plain timers and emits `BENCH_radius_sweep.json` so the
+//! perf trajectory is machine-readable.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sac_bench::radius_probe::{probe_case, search_schedule, PROBE_COUNTS};
+use sac_bench::{bench_dataset, bench_kinds};
+use sac_core::SearchContext;
+use sac_geom::Circle;
+
+fn bench_radius_sweep(c: &mut Criterion) {
+    for kind in bench_kinds() {
+        let data = bench_dataset(kind);
+        let g = &data.graph;
+        let case = data
+            .queries
+            .iter()
+            .find_map(|&q| probe_case(g, q, 4))
+            .expect("bench dataset has a feasible query");
+        let q_pos = g.position(case.q);
+
+        let mut group = c.benchmark_group(format!("radius_sweep/{}", data.name()));
+        group.sample_size(10);
+
+        for probes in PROBE_COUNTS {
+            let schedule = search_schedule(case.r_max, probes);
+            group.bench_function(format!("from_scratch/{probes}"), |b| {
+                let mut ctx = SearchContext::new(g, case.q, case.k).unwrap();
+                b.iter(|| {
+                    for &r in &schedule {
+                        black_box(
+                            ctx.feasible_in_circle(&Circle::new(q_pos, r), Some(&case.universe)),
+                        );
+                    }
+                });
+            });
+            group.bench_function(format!("sweep/{probes}"), |b| {
+                let mut ctx = SearchContext::new(g, case.q, case.k).unwrap();
+                b.iter(|| {
+                    ctx.begin_sweep(q_pos, case.r_max, Some(&case.universe));
+                    for &r in &schedule {
+                        black_box(ctx.probe(r));
+                    }
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_radius_sweep
+}
+criterion_main!(benches);

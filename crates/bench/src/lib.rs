@@ -58,6 +58,84 @@ pub fn bench_kinds() -> Vec<DatasetKind> {
     vec![DatasetKind::Brightkite]
 }
 
+/// Shared probe-loop fixtures for the radius-sweep benchmark and its
+/// machine-readable runner (`examples/bench_radius_sweep.rs` →
+/// `BENCH_radius_sweep.json`).
+pub mod radius_probe {
+    use sac_core::SearchContext;
+    use sac_graph::{SpatialGraph, VertexId};
+
+    /// Probe counts benchmarked per query.
+    pub const PROBE_COUNTS: [usize; 3] = [10, 100, 1000];
+
+    /// A deterministic schedule of `n` radii in `(0, r_max)` emulating the
+    /// paper's probe pattern: successive feasibility **binary searches**
+    /// (`AppFast` runs one per query, `AppAcc` one per anchor cell), each
+    /// homing in on a different low-discrepancy target radius.  Probes within
+    /// a search are non-monotone (roughly half move the radius upward) but
+    /// converge geometrically — exactly the access pattern the incremental
+    /// sweep amortises.
+    pub fn search_schedule(r_max: f64, n: usize) -> Vec<f64> {
+        let mut radii = Vec::with_capacity(n);
+        if r_max.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            // Degenerate span (colocated k-ĉore, r_max = 0, or NaN): the
+            // binary-search emulation below would never push a probe; every
+            // probe is at radius 0.
+            radii.resize(n, 0.0);
+            return radii;
+        }
+        let mut search = 0u64;
+        while radii.len() < n {
+            search += 1;
+            // Golden-ratio sequence: deterministic, well-spread targets.
+            let target = r_max * ((search as f64 * 0.618_033_988_749_894_9) % 1.0);
+            let (mut lo, mut hi) = (0.0f64, r_max);
+            while hi - lo > 1e-3 * r_max && radii.len() < n {
+                let r = 0.5 * (lo + hi);
+                radii.push(r);
+                if r > target {
+                    hi = r;
+                } else {
+                    lo = r;
+                }
+            }
+        }
+        radii
+    }
+
+    /// The probe context of one query: the k-ĉore universe and radius bound
+    /// `AppFast` would binary-search over.
+    pub struct ProbeCase {
+        /// The query vertex.
+        pub q: VertexId,
+        /// Minimum-degree constraint.
+        pub k: u32,
+        /// Membership bitmap of the k-ĉore containing `q`.
+        pub universe: Vec<bool>,
+        /// Largest probe radius (distance of the farthest k-ĉore vertex).
+        pub r_max: f64,
+    }
+
+    /// Builds the probe case for `(q, k)`; `None` when `q` is in no k-core.
+    pub fn probe_case(g: &SpatialGraph, q: VertexId, k: u32) -> Option<ProbeCase> {
+        let ctx = SearchContext::new(g, q, k).ok()?;
+        let x = ctx.global_kcore_of_q()?;
+        let q_pos = g.position(q);
+        let mut universe = vec![false; g.num_vertices()];
+        let mut r_max = 0.0f64;
+        for &v in &x {
+            universe[v as usize] = true;
+            r_max = r_max.max(g.position(v).distance(q_pos));
+        }
+        Some(ProbeCase {
+            q,
+            k,
+            universe,
+            r_max,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

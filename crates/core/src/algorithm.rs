@@ -456,7 +456,7 @@ impl CommunitySearch for AppIncSearch {
 
     fn run(&self, ctx: &mut SearchContext<'_>, query: &SacQuery) -> Result<SacOutcome, SacError> {
         check_ctx(ctx, query);
-        let outcome = crate::app_inc(ctx.g, query.q, query.k)?;
+        let outcome = crate::app_inc::app_inc_with_ctx(ctx)?;
         Ok(SacOutcome::new(outcome.map(|o| o.community)))
     }
 }
@@ -502,14 +502,14 @@ impl CommunitySearch for ExactSearch {
             ratio: RatioGuarantee::Exact,
             cost: CostClass::Exhaustive,
             supports_theta: false,
-            shares_decomposition: false,
+            shares_decomposition: true,
             reference: "Algorithm 1 (Exact)",
         }
     }
 
     fn run(&self, ctx: &mut SearchContext<'_>, query: &SacQuery) -> Result<SacOutcome, SacError> {
         check_ctx(ctx, query);
-        Ok(SacOutcome::new(crate::exact(ctx.g, query.q, query.k)?))
+        Ok(SacOutcome::new(crate::exact::exact_with_ctx(ctx)?))
     }
 }
 

@@ -185,9 +185,13 @@ pub(crate) fn app_acc_detailed_with_ctx(
             // Initial probe at radius r_cur + √2/2·β.  If this is infeasible the
             // cell cannot improve on r_cur, and by Pruning 2 its subtree can be
             // discarded (the probe radius equals the Pruning-2 bound).
+            //
+            // The initial probe and the whole binary search below are
+            // concentric circles around `p`, so one sweep per anchor serves
+            // them all from a single range query + sort.
             let probe_radius = r_cur + half_diag;
-            let probe = Circle::new(p, probe_radius);
-            let initial = ctx.feasible_in_circle(&probe, Some(&in_s));
+            ctx.begin_sweep(p, probe_radius, Some(&in_s));
+            let initial = ctx.probe(probe_radius);
             let largest_infeasible: Option<f64>;
             match initial {
                 None => {
@@ -199,7 +203,6 @@ pub(crate) fn app_acc_detailed_with_ctx(
                     let (members, _rp, inf) = anchor_binary_search(
                         &mut *ctx,
                         g,
-                        &in_s,
                         p,
                         binary_lower,
                         probe_radius,
@@ -243,14 +246,13 @@ pub(crate) fn app_acc_detailed_with_ctx(
 }
 
 /// Binary search (Algorithm 4 lines 11–22) for the smallest radius around anchor
-/// `p` whose circle contains a feasible community.  Returns the best member set,
-/// the radius bound it was found at, and the largest radius known to be infeasible
-/// (for Pruning 2).
-#[allow(clippy::too_many_arguments)]
+/// `p` whose circle contains a feasible community, probing through the anchor's
+/// active sweep (the caller has begun one at `p` covering `upper`).  Returns the
+/// best member set, the radius bound it was found at, and the largest radius
+/// known to be infeasible (for Pruning 2).
 fn anchor_binary_search(
     ctx: &mut SearchContext<'_>,
     g: &SpatialGraph,
-    in_s: &[bool],
     p: Point,
     lower: f64,
     upper: f64,
@@ -274,8 +276,7 @@ fn anchor_binary_search(
     while hi - lo > alpha_prime && iterations < 128 {
         iterations += 1;
         let r = 0.5 * (lo + hi);
-        let circle = Circle::new(p, r);
-        match ctx.feasible_in_circle(&circle, Some(in_s)) {
+        match ctx.probe(r) {
             Some(members) => {
                 let far = members
                     .iter()

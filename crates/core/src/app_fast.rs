@@ -2,7 +2,6 @@
 
 use crate::common::{knn_lower_bound, membership_bitmap, trivial_small_k, SearchContext};
 use crate::{Community, SacError};
-use sac_geom::Circle;
 use sac_graph::{SpatialGraph, VertexId};
 
 /// The outcome of [`app_fast`]: the community Λ plus the radii needed by `AppAcc`
@@ -96,6 +95,10 @@ pub(crate) fn app_fast_with_ctx(
         .map(|&v| g.position(v).distance(q_pos))
         .fold(0.0f64, f64::max);
 
+    // Every probe is a q-centred circle of radius ≤ u: one sweep serves the
+    // whole binary search (candidate view = X, each probe a sorted prefix).
+    ctx.begin_sweep(q_pos, u, Some(&in_x));
+
     // Λ starts as the whole k-ĉore (always feasible).
     let mut best = x.clone();
     let mut best_radius_bound = u;
@@ -113,8 +116,7 @@ pub(crate) fn app_fast_with_ctx(
         } else {
             0.0
         };
-        let circle = Circle::new(q_pos, r);
-        match ctx.feasible_in_circle(&circle, Some(&in_x)) {
+        match ctx.probe(r) {
             Some(members) => {
                 // Feasible at r: tighten the upper bound to the farthest member.
                 let far = members
@@ -133,12 +135,9 @@ pub(crate) fn app_fast_with_ctx(
                     break;
                 }
                 // Infeasible at r: the next candidate radius is the distance of the
-                // nearest X-vertex strictly outside O(q, r).
-                let next = x
-                    .iter()
-                    .map(|&v| g.position(v).distance(q_pos))
-                    .filter(|&d| d > r)
-                    .fold(f64::INFINITY, f64::min);
+                // nearest X-vertex strictly outside O(q, r) — a binary search on
+                // the sweep's sorted candidate view.
+                let next = ctx.next_candidate_distance_above(r);
                 if !next.is_finite() {
                     break;
                 }

@@ -61,6 +61,16 @@ impl PartialOrd for Frontier {
 /// costs `O(m)`.
 pub fn app_inc(g: &SpatialGraph, q: VertexId, k: u32) -> Result<Option<AppIncOutcome>, SacError> {
     let mut ctx = SearchContext::new(g, q, k)?;
+    app_inc_with_ctx(&mut ctx)
+}
+
+/// `AppInc` over an existing [`SearchContext`] — the single implementation
+/// behind [`app_inc`] and the uniform-interface wrapper, so context-level
+/// instrumentation (sweep probe counters) reaches the caller.
+pub(crate) fn app_inc_with_ctx(
+    ctx: &mut SearchContext<'_>,
+) -> Result<Option<AppIncOutcome>, SacError> {
+    let (g, q, k) = (ctx.g, ctx.q, ctx.k);
     if let Some(trivial) = trivial_small_k(g, q, k) {
         return Ok(trivial.map(|community| AppIncOutcome {
             delta: community.radius() * 2.0,
@@ -73,13 +83,16 @@ pub fn app_inc(g: &SpatialGraph, q: VertexId, k: u32) -> Result<Option<AppIncOut
         return Ok(None);
     }
 
-    let q_pos = ctx.q_pos();
     let n = g.num_vertices();
     let mut in_s = vec![false; n];
     let mut discovered = vec![false; n];
-    let mut s: Vec<VertexId> = Vec::new();
     let mut heap = BinaryHeap::new();
 
+    // The absorbed set S is maintained as a *collected* sweep: each absorption
+    // updates the pre-peel state incrementally, so a gated feasibility check
+    // re-seeds from maintained subset degrees and runs only the deletion
+    // cascade instead of re-marking and re-counting the whole of S.
+    ctx.begin_collect();
     discovered[q as usize] = true;
     heap.push(Frontier {
         dist: 0.0,
@@ -92,7 +105,7 @@ pub fn app_inc(g: &SpatialGraph, q: VertexId, k: u32) -> Result<Option<AppIncOut
     while let Some(Frontier { dist, vertex: p }) = heap.pop() {
         // Absorb p.
         in_s[p as usize] = true;
-        s.push(p);
+        ctx.collect(p);
         if p != q && g.graph().has_edge(p, q) {
             q_neighbours_in_s += 1;
         }
@@ -105,7 +118,7 @@ pub fn app_inc(g: &SpatialGraph, q: VertexId, k: u32) -> Result<Option<AppIncOut
             if !discovered[v as usize] && g.degree(v) >= k as usize {
                 discovered[v as usize] = true;
                 heap.push(Frontier {
-                    dist: g.position(v).distance(q_pos),
+                    dist: ctx.dist_to_q(v),
                     vertex: v,
                 });
             }
@@ -119,7 +132,7 @@ pub fn app_inc(g: &SpatialGraph, q: VertexId, k: u32) -> Result<Option<AppIncOut
             q_neighbours_in_s >= k as usize && p_neighbours_in_s >= k as usize
         };
         if gate {
-            if let Some(members) = ctx.solver.kcore_containing(g.graph(), &s, q, k) {
+            if let Some(members) = ctx.probe_collected() {
                 let community = Community::new(g, members);
                 let gamma = community.radius();
                 return Ok(Some(AppIncOutcome {

@@ -2,24 +2,40 @@
 
 use crate::{Community, SacError};
 use sac_geom::{Circle, Point};
-use sac_graph::{connected_kcore, CoreDecomposition, KCoreSolver, SpatialGraph, VertexId};
+use sac_graph::{
+    connected_kcore, CoreDecomposition, KCoreSolver, RadiusSweepSolver, SpatialGraph, SweepStats,
+    VertexId,
+};
 use std::sync::Arc;
 
 /// Per-query scratch state shared by all algorithms: the validated query, a
-/// reusable subset-k-core solver, a reusable circular-range-query buffer and —
-/// when the caller already has one — a shared core decomposition that lets the
-/// structural phase skip its `O(m)` peel.
+/// reusable subset-k-core solver, an incremental radius-sweep solver, a
+/// reusable circular-range-query buffer and — when the caller already has one
+/// — a shared core decomposition that lets the structural phase skip its
+/// `O(m)` peel.
 ///
 /// A context is the execution environment a
 /// [`CommunitySearch`](crate::CommunitySearch) implementation runs in: the
 /// serving engine builds one per query (threading its cached decomposition
 /// through [`SearchContext::with_decomposition`]) and hands it to whichever
 /// registered algorithm the planner picked.
+///
+/// ## Probe model
+///
+/// Algorithms ask "is there a connected k-core containing `q` inside circle
+/// `O(c, r)`?" over monotone nested circle families.  The sweep API amortises
+/// that loop: [`SearchContext::begin_sweep`] pays one grid query and one sort,
+/// after which every [`SearchContext::probe`] at `r ≤ r_max` is answered from
+/// a prefix of the distance-ordered candidate array with an incremental peel
+/// (see [`sac_graph::RadiusSweepSolver`]).  [`SearchContext::feasible_in_circle`]
+/// is the from-scratch single-probe path, kept as the reference the property
+/// suite pins the sweep against.
 pub struct SearchContext<'g> {
     pub(crate) g: &'g SpatialGraph,
     pub(crate) q: VertexId,
     pub(crate) k: u32,
-    pub(crate) solver: KCoreSolver,
+    solver: KCoreSolver,
+    sweep: RadiusSweepSolver,
     decomposition: Option<Arc<CoreDecomposition>>,
     circle_buf: Vec<VertexId>,
     subset_buf: Vec<VertexId>,
@@ -63,6 +79,7 @@ impl<'g> SearchContext<'g> {
             q,
             k,
             solver: KCoreSolver::new(g.num_vertices()),
+            sweep: RadiusSweepSolver::new(g.num_vertices()),
             decomposition,
             circle_buf: Vec::new(),
             subset_buf: Vec::new(),
@@ -117,7 +134,6 @@ impl<'g> SearchContext<'g> {
     }
 
     /// Distance from the query vertex to `v`.
-    #[allow(dead_code)]
     pub fn dist_to_q(&self, v: VertexId) -> f64 {
         self.g.position(v).distance(self.q_pos())
     }
@@ -125,6 +141,11 @@ impl<'g> SearchContext<'g> {
     /// Returns the connected k-core containing `q` induced by the vertices inside
     /// `circle`, optionally restricted to a universe bitmap (`universe[v] == true`
     /// means `v` may participate).  `None` when no feasible community exists.
+    ///
+    /// This is the from-scratch path (one grid query + one full subset peel).
+    /// Probe loops over nested circles should use [`SearchContext::begin_sweep`]
+    /// / [`SearchContext::probe`] instead, which answer the same question
+    /// bit-identically at amortised cost.
     pub fn feasible_in_circle(
         &mut self,
         circle: &Circle,
@@ -145,11 +166,88 @@ impl<'g> SearchContext<'g> {
             .kcore_containing(self.g.graph(), &self.subset_buf, self.q, self.k)
     }
 
-    /// Like [`SearchContext::feasible_in_circle`] but only reports existence.
-    #[allow(dead_code)]
-    pub fn is_feasible_in_circle(&mut self, circle: &Circle, universe: Option<&[bool]>) -> bool {
-        self.feasible_in_circle(circle, universe).is_some()
+    /// Starts an incremental radius sweep centred at `center` covering every
+    /// probe radius up to `r_max`, optionally restricted to a `universe`
+    /// bitmap: one grid query + one sort, after which
+    /// [`SearchContext::probe`] answers any `O(center, r)` with `r ≤ r_max`
+    /// without touching the spatial index.
+    pub fn begin_sweep(&mut self, center: Point, r_max: f64, universe: Option<&[bool]>) {
+        self.sweep
+            .begin(self.g, center, r_max, self.q, self.k, universe);
     }
+
+    /// Sweep probe: exactly [`SearchContext::feasible_in_circle`] for
+    /// `O(center, r)` with the sweep's universe, served incrementally from
+    /// the current sweep (shrinks continue the deletion cascade; grows
+    /// re-seed from the maintained pre-peel state).
+    pub fn probe(&mut self, r: f64) -> Option<Vec<VertexId>> {
+        self.sweep.probe_radius(self.g.graph(), r)
+    }
+
+    /// Sweep probe for an **arbitrary** circle (the triple-enumeration loops
+    /// of `Exact`/`Exact+`, whose circles are not concentric): the candidate
+    /// view replaces the grid range query, the flat-bitset subset solver does
+    /// the peel.  The current sweep's candidate view must cover the circle
+    /// (`Exact`/`Exact+` begin their sweep at `q` with `r_max` past twice the
+    /// current best radius, which Lemma 1 guarantees is enough).
+    pub fn probe_circle(&mut self, circle: &Circle) -> Option<Vec<VertexId>> {
+        self.sweep.count_probe();
+        if !circle.contains(self.q_pos()) {
+            // q outside the circle: the from-scratch subset would not contain
+            // q, so the answer is `None` without materialising the subset.
+            return None;
+        }
+        self.sweep
+            .candidates_in_circle_into(self.g, circle, &mut self.subset_buf);
+        self.solver
+            .kcore_containing(self.g.graph(), &self.subset_buf, self.q, self.k)
+    }
+
+    /// Starts a *collected* sweep (empty candidate list): `AppInc` grows the
+    /// absorbed set one vertex at a time via [`SearchContext::collect`] and
+    /// probes it with [`SearchContext::probe_collected`].
+    pub fn begin_collect(&mut self) {
+        self.sweep
+            .begin_collect(self.g.num_vertices(), self.q, self.k);
+    }
+
+    /// Appends `v` to the collected sweep, maintaining the pre-peel state
+    /// incrementally (`v` must not have been collected before).
+    pub fn collect(&mut self, v: VertexId) {
+        self.sweep.push_candidate(self.g.graph(), v);
+    }
+
+    /// Feasibility probe over every vertex collected so far; bit-identical to
+    /// running the subset solver on the collected list.
+    pub fn probe_collected(&mut self) -> Option<Vec<VertexId>> {
+        self.sweep.probe_collected(self.g.graph())
+    }
+
+    /// The smallest candidate distance strictly greater than `r` in the
+    /// current sweep (`f64::INFINITY` when exhausted) — the `AppFast`
+    /// lower-bound advance, answered in `O(log |candidates|)` instead of a
+    /// linear scan.
+    pub fn next_candidate_distance_above(&self, r: f64) -> f64 {
+        self.sweep.next_distance_above(r)
+    }
+
+    /// Cumulative sweep counters for this context (probe/candidate counts the
+    /// serving engine surfaces in its per-query trace).
+    pub fn sweep_stats(&self) -> SweepStats {
+        self.sweep.stats()
+    }
+}
+
+/// The sweep `r_max` that covers every probe circle of radius `< r` that
+/// contains `q`: a member `v` of such a circle satisfies `|v, q| ≤ 2r`
+/// (triangle inequality through the circle centre), so a q-centred candidate
+/// view of this radius covers the triple-enumeration loops of `Exact`/`Exact+`.
+/// The `EPS` slack (absolute + relative) generously absorbs the circle
+/// inclusion tolerance and floating-point rounding, and any extra candidate it
+/// admits is filtered back out by the exact per-circle containment test.
+pub(crate) fn sweep_cover_radius(r: f64) -> f64 {
+    let diameter = 2.0 * r;
+    diameter + sac_geom::EPS * (8.0 + 8.0 * diameter)
 }
 
 /// Builds a membership bitmap of size `n` for the given vertex list.
@@ -206,8 +304,11 @@ pub(crate) fn knn_lower_bound(
     if dists.len() < k as usize {
         return None;
     }
-    dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    Some(dists[k as usize - 1])
+    // Only the k-th smallest is needed: partial selection instead of a sort.
+    let (_, kth, _) = dists.select_nth_unstable_by(k as usize - 1, |a, b| {
+        a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Some(*kth)
 }
 
 #[cfg(test)]
@@ -236,12 +337,38 @@ mod tests {
         // A tight circle around Q covers nothing feasible.
         let tiny = Circle::new(ctx.q_pos(), 0.5);
         assert!(ctx.feasible_in_circle(&tiny, None).is_none());
-        assert!(ctx.is_feasible_in_circle(&big, None));
 
         // Restricting the universe to {Q, C, D} finds exactly that triangle.
         let mask = membership_bitmap(g.num_vertices(), &[figure3::Q, figure3::C, figure3::D]);
         let community = ctx.feasible_in_circle(&big, Some(&mask)).unwrap();
         assert_eq!(community, vec![figure3::Q, figure3::C, figure3::D]);
+    }
+
+    #[test]
+    fn sweep_probes_match_feasible_in_circle() {
+        let g = figure3_graph();
+        let mut ctx = SearchContext::new(&g, figure3::Q, 2).unwrap();
+        let mut reference = SearchContext::new(&g, figure3::Q, 2).unwrap();
+        let center = ctx.q_pos();
+        ctx.begin_sweep(center, 10.0, None);
+        for r in [10.0, 1.0, 4.0, 0.2, 2.5, 0.0, 10.0] {
+            assert_eq!(
+                ctx.probe(r),
+                reference.feasible_in_circle(&Circle::new(center, r), None),
+                "radius {r}"
+            );
+        }
+        // Arbitrary (non-concentric) circles through the same sweep.
+        ctx.begin_sweep(center, sweep_cover_radius(10.0), None);
+        for (cx, cy, r) in [(1.0, 0.5, 2.0), (3.0, 3.0, 1.0), (0.0, 0.0, 0.5)] {
+            let circle = Circle::new(sac_geom::Point::new(cx, cy), r);
+            assert_eq!(
+                ctx.probe_circle(&circle),
+                reference.feasible_in_circle(&circle, None),
+                "circle ({cx}, {cy}) r={r}"
+            );
+        }
+        assert!(ctx.sweep_stats().probes >= 10);
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! `Exact`: the basic exact algorithm (Algorithm 1).
 
-use crate::common::{membership_bitmap, trivial_small_k, SearchContext};
+use crate::common::{membership_bitmap, sweep_cover_radius, trivial_small_k, SearchContext};
 use crate::{Community, SacError};
 use sac_geom::Circle;
-use sac_graph::{connected_kcore, SpatialGraph, VertexId};
+use sac_graph::{SpatialGraph, VertexId};
 
 /// `Exact` (Algorithm 1): exhaustive enumeration of candidate MCCs.
 ///
@@ -24,12 +24,20 @@ use sac_graph::{connected_kcore, SpatialGraph, VertexId};
 /// Returns `Ok(None)` when no feasible community exists.
 pub fn exact(g: &SpatialGraph, q: VertexId, k: u32) -> Result<Option<Community>, SacError> {
     let mut ctx = SearchContext::new(g, q, k)?;
+    exact_with_ctx(&mut ctx)
+}
+
+/// `Exact` over an existing [`SearchContext`] — the single implementation
+/// behind [`exact`] and the uniform-interface wrapper, so context-level
+/// instrumentation (sweep probe counters) reaches the caller.
+pub(crate) fn exact_with_ctx(ctx: &mut SearchContext<'_>) -> Result<Option<Community>, SacError> {
+    let (g, q, k) = (ctx.g, ctx.q, ctx.k);
     if let Some(trivial) = trivial_small_k(g, q, k) {
         return Ok(trivial);
     }
 
     // Step 1: the k-ĉore containing q, sorted by distance from q (X_1 = q).
-    let mut x = match connected_kcore(g.graph(), q, k) {
+    let mut x = match ctx.global_kcore_of_q() {
         Some(x) => x,
         None => return Ok(None),
     };
@@ -49,6 +57,12 @@ pub fn exact(g: &SpatialGraph, q: VertexId, k: u32) -> Result<Option<Community>,
     let mut best = Community::new(g, x.clone());
     let mut best_radius = best.mcc.radius;
 
+    // Every evaluated circle has radius < best_radius and must contain q to be
+    // feasible, so its members lie within 2·best_radius of q (Lemma 1): one
+    // q-centred candidate view covers the whole triple enumeration, replacing
+    // the per-circle grid range queries.
+    ctx.begin_sweep(q_pos, sweep_cover_radius(best_radius), Some(&in_x));
+
     // Enumerate triples {X_i, X_j, X_h} with j < h < i, i being the farthest of the
     // three from q, exactly as Algorithm 1 does.
     let len = x.len();
@@ -66,7 +80,7 @@ pub fn exact(g: &SpatialGraph, q: VertexId, k: u32) -> Result<Option<Community>,
                 if mcc.radius >= best_radius {
                     continue;
                 }
-                if let Some(members) = ctx.feasible_in_circle(&mcc, Some(&in_x)) {
+                if let Some(members) = ctx.probe_circle(&mcc) {
                     let community = Community::new(g, members);
                     // The community's own MCC can only be smaller than the probe
                     // circle; keep the tighter value.

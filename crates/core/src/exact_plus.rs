@@ -1,7 +1,7 @@
 //! `Exact+`: the advanced exact algorithm (Algorithm 5).
 
 use crate::app_acc::{app_acc_detailed_with_ctx, validate_eps_a};
-use crate::common::{membership_bitmap, trivial_small_k, SearchContext};
+use crate::common::{membership_bitmap, sweep_cover_radius, trivial_small_k, SearchContext};
 use crate::{Community, SacError};
 use sac_geom::Circle;
 use sac_graph::{SpatialGraph, VertexId};
@@ -124,6 +124,12 @@ pub(crate) fn exact_plus_detailed_with_ctx(
     let mut r_cur = r_gamma;
     let mut triples = 0usize;
 
+    // Every candidate circle below has radius < r_cur ≤ r_Γ and must contain
+    // q to be feasible, so its members lie within 2·r_Γ of q: one q-centred
+    // candidate view over S serves the diametral-pair and triple loops
+    // without further grid range queries.
+    ctx.begin_sweep(ctx.q_pos(), sweep_cover_radius(r_gamma), Some(&in_s));
+
     // Helper evaluating one candidate circle.
     let consider = |circle: &Circle,
                     ctx: &mut SearchContext<'_>,
@@ -132,7 +138,7 @@ pub(crate) fn exact_plus_detailed_with_ctx(
         if circle.radius >= *r_cur {
             return;
         }
-        if let Some(members) = ctx.feasible_in_circle(circle, Some(&in_s)) {
+        if let Some(members) = ctx.probe_circle(circle) {
             let community = Community::new(g, members);
             if community.mcc.radius < *r_cur {
                 *r_cur = community.mcc.radius;

@@ -1,0 +1,178 @@
+//! Property-based equivalence suite for the incremental radius-sweep solver.
+//!
+//! The `RadiusSweepSolver` behind `SearchContext::begin_sweep`/`probe` answers
+//! probes from a distance-ordered candidate prefix with an incremental peel
+//! (in-place shrinks, checkpoint restores, pre-peel re-seeds).  These tests
+//! pin the contract the migrated algorithms rely on: every probe — over
+//! random graphs, random query vertices, random universes and random
+//! **monotone and non-monotone** radius schedules — is bit-identical to the
+//! from-scratch `feasible_in_circle` path (grid range query + full subset
+//! peel), and the collected-sweep path is bit-identical to the subset solver.
+
+use proptest::prelude::*;
+use sac_core::SearchContext;
+use sac_geom::{Circle, Point};
+use sac_graph::{GraphBuilder, KCoreSolver, SpatialGraph};
+
+/// A random small spatial graph: `n` vertices in the unit square, random edges.
+fn arb_spatial_graph() -> impl Strategy<Value = SpatialGraph> {
+    (5usize..18)
+        .prop_flat_map(|n| {
+            let edges = proptest::collection::vec((0..n as u32, 0..n as u32), n..(n * 4));
+            let coords = proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), n);
+            (Just(n), edges, coords)
+        })
+        .prop_map(|(n, edges, coords)| {
+            let mut b = GraphBuilder::new();
+            b.ensure_vertex(n as u32 - 1);
+            b.add_edges(edges);
+            let positions: Vec<Point> = coords.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            SpatialGraph::new(b.build(), positions).expect("valid random graph")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sweep probes equal from-scratch circle queries on arbitrary radius
+    /// schedules: raw (non-monotone, exercising the re-seed fallback),
+    /// descending (the incremental-shrink fast path) and ascending.
+    #[test]
+    fn sweep_probes_match_from_scratch(
+        g in arb_spatial_graph(),
+        q_raw in 0u32..18,
+        k in 0u32..5,
+        mut radii in proptest::collection::vec(0.0f64..1.6, 1..32),
+        schedule in 0usize..3,
+    ) {
+        let q = q_raw % g.num_vertices() as u32;
+        match schedule {
+            1 => radii.sort_by(|a, b| b.partial_cmp(a).unwrap()), // monotone shrink
+            2 => radii.sort_by(|a, b| a.partial_cmp(b).unwrap()), // monotone grow
+            _ => {}                                               // non-monotone
+        }
+        let center = g.position(q);
+        let mut ctx = SearchContext::new(&g, q, k).unwrap();
+        let mut reference = SearchContext::new(&g, q, k).unwrap();
+        ctx.begin_sweep(center, 1.6, None);
+        for &r in &radii {
+            let via_sweep = ctx.probe(r);
+            let scratch = reference.feasible_in_circle(&Circle::new(center, r), None);
+            prop_assert_eq!(via_sweep, scratch, "q={} k={} r={}", q, k, r);
+        }
+    }
+
+    /// Same equivalence with a restricting universe and a sweep centre that is
+    /// not the query vertex (the `AppAcc` anchor pattern).
+    #[test]
+    fn off_centre_sweeps_with_universe_match(
+        g in arb_spatial_graph(),
+        q_raw in 0u32..18,
+        k in 1u32..4,
+        (cx, cy) in (0.0f64..1.0, 0.0f64..1.0),
+        mask_bits in proptest::collection::vec(0u32..10, 18),
+        radii in proptest::collection::vec(0.0f64..2.0, 1..24),
+    ) {
+        let q = q_raw % g.num_vertices() as u32;
+        // ~70% of the vertices stay in the universe; q itself may be excluded
+        // (every probe is then infeasible on both paths).
+        let universe: Vec<bool> = (0..g.num_vertices()).map(|v| mask_bits[v] >= 3).collect();
+        let center = Point::new(cx, cy);
+        let mut ctx = SearchContext::new(&g, q, k).unwrap();
+        let mut reference = SearchContext::new(&g, q, k).unwrap();
+        ctx.begin_sweep(center, 2.0, Some(&universe));
+        for &r in &radii {
+            let via_sweep = ctx.probe(r);
+            let scratch =
+                reference.feasible_in_circle(&Circle::new(center, r), Some(&universe));
+            prop_assert_eq!(via_sweep, scratch, "q={} k={} r={}", q, k, r);
+        }
+    }
+
+    /// Arbitrary (non-concentric) circles through the candidate view — the
+    /// `Exact`/`Exact+` triple-enumeration pattern — equal the from-scratch
+    /// path, including circles that do not contain `q` at all.
+    #[test]
+    fn arbitrary_circle_probes_match(
+        g in arb_spatial_graph(),
+        q_raw in 0u32..18,
+        k in 1u32..4,
+        circles in proptest::collection::vec(((0.0f64..1.0, 0.0f64..1.0), 0.0f64..1.0), 1..24),
+    ) {
+        let q = q_raw % g.num_vertices() as u32;
+        let mut ctx = SearchContext::new(&g, q, k).unwrap();
+        let mut reference = SearchContext::new(&g, q, k).unwrap();
+        // Unit-square data, circle radii ≤ 1: r_max = 4 covers every circle's
+        // members as seen from q (|v, q| ≤ |v, c| + |c, q| ≤ (1 + tol) + √2).
+        ctx.begin_sweep(g.position(q), 4.0, None);
+        for &((cx, cy), r) in &circles {
+            let circle = Circle::new(Point::new(cx, cy), r);
+            let via_sweep = ctx.probe_circle(&circle);
+            let scratch = reference.feasible_in_circle(&circle, None);
+            prop_assert_eq!(via_sweep, scratch, "q={} k={} circle=({}, {}) r={}", q, k, cx, cy, r);
+        }
+    }
+
+    /// Collected sweeps (the `AppInc` expansion pattern) equal the plain
+    /// subset solver after every push.
+    #[test]
+    fn collected_probes_match_subset_solver(
+        g in arb_spatial_graph(),
+        q_raw in 0u32..18,
+        k in 0u32..4,
+        order_seed in proptest::collection::vec(0u32..18, 1..18),
+    ) {
+        let q = q_raw % g.num_vertices() as u32;
+        let mut ctx = SearchContext::new(&g, q, k).unwrap();
+        let mut solver = KCoreSolver::new(g.num_vertices());
+        ctx.begin_collect();
+        let mut pushed = vec![q];
+        ctx.collect(q);
+        prop_assert_eq!(
+            ctx.probe_collected(),
+            solver.kcore_containing(g.graph(), &pushed, q, k)
+        );
+        for &raw in &order_seed {
+            let v = raw % g.num_vertices() as u32;
+            if pushed.contains(&v) {
+                continue;
+            }
+            ctx.collect(v);
+            pushed.push(v);
+            prop_assert_eq!(
+                ctx.probe_collected(),
+                solver.kcore_containing(g.graph(), &pushed, q, k),
+                "after pushing {}", v
+            );
+        }
+    }
+
+    /// Back-to-back sweeps on one context never leak state: a second sweep
+    /// (different centre, universe and radius) still matches from-scratch.
+    #[test]
+    fn sweep_reuse_across_begins_is_clean(
+        g in arb_spatial_graph(),
+        q_raw in 0u32..18,
+        k in 1u32..4,
+        radii_a in proptest::collection::vec(0.0f64..1.6, 1..8),
+        radii_b in proptest::collection::vec(0.0f64..1.6, 1..8),
+        (cx, cy) in (0.0f64..1.0, 0.0f64..1.0),
+    ) {
+        let q = q_raw % g.num_vertices() as u32;
+        let mut ctx = SearchContext::new(&g, q, k).unwrap();
+        let mut reference = SearchContext::new(&g, q, k).unwrap();
+        ctx.begin_sweep(g.position(q), 1.6, None);
+        for &r in &radii_a {
+            ctx.probe(r);
+        }
+        let center = Point::new(cx, cy);
+        ctx.begin_sweep(center, 1.6, None);
+        for &r in &radii_b {
+            prop_assert_eq!(
+                ctx.probe(r),
+                reference.feasible_in_circle(&Circle::new(center, r), None),
+                "second sweep r={}", r
+            );
+        }
+    }
+}

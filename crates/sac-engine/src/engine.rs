@@ -5,7 +5,7 @@ use crate::cache::{CacheLayerStats, CacheStats, KCoreCache, KCoreComponents};
 use crate::epoch::EpochCell;
 use crate::planner::{LatencyTier, Plan, PlanContext, PlannedQuery, Planner, QueryBudget};
 use sac_core::{AlgorithmRegistry, Community, SacError, SearchContext, EXACT_PLUS_EPS_A};
-use sac_graph::{CoreDecomposition, SpatialGraph, VertexId};
+use sac_graph::{CoreDecomposition, SpatialGraph, SweepStats, VertexId};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
@@ -31,7 +31,7 @@ impl Default for EngineConfig {
 }
 
 /// One SAC query against the engine.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SacRequest {
     /// Caller-chosen id, echoed in the response.
     pub id: u64,
@@ -41,6 +41,12 @@ pub struct SacRequest {
     pub k: u32,
     /// Accuracy/latency budget driving plan selection.
     pub budget: QueryBudget,
+    /// Explicit algorithm override: when set, the planner dispatches this
+    /// registry name directly (default parameters, no small-core upgrade, no
+    /// cache-infeasibility short-circuit), which makes otherwise unreachable
+    /// registrations — e.g. the `global`/`local` baselines — A/B-testable
+    /// against the planned path.
+    pub algorithm: Option<String>,
 }
 
 impl SacRequest {
@@ -51,12 +57,19 @@ impl SacRequest {
             q,
             k,
             budget: QueryBudget::default(),
+            algorithm: None,
         }
     }
 
     /// Replaces the budget.
     pub fn with_budget(mut self, budget: QueryBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Forces the named registry algorithm instead of planner selection.
+    pub fn with_algorithm(mut self, algorithm: impl Into<String>) -> Self {
+        self.algorithm = Some(algorithm.into());
         self
     }
 
@@ -68,6 +81,7 @@ impl SacRequest {
             q,
             k,
             budget: QueryBudget::default(),
+            algorithm: None,
         }
     }
 }
@@ -98,18 +112,27 @@ impl SacRequest {
 ///     Err(SacError::InvalidTheta(0.0))
 /// );
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SacRequestBuilder {
     id: u64,
     q: VertexId,
     k: u32,
     budget: QueryBudget,
+    algorithm: Option<String>,
 }
 
 impl SacRequestBuilder {
     /// Sets the caller-chosen request id (echoed in the response).
     pub fn id(mut self, id: u64) -> Self {
         self.id = id;
+        self
+    }
+
+    /// Forces the named registry algorithm instead of planner selection (see
+    /// [`SacRequest::algorithm`]); an unknown name is reported by the engine
+    /// as [`SacError::UnknownAlgorithm`].
+    pub fn algorithm(mut self, algorithm: impl Into<String>) -> Self {
+        self.algorithm = Some(algorithm.into());
         self
     }
 
@@ -151,6 +174,7 @@ impl SacRequestBuilder {
             q: self.q,
             k: self.k,
             budget: self.budget,
+            algorithm: self.algorithm,
         })
     }
 }
@@ -169,6 +193,14 @@ pub struct QueryTrace {
     pub cache_hit: bool,
     /// The approximation ratio the dispatched plan guarantees, when any.
     pub guaranteed_ratio: Option<f64>,
+    /// Connected-k-core feasibility probes the executed algorithm issued
+    /// (radius-sweep prefix probes, arbitrary-circle probes and collected
+    /// probes); 0 for cache-answered or rejected queries.
+    pub probe_count: u64,
+    /// Spatial candidates materialised by the algorithm's sweep begins — the
+    /// amortisation denominator: from-scratch probing would pay a range query
+    /// *per probe*, the sweep pays one candidate view per sweep.
+    pub candidate_count: u64,
 }
 
 /// The engine's answer to one [`SacRequest`].
@@ -442,9 +474,24 @@ impl SacEngine {
         if request.q as usize >= n {
             return Err(SacError::QueryVertexOutOfRange(request.q));
         }
-        let ctx = Self::plan_context(epoch, request);
-        self.planner
-            .plan(request.q, request.k, &request.budget, &ctx)
+        // An explicit override skips the cache feasibility lookup entirely:
+        // A/B comparisons should measure the named algorithm end to end, not
+        // the cache's short-circuit.
+        let ctx = if request.algorithm.is_some() {
+            PlanContext {
+                core_size: None,
+                infeasible: false,
+            }
+        } else {
+            Self::plan_context(epoch, request)
+        };
+        self.planner.plan(
+            request.q,
+            request.k,
+            &request.budget,
+            &ctx,
+            request.algorithm.as_deref(),
+        )
     }
 
     /// Structural facts for the planner.  The cache feasibility rule is only
@@ -488,12 +535,17 @@ impl SacEngine {
         let start = Instant::now();
         let cache_hit = epoch.cache.is_warm();
         self.queries.fetch_add(1, Ordering::Relaxed);
-        let (plan, plan_micros, outcome) = match self.plan_on(epoch, request) {
-            Err(e) => (Plan::Rejected, start.elapsed().as_micros() as u64, Err(e)),
+        let (plan, plan_micros, outcome, sweep) = match self.plan_on(epoch, request) {
+            Err(e) => (
+                Plan::Rejected,
+                start.elapsed().as_micros() as u64,
+                Err(e),
+                SweepStats::default(),
+            ),
             Ok(plan) => {
                 let plan_micros = start.elapsed().as_micros() as u64;
-                let outcome = self.dispatch(epoch, &plan);
-                (plan, plan_micros, outcome)
+                let (outcome, sweep) = self.dispatch(epoch, &plan);
+                (plan, plan_micros, outcome, sweep)
             }
         };
         match &outcome {
@@ -518,6 +570,8 @@ impl SacEngine {
                 exec_micros: micros.saturating_sub(plan_micros),
                 cache_hit,
                 guaranteed_ratio: plan.guaranteed_ratio(),
+                probe_count: sweep.probes,
+                candidate_count: sweep.candidates,
             },
             plan,
         }
@@ -530,34 +584,46 @@ impl SacEngine {
     /// equivalence suite asserts this); the [`SearchContext`] carries the
     /// epoch's memoised decomposition, so k-ĉore-extracting algorithms skip
     /// the `O(m)` peel.
-    fn dispatch(&self, epoch: &EngineEpoch, plan: &Plan) -> Result<Option<Community>, SacError> {
+    fn dispatch(
+        &self,
+        epoch: &EngineEpoch,
+        plan: &Plan,
+    ) -> (Result<Option<Community>, SacError>, SweepStats) {
         let planned: &PlannedQuery = match plan {
-            Plan::Infeasible => return Ok(None),
+            Plan::Infeasible => return (Ok(None), SweepStats::default()),
             Plan::Rejected => unreachable!("rejected plans never reach dispatch"),
             Plan::Execute(planned) => planned,
         };
-        let algorithm = self
-            .planner
-            .registry()
-            .get(planned.algorithm)
-            .ok_or_else(|| SacError::UnknownAlgorithm(planned.algorithm.to_string()))?;
+        let Some(algorithm) = self.planner.registry().get(planned.algorithm) else {
+            return (
+                Err(SacError::UnknownAlgorithm(planned.algorithm.to_string())),
+                SweepStats::default(),
+            );
+        };
         let graph = &*epoch.graph;
         // Only k-ĉore-extracting algorithms consume the shared decomposition;
         // the rest (theta_sac, app_inc, ...) must not force the `O(m)` peel
         // on a cold cache for nothing.
-        let mut ctx = if algorithm.profile().shares_decomposition {
+        let ctx = if algorithm.profile().shares_decomposition {
             SearchContext::with_decomposition(
                 graph,
                 planned.query.q,
                 planned.query.k,
                 epoch.cache.decomposition(graph.graph()),
-            )?
+            )
         } else {
-            SearchContext::new(graph, planned.query.q, planned.query.k)?
+            SearchContext::new(graph, planned.query.q, planned.query.k)
         };
-        algorithm
+        let mut ctx = match ctx {
+            Ok(ctx) => ctx,
+            Err(e) => return (Err(e), SweepStats::default()),
+        };
+        let outcome = algorithm
             .run(&mut ctx, &planned.query)
-            .map(|outcome| outcome.community)
+            .map(|outcome| outcome.community);
+        // The context's sweep counters are the per-query observability hook:
+        // they land in `QueryTrace::probe_count`/`candidate_count`.
+        (outcome, ctx.sweep_stats())
     }
 
     /// Fans `requests` across `threads` workers sharing this engine and
@@ -862,6 +928,74 @@ mod tests {
             engine.stats().cache.decomposition.misses,
             0,
             "theta_sac must not force the decomposition"
+        );
+    }
+
+    #[test]
+    fn trace_exposes_probe_and_candidate_counts() {
+        let engine = engine();
+        // A planned algorithm that probes (exact_plus on the small fixture)
+        // must report its sweep counters in the trace.
+        let response =
+            engine.execute(&SacRequest::new(1, figure3::Q, 2).with_budget(QueryBudget::exact()));
+        assert!(response.trace.probe_count > 0, "exact_plus probes circles");
+        assert!(response.trace.candidate_count > 0);
+        // Algorithms that build their context internally in the free-function
+        // form still surface counters through the engine's context (app_inc
+        // collects into a sweep, exact probes triple circles).
+        for name in ["app_inc", "exact", "app_fast", "app_acc"] {
+            let response = engine.execute(&SacRequest::new(3, figure3::Q, 2).with_algorithm(name));
+            assert!(
+                response.trace.probe_count > 0,
+                "{name} must report its probes"
+            );
+            assert!(
+                response.trace.candidate_count > 0,
+                "{name} must report its candidates"
+            );
+        }
+        // Cache-answered infeasibility never probes.
+        let infeasible = engine.execute(&SacRequest::new(2, figure3::I, 2));
+        assert_eq!(infeasible.plan, Plan::Infeasible);
+        assert_eq!(infeasible.trace.probe_count, 0);
+        assert_eq!(infeasible.trace.candidate_count, 0);
+    }
+
+    #[test]
+    fn algorithm_override_reaches_registered_baselines() {
+        let engine = engine();
+        // `global` is registered but unreachable through budgets; the
+        // override dispatches it and returns the whole k-ĉore (the
+        // structure-only baseline ignores locations).
+        let request = SacRequest::builder(figure3::Q, 2)
+            .id(11)
+            .algorithm("global")
+            .build()
+            .unwrap();
+        let response = engine.execute(&request);
+        assert!(response.plan.dispatches("global"));
+        let community = response.community().expect("feasible");
+        let direct = sac_core::baselines::global_search(&figure3_graph(), figure3::Q, 2)
+            .unwrap()
+            .unwrap();
+        assert_eq!(community.members(), direct.members());
+        assert_eq!(response.trace.guaranteed_ratio, None);
+
+        // The override runs the real algorithm even where the cache would
+        // short-circuit (A/B timing honesty): vertex I has no 2-core, and the
+        // algorithm itself — not the cache — reports infeasibility.
+        let request = SacRequest::new(12, figure3::I, 2).with_algorithm("app_inc");
+        let response = engine.execute(&request);
+        assert!(response.plan.dispatches("app_inc"));
+        assert_eq!(response.outcome, Ok(None));
+        assert_eq!(engine.stats().infeasible_fast_path, 0);
+
+        // Unknown overrides are typed per-query errors.
+        let response = engine.execute(&SacRequest::new(13, figure3::Q, 2).with_algorithm("nope"));
+        assert_eq!(response.plan, Plan::Rejected);
+        assert_eq!(
+            response.outcome,
+            Err(SacError::UnknownAlgorithm("nope".to_string()))
         );
     }
 

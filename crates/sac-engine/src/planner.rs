@@ -28,6 +28,7 @@
 //!
 //! | budget | plan |
 //! |---|---|
+//! | explicit `algorithm` override | that registry entry, verbatim (no upgrade, no cache short-circuit) |
 //! | `theta` set | `theta_sac` (cheapest θ-capable algorithm, §3) |
 //! | `q` not in any k-core (cache lookup) | [`Plan::Infeasible`] — answered without running any algorithm |
 //! | k-ĉore of `q` ≤ `small_exact_threshold` | `exact_plus` |
@@ -35,6 +36,10 @@
 //! | 1 < `max_ratio` < 2 | `app_acc` with `εA = max_ratio − 1` |
 //! | `max_ratio` ≥ 2, [`LatencyTier::Interactive`] | `app_fast` with `εF = max_ratio − 2` |
 //! | `max_ratio` ≥ 2, otherwise | `app_inc` |
+//!
+//! The override row is what makes registered-but-unreachable algorithms (the
+//! `global`/`local` structure-only baselines have an unbounded ratio, so no
+//! budget ever selects them) A/B-testable through the serving path.
 
 use sac_core::{AlgorithmProfile, AlgorithmRegistry, RatioGuarantee, SacError, SacQuery};
 use sac_graph::VertexId;
@@ -293,18 +298,25 @@ impl Planner {
     }
 
     /// Plans one query: validates the budget, then picks the best registered
-    /// algorithm for it (see the module docs for the policy).
+    /// algorithm for it (see the module docs for the policy).  An explicit
+    /// `override_algorithm` bypasses selection entirely and dispatches that
+    /// registry entry with its default parameters.
     ///
-    /// Errors are typed: an invalid budget is rejected here, and a registry
-    /// with no fitting algorithm yields [`SacError::InvalidBudget`].
+    /// Errors are typed: an invalid budget is rejected here, a registry with
+    /// no fitting algorithm yields [`SacError::InvalidBudget`], and an
+    /// unknown override yields [`SacError::UnknownAlgorithm`].
     pub fn plan(
         &self,
         q: VertexId,
         k: u32,
         budget: &QueryBudget,
         ctx: &PlanContext,
+        override_algorithm: Option<&str>,
     ) -> Result<Plan, SacError> {
         budget.validate()?;
+        if let Some(name) = override_algorithm {
+            return self.override_plan(q, k, budget, name);
+        }
         if ctx.infeasible {
             return Ok(Plan::Infeasible);
         }
@@ -322,6 +334,40 @@ impl Planner {
             return self.exact_plan(q, k);
         }
         self.approximate_plan(q, k, budget)
+    }
+
+    /// Explicit A/B override: dispatch the named registry entry verbatim,
+    /// with its documented default parameters (plus the budget's θ when set —
+    /// θ-capable algorithms need it, the rest ignore it).  The reported
+    /// guarantee is what the algorithm's declared band yields at defaults.
+    fn override_plan(
+        &self,
+        q: VertexId,
+        k: u32,
+        budget: &QueryBudget,
+        name: &str,
+    ) -> Result<Plan, SacError> {
+        let algorithm = self
+            .registry
+            .get(name)
+            .ok_or_else(|| SacError::UnknownAlgorithm(name.to_string()))?;
+        let profile = algorithm.profile();
+        let mut query = SacQuery::new(q, k);
+        if let Some(theta) = budget.theta {
+            query = query.with_theta(theta);
+        }
+        let guaranteed_ratio = match profile.ratio {
+            RatioGuarantee::Exact => Some(1.0),
+            RatioGuarantee::Fixed(ratio) => Some(ratio),
+            RatioGuarantee::OnePlusEpsA => Some(1.0 + sac_core::DEFAULT_EPS_A),
+            RatioGuarantee::TwoPlusEpsF => Some(2.0 + sac_core::DEFAULT_EPS_F),
+            RatioGuarantee::Unbounded => None,
+        };
+        Ok(Plan::Execute(PlannedQuery {
+            algorithm: profile.name,
+            query,
+            guaranteed_ratio,
+        }))
     }
 
     /// Radius-constrained request: the cheapest θ-capable algorithm.
@@ -451,7 +497,7 @@ mod tests {
     }
 
     fn plan(budget: &QueryBudget, ctx: &PlanContext) -> Plan {
-        planner().plan(0, 2, budget, ctx).unwrap()
+        planner().plan(0, 2, budget, ctx, None).unwrap()
     }
 
     #[test]
@@ -544,7 +590,65 @@ mod tests {
         assert!(QueryBudget::exact().validate().is_ok());
         // The planner applies the same validation.
         assert!(planner()
-            .plan(0, 2, &QueryBudget::within_ratio(0.2), &CTX_BIG)
+            .plan(0, 2, &QueryBudget::within_ratio(0.2), &CTX_BIG, None)
+            .is_err());
+    }
+
+    #[test]
+    fn explicit_override_reaches_any_registered_algorithm() {
+        let planner = planner();
+        // The baselines are unreachable through budgets (Unbounded ratio)...
+        for ratio in [1.0, 1.5, 4.0] {
+            assert!(!plan(&QueryBudget::within_ratio(ratio), &CTX_BIG).dispatches("global"));
+        }
+        // ... but an explicit override dispatches them directly.
+        for name in ["global", "local", "exact", "app_inc"] {
+            let plan = planner
+                .plan(0, 2, &QueryBudget::balanced(), &CTX_BIG, Some(name))
+                .unwrap();
+            assert!(plan.dispatches(name), "override {name}");
+        }
+        // Overrides skip the small-core upgrade and the infeasibility
+        // short-circuit: the named algorithm runs even when the cache would
+        // have answered.
+        let infeasible = PlanContext {
+            core_size: None,
+            infeasible: true,
+        };
+        let plan_override = planner
+            .plan(
+                0,
+                2,
+                &QueryBudget::balanced(),
+                &infeasible,
+                Some("app_fast"),
+            )
+            .unwrap();
+        assert!(plan_override.dispatches("app_fast"));
+        // θ flows through to θ-capable overrides.
+        let theta = planner
+            .plan(
+                0,
+                2,
+                &QueryBudget::balanced().with_theta(0.5),
+                &CTX_BIG,
+                Some("theta_sac"),
+            )
+            .unwrap();
+        assert_eq!(theta.label(), "theta_sac(theta=0.5)");
+        // Unknown overrides are typed errors; invalid budgets still reject.
+        assert_eq!(
+            planner.plan(0, 2, &QueryBudget::balanced(), &CTX_BIG, Some("bogus")),
+            Err(SacError::UnknownAlgorithm("bogus".to_string()))
+        );
+        assert!(planner
+            .plan(
+                0,
+                2,
+                &QueryBudget::within_ratio(0.1),
+                &CTX_BIG,
+                Some("exact")
+            )
             .is_err());
     }
 
@@ -592,12 +696,18 @@ mod tests {
         registry.register(Arc::new(sac_core::AppIncSearch));
         let planner = Planner::new(Arc::new(registry), 0, 1e-4);
         assert!(matches!(
-            planner.plan(0, 2, &QueryBudget::within_ratio(1.5), &CTX_BIG),
+            planner.plan(0, 2, &QueryBudget::within_ratio(1.5), &CTX_BIG, None),
             Err(SacError::InvalidBudget(_))
         ));
         // ...and a theta request has no capable algorithm either.
         assert!(planner
-            .plan(0, 2, &QueryBudget::balanced().with_theta(1.0), &CTX_BIG)
+            .plan(
+                0,
+                2,
+                &QueryBudget::balanced().with_theta(1.0),
+                &CTX_BIG,
+                None
+            )
             .is_err());
 
         // AppInc + Exact+: the out-of-band budget falls back to exact.
@@ -606,7 +716,7 @@ mod tests {
         registry.register(Arc::new(sac_core::ExactPlusSearch));
         let planner = Planner::new(Arc::new(registry), 0, 1e-4);
         let plan = planner
-            .plan(0, 2, &QueryBudget::within_ratio(1.5), &CTX_BIG)
+            .plan(0, 2, &QueryBudget::within_ratio(1.5), &CTX_BIG, None)
             .unwrap();
         assert!(plan.dispatches("exact_plus"));
     }

@@ -30,7 +30,7 @@ fn planner() -> Planner {
 }
 
 fn plan(budget: &QueryBudget, ctx: &PlanContext) -> Plan {
-    planner().plan(7, 3, budget, ctx).unwrap()
+    planner().plan(7, 3, budget, ctx, None).unwrap()
 }
 
 /// Row 1 — `theta` set: the θ-capable algorithm, regardless of tier and
@@ -213,13 +213,14 @@ fn registered_algorithms_join_the_table() {
             2,
             &QueryBudget::within_ratio(3.0).with_tier(LatencyTier::Interactive),
             &BIG_CORE,
+            None,
         )
         .unwrap();
     assert!(plan.dispatches("turbo"));
     // Standard prefers the tightest guarantee; turbo ties app_inc at 2 and
     // wins on cost among the parameter-free candidates.
     let plan = planner
-        .plan(0, 2, &QueryBudget::within_ratio(3.0), &BIG_CORE)
+        .plan(0, 2, &QueryBudget::within_ratio(3.0), &BIG_CORE, None)
         .unwrap();
     assert!(plan.dispatches("turbo"));
 }

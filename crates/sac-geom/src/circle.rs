@@ -97,12 +97,27 @@ impl Circle {
         Circle::from_diameter(a, b)
     }
 
+    /// The squared inclusion threshold of [`Circle::contains`]: a point `p` is
+    /// inside the circle exactly when `center.distance_sq(p)` is at most this
+    /// value.
+    ///
+    /// Every inclusion test in the workspace (point containment, grid range
+    /// queries, the radius-sweep candidate view in `sac-graph`) compares
+    /// against this one bound, so the different query paths agree bit-for-bit
+    /// on boundary vertices.  The bound is monotone in the radius, which is
+    /// what lets a distance-sorted candidate array answer any smaller-radius
+    /// query as a prefix.
+    #[inline]
+    pub fn contains_bound_sq(&self) -> f64 {
+        let t = self.radius + EPS * (1.0 + self.radius);
+        t * t
+    }
+
     /// Returns `true` when `p` lies inside the circle (boundary inclusive, with a
     /// small tolerance proportional to the radius).
     #[inline]
     pub fn contains(&self, p: Point) -> bool {
-        let tol = EPS * (1.0 + self.radius);
-        self.center.distance_sq(p) <= (self.radius + tol) * (self.radius + tol)
+        self.center.distance_sq(p) <= self.contains_bound_sq()
     }
 
     /// Returns `true` when every point of `points` lies inside the circle.

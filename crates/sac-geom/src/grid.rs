@@ -151,10 +151,7 @@ impl GridIndex {
         let r = circle.radius;
         let (cx_lo, cx_hi) = self.col_span(c.x - r, c.x + r);
         let (cy_lo, cy_hi) = self.row_span(c.y - r, c.y + r);
-        let r_tol_sq = {
-            let t = r + crate::EPS * (1.0 + r);
-            t * t
-        };
+        let r_tol_sq = circle.contains_bound_sq();
         for cy in cy_lo..=cy_hi {
             for cx in cx_lo..=cx_hi {
                 for e in self.cell_range(cx, cy).clone() {

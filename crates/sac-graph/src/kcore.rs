@@ -10,7 +10,7 @@
 //!   question without allocating per call, which is the inner loop of `Exact`,
 //!   `AppInc`, `AppFast`, `AppAcc` and `Exact+`.
 
-use crate::{core_decomposition, Graph, VertexId};
+use crate::{bits, core_decomposition, Graph, VertexId};
 
 /// Returns the vertex set of the connected k-core (k-ĉore) of `graph` that contains
 /// `q`, or `None` when `q` is not part of any k-core.
@@ -47,56 +47,52 @@ pub fn connected_kcore(graph: &Graph, q: VertexId, k: u32) -> Option<Vec<VertexI
 /// A reusable solver for subset-restricted connected-k-core queries.
 ///
 /// Given a vertex subset `S`, [`KCoreSolver::kcore_containing`] peels `G[S]` down to
-/// its k-core and returns the connected component containing `q`, if any.  All
-/// scratch buffers are epoch-marked so repeated calls do not pay an `O(n)` reset;
-/// the cost of a call is `O(Σ_{v ∈ S} deg_G(v))`.
+/// its k-core and returns the connected component containing `q`, if any.  The
+/// membership and removal working sets are packed flat bitsets (`u64` words), so
+/// the per-edge tests of the peel touch 32x less memory than the former `u32`
+/// epoch arrays; the marks set by a call are cleared sparsely on exit, keeping
+/// the cost of a call at `O(Σ_{v ∈ S} deg_G(v))` with no `O(n)` reset.
 #[derive(Debug, Clone)]
 pub struct KCoreSolver {
-    epoch: u32,
-    /// `in_subset[v] == epoch` ⇔ vertex `v` belongs to the current call's subset.
-    in_subset: Vec<u32>,
-    /// `removed[v] == epoch` ⇔ vertex `v` was peeled away in the current call.
-    removed: Vec<u32>,
-    /// `seen[v] == epoch` ⇔ vertex `v` was visited by the current call's BFS.
-    seen: Vec<u32>,
+    /// Bit `v` set ⇔ vertex `v` belongs to the current call's subset.
+    in_subset: Vec<u64>,
+    /// Bit `v` set ⇔ vertex `v` was peeled away (or BFS-visited) this call.
+    removed: Vec<u64>,
     /// Degree of `v` restricted to the current subset (valid only for subset members).
     deg: Vec<u32>,
     /// Scratch stack shared by peeling and BFS.
     stack: Vec<VertexId>,
+    /// The deduplicated subset of the current call (drives the sparse cleanup).
+    dedup: Vec<VertexId>,
 }
 
 impl KCoreSolver {
     /// Creates a solver for graphs with at most `n` vertices.
     pub fn new(n: usize) -> Self {
         KCoreSolver {
-            epoch: 0,
-            in_subset: vec![0; n],
-            removed: vec![0; n],
-            seen: vec![0; n],
+            in_subset: vec![0; bits::words_for(n)],
+            removed: vec![0; bits::words_for(n)],
             deg: vec![0; n],
             stack: Vec::new(),
+            dedup: Vec::new(),
         }
     }
 
     /// Grows the internal buffers if the graph has more vertices than anticipated.
     fn ensure_capacity(&mut self, n: usize) {
-        if self.in_subset.len() < n {
-            self.in_subset.resize(n, 0);
-            self.removed.resize(n, 0);
-            self.seen.resize(n, 0);
+        if self.deg.len() < n {
+            self.in_subset.resize(bits::words_for(n), 0);
+            self.removed.resize(bits::words_for(n), 0);
             self.deg.resize(n, 0);
         }
     }
 
-    fn bump_epoch(&mut self) {
-        if self.epoch == u32::MAX {
-            // Extremely unlikely in practice; reset all marks to start over.
-            self.in_subset.iter_mut().for_each(|x| *x = 0);
-            self.removed.iter_mut().for_each(|x| *x = 0);
-            self.seen.iter_mut().for_each(|x| *x = 0);
-            self.epoch = 0;
+    /// Clears the bits set by the current call (sparse, `O(|subset|)`).
+    fn cleanup(&mut self) {
+        for &v in &self.dedup {
+            bits::clear(&mut self.in_subset, v);
+            bits::clear(&mut self.removed, v);
         }
-        self.epoch += 1;
     }
 
     /// Returns the vertex set (sorted by id) of the connected k-core of `G[subset]`
@@ -112,28 +108,26 @@ impl KCoreSolver {
         k: u32,
     ) -> Option<Vec<VertexId>> {
         self.ensure_capacity(graph.num_vertices());
-        self.bump_epoch();
-        let epoch = self.epoch;
 
-        // Mark the subset.
+        // Mark the subset, deduplicating via test-and-set.
+        self.dedup.clear();
         for &v in subset {
-            self.in_subset[v as usize] = epoch;
+            if !bits::test(&self.in_subset, v) {
+                bits::set(&mut self.in_subset, v);
+                self.dedup.push(v);
+            }
         }
-        if (q as usize) >= graph.num_vertices() || self.in_subset[q as usize] != epoch {
+        if (q as usize) >= graph.num_vertices() || !bits::test(&self.in_subset, q) {
+            self.cleanup();
             return None;
         }
 
         // Degree of every subset vertex restricted to the subset.
-        // (Iterate over `subset` but skip duplicates via the `deg-initialised` trick:
-        // reset deg when first touched this epoch, using `seen` as the init marker.)
-        for &v in subset {
-            if self.seen[v as usize] == epoch {
-                continue; // duplicate entry
-            }
-            self.seen[v as usize] = epoch;
+        for i in 0..self.dedup.len() {
+            let v = self.dedup[i];
             let mut d = 0u32;
             for &u in graph.neighbors(v) {
-                if self.in_subset[u as usize] == epoch {
+                if bits::test(&self.in_subset, u) {
                     d += 1;
                 }
             }
@@ -142,46 +136,46 @@ impl KCoreSolver {
 
         // Peel vertices whose subset-degree is below k.
         self.stack.clear();
-        for &v in subset {
-            if self.removed[v as usize] != epoch && self.deg[v as usize] < k {
-                self.removed[v as usize] = epoch;
+        for i in 0..self.dedup.len() {
+            let v = self.dedup[i];
+            if self.deg[v as usize] < k {
+                bits::set(&mut self.removed, v);
                 self.stack.push(v);
             }
         }
         while let Some(v) = self.stack.pop() {
             for &u in graph.neighbors(v) {
-                if self.in_subset[u as usize] == epoch && self.removed[u as usize] != epoch {
+                if bits::test(&self.in_subset, u) && !bits::test(&self.removed, u) {
                     self.deg[u as usize] -= 1;
                     if self.deg[u as usize] + 1 == k {
-                        self.removed[u as usize] = epoch;
+                        bits::set(&mut self.removed, u);
                         self.stack.push(u);
                     }
                 }
             }
         }
-        if self.removed[q as usize] == epoch {
+        if bits::test(&self.removed, q) {
+            self.cleanup();
             return None;
         }
 
-        // BFS from q over surviving subset vertices.  Reuse `seen` with a fresh
-        // epoch-like trick: flip to a "visited" state by bumping seen to epoch + ...
-        // Simpler: use the stack plus a dedicated visited value (epoch stored in
-        // `seen` was used for dedup above, so we track BFS visits by temporarily
-        // marking visited vertices as removed — they are part of the answer and the
-        // call ends right after).
+        // BFS from q over surviving subset vertices, marking visits in `removed`
+        // (the visited vertices are the answer and the call ends right after, so
+        // the overload is harmless and saves a third bitset).
         let mut component = Vec::new();
         self.stack.clear();
         self.stack.push(q);
-        self.removed[q as usize] = epoch; // mark visited
+        bits::set(&mut self.removed, q);
         while let Some(v) = self.stack.pop() {
             component.push(v);
             for &u in graph.neighbors(v) {
-                if self.in_subset[u as usize] == epoch && self.removed[u as usize] != epoch {
-                    self.removed[u as usize] = epoch;
+                if bits::test(&self.in_subset, u) && !bits::test(&self.removed, u) {
+                    bits::set(&mut self.removed, u);
                     self.stack.push(u);
                 }
             }
         }
+        self.cleanup();
         component.sort_unstable();
         Some(component)
     }

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bits;
 mod builder;
 mod core_decomp;
 mod dynamic;
@@ -57,6 +58,7 @@ pub mod io;
 mod kcore;
 mod spatial;
 mod stats;
+mod sweep;
 mod traversal;
 mod truss;
 
@@ -68,6 +70,7 @@ pub use graph::{Graph, VertexId};
 pub use kcore::{connected_kcore, KCoreSolver};
 pub use spatial::SpatialGraph;
 pub use stats::{degree_histogram, GraphStats};
+pub use sweep::{RadiusSweepSolver, SweepStats};
 pub use traversal::{
     bfs_component, connected_components, is_connected_subset, min_degree_in_subset, VertexSet,
 };

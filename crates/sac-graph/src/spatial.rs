@@ -109,6 +109,48 @@ impl SpatialGraph {
         self.index.count_in_circle(circle)
     }
 
+    /// The distance-ordered candidate view of the ball `O(center, r_max)`:
+    /// one grid range query plus one sort, appended to `out` (cleared first)
+    /// as `(vertex, distance² from center)` in ascending distance order,
+    /// ties broken by vertex id.
+    ///
+    /// Because the grid query shares its inclusion bound with
+    /// [`Circle::contains`] (see [`sac_geom::Circle::contains_bound_sq`]) and
+    /// that bound is monotone in the radius, the vertex set of **any** circle
+    /// `O(center, r)` with `r ≤ r_max` is exactly a prefix of this array —
+    /// the foundation of the incremental radius-sweep solver
+    /// ([`crate::RadiusSweepSolver`]).
+    pub fn vertices_by_distance_into(
+        &self,
+        center: Point,
+        r_max: f64,
+        scratch: &mut Vec<VertexId>,
+        out: &mut Vec<(VertexId, f64)>,
+    ) {
+        out.clear();
+        self.index
+            .query_circle_into(&Circle::new(center, r_max.max(0.0)), scratch);
+        out.extend(
+            scratch
+                .iter()
+                .map(|&v| (v, self.position(v).distance_sq(center))),
+        );
+        out.sort_unstable_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+    }
+
+    /// Allocating convenience wrapper of
+    /// [`SpatialGraph::vertices_by_distance_into`].
+    pub fn vertices_by_distance(&self, center: Point, r_max: f64) -> Vec<(VertexId, f64)> {
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        self.vertices_by_distance_into(center, r_max, &mut scratch, &mut out);
+        out
+    }
+
     /// The `k` vertices spatially nearest to `point`, as `(vertex, distance)` pairs
     /// in ascending distance order.
     pub fn k_nearest(&self, point: Point, k: usize) -> Vec<(VertexId, f64)> {
@@ -235,6 +277,31 @@ mod tests {
         let mut buf = Vec::new();
         sg.vertices_in_circle_into(&Circle::new(Point::new(0.0, 0.0), 0.5), &mut buf);
         assert_eq!(buf, vec![0]);
+    }
+
+    #[test]
+    fn distance_ordered_view_is_prefix_consistent() {
+        let sg = grid_graph();
+        let center = Point::new(1.0, 1.0);
+        let view = sg.vertices_by_distance(center, 1.5);
+        // Sorted ascending by distance.
+        for w in view.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        // Any smaller radius is a prefix of the view and equals the grid query.
+        for r in [0.0, 0.5, 1.0, 1.4] {
+            let bound = Circle::new(center, r).contains_bound_sq();
+            let prefix: Vec<u32> = view
+                .iter()
+                .take_while(|&&(_, d2)| d2 <= bound)
+                .map(|&(v, _)| v)
+                .collect();
+            let mut expected = sg.vertices_in_circle(&Circle::new(center, r));
+            expected.sort_unstable();
+            let mut got = prefix;
+            got.sort_unstable();
+            assert_eq!(got, expected, "r = {r}");
+        }
     }
 
     #[test]

@@ -253,6 +253,29 @@ mod tests {
     }
 
     #[test]
+    fn algorithm_override_round_trips_over_the_wire() {
+        let service = service();
+        // The `global` baseline is unreachable through budgets; the explicit
+        // wire field dispatches it for A/B comparisons.
+        let line = service
+            .handle_line(&format!(
+                r#"{{"q":{},"k":2,"algorithm":"global"}}"#,
+                figure3::Q
+            ))
+            .unwrap();
+        assert!(line.contains(r#""plan":"global""#), "got: {line}");
+        assert!(line.contains(r#""feasible":true"#), "got: {line}");
+        // Unknown names are typed per-query rejections, not transport errors.
+        let bad = service
+            .handle_line(&format!(
+                r#"{{"q":{},"k":2,"algorithm":"warp"}}"#,
+                figure3::Q
+            ))
+            .unwrap();
+        assert!(bad.contains(r#""plan":"rejected""#), "got: {bad}");
+    }
+
+    #[test]
     fn live_updates_flow_through_the_service() {
         let service = service();
         let reply = service

@@ -41,7 +41,7 @@ impl std::error::Error for ProtoError {}
 /// Budget *values* are not validated here — [`QuerySpec::to_request`] routes
 /// them through the engine's validating [`SacRequest::builder`], so invalid
 /// budgets surface as typed per-query errors rather than transport errors.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuerySpec {
     /// Caller-chosen id (a transport-assigned fallback is used when absent).
     pub id: Option<u64>,
@@ -55,6 +55,11 @@ pub struct QuerySpec {
     pub tier: Option<sac_engine::LatencyTier>,
     /// θ radius constraint (requests the radius-constrained variant).
     pub theta: Option<f64>,
+    /// Explicit algorithm override (registry name): dispatches that algorithm
+    /// directly instead of planner selection, making the registered baselines
+    /// A/B-testable over the wire.  Unknown names become typed per-query
+    /// errors.
+    pub algorithm: Option<String>,
 }
 
 impl QuerySpec {
@@ -67,6 +72,7 @@ impl QuerySpec {
             ratio: None,
             tier: None,
             theta: None,
+            algorithm: None,
         }
     }
 
@@ -109,6 +115,18 @@ impl QuerySpec {
                 );
             }
         }
+        match value.get("algorithm") {
+            None => {}
+            Some(algorithm) if algorithm.is_null() => {}
+            Some(algorithm) => {
+                spec.algorithm = Some(
+                    algorithm
+                        .as_str()
+                        .ok_or_else(|| ProtoError::new("field 'algorithm' must be a string"))?
+                        .to_string(),
+                );
+            }
+        }
         Ok(spec)
     }
 
@@ -125,6 +143,9 @@ impl QuerySpec {
         }
         if let Some(theta) = self.theta {
             builder = builder.theta(theta);
+        }
+        if let Some(algorithm) = &self.algorithm {
+            builder = builder.algorithm(algorithm.clone());
         }
         builder.build()
     }
@@ -329,6 +350,12 @@ pub struct QueryReply {
     /// Epoch the query was answered against (0 when it never reached an
     /// engine, e.g. budget rejection at decode time).
     pub epoch: u64,
+    /// Feasibility probes the executed algorithm issued (radius-sweep
+    /// counters; 0 for cache-answered or rejected queries).
+    pub probes: u64,
+    /// Spatial candidates its sweeps materialised (the amortisation
+    /// denominator of the probe count).
+    pub candidates: u64,
     /// The approximation ratio the dispatched plan guarantees, when any.
     pub ratio: Option<f64>,
 }
@@ -355,6 +382,8 @@ impl QueryReply {
             micros: options.timing.then_some(response.micros),
             cache_hit: response.trace.cache_hit,
             epoch: response.trace.epoch,
+            probes: response.trace.probe_count,
+            candidates: response.trace.candidate_count,
             ratio: response.trace.guaranteed_ratio,
         }
     }
@@ -371,6 +400,8 @@ impl QueryReply {
             micros: None,
             cache_hit: false,
             epoch: 0,
+            probes: 0,
+            candidates: 0,
             ratio: None,
         }
     }
@@ -421,6 +452,8 @@ impl QueryReply {
         }
         fields.push(("cache_hit", Json::Bool(self.cache_hit)));
         fields.push(("epoch", Json::Num(self.epoch as f64)));
+        fields.push(("probes", Json::Num(self.probes as f64)));
+        fields.push(("candidates", Json::Num(self.candidates as f64)));
         if let Some(ratio) = self.ratio {
             fields.push(("ratio", Json::Num(ratio)));
         }
@@ -706,7 +739,7 @@ mod tests {
     #[test]
     fn decodes_queries_batches_and_commands() {
         let query = ProtoRequest::parse_line(
-            r#"{"id":3,"q":17,"k":4,"ratio":1.5,"tier":"interactive","theta":0.25}"#,
+            r#"{"id":3,"q":17,"k":4,"ratio":1.5,"tier":"interactive","theta":0.25,"algorithm":"global"}"#,
         )
         .unwrap();
         let ProtoRequest::Query(spec) = query else {
@@ -717,9 +750,11 @@ mod tests {
         assert_eq!(spec.ratio, Some(1.5));
         assert_eq!(spec.tier, Some(LatencyTier::Interactive));
         assert_eq!(spec.theta, Some(0.25));
+        assert_eq!(spec.algorithm.as_deref(), Some("global"));
         let request = spec.to_request(0).unwrap();
         assert_eq!(request.id, 3);
         assert_eq!(request.budget.theta, Some(0.25));
+        assert_eq!(request.algorithm.as_deref(), Some("global"));
 
         let batch = ProtoRequest::parse_line(r#"[{"q":1,"k":2},{"q":2,"k":2}]"#).unwrap();
         assert!(matches!(batch, ProtoRequest::Batch(specs) if specs.len() == 2));
@@ -755,6 +790,7 @@ mod tests {
             (r#"{"q":1,"k":2,"ratio":"fast"}"#, "'ratio'"),
             (r#"{"q":1,"k":2,"tier":"warp"}"#, "latency tier"),
             (r#"{"q":1,"k":2,"theta":"wide"}"#, "'theta'"),
+            (r#"{"q":1,"k":2,"algorithm":7}"#, "'algorithm'"),
             (r#"{"cmd":"frobnicate"}"#, "unknown command"),
             (r#"{"cmd":"add_edge","u":1}"#, "'u' and 'v'"),
             (r#"{"cmd":"warm","ks":[1.5]}"#, "'ks'"),
@@ -794,12 +830,14 @@ mod tests {
             micros: Some(42),
             cache_hit: true,
             epoch: 2,
+            probes: 9,
+            candidates: 61,
             ratio: Some(2.0),
         };
         let line = ProtoResponse::Query(reply.clone()).encode_line(EncodeOptions::default());
         assert_eq!(
             line,
-            r#"{"ok":true,"id":7,"q":1,"k":2,"plan":"app_inc","feasible":true,"size":3,"radius":1.25,"center":[0.5,0.25],"members":[1,2,3],"micros":42,"cache_hit":true,"epoch":2,"ratio":2}"#
+            r#"{"ok":true,"id":7,"q":1,"k":2,"plan":"app_inc","feasible":true,"size":3,"radius":1.25,"center":[0.5,0.25],"members":[1,2,3],"micros":42,"cache_hit":true,"epoch":2,"probes":9,"candidates":61,"ratio":2}"#
         );
         // Deterministic mode drops the volatile timing field.
         let no_timing = ProtoResponse::Query(reply).encode_line(EncodeOptions {
