@@ -1,0 +1,108 @@
+//! Sharded-serving benchmark: the single-shard fast path, the multi-shard
+//! fallback, shard-affine batch execution, and bulk delta apply vs per-edge
+//! core repair.
+//!
+//! The machine-readable runner `examples/bench_sharded.rs` times the same
+//! paths with plain timers, writes `bench_sharded.json`, and gates CI
+//! (single-shard routing overhead ≤ 1.1x unsharded; bulk apply ≥ 1.5x over
+//! per-edge repair).  This criterion target is the human-oriented view.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sac_bench::bench_dataset_scaled;
+use sac_data::{select_query_vertices, DatasetKind};
+use sac_engine::{EngineConfig, QueryBudget, SacEngine, SacRequest};
+use sac_graph::{BatchOp, BatchStrategy, DynamicGraph, VertexId};
+use std::sync::Arc;
+
+const K: u32 = 4;
+
+fn bench_sharded(c: &mut Criterion) {
+    let data = bench_dataset_scaled(DatasetKind::Brightkite, 0.02);
+    let graph = Arc::new(data.graph);
+    let mut rng = StdRng::seed_from_u64(0x5AC5);
+    let queries = select_query_vertices(graph.graph(), 16, K, &mut rng);
+    let bounds = sac_geom::Rect::bounding(graph.positions()).expect("non-empty graph");
+    let theta = 0.02 * bounds.min.distance(bounds.max);
+    let workload: Vec<SacRequest> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, &q)| {
+            SacRequest::new(i as u64, q, K).with_budget(QueryBudget::balanced().with_theta(theta))
+        })
+        .collect();
+
+    let mut group = c.benchmark_group(format!("sharded/{}", data.kind.name()));
+    group.sample_size(10);
+
+    // Sequential θ queries per shard count: 0 = the unsharded baseline, the
+    // rest route through the single-shard fast path.
+    for shards in [0usize, 2, 4] {
+        let engine = SacEngine::with_config(
+            Arc::clone(&graph),
+            EngineConfig {
+                shards,
+                ..EngineConfig::default()
+            },
+        );
+        engine.warm(&[K]);
+        group.bench_with_input(
+            BenchmarkId::new("theta_seq", shards),
+            &engine,
+            |b, engine| {
+                b.iter(|| {
+                    for request in &workload {
+                        black_box(engine.execute(request));
+                    }
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("theta_batch4", shards),
+            &engine,
+            |b, engine| {
+                b.iter(|| black_box(engine.execute_batch(&workload, 4)));
+            },
+        );
+    }
+
+    // Bulk delta apply: one heavy delta repaired per edge vs one shared peel.
+    let base = DynamicGraph::from_graph(graph.graph());
+    let n = graph.num_vertices() as VertexId;
+    let mut ops = Vec::new();
+    for u in 0..n {
+        for &v in graph.neighbors(u) {
+            if u < v && (u + v) % 4 == 0 {
+                ops.push(BatchOp::Remove(u, v));
+            }
+        }
+    }
+    for _ in 0..ops.len() {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            ops.push(BatchOp::Insert(u, v));
+        }
+    }
+    for (name, strategy) in [
+        ("per_edge", BatchStrategy::PerEdge),
+        ("shared_peel", BatchStrategy::Recompute),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("bulk_apply", name),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    let mut dynamic = base.clone();
+                    black_box(dynamic.apply_batch_with(&ops, strategy).unwrap());
+                });
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded);
+criterion_main!(benches);

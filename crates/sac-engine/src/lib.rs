@@ -67,7 +67,7 @@ mod planner;
 pub use cache::{CacheLayerStats, CacheStats, KCoreCache, KCoreComponents};
 pub use engine::{
     EngineConfig, EngineStats, PublishReport, QueryTrace, SacEngine, SacRequest, SacRequestBuilder,
-    SacResponse,
+    SacResponse, ShardStats,
 };
 pub use epoch::EpochCell;
 pub use planner::{LatencyTier, Plan, PlanContext, PlannedQuery, Planner, QueryBudget};

@@ -123,6 +123,16 @@ impl Rect {
             max: Point::new(self.max.x + margin, self.max.y + margin),
         }
     }
+
+    /// Returns `true` when the whole circle `O(center, radius)` lies inside
+    /// the rectangle (boundary inclusive).  Infinite rectangle sides behave
+    /// as expected (everything is inside an unbounded side).
+    pub fn contains_circle(&self, center: Point, radius: f64) -> bool {
+        center.x - radius >= self.min.x
+            && center.x + radius <= self.max.x
+            && center.y - radius >= self.min.y
+            && center.y + radius <= self.max.y
+    }
 }
 
 impl fmt::Display for Rect {
@@ -207,5 +217,20 @@ mod tests {
         let r = Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).expanded(0.5);
         assert_eq!(r.min, Point::new(-0.5, -0.5));
         assert_eq!(r.max, Point::new(1.5, 1.5));
+    }
+
+    #[test]
+    fn circle_containment() {
+        let r = Rect::new(Point::new(0.0, 0.0), Point::new(4.0, 4.0));
+        assert!(r.contains_circle(Point::new(2.0, 2.0), 2.0));
+        assert!(!r.contains_circle(Point::new(2.0, 2.0), 2.1));
+        assert!(!r.contains_circle(Point::new(0.5, 2.0), 1.0));
+        // Unbounded sides contain any circle on that side.
+        let open = Rect {
+            min: Point::new(f64::NEG_INFINITY, 0.0),
+            max: Point::new(4.0, f64::INFINITY),
+        };
+        assert!(open.contains_circle(Point::new(-100.0, 100.0), 50.0));
+        assert!(!open.contains_circle(Point::new(3.9, 100.0), 0.5));
     }
 }

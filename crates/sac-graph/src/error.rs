@@ -30,6 +30,9 @@ pub enum GraphError {
     },
     /// An underlying I/O failure.
     Io(io::Error),
+    /// Invalid sharding parameters (zero shards, or a non-finite/negative
+    /// halo fraction).
+    InvalidShardConfig,
 }
 
 impl fmt::Display for GraphError {
@@ -51,6 +54,10 @@ impl fmt::Display for GraphError {
                 write!(f, "parse error at line {line}: {message}")
             }
             GraphError::Io(e) => write!(f, "I/O error: {e}"),
+            GraphError::InvalidShardConfig => write!(
+                f,
+                "invalid shard configuration (need >= 1 shard and a finite non-negative halo)"
+            ),
         }
     }
 }

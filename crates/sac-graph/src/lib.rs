@@ -56,6 +56,7 @@ mod error;
 mod graph;
 pub mod io;
 mod kcore;
+mod shard;
 mod spatial;
 mod stats;
 mod sweep;
@@ -64,10 +65,11 @@ mod truss;
 
 pub use builder::GraphBuilder;
 pub use core_decomp::{core_decomposition, CoreDecomposition};
-pub use dynamic::{DynamicGraph, EdgeChange};
+pub use dynamic::{BatchChange, BatchOp, BatchStrategy, DynamicGraph, EdgeChange};
 pub use error::GraphError;
 pub use graph::{Graph, VertexId};
 pub use kcore::{connected_kcore, KCoreSolver};
+pub use shard::{ShardMap, ShardedGraph};
 pub use spatial::SpatialGraph;
 pub use stats::{degree_histogram, GraphStats};
 pub use sweep::{RadiusSweepSolver, SweepStats};

@@ -1,0 +1,600 @@
+//! Spatially sharded snapshots: a KD-style partitioner ([`ShardMap`]) and the
+//! per-shard induced subgraphs ([`ShardedGraph`]) the serving engine fans
+//! queries out to.
+//!
+//! The paper's SAC queries are inherently local: every algorithm's spatial
+//! activity stays inside a *cover circle* around the query vertex (a few
+//! multiples of the distance from `q` to the farthest member of its k-ĉore,
+//! or `θ` for radius-constrained queries).  Sharding exploits that locality:
+//!
+//! * [`ShardMap`] recursively median-splits the vertex positions into `N`
+//!   rectangular **regions** that tile the whole plane (the outermost regions
+//!   are unbounded, so vertices added later always map to some shard).
+//! * Each shard **materialises** the subgraph induced by every vertex inside
+//!   its region expanded by a *halo ring* of width [`ShardMap::halo`].  Vertex
+//!   ids, positions and the spatial grid are kept in the **global** id space —
+//!   only the adjacency is restricted — so a query answered on a shard is
+//!   bit-for-bit the answer the global graph would give, with no id
+//!   remapping.
+//! * A query whose cover circle fits inside a shard's **interior** (the
+//!   region expanded by the halo minus a small floating-point guard) touches
+//!   only vertices whose full circle-local neighbourhood the shard carries:
+//!   every vertex inside the circle is a shard member, and every edge between
+//!   two such vertices is present in the induced subgraph.  Peeling a circle
+//!   therefore produces the identical result on the shard and on the global
+//!   graph (`sac-engine`'s property suite pins this).  Queries whose circle
+//!   crosses shard interiors fall back to the global snapshot (shard ∞ in the
+//!   engine), so correctness never depends on the halo width — the halo only
+//!   decides how many queries take the single-shard fast path.
+//!
+//! The guard absorbs the inclusion tolerance of
+//! [`sac_geom::Circle::contains_bound_sq`]: a circle contained in the
+//! interior can pull in tolerance-ring vertices just outside it, and those
+//! must still be shard members.
+
+use crate::{Graph, GraphError, SpatialGraph, VertexId};
+use sac_geom::{Circle, Point, Rect, EPS};
+use std::sync::Arc;
+
+/// One split of the KD partition tree.
+#[derive(Debug, Clone)]
+enum KdNode {
+    /// A leaf holding its shard id.
+    Leaf(u32),
+    /// An axis-aligned split: `axis == 0` splits on x, `1` on y; points with
+    /// coordinate `< at` go low.
+    Split {
+        axis: u8,
+        at: f64,
+        lo: Box<KdNode>,
+        hi: Box<KdNode>,
+    },
+}
+
+/// A spatial partitioner over a point set: KD-style recursive median split
+/// into `N` rectangular regions tiling the plane, with per-shard halo and
+/// floating-point guard widths.
+///
+/// A `ShardMap` is built once per engine from the initial snapshot's
+/// positions and kept across epochs (regions are stable; only shard
+/// *contents* are rebuilt as the graph mutates).
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    root: KdNode,
+    regions: Vec<Rect>,
+    halo: f64,
+    guard: f64,
+    /// The largest circle radius any single interior can contain (`2r` must
+    /// fit both interior dimensions); cover radii above this always take the
+    /// global fallback, which lets the router stop bounding a k-ĉore's
+    /// spatial extent early.
+    max_routable: f64,
+}
+
+impl ShardMap {
+    /// Partitions `positions` into (at most) `shards` regions by recursive
+    /// median split, always splitting the most populated region along its
+    /// wider data extent.  `halo_frac` scales the halo ring relative to the
+    /// data bounding-box diagonal.
+    ///
+    /// Fewer than `shards` regions are produced when a region cannot be split
+    /// (all its points share one location); [`ShardMap::num_shards`] reports
+    /// the actual count.
+    pub fn build(positions: &[Point], shards: usize, halo_frac: f64) -> Result<Self, GraphError> {
+        if positions.is_empty() {
+            return Err(GraphError::EmptyGraph);
+        }
+        if shards == 0 || !halo_frac.is_finite() || halo_frac < 0.0 {
+            return Err(GraphError::InvalidShardConfig);
+        }
+        let bounds = Rect::bounding(positions).expect("non-empty positions");
+        let diag = bounds.min.distance(bounds.max);
+        // The guard absorbs the circle-inclusion tolerance for any cover
+        // circle a shard can possibly contain (radius bounded by the data
+        // extent plus halo), with generous slack.
+        let guard = EPS * (16.0 + 16.0 * diag);
+        let halo = halo_frac * diag + 2.0 * guard;
+
+        // Work list of (point indices, region) pairs; split the largest until
+        // we have `shards` leaves or nothing splits any more.
+        let everything = Rect {
+            min: Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+            max: Point::new(f64::INFINITY, f64::INFINITY),
+        };
+        let all: Vec<u32> = (0..positions.len() as u32).collect();
+        let mut leaves: Vec<(Vec<u32>, Rect)> = vec![(all, everything)];
+        while leaves.len() < shards {
+            // Most populated splittable leaf first.
+            let Some(idx) = (0..leaves.len())
+                .filter(|&i| leaves[i].0.len() >= 2)
+                .max_by_key(|&i| leaves[i].0.len())
+            else {
+                break;
+            };
+            let (points, region) = leaves.swap_remove(idx);
+            match split_median(positions, &points, &region) {
+                Some((lo, hi)) => {
+                    leaves.push(lo);
+                    leaves.push(hi);
+                }
+                None => {
+                    // Unsplittable (all coordinates equal): keep as leaf and
+                    // stop — any other leaf is no bigger.
+                    leaves.push((points, region));
+                    break;
+                }
+            }
+        }
+
+        // Assign shard ids in a deterministic order (by region min corner)
+        // and build the lookup tree from the region rectangles.
+        leaves.sort_by(|a, b| {
+            (a.1.min.x, a.1.min.y)
+                .partial_cmp(&(b.1.min.x, b.1.min.y))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let regions: Vec<Rect> = leaves.iter().map(|(_, r)| *r).collect();
+        let root = build_tree(&regions, (0..regions.len() as u32).collect());
+        let interior_margin = halo - guard;
+        let max_routable = regions
+            .iter()
+            .map(|r| {
+                let w = r.width() + 2.0 * interior_margin;
+                let h = r.height() + 2.0 * interior_margin;
+                0.5 * w.min(h)
+            })
+            .fold(0.0f64, f64::max);
+        Ok(ShardMap {
+            root,
+            regions,
+            halo,
+            guard,
+            max_routable,
+        })
+    }
+
+    /// The largest cover radius [`ShardMap::single_shard_for`] can possibly
+    /// route: a circle of radius `r` fits inside an axis-aligned interior
+    /// only when `2r` is at most both its width and height, so any cover
+    /// radius above this bound is guaranteed to take the global fallback.
+    /// Infinite when some interior is unbounded in both dimensions (the
+    /// single-region map).
+    pub fn max_routable_radius(&self) -> f64 {
+        self.max_routable
+    }
+
+    /// Number of shard regions.
+    pub fn num_shards(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The halo-ring width: shard `s` materialises every vertex within
+    /// [`ShardMap::region`]`(s).expanded(halo)`.
+    pub fn halo(&self) -> f64 {
+        self.halo
+    }
+
+    /// The core region of shard `s` (regions tile the plane; outer regions
+    /// have unbounded sides).
+    pub fn region(&self, s: u32) -> Rect {
+        self.regions[s as usize]
+    }
+
+    /// The materialised coverage of shard `s`: its region expanded by the
+    /// halo ring.  Every vertex located inside this rectangle is a member of
+    /// shard `s`'s induced subgraph.
+    pub fn covered(&self, s: u32) -> Rect {
+        self.regions[s as usize].expanded(self.halo)
+    }
+
+    /// The routable interior of shard `s`: the coverage shrunk by the
+    /// floating-point guard.  A circle contained in the interior peels
+    /// bit-identically on the shard (tolerance-ring vertices included).
+    pub fn interior(&self, s: u32) -> Rect {
+        self.regions[s as usize].expanded(self.halo - self.guard)
+    }
+
+    /// The shard whose region contains `p` (ties on split boundaries resolve
+    /// deterministically: the low side takes coordinates strictly below the
+    /// split, the high side the rest).
+    pub fn shard_of(&self, p: Point) -> u32 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                KdNode::Leaf(s) => return *s,
+                KdNode::Split { axis, at, lo, hi } => {
+                    let c = if *axis == 0 { p.x } else { p.y };
+                    node = if c < *at { lo } else { hi };
+                }
+            }
+        }
+    }
+
+    /// The single shard that can answer a query with cover circle
+    /// `O(center, radius)` bit-identically, or `None` when the circle
+    /// straddles shard interiors (the caller falls back to the global
+    /// snapshot).
+    pub fn single_shard_for(&self, center: Point, radius: f64) -> Option<u32> {
+        let s = self.shard_of(center);
+        self.interior(s)
+            .contains_circle(center, radius)
+            .then_some(s)
+    }
+
+    /// Number of shard *regions* the circle `O(center, radius)` intersects —
+    /// the fan-out a multi-shard execution would touch (reported as
+    /// `shards_touched` in the engine's query trace).
+    pub fn shards_intersecting(&self, center: Point, radius: f64) -> u32 {
+        let circle = Circle::new(center, radius.max(0.0));
+        self.regions
+            .iter()
+            .filter(|r| r.intersects_circle(&circle))
+            .count() as u32
+    }
+
+    /// The shards whose **coverage** (region + halo) contains `p` — every
+    /// shard whose materialised subgraph depends on a vertex at `p`.  Used by
+    /// the live-update path to mark dirty shards.
+    pub fn shards_covering(&self, p: Point) -> impl Iterator<Item = u32> + '_ {
+        (0..self.regions.len() as u32).filter(move |&s| self.covered(s).contains(p))
+    }
+}
+
+/// Splits `points` (indices into `positions`) inside `region` at the median
+/// of the wider data extent.  Returns `None` when every point shares both
+/// coordinates (nothing separates).
+#[allow(clippy::type_complexity)]
+fn split_median(
+    positions: &[Point],
+    points: &[u32],
+    region: &Rect,
+) -> Option<((Vec<u32>, Rect), (Vec<u32>, Rect))> {
+    let data = Rect::bounding(
+        &points
+            .iter()
+            .map(|&i| positions[i as usize])
+            .collect::<Vec<_>>(),
+    )?;
+    // Try the wider axis first, the other as a fallback.
+    let axes = if data.width() >= data.height() {
+        [0u8, 1u8]
+    } else {
+        [1u8, 0u8]
+    };
+    for axis in axes {
+        let mut coords: Vec<f64> = points
+            .iter()
+            .map(|&i| {
+                let p = positions[i as usize];
+                if axis == 0 {
+                    p.x
+                } else {
+                    p.y
+                }
+            })
+            .collect();
+        coords.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let at = coords[coords.len() / 2];
+        if at <= coords[0] {
+            // Median equals the minimum: `< at` would put nothing low.
+            continue;
+        }
+        let (mut lo, mut hi) = (Vec::new(), Vec::new());
+        for &i in points {
+            let p = positions[i as usize];
+            let c = if axis == 0 { p.x } else { p.y };
+            if c < at {
+                lo.push(i);
+            } else {
+                hi.push(i);
+            }
+        }
+        debug_assert!(!lo.is_empty() && !hi.is_empty());
+        let (lo_rect, hi_rect) = split_rect(region, axis, at);
+        return Some(((lo, lo_rect), (hi, hi_rect)));
+    }
+    None
+}
+
+/// Splits `region` at coordinate `at` along `axis`.
+fn split_rect(region: &Rect, axis: u8, at: f64) -> (Rect, Rect) {
+    if axis == 0 {
+        (
+            Rect {
+                min: region.min,
+                max: Point::new(at, region.max.y),
+            },
+            Rect {
+                min: Point::new(at, region.min.y),
+                max: region.max,
+            },
+        )
+    } else {
+        (
+            Rect {
+                min: region.min,
+                max: Point::new(region.max.x, at),
+            },
+            Rect {
+                min: Point::new(region.min.x, at),
+                max: region.max,
+            },
+        )
+    }
+}
+
+/// Rebuilds the KD lookup tree from the final (disjoint, plane-tiling) region
+/// list: recursively find a coordinate line separating the regions.
+fn build_tree(regions: &[Rect], ids: Vec<u32>) -> KdNode {
+    if ids.len() == 1 {
+        return KdNode::Leaf(ids[0]);
+    }
+    // A valid split line is a region boundary that cleanly separates the set.
+    for axis in [0u8, 1u8] {
+        let mut cuts: Vec<f64> = ids
+            .iter()
+            .map(|&s| {
+                let r = &regions[s as usize];
+                if axis == 0 {
+                    r.max.x
+                } else {
+                    r.max.y
+                }
+            })
+            .filter(|c| c.is_finite())
+            .collect();
+        cuts.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        cuts.dedup();
+        for &at in &cuts {
+            let (mut lo, mut hi) = (Vec::new(), Vec::new());
+            let mut clean = true;
+            for &s in &ids {
+                let r = &regions[s as usize];
+                let (r_min, r_max) = if axis == 0 {
+                    (r.min.x, r.max.x)
+                } else {
+                    (r.min.y, r.max.y)
+                };
+                if r_max <= at {
+                    lo.push(s);
+                } else if r_min >= at {
+                    hi.push(s);
+                } else {
+                    clean = false;
+                    break;
+                }
+            }
+            if clean && !lo.is_empty() && !hi.is_empty() {
+                return KdNode::Split {
+                    axis,
+                    at,
+                    lo: Box::new(build_tree(regions, lo)),
+                    hi: Box::new(build_tree(regions, hi)),
+                };
+            }
+        }
+    }
+    // Regions produced by recursive splitting always admit a separating line;
+    // this is unreachable for ShardMap-built inputs but keeps the function
+    // total.
+    KdNode::Leaf(ids[0])
+}
+
+/// The per-shard materialisation of one graph snapshot: for every shard, the
+/// subgraph induced by the vertices inside the shard's coverage (region +
+/// halo), in the **global** vertex-id space.
+///
+/// Each shard's [`SpatialGraph`] has the full vertex count and the full
+/// position array (so positions, distances and grid queries are identical to
+/// the global snapshot), but its adjacency keeps only edges whose *both*
+/// endpoints are shard members.  Memory is therefore `O(N·n + Σ shard
+/// edges)`; the intended shard counts are small (2–16).
+#[derive(Debug, Clone)]
+pub struct ShardedGraph {
+    map: Arc<ShardMap>,
+    shards: Vec<Arc<SpatialGraph>>,
+}
+
+impl ShardedGraph {
+    /// Materialises every shard of `graph` under `map`.
+    pub fn build(graph: &SpatialGraph, map: Arc<ShardMap>) -> Result<Self, GraphError> {
+        let shards = (0..map.num_shards() as u32)
+            .map(|s| Self::build_shard(graph, &map, s).map(Arc::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedGraph { map, shards })
+    }
+
+    /// Materialises one shard of `graph`: the induced subgraph of the
+    /// vertices inside `map.covered(s)`, with global ids, positions and grid.
+    pub fn build_shard(
+        graph: &SpatialGraph,
+        map: &ShardMap,
+        s: u32,
+    ) -> Result<SpatialGraph, GraphError> {
+        let covered = map.covered(s);
+        let n = graph.num_vertices();
+        let positions = graph.positions();
+        let mut member = vec![false; n];
+        for (v, p) in positions.iter().enumerate() {
+            member[v] = covered.contains(*p);
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        let mut neighbors: Vec<VertexId> = Vec::new();
+        for v in 0..n {
+            if member[v] {
+                neighbors.extend(
+                    graph
+                        .neighbors(v as VertexId)
+                        .iter()
+                        .copied()
+                        .filter(|&u| member[u as usize]),
+                );
+            }
+            offsets.push(neighbors.len() as u64);
+        }
+        let induced = Graph::from_csr(offsets, neighbors);
+        SpatialGraph::new(induced, positions.to_vec())
+    }
+
+    /// The partitioner these shards were materialised under.
+    pub fn map(&self) -> &Arc<ShardMap> {
+        &self.map
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The induced snapshot of shard `s`.
+    pub fn shard(&self, s: u32) -> &Arc<SpatialGraph> {
+        &self.shards[s as usize]
+    }
+
+    /// Iterates over the shard snapshots in shard order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<SpatialGraph>> {
+        self.shards.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// A 6x6 grid of vertices with row edges and a few long-range chords.
+    fn clustered_graph() -> SpatialGraph {
+        let mut b = GraphBuilder::new();
+        let mut positions = Vec::new();
+        for i in 0..36u32 {
+            b.ensure_vertex(i);
+            positions.push(Point::new((i % 6) as f64, (i / 6) as f64));
+            if i % 6 > 0 {
+                b.add_edge(i - 1, i);
+            }
+            if i >= 6 {
+                b.add_edge(i - 6, i);
+            }
+        }
+        // Long-range chords crossing the space.
+        b.add_edge(0, 35);
+        b.add_edge(5, 30);
+        SpatialGraph::new(b.build(), positions).unwrap()
+    }
+
+    #[test]
+    fn map_partitions_the_plane() {
+        let g = clustered_graph();
+        let map = ShardMap::build(g.positions(), 4, 0.1).unwrap();
+        assert_eq!(map.num_shards(), 4);
+        // Every vertex maps to the shard whose region contains it.
+        for (v, p) in g.positions().iter().enumerate() {
+            let s = map.shard_of(*p);
+            assert!(
+                map.region(s).contains(*p),
+                "vertex {v} at {p} not in region {s}"
+            );
+        }
+        // Points far outside the data bounding box still map somewhere.
+        for p in [
+            Point::new(-1e9, -1e9),
+            Point::new(1e9, 0.0),
+            Point::new(0.0, 1e9),
+        ] {
+            let s = map.shard_of(p);
+            assert!(map.region(s).contains(p));
+        }
+        // Regions are disjoint: no point is claimed by two regions' interiors
+        // (shared boundaries are fine).
+        let total: usize = (0..4u32)
+            .map(|s| {
+                g.positions()
+                    .iter()
+                    .filter(|p| {
+                        let r = map.region(s);
+                        p.x >= r.min.x && p.x < r.max.x && p.y >= r.min.y && p.y < r.max.y
+                    })
+                    .count()
+            })
+            .sum();
+        assert!(total <= 36);
+        // Roughly balanced: the median split puts ~n/4 in each region.
+        for s in 0..4u32 {
+            let count = g
+                .positions()
+                .iter()
+                .filter(|p| map.shard_of(**p) == s)
+                .count();
+            assert!((6..=12).contains(&count), "shard {s} holds {count}");
+        }
+    }
+
+    #[test]
+    fn degenerate_point_sets_stop_splitting() {
+        let same = vec![Point::new(1.0, 1.0); 8];
+        let map = ShardMap::build(&same, 4, 0.1).unwrap();
+        assert_eq!(map.num_shards(), 1);
+        assert_eq!(map.shard_of(Point::new(1.0, 1.0)), 0);
+        assert!(ShardMap::build(&[], 4, 0.1).is_err());
+        assert!(ShardMap::build(&same, 0, 0.1).is_err());
+        assert!(ShardMap::build(&same, 4, -0.5).is_err());
+        assert!(ShardMap::build(&same, 4, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn induced_shards_keep_exactly_the_member_edges() {
+        let g = clustered_graph();
+        let map = Arc::new(ShardMap::build(g.positions(), 4, 0.25).unwrap());
+        let sharded = ShardedGraph::build(&g, Arc::clone(&map)).unwrap();
+        assert_eq!(sharded.num_shards(), 4);
+        for s in 0..4u32 {
+            let shard = sharded.shard(s);
+            assert_eq!(shard.num_vertices(), g.num_vertices());
+            assert_eq!(shard.positions(), g.positions());
+            let covered = map.covered(s);
+            for v in 0..g.num_vertices() as VertexId {
+                let member = covered.contains(g.position(v));
+                for &u in g.neighbors(v) {
+                    let expected = member && covered.contains(g.position(u));
+                    assert_eq!(
+                        shard.graph().has_edge(v, u),
+                        expected,
+                        "shard {s} edge ({v}, {u})"
+                    );
+                }
+                if !member {
+                    assert_eq!(shard.degree(v), 0, "non-member {v} must be isolated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_routing_requires_interior_containment() {
+        let g = clustered_graph();
+        let map = ShardMap::build(g.positions(), 4, 0.1).unwrap();
+        // A tiny circle well inside one region routes to it.
+        let p = Point::new(1.0, 1.0);
+        let s = map.shard_of(p);
+        assert_eq!(map.single_shard_for(p, 0.25), Some(s));
+        assert_eq!(map.shards_intersecting(p, 0.25), 1);
+        // A circle covering the whole graph cannot be single-shard.
+        assert_eq!(map.single_shard_for(p, 100.0), None);
+        assert_eq!(map.shards_intersecting(p, 100.0), 4);
+        // Interior containment uses the halo: a circle slightly crossing the
+        // region boundary but within the halo still routes single-shard.
+        let map_wide = ShardMap::build(g.positions(), 4, 0.3).unwrap();
+        let region = map_wide.region(s);
+        let near_edge = Point::new(region.max.x.min(5.0) - 0.1, p.y);
+        let r = 0.2; // crosses the region edge, stays within the halo
+        if region.max.x.is_finite() {
+            assert_eq!(map_wide.single_shard_for(near_edge, r), Some(s));
+        }
+        // Every position's covering shards include its own region's shard.
+        for p in g.positions() {
+            let own = map.shard_of(*p);
+            assert!(map.shards_covering(*p).any(|s| s == own));
+        }
+    }
+}

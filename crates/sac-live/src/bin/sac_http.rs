@@ -51,7 +51,7 @@ fn main() -> ExitCode {
         }
     };
     eprintln!("sac-http: listening on http://{}", opts.addr);
-    match http::serve_http(service, listener) {
+    match http::serve_http_with(service, listener, opts.http_config()) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("sac-http: io error: {e}");

@@ -2,13 +2,15 @@
 //! `sac-http`): graph-source selection, service tunables, and the listener
 //! address for the HTTP front end.
 
+use crate::http::HttpConfig;
 use crate::{SacService, ServiceConfig};
 use sac_data::{DatasetKind, DatasetSpec};
-use sac_engine::SacEngine;
+use sac_engine::{EngineConfig, SacEngine};
 use sac_graph::io::load_spatial_graph;
 use sac_graph::SpatialGraph;
 use sac_proto::EncodeOptions;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Parsed options shared by the serving binaries.
 #[derive(Debug, Clone)]
@@ -32,8 +34,15 @@ pub struct ServeOptions {
     /// Include timing fields in responses (disable for deterministic,
     /// byte-comparable output).
     pub timing: bool,
+    /// Number of spatial shards the engine serves (`0` = unsharded).
+    pub shards: usize,
     /// Listener address (`sac-http` only).
     pub addr: String,
+    /// Largest HTTP request body accepted, in bytes (`sac-http` only).
+    pub max_body_bytes: usize,
+    /// Per-request HTTP read timeout in milliseconds; `0` disables it
+    /// (`sac-http` only).
+    pub read_timeout_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -48,7 +57,12 @@ impl Default for ServeOptions {
             warm: Vec::new(),
             members: true,
             timing: true,
+            shards: 0,
             addr: "127.0.0.1:7878".to_string(),
+            max_body_bytes: HttpConfig::default().max_body_bytes,
+            read_timeout_ms: HttpConfig::default()
+                .read_timeout
+                .map_or(0, |t| t.as_millis() as u64),
         }
     }
 }
@@ -65,13 +79,18 @@ fn parse_preset(name: &str) -> Option<DatasetKind> {
     }
 }
 
-/// The usage line for `binary` (`--addr` is shown only when accepted).
+/// The usage line for `binary` (the HTTP-only options are shown only when
+/// accepted).
 pub fn usage(binary: &str, with_addr: bool) -> String {
-    let addr = if with_addr { " [--addr HOST:PORT]" } else { "" };
+    let addr = if with_addr {
+        " [--addr HOST:PORT] [--max-body BYTES] [--read-timeout-ms N]"
+    } else {
+        ""
+    };
     format!(
         "usage: {binary} [--preset NAME] [--scale F] [--seed N] \
          [--edges FILE --locations FILE] [--threads N] [--warm K1,K2] \
-         [--no-members] [--no-timing]{addr}"
+         [--shards N] [--no-members] [--no-timing]{addr}"
     )
 }
 
@@ -127,7 +146,24 @@ pub fn parse_args(args: &[String], with_addr: bool) -> Result<ServeOptions, Stri
             }
             "--no-members" => opts.members = false,
             "--no-timing" => opts.timing = false,
+            "--shards" => {
+                opts.shards = value("--shards")?
+                    .parse::<usize>()
+                    .map_err(|_| "--shards must be a non-negative integer")?;
+            }
             "--addr" if with_addr => opts.addr = value("--addr")?,
+            "--max-body" if with_addr => {
+                opts.max_body_bytes = value("--max-body")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|b| *b >= 1)
+                    .ok_or("--max-body must be a positive byte count")?;
+            }
+            "--read-timeout-ms" if with_addr => {
+                opts.read_timeout_ms = value("--read-timeout-ms")?
+                    .parse::<u64>()
+                    .map_err(|_| "--read-timeout-ms must be a non-negative integer")?;
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -163,6 +199,15 @@ impl ServeOptions {
         }
     }
 
+    /// The HTTP transport limits these options describe (`sac-http` only).
+    pub fn http_config(&self) -> HttpConfig {
+        HttpConfig {
+            max_body_bytes: self.max_body_bytes,
+            read_timeout: (self.read_timeout_ms > 0)
+                .then(|| Duration::from_millis(self.read_timeout_ms)),
+        }
+    }
+
     /// Builds the graph, warms the requested indexes and stands up the
     /// protocol service.
     pub fn build_service(&self) -> Result<SacService, String> {
@@ -173,7 +218,16 @@ impl ServeOptions {
             graph.num_edges(),
             self.threads
         );
-        let engine = Arc::new(SacEngine::new(graph));
+        let engine = Arc::new(SacEngine::with_config(
+            Arc::new(graph),
+            EngineConfig {
+                shards: self.shards,
+                ..EngineConfig::default()
+            },
+        ));
+        if engine.shard_count() > 0 {
+            eprintln!("serving {} spatial shards", engine.shard_count());
+        }
         if !self.warm.is_empty() {
             engine.warm(&self.warm);
             eprintln!("warmed k-core indexes for k = {:?}", self.warm);
@@ -219,10 +273,34 @@ mod tests {
         let config = opts.service_config();
         assert!(!config.encode.members && !config.encode.timing);
 
-        let opts = parse_args(&args(&["--addr", "0.0.0.0:9000"]), true).unwrap();
+        let opts = parse_args(
+            &args(&[
+                "--addr",
+                "0.0.0.0:9000",
+                "--shards",
+                "4",
+                "--max-body",
+                "4096",
+                "--read-timeout-ms",
+                "250",
+            ]),
+            true,
+        )
+        .unwrap();
         assert_eq!(opts.addr, "0.0.0.0:9000");
-        // --addr is rejected where it makes no sense (the LDJSON binary).
+        assert_eq!(opts.shards, 4);
+        let http = opts.http_config();
+        assert_eq!(http.max_body_bytes, 4096);
+        assert_eq!(http.read_timeout, Some(Duration::from_millis(250)));
+        // Timeout 0 disables the read deadline.
+        let opts = parse_args(&args(&["--read-timeout-ms", "0"]), true).unwrap();
+        assert_eq!(opts.http_config().read_timeout, None);
+        // --addr (and the other HTTP-only limits) are rejected where they
+        // make no sense (the LDJSON binary).
         assert!(parse_args(&args(&["--addr", "x"]), false).is_err());
+        assert!(parse_args(&args(&["--max-body", "10"]), false).is_err());
+        assert!(parse_args(&args(&["--max-body", "0"]), true).is_err());
+        assert!(parse_args(&args(&["--shards", "x"]), false).is_err());
         assert!(parse_args(&args(&["--scale", "2"]), false).is_err());
         assert!(parse_args(&args(&["--edges", "a.txt"]), false).is_err());
         assert_eq!(parse_args(&args(&["--help"]), false).unwrap_err(), "");

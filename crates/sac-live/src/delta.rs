@@ -12,6 +12,10 @@ pub enum Mutation {
     RemoveEdge(VertexId, VertexId),
     /// Add a new vertex at the given location; its id is assigned on apply.
     AddVertex(Point),
+    /// Move an existing vertex to a new location (position-only: core
+    /// numbers are untouched, the commit is grid-only with
+    /// `dirty_up_to = 0`).
+    MoveVertex(VertexId, Point),
 }
 
 /// The ordered mutations accumulated since the last commit.
@@ -26,6 +30,7 @@ pub struct GraphDelta {
     edges_inserted: usize,
     edges_removed: usize,
     vertices_added: usize,
+    vertices_moved: usize,
 }
 
 impl GraphDelta {
@@ -40,6 +45,7 @@ impl GraphDelta {
             Mutation::InsertEdge(..) => self.edges_inserted += 1,
             Mutation::RemoveEdge(..) => self.edges_removed += 1,
             Mutation::AddVertex(..) => self.vertices_added += 1,
+            Mutation::MoveVertex(..) => self.vertices_moved += 1,
         }
         self.ops.push(op);
     }
@@ -73,6 +79,11 @@ impl GraphDelta {
     pub fn vertices_added(&self) -> usize {
         self.vertices_added
     }
+
+    /// Number of recorded vertex moves (position-only updates).
+    pub fn vertices_moved(&self) -> usize {
+        self.vertices_moved
+    }
 }
 
 #[cfg(test)]
@@ -87,10 +98,12 @@ mod tests {
         delta.push(Mutation::AddVertex(Point::new(1.0, 2.0)));
         delta.push(Mutation::InsertEdge(1, 2));
         delta.push(Mutation::RemoveEdge(0, 1));
-        assert_eq!(delta.len(), 4);
+        delta.push(Mutation::MoveVertex(2, Point::new(3.0, 4.0)));
+        assert_eq!(delta.len(), 5);
         assert_eq!(delta.edges_inserted(), 2);
         assert_eq!(delta.edges_removed(), 1);
         assert_eq!(delta.vertices_added(), 1);
+        assert_eq!(delta.vertices_moved(), 1);
         assert_eq!(delta.ops()[0], Mutation::InsertEdge(0, 1));
         assert!(!delta.is_empty());
     }

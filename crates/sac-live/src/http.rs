@@ -21,22 +21,48 @@
 //! transport would emit.
 
 use crate::SacService;
-use sac_proto::{ProtoRequest, ProtoResponse};
+use sac_proto::{ProtoRequest, ProtoResponse, TransportError};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
+use std::time::Duration;
 
-/// Largest request body the server will read.  Protocol documents are small
+/// Default for [`HttpConfig::max_body_bytes`].  Protocol documents are small
 /// (the biggest legitimate ones are query batches); anything larger is
 /// rejected *before* the body buffer is allocated, so a hostile
 /// `Content-Length` cannot force a huge allocation.
-const MAX_BODY_BYTES: usize = 16 << 20;
+const DEFAULT_MAX_BODY_BYTES: usize = 16 << 20;
+
+/// Default for [`HttpConfig::read_timeout`].
+const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Largest request line or header line, and the most header lines, the
 /// server will read: the head is bounded just like the body, so an endless
 /// unterminated header cannot grow a `String` without limit either.
 const MAX_HEAD_LINE_BYTES: u64 = 8 << 10;
 const MAX_HEADER_COUNT: usize = 128;
+
+/// Transport hardening knobs of the HTTP front end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HttpConfig {
+    /// Largest request body accepted; a bigger declared `Content-Length` is
+    /// refused with `413` before any allocation
+    /// ([`TransportError::BodyTooLarge`]).
+    pub max_body_bytes: usize,
+    /// Per-request socket read timeout: a connection that stalls mid-request
+    /// (or idles on keep-alive) longer than this is answered `408` and
+    /// closed ([`TransportError::ReadTimeout`]).  `None` waits forever.
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        HttpConfig {
+            max_body_bytes: DEFAULT_MAX_BODY_BYTES,
+            read_timeout: Some(DEFAULT_READ_TIMEOUT),
+        }
+    }
+}
 
 /// Reads one CRLF-terminated head line with [`MAX_HEAD_LINE_BYTES`] enforced;
 /// `Ok(None)` signals an over-long line (connection must close — the rest of
@@ -59,25 +85,22 @@ struct HttpRequest {
     body: String,
     keep_alive: bool,
     /// Set when the head was readable but the request must be refused with
-    /// this status (body unread — the connection cannot be resynchronised
-    /// and must close after the error response).
-    reject: Option<(&'static str, &'static str)>,
+    /// this typed transport error (body unread — the connection cannot be
+    /// resynchronised and must close after the error response).
+    reject: Option<TransportError>,
 }
 
-/// A head-level refusal: respond with this status and close the connection.
-const REJECT_HEAD_TOO_LARGE: (&str, &str) = (
-    "431 Request Header Fields Too Large",
-    "request head exceeds the 8 KiB line / 128 header limit",
-);
-
 /// Reads one HTTP/1.1 request; `Ok(None)` on a cleanly closed connection.
-fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<HttpRequest>> {
-    let mut reject: Option<(&'static str, &'static str)> = None;
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    config: &HttpConfig,
+) -> std::io::Result<Option<HttpRequest>> {
+    let mut reject: Option<TransportError> = None;
     let mut request_line = String::new();
     match read_head_line(reader, &mut request_line)? {
         Some(0) => return Ok(None),
         Some(_) => {}
-        None => reject = Some(REJECT_HEAD_TOO_LARGE),
+        None => reject = Some(TransportError::HeadTooLarge),
     }
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or_default().to_string();
@@ -93,7 +116,7 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Htt
             Some(0) => return Ok(None),
             Some(_) => {}
             None => {
-                reject = Some(REJECT_HEAD_TOO_LARGE);
+                reject = Some(TransportError::HeadTooLarge);
                 break;
             }
         }
@@ -103,7 +126,7 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Htt
         }
         headers_seen += 1;
         if headers_seen > MAX_HEADER_COUNT {
-            reject = Some(REJECT_HEAD_TOO_LARGE);
+            reject = Some(TransportError::HeadTooLarge);
             break;
         }
         if let Some((name, value)) = header.split_once(':') {
@@ -124,20 +147,16 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Htt
                 // implemented; reading on as if the body were fixed-length
                 // would desynchronise the connection, so refuse and close.
                 "transfer-encoding" if !value.eq_ignore_ascii_case("identity") => {
-                    reject = Some((
-                        "501 Not Implemented",
-                        "Transfer-Encoding is not supported; send a Content-Length body",
-                    ));
+                    reject = Some(TransportError::UnsupportedTransferEncoding);
                 }
                 _ => {}
             }
         }
     }
-    if content_length > MAX_BODY_BYTES {
-        reject = reject.or(Some((
-            "413 Payload Too Large",
-            "request body exceeds the 16 MiB limit",
-        )));
+    if content_length > config.max_body_bytes {
+        reject = reject.or(Some(TransportError::BodyTooLarge {
+            limit: config.max_body_bytes,
+        }));
     }
     if reject.is_some() {
         // The body (if any) is deliberately left unread.
@@ -178,16 +197,55 @@ fn write_response(
     writer.flush()
 }
 
-/// Serves one connection until it closes, an IO error occurs, or the client
-/// sends `{"cmd":"quit"}`.
+/// Serves one connection with the default [`HttpConfig`].
 pub fn handle_connection(service: &SacService, stream: TcpStream) -> std::io::Result<()> {
+    handle_connection_with(service, stream, &HttpConfig::default())
+}
+
+/// Serves one connection until it closes, an IO error occurs, the client
+/// sends `{"cmd":"quit"}`, or a transport limit trips (oversize body →
+/// `413`, stalled read → `408`; the typed refusals of
+/// [`sac_proto::TransportError`]).
+pub fn handle_connection_with(
+    service: &SacService,
+    stream: TcpStream,
+    config: &HttpConfig,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(config.read_timeout)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
-    while let Some(request) = read_request(&mut reader)? {
+    loop {
+        let request = match read_request(&mut reader, config) {
+            Ok(Some(request)) => request,
+            Ok(None) => break,
+            // A stalled read (no complete request within the timeout) gets a
+            // typed 408 and a close; mid-head data may be unread, so the
+            // stream cannot be reused.
+            Err(e) if is_timeout(&e) => {
+                let timeout = config.read_timeout.unwrap_or_default();
+                let error = TransportError::ReadTimeout { timeout };
+                let reply =
+                    ProtoResponse::error(error.to_string()).encode_line(service.encode_options());
+                let _ = write_response(
+                    &mut writer,
+                    error.status_line(),
+                    &format!("{reply}\n"),
+                    false,
+                );
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
         let keep_alive = request.keep_alive;
-        if let Some((status, message)) = request.reject {
-            let reply = ProtoResponse::error(message).encode_line(service.encode_options());
-            write_response(&mut writer, status, &format!("{reply}\n"), false)?;
+        if let Some(error) = request.reject {
+            let reply =
+                ProtoResponse::error(error.to_string()).encode_line(service.encode_options());
+            write_response(
+                &mut writer,
+                error.status_line(),
+                &format!("{reply}\n"),
+                false,
+            )?;
             return Ok(());
         }
         match (request.method.as_str(), request.path.as_str()) {
@@ -257,15 +315,33 @@ pub fn handle_connection(service: &SacService, stream: TcpStream) -> std::io::Re
     Ok(())
 }
 
-/// Accept loop: serves every incoming connection on its own thread, sharing
-/// the service.  Runs until the listener errors (the process normally ends
-/// it by exiting).
+/// Whether an IO error is a socket read timeout (`WouldBlock` on Unix,
+/// `TimedOut` on other platforms).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Accept loop with the default [`HttpConfig`].
 pub fn serve_http(service: Arc<SacService>, listener: TcpListener) -> std::io::Result<()> {
+    serve_http_with(service, listener, HttpConfig::default())
+}
+
+/// Accept loop: serves every incoming connection on its own thread, sharing
+/// the service and the transport limits.  Runs until the listener errors
+/// (the process normally ends it by exiting).
+pub fn serve_http_with(
+    service: Arc<SacService>,
+    listener: TcpListener,
+    config: HttpConfig,
+) -> std::io::Result<()> {
     for stream in listener.incoming() {
         let stream = stream?;
         let service = Arc::clone(&service);
         std::thread::spawn(move || {
-            let _ = handle_connection(&service, stream);
+            let _ = handle_connection_with(&service, stream, &config);
         });
     }
     Ok(())
@@ -279,6 +355,10 @@ mod tests {
     use sac_engine::SacEngine;
 
     fn spawn_server() -> std::net::SocketAddr {
+        spawn_server_with(HttpConfig::default())
+    }
+
+    fn spawn_server_with(config: HttpConfig) -> std::net::SocketAddr {
         let service = Arc::new(SacService::new(
             Arc::new(SacEngine::new(figure3_graph())),
             ServiceConfig::default(),
@@ -286,7 +366,7 @@ mod tests {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         std::thread::spawn(move || {
-            let _ = serve_http(service, listener);
+            let _ = serve_http_with(service, listener, config);
         });
         addr
     }
@@ -382,7 +462,7 @@ mod tests {
             "POST /api HTTP/1.1\r\nHost: t\r\nContent-Length: 99999999999999\r\n\r\n",
         );
         assert_eq!(status, "HTTP/1.1 413 Payload Too Large");
-        assert!(body.contains("16 MiB"));
+        assert!(body.contains("byte limit"), "got: {body}");
         // Chunked bodies would desynchronise the framing: 501 and close.
         let mut stream = TcpStream::connect(addr).unwrap();
         let (status, body) = roundtrip(
@@ -395,6 +475,40 @@ mod tests {
         let mut fresh = TcpStream::connect(addr).unwrap();
         let (status, _) = post(&mut fresh, r#"{"cmd":"stats"}"#);
         assert_eq!(status, "HTTP/1.1 200 OK");
+    }
+
+    #[test]
+    fn configured_body_limit_and_read_timeout_are_enforced() {
+        // A tiny body limit: a modest batch is now oversize -> 413 + typed
+        // message carrying the configured limit.
+        let addr = spawn_server_with(HttpConfig {
+            max_body_bytes: 64,
+            read_timeout: Some(std::time::Duration::from_secs(5)),
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let big = format!(r#"{{"q":0,"k":2,"algorithm":"{}"}}"#, "x".repeat(100));
+        let (status, body) = post(&mut stream, &big);
+        assert_eq!(status, "HTTP/1.1 413 Payload Too Large");
+        assert!(body.contains("64-byte limit"), "got: {body}");
+        // In-limit requests still work on a fresh connection.
+        let mut fresh = TcpStream::connect(addr).unwrap();
+        let (status, _) = post(&mut fresh, r#"{"cmd":"stats"}"#);
+        assert_eq!(status, "HTTP/1.1 200 OK");
+
+        // A stalled client (incomplete request, then silence) gets a typed
+        // 408 once the read timeout fires; keep-alive semantics for healthy
+        // clients are untouched (exercised by the other tests).
+        let addr = spawn_server_with(HttpConfig {
+            max_body_bytes: 1024,
+            read_timeout: Some(std::time::Duration::from_millis(100)),
+        });
+        let mut slow = TcpStream::connect(addr).unwrap();
+        slow.write_all(b"POST /api HTTP/1.1\r\nHost: t\r\n")
+            .unwrap();
+        let mut reader = BufReader::new(slow.try_clone().unwrap());
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        assert_eq!(status.trim_end(), "HTTP/1.1 408 Request Timeout");
     }
 
     #[test]

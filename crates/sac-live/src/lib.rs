@@ -22,6 +22,11 @@
 //!   is *selectively* invalidated: only the `k` entries whose cores the delta
 //!   touched are dropped, the rest carry over (observable via
 //!   `EngineStats::components_carried`).
+//! * **Bulk delta apply and sharded commits** — [`LiveEngine::apply_batch`]
+//!   repairs core numbers once per delta (shared peel for heavy batches),
+//!   [`LiveEngine::move_vertex`] publishes grid-only epochs for position
+//!   updates, and on sharded engines a commit republishes only the shards a
+//!   delta touched (see [`CommitReport::shards_carried`]).
 //! * **The protocol service and its transports** — [`SacService`] executes
 //!   typed `sac-proto` requests (queries, batches, live updates, admin
 //!   commands) against the engine + write front; the `sac-serve` (LDJSON
@@ -63,5 +68,5 @@ mod live;
 mod service;
 
 pub use delta::{GraphDelta, Mutation};
-pub use live::{CommitReport, LiveEngine};
+pub use live::{BatchApplyReport, CommitReport, LiveEngine};
 pub use service::{SacService, ServiceConfig};

@@ -3,7 +3,10 @@
 use crate::delta::{GraphDelta, Mutation};
 use sac_engine::SacEngine;
 use sac_geom::Point;
-use sac_graph::{DynamicGraph, EdgeChange, GraphError, SpatialGraph, VertexId};
+use sac_graph::{
+    BatchChange, BatchOp, BatchStrategy, DynamicGraph, EdgeChange, GraphError, ShardMap,
+    SpatialGraph, VertexId,
+};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -20,6 +23,8 @@ pub struct CommitReport {
     pub edges_removed: usize,
     /// Vertex additions among them.
     pub vertices_added: usize,
+    /// Vertex moves (position-only updates) among them.
+    pub vertices_moved: usize,
     /// Vertices whose core number changed during the delta (sum over
     /// mutations; a vertex flapping up and down is counted every time).
     pub cores_changed: u64,
@@ -30,13 +35,35 @@ pub struct CommitReport {
     pub components_carried: u64,
     /// Per-`k` component indexes invalidated by the swap.
     pub components_invalidated: u64,
+    /// Shard snapshots rebuilt for the new epoch (0 on unsharded engines).
+    pub shards_rebuilt: u32,
+    /// Shard snapshots carried unchanged (their region saw no mutation).
+    pub shards_carried: u32,
     /// Wall-clock cost of the commit (CSR + spatial-index rebuild + publish),
     /// in microseconds.
     pub micros: u64,
 }
 
+/// What one [`LiveEngine::apply_batch`] did (the bulk counterpart of the
+/// per-mutation [`sac_graph::EdgeChange`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchApplyReport {
+    /// Ops submitted.
+    pub ops: usize,
+    /// Ops that changed the graph (no-ops dropped).
+    pub applied: usize,
+    /// Vertices whose core number changed across the batch.
+    pub cores_changed: usize,
+    /// Dirty bound the batch contributed to the pending delta.
+    pub dirty_up_to: u32,
+    /// Whether the shared-peel strategy repaired the cores (`false` =
+    /// per-edge cascades).
+    pub recomputed: bool,
+}
+
 /// Mutable state between two epochs: the maintained dynamic graph, the vertex
-/// positions, and the record of what changed.
+/// positions, the record of what changed, and which shards the changes
+/// touched.
 #[derive(Debug)]
 struct WriteFront {
     dynamic: DynamicGraph,
@@ -44,6 +71,21 @@ struct WriteFront {
     delta: GraphDelta,
     dirty_up_to: u32,
     cores_changed: u64,
+    /// Per-shard dirty flags (empty on unsharded engines): a shard is dirty
+    /// when a mutation touched a position inside its coverage (region +
+    /// halo), so its induced snapshot must be rebuilt at commit.
+    dirty_shards: Vec<bool>,
+}
+
+impl WriteFront {
+    /// Marks every shard whose coverage contains `p` dirty.
+    fn mark_dirty(&mut self, map: &Option<Arc<ShardMap>>, p: Point) {
+        if let Some(map) = map {
+            for s in map.shards_covering(p) {
+                self.dirty_shards[s as usize] = true;
+            }
+        }
+    }
 }
 
 /// A concurrent-safe live-update handle over a shared [`SacEngine`].
@@ -77,6 +119,9 @@ struct WriteFront {
 #[derive(Debug)]
 pub struct LiveEngine {
     engine: Arc<SacEngine>,
+    /// The engine's spatial partitioner, captured once (it is stable across
+    /// epochs); used to mark dirty shards as mutations arrive.
+    map: Option<Arc<ShardMap>>,
     front: Mutex<WriteFront>,
 }
 
@@ -89,14 +134,18 @@ impl LiveEngine {
         let decomposition = engine.decomposition();
         let dynamic = DynamicGraph::from_parts(snapshot.graph(), &decomposition);
         let positions = snapshot.positions().to_vec();
+        let map = engine.shard_map();
+        let shard_count = map.as_ref().map_or(0, |m| m.num_shards());
         LiveEngine {
             engine,
+            map,
             front: Mutex::new(WriteFront {
                 dynamic,
                 positions,
                 delta: GraphDelta::new(),
                 dirty_up_to: 0,
                 cores_changed: 0,
+                dirty_shards: vec![false; shard_count],
             }),
         }
     }
@@ -131,6 +180,10 @@ impl LiveEngine {
             front.delta.push(Mutation::InsertEdge(u, v));
             front.dirty_up_to = front.dirty_up_to.max(change.dirty_up_to);
             front.cores_changed += change.changed.len() as u64;
+            for w in [u, v] {
+                let p = front.positions[w as usize];
+                front.mark_dirty(&self.map, p);
+            }
         }
         Ok(change)
     }
@@ -143,8 +196,51 @@ impl LiveEngine {
             front.delta.push(Mutation::RemoveEdge(u, v));
             front.dirty_up_to = front.dirty_up_to.max(change.dirty_up_to);
             front.cores_changed += change.changed.len() as u64;
+            for w in [u, v] {
+                let p = front.positions[w as usize];
+                front.mark_dirty(&self.map, p);
+            }
         }
         Ok(change)
+    }
+
+    /// Applies a whole batch of edge mutations in one pass: the core numbers
+    /// are repaired once for the delta (shared `O(n + m)` peel for heavy
+    /// batches) instead of once per edge — see
+    /// [`sac_graph::DynamicGraph::apply_batch_with`].  The applied ops join
+    /// the pending delta exactly as the equivalent single-edge calls would.
+    pub fn apply_batch(&self, ops: &[BatchOp]) -> Result<BatchApplyReport, GraphError> {
+        self.apply_batch_with(ops, BatchStrategy::Auto)
+    }
+
+    /// [`LiveEngine::apply_batch`] with an explicit repair strategy.
+    pub fn apply_batch_with(
+        &self,
+        ops: &[BatchOp],
+        strategy: BatchStrategy,
+    ) -> Result<BatchApplyReport, GraphError> {
+        let mut front = self.front.lock().expect("write front poisoned");
+        let change: BatchChange = front.dynamic.apply_batch_with(ops, strategy)?;
+        for op in &change.applied {
+            let (u, v) = op.endpoints();
+            front.delta.push(match op {
+                BatchOp::Insert(..) => Mutation::InsertEdge(u, v),
+                BatchOp::Remove(..) => Mutation::RemoveEdge(u, v),
+            });
+            for w in [u, v] {
+                let p = front.positions[w as usize];
+                front.mark_dirty(&self.map, p);
+            }
+        }
+        front.dirty_up_to = front.dirty_up_to.max(change.dirty_up_to);
+        front.cores_changed += change.changed.len() as u64;
+        Ok(BatchApplyReport {
+            ops: ops.len(),
+            applied: change.applied.len(),
+            cores_changed: change.changed.len(),
+            dirty_up_to: change.dirty_up_to,
+            recomputed: change.recomputed,
+        })
     }
 
     /// Adds a new vertex at `position` (core number 0 until edges attach it)
@@ -159,7 +255,33 @@ impl LiveEngine {
         let v = front.dynamic.add_vertex();
         front.positions.push(position);
         front.delta.push(Mutation::AddVertex(position));
+        front.mark_dirty(&self.map, position);
         Ok(v)
+    }
+
+    /// Moves an existing vertex to `position` — a **position-only** update:
+    /// core numbers are untouched, so the commit publishing it is grid-only
+    /// (`dirty_up_to` stays 0 and every per-`k` index carries over).
+    ///
+    /// Moving a vertex to its current position is a no-op (`Ok(false)`).
+    pub fn move_vertex(&self, v: VertexId, position: Point) -> Result<bool, GraphError> {
+        let mut front = self.front.lock().expect("write front poisoned");
+        if (v as usize) >= front.positions.len() {
+            return Err(GraphError::VertexOutOfRange(v));
+        }
+        if !position.is_finite() {
+            return Err(GraphError::InvalidPosition(v));
+        }
+        let old = front.positions[v as usize];
+        if old == position {
+            return Ok(false);
+        }
+        front.positions[v as usize] = position;
+        front.delta.push(Mutation::MoveVertex(v, position));
+        // Both the vacated and the entered shard coverages change.
+        front.mark_dirty(&self.map, old);
+        front.mark_dirty(&self.map, position);
+        Ok(true)
     }
 
     /// Rebuilds the immutable snapshot from the write front and publishes it
@@ -180,10 +302,13 @@ impl LiveEngine {
                 edges_inserted: 0,
                 edges_removed: 0,
                 vertices_added: 0,
+                vertices_moved: 0,
                 cores_changed: 0,
                 dirty_up_to: 0,
                 components_carried: 0,
                 components_invalidated: 0,
+                shards_rebuilt: 0,
+                shards_carried: 0,
                 micros: 0,
             });
         }
@@ -192,9 +317,16 @@ impl LiveEngine {
         let decomposition = front.dynamic.decomposition();
         let snapshot = SpatialGraph::new(graph, front.positions.clone())?;
         let dirty_up_to = front.dirty_up_to;
-        let report = self
-            .engine
-            .publish(Arc::new(snapshot), decomposition, dirty_up_to);
+        // Clean shards (no mutation touched their coverage) carry their
+        // induced snapshot across the epoch swap; only dirty ones rebuild.
+        let dirty_shards = std::mem::take(&mut front.dirty_shards);
+        let report = self.engine.publish_update(
+            Arc::new(snapshot),
+            decomposition,
+            dirty_up_to,
+            (!dirty_shards.is_empty()).then_some(dirty_shards.as_slice()),
+        );
+        front.dirty_shards = vec![false; dirty_shards.len()];
         let delta = std::mem::take(&mut front.delta);
         let cores_changed = std::mem::take(&mut front.cores_changed);
         front.dirty_up_to = 0;
@@ -204,10 +336,13 @@ impl LiveEngine {
             edges_inserted: delta.edges_inserted(),
             edges_removed: delta.edges_removed(),
             vertices_added: delta.vertices_added(),
+            vertices_moved: delta.vertices_moved(),
             cores_changed,
             dirty_up_to,
             components_carried: report.components_carried,
             components_invalidated: report.components_invalidated,
+            shards_rebuilt: report.shards_rebuilt,
+            shards_carried: report.shards_carried,
             micros: start.elapsed().as_micros() as u64,
         })
     }
@@ -298,6 +433,126 @@ mod tests {
         assert!(live.add_edge(figure3::Q, 999).is_err());
         assert!(live.add_vertex(Point::new(f64::NAN, 0.0)).is_err());
         assert_eq!(live.pending(), 0);
+    }
+
+    #[test]
+    fn move_vertex_publishes_grid_only_epochs() {
+        let live = live();
+        let engine = Arc::clone(live.engine());
+        engine.warm(&[1, 2]);
+        // Position-only update: no core maintenance, dirty_up_to stays 0.
+        assert!(live
+            .move_vertex(figure3::Q, Point::new(10.0, 10.0))
+            .unwrap());
+        assert!(!live
+            .move_vertex(figure3::Q, Point::new(10.0, 10.0))
+            .unwrap());
+        let report = live.commit().unwrap();
+        assert_eq!(report.vertices_moved, 1);
+        assert_eq!(report.dirty_up_to, 0);
+        assert_eq!(report.cores_changed, 0);
+        // Grid-only: every warmed per-k index carried across.
+        assert_eq!(report.components_carried, 2);
+        assert_eq!(report.components_invalidated, 0);
+        // The new position is live in the snapshot and its spatial index.
+        let snapshot = engine.snapshot();
+        assert_eq!(snapshot.position(figure3::Q), Point::new(10.0, 10.0));
+        assert!(snapshot
+            .vertices_in_circle(&sac_geom::Circle::new(Point::new(10.0, 10.0), 0.1))
+            .contains(&figure3::Q));
+        // Invalid moves are typed errors.
+        assert!(live.move_vertex(999, Point::ORIGIN).is_err());
+        assert!(live
+            .move_vertex(figure3::Q, Point::new(f64::NAN, 0.0))
+            .is_err());
+    }
+
+    #[test]
+    fn batch_apply_flows_into_the_delta() {
+        use sac_graph::{connected_kcore, BatchOp};
+
+        let live = live();
+        let engine = Arc::clone(live.engine());
+        let report = live
+            .apply_batch(&[
+                BatchOp::Insert(figure3::I, figure3::F), // closes a 2-core for I
+                BatchOp::Insert(figure3::I, figure3::F), // duplicate: no-op
+                BatchOp::Remove(figure3::Q, 999),        // would be an error
+            ])
+            .unwrap_err();
+        // One bad endpoint poisons the whole batch, atomically.
+        let _ = report;
+        assert_eq!(live.pending(), 0);
+
+        let report = live
+            .apply_batch(&[
+                BatchOp::Insert(figure3::I, figure3::F),
+                BatchOp::Insert(figure3::I, figure3::F),
+            ])
+            .unwrap();
+        assert_eq!(report.ops, 2);
+        assert_eq!(report.applied, 1);
+        assert!(report.cores_changed >= 1);
+        assert_eq!(live.pending(), 1);
+        let commit = live.commit().unwrap();
+        assert_eq!(commit.edges_inserted, 1);
+        // The published epoch answers like a fresh build.
+        let snapshot = engine.snapshot();
+        assert_eq!(
+            engine.connected_core(figure3::I, 2),
+            connected_kcore(snapshot.graph(), figure3::I, 2)
+        );
+    }
+
+    #[test]
+    fn sharded_commits_republish_only_dirty_shards() {
+        use sac_engine::SacEngine;
+
+        let engine = Arc::new(SacEngine::with_shards(figure3_graph(), 2));
+        let live = LiveEngine::new(Arc::clone(&engine));
+        // The fixture's left component (Q, A..E) and right component (F..I)
+        // land in different shards under the median split.  Mutating only the
+        // right component must leave the left shard's snapshot carried.
+        live.remove_edge(figure3::H, figure3::I).unwrap();
+        let report = live.commit().unwrap();
+        assert_eq!(
+            report.shards_rebuilt + report.shards_carried,
+            2,
+            "every shard accounted for"
+        );
+        assert!(report.shards_rebuilt >= 1);
+        assert!(
+            report.shards_carried >= 1,
+            "a localized delta must carry the untouched shard"
+        );
+        // Queries still answer identically to an unsharded engine on the new
+        // epoch.
+        let unsharded = SacEngine::new(
+            sac_graph::SpatialGraph::new(
+                engine.snapshot().graph().clone(),
+                engine.snapshot().positions().to_vec(),
+            )
+            .unwrap(),
+        );
+        for q in 0..10u32 {
+            let req = SacRequest::new(1, q, 2).with_budget(QueryBudget::exact());
+            assert_eq!(
+                engine
+                    .execute(&req)
+                    .community()
+                    .map(|c| c.members().to_vec()),
+                unsharded
+                    .execute(&req)
+                    .community()
+                    .map(|c| c.members().to_vec()),
+                "q={q}"
+            );
+        }
+        // Vertex additions invalidate every shard (id-space change).
+        live.add_vertex(Point::new(0.5, 0.5)).unwrap();
+        let report = live.commit().unwrap();
+        assert_eq!(report.shards_rebuilt, 2);
+        assert_eq!(report.shards_carried, 0);
     }
 
     #[test]

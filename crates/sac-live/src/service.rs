@@ -156,6 +156,16 @@ impl SacService {
                     }),
                 }
             }
+            ProtoRequest::MoveVertex { v, x, y } => {
+                match self.live.move_vertex(*v, sac_geom::Point::new(*x, *y)) {
+                    Err(e) => ProtoResponse::error(e.to_string()),
+                    Ok(applied) => ProtoResponse::Mutation(MutationReply {
+                        applied,
+                        cores_changed: 0,
+                        pending: self.live.pending(),
+                    }),
+                }
+            }
             ProtoRequest::Commit => match self.live.commit() {
                 Err(e) => ProtoResponse::error(e.to_string()),
                 Ok(report) => ProtoResponse::Commit(CommitReply {
@@ -164,10 +174,13 @@ impl SacService {
                     edges_inserted: report.edges_inserted,
                     edges_removed: report.edges_removed,
                     vertices_added: report.vertices_added,
+                    vertices_moved: report.vertices_moved,
                     cores_changed: report.cores_changed,
                     dirty_up_to: report.dirty_up_to,
                     components_carried: report.components_carried,
                     components_invalidated: report.components_invalidated,
+                    shards_rebuilt: report.shards_rebuilt,
+                    shards_carried: report.shards_carried,
                     micros: Some(report.micros),
                 }),
             },
@@ -273,6 +286,27 @@ mod tests {
             ))
             .unwrap();
         assert!(bad.contains(r#""plan":"rejected""#), "got: {bad}");
+    }
+
+    #[test]
+    fn move_vertex_round_trips_over_the_wire() {
+        let service = service();
+        let line = service
+            .handle_line(&format!(
+                r#"{{"cmd":"move_vertex","v":{},"x":42.0,"y":42.0}}"#,
+                figure3::Q
+            ))
+            .unwrap();
+        assert!(line.contains(r#""applied":true"#), "got: {line}");
+        assert!(line.contains(r#""cores_changed":0"#));
+        let commit = service.handle_line(r#"{"cmd":"commit"}"#).unwrap();
+        assert!(commit.contains(r#""vertices_moved":1"#), "got: {commit}");
+        assert!(commit.contains(r#""dirty_up_to":0"#), "grid-only epoch");
+        // Out-of-range moves are error replies, not panics.
+        let err = service
+            .handle_line(r#"{"cmd":"move_vertex","v":999,"x":0,"y":0}"#)
+            .unwrap();
+        assert!(err.contains(r#""ok":false"#));
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! {"cmd":"add_edge","u":17,"v":23}             → live updates (buffered...
 //! {"cmd":"remove_edge","u":17,"v":23}
 //! {"cmd":"add_vertex","x":0.25,"y":0.75}
+//! {"cmd":"move_vertex","v":17,"x":0.5,"y":0.5} → position-only update
 //! {"cmd":"commit"}                             → ...until published here)
 //! {"cmd":"quit"}
 //! ```
@@ -41,9 +42,11 @@
 #![warn(missing_docs)]
 
 pub mod json;
+mod transport;
 mod wire;
 
+pub use transport::TransportError;
 pub use wire::{
     CommitReply, CoreReply, EncodeOptions, MutationReply, ProtoError, ProtoRequest, ProtoResponse,
-    QueryReply, QueryResult, QuerySpec, StatsReply, VertexReply,
+    QueryReply, QueryResult, QuerySpec, ShardStatsReply, StatsReply, VertexReply,
 };

@@ -1,0 +1,92 @@
+//! Typed transport-level refusals shared by the protocol front ends.
+//!
+//! Protocol-level problems travel as normal `{"ok":false,...}` payloads; the
+//! errors here are one layer below that — the *transport* cannot (or will
+//! not) read the request at all.  Each variant knows its HTTP status line, so
+//! the HTTP front end and any future transport refuse identically.
+
+use std::fmt;
+use std::time::Duration;
+
+/// A transport-level refusal: the connection must be closed after reporting
+/// it (the offending request is deliberately left unread, so the stream
+/// cannot be resynchronised).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The declared request body exceeds the configured limit.
+    BodyTooLarge {
+        /// The configured limit in bytes.
+        limit: usize,
+    },
+    /// The request head exceeds the line-length or header-count limits.
+    HeadTooLarge,
+    /// No complete request arrived within the configured read timeout.
+    ReadTimeout {
+        /// The configured timeout.
+        timeout: Duration,
+    },
+    /// The request uses a transfer coding the transport does not implement.
+    UnsupportedTransferEncoding,
+}
+
+impl TransportError {
+    /// The HTTP status line this refusal maps to.
+    pub fn status_line(&self) -> &'static str {
+        match self {
+            TransportError::BodyTooLarge { .. } => "413 Payload Too Large",
+            TransportError::HeadTooLarge => "431 Request Header Fields Too Large",
+            TransportError::ReadTimeout { .. } => "408 Request Timeout",
+            TransportError::UnsupportedTransferEncoding => "501 Not Implemented",
+        }
+    }
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::BodyTooLarge { limit } => {
+                write!(f, "request body exceeds the {limit}-byte limit")
+            }
+            TransportError::HeadTooLarge => {
+                f.write_str("request head exceeds the 8 KiB line / 128 header limit")
+            }
+            TransportError::ReadTimeout { timeout } => {
+                write!(
+                    f,
+                    "no complete request within the {} ms read timeout",
+                    timeout.as_millis()
+                )
+            }
+            TransportError::UnsupportedTransferEncoding => {
+                f.write_str("Transfer-Encoding is not supported; send a Content-Length body")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statuses_and_messages_are_stable() {
+        let oversize = TransportError::BodyTooLarge { limit: 1024 };
+        assert_eq!(oversize.status_line(), "413 Payload Too Large");
+        assert!(oversize.to_string().contains("1024-byte"));
+        assert_eq!(
+            TransportError::HeadTooLarge.status_line(),
+            "431 Request Header Fields Too Large"
+        );
+        let slow = TransportError::ReadTimeout {
+            timeout: Duration::from_millis(250),
+        };
+        assert_eq!(slow.status_line(), "408 Request Timeout");
+        assert!(slow.to_string().contains("250 ms"));
+        assert_eq!(
+            TransportError::UnsupportedTransferEncoding.status_line(),
+            "501 Not Implemented"
+        );
+    }
+}

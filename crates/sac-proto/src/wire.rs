@@ -195,6 +195,16 @@ pub enum ProtoRequest {
         /// Y coordinate.
         y: f64,
     },
+    /// Live update: move vertex `v` to `(x, y)` (position-only; commits
+    /// publishing it are grid-only epochs with no core maintenance).
+    MoveVertex {
+        /// The vertex to move.
+        v: u32,
+        /// New x coordinate.
+        x: f64,
+        /// New y coordinate.
+        y: f64,
+    },
     /// Publish the buffered live updates as a new snapshot epoch.
     Commit,
     /// End the session.
@@ -279,6 +289,21 @@ impl ProtoRequest {
                 };
                 Ok(ProtoRequest::AddVertex { x, y })
             }
+            "move_vertex" => {
+                let (Some(v), Some(x), Some(y)) = (
+                    value.get("v").and_then(Json::as_u64),
+                    value.get("x").and_then(Json::as_f64),
+                    value.get("y").and_then(Json::as_f64),
+                ) else {
+                    return Err(ProtoError::new(
+                        "'move_vertex' needs numeric fields 'v', 'x' and 'y'",
+                    ));
+                };
+                if v > u32::MAX as u64 {
+                    return Err(ProtoError::new("'v' must fit in 32 bits"));
+                }
+                Ok(ProtoRequest::MoveVertex { v: v as u32, x, y })
+            }
             other => Err(ProtoError::new(format!("unknown command '{other}'"))),
         }
     }
@@ -356,6 +381,11 @@ pub struct QueryReply {
     /// Spatial candidates its sweeps materialised (the amortisation
     /// denominator of the probe count).
     pub candidates: u64,
+    /// Spatial shards of the serving epoch (0 = unsharded engine; the shard
+    /// fields are omitted from the wire encoding in that case).
+    pub shard_count: u32,
+    /// Shards this query's execution involved (1 = single-shard fast path).
+    pub shards_touched: u32,
     /// The approximation ratio the dispatched plan guarantees, when any.
     pub ratio: Option<f64>,
 }
@@ -384,6 +414,8 @@ impl QueryReply {
             epoch: response.trace.epoch,
             probes: response.trace.probe_count,
             candidates: response.trace.candidate_count,
+            shard_count: response.trace.shard_count,
+            shards_touched: response.trace.shards_touched,
             ratio: response.trace.guaranteed_ratio,
         }
     }
@@ -402,6 +434,8 @@ impl QueryReply {
             epoch: 0,
             probes: 0,
             candidates: 0,
+            shard_count: 0,
+            shards_touched: 0,
             ratio: None,
         }
     }
@@ -454,6 +488,12 @@ impl QueryReply {
         fields.push(("epoch", Json::Num(self.epoch as f64)));
         fields.push(("probes", Json::Num(self.probes as f64)));
         fields.push(("candidates", Json::Num(self.candidates as f64)));
+        // Shard fields appear only on sharded engines, keeping the unsharded
+        // wire layout byte-stable.
+        if self.shard_count > 0 {
+            fields.push(("shards", Json::Num(self.shard_count as f64)));
+            fields.push(("shards_touched", Json::Num(self.shards_touched as f64)));
+        }
         if let Some(ratio) = self.ratio {
             fields.push(("ratio", Json::Num(ratio)));
         }
@@ -461,8 +501,25 @@ impl QueryReply {
     }
 }
 
-/// The typed reply to a `stats` command.
+/// Per-shard serving counters of a `stats` reply (deterministic: no timing).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStatsReply {
+    /// Shard id.
+    pub shard: u32,
+    /// Epoch in which this shard's snapshot was last rebuilt.
+    pub epoch: u64,
+    /// Single-shard fast-path queries executed on this shard.
+    pub queries: u64,
+    /// Epoch publishes that carried this shard's snapshot unchanged.
+    pub carries: u64,
+    /// Epoch publishes that rebuilt this shard's snapshot.
+    pub rebuilds: u64,
+    /// Edges of the shard's induced subgraph.
+    pub edges: usize,
+}
+
+/// The typed reply to a `stats` command.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StatsReply {
     /// Vertices in the served snapshot.
     pub vertices: usize,
@@ -492,6 +549,15 @@ pub struct StatsReply {
     pub components_carried: u64,
     /// Component indexes invalidated at epoch swaps.
     pub components_invalidated: u64,
+    /// Spatial shards served (0 = unsharded; shard fields are then omitted
+    /// from the wire encoding).
+    pub shard_count: u32,
+    /// Queries answered on a single shard's induced snapshot.
+    pub single_shard_queries: u64,
+    /// Dispatched queries that fell back to the global snapshot.
+    pub fallback_queries: u64,
+    /// Per-shard counters, in shard order.
+    pub shards: Vec<ShardStatsReply>,
 }
 
 impl StatsReply {
@@ -517,40 +583,81 @@ impl StatsReply {
             component_misses: stats.cache.components.misses,
             components_carried: stats.components_carried,
             components_invalidated: stats.components_invalidated,
+            shard_count: stats.shard_count,
+            single_shard_queries: stats.single_shard_queries,
+            fallback_queries: stats.fallback_queries,
+            shards: stats
+                .shards
+                .iter()
+                .map(|s| ShardStatsReply {
+                    shard: s.shard,
+                    epoch: s.epoch,
+                    queries: s.queries,
+                    carries: s.carries,
+                    rebuilds: s.rebuilds,
+                    edges: s.edges,
+                })
+                .collect(),
         }
     }
 
-    fn to_json(self) -> Json {
-        obj(vec![
-            ("ok", Json::Bool(true)),
-            ("vertices", Json::Num(self.vertices as f64)),
-            ("edges", Json::Num(self.edges as f64)),
-            ("epoch", Json::Num(self.epoch as f64)),
-            ("epochs_published", Json::Num(self.epochs_published as f64)),
-            (
-                "pending_mutations",
-                Json::Num(self.pending_mutations as f64),
-            ),
-            ("queries", Json::Num(self.queries as f64)),
-            (
-                "infeasible_fast_path",
-                Json::Num(self.infeasible_fast_path as f64),
-            ),
-            ("errors", Json::Num(self.errors as f64)),
-            ("decomp_hits", Json::Num(self.decomp_hits as f64)),
-            ("decomp_misses", Json::Num(self.decomp_misses as f64)),
-            ("component_hits", Json::Num(self.component_hits as f64)),
-            ("component_misses", Json::Num(self.component_misses as f64)),
-            (
-                "components_carried",
-                Json::Num(self.components_carried as f64),
-            ),
-            (
-                "components_invalidated",
-                Json::Num(self.components_invalidated as f64),
-            ),
-        ])
+    fn to_json(&self) -> Json {
+        let mut fields = obj_stats_fields(self);
+        if self.shard_count > 0 {
+            fields.push(("shard_count", Json::Num(self.shard_count as f64)));
+            fields.push((
+                "single_shard_queries",
+                Json::Num(self.single_shard_queries as f64),
+            ));
+            fields.push(("fallback_queries", Json::Num(self.fallback_queries as f64)));
+            fields.push((
+                "shards",
+                Json::Arr(
+                    self.shards
+                        .iter()
+                        .map(|s| {
+                            obj(vec![
+                                ("shard", Json::Num(s.shard as f64)),
+                                ("epoch", Json::Num(s.epoch as f64)),
+                                ("queries", Json::Num(s.queries as f64)),
+                                ("carries", Json::Num(s.carries as f64)),
+                                ("rebuilds", Json::Num(s.rebuilds as f64)),
+                                ("edges", Json::Num(s.edges as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        obj(fields)
     }
+}
+
+/// The shard-independent `stats` fields, in their historical order.
+fn obj_stats_fields(s: &StatsReply) -> Vec<(&'static str, Json)> {
+    vec![
+        ("ok", Json::Bool(true)),
+        ("vertices", Json::Num(s.vertices as f64)),
+        ("edges", Json::Num(s.edges as f64)),
+        ("epoch", Json::Num(s.epoch as f64)),
+        ("epochs_published", Json::Num(s.epochs_published as f64)),
+        ("pending_mutations", Json::Num(s.pending_mutations as f64)),
+        ("queries", Json::Num(s.queries as f64)),
+        (
+            "infeasible_fast_path",
+            Json::Num(s.infeasible_fast_path as f64),
+        ),
+        ("errors", Json::Num(s.errors as f64)),
+        ("decomp_hits", Json::Num(s.decomp_hits as f64)),
+        ("decomp_misses", Json::Num(s.decomp_misses as f64)),
+        ("component_hits", Json::Num(s.component_hits as f64)),
+        ("component_misses", Json::Num(s.component_misses as f64)),
+        ("components_carried", Json::Num(s.components_carried as f64)),
+        (
+            "components_invalidated",
+            Json::Num(s.components_invalidated as f64),
+        ),
+    ]
 }
 
 /// The typed reply to an `add_edge`/`remove_edge` mutation.
@@ -587,6 +694,8 @@ pub struct CommitReply {
     pub edges_removed: usize,
     /// Vertex additions among them.
     pub vertices_added: usize,
+    /// Vertex moves (position-only updates) among them.
+    pub vertices_moved: usize,
     /// Core-number changes across the delta.
     pub cores_changed: u64,
     /// Largest `k` whose k-core the delta may have touched.
@@ -595,6 +704,10 @@ pub struct CommitReply {
     pub components_carried: u64,
     /// Component indexes invalidated by the swap.
     pub components_invalidated: u64,
+    /// Shard snapshots rebuilt for the new epoch (0 on unsharded engines).
+    pub shards_rebuilt: u32,
+    /// Shard snapshots carried unchanged across the swap.
+    pub shards_carried: u32,
     /// Commit wall-clock cost in microseconds (`None` under `timing: false`).
     pub micros: Option<u64>,
 }
@@ -676,6 +789,7 @@ impl ProtoResponse {
                     ("edges_inserted", Json::Num(c.edges_inserted as f64)),
                     ("edges_removed", Json::Num(c.edges_removed as f64)),
                     ("vertices_added", Json::Num(c.vertices_added as f64)),
+                    ("vertices_moved", Json::Num(c.vertices_moved as f64)),
                     ("cores_changed", Json::Num(c.cores_changed as f64)),
                     ("dirty_up_to", Json::Num(c.dirty_up_to as f64)),
                     ("components_carried", Json::Num(c.components_carried as f64)),
@@ -684,6 +798,10 @@ impl ProtoResponse {
                         Json::Num(c.components_invalidated as f64),
                     ),
                 ];
+                if c.shards_rebuilt + c.shards_carried > 0 {
+                    fields.push(("shards_rebuilt", Json::Num(c.shards_rebuilt as f64)));
+                    fields.push(("shards_carried", Json::Num(c.shards_carried as f64)));
+                }
                 if options.timing {
                     if let Some(micros) = c.micros {
                         fields.push(("micros", Json::Num(micros as f64)));
@@ -776,6 +894,14 @@ mod tests {
             ProtoRequest::AddVertex { x: 0.5, y: -0.5 }
         );
         assert_eq!(
+            ProtoRequest::parse_line(r#"{"cmd":"move_vertex","v":3,"x":1.5,"y":2.5}"#).unwrap(),
+            ProtoRequest::MoveVertex {
+                v: 3,
+                x: 1.5,
+                y: 2.5
+            }
+        );
+        assert_eq!(
             ProtoRequest::parse_line(r#"{"cmd":"quit"}"#).unwrap(),
             ProtoRequest::Quit
         );
@@ -793,6 +919,11 @@ mod tests {
             (r#"{"q":1,"k":2,"algorithm":7}"#, "'algorithm'"),
             (r#"{"cmd":"frobnicate"}"#, "unknown command"),
             (r#"{"cmd":"add_edge","u":1}"#, "'u' and 'v'"),
+            (r#"{"cmd":"move_vertex","v":1,"x":0.5}"#, "'v', 'x' and 'y'"),
+            (
+                r#"{"cmd":"move_vertex","v":99999999999,"x":0,"y":0}"#,
+                "32 bits",
+            ),
             (r#"{"cmd":"warm","ks":[1.5]}"#, "'ks'"),
             ("{not json", "parse error"),
         ] {
@@ -832,12 +963,24 @@ mod tests {
             epoch: 2,
             probes: 9,
             candidates: 61,
+            shard_count: 0,
+            shards_touched: 0,
             ratio: Some(2.0),
         };
         let line = ProtoResponse::Query(reply.clone()).encode_line(EncodeOptions::default());
         assert_eq!(
             line,
             r#"{"ok":true,"id":7,"q":1,"k":2,"plan":"app_inc","feasible":true,"size":3,"radius":1.25,"center":[0.5,0.25],"members":[1,2,3],"micros":42,"cache_hit":true,"epoch":2,"probes":9,"candidates":61,"ratio":2}"#
+        );
+        // Sharded engines append the shard fields; unsharded layouts stay
+        // byte-stable (asserted above: no "shards" key).
+        let mut sharded = reply.clone();
+        sharded.shard_count = 4;
+        sharded.shards_touched = 1;
+        let line = ProtoResponse::Query(sharded).encode_line(EncodeOptions::default());
+        assert!(
+            line.contains(r#""candidates":61,"shards":4,"shards_touched":1,"ratio":2"#),
+            "got: {line}"
         );
         // Deterministic mode drops the volatile timing field.
         let no_timing = ProtoResponse::Query(reply).encode_line(EncodeOptions {
