@@ -7,6 +7,9 @@ use crate::planner::{LatencyTier, Plan, PlanContext, PlannedQuery, Planner, Quer
 use sac_core::{AlgorithmRegistry, Community, SacError, SearchContext, EXACT_PLUS_EPS_A};
 use sac_geom::EPS;
 use sac_graph::{CoreDecomposition, ShardMap, ShardedGraph, SpatialGraph, SweepStats, VertexId};
+use sac_obs::{
+    Counter, Histogram, LatencySummary, MetricsRegistry, SlowQueryLog, SlowQueryRecord, Span,
+};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
@@ -29,7 +32,21 @@ pub struct EngineConfig {
     /// diagonal (see [`sac_graph::ShardMap::halo`]).  Larger halos route more
     /// queries single-shard at the price of more duplicated boundary edges.
     pub shard_halo_frac: f64,
+    /// Whether the engine records latency histograms, stage spans and
+    /// fallback-reason counters (see [`SacEngine::metrics`]).  On by default
+    /// — recording is a handful of relaxed atomic adds per query (the bench
+    /// gate pins the dispatch overhead at ≤1.05x) — but the overhead
+    /// benchmark itself, and any caller that wants the absolute minimum hot
+    /// path, can switch it off.
+    pub observe: bool,
+    /// Queries slower than this many microseconds end-to-end are captured in
+    /// the slow-query ring buffer ([`SacEngine::slow_log`]); `0` disables
+    /// capture.  Ignored when `observe` is off.
+    pub slow_query_micros: u64,
 }
+
+/// Capacity of the engine's slow-query ring buffer.
+const SLOW_LOG_CAPACITY: usize = 128;
 
 impl Default for EngineConfig {
     fn default() -> Self {
@@ -38,6 +55,8 @@ impl Default for EngineConfig {
             exact_eps_a: EXACT_PLUS_EPS_A,
             shards: 0,
             shard_halo_frac: 0.125,
+            observe: true,
+            slow_query_micros: 10_000,
         }
     }
 }
@@ -194,6 +213,10 @@ impl SacRequestBuilder {
 /// Per-request trace metadata: where and how a response was produced.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct QueryTrace {
+    /// Monotonically increasing per-engine query id (1, 2, 3, …), assigned
+    /// at execution time — the correlation key between responses, slow-log
+    /// entries and transport logs.
+    pub query_id: u64,
     /// Epoch (snapshot generation) the query was answered against.
     pub epoch: u64,
     /// Number of spatial shards in the serving epoch (`0` for an unsharded
@@ -302,6 +325,23 @@ pub struct EngineStats {
     pub fallback_queries: u64,
     /// Per-shard counters, in shard order (empty for an unsharded engine).
     pub shards: Vec<ShardStats>,
+    /// End-to-end latency percentile summaries per [`LatencyTier`], in
+    /// [`LatencyTier::ALL`] order.  Empty when observation is disabled
+    /// ([`EngineConfig::observe`]).
+    pub tier_latency: Vec<LatencyStats>,
+    /// End-to-end latency percentile summaries per dispatched algorithm, in
+    /// registry order.  Empty when observation is disabled.
+    pub algorithm_latency: Vec<LatencyStats>,
+}
+
+/// One labelled latency series of [`EngineStats`]: a tier or algorithm name
+/// plus its percentile summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Series label: the tier wire name or the registry algorithm name.
+    pub label: &'static str,
+    /// p50/p95/p99/max summary in microseconds.
+    pub summary: LatencySummary,
 }
 
 /// The engine's answer to one snapshot publication.
@@ -354,6 +394,111 @@ struct PreparedQuery {
     plan_micros: u64,
 }
 
+/// The engine's observability surface: the metric registry shared with the
+/// serving layers above, pre-bound instrument handles for the dispatch hot
+/// path (no registry lock is ever taken per query), the slow-query ring and
+/// the query-id source.
+#[derive(Debug)]
+struct EngineObs {
+    /// Whether the hot path records at all ([`EngineConfig::observe`]).
+    enabled: bool,
+    registry: Arc<MetricsRegistry>,
+    /// End-to-end latency per tier, indexed by [`LatencyTier::index`].
+    tier_latency: [Arc<Histogram>; 3],
+    /// End-to-end latency per registered algorithm, in registry order
+    /// (linear scan — registries hold a handful of entries).
+    algo_latency: Vec<(&'static str, Arc<Histogram>)>,
+    /// Planning sub-span (budget validation + cache feasibility + profile
+    /// selection).
+    plan_stage: Arc<Histogram>,
+    /// Shard-routing sub-span (cover-radius bound + interior test).
+    route_stage: Arc<Histogram>,
+    /// Execution sub-span (the dispatched algorithm itself).
+    exec_stage: Arc<Histogram>,
+    /// Publish-pipeline sub-spans: per-shard snapshot rebuilds and the epoch
+    /// pointer swap (+ retired-counter fold).
+    publish_rebuild: Arc<Histogram>,
+    publish_swap: Arc<Histogram>,
+    /// Why dispatched queries fell off the single-shard fast path.
+    fallback_override: Arc<Counter>,
+    fallback_trivial_k: Arc<Counter>,
+    fallback_cover: Arc<Counter>,
+    slow_log: SlowQueryLog,
+    query_ids: AtomicU64,
+}
+
+impl EngineObs {
+    fn new(config: &EngineConfig, algorithms: &[&'static str]) -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        const TIER_HELP: &str = "End-to-end query latency per latency tier";
+        const ALGO_HELP: &str = "End-to-end query latency per dispatched algorithm";
+        const STAGE_HELP: &str = "Query dispatch stage latency";
+        const PUBLISH_HELP: &str = "Epoch publish stage latency";
+        const FALLBACK_HELP: &str =
+            "Dispatched queries that fell back to the global snapshot, by reason";
+        let tier_latency = std::array::from_fn(|i| {
+            registry.histogram(
+                "sac_query_latency_micros",
+                TIER_HELP,
+                &[("tier", LatencyTier::ALL[i].as_str())],
+            )
+        });
+        let algo_latency = algorithms
+            .iter()
+            .map(|&name| {
+                (
+                    name,
+                    registry.histogram(
+                        "sac_algorithm_latency_micros",
+                        ALGO_HELP,
+                        &[("algorithm", name)],
+                    ),
+                )
+            })
+            .collect();
+        let stage = |stage: &'static str| {
+            registry.histogram("sac_stage_micros", STAGE_HELP, &[("stage", stage)])
+        };
+        let publish = |stage: &'static str| {
+            registry.histogram(
+                "sac_publish_stage_micros",
+                PUBLISH_HELP,
+                &[("stage", stage)],
+            )
+        };
+        let fallback = |reason: &'static str| {
+            registry.counter(
+                "sac_fallback_queries_total",
+                FALLBACK_HELP,
+                &[("reason", reason)],
+            )
+        };
+        EngineObs {
+            enabled: config.observe,
+            tier_latency,
+            algo_latency,
+            plan_stage: stage("plan"),
+            route_stage: stage("route"),
+            exec_stage: stage("exec"),
+            publish_rebuild: publish("shard_rebuild"),
+            publish_swap: publish("epoch_swap"),
+            fallback_override: fallback("override"),
+            fallback_trivial_k: fallback("trivial_k"),
+            fallback_cover: fallback("cover_spans_shards"),
+            slow_log: SlowQueryLog::new(
+                SLOW_LOG_CAPACITY,
+                if config.observe {
+                    config.slow_query_micros
+                } else {
+                    0
+                },
+            ),
+            query_ids: AtomicU64::new(0),
+            registry,
+        }
+    }
+}
+
 /// A thread-safe SAC query engine over one immutable graph snapshot.
 ///
 /// The engine owns an `Arc<SpatialGraph>` snapshot (shared, read-only — see
@@ -393,6 +538,7 @@ pub struct SacEngine {
     shard_rebuilds: Vec<AtomicU64>,
     single_shard_queries: AtomicU64,
     fallback_queries: AtomicU64,
+    obs: EngineObs,
 }
 
 impl SacEngine {
@@ -446,6 +592,7 @@ impl SacEngine {
             (None, Vec::new())
         };
         let shard_count = shards.len();
+        let obs = EngineObs::new(&config, &registry.names());
         SacEngine {
             epoch: EpochCell::new(Arc::new(EngineEpoch {
                 number: 1,
@@ -467,6 +614,7 @@ impl SacEngine {
             shard_rebuilds: (0..shard_count).map(|_| AtomicU64::new(1)).collect(),
             single_shard_queries: AtomicU64::new(0),
             fallback_queries: AtomicU64::new(0),
+            obs,
         }
     }
 
@@ -568,6 +716,11 @@ impl SacEngine {
         let next_number = previous.number + 1;
         let mut shards_rebuilt = 0u32;
         let mut shards_carried = 0u32;
+        let rebuild_span = if self.obs.enabled {
+            Span::start(&self.obs.publish_rebuild)
+        } else {
+            Span::disabled()
+        };
         let shards: Vec<ShardSlot> = match &previous.map {
             None => Vec::new(),
             Some(map) => {
@@ -597,6 +750,7 @@ impl SacEngine {
                     .collect()
             }
         };
+        rebuild_span.finish();
         let next = EngineEpoch {
             number: next_number,
             graph,
@@ -604,15 +758,25 @@ impl SacEngine {
             map: previous.map.clone(),
             shards,
         };
+        let swap_span = if self.obs.enabled {
+            Span::start(&self.obs.publish_swap)
+        } else {
+            Span::disabled()
+        };
         // Swap and fold the retired epoch's cache counters under the same
         // lock `stats()` takes, so a concurrent reader never sees the retired
         // epoch both folded into the total and still live (double-counted).
+        // A poisoned lock is recovered, not propagated: the accumulator is a
+        // plain `Copy` value that is never left half-written, and wedging
+        // every future publish (and the stats/metrics endpoints) on a dead
+        // worker's panic would turn one bad query into a stuck server.
         let retired = {
-            let mut acc = self.retired_cache.lock().expect("stats lock poisoned");
+            let mut acc = self.retired_cache.lock().unwrap_or_else(|e| e.into_inner());
             let retired = self.epoch.swap(Arc::new(next));
             *acc = add_cache_stats(*acc, retired.cache.stats());
             retired
         };
+        swap_span.finish();
         self.epochs_published.fetch_add(1, Ordering::Relaxed);
         self.components_carried
             .fetch_add(carried, Ordering::Relaxed);
@@ -805,17 +969,34 @@ impl SacEngine {
         // Overrides (A/B baselines, structure-only algorithms) and trivial
         // `k < 2` plans (whose answers involve graph-global neighbours) have
         // no spatial cover bound: global.
-        if request.algorithm.is_some() || request.k < 2 {
+        if request.algorithm.is_some() {
+            if self.obs.enabled {
+                self.obs.fallback_override.inc();
+            }
+            return (None, shard_count, shard_count);
+        }
+        if request.k < 2 {
+            if self.obs.enabled {
+                self.obs.fallback_trivial_k.inc();
+            }
             return (None, shard_count, shard_count);
         }
         let Some(cover) = Self::cover_radius(epoch, planned, components, map.max_routable_radius())
         else {
+            if self.obs.enabled {
+                self.obs.fallback_cover.inc();
+            }
             return (None, shard_count, shard_count);
         };
         let q_pos = epoch.graph.position(request.q);
         match map.single_shard_for(q_pos, cover) {
             Some(s) => (Some(s), shard_count, 1),
-            None => (None, shard_count, map.shards_intersecting(q_pos, cover)),
+            None => {
+                if self.obs.enabled {
+                    self.obs.fallback_cover.inc();
+                }
+                (None, shard_count, map.shards_intersecting(q_pos, cover))
+            }
         }
     }
 
@@ -841,18 +1022,33 @@ impl SacEngine {
         let start = Instant::now();
         let cache_hit = epoch.cache.is_warm();
         let (plan_result, components) = self.plan_on(epoch, request);
+        let planned_micros = start.elapsed().as_micros() as u64;
         let route = match &plan_result {
-            Ok(plan) => self.route_on(epoch, request, plan, components.as_ref()),
+            Ok(plan) => {
+                let span = if self.obs.enabled {
+                    Span::start(&self.obs.route_stage)
+                } else {
+                    Span::disabled()
+                };
+                let route = self.route_on(epoch, request, plan, components.as_ref());
+                span.finish();
+                route
+            }
             Err(_) => (
                 None,
                 epoch.map.as_ref().map_or(0, |m| m.num_shards() as u32),
                 0,
             ),
         };
+        if self.obs.enabled {
+            self.obs.plan_stage.record(planned_micros);
+        }
         PreparedQuery {
             plan_result,
             route,
             cache_hit,
+            // The trace's planning time keeps its meaning from before the
+            // stage split: everything up to execution, routing included.
             plan_micros: start.elapsed().as_micros() as u64,
         }
     }
@@ -896,13 +1092,45 @@ impl SacEngine {
             Ok(_) => {}
         }
         let exec_micros = start.elapsed().as_micros() as u64;
+        let query_id = self.obs.query_ids.fetch_add(1, Ordering::Relaxed) + 1;
+        let total_micros = prepared.plan_micros + exec_micros;
+        if self.obs.enabled {
+            self.obs.exec_stage.record(exec_micros);
+            self.obs.tier_latency[request.budget.tier.index()].record(total_micros);
+            if let Plan::Execute(planned) = &plan {
+                if let Some((_, hist)) = self
+                    .obs
+                    .algo_latency
+                    .iter()
+                    .find(|(name, _)| *name == planned.algorithm)
+                {
+                    hist.record(total_micros);
+                }
+            }
+            self.obs.slow_log.observe(total_micros, || SlowQueryRecord {
+                query_id,
+                total_micros,
+                plan: plan.label(),
+                tier: request.budget.tier.as_str().to_string(),
+                epoch: epoch.number,
+                shard,
+                shard_count,
+                shards_touched,
+                plan_micros: prepared.plan_micros,
+                exec_micros,
+                cache_hit: prepared.cache_hit,
+                probe_count: sweep.probes,
+                candidate_count: sweep.candidates,
+            });
+        }
         SacResponse {
             id: request.id,
             q: request.q,
             k: request.k,
             outcome,
-            micros: prepared.plan_micros + exec_micros,
+            micros: total_micros,
             trace: QueryTrace {
+                query_id,
                 epoch: epoch.number,
                 shard_count,
                 shards_touched,
@@ -1113,9 +1341,11 @@ impl SacEngine {
     pub fn stats(&self) -> EngineStats {
         // Read the accumulator and the live epoch under the accumulator's
         // lock (publish folds + swaps under the same lock), so an epoch's
-        // counters are never counted both as retired and as live.
+        // counters are never counted both as retired and as live.  Recover a
+        // poisoned lock (see `publish_update`): stats and metrics endpoints
+        // must keep answering after a worker panic.
         let (retired, epoch) = {
-            let acc = self.retired_cache.lock().expect("stats lock poisoned");
+            let acc = self.retired_cache.lock().unwrap_or_else(|e| e.into_inner());
             (*acc, self.epoch.load())
         };
         let shards = epoch
@@ -1144,7 +1374,144 @@ impl SacEngine {
             single_shard_queries: self.single_shard_queries.load(Ordering::Relaxed),
             fallback_queries: self.fallback_queries.load(Ordering::Relaxed),
             shards,
+            tier_latency: if self.obs.enabled {
+                LatencyTier::ALL
+                    .iter()
+                    .map(|tier| LatencyStats {
+                        label: tier.as_str(),
+                        summary: LatencySummary::from_snapshot(
+                            &self.obs.tier_latency[tier.index()].snapshot(),
+                        ),
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            algorithm_latency: if self.obs.enabled {
+                self.obs
+                    .algo_latency
+                    .iter()
+                    .map(|(name, hist)| LatencyStats {
+                        label: name,
+                        summary: LatencySummary::from_snapshot(&hist.snapshot()),
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            },
         }
+    }
+
+    /// The metric registry the engine (and, by shared registration, the
+    /// serving layers above) records into: per-tier and per-algorithm
+    /// latency histograms, dispatch stage spans, publish-pipeline spans and
+    /// fallback-reason counters.  Present — but silent — when observation is
+    /// disabled.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.obs.registry
+    }
+
+    /// Whether the engine records into its metric registry
+    /// ([`EngineConfig::observe`]); layers registering their own series
+    /// should honour this too.
+    pub fn observing(&self) -> bool {
+        self.obs.enabled
+    }
+
+    /// The slow-query ring buffer (threshold
+    /// [`EngineConfig::slow_query_micros`]; empty when capture is disabled).
+    pub fn slow_log(&self) -> &SlowQueryLog {
+        &self.obs.slow_log
+    }
+
+    /// Prometheus text exposition of everything the engine knows: the
+    /// `EngineStats` counters/gauges plus every series of [`SacEngine::metrics`]
+    /// — the payload of the HTTP `GET /metrics` endpoint.
+    pub fn metrics_text(&self) -> String {
+        use std::fmt::Write as _;
+        let stats = self.stats();
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter(
+            "sac_queries_total",
+            "Queries answered (including errors)",
+            stats.queries,
+        );
+        counter(
+            "sac_query_errors_total",
+            "Queries that returned a per-query error",
+            stats.errors,
+        );
+        counter(
+            "sac_infeasible_fast_path_total",
+            "Queries short-circuited by the cache feasibility check",
+            stats.infeasible_fast_path,
+        );
+        counter(
+            "sac_epochs_published_total",
+            "Snapshots published over the engine lifetime",
+            stats.epochs_published,
+        );
+        counter(
+            "sac_cache_decomposition_hits_total",
+            "Core-decomposition cache hits",
+            stats.cache.decomposition.hits,
+        );
+        counter(
+            "sac_cache_decomposition_misses_total",
+            "Core-decomposition cache misses",
+            stats.cache.decomposition.misses,
+        );
+        counter(
+            "sac_cache_components_hits_total",
+            "Per-k component index cache hits",
+            stats.cache.components.hits,
+        );
+        counter(
+            "sac_cache_components_misses_total",
+            "Per-k component index cache misses",
+            stats.cache.components.misses,
+        );
+        counter(
+            "sac_single_shard_queries_total",
+            "Queries answered on a single shard's induced snapshot",
+            stats.single_shard_queries,
+        );
+        counter(
+            "sac_components_carried_total",
+            "Per-k component indexes carried across epoch swaps",
+            stats.components_carried,
+        );
+        counter(
+            "sac_components_invalidated_total",
+            "Per-k component indexes dropped at epoch swaps",
+            stats.components_invalidated,
+        );
+        counter(
+            "sac_slow_queries_dropped_total",
+            "Slow-query records evicted from the ring buffer",
+            self.obs.slow_log.dropped(),
+        );
+        let mut gauge = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        gauge("sac_epoch", "Currently served epoch number", stats.epoch);
+        gauge(
+            "sac_shard_count",
+            "Spatial shards served (0 = unsharded)",
+            stats.shard_count as u64,
+        );
+        gauge(
+            "sac_slow_queries",
+            "Slow-query records currently in the ring buffer",
+            self.obs.slow_log.len() as u64,
+        );
+        out.push_str(&self.obs.registry.render_prometheus());
+        out
     }
 }
 
@@ -1580,6 +1947,191 @@ mod tests {
         );
         assert_eq!(report.shards_rebuilt, 2);
         assert_eq!(report.shards_carried, 0);
+    }
+
+    #[test]
+    fn query_ids_are_monotonic_and_dense() {
+        let engine = engine();
+        for expected in 1..=5u64 {
+            let response = engine.execute(&SacRequest::new(0, figure3::Q, 2));
+            assert_eq!(response.trace.query_id, expected);
+        }
+        // Batch execution draws from the same per-engine sequence: ids stay
+        // unique and cover the next contiguous range (order is unspecified).
+        let requests: Vec<SacRequest> = (0..8).map(|i| SacRequest::new(i, figure3::Q, 2)).collect();
+        let mut ids: Vec<u64> = engine
+            .execute_batch(&requests, 4)
+            .iter()
+            .map(|r| r.trace.query_id)
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (6..=13).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn tier_and_algorithm_latency_land_in_stats_and_metrics() {
+        let engine = engine();
+        for _ in 0..4 {
+            engine.execute(
+                &SacRequest::new(1, figure3::Q, 2)
+                    .with_budget(QueryBudget::exact().with_tier(LatencyTier::Interactive)),
+            );
+        }
+        engine.execute(&SacRequest::new(2, figure3::Q, 2));
+        let stats = engine.stats();
+        assert_eq!(stats.tier_latency.len(), 3, "one summary per tier");
+        let tier = |label: &str| {
+            stats
+                .tier_latency
+                .iter()
+                .find(|t| t.label == label)
+                .unwrap()
+                .summary
+        };
+        assert_eq!(tier("interactive").count, 4);
+        assert_eq!(tier("standard").count, 1);
+        assert_eq!(tier("batch").count, 0);
+        let interactive = tier("interactive");
+        assert!(interactive.p50_micros <= interactive.p95_micros);
+        assert!(interactive.p95_micros <= interactive.p99_micros);
+        assert!(interactive.p99_micros >= interactive.max_micros / 2);
+        // All five dispatches were exact_plus (small-core upgrade).
+        let exact_plus = stats
+            .algorithm_latency
+            .iter()
+            .find(|a| a.label == "exact_plus")
+            .expect("registered algorithms get a series");
+        assert_eq!(exact_plus.summary.count, 5);
+
+        // The Prometheus exposition agrees with EngineStats: same counts,
+        // and the histogram quantiles reported there are the same snapshot.
+        let text = engine.metrics_text();
+        assert!(text.contains("sac_queries_total 5"));
+        assert!(text.contains("sac_query_latency_micros_count{tier=\"interactive\"} 4"));
+        assert!(text.contains(&format!(
+            "sac_query_latency_micros_max{{tier=\"interactive\"}} {}",
+            interactive.max_micros
+        )));
+        assert!(text.contains("sac_algorithm_latency_micros_count{algorithm=\"exact_plus\"} 5"));
+        assert!(text.contains("# TYPE sac_query_latency_micros histogram"));
+        // Stage spans recorded once per query.
+        assert!(text.contains("sac_stage_micros_count{stage=\"plan\"} 5"));
+        assert!(text.contains("sac_stage_micros_count{stage=\"exec\"} 5"));
+    }
+
+    #[test]
+    fn percentiles_in_metrics_text_match_engine_stats() {
+        // The /metrics acceptance check, engine-side: reconstruct p50/p99
+        // from the exposition's cumulative buckets and compare with the
+        // EngineStats summaries.
+        let engine = engine();
+        for i in 0..20 {
+            engine.execute(&SacRequest::new(i, figure3::Q, 2));
+        }
+        let stats = engine.stats();
+        let standard = stats
+            .tier_latency
+            .iter()
+            .find(|t| t.label == "standard")
+            .unwrap()
+            .summary;
+        assert_eq!(standard.count, 20);
+
+        // Parse the standard-tier cumulative buckets out of the exposition.
+        let text = engine.metrics_text();
+        let mut buckets: Vec<(f64, u64)> = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) =
+                line.strip_prefix("sac_query_latency_micros_bucket{tier=\"standard\",le=\"")
+            {
+                let (le, count) = rest.split_once("\"} ").unwrap();
+                let le = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse().unwrap()
+                };
+                buckets.push((le, count.parse().unwrap()));
+            }
+        }
+        assert!(!buckets.is_empty());
+        let total = buckets.last().unwrap().1;
+        assert_eq!(total, standard.count);
+        let quantile = |p: f64| {
+            let rank = (p * total as f64).ceil().max(1.0) as u64;
+            if rank >= total {
+                return standard.max_micros as f64;
+            }
+            buckets
+                .iter()
+                .find(|(_, c)| *c >= rank)
+                .map(|(le, _)| le.min(standard.max_micros as f64))
+                .unwrap()
+        };
+        assert_eq!(quantile(0.50) as u64, standard.p50_micros);
+        assert_eq!(quantile(0.99) as u64, standard.p99_micros);
+    }
+
+    #[test]
+    fn slow_log_captures_over_threshold_queries() {
+        let config = EngineConfig {
+            slow_query_micros: 1, // everything is "slow"
+            ..EngineConfig::default()
+        };
+        let noisy = SacEngine::with_config(Arc::new(figure3_graph()), config);
+        assert_eq!(noisy.slow_log().threshold_micros(), 1);
+        let response =
+            noisy.execute(&SacRequest::new(7, figure3::Q, 2).with_budget(QueryBudget::exact()));
+        let entries = noisy.slow_log().snapshot();
+        assert_eq!(entries.len(), 1);
+        let entry = &entries[0];
+        assert_eq!(entry.query_id, response.trace.query_id);
+        assert_eq!(entry.total_micros, response.micros);
+        assert_eq!(entry.plan, response.plan.label());
+        assert_eq!(
+            entry.tier, "batch",
+            "exact budgets run under the batch tier"
+        );
+        assert_eq!(entry.epoch, 1);
+        assert_eq!(entry.plan_micros, response.trace.plan_micros);
+        assert_eq!(entry.exec_micros, response.trace.exec_micros);
+        assert_eq!(entry.probe_count, response.trace.probe_count);
+
+        // Default threshold (10ms) never trips on the tiny fixture.
+        let calm = engine();
+        calm.execute(&SacRequest::new(8, figure3::Q, 2));
+        assert!(calm.slow_log().is_empty());
+
+        // observe = false disables capture entirely.
+        let dark = SacEngine::with_config(
+            Arc::new(figure3_graph()),
+            EngineConfig {
+                observe: false,
+                slow_query_micros: 1,
+                ..EngineConfig::default()
+            },
+        );
+        dark.execute(&SacRequest::new(9, figure3::Q, 2));
+        assert!(dark.slow_log().is_empty());
+        assert!(dark.stats().tier_latency.is_empty());
+        assert!(dark.stats().algorithm_latency.is_empty());
+    }
+
+    #[test]
+    fn fallback_reason_counters_distinguish_causes() {
+        let sharded = SacEngine::with_shards(figure3_graph(), 4);
+        sharded.execute(&SacRequest::new(1, figure3::Q, 2).with_algorithm("global"));
+        sharded.execute(&SacRequest::new(2, figure3::Q, 1));
+        sharded.execute(&SacRequest::new(3, figure3::Q, 1));
+        let text = sharded.metrics_text();
+        assert!(text.contains("sac_fallback_queries_total{reason=\"override\"} 1"));
+        assert!(text.contains("sac_fallback_queries_total{reason=\"trivial_k\"} 2"));
+        // Publish-pipeline spans tick on every publish.
+        let snapshot = sharded.snapshot();
+        let decomposition = sac_graph::core_decomposition(snapshot.graph());
+        sharded.publish(snapshot, decomposition, u32::MAX);
+        let text = sharded.metrics_text();
+        assert!(text.contains("sac_publish_stage_micros_count{stage=\"shard_rebuild\"} 1"));
+        assert!(text.contains("sac_publish_stage_micros_count{stage=\"epoch_swap\"} 1"));
     }
 
     #[test]

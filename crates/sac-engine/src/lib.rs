@@ -66,8 +66,13 @@ mod planner;
 
 pub use cache::{CacheLayerStats, CacheStats, KCoreCache, KCoreComponents};
 pub use engine::{
-    EngineConfig, EngineStats, PublishReport, QueryTrace, SacEngine, SacRequest, SacRequestBuilder,
-    SacResponse, ShardStats,
+    EngineConfig, EngineStats, LatencyStats, PublishReport, QueryTrace, SacEngine, SacRequest,
+    SacRequestBuilder, SacResponse, ShardStats,
 };
 pub use epoch::EpochCell;
 pub use planner::{LatencyTier, Plan, PlanContext, PlannedQuery, Planner, QueryBudget};
+// Observability primitives, re-exported so the serving layers above see one
+// coherent API (the engine owns the registry the whole stack records into).
+pub use sac_obs::{
+    LatencySummary, MetricsRegistry, SlowQueryLog, SlowQueryRecord, Span as ObsSpan,
+};

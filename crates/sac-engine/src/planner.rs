@@ -61,6 +61,14 @@ pub enum LatencyTier {
 }
 
 impl LatencyTier {
+    /// All tiers in dense-index order (see [`LatencyTier::index`]) — the
+    /// iteration order of per-tier metric series.
+    pub const ALL: [LatencyTier; 3] = [
+        LatencyTier::Interactive,
+        LatencyTier::Standard,
+        LatencyTier::Batch,
+    ];
+
     /// The wire name used by the serving protocol (`interactive`, `standard`,
     /// `batch`).
     pub fn as_str(&self) -> &'static str {
@@ -68,6 +76,16 @@ impl LatencyTier {
             LatencyTier::Interactive => "interactive",
             LatencyTier::Standard => "standard",
             LatencyTier::Batch => "batch",
+        }
+    }
+
+    /// Dense index of the tier (`ALL[tier.index()] == tier`), used to key
+    /// per-tier metric arrays without a hash lookup on the dispatch path.
+    pub fn index(self) -> usize {
+        match self {
+            LatencyTier::Interactive => 0,
+            LatencyTier::Standard => 1,
+            LatencyTier::Batch => 2,
         }
     }
 }

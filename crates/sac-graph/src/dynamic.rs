@@ -104,6 +104,12 @@ pub struct BatchChange {
     pub dirty_up_to: u32,
     /// Whether the shared-peel strategy ran (`false` = per-edge cascades).
     pub recomputed: bool,
+    /// Microseconds spent repairing core numbers: the one shared peel on the
+    /// recompute path, or the per-edge cascade loop (structural application
+    /// included — the cascades interleave with the adjacency edits) on the
+    /// per-edge path.  The commit pipeline's observability spans feed on
+    /// this, so "peel" vs "delta apply" time stays attributable per batch.
+    pub repair_micros: u64,
 }
 
 /// A mutable graph that maintains exact core numbers under edge insertions,
@@ -552,7 +558,9 @@ impl DynamicGraph {
             }
             applied.push(*op);
         }
+        let repair_start = std::time::Instant::now();
         self.recompute_cores();
+        let repair_micros = repair_start.elapsed().as_micros() as u64;
 
         // Dirty bound for cache invalidation across the epoch boundary: an
         // inserted edge lives in the *new* k-cores up to min(new core of its
@@ -581,6 +589,7 @@ impl DynamicGraph {
             changed,
             dirty_up_to,
             recomputed: true,
+            repair_micros,
         })
     }
 
@@ -590,6 +599,7 @@ impl DynamicGraph {
         let old_core = self.core.clone();
         let mut applied = Vec::new();
         let mut dirty_up_to = 0u32;
+        let repair_start = std::time::Instant::now();
         for op in ops {
             let (u, v) = op.endpoints();
             let change = match op {
@@ -602,6 +612,7 @@ impl DynamicGraph {
                 dirty_up_to = dirty_up_to.max(change.dirty_up_to);
             }
         }
+        let repair_micros = repair_start.elapsed().as_micros() as u64;
         let mut changed: Vec<VertexId> = (0..self.core.len() as VertexId)
             .filter(|&v| self.core[v as usize] != old_core[v as usize])
             .collect();
@@ -611,6 +622,7 @@ impl DynamicGraph {
             changed,
             dirty_up_to,
             recomputed: false,
+            repair_micros,
         }
     }
 

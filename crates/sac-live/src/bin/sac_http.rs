@@ -12,7 +12,8 @@
 //! Routes:
 //!   POST /api            body = one protocol JSON document
 //!   GET  /stats          shorthand for {"cmd":"stats"}
-//!   GET  /healthz        liveness probe
+//!   GET  /metrics        Prometheus text exposition of the whole stack
+//!   GET  /healthz        liveness probe (epoch, shards, uptime)
 //!
 //! Example:
 //!   $ sac-http --preset brightkite --scale 0.02 --warm 4 &

@@ -36,6 +36,9 @@ pub struct ServeOptions {
     pub timing: bool,
     /// Number of spatial shards the engine serves (`0` = unsharded).
     pub shards: usize,
+    /// Slow-query capture threshold in microseconds (`Some(0)` disables the
+    /// slow log; `None` keeps the engine default).
+    pub slow_query_micros: Option<u64>,
     /// Listener address (`sac-http` only).
     pub addr: String,
     /// Largest HTTP request body accepted, in bytes (`sac-http` only).
@@ -58,6 +61,7 @@ impl Default for ServeOptions {
             members: true,
             timing: true,
             shards: 0,
+            slow_query_micros: None,
             addr: "127.0.0.1:7878".to_string(),
             max_body_bytes: HttpConfig::default().max_body_bytes,
             read_timeout_ms: HttpConfig::default()
@@ -90,7 +94,7 @@ pub fn usage(binary: &str, with_addr: bool) -> String {
     format!(
         "usage: {binary} [--preset NAME] [--scale F] [--seed N] \
          [--edges FILE --locations FILE] [--threads N] [--warm K1,K2] \
-         [--shards N] [--no-members] [--no-timing]{addr}"
+         [--shards N] [--slow-query-micros N] [--no-members] [--no-timing]{addr}"
     )
 }
 
@@ -150,6 +154,13 @@ pub fn parse_args(args: &[String], with_addr: bool) -> Result<ServeOptions, Stri
                 opts.shards = value("--shards")?
                     .parse::<usize>()
                     .map_err(|_| "--shards must be a non-negative integer")?;
+            }
+            "--slow-query-micros" => {
+                opts.slow_query_micros = Some(
+                    value("--slow-query-micros")?
+                        .parse::<u64>()
+                        .map_err(|_| "--slow-query-micros must be a non-negative integer")?,
+                );
             }
             "--addr" if with_addr => opts.addr = value("--addr")?,
             "--max-body" if with_addr => {
@@ -218,13 +229,14 @@ impl ServeOptions {
             graph.num_edges(),
             self.threads
         );
-        let engine = Arc::new(SacEngine::with_config(
-            Arc::new(graph),
-            EngineConfig {
-                shards: self.shards,
-                ..EngineConfig::default()
-            },
-        ));
+        let mut config = EngineConfig {
+            shards: self.shards,
+            ..EngineConfig::default()
+        };
+        if let Some(threshold) = self.slow_query_micros {
+            config.slow_query_micros = threshold;
+        }
+        let engine = Arc::new(SacEngine::with_config(Arc::new(graph), config));
         if engine.shard_count() > 0 {
             eprintln!("serving {} spatial shards", engine.shard_count());
         }
@@ -258,6 +270,8 @@ mod tests {
                 "2",
                 "--warm",
                 "2,4",
+                "--slow-query-micros",
+                "2500",
                 "--no-members",
                 "--no-timing",
             ]),
@@ -269,6 +283,7 @@ mod tests {
         assert_eq!(opts.seed, Some(7));
         assert_eq!(opts.threads, 2);
         assert_eq!(opts.warm, vec![2, 4]);
+        assert_eq!(opts.slow_query_micros, Some(2500));
         assert!(!opts.members && !opts.timing);
         let config = opts.service_config();
         assert!(!config.encode.members && !config.encode.timing);
@@ -301,6 +316,7 @@ mod tests {
         assert!(parse_args(&args(&["--max-body", "10"]), false).is_err());
         assert!(parse_args(&args(&["--max-body", "0"]), true).is_err());
         assert!(parse_args(&args(&["--shards", "x"]), false).is_err());
+        assert!(parse_args(&args(&["--slow-query-micros", "x"]), false).is_err());
         assert!(parse_args(&args(&["--scale", "2"]), false).is_err());
         assert!(parse_args(&args(&["--edges", "a.txt"]), false).is_err());
         assert_eq!(parse_args(&args(&["--help"]), false).unwrap_err(), "");

@@ -12,7 +12,8 @@
 //! |---|---|
 //! | `POST /api` | body = one protocol JSON document; reply body = the protocol reply line |
 //! | `GET /stats` | shorthand for `{"cmd":"stats"}` |
-//! | `GET /healthz` | liveness probe, `{"ok":true}` |
+//! | `GET /metrics` | Prometheus text exposition (`{"cmd":"metrics"}` carries the same text as JSON) |
+//! | `GET /healthz` | liveness probe: `{"ok":true,"epoch":…,"shards":…,"uptime_secs":…}` |
 //!
 //! A `{"cmd":"quit"}` document closes the connection (the server keeps
 //! accepting new ones); transport-level problems (unknown route, missing
@@ -181,20 +182,59 @@ fn read_request(
     }))
 }
 
-/// Writes one fixed-length response.
-fn write_response(
+/// Writes one fixed-length response with an explicit content type.
+fn write_response_typed(
     writer: &mut TcpStream,
     status: &str,
+    content_type: &str,
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         writer,
-        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
         body.len()
     )?;
     writer.flush()
+}
+
+/// Writes one JSON response, timing the socket write into
+/// `sac_transport_io_micros{transport="http",op="write"}` and counting the
+/// status into `sac_http_responses_total`.
+fn write_response(
+    service: &SacService,
+    writer: &mut TcpStream,
+    status: &str,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    write_typed(
+        service,
+        writer,
+        status,
+        "application/json",
+        body,
+        keep_alive,
+    )
+}
+
+/// [`write_response`] with an explicit content type (the `/metrics` text
+/// exposition is not JSON).
+fn write_typed(
+    service: &SacService,
+    writer: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let obs = service.obs();
+    let span = obs.span(&obs.http_write);
+    let result = write_response_typed(writer, status, content_type, body, keep_alive);
+    span.finish();
+    obs.count_status(status);
+    result
 }
 
 /// Serves one connection with the default [`HttpConfig`].
@@ -215,7 +255,11 @@ pub fn handle_connection_with(
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     loop {
-        let request = match read_request(&mut reader, config) {
+        let obs = service.obs();
+        let read_span = obs.span(&obs.http_read);
+        let read = read_request(&mut reader, config);
+        read_span.finish();
+        let request = match read {
             Ok(Some(request)) => request,
             Ok(None) => break,
             // A stalled read (no complete request within the timeout) gets a
@@ -227,6 +271,7 @@ pub fn handle_connection_with(
                 let reply =
                     ProtoResponse::error(error.to_string()).encode_line(service.encode_options());
                 let _ = write_response(
+                    service,
                     &mut writer,
                     error.status_line(),
                     &format!("{reply}\n"),
@@ -241,6 +286,7 @@ pub fn handle_connection_with(
             let reply =
                 ProtoResponse::error(error.to_string()).encode_line(service.encode_options());
             write_response(
+                service,
                 &mut writer,
                 error.status_line(),
                 &format!("{reply}\n"),
@@ -255,6 +301,7 @@ pub fn handle_connection_with(
                     let reply = ProtoResponse::error("empty request body")
                         .encode_line(service.encode_options());
                     write_response(
+                        service,
                         &mut writer,
                         "400 Bad Request",
                         &format!("{reply}\n"),
@@ -263,6 +310,7 @@ pub fn handle_connection_with(
                 } else {
                     match service.handle_line(body) {
                         Some(reply) => write_response(
+                            service,
                             &mut writer,
                             "200 OK",
                             &format!("{reply}\n"),
@@ -271,7 +319,13 @@ pub fn handle_connection_with(
                         // quit: acknowledge and close this connection (the
                         // listener keeps accepting others).
                         None => {
-                            write_response(&mut writer, "200 OK", "{\"ok\":true}\n", false)?;
+                            write_response(
+                                service,
+                                &mut writer,
+                                "200 OK",
+                                "{\"ok\":true}\n",
+                                false,
+                            )?;
                             return Ok(());
                         }
                     }
@@ -282,15 +336,42 @@ pub fn handle_connection_with(
                     .handle(&ProtoRequest::Stats)
                     .expect("stats never quits")
                     .encode_line(service.encode_options());
-                write_response(&mut writer, "200 OK", &format!("{reply}\n"), keep_alive)?;
+                write_response(
+                    service,
+                    &mut writer,
+                    "200 OK",
+                    &format!("{reply}\n"),
+                    keep_alive,
+                )?;
+            }
+            ("GET", "/metrics") => {
+                // Prometheus scrapers expect the text exposition format, not
+                // JSON — the one route with a different content type.
+                let text = service.metrics_text();
+                write_typed(
+                    service,
+                    &mut writer,
+                    "200 OK",
+                    "text/plain; version=0.0.4",
+                    &text,
+                    keep_alive,
+                )?;
             }
             ("GET", "/healthz") => {
-                write_response(&mut writer, "200 OK", "{\"ok\":true}\n", keep_alive)?;
+                let engine = service.engine();
+                let shards = engine.shard_map().map_or(0, |m| m.num_shards());
+                let body = format!(
+                    "{{\"ok\":true,\"epoch\":{},\"shards\":{shards},\"uptime_secs\":{}}}\n",
+                    engine.epoch(),
+                    service.uptime_secs(),
+                );
+                write_response(service, &mut writer, "200 OK", &body, keep_alive)?;
             }
             ("POST", _) | ("GET", _) => {
                 let reply = ProtoResponse::error(format!("unknown route {}", request.path))
                     .encode_line(service.encode_options());
                 write_response(
+                    service,
                     &mut writer,
                     "404 Not Found",
                     &format!("{reply}\n"),
@@ -301,6 +382,7 @@ pub fn handle_connection_with(
                 let reply = ProtoResponse::error(format!("unsupported method {method}"))
                     .encode_line(service.encode_options());
                 write_response(
+                    service,
                     &mut writer,
                     "405 Method Not Allowed",
                     &format!("{reply}\n"),
@@ -429,10 +511,25 @@ mod tests {
         // GET sugar routes.
         let (status, body) = roundtrip(&mut stream, "GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n");
         assert_eq!(status, "HTTP/1.1 200 OK");
-        assert_eq!(body, "{\"ok\":true}\n");
+        assert!(body.starts_with(r#"{"ok":true,"epoch":1,"shards":0,"uptime_secs":"#));
         let (status, body) = roundtrip(&mut stream, "GET /stats HTTP/1.1\r\nHost: test\r\n\r\n");
         assert_eq!(status, "HTTP/1.1 200 OK");
         assert!(body.contains(r#""vertices":10"#));
+        assert!(body.contains(r#""uptime_secs":"#), "got: {body}");
+        // The metrics exposition covers the query served above and the
+        // transport's own response counters.
+        let (status, body) = roundtrip(&mut stream, "GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("# TYPE sac_queries_total counter"), "{body}");
+        assert!(body.contains("sac_queries_total 1"), "{body}");
+        assert!(
+            body.contains("sac_http_responses_total{status=\"200\"}"),
+            "{body}"
+        );
+        assert!(
+            body.contains("sac_transport_io_micros_count{transport=\"http\",op=\"write\"}"),
+            "{body}"
+        );
 
         // Transport-level problems use HTTP statuses.
         let (status, _) = roundtrip(&mut stream, "GET /nope HTTP/1.1\r\nHost: test\r\n\r\n");

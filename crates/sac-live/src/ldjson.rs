@@ -7,20 +7,34 @@ use std::io::{BufRead, Write};
 /// Serves LDJSON requests from `input` to `output` until EOF or a `quit`
 /// command.  Blank lines are skipped; every other line produces exactly one
 /// reply line (malformed input included, as an error reply).
+///
+/// Stream IO is timed into
+/// `sac_transport_io_micros{transport="ldjson",op="read"|"write"}`; the
+/// decode/handle/encode stages are timed inside
+/// [`SacService::handle_line`].
 pub fn serve<R: BufRead, W: Write>(
     service: &SacService,
-    input: R,
+    mut input: R,
     mut output: W,
 ) -> std::io::Result<()> {
-    for line in input.lines() {
-        let line = line?;
+    let obs = service.obs();
+    loop {
+        let read_span = obs.span(&obs.ldjson_read);
+        let mut line = String::new();
+        let n = input.read_line(&mut line)?;
+        read_span.finish();
+        if n == 0 {
+            break;
+        }
         if line.trim().is_empty() {
             continue;
         }
-        match service.handle_line(&line) {
+        match service.handle_line(line.trim_end_matches(['\r', '\n'])) {
             Some(reply) => {
+                let write_span = obs.span(&obs.ldjson_write);
                 writeln!(output, "{reply}")?;
                 output.flush()?;
+                write_span.finish();
             }
             None => break,
         }

@@ -33,6 +33,14 @@
 //!   over stdin/stdout, [`ldjson`]) and `sac-http` (hand-rolled HTTP/1.1
 //!   over `std::net::TcpListener`, [`http`]) binaries are thin shells over
 //!   it, speaking byte-identical payloads.
+//! * **Observability end to end** — the commit pipeline
+//!   (`sac_commit_micros`, snapshot-build/publish stage spans, dirty-shard
+//!   and batch-strategy counters) and both transports (decode/handle/encode
+//!   stage spans, socket IO spans, per-status-code counters) record into the
+//!   engine's shared `sac-obs` registry, so `GET /metrics` (Prometheus text)
+//!   and the `{"cmd":"metrics"}` / `{"cmd":"slowlog"}` protocol commands
+//!   expose the whole serving stack; `GET /stats` and `/healthz` report
+//!   epoch, shard count and process uptime.
 //!
 //! ## Example
 //!

@@ -7,8 +7,79 @@ use sac_graph::{
     BatchChange, BatchOp, BatchStrategy, DynamicGraph, EdgeChange, GraphError, ShardMap,
     SpatialGraph, VertexId,
 };
+use sac_obs::{Counter, Histogram, Span};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Pre-bound commit-pipeline instruments, registered into the engine's
+/// [`MetricsRegistry`](sac_engine::MetricsRegistry) at construction so the
+/// whole serving stack shares one `/metrics` exposition.
+#[derive(Debug)]
+struct LiveObs {
+    /// Whether the engine runs with observability enabled.
+    enabled: bool,
+    /// `sac_commits_total` — non-empty commits published.
+    commits: Arc<Counter>,
+    /// `sac_commit_micros` — end-to-end commit latency.
+    commit_micros: Arc<Histogram>,
+    /// `sac_commit_stage_micros{stage="snapshot_build"}` — CSR + grid
+    /// rebuild time (the engine itself records the downstream
+    /// `shard_rebuild`/`epoch_swap` publish stages).
+    snapshot_build: Arc<Histogram>,
+    /// `sac_commit_dirty_shards_total` — shard snapshots marked dirty.
+    dirty_shards: Arc<Counter>,
+    /// `sac_batch_applies_total{strategy=…}` per repair strategy chosen.
+    shared_peel_applies: Arc<Counter>,
+    per_edge_applies: Arc<Counter>,
+    /// `sac_batch_repair_micros{strategy=…}` — core-repair time per strategy.
+    shared_peel_repair: Arc<Histogram>,
+    per_edge_repair: Arc<Histogram>,
+}
+
+impl LiveObs {
+    fn new(engine: &SacEngine) -> LiveObs {
+        let registry = engine.metrics();
+        LiveObs {
+            enabled: engine.observing(),
+            commits: registry.counter("sac_commits_total", "Non-empty commits published", &[]),
+            commit_micros: registry.histogram(
+                "sac_commit_micros",
+                "End-to-end commit latency (rebuild + publish), microseconds",
+                &[],
+            ),
+            snapshot_build: registry.histogram(
+                "sac_commit_stage_micros",
+                "Commit pipeline stage latency, microseconds",
+                &[("stage", "snapshot_build")],
+            ),
+            dirty_shards: registry.counter(
+                "sac_commit_dirty_shards_total",
+                "Shard snapshots rebuilt because a mutation touched their coverage",
+                &[],
+            ),
+            shared_peel_applies: registry.counter(
+                "sac_batch_applies_total",
+                "Bulk delta applies by chosen core-repair strategy",
+                &[("strategy", "shared_peel")],
+            ),
+            per_edge_applies: registry.counter(
+                "sac_batch_applies_total",
+                "Bulk delta applies by chosen core-repair strategy",
+                &[("strategy", "per_edge")],
+            ),
+            shared_peel_repair: registry.histogram(
+                "sac_batch_repair_micros",
+                "Core-repair time of bulk delta applies, microseconds",
+                &[("strategy", "shared_peel")],
+            ),
+            per_edge_repair: registry.histogram(
+                "sac_batch_repair_micros",
+                "Core-repair time of bulk delta applies, microseconds",
+                &[("strategy", "per_edge")],
+            ),
+        }
+    }
+}
 
 /// What one [`LiveEngine::commit`] did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +130,9 @@ pub struct BatchApplyReport {
     /// Whether the shared-peel strategy repaired the cores (`false` =
     /// per-edge cascades).
     pub recomputed: bool,
+    /// Wall-clock cost of the core repair (the shared peel, or the per-edge
+    /// cascade loop), in microseconds.
+    pub repair_micros: u64,
 }
 
 /// Mutable state between two epochs: the maintained dynamic graph, the vertex
@@ -123,6 +197,7 @@ pub struct LiveEngine {
     /// epochs); used to mark dirty shards as mutations arrive.
     map: Option<Arc<ShardMap>>,
     front: Mutex<WriteFront>,
+    obs: LiveObs,
 }
 
 impl LiveEngine {
@@ -136,9 +211,11 @@ impl LiveEngine {
         let positions = snapshot.positions().to_vec();
         let map = engine.shard_map();
         let shard_count = map.as_ref().map_or(0, |m| m.num_shards());
+        let obs = LiveObs::new(&engine);
         LiveEngine {
             engine,
             map,
+            obs,
             front: Mutex::new(WriteFront {
                 dynamic,
                 positions,
@@ -234,12 +311,22 @@ impl LiveEngine {
         }
         front.dirty_up_to = front.dirty_up_to.max(change.dirty_up_to);
         front.cores_changed += change.changed.len() as u64;
+        if self.obs.enabled {
+            let (applies, repair) = if change.recomputed {
+                (&self.obs.shared_peel_applies, &self.obs.shared_peel_repair)
+            } else {
+                (&self.obs.per_edge_applies, &self.obs.per_edge_repair)
+            };
+            applies.inc();
+            repair.record(change.repair_micros);
+        }
         Ok(BatchApplyReport {
             ops: ops.len(),
             applied: change.applied.len(),
             cores_changed: change.changed.len(),
             dirty_up_to: change.dirty_up_to,
             recomputed: change.recomputed,
+            repair_micros: change.repair_micros,
         })
     }
 
@@ -313,9 +400,15 @@ impl LiveEngine {
             });
         }
         let start = Instant::now();
+        let build_span = if self.obs.enabled {
+            Span::start(&self.obs.snapshot_build)
+        } else {
+            Span::disabled()
+        };
         let graph = front.dynamic.to_graph();
         let decomposition = front.dynamic.decomposition();
         let snapshot = SpatialGraph::new(graph, front.positions.clone())?;
+        build_span.finish();
         let dirty_up_to = front.dirty_up_to;
         // Clean shards (no mutation touched their coverage) carry their
         // induced snapshot across the epoch swap; only dirty ones rebuild.
@@ -330,6 +423,15 @@ impl LiveEngine {
         let delta = std::mem::take(&mut front.delta);
         let cores_changed = std::mem::take(&mut front.cores_changed);
         front.dirty_up_to = 0;
+        if self.obs.enabled {
+            self.obs.commits.inc();
+            self.obs
+                .commit_micros
+                .record(start.elapsed().as_micros() as u64);
+            self.obs
+                .dirty_shards
+                .add(dirty_shards.iter().filter(|&&d| d).count() as u64);
+        }
         Ok(CommitReport {
             epoch: report.epoch,
             mutations: delta.len(),
@@ -553,6 +655,45 @@ mod tests {
         let report = live.commit().unwrap();
         assert_eq!(report.shards_rebuilt, 2);
         assert_eq!(report.shards_carried, 0);
+    }
+
+    #[test]
+    fn commit_pipeline_records_into_the_shared_registry() {
+        use sac_graph::BatchOp;
+
+        let live = live();
+        let report = live
+            .apply_batch(&[BatchOp::Insert(figure3::I, figure3::F)])
+            .unwrap();
+        assert!(!report.recomputed, "tiny batches repair per edge");
+        live.commit().unwrap();
+        // Commit + batch series land in the engine's registry, so one
+        // exposition covers the whole serving stack.
+        let text = live.engine().metrics_text();
+        for needle in [
+            "sac_commits_total 1",
+            "sac_commit_micros_count 1",
+            "sac_commit_stage_micros_count{stage=\"snapshot_build\"} 1",
+            "sac_batch_applies_total{strategy=\"per_edge\"} 1",
+            "sac_batch_repair_micros_count{strategy=\"per_edge\"} 1",
+            // The engine's own publish stages fired under this commit.
+            "sac_publish_stage_micros_count{stage=\"epoch_swap\"} 1",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        // Unsharded engine: no shard was ever dirty.
+        assert!(text.contains("sac_commit_dirty_shards_total 0"), "{text}");
+    }
+
+    #[test]
+    fn sharded_commit_counts_dirty_shards() {
+        let engine = Arc::new(SacEngine::with_shards(figure3_graph(), 2));
+        let live = LiveEngine::new(Arc::clone(&engine));
+        live.remove_edge(figure3::H, figure3::I).unwrap();
+        let report = live.commit().unwrap();
+        let text = engine.metrics_text();
+        let expected = format!("sac_commit_dirty_shards_total {}", report.shards_rebuilt);
+        assert!(text.contains(&expected), "missing {expected} in:\n{text}");
     }
 
     #[test]

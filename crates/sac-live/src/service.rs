@@ -9,11 +9,13 @@
 
 use crate::LiveEngine;
 use sac_engine::SacEngine;
+use sac_obs::{Counter, Histogram, Span};
 use sac_proto::{
     CommitReply, CoreReply, EncodeOptions, MutationReply, ProtoRequest, ProtoResponse, QueryReply,
-    StatsReply, VertexReply,
+    SlowLogReply, StatsReply, VertexReply,
 };
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Tunables of a [`SacService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +35,100 @@ impl Default for ServiceConfig {
     }
 }
 
+/// Per-transport-stage instruments shared by every front end, registered in
+/// the engine's metric registry so `GET /metrics` covers the transports too.
+///
+/// The decode/handle/encode stages are transport-agnostic (both front ends
+/// run the same codec); the read/write stages and the response-status
+/// counters are labelled per transport in [`crate::http`] and
+/// [`crate::ldjson`].
+#[derive(Debug)]
+pub(crate) struct ServiceObs {
+    enabled: bool,
+    decode: Arc<Histogram>,
+    handle: Arc<Histogram>,
+    encode: Arc<Histogram>,
+    /// `sac_transport_io_micros{transport="http"|"ldjson",op="read"|"write"}`.
+    pub(crate) http_read: Arc<Histogram>,
+    pub(crate) http_write: Arc<Histogram>,
+    pub(crate) ldjson_read: Arc<Histogram>,
+    pub(crate) ldjson_write: Arc<Histogram>,
+    /// `sac_http_responses_total{status=…}`, pre-bound for every status the
+    /// front end can emit (plus a catch-all).
+    statuses: Vec<(&'static str, Arc<Counter>)>,
+}
+
+impl ServiceObs {
+    fn new(engine: &SacEngine) -> ServiceObs {
+        let registry = engine.metrics();
+        let stage = |stage: &'static str| {
+            registry.histogram(
+                "sac_request_stage_micros",
+                "Transport-agnostic request pipeline stage latency, microseconds",
+                &[("stage", stage)],
+            )
+        };
+        let io = |transport: &'static str, op: &'static str| {
+            registry.histogram(
+                "sac_transport_io_micros",
+                "Transport socket/stream IO latency, microseconds",
+                &[("transport", transport), ("op", op)],
+            )
+        };
+        const STATUSES: [&str; 8] = ["200", "400", "404", "405", "408", "413", "501", "other"];
+        ServiceObs {
+            enabled: engine.observing(),
+            decode: stage("decode"),
+            handle: stage("handle"),
+            encode: stage("encode"),
+            http_read: io("http", "read"),
+            http_write: io("http", "write"),
+            ldjson_read: io("ldjson", "read"),
+            ldjson_write: io("ldjson", "write"),
+            statuses: STATUSES
+                .iter()
+                .map(|&status| {
+                    (
+                        status,
+                        registry.counter(
+                            "sac_http_responses_total",
+                            "HTTP responses by status code",
+                            &[("status", status)],
+                        ),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// A span over `hist`, or a disabled (record-nowhere) span when
+    /// observation is off.
+    pub(crate) fn span<'a>(&self, hist: &'a Histogram) -> Span<'a> {
+        if self.enabled {
+            Span::start(hist)
+        } else {
+            Span::disabled()
+        }
+    }
+
+    /// Counts one HTTP response by its status line (e.g. `"200 OK"`).
+    pub(crate) fn count_status(&self, status_line: &str) {
+        if !self.enabled {
+            return;
+        }
+        let code = status_line.split_whitespace().next().unwrap_or("other");
+        let counter = self
+            .statuses
+            .iter()
+            .find(|(status, _)| *status == code)
+            .or_else(|| self.statuses.last())
+            .map(|(_, counter)| counter);
+        if let Some(counter) = counter {
+            counter.inc();
+        }
+    }
+}
+
 /// The shared protocol service: one typed API every transport is a thin
 /// shell over.
 ///
@@ -43,6 +139,10 @@ impl Default for ServiceConfig {
 pub struct SacService {
     live: LiveEngine,
     config: ServiceConfig,
+    obs: ServiceObs,
+    /// Process-start clock for the `uptime_secs` fields of `stats` and
+    /// `/healthz`.
+    started: Instant,
 }
 
 impl SacService {
@@ -53,7 +153,13 @@ impl SacService {
 
     /// A service over an existing live front.
     pub fn with_live(live: LiveEngine, config: ServiceConfig) -> Self {
-        SacService { live, config }
+        let obs = ServiceObs::new(live.engine());
+        SacService {
+            live,
+            config,
+            obs,
+            started: Instant::now(),
+        }
     }
 
     /// The engine queries run against.
@@ -69,6 +175,24 @@ impl SacService {
     /// The encoding options transports must encode responses with.
     pub fn encode_options(&self) -> EncodeOptions {
         self.config.encode
+    }
+
+    /// Seconds since this service was constructed.
+    pub fn uptime_secs(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// The Prometheus text exposition (the `GET /metrics` payload): engine
+    /// counters, per-tier/per-algorithm latency histograms, commit-pipeline
+    /// spans and transport series — everything registered in the engine's
+    /// shared registry.
+    pub fn metrics_text(&self) -> String {
+        self.engine().metrics_text()
+    }
+
+    /// The transport instrumentation handles (crate-internal).
+    pub(crate) fn obs(&self) -> &ServiceObs {
+        &self.obs
     }
 
     /// Handles one typed request; `None` means "quit" (the transport ends
@@ -114,12 +238,25 @@ impl SacService {
             ProtoRequest::Stats => {
                 let stats = engine.stats();
                 let graph = engine.snapshot();
-                ProtoResponse::Stats(StatsReply::from_stats(
+                let mut reply = StatsReply::from_stats(
                     &stats,
                     graph.num_vertices(),
                     graph.num_edges(),
                     self.live.pending(),
-                ))
+                );
+                reply.uptime_secs = Some(self.uptime_secs());
+                ProtoResponse::Stats(reply)
+            }
+            ProtoRequest::Metrics => ProtoResponse::Metrics {
+                text: self.metrics_text(),
+            },
+            ProtoRequest::SlowLog => {
+                let slow_log = engine.slow_log();
+                ProtoResponse::SlowLog(SlowLogReply {
+                    threshold_micros: slow_log.threshold_micros(),
+                    dropped: slow_log.dropped(),
+                    entries: slow_log.snapshot(),
+                })
             }
             ProtoRequest::Warm(ks) => {
                 engine.warm(ks);
@@ -189,12 +326,27 @@ impl SacService {
 
     /// The full LDJSON round trip for one line: decode, handle, encode.
     /// Malformed input becomes an error reply; `None` means "quit".
+    ///
+    /// Each stage is timed into
+    /// `sac_request_stage_micros{stage="decode"|"handle"|"encode"}` (shared
+    /// by both transports — they run this same codec).
     pub fn handle_line(&self, line: &str) -> Option<String> {
-        let response = match ProtoRequest::parse_line(line) {
+        let decode_span = self.obs.span(&self.obs.decode);
+        let request = ProtoRequest::parse_line(line);
+        decode_span.finish();
+        let response = match request {
             Err(e) => ProtoResponse::error(e.to_string()),
-            Ok(request) => self.handle(&request)?,
+            Ok(request) => {
+                let handle_span = self.obs.span(&self.obs.handle);
+                let response = self.handle(&request);
+                handle_span.finish();
+                response?
+            }
         };
-        Some(response.encode_line(self.config.encode))
+        let encode_span = self.obs.span(&self.obs.encode);
+        let line = response.encode_line(self.config.encode);
+        encode_span.finish();
+        Some(line)
     }
 }
 
@@ -240,6 +392,36 @@ mod tests {
 
         assert!(service.handle(&ProtoRequest::Quit).is_none());
         assert!(service.handle_line(r#"{"cmd":"quit"}"#).is_none());
+    }
+
+    #[test]
+    fn metrics_and_slowlog_round_trip_over_the_wire() {
+        let service = service();
+        let _ = service
+            .handle(&ProtoRequest::Query(QuerySpec::new(figure3::Q, 2)))
+            .unwrap();
+        // The metrics command carries the same exposition text GET /metrics
+        // serves raw, embedded as a JSON string.
+        let line = service.handle_line(r#"{"cmd":"metrics"}"#).unwrap();
+        assert!(line.starts_with(r#"{"ok":true,"metrics":""#), "got: {line}");
+        assert!(line.contains("sac_queries_total 1"), "got: {line}");
+        assert!(
+            line.contains(r#"sac_request_stage_micros_count{stage=\"decode\"}"#),
+            "transport stages share the registry, got: {line}"
+        );
+        // Nothing trips the default 10ms threshold on the tiny fixture.
+        let line = service.handle_line(r#"{"cmd":"slowlog"}"#).unwrap();
+        assert_eq!(
+            line,
+            r#"{"ok":true,"threshold_micros":10000,"dropped":0,"entries":[]}"#
+        );
+        // Stats now reports uptime and (after a query) per-tier latency.
+        let line = service.handle_line(r#"{"cmd":"stats"}"#).unwrap();
+        assert!(line.contains(r#""uptime_secs":"#), "got: {line}");
+        assert!(
+            line.contains(r#""tier_latency":[{"label":"interactive","count":0"#),
+            "got: {line}"
+        );
     }
 
     #[test]

@@ -1,0 +1,358 @@
+//! Named metric registry with Prometheus text exposition.
+//!
+//! Registration (`counter`/`gauge`/`histogram`) takes a mutex and returns an
+//! `Arc` handle; callers register once at construction and record through
+//! the handle with plain atomic ops — the lock is never on the hot path.
+//! Re-registering the same `(name, labels)` returns the existing instrument,
+//! so independent components can share a series.
+
+use crate::histogram::Histogram;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter (wait-free `inc`/`add`).
+///
+/// ```
+/// use sac_obs::Counter;
+///
+/// let c = Counter::default();
+/// c.inc();
+/// c.add(2);
+/// assert_eq!(c.get(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (e.g. pending mutations).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    name: &'static str,
+    help: &'static str,
+    /// Rendered `{key="value",…}` suffix ("" for unlabelled series).
+    labels: String,
+    instrument: Instrument,
+}
+
+/// A registry of named instruments, renderable as Prometheus-compatible
+/// text exposition (the `GET /metrics` payload).
+///
+/// Series identity is `(name, labels)`; registering the same series twice
+/// returns the same underlying instrument. Names should follow Prometheus
+/// conventions (`snake_case`, unit suffix such as `_micros` or `_total`).
+///
+/// ```
+/// use sac_obs::MetricsRegistry;
+///
+/// let registry = MetricsRegistry::new();
+/// let hits = registry.counter("cache_hits_total", "Cache hits", &[("kind", "exact")]);
+/// hits.add(41);
+/// registry.counter("cache_hits_total", "Cache hits", &[("kind", "exact")]).inc();
+/// let text = registry.render_prometheus();
+/// assert!(text.contains("# TYPE cache_hits_total counter"));
+/// assert!(text.contains("cache_hits_total{kind=\"exact\"} 42"));
+/// ```
+#[derive(Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("series", &self.lock().len())
+            .finish()
+    }
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        // Prometheus label values escape backslash, quote and newline.
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Entry>> {
+        // A panicked registrant cannot corrupt the Vec in a way that matters
+        // for exposition; recover instead of wedging the metrics endpoint.
+        self.entries.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn get_or_insert<T, F: FnOnce() -> Instrument, G: Fn(&Instrument) -> Option<Arc<T>>>(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        make: F,
+        project: G,
+    ) -> Arc<T> {
+        let labels = render_labels(labels);
+        let mut entries = self.lock();
+        if let Some(existing) = entries
+            .iter()
+            .find(|e| e.name == name && e.labels == labels)
+        {
+            if let Some(found) = project(&existing.instrument) {
+                return found;
+            }
+            panic!("metric {name}{labels} re-registered with a different type");
+        }
+        let instrument = make();
+        let found = project(&instrument).expect("freshly made instrument has the right type");
+        entries.push(Entry {
+            name,
+            help,
+            labels,
+            instrument,
+        });
+        found
+    }
+
+    /// Returns (registering on first use) the counter `name{labels}`.
+    pub fn counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Counter> {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            || Instrument::Counter(Arc::new(Counter::default())),
+            |i| match i {
+                Instrument::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Returns (registering on first use) the gauge `name{labels}`.
+    pub fn gauge(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Gauge> {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            || Instrument::Gauge(Arc::new(Gauge::default())),
+            |i| match i {
+                Instrument::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Returns (registering on first use) the histogram `name{labels}`.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            || Instrument::Histogram(Arc::new(Histogram::new())),
+            |i| match i {
+                Instrument::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Renders every registered series as Prometheus text exposition
+    /// (version 0.0.4): `# HELP`/`# TYPE` headers once per metric name,
+    /// histograms as cumulative `_bucket{le="…"}` series plus `_sum`,
+    /// `_count` and a non-standard-but-handy `_max`.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let entries = self.lock();
+        let mut out = String::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for entry in entries.iter() {
+            if !seen.contains(&entry.name) {
+                seen.push(entry.name);
+                let kind = match entry.instrument {
+                    Instrument::Counter(_) => "counter",
+                    Instrument::Gauge(_) => "gauge",
+                    Instrument::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# HELP {} {}", entry.name, entry.help);
+                let _ = writeln!(out, "# TYPE {} {kind}", entry.name);
+            }
+            match &entry.instrument {
+                Instrument::Counter(c) => {
+                    let _ = writeln!(out, "{}{} {}", entry.name, entry.labels, c.get());
+                }
+                Instrument::Gauge(g) => {
+                    let _ = writeln!(out, "{}{} {}", entry.name, entry.labels, g.get());
+                }
+                Instrument::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let bounds = crate::histogram::bucket_bounds();
+                    // Bucket labels compose with the series labels: splice
+                    // `le` into the existing {...} set (or open a new one).
+                    let prefix = if entry.labels.is_empty() {
+                        format!("{}_bucket{{", entry.name)
+                    } else {
+                        format!(
+                            "{}_bucket{},",
+                            entry.name,
+                            &entry.labels[..entry.labels.len() - 1]
+                        )
+                    };
+                    let mut cumulative = 0u64;
+                    for (i, &n) in snap.buckets().iter().enumerate() {
+                        if n == 0 && i + 1 < snap.buckets().len() {
+                            continue; // sparse: skip empty finite buckets
+                        }
+                        cumulative = snap.buckets()[..=i].iter().sum();
+                        let le = if i < bounds.len() {
+                            bounds[i].to_string()
+                        } else {
+                            "+Inf".to_string()
+                        };
+                        let _ = writeln!(out, "{prefix}le=\"{le}\"}} {cumulative}");
+                    }
+                    debug_assert_eq!(cumulative, snap.count());
+                    let _ = writeln!(out, "{}_sum{} {}", entry.name, entry.labels, snap.sum());
+                    let _ = writeln!(out, "{}_count{} {}", entry.name, entry.labels, snap.count());
+                    let _ = writeln!(out, "{}_max{} {}", entry.name, entry.labels, snap.max());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_identity_is_name_plus_labels() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("hits_total", "h", &[("tier", "interactive")]);
+        let b = r.counter("hits_total", "h", &[("tier", "interactive")]);
+        let c = r.counter("hits_total", "h", &[("tier", "batch")]);
+        a.inc();
+        b.inc();
+        c.add(5);
+        assert_eq!(a.get(), 2, "same series shares the instrument");
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        let _ = r.counter("x", "x", &[]);
+        let _ = r.gauge("x", "x", &[]);
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let r = MetricsRegistry::new();
+        r.counter("q_total", "Queries", &[("tier", "batch")]).add(3);
+        r.gauge("pending", "Pending ops", &[]).set(-2);
+        let h = r.histogram("lat_micros", "Latency", &[("tier", "batch")]);
+        h.record(5);
+        h.record(5);
+        h.record(1_000);
+        let text = r.render_prometheus();
+        assert!(text.contains("# HELP q_total Queries\n# TYPE q_total counter"));
+        assert!(text.contains("q_total{tier=\"batch\"} 3\n"));
+        assert!(text.contains("pending -2\n"));
+        // Cumulative buckets, le spliced into the label set.
+        assert!(text.contains("lat_micros_bucket{tier=\"batch\",le=\"6\"} 2\n"));
+        assert!(text.contains("lat_micros_bucket{tier=\"batch\",le=\"1024\"} 3\n"));
+        assert!(text.contains("lat_micros_bucket{tier=\"batch\",le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_micros_sum{tier=\"batch\"} 1010\n"));
+        assert!(text.contains("lat_micros_count{tier=\"batch\"} 3\n"));
+        assert!(text.contains("lat_micros_max{tier=\"batch\"} 1000\n"));
+        // HELP/TYPE emitted once per name even with many series.
+        r.counter("q_total", "Queries", &[("tier", "interactive")])
+            .inc();
+        let text = r.render_prometheus();
+        assert_eq!(text.matches("# TYPE q_total counter").count(), 1);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(
+            render_labels(&[("plan", "a\"b\\c\nd")]),
+            "{plan=\"a\\\"b\\\\c\\nd\"}"
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the log-bucketed histogram: percentile extraction is
+//! checked against a sorted-vec oracle, and merging per-shard histograms is
+//! checked equivalent to recording into one.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sac_obs::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot};
+
+/// The oracle: the value a bucketed histogram must report for percentile
+/// `p` over `sorted` — the upper bound of the bucket holding the
+/// rank-⌈p·n⌉ element, clamped to the exact max (top ranks and the overflow
+/// bucket report the exact max).
+fn oracle(sorted: &[u64], p: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((p * n as f64).ceil() as u64).max(1);
+    let max = *sorted.last().unwrap();
+    if rank >= n {
+        return max;
+    }
+    let v = sorted[rank as usize - 1];
+    let idx = bucket_index(v);
+    let bounds = bucket_bounds();
+    if idx < bounds.len() {
+        bounds[idx].min(max)
+    } else {
+        max
+    }
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// p50/p95/p99 from the histogram equal the sorted-vec oracle, and the
+    /// bucket containing each sample's rank brackets the true value.
+    #[test]
+    fn percentiles_match_sorted_oracle(
+        mut values in vec(0u64..200_000_000, 1usize..400),
+        p_mille in 0u64..=1000,
+    ) {
+        let snap = snapshot_of(&values);
+        values.sort_unstable();
+        let p = p_mille as f64 / 1000.0;
+        prop_assert_eq!(snap.percentile(p), oracle(&values, p));
+        for q in [0.50, 0.95, 0.99] {
+            let got = snap.percentile(q);
+            prop_assert_eq!(got, oracle(&values, q));
+            // The reported bound never understates the true rank value by
+            // more than one bucket: true value ≤ reported bound.
+            let rank = ((q * values.len() as f64).ceil() as usize).max(1);
+            prop_assert!(values[rank - 1] <= got.max(1));
+        }
+        prop_assert_eq!(snap.max(), *values.last().unwrap());
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        prop_assert_eq!(snap.sum(), values.iter().sum::<u64>());
+    }
+
+    /// Merging sharded snapshots in any grouping equals one big histogram.
+    #[test]
+    fn merge_equals_single_histogram(
+        a in vec(0u64..100_000_000, 0usize..120),
+        b in vec(0u64..100_000_000, 0usize..120),
+        c in vec(0u64..100_000_000, 0usize..120),
+    ) {
+        let whole: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let expected = snapshot_of(&whole);
+
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut right = sc;
+        right.merge(&sa);
+        right.merge(&sb);
+
+        prop_assert_eq!(&left, &expected);
+        prop_assert_eq!(&right, &expected);
+    }
+}

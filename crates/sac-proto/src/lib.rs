@@ -26,6 +26,8 @@
 //! {"id":2,"q":17,"k":4,"ratio":1.5,"tier":"interactive","theta":0.25}
 //! [{...},{...}]                                → a batch, fanned across threads
 //! {"cmd":"stats"} | {"cmd":"warm","ks":[2,4]} | {"cmd":"core","q":17,"k":4}
+//! {"cmd":"metrics"}                            → Prometheus exposition text
+//! {"cmd":"slowlog"}                            → slow-query ring snapshot
 //! {"cmd":"add_edge","u":17,"v":23}             → live updates (buffered...
 //! {"cmd":"remove_edge","u":17,"v":23}
 //! {"cmd":"add_vertex","x":0.25,"y":0.75}
@@ -47,6 +49,7 @@ mod wire;
 
 pub use transport::TransportError;
 pub use wire::{
-    CommitReply, CoreReply, EncodeOptions, MutationReply, ProtoError, ProtoRequest, ProtoResponse,
-    QueryReply, QueryResult, QuerySpec, ShardStatsReply, StatsReply, VertexReply,
+    CommitReply, CoreReply, EncodeOptions, LatencyStatsReply, MutationReply, ProtoError,
+    ProtoRequest, ProtoResponse, QueryReply, QueryResult, QuerySpec, ShardStatsReply, SlowLogReply,
+    StatsReply, VertexReply,
 };

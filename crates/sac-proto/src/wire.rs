@@ -7,7 +7,7 @@
 //! integration test asserts their payloads are byte-identical).
 
 use crate::json::{obj, Json};
-use sac_engine::{EngineStats, SacRequest, SacResponse};
+use sac_engine::{EngineStats, LatencyStats, SacRequest, SacResponse, SlowQueryRecord};
 use std::fmt;
 
 /// A wire-level decode failure (malformed JSON is reported separately by
@@ -165,6 +165,10 @@ pub enum ProtoRequest {
     Batch(Vec<QuerySpec>),
     /// Serving counters and snapshot facts.
     Stats,
+    /// The full metrics exposition (Prometheus text format).
+    Metrics,
+    /// The slow-query log: recent queries over the configured threshold.
+    SlowLog,
     /// Pre-build the k-core indexes for these `k`.
     Warm(Vec<u32>),
     /// Structural query: the connected k-core containing `q`.
@@ -245,6 +249,8 @@ impl ProtoRequest {
         match cmd {
             "quit" | "shutdown" => Ok(ProtoRequest::Quit),
             "stats" => Ok(ProtoRequest::Stats),
+            "metrics" => Ok(ProtoRequest::Metrics),
+            "slowlog" => Ok(ProtoRequest::SlowLog),
             "commit" => Ok(ProtoRequest::Commit),
             "warm" => {
                 let ks = value
@@ -368,6 +374,10 @@ pub struct QueryReply {
     pub plan: String,
     /// The outcome.
     pub result: QueryResult,
+    /// Engine-assigned monotonic query id (`None` for queries that never
+    /// reached an engine; omitted from the wire under `timing: false`, the
+    /// determinism switch, because ids depend on serving history).
+    pub query_id: Option<u64>,
     /// Service time in microseconds (`None` under `timing: false`).
     pub micros: Option<u64>,
     /// Whether the k-core cache was warm on arrival.
@@ -409,6 +419,7 @@ impl QueryReply {
             k: response.k,
             plan: response.plan.label(),
             result,
+            query_id: Some(response.trace.query_id),
             micros: options.timing.then_some(response.micros),
             cache_hit: response.trace.cache_hit,
             epoch: response.trace.epoch,
@@ -429,6 +440,7 @@ impl QueryReply {
             k: spec.k,
             plan: "rejected".to_string(),
             result: QueryResult::Error(error.to_string()),
+            query_id: None,
             micros: None,
             cache_hit: false,
             epoch: 0,
@@ -480,6 +492,9 @@ impl QueryReply {
             }
         }
         if options.timing {
+            if let Some(query_id) = self.query_id {
+                fields.push(("query_id", Json::Num(query_id as f64)));
+            }
             if let Some(micros) = self.micros {
                 fields.push(("micros", Json::Num(micros as f64)));
             }
@@ -516,6 +531,48 @@ pub struct ShardStatsReply {
     pub rebuilds: u64,
     /// Edges of the shard's induced subgraph.
     pub edges: usize,
+}
+
+/// One labelled latency summary of a `stats` reply (per latency tier or per
+/// algorithm), extracted from the engine's lock-free histograms.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LatencyStatsReply {
+    /// Series label (tier wire name or algorithm registry name).
+    pub label: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Median latency (bucket upper bound), microseconds.
+    pub p50_micros: u64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_micros: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_micros: u64,
+    /// Largest observation, microseconds (exact).
+    pub max_micros: u64,
+}
+
+impl LatencyStatsReply {
+    fn from_stats(stats: &LatencyStats) -> LatencyStatsReply {
+        LatencyStatsReply {
+            label: stats.label.to_string(),
+            count: stats.summary.count,
+            p50_micros: stats.summary.p50_micros,
+            p95_micros: stats.summary.p95_micros,
+            p99_micros: stats.summary.p99_micros,
+            max_micros: stats.summary.max_micros,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("label", Json::Str(self.label.clone())),
+            ("count", Json::Num(self.count as f64)),
+            ("p50_micros", Json::Num(self.p50_micros as f64)),
+            ("p95_micros", Json::Num(self.p95_micros as f64)),
+            ("p99_micros", Json::Num(self.p99_micros as f64)),
+            ("max_micros", Json::Num(self.max_micros as f64)),
+        ])
+    }
 }
 
 /// The typed reply to a `stats` command.
@@ -558,6 +615,14 @@ pub struct StatsReply {
     pub fallback_queries: u64,
     /// Per-shard counters, in shard order.
     pub shards: Vec<ShardStatsReply>,
+    /// Seconds since the serving process started (`None` when the transport
+    /// has no process clock; omitted under `timing: false`).
+    pub uptime_secs: Option<u64>,
+    /// Per-latency-tier end-to-end latency summaries (empty when the engine
+    /// runs with observability disabled; omitted under `timing: false`).
+    pub tier_latency: Vec<LatencyStatsReply>,
+    /// Per-algorithm end-to-end latency summaries.
+    pub algorithm_latency: Vec<LatencyStatsReply>,
 }
 
 impl StatsReply {
@@ -598,10 +663,21 @@ impl StatsReply {
                     edges: s.edges,
                 })
                 .collect(),
+            uptime_secs: None,
+            tier_latency: stats
+                .tier_latency
+                .iter()
+                .map(LatencyStatsReply::from_stats)
+                .collect(),
+            algorithm_latency: stats
+                .algorithm_latency
+                .iter()
+                .map(LatencyStatsReply::from_stats)
+                .collect(),
         }
     }
 
-    fn to_json(&self) -> Json {
+    fn to_json(&self, options: EncodeOptions) -> Json {
         let mut fields = obj_stats_fields(self);
         if self.shard_count > 0 {
             fields.push(("shard_count", Json::Num(self.shard_count as f64)));
@@ -628,6 +704,25 @@ impl StatsReply {
                         .collect(),
                 ),
             ));
+        }
+        // Latency summaries and uptime are wall-clock facts: they follow the
+        // `timing` determinism switch exactly like per-query `micros`.
+        if options.timing {
+            if let Some(uptime) = self.uptime_secs {
+                fields.push(("uptime_secs", Json::Num(uptime as f64)));
+            }
+            if !self.tier_latency.is_empty() {
+                fields.push((
+                    "tier_latency",
+                    Json::Arr(self.tier_latency.iter().map(|l| l.to_json()).collect()),
+                ));
+            }
+            if !self.algorithm_latency.is_empty() {
+                fields.push((
+                    "algorithm_latency",
+                    Json::Arr(self.algorithm_latency.iter().map(|l| l.to_json()).collect()),
+                ));
+            }
         }
         obj(fields)
     }
@@ -712,6 +807,57 @@ pub struct CommitReply {
     pub micros: Option<u64>,
 }
 
+/// The typed reply to a `slowlog` command: a snapshot of the engine's
+/// slow-query ring buffer, oldest first.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SlowLogReply {
+    /// Capture threshold (microseconds; 0 = capture disabled).
+    pub threshold_micros: u64,
+    /// Records evicted from the ring since startup.
+    pub dropped: u64,
+    /// The captured records, oldest first.
+    pub entries: Vec<SlowQueryRecord>,
+}
+
+impl SlowLogReply {
+    fn to_json(&self, options: EncodeOptions) -> Json {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                let mut fields = vec![
+                    ("query_id", Json::Num(e.query_id as f64)),
+                    ("plan", Json::Str(e.plan.clone())),
+                    ("tier", Json::Str(e.tier.clone())),
+                    ("epoch", Json::Num(e.epoch as f64)),
+                    ("cache_hit", Json::Bool(e.cache_hit)),
+                    ("probes", Json::Num(e.probe_count as f64)),
+                    ("candidates", Json::Num(e.candidate_count as f64)),
+                ];
+                if e.shard_count > 0 {
+                    fields.push(("shards", Json::Num(e.shard_count as f64)));
+                    fields.push(("shards_touched", Json::Num(e.shards_touched as f64)));
+                    if let Some(shard) = e.shard {
+                        fields.push(("shard", Json::Num(shard as f64)));
+                    }
+                }
+                if options.timing {
+                    fields.push(("micros", Json::Num(e.total_micros as f64)));
+                    fields.push(("plan_micros", Json::Num(e.plan_micros as f64)));
+                    fields.push(("exec_micros", Json::Num(e.exec_micros as f64)));
+                }
+                obj(fields)
+            })
+            .collect();
+        obj(vec![
+            ("ok", Json::Bool(true)),
+            ("threshold_micros", Json::Num(self.threshold_micros as f64)),
+            ("dropped", Json::Num(self.dropped as f64)),
+            ("entries", Json::Arr(entries)),
+        ])
+    }
+}
+
 /// The typed reply to a `core` structural query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoreReply {
@@ -729,6 +875,14 @@ pub enum ProtoResponse {
     Batch(Vec<QueryReply>),
     /// Reply to `stats`.
     Stats(StatsReply),
+    /// Reply to `metrics`: the Prometheus text exposition (served raw on
+    /// `GET /metrics`, embedded as a JSON string on the LDJSON transport).
+    Metrics {
+        /// The exposition text.
+        text: String,
+    },
+    /// Reply to `slowlog`.
+    SlowLog(SlowLogReply),
     /// Reply to `add_edge`/`remove_edge`.
     Mutation(MutationReply),
     /// Reply to `add_vertex`.
@@ -769,7 +923,12 @@ impl ProtoResponse {
             ProtoResponse::Batch(replies) => {
                 Json::Arr(replies.iter().map(|r| r.to_json(options)).collect())
             }
-            ProtoResponse::Stats(stats) => stats.to_json(),
+            ProtoResponse::Stats(stats) => stats.to_json(options),
+            ProtoResponse::Metrics { text } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("metrics", Json::Str(text.clone())),
+            ]),
+            ProtoResponse::SlowLog(slowlog) => slowlog.to_json(options),
             ProtoResponse::Mutation(m) => obj(vec![
                 ("ok", Json::Bool(true)),
                 ("applied", Json::Bool(m.applied)),
@@ -882,6 +1041,14 @@ mod tests {
             ProtoRequest::Stats
         );
         assert_eq!(
+            ProtoRequest::parse_line(r#"{"cmd":"metrics"}"#).unwrap(),
+            ProtoRequest::Metrics
+        );
+        assert_eq!(
+            ProtoRequest::parse_line(r#"{"cmd":"slowlog"}"#).unwrap(),
+            ProtoRequest::SlowLog
+        );
+        assert_eq!(
             ProtoRequest::parse_line(r#"{"cmd":"warm","ks":[2,4]}"#).unwrap(),
             ProtoRequest::Warm(vec![2, 4])
         );
@@ -958,6 +1125,7 @@ mod tests {
                 center: (0.5, 0.25),
                 members: Some(vec![1, 2, 3]),
             },
+            query_id: Some(11),
             micros: Some(42),
             cache_hit: true,
             epoch: 2,
@@ -970,7 +1138,7 @@ mod tests {
         let line = ProtoResponse::Query(reply.clone()).encode_line(EncodeOptions::default());
         assert_eq!(
             line,
-            r#"{"ok":true,"id":7,"q":1,"k":2,"plan":"app_inc","feasible":true,"size":3,"radius":1.25,"center":[0.5,0.25],"members":[1,2,3],"micros":42,"cache_hit":true,"epoch":2,"probes":9,"candidates":61,"ratio":2}"#
+            r#"{"ok":true,"id":7,"q":1,"k":2,"plan":"app_inc","feasible":true,"size":3,"radius":1.25,"center":[0.5,0.25],"members":[1,2,3],"query_id":11,"micros":42,"cache_hit":true,"epoch":2,"probes":9,"candidates":61,"ratio":2}"#
         );
         // Sharded engines append the shard fields; unsharded layouts stay
         // byte-stable (asserted above: no "shards" key).
@@ -982,14 +1150,95 @@ mod tests {
             line.contains(r#""candidates":61,"shards":4,"shards_touched":1,"ratio":2"#),
             "got: {line}"
         );
-        // Deterministic mode drops the volatile timing field.
+        // Deterministic mode drops the volatile timing fields — including the
+        // query id, which depends on serving history.
         let no_timing = ProtoResponse::Query(reply).encode_line(EncodeOptions {
             members: true,
             timing: false,
         });
         assert!(!no_timing.contains("micros"));
+        assert!(!no_timing.contains("query_id"));
 
         let error = ProtoResponse::error("boom").encode_line(EncodeOptions::default());
         assert_eq!(error, r#"{"ok":false,"error":"boom"}"#);
+    }
+
+    #[test]
+    fn observability_replies_honour_the_timing_switch() {
+        let timing = EncodeOptions::default();
+        let no_timing = EncodeOptions {
+            members: true,
+            timing: false,
+        };
+
+        let mut stats = StatsReply {
+            uptime_secs: Some(9),
+            ..StatsReply::default()
+        };
+        stats.tier_latency.push(LatencyStatsReply {
+            label: "interactive".to_string(),
+            count: 3,
+            p50_micros: 48,
+            p95_micros: 96,
+            p99_micros: 96,
+            max_micros: 80,
+        });
+        let line = ProtoResponse::Stats(stats.clone()).encode_line(timing);
+        assert!(line.contains(r#""uptime_secs":9"#), "got: {line}");
+        assert!(
+            line.contains(r#""tier_latency":[{"label":"interactive","count":3,"p50_micros":48"#),
+            "got: {line}"
+        );
+        let line = ProtoResponse::Stats(stats).encode_line(no_timing);
+        assert!(!line.contains("uptime_secs"), "got: {line}");
+        assert!(!line.contains("tier_latency"), "got: {line}");
+
+        let slowlog = SlowLogReply {
+            threshold_micros: 10_000,
+            dropped: 1,
+            entries: vec![SlowQueryRecord {
+                query_id: 7,
+                total_micros: 12_345,
+                plan: "app_inc".to_string(),
+                tier: "standard".to_string(),
+                epoch: 2,
+                shard: Some(1),
+                shard_count: 4,
+                shards_touched: 1,
+                plan_micros: 45,
+                exec_micros: 12_300,
+                cache_hit: true,
+                probe_count: 9,
+                candidate_count: 61,
+            }],
+        };
+        let line = ProtoResponse::SlowLog(slowlog.clone()).encode_line(timing);
+        assert!(
+            line.starts_with(r#"{"ok":true,"threshold_micros":10000,"dropped":1,"entries":["#),
+            "got: {line}"
+        );
+        assert!(line.contains(r#""query_id":7"#), "got: {line}");
+        assert!(
+            line.contains(r#""shards":4,"shards_touched":1,"shard":1"#),
+            "got: {line}"
+        );
+        assert!(
+            line.contains(r#""micros":12345,"plan_micros":45,"exec_micros":12300"#),
+            "got: {line}"
+        );
+        // The per-entry wall-clock fields follow the determinism switch; the
+        // threshold is configuration, so it stays.
+        let line = ProtoResponse::SlowLog(slowlog).encode_line(no_timing);
+        assert!(!line.contains(r#""exec_micros""#), "got: {line}");
+        assert!(line.contains(r#""threshold_micros":10000"#), "got: {line}");
+
+        let line = ProtoResponse::Metrics {
+            text: "# TYPE x counter\nx 1\n".to_string(),
+        }
+        .encode_line(timing);
+        assert_eq!(
+            line,
+            "{\"ok\":true,\"metrics\":\"# TYPE x counter\\nx 1\\n\"}"
+        );
     }
 }

@@ -172,6 +172,112 @@ fn ldjson_and_http_transports_are_byte_identical() {
     }
 }
 
+/// The observability surfaces agree: `GET /metrics` (Prometheus text) and
+/// the engine's typed `EngineStats` latency summaries describe the same
+/// histograms, and the slow-query log is reachable over the wire.
+#[test]
+fn http_metrics_exposition_matches_engine_stats() {
+    let config = EngineConfig {
+        slow_query_micros: 1, // everything is "slow": the ring must capture
+        ..EngineConfig::default()
+    };
+    let service = Arc::new(SacService::new(
+        Arc::new(SacEngine::with_config(Arc::new(figure3_graph()), config)),
+        ServiceConfig::default(),
+    ));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = Arc::clone(&service);
+    std::thread::spawn(move || {
+        let _ = http::serve_http(server, listener);
+    });
+
+    let mut conn = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let query = format!(r#"{{"q":{},"k":2}}"#, figure3::Q);
+    for _ in 0..5 {
+        write!(
+            conn,
+            "POST /api HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{query}",
+            query.len()
+        )
+        .unwrap();
+        conn.flush().unwrap();
+        let mut head = String::new();
+        let mut content_length = 0usize;
+        loop {
+            head.clear();
+            reader.read_line(&mut head).unwrap();
+            if head.trim_end().is_empty() {
+                break;
+            }
+            if let Some(value) = head
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+            {
+                content_length = value.parse().unwrap();
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+        // Query ids are on the wire when timing is enabled.
+        assert!(
+            String::from_utf8(body).unwrap().contains(r#""query_id":"#),
+            "query replies carry their engine-assigned id"
+        );
+    }
+
+    // Scrape /metrics over the wire (closing connection for simplicity).
+    let mut scrape = TcpStream::connect(addr).unwrap();
+    write!(
+        scrape,
+        "GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    BufReader::new(scrape)
+        .read_to_string(&mut response)
+        .unwrap();
+    assert!(
+        response.contains("Content-Type: text/plain"),
+        "exposition is text, not JSON: {}",
+        response.lines().next().unwrap_or_default()
+    );
+    let exposition = response.split("\r\n\r\n").nth(1).expect("body");
+
+    // The exposition and the typed EngineStats describe the same histograms.
+    let stats = service.engine().stats();
+    let standard = stats
+        .tier_latency
+        .iter()
+        .find(|t| t.label == "standard")
+        .expect("default-budget queries land in the standard tier");
+    assert_eq!(standard.summary.count, 5);
+    for needle in [
+        format!(
+            "sac_query_latency_micros_count{{tier=\"standard\"}} {}",
+            standard.summary.count
+        ),
+        format!(
+            "sac_query_latency_micros_max{{tier=\"standard\"}} {}",
+            standard.summary.max_micros
+        ),
+        "sac_http_responses_total{status=\"200\"} 5".to_string(),
+    ] {
+        assert!(exposition.contains(&needle), "missing {needle}");
+    }
+
+    // Every query tripped the 1µs threshold: the slow log has entries, and
+    // the protocol command exposes them.
+    let line = service.handle_line(r#"{"cmd":"slowlog"}"#).unwrap();
+    assert!(
+        line.starts_with(r#"{"ok":true,"threshold_micros":1,"dropped":0,"entries":[{"#),
+        "got: {line}"
+    );
+    assert!(line.contains(r#""plan":"#), "got: {line}");
+}
+
 /// The HTTP `GET /stats` sugar returns the same payload as the protocol's
 /// `{"cmd":"stats"}` document.
 #[test]
