@@ -8,7 +8,8 @@ use sac_core::{AlgorithmRegistry, Community, SacError, SearchContext, EXACT_PLUS
 use sac_geom::EPS;
 use sac_graph::{CoreDecomposition, ShardMap, ShardedGraph, SpatialGraph, SweepStats, VertexId};
 use sac_obs::{
-    Counter, Histogram, LatencySummary, MetricsRegistry, SlowQueryLog, SlowQueryRecord, Span,
+    Counter, EventLog, Histogram, LatencySummary, MetricsRegistry, SlowQueryLog, SlowQueryRecord,
+    Span, TraceNode, WindowedHistogram,
 };
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -43,10 +44,20 @@ pub struct EngineConfig {
     /// the slow-query ring buffer ([`SacEngine::slow_log`]); `0` disables
     /// capture.  Ignored when `observe` is off.
     pub slow_query_micros: u64,
+    /// Capacity of the slow-query ring buffer: when full, the oldest entry
+    /// is evicted (and counted in `sac_slow_queries_dropped_total`).  Sized
+    /// for the scrape interval — a scraper that polls every few seconds only
+    /// needs the ring to hold the slow queries of one interval.
+    pub slowlog_capacity: usize,
+    /// Head-sampling rate for per-query trace trees: every `N`th query (by
+    /// engine query id) gets a full [`TraceNode`] span tree attached to its
+    /// [`QueryTrace::tree`]; `0` disables sampling.  Requests that set
+    /// [`SacRequest::trace`] and queries that trip the slow-query threshold
+    /// are always traced regardless.  Trees are assembled off the hot path
+    /// from stage timings the engine measures anyway, so sampled queries pay
+    /// one small allocation after their response is already timed.
+    pub trace_sample_every: u64,
 }
-
-/// Capacity of the engine's slow-query ring buffer.
-const SLOW_LOG_CAPACITY: usize = 128;
 
 impl Default for EngineConfig {
     fn default() -> Self {
@@ -57,9 +68,18 @@ impl Default for EngineConfig {
             shard_halo_frac: 0.125,
             observe: true,
             slow_query_micros: 10_000,
+            slowlog_capacity: 128,
+            trace_sample_every: 64,
         }
     }
 }
+
+/// Number of windows in the engine's rotating latency telemetry ring.
+const TELEMETRY_WINDOWS: usize = 10;
+/// Width of one telemetry window in microseconds (1s; the ring spans 10s).
+const TELEMETRY_WINDOW_MICROS: u64 = 1_000_000;
+/// Capacity of the engine's control-plane event ring.
+const EVENT_LOG_CAPACITY: usize = 1024;
 
 /// One SAC query against the engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +98,9 @@ pub struct SacRequest {
     /// registrations — e.g. the `global`/`local` baselines — A/B-testable
     /// against the planned path.
     pub algorithm: Option<String>,
+    /// Requests a full [`TraceNode`] span tree on the response regardless of
+    /// the engine's head-sampling rate ([`EngineConfig::trace_sample_every`]).
+    pub trace: bool,
 }
 
 impl SacRequest {
@@ -89,6 +112,7 @@ impl SacRequest {
             k,
             budget: QueryBudget::default(),
             algorithm: None,
+            trace: false,
         }
     }
 
@@ -104,6 +128,12 @@ impl SacRequest {
         self
     }
 
+    /// Requests a span tree on the response (see [`SacRequest::trace`]).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
     /// A validating builder for a request against vertex `q` with degree
     /// bound `k` (see [`SacRequestBuilder`]).
     pub fn builder(q: VertexId, k: u32) -> SacRequestBuilder {
@@ -113,6 +143,7 @@ impl SacRequest {
             k,
             budget: QueryBudget::default(),
             algorithm: None,
+            trace: false,
         }
     }
 }
@@ -150,6 +181,7 @@ pub struct SacRequestBuilder {
     k: u32,
     budget: QueryBudget,
     algorithm: Option<String>,
+    trace: bool,
 }
 
 impl SacRequestBuilder {
@@ -191,6 +223,12 @@ impl SacRequestBuilder {
         self
     }
 
+    /// Requests a span tree on the response (see [`SacRequest::trace`]).
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Validates the budget and builds the request.
     ///
     /// Typed errors: [`SacError::InvalidRatio`] for `max_ratio < 1` (or
@@ -206,12 +244,13 @@ impl SacRequestBuilder {
             k: self.k,
             budget: self.budget,
             algorithm: self.algorithm,
+            trace: self.trace,
         })
     }
 }
 
 /// Per-request trace metadata: where and how a response was produced.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct QueryTrace {
     /// Monotonically increasing per-engine query id (1, 2, 3, …), assigned
     /// at execution time — the correlation key between responses, slow-log
@@ -245,6 +284,11 @@ pub struct QueryTrace {
     /// amortisation denominator: from-scratch probing would pay a range query
     /// *per probe*, the sweep pays one candidate view per sweep.
     pub candidate_count: u64,
+    /// Full span tree (`query → {plan, route, exec → {shard:N | global}}`),
+    /// present when the request asked for one ([`SacRequest::trace`]) or the
+    /// query was head-sampled ([`EngineConfig::trace_sample_every`]).  Built
+    /// lazily from the stage timings above, after the query is already timed.
+    pub tree: Option<TraceNode>,
 }
 
 /// The engine's answer to one [`SacRequest`].
@@ -332,6 +376,15 @@ pub struct EngineStats {
     /// End-to-end latency percentile summaries per dispatched algorithm, in
     /// registry order.  Empty when observation is disabled.
     pub algorithm_latency: Vec<LatencyStats>,
+    /// Windowed ("last 10s") latency summaries per [`LatencyTier`], in
+    /// [`LatencyTier::ALL`] order — the rotating-ring counterpart of
+    /// `tier_latency`, so dashboards can tell "slow right now" from "slow
+    /// since boot".  Empty when observation is disabled.
+    pub windowed_tier_latency: Vec<LatencyStats>,
+    /// Wall-clock span the windowed summaries cover, in microseconds (ramps
+    /// up from 0 on a fresh engine until the ring is full; the offered rate
+    /// over the window is `count / span`).  `0` when observation is disabled.
+    pub window_span_micros: u64,
 }
 
 /// One labelled latency series of [`EngineStats`]: a tier or algorithm name
@@ -357,6 +410,11 @@ pub struct PublishReport {
     pub shards_rebuilt: u32,
     /// Shard snapshots carried unchanged (their region saw no mutation).
     pub shards_carried: u32,
+    /// Microseconds spent rebuilding dirty shard snapshots.
+    pub rebuild_micros: u64,
+    /// Microseconds spent swapping the epoch pointer (and folding the
+    /// retired epoch's cache counters).
+    pub swap_micros: u64,
 }
 
 /// One shard of a served epoch: the induced snapshot plus the epoch it was
@@ -392,6 +450,8 @@ struct PreparedQuery {
     /// Cache warmth sampled *before* planning (planning itself warms it).
     cache_hit: bool,
     plan_micros: u64,
+    /// Shard-routing share of `plan_micros` (trace trees split it out).
+    route_micros: u64,
 }
 
 /// The engine's observability surface: the metric registry shared with the
@@ -405,6 +465,8 @@ struct EngineObs {
     registry: Arc<MetricsRegistry>,
     /// End-to-end latency per tier, indexed by [`LatencyTier::index`].
     tier_latency: [Arc<Histogram>; 3],
+    /// Windowed ("last 10s") end-to-end latency per tier, same indexing.
+    tier_window: [Arc<WindowedHistogram>; 3],
     /// End-to-end latency per registered algorithm, in registry order
     /// (linear scan — registries hold a handful of entries).
     algo_latency: Vec<(&'static str, Arc<Histogram>)>,
@@ -424,6 +486,10 @@ struct EngineObs {
     fallback_trivial_k: Arc<Counter>,
     fallback_cover: Arc<Counter>,
     slow_log: SlowQueryLog,
+    /// Sequence-numbered control-plane events (epoch swaps, fallbacks).
+    events: Arc<EventLog>,
+    /// Head-sampling rate for trace trees (0 = sampling off).
+    trace_sample_every: u64,
     query_ids: AtomicU64,
 }
 
@@ -441,6 +507,15 @@ impl EngineObs {
                 "sac_query_latency_micros",
                 TIER_HELP,
                 &[("tier", LatencyTier::ALL[i].as_str())],
+            )
+        });
+        let tier_window = std::array::from_fn(|i| {
+            registry.windowed_histogram(
+                "sac_query_latency_window_micros",
+                "End-to-end query latency over the last 10s, per latency tier",
+                &[("tier", LatencyTier::ALL[i].as_str())],
+                TELEMETRY_WINDOWS,
+                TELEMETRY_WINDOW_MICROS,
             )
         });
         let algo_latency = algorithms
@@ -476,6 +551,7 @@ impl EngineObs {
         EngineObs {
             enabled: config.observe,
             tier_latency,
+            tier_window,
             algo_latency,
             plan_stage: stage("plan"),
             route_stage: stage("route"),
@@ -486,13 +562,15 @@ impl EngineObs {
             fallback_trivial_k: fallback("trivial_k"),
             fallback_cover: fallback("cover_spans_shards"),
             slow_log: SlowQueryLog::new(
-                SLOW_LOG_CAPACITY,
+                config.slowlog_capacity,
                 if config.observe {
                     config.slow_query_micros
                 } else {
                     0
                 },
             ),
+            events: Arc::new(EventLog::new(EVENT_LOG_CAPACITY)),
+            trace_sample_every: config.trace_sample_every,
             query_ids: AtomicU64::new(0),
             registry,
         }
@@ -750,7 +828,7 @@ impl SacEngine {
                     .collect()
             }
         };
-        rebuild_span.finish();
+        let rebuild_micros = rebuild_span.finish();
         let next = EngineEpoch {
             number: next_number,
             graph,
@@ -776,18 +854,30 @@ impl SacEngine {
             *acc = add_cache_stats(*acc, retired.cache.stats());
             retired
         };
-        swap_span.finish();
+        let swap_micros = swap_span.finish();
         self.epochs_published.fetch_add(1, Ordering::Relaxed);
         self.components_carried
             .fetch_add(carried, Ordering::Relaxed);
         self.components_invalidated
             .fetch_add(invalidated, Ordering::Relaxed);
+        if self.obs.enabled {
+            self.obs.events.publish(
+                "epoch_swap",
+                format!(
+                    "epoch={} carried={carried} invalidated={invalidated} \
+                     shards_rebuilt={shards_rebuilt} shards_carried={shards_carried}",
+                    retired.number + 1
+                ),
+            );
+        }
         PublishReport {
             epoch: retired.number + 1,
             components_carried: carried,
             components_invalidated: invalidated,
             shards_rebuilt,
             shards_carried,
+            rebuild_micros,
+            swap_micros,
         }
     }
 
@@ -972,12 +1062,20 @@ impl SacEngine {
         if request.algorithm.is_some() {
             if self.obs.enabled {
                 self.obs.fallback_override.inc();
+                self.obs.events.publish(
+                    "fallback",
+                    format!("reason=override q={} k={}", request.q, request.k),
+                );
             }
             return (None, shard_count, shard_count);
         }
         if request.k < 2 {
             if self.obs.enabled {
                 self.obs.fallback_trivial_k.inc();
+                self.obs.events.publish(
+                    "fallback",
+                    format!("reason=trivial_k q={} k={}", request.q, request.k),
+                );
             }
             return (None, shard_count, shard_count);
         }
@@ -985,6 +1083,10 @@ impl SacEngine {
         else {
             if self.obs.enabled {
                 self.obs.fallback_cover.inc();
+                self.obs.events.publish(
+                    "fallback",
+                    format!("reason=cover_spans_shards q={} k={}", request.q, request.k),
+                );
             }
             return (None, shard_count, shard_count);
         };
@@ -994,6 +1096,10 @@ impl SacEngine {
             None => {
                 if self.obs.enabled {
                     self.obs.fallback_cover.inc();
+                    self.obs.events.publish(
+                        "fallback",
+                        format!("reason=cover_spans_shards q={} k={}", request.q, request.k),
+                    );
                 }
                 (None, shard_count, map.shards_intersecting(q_pos, cover))
             }
@@ -1023,7 +1129,7 @@ impl SacEngine {
         let cache_hit = epoch.cache.is_warm();
         let (plan_result, components) = self.plan_on(epoch, request);
         let planned_micros = start.elapsed().as_micros() as u64;
-        let route = match &plan_result {
+        let (route, route_micros) = match &plan_result {
             Ok(plan) => {
                 let span = if self.obs.enabled {
                     Span::start(&self.obs.route_stage)
@@ -1031,12 +1137,14 @@ impl SacEngine {
                     Span::disabled()
                 };
                 let route = self.route_on(epoch, request, plan, components.as_ref());
-                span.finish();
-                route
+                (route, span.finish())
             }
             Err(_) => (
-                None,
-                epoch.map.as_ref().map_or(0, |m| m.num_shards() as u32),
+                (
+                    None,
+                    epoch.map.as_ref().map_or(0, |m| m.num_shards() as u32),
+                    0,
+                ),
                 0,
             ),
         };
@@ -1050,6 +1158,7 @@ impl SacEngine {
             // The trace's planning time keeps its meaning from before the
             // stage split: everything up to execution, routing included.
             plan_micros: start.elapsed().as_micros() as u64,
+            route_micros,
         }
     }
 
@@ -1094,9 +1203,37 @@ impl SacEngine {
         let exec_micros = start.elapsed().as_micros() as u64;
         let query_id = self.obs.query_ids.fetch_add(1, Ordering::Relaxed) + 1;
         let total_micros = prepared.plan_micros + exec_micros;
+        // The span tree is assembled from stage timings measured above, so
+        // building one is a pure off-path allocation: requested traces are
+        // always honoured, head-sampling adds a tree to every Nth query, and
+        // the slow log attaches one to every captured record.
+        let build_tree = || {
+            let plan_only = prepared.plan_micros.saturating_sub(prepared.route_micros);
+            let mut exec_node = TraceNode::new("exec", prepared.plan_micros, exec_micros);
+            if matches!(plan, Plan::Execute(_)) {
+                let site = match shard {
+                    Some(s) => format!("shard:{s}"),
+                    None if shard_count > 0 => "global".to_string(),
+                    None => "snapshot".to_string(),
+                };
+                exec_node.push_child(TraceNode::new(site, prepared.plan_micros, exec_micros));
+            }
+            TraceNode::new("query", 0, total_micros)
+                .with_child(TraceNode::new("plan", 0, plan_only))
+                .with_child(TraceNode::new("route", plan_only, prepared.route_micros))
+                .with_child(exec_node)
+        };
+        let sample_every = self.obs.trace_sample_every;
+        let sampled = self.obs.enabled && sample_every > 0 && query_id.is_multiple_of(sample_every);
+        let tree = if request.trace || sampled {
+            Some(build_tree())
+        } else {
+            None
+        };
         if self.obs.enabled {
             self.obs.exec_stage.record(exec_micros);
             self.obs.tier_latency[request.budget.tier.index()].record(total_micros);
+            self.obs.tier_window[request.budget.tier.index()].record(total_micros);
             if let Plan::Execute(planned) = &plan {
                 if let Some((_, hist)) = self
                     .obs
@@ -1121,6 +1258,7 @@ impl SacEngine {
                 cache_hit: prepared.cache_hit,
                 probe_count: sweep.probes,
                 candidate_count: sweep.candidates,
+                trace: Some(tree.clone().unwrap_or_else(&build_tree)),
             });
         }
         SacResponse {
@@ -1140,6 +1278,7 @@ impl SacEngine {
                 guaranteed_ratio: plan.guaranteed_ratio(),
                 probe_count: sweep.probes,
                 candidate_count: sweep.candidates,
+                tree,
             },
             plan,
         }
@@ -1399,6 +1538,29 @@ impl SacEngine {
             } else {
                 Vec::new()
             },
+            windowed_tier_latency: if self.obs.enabled {
+                LatencyTier::ALL
+                    .iter()
+                    .map(|tier| LatencyStats {
+                        label: tier.as_str(),
+                        summary: self.obs.tier_window[tier.index()].snapshot().summary(),
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            window_span_micros: if self.obs.enabled {
+                // All three rings share a geometry; report the widest span so
+                // `count / span` never overstates the rate.
+                self.obs
+                    .tier_window
+                    .iter()
+                    .map(|w| w.snapshot().span_micros)
+                    .max()
+                    .unwrap_or(0)
+            } else {
+                0
+            },
         }
     }
 
@@ -1419,9 +1581,19 @@ impl SacEngine {
     }
 
     /// The slow-query ring buffer (threshold
-    /// [`EngineConfig::slow_query_micros`]; empty when capture is disabled).
+    /// [`EngineConfig::slow_query_micros`], capacity
+    /// [`EngineConfig::slowlog_capacity`]; empty when capture is disabled).
     pub fn slow_log(&self) -> &SlowQueryLog {
         &self.obs.slow_log
+    }
+
+    /// The engine's control-plane event log: epoch swaps and routing
+    /// fallbacks, tailed with a cursor ([`EventLog::since`]).  Layers above
+    /// (the live-update front, the serving transports) publish their own
+    /// events — commits, batch strategy choices — into the same ring.
+    /// Present — but silent — when observation is disabled.
+    pub fn events(&self) -> &Arc<EventLog> {
+        &self.obs.events
     }
 
     /// Prometheus text exposition of everything the engine knows: the
@@ -1495,6 +1667,11 @@ impl SacEngine {
             "Slow-query records evicted from the ring buffer",
             self.obs.slow_log.dropped(),
         );
+        counter(
+            "sac_events_total",
+            "Control-plane events published over the engine lifetime",
+            self.obs.events.next_seq(),
+        );
         let mut gauge = |name: &str, help: &str, value: u64| {
             let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} gauge");
             let _ = writeln!(out, "{name} {value}");
@@ -1509,6 +1686,11 @@ impl SacEngine {
             "sac_slow_queries",
             "Slow-query records currently in the ring buffer",
             self.obs.slow_log.len() as u64,
+        );
+        gauge(
+            "sac_events_retained",
+            "Control-plane events currently in the event ring",
+            self.obs.events.len() as u64,
         );
         out.push_str(&self.obs.registry.render_prometheus());
         out
@@ -2132,6 +2314,187 @@ mod tests {
         let text = sharded.metrics_text();
         assert!(text.contains("sac_publish_stage_micros_count{stage=\"shard_rebuild\"} 1"));
         assert!(text.contains("sac_publish_stage_micros_count{stage=\"epoch_swap\"} 1"));
+    }
+
+    #[test]
+    fn windowed_latency_lands_in_stats_and_metrics() {
+        let engine = engine();
+        for i in 0..5 {
+            engine.execute(&SacRequest::new(i, figure3::Q, 2));
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.windowed_tier_latency.len(), 3, "one series per tier");
+        let windowed = stats
+            .windowed_tier_latency
+            .iter()
+            .find(|t| t.label == "standard")
+            .unwrap()
+            .summary;
+        // All five queries landed inside the 10s ring, so the windowed view
+        // agrees with the cumulative one on a fresh engine.
+        let cumulative = stats
+            .tier_latency
+            .iter()
+            .find(|t| t.label == "standard")
+            .unwrap()
+            .summary;
+        assert_eq!(windowed, cumulative);
+        assert!(stats.window_span_micros > 0);
+        assert!(stats.window_span_micros <= 10 * TELEMETRY_WINDOW_MICROS);
+        // The registry renders the ring as a Prometheus summary with a qps
+        // series derived from the covered span.
+        let text = engine.metrics_text();
+        assert!(text.contains("# TYPE sac_query_latency_window_micros summary"));
+        assert!(text.contains("sac_query_latency_window_micros_count{tier=\"standard\"} 5"));
+        assert!(
+            text.contains("sac_query_latency_window_micros{tier=\"standard\",quantile=\"0.99\"}")
+        );
+        assert!(text.contains("sac_query_latency_window_micros_qps{tier=\"standard\"}"));
+        // Dark engines have no windowed series.
+        let dark = SacEngine::with_config(
+            Arc::new(figure3_graph()),
+            EngineConfig {
+                observe: false,
+                ..EngineConfig::default()
+            },
+        );
+        dark.execute(&SacRequest::new(1, figure3::Q, 2));
+        assert!(dark.stats().windowed_tier_latency.is_empty());
+        assert_eq!(dark.stats().window_span_micros, 0);
+    }
+
+    #[test]
+    fn trace_trees_are_sampled_and_requested() {
+        let engine = SacEngine::with_config(
+            Arc::new(figure3_graph()),
+            EngineConfig {
+                trace_sample_every: 2,
+                ..EngineConfig::default()
+            },
+        );
+        // Query id 1: unsampled, no tree unless asked for.
+        let plain = engine.execute(&SacRequest::new(1, figure3::Q, 2));
+        assert!(plain.trace.tree.is_none());
+        // Query id 2: head-sampled.
+        let sampled = engine.execute(&SacRequest::new(2, figure3::Q, 2));
+        let tree = sampled.trace.tree.expect("every 2nd query is sampled");
+        assert_eq!(tree.name, "query");
+        assert_eq!(tree.micros, sampled.micros);
+        let stages: Vec<&str> = tree.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(stages, ["plan", "route", "exec"]);
+        let exec = tree.children.last().unwrap();
+        assert_eq!(exec.micros, sampled.trace.exec_micros);
+        assert_eq!(exec.start_micros, sampled.trace.plan_micros);
+        assert_eq!(
+            exec.children[0].name, "snapshot",
+            "unsharded dispatches run on the global snapshot"
+        );
+        // Query id 3: unsampled but explicitly requested.
+        let asked = engine.execute(&SacRequest::new(3, figure3::Q, 2).with_trace());
+        assert!(asked.trace.tree.is_some());
+        // Sampling off (0) still honours explicit requests.
+        let never = SacEngine::with_config(
+            Arc::new(figure3_graph()),
+            EngineConfig {
+                trace_sample_every: 0,
+                ..EngineConfig::default()
+            },
+        );
+        for i in 1..=4u64 {
+            assert!(never
+                .execute(&SacRequest::new(i, figure3::Q, 2))
+                .trace
+                .tree
+                .is_none());
+        }
+        let asked = never.execute(&SacRequest::new(9, figure3::Q, 2).with_trace());
+        assert!(asked.trace.tree.is_some());
+        // On a sharded engine the exec child names the routed shard.
+        let sharded = SacEngine::with_shards(figure3_graph(), 2);
+        let response = sharded.execute(&SacRequest::new(1, figure3::Q, 2).with_trace());
+        let tree = response.trace.tree.expect("requested");
+        let exec = tree.children.last().unwrap();
+        let site = exec.children[0].name.as_str();
+        assert!(
+            site == "global" || site.starts_with("shard:"),
+            "sharded exec site was {site}"
+        );
+    }
+
+    #[test]
+    fn slow_log_entries_carry_a_trace_tree() {
+        let noisy = SacEngine::with_config(
+            Arc::new(figure3_graph()),
+            EngineConfig {
+                slow_query_micros: 1,
+                trace_sample_every: 0,
+                ..EngineConfig::default()
+            },
+        );
+        let response = noisy.execute(&SacRequest::new(1, figure3::Q, 2));
+        assert!(response.trace.tree.is_none(), "not sampled, not requested");
+        let entries = noisy.slow_log().snapshot();
+        let tree = entries[0].trace.as_ref().expect("slow queries get a tree");
+        assert_eq!(tree.name, "query");
+        assert_eq!(tree.micros, response.micros);
+        assert_eq!(tree.children.len(), 3);
+        assert!(tree.render().starts_with("query:"));
+    }
+
+    #[test]
+    fn slowlog_capacity_is_configurable() {
+        let tiny = SacEngine::with_config(
+            Arc::new(figure3_graph()),
+            EngineConfig {
+                slow_query_micros: 1,
+                slowlog_capacity: 2,
+                ..EngineConfig::default()
+            },
+        );
+        for i in 0..5 {
+            tiny.execute(&SacRequest::new(i, figure3::Q, 2));
+        }
+        assert_eq!(tiny.slow_log().len(), 2);
+        assert_eq!(tiny.slow_log().dropped(), 3);
+        let ids: Vec<u64> = tiny
+            .slow_log()
+            .snapshot()
+            .iter()
+            .map(|r| r.query_id)
+            .collect();
+        assert_eq!(ids, vec![4, 5], "the ring keeps the most recent entries");
+    }
+
+    #[test]
+    fn events_record_epoch_swaps_and_fallbacks() {
+        let sharded = SacEngine::with_shards(figure3_graph(), 2);
+        assert!(sharded.events().is_empty());
+        sharded.execute(&SacRequest::new(1, figure3::Q, 2).with_algorithm("global"));
+        let snapshot = sharded.snapshot();
+        let decomposition = sac_graph::core_decomposition(snapshot.graph());
+        sharded.publish(snapshot, decomposition, u32::MAX);
+        let batch = sharded.events().since(0);
+        assert_eq!(batch.missed, 0);
+        let kinds: Vec<&str> = batch.events.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, ["fallback", "epoch_swap"]);
+        assert_eq!(
+            batch.events[0].detail,
+            format!("reason=override q={} k=2", figure3::Q)
+        );
+        assert!(batch.events[1].detail.starts_with("epoch=2 "));
+        // The cursor tails: nothing new since the last batch.
+        assert!(sharded.events().since(batch.next_seq).events.is_empty());
+        // Dark engines publish nothing.
+        let dark = SacEngine::with_config(
+            Arc::new(figure3_graph()),
+            EngineConfig {
+                shards: 2,
+                observe: false,
+                ..EngineConfig::default()
+            },
+        );
+        dark.execute(&SacRequest::new(1, figure3::Q, 2).with_algorithm("global"));
+        assert!(dark.events().is_empty());
     }
 
     #[test]

@@ -74,5 +74,6 @@ pub use planner::{LatencyTier, Plan, PlanContext, PlannedQuery, Planner, QueryBu
 // Observability primitives, re-exported so the serving layers above see one
 // coherent API (the engine owns the registry the whole stack records into).
 pub use sac_obs::{
-    LatencySummary, MetricsRegistry, SlowQueryLog, SlowQueryRecord, Span as ObsSpan,
+    EventBatch, EventLog, EventRecord, LatencySummary, MetricsRegistry, SlowQueryLog,
+    SlowQueryRecord, Span as ObsSpan, TraceNode, WindowedHistogram, WindowedSnapshot,
 };

@@ -39,6 +39,11 @@ pub struct ServeOptions {
     /// Slow-query capture threshold in microseconds (`Some(0)` disables the
     /// slow log; `None` keeps the engine default).
     pub slow_query_micros: Option<u64>,
+    /// Slow-query ring capacity (`None` keeps the engine default).
+    pub slowlog_capacity: Option<usize>,
+    /// Head-sample a trace tree every N queries (`Some(0)` disables
+    /// sampling; `None` keeps the engine default).
+    pub trace_sample_every: Option<u64>,
     /// Listener address (`sac-http` only).
     pub addr: String,
     /// Largest HTTP request body accepted, in bytes (`sac-http` only).
@@ -62,6 +67,8 @@ impl Default for ServeOptions {
             timing: true,
             shards: 0,
             slow_query_micros: None,
+            slowlog_capacity: None,
+            trace_sample_every: None,
             addr: "127.0.0.1:7878".to_string(),
             max_body_bytes: HttpConfig::default().max_body_bytes,
             read_timeout_ms: HttpConfig::default()
@@ -94,7 +101,8 @@ pub fn usage(binary: &str, with_addr: bool) -> String {
     format!(
         "usage: {binary} [--preset NAME] [--scale F] [--seed N] \
          [--edges FILE --locations FILE] [--threads N] [--warm K1,K2] \
-         [--shards N] [--slow-query-micros N] [--no-members] [--no-timing]{addr}"
+         [--shards N] [--slow-query-micros N] [--slowlog-capacity N] \
+         [--trace-sample-every N] [--no-members] [--no-timing]{addr}"
     )
 }
 
@@ -160,6 +168,22 @@ pub fn parse_args(args: &[String], with_addr: bool) -> Result<ServeOptions, Stri
                     value("--slow-query-micros")?
                         .parse::<u64>()
                         .map_err(|_| "--slow-query-micros must be a non-negative integer")?,
+                );
+            }
+            "--slowlog-capacity" => {
+                opts.slowlog_capacity = Some(
+                    value("--slowlog-capacity")?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|c| *c >= 1)
+                        .ok_or("--slowlog-capacity must be a positive integer")?,
+                );
+            }
+            "--trace-sample-every" => {
+                opts.trace_sample_every = Some(
+                    value("--trace-sample-every")?
+                        .parse::<u64>()
+                        .map_err(|_| "--trace-sample-every must be a non-negative integer")?,
                 );
             }
             "--addr" if with_addr => opts.addr = value("--addr")?,
@@ -236,6 +260,12 @@ impl ServeOptions {
         if let Some(threshold) = self.slow_query_micros {
             config.slow_query_micros = threshold;
         }
+        if let Some(capacity) = self.slowlog_capacity {
+            config.slowlog_capacity = capacity;
+        }
+        if let Some(every) = self.trace_sample_every {
+            config.trace_sample_every = every;
+        }
         let engine = Arc::new(SacEngine::with_config(Arc::new(graph), config));
         if engine.shard_count() > 0 {
             eprintln!("serving {} spatial shards", engine.shard_count());
@@ -272,6 +302,10 @@ mod tests {
                 "2,4",
                 "--slow-query-micros",
                 "2500",
+                "--slowlog-capacity",
+                "32",
+                "--trace-sample-every",
+                "16",
                 "--no-members",
                 "--no-timing",
             ]),
@@ -284,6 +318,8 @@ mod tests {
         assert_eq!(opts.threads, 2);
         assert_eq!(opts.warm, vec![2, 4]);
         assert_eq!(opts.slow_query_micros, Some(2500));
+        assert_eq!(opts.slowlog_capacity, Some(32));
+        assert_eq!(opts.trace_sample_every, Some(16));
         assert!(!opts.members && !opts.timing);
         let config = opts.service_config();
         assert!(!config.encode.members && !config.encode.timing);
@@ -317,6 +353,8 @@ mod tests {
         assert!(parse_args(&args(&["--max-body", "0"]), true).is_err());
         assert!(parse_args(&args(&["--shards", "x"]), false).is_err());
         assert!(parse_args(&args(&["--slow-query-micros", "x"]), false).is_err());
+        assert!(parse_args(&args(&["--slowlog-capacity", "0"]), false).is_err());
+        assert!(parse_args(&args(&["--trace-sample-every", "x"]), false).is_err());
         assert!(parse_args(&args(&["--scale", "2"]), false).is_err());
         assert!(parse_args(&args(&["--edges", "a.txt"]), false).is_err());
         assert_eq!(parse_args(&args(&["--help"]), false).unwrap_err(), "");

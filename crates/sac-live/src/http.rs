@@ -13,6 +13,7 @@
 //! | `POST /api` | body = one protocol JSON document; reply body = the protocol reply line |
 //! | `GET /stats` | shorthand for `{"cmd":"stats"}` |
 //! | `GET /metrics` | Prometheus text exposition (`{"cmd":"metrics"}` carries the same text as JSON) |
+//! | `GET /events?since=N` | structured event-log page from cursor `N` (shorthand for `{"cmd":"events","since":N}`) |
 //! | `GET /healthz` | liveness probe: `{"ok":true,"epoch":…,"shards":…,"uptime_secs":…}` |
 //!
 //! A `{"cmd":"quit"}` document closes the connection (the server keeps
@@ -294,7 +295,13 @@ pub fn handle_connection_with(
             )?;
             return Ok(());
         }
-        match (request.method.as_str(), request.path.as_str()) {
+        // The query string only matters for `/events`; stripping it here
+        // keeps every other route match exact.
+        let (path, query) = match request.path.split_once('?') {
+            Some((path, query)) => (path, Some(query)),
+            None => (request.path.as_str(), None),
+        };
+        match (request.method.as_str(), path) {
             ("POST", "/api") | ("POST", "/") => {
                 let body = request.body.trim();
                 if body.is_empty() {
@@ -356,6 +363,43 @@ pub fn handle_connection_with(
                     &text,
                     keep_alive,
                 )?;
+            }
+            ("GET", "/events") => {
+                let since = query
+                    .into_iter()
+                    .flat_map(|q| q.split('&'))
+                    .find_map(|pair| pair.strip_prefix("since="))
+                    .map(str::parse::<u64>)
+                    .transpose();
+                match since {
+                    Err(_) => {
+                        let reply =
+                            ProtoResponse::error("query parameter 'since' must be an integer")
+                                .encode_line(service.encode_options());
+                        write_response(
+                            service,
+                            &mut writer,
+                            "400 Bad Request",
+                            &format!("{reply}\n"),
+                            keep_alive,
+                        )?;
+                    }
+                    Ok(since) => {
+                        let reply = service
+                            .handle(&ProtoRequest::Events {
+                                since: since.unwrap_or(0),
+                            })
+                            .expect("events never quits")
+                            .encode_line(service.encode_options());
+                        write_response(
+                            service,
+                            &mut writer,
+                            "200 OK",
+                            &format!("{reply}\n"),
+                            keep_alive,
+                        )?;
+                    }
+                }
             }
             ("GET", "/healthz") => {
                 let engine = service.engine();
@@ -606,6 +650,95 @@ mod tests {
         let mut status = String::new();
         reader.read_line(&mut status).unwrap();
         assert_eq!(status.trim_end(), "HTTP/1.1 408 Request Timeout");
+    }
+
+    /// Like [`roundtrip`] but also returns the `Content-Type` header value.
+    fn roundtrip_with_type(stream: &mut TcpStream, request: &str) -> (String, String, String) {
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        let mut content_length = 0usize;
+        let mut content_type = String::new();
+        loop {
+            let mut header = String::new();
+            reader.read_line(&mut header).unwrap();
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            let lower = header.to_ascii_lowercase();
+            if let Some(value) = lower.strip_prefix("content-length:").map(str::trim) {
+                content_length = value.parse().unwrap();
+            }
+            if lower.starts_with("content-type:") {
+                content_type = header.split_once(':').unwrap().1.trim().to_string();
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+        (
+            status.trim_end().to_string(),
+            content_type,
+            String::from_utf8(body).unwrap(),
+        )
+    }
+
+    #[test]
+    fn metrics_exposition_declares_the_prometheus_content_type() {
+        let addr = spawn_server();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let (status, content_type, body) =
+            roundtrip_with_type(&mut stream, "GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(content_type, "text/plain; version=0.0.4");
+        assert!(body.contains("# TYPE sac_queries_total counter"), "{body}");
+        // JSON routes stay application/json.
+        let (_, content_type, _) =
+            roundtrip_with_type(&mut stream, "GET /stats HTTP/1.1\r\nHost: test\r\n\r\n");
+        assert_eq!(content_type, "application/json");
+    }
+
+    #[test]
+    fn events_endpoint_pages_the_event_log() {
+        let addr = spawn_server();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // No events yet: an empty page with a zero cursor.
+        let (status, body) = roundtrip(&mut stream, "GET /events HTTP/1.1\r\nHost: test\r\n\r\n");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(
+            body.starts_with(r#"{"ok":true,"next_seq":0,"missed":0,"events":[]}"#),
+            "got: {body}"
+        );
+        // A commit publishes an epoch_swap event.
+        post(
+            &mut stream,
+            &format!(
+                r#"{{"cmd":"add_edge","u":{},"v":{}}}"#,
+                figure3::I,
+                figure3::F
+            ),
+        );
+        post(&mut stream, r#"{"cmd":"commit"}"#);
+        let (status, body) = roundtrip(&mut stream, "GET /events HTTP/1.1\r\nHost: test\r\n\r\n");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains(r#""kind":"epoch_swap""#), "got: {body}");
+        assert!(body.contains(r#""next_seq":1"#), "got: {body}");
+        // Cursoring past everything returns an empty page; the LDJSON
+        // command serves the identical payload.
+        let (_, body) = roundtrip(
+            &mut stream,
+            "GET /events?since=1 HTTP/1.1\r\nHost: test\r\n\r\n",
+        );
+        assert!(body.contains(r#""events":[]"#), "got: {body}");
+        let (_, ldjson) = post(&mut stream, r#"{"cmd":"events","since":1}"#);
+        assert_eq!(body, ldjson);
+        // A malformed cursor is a 400, not a panic.
+        let (status, _) = roundtrip(
+            &mut stream,
+            "GET /events?since=soon HTTP/1.1\r\nHost: test\r\n\r\n",
+        );
+        assert_eq!(status, "HTTP/1.1 400 Bad Request");
     }
 
     #[test]

@@ -113,6 +113,12 @@ pub struct CommitReport {
     /// Wall-clock cost of the commit (CSR + spatial-index rebuild + publish),
     /// in microseconds.
     pub micros: u64,
+    /// CSR + spatial-grid rebuild share of `micros`.
+    pub snapshot_build_micros: u64,
+    /// Shard/cache rebuild share of the engine-side publish.
+    pub rebuild_micros: u64,
+    /// Epoch-pointer swap share of the engine-side publish.
+    pub swap_micros: u64,
 }
 
 /// What one [`LiveEngine::apply_batch`] did (the bulk counterpart of the
@@ -319,6 +325,21 @@ impl LiveEngine {
             };
             applies.inc();
             repair.record(change.repair_micros);
+            let strategy = if change.recomputed {
+                "shared_peel"
+            } else {
+                "per_edge"
+            };
+            self.engine.events().publish(
+                "batch_apply",
+                format!(
+                    "strategy={} ops={} applied={} cores_changed={}",
+                    strategy,
+                    ops.len(),
+                    change.applied.len(),
+                    change.changed.len()
+                ),
+            );
         }
         Ok(BatchApplyReport {
             ops: ops.len(),
@@ -397,6 +418,9 @@ impl LiveEngine {
                 shards_rebuilt: 0,
                 shards_carried: 0,
                 micros: 0,
+                snapshot_build_micros: 0,
+                rebuild_micros: 0,
+                swap_micros: 0,
             });
         }
         let start = Instant::now();
@@ -408,7 +432,7 @@ impl LiveEngine {
         let graph = front.dynamic.to_graph();
         let decomposition = front.dynamic.decomposition();
         let snapshot = SpatialGraph::new(graph, front.positions.clone())?;
-        build_span.finish();
+        let snapshot_build_micros = build_span.finish();
         let dirty_up_to = front.dirty_up_to;
         // Clean shards (no mutation touched their coverage) carry their
         // induced snapshot across the epoch swap; only dirty ones rebuild.
@@ -446,6 +470,9 @@ impl LiveEngine {
             shards_rebuilt: report.shards_rebuilt,
             shards_carried: report.shards_carried,
             micros: start.elapsed().as_micros() as u64,
+            snapshot_build_micros,
+            rebuild_micros: report.rebuild_micros,
+            swap_micros: report.swap_micros,
         })
     }
 }

@@ -9,10 +9,11 @@
 
 use crate::LiveEngine;
 use sac_engine::SacEngine;
+use sac_obs::TraceNode;
 use sac_obs::{Counter, Histogram, Span};
 use sac_proto::{
-    CommitReply, CoreReply, EncodeOptions, MutationReply, ProtoRequest, ProtoResponse, QueryReply,
-    SlowLogReply, StatsReply, VertexReply,
+    CommitReply, CoreReply, EncodeOptions, EventsReply, MutationReply, ProtoRequest, ProtoResponse,
+    QueryReply, SlowLogReply, StatsReply, VertexReply,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -303,7 +304,7 @@ impl SacService {
                     }),
                 }
             }
-            ProtoRequest::Commit => match self.live.commit() {
+            ProtoRequest::Commit { trace } => match self.live.commit() {
                 Err(e) => ProtoResponse::error(e.to_string()),
                 Ok(report) => ProtoResponse::Commit(CommitReply {
                     epoch: report.epoch,
@@ -319,8 +320,37 @@ impl SacService {
                     shards_rebuilt: report.shards_rebuilt,
                     shards_carried: report.shards_carried,
                     micros: Some(report.micros),
+                    trace: (*trace && report.mutations > 0).then(|| {
+                        let publish_start = report.snapshot_build_micros;
+                        TraceNode::new("commit", 0, report.micros)
+                            .with_child(TraceNode::new(
+                                "snapshot_build",
+                                0,
+                                report.snapshot_build_micros,
+                            ))
+                            .with_child(
+                                TraceNode::new(
+                                    "publish",
+                                    publish_start,
+                                    report.rebuild_micros + report.swap_micros,
+                                )
+                                .with_child(TraceNode::new(
+                                    "rebuild",
+                                    publish_start,
+                                    report.rebuild_micros,
+                                ))
+                                .with_child(TraceNode::new(
+                                    "swap",
+                                    publish_start + report.rebuild_micros,
+                                    report.swap_micros,
+                                )),
+                            )
+                    }),
                 }),
             },
+            ProtoRequest::Events { since } => {
+                ProtoResponse::Events(EventsReply::from_batch(engine.events().since(*since)))
+            }
         })
     }
 
@@ -492,6 +522,56 @@ mod tests {
     }
 
     #[test]
+    fn events_and_traces_round_trip_over_the_wire() {
+        let service = service();
+        // The event log is empty until something structural happens.
+        let line = service.handle_line(r#"{"cmd":"events"}"#).unwrap();
+        assert_eq!(line, r#"{"ok":true,"next_seq":0,"missed":0,"events":[]}"#);
+        // A traced commit returns the stage tree alongside the counts.
+        service
+            .handle(&ProtoRequest::AddEdge {
+                u: figure3::I,
+                v: figure3::F,
+            })
+            .unwrap();
+        let ProtoResponse::Commit(commit) = service
+            .handle(&ProtoRequest::Commit { trace: true })
+            .unwrap()
+        else {
+            panic!("expected a commit reply");
+        };
+        let tree = commit.trace.expect("trace requested");
+        assert_eq!(tree.name, "commit");
+        let stages: Vec<&str> = tree.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(stages, ["snapshot_build", "publish"]);
+        let publish = &tree.children[1];
+        let stages: Vec<&str> = publish.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(stages, ["rebuild", "swap"]);
+        // An untraced empty commit returns no tree.
+        let ProtoResponse::Commit(commit) = service
+            .handle(&ProtoRequest::Commit { trace: true })
+            .unwrap()
+        else {
+            panic!("expected a commit reply");
+        };
+        assert_eq!(commit.mutations, 0);
+        assert!(commit.trace.is_none(), "empty commits have no stages");
+        // The epoch swap landed in the event log; the cursor pages past it.
+        let line = service.handle_line(r#"{"cmd":"events"}"#).unwrap();
+        assert!(line.contains(r#""kind":"epoch_swap""#), "got: {line}");
+        assert!(line.contains(r#""at_micros":"#), "got: {line}");
+        let line = service
+            .handle_line(r#"{"cmd":"events","since":1}"#)
+            .unwrap();
+        assert!(line.contains(r#""events":[]"#), "got: {line}");
+        // A traced query carries its span tree on the wire.
+        let line = service
+            .handle_line(&format!(r#"{{"q":{},"k":2,"trace":true}}"#, figure3::Q))
+            .unwrap();
+        assert!(line.contains(r#""trace":{"name":"query""#), "got: {line}");
+    }
+
+    #[test]
     fn live_updates_flow_through_the_service() {
         let service = service();
         let reply = service
@@ -504,7 +584,10 @@ mod tests {
             reply,
             ProtoResponse::Mutation(MutationReply { applied: true, .. })
         ));
-        let ProtoResponse::Commit(commit) = service.handle(&ProtoRequest::Commit).unwrap() else {
+        let ProtoResponse::Commit(commit) = service
+            .handle(&ProtoRequest::Commit { trace: false })
+            .unwrap()
+        else {
             panic!("expected a commit reply");
         };
         assert_eq!(commit.epoch, 2);

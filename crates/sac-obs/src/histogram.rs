@@ -1,11 +1,25 @@
 //! Lock-free log-bucketed latency histogram.
 //!
 //! Bucket upper bounds follow a base-2 grid with one midpoint per octave —
-//! `1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, …` microseconds — i.e. ~2 buckets
-//! per octave (≤50% relative error per bucket), spanning 1µs to 2^26µs
-//! (~67s, comfortably past a 60s request timeout), plus one overflow bucket.
-//! Everything on the record path is a relaxed atomic add, so any number of
-//! worker threads can record concurrently while another thread snapshots.
+//! `1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, …` microseconds — i.e. 2 buckets
+//! per octave, spanning 1µs to 2^26µs (~67s, comfortably past a 60s request
+//! timeout), plus one overflow bucket. Everything on the record path is a
+//! relaxed atomic add, so any number of worker threads can record
+//! concurrently while another thread snapshots.
+//!
+//! ## Quantile error bound
+//!
+//! A reported percentile is the **upper bound** of the bucket holding the
+//! rank-`⌈p·n⌉` observation, so it never understates the true value, and it
+//! overstates it by at most the bucket's width ratio. Two buckets per octave
+//! on an ideal geometric grid would mean a ratio of √2 per bucket, i.e.
+//! ≤ ~41% relative error; this grid keeps the bounds integral by alternating
+//! ratios of 1.5 (`2^e → 3·2^(e-1)`) and 4/3 (`3·2^(e-1) → 2^(e+1)`), so
+//! the worst case is **≤ 50%** (on the `(2^e, 3·2^(e-1)]` buckets; ≤ 33% on
+//! the others). Sub-microsecond observations pin to the 1µs bucket, and the
+//! top rank and the overflow bucket report the exact tracked maximum. The
+//! bound is pinned by a property test against a sorted-vec oracle in
+//! `tests/proptest_histogram.rs`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -121,6 +135,25 @@ impl Histogram {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(micros, Ordering::Relaxed);
         self.max.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Clears every bucket and the running totals back to zero.
+    ///
+    /// Not atomic with respect to concurrent [`Histogram::record`] calls: a
+    /// racing recorder may land partially before and partially after the
+    /// reset, skewing one observation. The windowed ring
+    /// ([`crate::WindowedHistogram`]) serialises resets behind its rotation
+    /// lock and publishes them with a release store, so the race is bounded
+    /// to recorders already past the tick check — at most a one-sample skew
+    /// per rotation, which windowed summaries tolerate by design. Cumulative
+    /// histograms should never be reset.
+    pub fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
     }
 
     /// Takes a point-in-time copy of the bucket counts and totals.

@@ -4,20 +4,29 @@
 //! build environment has no external crates), allocation-free on the hot
 //! path, and safe to hammer from every worker thread at once.
 //!
-//! Four primitives:
+//! Seven primitives:
 //!
 //! * [`Histogram`] — a **lock-free log-bucketed latency histogram**: atomic
-//!   `u64` buckets at ~2 buckets per octave from 1µs to >60s, mergeable
+//!   `u64` buckets at 2 buckets per octave from 1µs to >60s, mergeable
 //!   [`HistogramSnapshot`]s, and percentile extraction (p50/p95/p99/max)
-//!   that is exact at bucket resolution;
-//! * [`MetricsRegistry`] — named counters, gauges and histograms with
-//!   label sets, rendered as Prometheus text exposition
+//!   that is exact at bucket resolution (≤50% relative error per bucket —
+//!   see the `histogram` module docs for the derivation);
+//! * [`WindowedHistogram`] — a rotating ring of histogram windows (e.g.
+//!   10×1s) whose merged [`WindowedSnapshot`] answers "p50/p99/qps over the
+//!   last N seconds" alongside the cumulative series;
+//! * [`MetricsRegistry`] — named counters, gauges, histograms and windowed
+//!   histograms with label sets, rendered as Prometheus text exposition
 //!   ([`MetricsRegistry::render_prometheus`]);
 //! * [`Span`] — a lightweight stage timer that records elapsed microseconds
 //!   into a histogram when finished (or dropped);
+//! * [`TraceNode`] — a nested per-query span tree (plan→route→exec with
+//!   per-shard children; commit pipeline stages), built lazily off-path for
+//!   sampled, requested and slow queries;
 //! * [`SlowQueryLog`] — a fixed-capacity ring buffer capturing a
-//!   [`SlowQueryRecord`] (query id, trace timings, plan label, shard route)
-//!   for every query slower than a configurable threshold.
+//!   [`SlowQueryRecord`] (query id, trace timings, plan label, shard route,
+//!   full trace tree) for every query slower than a configurable threshold;
+//! * [`EventLog`] — a sequence-numbered ring of control-plane events (epoch
+//!   swaps, fallbacks, batch strategy choices) tailed with a cursor.
 //!
 //! Recording into a counter or histogram is a single relaxed atomic RMW —
 //! no locks, no allocation — so instrumentation stays effectively free on
@@ -50,15 +59,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod events;
 mod histogram;
 mod registry;
 mod slowlog;
 mod span;
+mod trace;
+mod window;
 
+pub use events::{EventBatch, EventLog, EventRecord};
 pub use histogram::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, NUM_BUCKETS};
 pub use registry::{Counter, Gauge, MetricsRegistry};
 pub use slowlog::{SlowQueryLog, SlowQueryRecord};
 pub use span::Span;
+pub use trace::TraceNode;
+pub use window::{WindowedHistogram, WindowedSnapshot};
 
 /// A compact percentile summary of one histogram, in microseconds — the
 /// shape `EngineStats` exposes per tier and per algorithm.

@@ -7,6 +7,7 @@
 //! so independent components can share a series.
 
 use crate::histogram::Histogram;
+use crate::window::WindowedHistogram;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -65,6 +66,7 @@ enum Instrument {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
+    Windowed(Arc<WindowedHistogram>),
 }
 
 struct Entry {
@@ -231,6 +233,32 @@ impl MetricsRegistry {
         )
     }
 
+    /// Returns (registering on first use) the **windowed** histogram
+    /// `name{labels}` — a rotating ring of `windows × width_micros` windows
+    /// whose merged recent view is rendered as a Prometheus `summary`
+    /// (`quantile` label series plus `_sum`/`_count`, and the non-standard
+    /// `_max` and `_qps` helpers). The window geometry of an already
+    /// registered series wins; later geometries are ignored.
+    pub fn windowed_histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        windows: usize,
+        width_micros: u64,
+    ) -> Arc<WindowedHistogram> {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            || Instrument::Windowed(Arc::new(WindowedHistogram::new(windows, width_micros))),
+            |i| match i {
+                Instrument::Windowed(w) => Some(Arc::clone(w)),
+                _ => None,
+            },
+        )
+    }
+
     /// Renders every registered series as Prometheus text exposition
     /// (version 0.0.4): `# HELP`/`# TYPE` headers once per metric name,
     /// histograms as cumulative `_bucket{le="…"}` series plus `_sum`,
@@ -247,6 +275,7 @@ impl MetricsRegistry {
                     Instrument::Counter(_) => "counter",
                     Instrument::Gauge(_) => "gauge",
                     Instrument::Histogram(_) => "histogram",
+                    Instrument::Windowed(_) => "summary",
                 };
                 let _ = writeln!(out, "# HELP {} {}", entry.name, entry.help);
                 let _ = writeln!(out, "# TYPE {} {kind}", entry.name);
@@ -289,6 +318,45 @@ impl MetricsRegistry {
                     let _ = writeln!(out, "{}_sum{} {}", entry.name, entry.labels, snap.sum());
                     let _ = writeln!(out, "{}_count{} {}", entry.name, entry.labels, snap.count());
                     let _ = writeln!(out, "{}_max{} {}", entry.name, entry.labels, snap.max());
+                }
+                Instrument::Windowed(w) => {
+                    let snap = w.snapshot();
+                    // Quantile labels compose with the series labels the
+                    // same way histogram `le` labels do.
+                    let prefix = if entry.labels.is_empty() {
+                        format!("{}{{", entry.name)
+                    } else {
+                        format!("{}{},", entry.name, &entry.labels[..entry.labels.len() - 1])
+                    };
+                    for q in [0.5f64, 0.95, 0.99, 0.999] {
+                        let _ = writeln!(
+                            out,
+                            "{prefix}quantile=\"{q}\"}} {}",
+                            snap.histogram.percentile(q)
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        entry.name,
+                        entry.labels,
+                        snap.histogram.sum()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        entry.name,
+                        entry.labels,
+                        snap.histogram.count()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_max{} {}",
+                        entry.name,
+                        entry.labels,
+                        snap.histogram.max()
+                    );
+                    let _ = writeln!(out, "{}_qps{} {:.3}", entry.name, entry.labels, snap.qps());
                 }
             }
         }
@@ -346,6 +414,37 @@ mod tests {
             .inc();
         let text = r.render_prometheus();
         assert_eq!(text.matches("# TYPE q_total counter").count(), 1);
+    }
+
+    #[test]
+    fn windowed_summary_rendering_shape() {
+        let r = MetricsRegistry::new();
+        let w = r.windowed_histogram(
+            "win_micros",
+            "Windowed latency",
+            &[("tier", "batch")],
+            10,
+            60_000_000,
+        );
+        w.record_at(10, 100);
+        w.record_at(20, 3_000);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE win_micros summary"));
+        assert!(text.contains("win_micros{tier=\"batch\",quantile=\"0.5\"} 128\n"));
+        assert!(text.contains("win_micros{tier=\"batch\",quantile=\"0.999\"} 3000\n"));
+        assert!(text.contains("win_micros_sum{tier=\"batch\"} 3100\n"));
+        assert!(text.contains("win_micros_count{tier=\"batch\"} 2\n"));
+        assert!(text.contains("win_micros_max{tier=\"batch\"} 3000\n"));
+        assert!(text.contains("win_micros_qps{tier=\"batch\"} "));
+        // Re-registering returns the same ring; the first geometry wins.
+        let again =
+            r.windowed_histogram("win_micros", "Windowed latency", &[("tier", "batch")], 3, 1);
+        assert_eq!(again.windows(), 10);
+        // An unlabelled windowed series opens its own label set.
+        r.windowed_histogram("bare_micros", "Unlabelled", &[], 2, 60_000_000)
+            .record_at(1, 7);
+        let text = r.render_prometheus();
+        assert!(text.contains("bare_micros{quantile=\"0.99\"} 7\n"));
     }
 
     #[test]

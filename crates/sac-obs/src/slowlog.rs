@@ -1,5 +1,6 @@
 //! Fixed-capacity slow-query ring buffer.
 
+use crate::trace::TraceNode;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -34,6 +35,10 @@ pub struct SlowQueryRecord {
     pub probe_count: u64,
     /// Candidate-vertex count from the trace.
     pub candidate_count: u64,
+    /// Full span tree for the query (slow queries always get one — the
+    /// record closure runs off the fast path, so materialising it is free
+    /// for queries that never trip the threshold).
+    pub trace: Option<TraceNode>,
 }
 
 /// A fixed-capacity ring buffer of [`SlowQueryRecord`]s for queries over a

@@ -62,6 +62,44 @@ proptest! {
         prop_assert_eq!(snap.sum(), values.iter().sum::<u64>());
     }
 
+    /// The documented quantile error bound: over the finite grid span
+    /// (≤ 2^26µs) a reported percentile never understates the true rank
+    /// value and overstates it by at most 50% — the worst bucket ratio of
+    /// the 2-buckets-per-octave integral grid (an ideal √2 grid would give
+    /// ~41%; see the `histogram` module docs).
+    #[test]
+    fn quantile_error_is_bounded_by_half(
+        mut values in vec(0u64..=(1u64 << 26), 1usize..300),
+        p_mille in 0u64..=1000,
+    ) {
+        let snap = snapshot_of(&values);
+        values.sort_unstable();
+        let p = p_mille as f64 / 1000.0;
+        let got = snap.percentile(p);
+        let rank = ((p * values.len() as f64).ceil() as usize).max(1);
+        let true_value = values[rank - 1];
+        // Never understates (sub-µs values pin to the 1µs bucket)...
+        prop_assert!(true_value <= got.max(1));
+        // ...and overstates by at most 50%.
+        prop_assert!(
+            got <= (true_value + true_value / 2).max(1),
+            "reported {} exceeds 1.5x the true rank value {}", got, true_value
+        );
+    }
+
+    /// Ranks landing in the overflow bucket (beyond the finite grid) report
+    /// the exact tracked maximum — an upper bound, never an understatement.
+    #[test]
+    fn overflow_ranks_report_the_exact_max(
+        mut values in vec((1u64 << 26) + 1..u64::MAX / 2, 2usize..50),
+    ) {
+        let snap = snapshot_of(&values);
+        values.sort_unstable();
+        for q in [0.01, 0.5, 0.99] {
+            prop_assert_eq!(snap.percentile(q), *values.last().unwrap());
+        }
+    }
+
     /// Merging sharded snapshots in any grouping equals one big histogram.
     #[test]
     fn merge_equals_single_histogram(

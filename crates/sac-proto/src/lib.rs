@@ -28,6 +28,7 @@
 //! {"cmd":"stats"} | {"cmd":"warm","ks":[2,4]} | {"cmd":"core","q":17,"k":4}
 //! {"cmd":"metrics"}                            → Prometheus exposition text
 //! {"cmd":"slowlog"}                            → slow-query ring snapshot
+//! {"cmd":"events","since":42}                  → structured event-log page
 //! {"cmd":"add_edge","u":17,"v":23}             → live updates (buffered...
 //! {"cmd":"remove_edge","u":17,"v":23}
 //! {"cmd":"add_vertex","x":0.25,"y":0.75}
@@ -49,7 +50,7 @@ mod wire;
 
 pub use transport::TransportError;
 pub use wire::{
-    CommitReply, CoreReply, EncodeOptions, LatencyStatsReply, MutationReply, ProtoError,
-    ProtoRequest, ProtoResponse, QueryReply, QueryResult, QuerySpec, ShardStatsReply, SlowLogReply,
-    StatsReply, VertexReply,
+    CommitReply, CoreReply, EncodeOptions, EventsReply, LatencyStatsReply, MutationReply,
+    ProtoError, ProtoRequest, ProtoResponse, QueryReply, QueryResult, QuerySpec, ShardStatsReply,
+    SlowLogReply, StatsReply, VertexReply,
 };

@@ -7,7 +7,9 @@
 //! integration test asserts their payloads are byte-identical).
 
 use crate::json::{obj, Json};
-use sac_engine::{EngineStats, LatencyStats, SacRequest, SacResponse, SlowQueryRecord};
+use sac_engine::{
+    EngineStats, EventBatch, LatencyStats, SacRequest, SacResponse, SlowQueryRecord, TraceNode,
+};
 use std::fmt;
 
 /// A wire-level decode failure (malformed JSON is reported separately by
@@ -60,6 +62,10 @@ pub struct QuerySpec {
     /// A/B-testable over the wire.  Unknown names become typed per-query
     /// errors.
     pub algorithm: Option<String>,
+    /// Requests a full span tree on the reply (`"trace":true`) regardless of
+    /// the engine's head-sampling rate.  The tree rides the wire only when
+    /// the transport encodes timing fields.
+    pub trace: bool,
 }
 
 impl QuerySpec {
@@ -73,6 +79,7 @@ impl QuerySpec {
             tier: None,
             theta: None,
             algorithm: None,
+            trace: false,
         }
     }
 
@@ -127,6 +134,15 @@ impl QuerySpec {
                 );
             }
         }
+        match value.get("trace") {
+            None => {}
+            Some(trace) if trace.is_null() => {}
+            Some(trace) => {
+                spec.trace = trace
+                    .as_bool()
+                    .ok_or_else(|| ProtoError::new("field 'trace' must be a boolean"))?;
+            }
+        }
         Ok(spec)
     }
 
@@ -147,7 +163,7 @@ impl QuerySpec {
         if let Some(algorithm) = &self.algorithm {
             builder = builder.algorithm(algorithm.clone());
         }
-        builder.build()
+        builder.trace(self.trace).build()
     }
 
     /// The id this spec resolves to under `fallback_id`.
@@ -169,6 +185,11 @@ pub enum ProtoRequest {
     Metrics,
     /// The slow-query log: recent queries over the configured threshold.
     SlowLog,
+    /// Tail the control-plane event log from a cursor (`since`, default 0).
+    Events {
+        /// Return events with sequence number `>= since`.
+        since: u64,
+    },
     /// Pre-build the k-core indexes for these `k`.
     Warm(Vec<u32>),
     /// Structural query: the connected k-core containing `q`.
@@ -210,7 +231,11 @@ pub enum ProtoRequest {
         y: f64,
     },
     /// Publish the buffered live updates as a new snapshot epoch.
-    Commit,
+    Commit {
+        /// Attach a span tree of the commit pipeline to the reply
+        /// (`"trace":true`; rides the wire only when timing is encoded).
+        trace: bool,
+    },
     /// End the session.
     Quit,
 }
@@ -251,7 +276,25 @@ impl ProtoRequest {
             "stats" => Ok(ProtoRequest::Stats),
             "metrics" => Ok(ProtoRequest::Metrics),
             "slowlog" => Ok(ProtoRequest::SlowLog),
-            "commit" => Ok(ProtoRequest::Commit),
+            "events" => {
+                let since = match value.get("since") {
+                    None => 0,
+                    Some(since) => since
+                        .as_u64()
+                        .ok_or_else(|| ProtoError::new("field 'since' must be an integer"))?,
+                };
+                Ok(ProtoRequest::Events { since })
+            }
+            "commit" => {
+                let trace = match value.get("trace") {
+                    None => false,
+                    Some(trace) if trace.is_null() => false,
+                    Some(trace) => trace
+                        .as_bool()
+                        .ok_or_else(|| ProtoError::new("field 'trace' must be a boolean"))?,
+                };
+                Ok(ProtoRequest::Commit { trace })
+            }
             "warm" => {
                 let ks = value
                     .get("ks")
@@ -341,6 +384,24 @@ impl Default for EncodeOptions {
     }
 }
 
+/// Encodes a [`TraceNode`] span tree as nested JSON objects (`children` is
+/// omitted on leaves).  Only ever emitted under `timing: true` — span trees
+/// are wall-clock facts.
+fn trace_node_to_json(node: &TraceNode) -> Json {
+    let mut fields = vec![
+        ("name", Json::Str(node.name.clone())),
+        ("start_micros", Json::Num(node.start_micros as f64)),
+        ("micros", Json::Num(node.micros as f64)),
+    ];
+    if !node.children.is_empty() {
+        fields.push((
+            "children",
+            Json::Arr(node.children.iter().map(trace_node_to_json).collect()),
+        ));
+    }
+    obj(fields)
+}
+
 /// The community part of a [`QueryReply`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryResult {
@@ -398,6 +459,10 @@ pub struct QueryReply {
     pub shards_touched: u32,
     /// The approximation ratio the dispatched plan guarantees, when any.
     pub ratio: Option<f64>,
+    /// Full span tree of the query (requested via `"trace":true` or
+    /// head-sampled by the engine; omitted from the wire under
+    /// `timing: false`, since span durations are wall-clock facts).
+    pub trace: Option<TraceNode>,
 }
 
 impl QueryReply {
@@ -428,6 +493,7 @@ impl QueryReply {
             shard_count: response.trace.shard_count,
             shards_touched: response.trace.shards_touched,
             ratio: response.trace.guaranteed_ratio,
+            trace: response.trace.tree.clone(),
         }
     }
 
@@ -449,6 +515,7 @@ impl QueryReply {
             shard_count: 0,
             shards_touched: 0,
             ratio: None,
+            trace: None,
         }
     }
 
@@ -511,6 +578,11 @@ impl QueryReply {
         }
         if let Some(ratio) = self.ratio {
             fields.push(("ratio", Json::Num(ratio)));
+        }
+        if options.timing {
+            if let Some(trace) = &self.trace {
+                fields.push(("trace", trace_node_to_json(trace)));
+            }
         }
         obj(fields)
     }
@@ -623,6 +695,12 @@ pub struct StatsReply {
     pub tier_latency: Vec<LatencyStatsReply>,
     /// Per-algorithm end-to-end latency summaries.
     pub algorithm_latency: Vec<LatencyStatsReply>,
+    /// Windowed ("last 10s") per-tier latency summaries — the rotating-ring
+    /// counterpart of `tier_latency` (empty when observability is disabled;
+    /// omitted under `timing: false`).
+    pub windowed_tier_latency: Vec<LatencyStatsReply>,
+    /// Wall-clock span the windowed summaries cover, in microseconds.
+    pub window_span_micros: u64,
 }
 
 impl StatsReply {
@@ -674,6 +752,12 @@ impl StatsReply {
                 .iter()
                 .map(LatencyStatsReply::from_stats)
                 .collect(),
+            windowed_tier_latency: stats
+                .windowed_tier_latency
+                .iter()
+                .map(LatencyStatsReply::from_stats)
+                .collect(),
+            window_span_micros: stats.window_span_micros,
         }
     }
 
@@ -721,6 +805,23 @@ impl StatsReply {
                 fields.push((
                     "algorithm_latency",
                     Json::Arr(self.algorithm_latency.iter().map(|l| l.to_json()).collect()),
+                ));
+            }
+            if !self.windowed_tier_latency.is_empty() {
+                fields.push((
+                    "window",
+                    obj(vec![
+                        ("span_micros", Json::Num(self.window_span_micros as f64)),
+                        (
+                            "tier_latency",
+                            Json::Arr(
+                                self.windowed_tier_latency
+                                    .iter()
+                                    .map(|l| l.to_json())
+                                    .collect(),
+                            ),
+                        ),
+                    ]),
                 ));
             }
         }
@@ -777,7 +878,7 @@ pub struct VertexReply {
 }
 
 /// The typed reply to a `commit`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommitReply {
     /// Epoch now being served.
     pub epoch: u64,
@@ -805,6 +906,9 @@ pub struct CommitReply {
     pub shards_carried: u32,
     /// Commit wall-clock cost in microseconds (`None` under `timing: false`).
     pub micros: Option<u64>,
+    /// Stage-level commit trace (`Some` only when the request asked for one;
+    /// encoded only under `timing: true`).
+    pub trace: Option<TraceNode>,
 }
 
 /// The typed reply to a `slowlog` command: a snapshot of the engine's
@@ -845,6 +949,9 @@ impl SlowLogReply {
                     fields.push(("micros", Json::Num(e.total_micros as f64)));
                     fields.push(("plan_micros", Json::Num(e.plan_micros as f64)));
                     fields.push(("exec_micros", Json::Num(e.exec_micros as f64)));
+                    if let Some(trace) = &e.trace {
+                        fields.push(("trace", trace_node_to_json(trace)));
+                    }
                 }
                 obj(fields)
             })
@@ -854,6 +961,53 @@ impl SlowLogReply {
             ("threshold_micros", Json::Num(self.threshold_micros as f64)),
             ("dropped", Json::Num(self.dropped as f64)),
             ("entries", Json::Arr(entries)),
+        ])
+    }
+}
+
+/// The typed reply to an `events` command: a page of the engine's structured
+/// event log starting at the requested cursor.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EventsReply {
+    /// Events at or after the requested cursor, oldest first.
+    pub events: Vec<sac_engine::EventRecord>,
+    /// Cursor to pass as `since` on the next poll.
+    pub next_seq: u64,
+    /// Events evicted between the cursor and the oldest retained record.
+    pub missed: u64,
+}
+
+impl EventsReply {
+    /// Builds the reply from an engine-side [`EventBatch`].
+    pub fn from_batch(batch: EventBatch) -> EventsReply {
+        EventsReply {
+            events: batch.events,
+            next_seq: batch.next_seq,
+            missed: batch.missed,
+        }
+    }
+
+    fn to_json(&self, options: EncodeOptions) -> Json {
+        let events = self
+            .events
+            .iter()
+            .map(|e| {
+                let mut fields = vec![
+                    ("seq", Json::Num(e.seq as f64)),
+                    ("kind", Json::Str(e.kind.to_string())),
+                    ("detail", Json::Str(e.detail.clone())),
+                ];
+                if options.timing {
+                    fields.push(("at_micros", Json::Num(e.at_micros as f64)));
+                }
+                obj(fields)
+            })
+            .collect();
+        obj(vec![
+            ("ok", Json::Bool(true)),
+            ("next_seq", Json::Num(self.next_seq as f64)),
+            ("missed", Json::Num(self.missed as f64)),
+            ("events", Json::Arr(events)),
         ])
     }
 }
@@ -883,6 +1037,8 @@ pub enum ProtoResponse {
     },
     /// Reply to `slowlog`.
     SlowLog(SlowLogReply),
+    /// Reply to `events`.
+    Events(EventsReply),
     /// Reply to `add_edge`/`remove_edge`.
     Mutation(MutationReply),
     /// Reply to `add_vertex`.
@@ -929,6 +1085,7 @@ impl ProtoResponse {
                 ("metrics", Json::Str(text.clone())),
             ]),
             ProtoResponse::SlowLog(slowlog) => slowlog.to_json(options),
+            ProtoResponse::Events(events) => events.to_json(options),
             ProtoResponse::Mutation(m) => obj(vec![
                 ("ok", Json::Bool(true)),
                 ("applied", Json::Bool(m.applied)),
@@ -964,6 +1121,9 @@ impl ProtoResponse {
                 if options.timing {
                     if let Some(micros) = c.micros {
                         fields.push(("micros", Json::Num(micros as f64)));
+                    }
+                    if let Some(trace) = &c.trace {
+                        fields.push(("trace", trace_node_to_json(trace)));
                     }
                 }
                 obj(fields)
@@ -1134,6 +1294,7 @@ mod tests {
             shard_count: 0,
             shards_touched: 0,
             ratio: Some(2.0),
+            trace: None,
         };
         let line = ProtoResponse::Query(reply.clone()).encode_line(EncodeOptions::default());
         assert_eq!(
@@ -1183,15 +1344,31 @@ mod tests {
             p99_micros: 96,
             max_micros: 80,
         });
+        stats.windowed_tier_latency.push(LatencyStatsReply {
+            label: "interactive".to_string(),
+            count: 2,
+            p50_micros: 48,
+            p95_micros: 96,
+            p99_micros: 96,
+            max_micros: 80,
+        });
+        stats.window_span_micros = 2_000_000;
         let line = ProtoResponse::Stats(stats.clone()).encode_line(timing);
         assert!(line.contains(r#""uptime_secs":9"#), "got: {line}");
         assert!(
             line.contains(r#""tier_latency":[{"label":"interactive","count":3,"p50_micros":48"#),
             "got: {line}"
         );
+        assert!(
+            line.contains(
+                r#""window":{"span_micros":2000000,"tier_latency":[{"label":"interactive","count":2"#
+            ),
+            "got: {line}"
+        );
         let line = ProtoResponse::Stats(stats).encode_line(no_timing);
         assert!(!line.contains("uptime_secs"), "got: {line}");
         assert!(!line.contains("tier_latency"), "got: {line}");
+        assert!(!line.contains("window"), "got: {line}");
 
         let slowlog = SlowLogReply {
             threshold_micros: 10_000,
@@ -1210,6 +1387,7 @@ mod tests {
                 cache_hit: true,
                 probe_count: 9,
                 candidate_count: 61,
+                trace: Some(TraceNode::new("query", 0, 12_345)),
             }],
         };
         let line = ProtoResponse::SlowLog(slowlog.clone()).encode_line(timing);
@@ -1226,10 +1404,15 @@ mod tests {
             line.contains(r#""micros":12345,"plan_micros":45,"exec_micros":12300"#),
             "got: {line}"
         );
+        assert!(
+            line.contains(r#""trace":{"name":"query","start_micros":0,"micros":12345}"#),
+            "got: {line}"
+        );
         // The per-entry wall-clock fields follow the determinism switch; the
         // threshold is configuration, so it stays.
         let line = ProtoResponse::SlowLog(slowlog).encode_line(no_timing);
         assert!(!line.contains(r#""exec_micros""#), "got: {line}");
+        assert!(!line.contains(r#""trace""#), "got: {line}");
         assert!(line.contains(r#""threshold_micros":10000"#), "got: {line}");
 
         let line = ProtoResponse::Metrics {
@@ -1240,5 +1423,149 @@ mod tests {
             line,
             "{\"ok\":true,\"metrics\":\"# TYPE x counter\\nx 1\\n\"}"
         );
+    }
+
+    #[test]
+    fn decodes_trace_and_events_commands() {
+        assert_eq!(
+            ProtoRequest::parse_line(r#"{"cmd":"events"}"#).unwrap(),
+            ProtoRequest::Events { since: 0 }
+        );
+        assert_eq!(
+            ProtoRequest::parse_line(r#"{"cmd":"events","since":3}"#).unwrap(),
+            ProtoRequest::Events { since: 3 }
+        );
+        assert_eq!(
+            ProtoRequest::parse_line(r#"{"cmd":"commit"}"#).unwrap(),
+            ProtoRequest::Commit { trace: false }
+        );
+        assert_eq!(
+            ProtoRequest::parse_line(r#"{"cmd":"commit","trace":true}"#).unwrap(),
+            ProtoRequest::Commit { trace: true }
+        );
+        let ProtoRequest::Query(spec) =
+            ProtoRequest::parse_line(r#"{"q":1,"k":2,"trace":true}"#).unwrap()
+        else {
+            panic!("expected a query");
+        };
+        assert!(spec.trace);
+        assert!(spec.to_request(0).unwrap().trace);
+        let ProtoRequest::Query(spec) = ProtoRequest::parse_line(r#"{"q":1,"k":2}"#).unwrap()
+        else {
+            panic!("expected a query");
+        };
+        assert!(!spec.trace);
+        for (line, needle) in [
+            (r#"{"cmd":"events","since":"x"}"#, "'since'"),
+            (r#"{"cmd":"commit","trace":1}"#, "'trace'"),
+            (r#"{"q":1,"k":2,"trace":"yes"}"#, "'trace'"),
+        ] {
+            let err = ProtoRequest::parse_line(line).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "error for {line} should mention {needle}, got: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_trees_and_events_encode_under_the_timing_switch() {
+        let timing = EncodeOptions::default();
+        let no_timing = EncodeOptions {
+            members: true,
+            timing: false,
+        };
+
+        // A query reply carrying a trace tree: the tree (and only the tree)
+        // rides behind the timing switch alongside the other volatile fields.
+        let reply = QueryReply {
+            id: 1,
+            q: 1,
+            k: 2,
+            plan: "app_inc".to_string(),
+            result: QueryResult::Infeasible,
+            query_id: Some(4),
+            micros: Some(100),
+            cache_hit: false,
+            epoch: 1,
+            probes: 0,
+            candidates: 0,
+            shard_count: 0,
+            shards_touched: 0,
+            ratio: None,
+            trace: Some(
+                TraceNode::new("query", 0, 100)
+                    .with_child(TraceNode::new("plan", 0, 10))
+                    .with_child(TraceNode::new("exec", 10, 90)),
+            ),
+        };
+        let line = ProtoResponse::Query(reply.clone()).encode_line(timing);
+        assert!(
+            line.contains(
+                r#""trace":{"name":"query","start_micros":0,"micros":100,"children":[{"name":"plan","start_micros":0,"micros":10},{"name":"exec","start_micros":10,"micros":90}]}"#
+            ),
+            "got: {line}"
+        );
+        let line = ProtoResponse::Query(reply).encode_line(no_timing);
+        assert!(!line.contains("trace"), "got: {line}");
+
+        // The events page: sequence cursor plumbing is structural and always
+        // encoded; per-event wall-clock offsets follow the timing switch.
+        let events = EventsReply {
+            events: vec![
+                sac_engine::EventRecord {
+                    seq: 5,
+                    at_micros: 1_234,
+                    kind: "epoch_swap",
+                    detail: "epoch=2 carried=1".to_string(),
+                },
+                sac_engine::EventRecord {
+                    seq: 6,
+                    at_micros: 2_345,
+                    kind: "fallback",
+                    detail: "reason=trivial_k q=1 k=1".to_string(),
+                },
+            ],
+            next_seq: 7,
+            missed: 5,
+        };
+        let line = ProtoResponse::Events(events.clone()).encode_line(timing);
+        assert_eq!(
+            line,
+            r#"{"ok":true,"next_seq":7,"missed":5,"events":[{"seq":5,"kind":"epoch_swap","detail":"epoch=2 carried=1","at_micros":1234},{"seq":6,"kind":"fallback","detail":"reason=trivial_k q=1 k=1","at_micros":2345}]}"#
+        );
+        let line = ProtoResponse::Events(events).encode_line(no_timing);
+        assert_eq!(
+            line,
+            r#"{"ok":true,"next_seq":7,"missed":5,"events":[{"seq":5,"kind":"epoch_swap","detail":"epoch=2 carried=1"},{"seq":6,"kind":"fallback","detail":"reason=trivial_k q=1 k=1"}]}"#
+        );
+
+        // The commit reply's stage trace follows the same switch.
+        let commit = CommitReply {
+            epoch: 2,
+            mutations: 1,
+            edges_inserted: 1,
+            edges_removed: 0,
+            vertices_added: 0,
+            vertices_moved: 0,
+            cores_changed: 0,
+            dirty_up_to: 2,
+            components_carried: 0,
+            components_invalidated: 1,
+            shards_rebuilt: 0,
+            shards_carried: 0,
+            micros: Some(250),
+            trace: Some(
+                TraceNode::new("commit", 0, 250).with_child(TraceNode::new("publish", 50, 200)),
+            ),
+        };
+        let line = ProtoResponse::Commit(commit.clone()).encode_line(timing);
+        assert!(
+            line.contains(r#""micros":250,"trace":{"name":"commit""#),
+            "got: {line}"
+        );
+        let line = ProtoResponse::Commit(commit).encode_line(no_timing);
+        assert!(!line.contains("trace"), "got: {line}");
+        assert!(!line.contains("micros"), "got: {line}");
     }
 }

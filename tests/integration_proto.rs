@@ -65,6 +65,13 @@ fn request_stream() -> Vec<String> {
         format!(r#"{{"id":9,"q":{i},"k":2}}"#),
         r#"{this is not json"#.to_string(),
         r#"{"cmd":"stats"}"#.to_string(),
+        // Observability commands: the event log's sequence numbers and
+        // details are deterministic (timestamps are timing-gated), and trace
+        // trees are timing-gated wholesale, so these stay byte-identical too.
+        r#"{"cmd":"events"}"#.to_string(),
+        r#"{"cmd":"events","since":2}"#.to_string(),
+        format!(r#"{{"id":10,"q":{q},"k":2,"trace":true}}"#),
+        r#"{"cmd":"commit","trace":true}"#.to_string(),
     ]
 }
 
@@ -166,9 +173,22 @@ fn ldjson_and_http_transports_are_byte_identical() {
     assert!(ldjson[17].contains(r#""feasible":false"#)); // ...and left it
     assert!(ldjson[18].contains(r#""ok":false"#)); // malformed line
     assert!(ldjson[19].contains(r#""epochs_published":2"#));
-    // Deterministic mode: no volatile timing fields anywhere.
+    // Both commits landed in the event log, in publication order.
+    assert!(
+        ldjson[20].starts_with(
+            r#"{"ok":true,"next_seq":2,"missed":0,"events":[{"seq":0,"kind":"epoch_swap""#
+        ),
+        "got: {}",
+        ldjson[20]
+    );
+    assert!(ldjson[21].contains(r#""events":[]"#)); // cursor tails the log
+    assert!(ldjson[22].contains(r#""feasible":true"#)); // traced query answers
+    assert!(ldjson[23].contains(r#""mutations":0"#)); // traced empty commit
+                                                      // Deterministic mode: no volatile timing fields anywhere — including the
+                                                      // per-event timestamps and the requested trace trees.
     for line in &ldjson {
         assert!(!line.contains("micros"), "timing leaked into: {line}");
+        assert!(!line.contains(r#""trace""#), "trace leaked into: {line}");
     }
 }
 
@@ -240,8 +260,8 @@ fn http_metrics_exposition_matches_engine_stats() {
         .read_to_string(&mut response)
         .unwrap();
     assert!(
-        response.contains("Content-Type: text/plain"),
-        "exposition is text, not JSON: {}",
+        response.contains("Content-Type: text/plain; version=0.0.4"),
+        "exposition declares the Prometheus text format: {}",
         response.lines().next().unwrap_or_default()
     );
     let exposition = response.split("\r\n\r\n").nth(1).expect("body");
@@ -264,9 +284,24 @@ fn http_metrics_exposition_matches_engine_stats() {
             standard.summary.max_micros
         ),
         "sac_http_responses_total{status=\"200\"} 5".to_string(),
+        // The rotating-window summary rides alongside the cumulative series;
+        // all five queries just happened, so they are inside the 10s window.
+        "sac_query_latency_window_micros_count{tier=\"standard\"} 5".to_string(),
+        "sac_query_latency_window_micros{tier=\"standard\",quantile=\"0.99\"}".to_string(),
     ] {
         assert!(exposition.contains(&needle), "missing {needle}");
     }
+
+    // The windowed stats agree with the cumulative ones at this point (all
+    // queries landed within the live window span).
+    let windowed = stats
+        .windowed_tier_latency
+        .iter()
+        .find(|t| t.label == "standard")
+        .expect("windowed summaries mirror the tier list");
+    assert_eq!(windowed.summary.count, 5);
+    assert_eq!(windowed.summary.p99_micros, standard.summary.p99_micros);
+    assert!(stats.window_span_micros > 0);
 
     // Every query tripped the 1µs threshold: the slow log has entries, and
     // the protocol command exposes them.
