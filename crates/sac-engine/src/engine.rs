@@ -646,34 +646,68 @@ impl SacEngine {
     ) -> Self {
         // Partition once at construction; the map is stable across epochs
         // (only shard contents are rebuilt as the graph mutates).
-        let (map, shards) = if config.shards >= 2 {
+        let map = if config.shards >= 2 {
             let frac = if config.shard_halo_frac.is_finite() {
                 config.shard_halo_frac.max(0.0)
             } else {
                 EngineConfig::default().shard_halo_frac
             };
-            let map = Arc::new(
+            Some(Arc::new(
                 ShardMap::build(graph.positions(), config.shards.min(256), frac)
                     .expect("non-empty snapshot always partitions"),
-            );
-            let sharded = ShardedGraph::build(&graph, Arc::clone(&map))
-                .expect("shard materialisation of a valid snapshot succeeds");
-            let shards = sharded
-                .iter()
-                .map(|g| ShardSlot {
-                    graph: Arc::clone(g),
-                    since_epoch: 1,
-                })
-                .collect();
-            (Some(map), shards)
+            ))
         } else {
-            (None, Vec::new())
+            None
+        };
+        SacEngine::assemble(graph, config, registry, map, 1)
+    }
+
+    /// An engine rebuilt from recovered state: serves `graph` as epoch
+    /// `epoch` under a caller-supplied (previously serialized) spatial
+    /// partition instead of repartitioning from current positions.  Crash
+    /// recovery uses this so the shard layout — and therefore every
+    /// query-routing decision — is bit-identical to the pre-crash engine.
+    pub fn restored(
+        graph: Arc<SpatialGraph>,
+        config: EngineConfig,
+        map: Option<Arc<ShardMap>>,
+        epoch: u64,
+    ) -> Self {
+        SacEngine::assemble(
+            graph,
+            config,
+            Arc::new(AlgorithmRegistry::builtin()),
+            map,
+            epoch.max(1),
+        )
+    }
+
+    fn assemble(
+        graph: Arc<SpatialGraph>,
+        config: EngineConfig,
+        registry: Arc<AlgorithmRegistry>,
+        map: Option<Arc<ShardMap>>,
+        epoch: u64,
+    ) -> Self {
+        let shards: Vec<ShardSlot> = match &map {
+            Some(map) => {
+                let sharded = ShardedGraph::build(&graph, Arc::clone(map))
+                    .expect("shard materialisation of a valid snapshot succeeds");
+                sharded
+                    .iter()
+                    .map(|g| ShardSlot {
+                        graph: Arc::clone(g),
+                        since_epoch: epoch,
+                    })
+                    .collect()
+            }
+            None => Vec::new(),
         };
         let shard_count = shards.len();
         let obs = EngineObs::new(&config, &registry.names());
         SacEngine {
             epoch: EpochCell::new(Arc::new(EngineEpoch {
-                number: 1,
+                number: epoch,
                 graph,
                 cache: KCoreCache::new(),
                 map,

@@ -33,6 +33,9 @@ pub enum GraphError {
     /// Invalid sharding parameters (zero shards, or a non-finite/negative
     /// halo fraction).
     InvalidShardConfig,
+    /// Externally supplied CSR arrays violate a structural invariant
+    /// (see [`crate::Graph::try_from_csr`]).
+    InvalidCsr(&'static str),
 }
 
 impl fmt::Display for GraphError {
@@ -58,6 +61,7 @@ impl fmt::Display for GraphError {
                 f,
                 "invalid shard configuration (need >= 1 shard and a finite non-negative halo)"
             ),
+            GraphError::InvalidCsr(detail) => write!(f, "invalid CSR arrays: {detail}"),
         }
     }
 }

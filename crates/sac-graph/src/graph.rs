@@ -34,6 +34,56 @@ impl Graph {
         Graph { offsets, neighbors }
     }
 
+    /// Creates a graph from externally produced CSR arrays, validating every
+    /// structural invariant (snapshot-codec hook: `sac-wal` rebuilds graphs
+    /// from checkpoint files through this).
+    ///
+    /// `offsets` must have length `n + 1`, start at zero, be non-decreasing
+    /// and end at `neighbors.len()`; every adjacency slice must be strictly
+    /// sorted (no duplicates), free of self-loops, and reference vertices
+    /// inside `0..n`.  Violations yield [`crate::GraphError::Parse`]-free,
+    /// dedicated errors so callers can surface what was malformed.
+    pub fn try_from_csr(
+        offsets: Vec<u64>,
+        neighbors: Vec<VertexId>,
+    ) -> Result<Self, crate::GraphError> {
+        use crate::GraphError;
+        if offsets.is_empty() || offsets[0] != 0 {
+            return Err(GraphError::InvalidCsr("offsets must start at 0"));
+        }
+        if *offsets.last().unwrap() as usize != neighbors.len() {
+            return Err(GraphError::InvalidCsr(
+                "offsets must end at neighbors.len()",
+            ));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(GraphError::InvalidCsr("offsets must be non-decreasing"));
+        }
+        let n = offsets.len() - 1;
+        for v in 0..n {
+            let row = &neighbors[offsets[v] as usize..offsets[v + 1] as usize];
+            for (i, &w) in row.iter().enumerate() {
+                if w as usize >= n {
+                    return Err(GraphError::VertexOutOfRange(w));
+                }
+                if w as usize == v {
+                    return Err(GraphError::InvalidCsr("self-loop in adjacency"));
+                }
+                if i > 0 && row[i - 1] >= w {
+                    return Err(GraphError::InvalidCsr(
+                        "adjacency rows must be strictly sorted",
+                    ));
+                }
+            }
+        }
+        Ok(Graph { offsets, neighbors })
+    }
+
+    /// Borrows the raw CSR arrays (snapshot-codec hook).
+    pub fn csr(&self) -> (&[u64], &[VertexId]) {
+        (&self.offsets, &self.neighbors)
+    }
+
     /// An empty graph with `n` isolated vertices.
     pub fn empty(n: usize) -> Self {
         Graph {

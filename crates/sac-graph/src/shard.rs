@@ -153,6 +153,48 @@ impl ShardMap {
         })
     }
 
+    /// Reassembles a `ShardMap` from its serialized parts (durability hook:
+    /// `sac-wal` snapshots store regions, halo and guard so recovery restores
+    /// the *boot-time* partition exactly — rebuilding from current positions
+    /// would shift region boundaries and break bit-identical recovery).
+    ///
+    /// `regions` must be the disjoint, plane-tiling rectangles a
+    /// [`ShardMap::build`] produced, in their original shard-id order; the
+    /// lookup tree and the routable-radius bound are derived from them.
+    pub fn from_parts(regions: Vec<Rect>, halo: f64, guard: f64) -> Result<Self, GraphError> {
+        if regions.is_empty()
+            || !halo.is_finite()
+            || halo < 0.0
+            || !guard.is_finite()
+            || guard < 0.0
+        {
+            return Err(GraphError::InvalidShardConfig);
+        }
+        let root = build_tree(&regions, (0..regions.len() as u32).collect());
+        let interior_margin = halo - guard;
+        let max_routable = regions
+            .iter()
+            .map(|r| {
+                let w = r.width() + 2.0 * interior_margin;
+                let h = r.height() + 2.0 * interior_margin;
+                0.5 * w.min(h)
+            })
+            .fold(0.0f64, f64::max);
+        Ok(ShardMap {
+            root,
+            regions,
+            halo,
+            guard,
+            max_routable,
+        })
+    }
+
+    /// The floating-point guard width (see the module docs); exposed so the
+    /// partition can be serialized and restored bit-identically.
+    pub fn guard(&self) -> f64 {
+        self.guard
+    }
+
     /// The largest cover radius [`ShardMap::single_shard_for`] can possibly
     /// route: a circle of radius `r` fits inside an axis-aligned interior
     /// only when `2r` is at most both its width and height, so any cover

@@ -6,14 +6,18 @@
 //! ```text
 //! sac-http [OPTIONS]
 //!
-//! Graph source and serving options: identical to sac-serve, plus
+//! Graph source, serving and durability options: identical to sac-serve
+//! (including `--wal-dir`/`--wal-sync`/`--checkpoint-every`), plus
 //!   --addr <host:port>   listener address (default: 127.0.0.1:7878)
 //!
 //! Routes:
 //!   POST /api            body = one protocol JSON document
 //!   GET  /stats          shorthand for {"cmd":"stats"}
 //!   GET  /metrics        Prometheus text exposition of the whole stack
-//!   GET  /healthz        liveness probe (epoch, shards, uptime)
+//!   GET  /healthz        liveness probe (epoch, shards, uptime, WAL state)
+//!
+//! With `--wal-dir`, SIGINT/SIGTERM flush the log and write a
+//! clean-shutdown marker before the process exits.
 //!
 //! Example:
 //!   $ sac-http --preset brightkite --scale 0.02 --warm 4 &
@@ -44,6 +48,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if opts.wal_dir.is_some() {
+        let flush = Arc::clone(&service);
+        sac_wal::signals::on_shutdown(Box::new(move || match flush.live().shutdown_flush() {
+            Ok(true) => eprintln!("sac-http: WAL flushed, clean-shutdown marker written"),
+            Ok(false) => {}
+            Err(e) => eprintln!("sac-http: WAL flush failed on shutdown: {e}"),
+        }));
+    }
     let listener = match TcpListener::bind(&opts.addr) {
         Ok(listener) => listener,
         Err(e) => {

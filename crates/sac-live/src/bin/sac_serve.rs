@@ -22,15 +22,27 @@
 //!   --no-members         omit member lists from responses (ids/sizes only)
 //!   --no-timing          omit wall-clock fields (deterministic output)
 //!
+//! Durability:
+//!   --wal-dir <dir>      write-ahead log directory; when it already holds
+//!                        WAL state, boot recovers from it instead of
+//!                        building the dataset graph
+//!   --wal-sync <p>       fsync policy: always | never | N (every N commits)
+//!   --checkpoint-every <n>
+//!                        snapshot checkpoint cadence in commits
+//!                        (default: 64; 0 = manual `checkpoint` command only)
+//!
 //! Protocol: one JSON document per input line (see the `sac-proto` crate
 //! docs); every non-blank input line produces exactly one output line.
 //! Mutations maintain the k-core structure incrementally; `commit` swaps in a
 //! new snapshot epoch while in-flight queries finish on the old one.  The
-//! same protocol is served over HTTP by the `sac-http` binary.
+//! same protocol is served over HTTP by the `sac-http` binary.  With
+//! `--wal-dir`, SIGINT/SIGTERM (and end of input) flush the log and leave a
+//! clean-shutdown marker so the next boot skips torn-tail scanning.
 //! ```
 
 use sac_live::{cli, ldjson};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,16 +57,30 @@ fn main() -> ExitCode {
         }
     };
     let service = match opts.build_service() {
-        Ok(service) => service,
+        Ok(service) => Arc::new(service),
         Err(message) => {
             eprintln!("sac-serve: {message}");
             return ExitCode::FAILURE;
         }
     };
+    if opts.wal_dir.is_some() {
+        let flush = Arc::clone(&service);
+        sac_wal::signals::on_shutdown(Box::new(move || match flush.live().shutdown_flush() {
+            Ok(true) => eprintln!("sac-serve: WAL flushed, clean-shutdown marker written"),
+            Ok(false) => {}
+            Err(e) => eprintln!("sac-serve: WAL flush failed on shutdown: {e}"),
+        }));
+    }
     let stdin = std::io::stdin().lock();
     let stdout = std::io::stdout();
     let out = std::io::BufWriter::new(stdout.lock());
-    match ldjson::serve(&service, stdin, out) {
+    let served = ldjson::serve(service.as_ref(), stdin, out);
+    // End of input (or `quit`) is also an orderly exit: seal the log.
+    if let Err(e) = service.live().shutdown_flush() {
+        eprintln!("sac-serve: WAL flush failed on exit: {e}");
+        return ExitCode::FAILURE;
+    }
+    match served {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("sac-serve: io error: {e}");

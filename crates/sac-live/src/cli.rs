@@ -3,7 +3,7 @@
 //! address for the HTTP front end.
 
 use crate::http::HttpConfig;
-use crate::{SacService, ServiceConfig};
+use crate::{Durability, LiveEngine, SacService, ServiceConfig, SyncPolicy};
 use sac_data::{DatasetKind, DatasetSpec};
 use sac_engine::{EngineConfig, SacEngine};
 use sac_graph::io::load_spatial_graph;
@@ -44,6 +44,14 @@ pub struct ServeOptions {
     /// Head-sample a trace tree every N queries (`Some(0)` disables
     /// sampling; `None` keeps the engine default).
     pub trace_sample_every: Option<u64>,
+    /// Write-ahead-log directory (`None` = no durability).  When the
+    /// directory already holds WAL state, boot *recovers* from it instead of
+    /// building the dataset graph.
+    pub wal_dir: Option<String>,
+    /// WAL fsync policy (`always`, `never`, or every N commits).
+    pub wal_sync: SyncPolicy,
+    /// Automatic checkpoint cadence in commits (`0` = manual only).
+    pub checkpoint_every: u64,
     /// Listener address (`sac-http` only).
     pub addr: String,
     /// Largest HTTP request body accepted, in bytes (`sac-http` only).
@@ -69,6 +77,9 @@ impl Default for ServeOptions {
             slow_query_micros: None,
             slowlog_capacity: None,
             trace_sample_every: None,
+            wal_dir: None,
+            wal_sync: SyncPolicy::Always,
+            checkpoint_every: 64,
             addr: "127.0.0.1:7878".to_string(),
             max_body_bytes: HttpConfig::default().max_body_bytes,
             read_timeout_ms: HttpConfig::default()
@@ -102,7 +113,8 @@ pub fn usage(binary: &str, with_addr: bool) -> String {
         "usage: {binary} [--preset NAME] [--scale F] [--seed N] \
          [--edges FILE --locations FILE] [--threads N] [--warm K1,K2] \
          [--shards N] [--slow-query-micros N] [--slowlog-capacity N] \
-         [--trace-sample-every N] [--no-members] [--no-timing]{addr}"
+         [--trace-sample-every N] [--wal-dir DIR] [--wal-sync always|never|N] \
+         [--checkpoint-every N] [--no-members] [--no-timing]{addr}"
     )
 }
 
@@ -186,6 +198,17 @@ pub fn parse_args(args: &[String], with_addr: bool) -> Result<ServeOptions, Stri
                         .map_err(|_| "--trace-sample-every must be a non-negative integer")?,
                 );
             }
+            "--wal-dir" => opts.wal_dir = Some(value("--wal-dir")?),
+            "--wal-sync" => {
+                let policy = value("--wal-sync")?;
+                opts.wal_sync = SyncPolicy::parse(&policy)
+                    .ok_or_else(|| format!("bad --wal-sync value '{policy}'"))?;
+            }
+            "--checkpoint-every" => {
+                opts.checkpoint_every = value("--checkpoint-every")?
+                    .parse::<u64>()
+                    .map_err(|_| "--checkpoint-every must be a non-negative integer")?;
+            }
             "--addr" if with_addr => opts.addr = value("--addr")?,
             "--max-body" if with_addr => {
                 opts.max_body_bytes = value("--max-body")?
@@ -243,16 +266,8 @@ impl ServeOptions {
         }
     }
 
-    /// Builds the graph, warms the requested indexes and stands up the
-    /// protocol service.
-    pub fn build_service(&self) -> Result<SacService, String> {
-        let graph = self.build_graph()?;
-        eprintln!(
-            "snapshot ready ({} vertices, {} edges), {} worker threads",
-            graph.num_vertices(),
-            graph.num_edges(),
-            self.threads
-        );
+    /// The engine configuration these options describe.
+    pub fn engine_config(&self) -> EngineConfig {
         let mut config = EngineConfig {
             shards: self.shards,
             ..EngineConfig::default()
@@ -266,7 +281,65 @@ impl ServeOptions {
         if let Some(every) = self.trace_sample_every {
             config.trace_sample_every = every;
         }
-        let engine = Arc::new(SacEngine::with_config(Arc::new(graph), config));
+        config
+    }
+
+    /// The durability configuration these options describe (`None` without
+    /// `--wal-dir`).
+    pub fn durability(&self) -> Option<Durability> {
+        self.wal_dir.as_ref().map(|dir| Durability {
+            dir: dir.into(),
+            sync: self.wal_sync,
+            checkpoint_every: self.checkpoint_every,
+        })
+    }
+
+    /// Builds the graph (or recovers it from the WAL directory), warms the
+    /// requested indexes and stands up the protocol service.
+    pub fn build_service(&self) -> Result<SacService, String> {
+        let config = self.engine_config();
+        let live = match self.durability() {
+            Some(durability) if sac_wal::has_state(&durability.dir) => {
+                // Prior WAL state wins over the dataset flags: boot replays
+                // snapshot + log back to the pre-crash epoch.
+                let (live, report) = LiveEngine::recover(durability, config)
+                    .map_err(|e| format!("WAL recovery failed: {e}"))?;
+                eprintln!(
+                    "recovered epoch {} from WAL (snapshot epoch {}, {} records / {} \
+                     mutations replayed, {} torn bytes truncated, clean_shutdown={}) \
+                     in {}us",
+                    report.epoch,
+                    report.snapshot_epoch,
+                    report.records_replayed,
+                    report.mutations_replayed,
+                    report.truncated_bytes,
+                    report.clean_shutdown,
+                    report.micros
+                );
+                live
+            }
+            durability => {
+                let graph = self.build_graph()?;
+                eprintln!(
+                    "snapshot ready ({} vertices, {} edges), {} worker threads",
+                    graph.num_vertices(),
+                    graph.num_edges(),
+                    self.threads
+                );
+                let engine = Arc::new(SacEngine::with_config(Arc::new(graph), config));
+                match durability {
+                    None => LiveEngine::new(engine),
+                    Some(durability) => {
+                        let dir = durability.dir.clone();
+                        let live = LiveEngine::with_durability(engine, durability)
+                            .map_err(|e| format!("failed to open WAL: {e}"))?;
+                        eprintln!("WAL enabled under {}", dir.display());
+                        live
+                    }
+                }
+            }
+        };
+        let engine = live.engine();
         if engine.shard_count() > 0 {
             eprintln!("serving {} spatial shards", engine.shard_count());
         }
@@ -274,7 +347,7 @@ impl ServeOptions {
             engine.warm(&self.warm);
             eprintln!("warmed k-core indexes for k = {:?}", self.warm);
         }
-        Ok(SacService::new(engine, self.service_config()))
+        Ok(SacService::with_live(live, self.service_config()))
     }
 }
 
@@ -356,6 +429,30 @@ mod tests {
         assert!(parse_args(&args(&["--slowlog-capacity", "0"]), false).is_err());
         assert!(parse_args(&args(&["--trace-sample-every", "x"]), false).is_err());
         assert!(parse_args(&args(&["--scale", "2"]), false).is_err());
+        // Durability flags parse on both binaries.
+        let opts = parse_args(
+            &args(&[
+                "--wal-dir",
+                "/tmp/wal",
+                "--wal-sync",
+                "8",
+                "--checkpoint-every",
+                "100",
+            ]),
+            false,
+        )
+        .unwrap();
+        assert_eq!(opts.wal_dir.as_deref(), Some("/tmp/wal"));
+        assert_eq!(opts.wal_sync, SyncPolicy::EveryN(8));
+        assert_eq!(opts.checkpoint_every, 100);
+        let durability = opts.durability().unwrap();
+        assert_eq!(durability.sync, SyncPolicy::EveryN(8));
+        assert_eq!(durability.checkpoint_every, 100);
+        let opts = parse_args(&args(&["--wal-sync", "never"]), true).unwrap();
+        assert_eq!(opts.wal_sync, SyncPolicy::Never);
+        assert!(opts.durability().is_none(), "no --wal-dir, no durability");
+        assert!(parse_args(&args(&["--wal-sync", "sometimes"]), false).is_err());
+        assert!(parse_args(&args(&["--checkpoint-every", "x"]), false).is_err());
         assert!(parse_args(&args(&["--edges", "a.txt"]), false).is_err());
         assert_eq!(parse_args(&args(&["--help"]), false).unwrap_err(), "");
         assert!(usage("sac-http", true).contains("--addr"));

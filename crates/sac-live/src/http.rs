@@ -14,7 +14,7 @@
 //! | `GET /stats` | shorthand for `{"cmd":"stats"}` |
 //! | `GET /metrics` | Prometheus text exposition (`{"cmd":"metrics"}` carries the same text as JSON) |
 //! | `GET /events?since=N` | structured event-log page from cursor `N` (shorthand for `{"cmd":"events","since":N}`) |
-//! | `GET /healthz` | liveness probe: `{"ok":true,"epoch":…,"shards":…,"uptime_secs":…}` |
+//! | `GET /healthz` | liveness probe: `{"ok":true,"epoch":…,"shards":…,"uptime_secs":…}` (plus a `wal` object when durability is on) |
 //!
 //! A `{"cmd":"quit"}` document closes the connection (the server keeps
 //! accepting new ones); transport-level problems (unknown route, missing
@@ -404,8 +404,17 @@ pub fn handle_connection_with(
             ("GET", "/healthz") => {
                 let engine = service.engine();
                 let shards = engine.shard_map().map_or(0, |m| m.num_shards());
+                // The WAL section appends after the historical fields so the
+                // no-durability body stays byte-identical.
+                let wal = service.live().wal_stats().map_or(String::new(), |w| {
+                    format!(
+                        ",\"wal\":{{\"segments\":{},\"log_bytes\":{},\
+                         \"last_checkpoint_epoch\":{}}}",
+                        w.segments, w.log_bytes, w.last_checkpoint_epoch,
+                    )
+                });
                 let body = format!(
-                    "{{\"ok\":true,\"epoch\":{},\"shards\":{shards},\"uptime_secs\":{}}}\n",
+                    "{{\"ok\":true,\"epoch\":{},\"shards\":{shards},\"uptime_secs\":{}{wal}}}\n",
                     engine.epoch(),
                     service.uptime_secs(),
                 );

@@ -40,7 +40,13 @@
 //!   engine's shared `sac-obs` registry, so `GET /metrics` (Prometheus text)
 //!   and the `{"cmd":"metrics"}` / `{"cmd":"slowlog"}` protocol commands
 //!   expose the whole serving stack; `GET /stats` and `/healthz` report
-//!   epoch, shard count and process uptime.
+//!   epoch, shard count, process uptime and durability state.
+//! * **Durability** — with a [`Durability`] config every commit appends its
+//!   delta record to a `sac-wal` write-ahead log *before* the epoch swap,
+//!   checkpoints serialize the current epoch and truncate older segments,
+//!   and [`LiveEngine::recover`] replays snapshot + log to a state
+//!   bit-identical to the pre-crash epoch (core numbers, shard layout,
+//!   query answers — pinned by the crash-recovery property suite).
 //!
 //! ## Example
 //!
@@ -70,11 +76,14 @@
 
 pub mod cli;
 mod delta;
+mod durability;
 pub mod http;
 pub mod ldjson;
 mod live;
 mod service;
 
 pub use delta::{GraphDelta, Mutation};
+pub use durability::{CheckpointReport, CommitError, Durability, RecoveryReport, WalStats};
 pub use live::{BatchApplyReport, CommitReport, LiveEngine};
+pub use sac_wal::SyncPolicy;
 pub use service::{SacService, ServiceConfig};

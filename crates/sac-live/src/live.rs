@@ -1,13 +1,17 @@
 //! The live-update handle: a mutable write front over a [`SacEngine`].
 
 use crate::delta::{GraphDelta, Mutation};
-use sac_engine::SacEngine;
+use crate::durability::{
+    wal_ops, CheckpointReport, CommitError, Durability, RecoveryReport, WalObs, WalState, WalStats,
+};
+use sac_engine::{EngineConfig, SacEngine};
 use sac_geom::Point;
 use sac_graph::{
-    BatchChange, BatchOp, BatchStrategy, DynamicGraph, EdgeChange, GraphError, ShardMap,
-    SpatialGraph, VertexId,
+    BatchChange, BatchOp, BatchStrategy, CoreDecomposition, DynamicGraph, EdgeChange, GraphError,
+    ShardMap, SpatialGraph, VertexId,
 };
 use sac_obs::{Counter, Histogram, Span};
+use sac_wal::{DeltaRecord, SnapshotFrame, WalError, WalOp, WalWriter};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -204,6 +208,10 @@ pub struct LiveEngine {
     map: Option<Arc<ShardMap>>,
     front: Mutex<WriteFront>,
     obs: LiveObs,
+    /// Durability state (`None` without a WAL).  Lock order: `front` before
+    /// `wal` — the commit path appends under both so records and epoch swaps
+    /// stay in lockstep, and checkpoints quiesce commits via `front`.
+    wal: Mutex<Option<WalState>>,
 }
 
 impl LiveEngine {
@@ -230,7 +238,270 @@ impl LiveEngine {
                 cores_changed: 0,
                 dirty_shards: vec![false; shard_count],
             }),
+            wal: Mutex::new(None),
         }
+    }
+
+    /// A write front with durability: every commit is logged to the WAL under
+    /// `config.dir` before it publishes, and checkpoints run on the
+    /// configured cadence.  A fresh directory gets an initial checkpoint of
+    /// the current epoch so recovery always has a base snapshot; a directory
+    /// holding previous state should go through [`LiveEngine::recover`]
+    /// instead.
+    pub fn with_durability(
+        engine: Arc<SacEngine>,
+        config: Durability,
+    ) -> Result<LiveEngine, WalError> {
+        let live = LiveEngine::new(engine);
+        live.attach_wal(config, None)?;
+        Ok(live)
+    }
+
+    /// Rebuilds a live engine from the durable state under `config.dir`:
+    /// loads the newest snapshot, replays every WAL record past its epoch
+    /// (torn tail truncated unless a clean-shutdown marker vouches for the
+    /// log; any other anomaly is a hard error), and restores the serialized
+    /// shard partition.  The recovered engine is **bit-identical** to the
+    /// pre-crash epoch: core numbers, shard layout and query answers all
+    /// match, which the crash-recovery property test pins.
+    pub fn recover(
+        config: Durability,
+        engine_config: EngineConfig,
+    ) -> Result<(LiveEngine, RecoveryReport), WalError> {
+        let start = Instant::now();
+        let Some((snapshot_epoch, snapshot_path)) = sac_wal::latest_snapshot(&config.dir)? else {
+            return Err(WalError::NoSnapshot(config.dir.clone()));
+        };
+        let image = sac_wal::read_snapshot(&snapshot_path)?;
+        let clean_epoch = sac_wal::read_clean_marker(&config.dir);
+        let log = sac_wal::read_log(&config.dir, clean_epoch.is_none())?;
+
+        // Replay through the same incremental maintenance the live path uses.
+        let decomposition = CoreDecomposition::from_core_numbers(image.core_numbers);
+        let mut dynamic = DynamicGraph::from_parts(&image.graph, &decomposition);
+        let mut positions = image.positions;
+        let mut epoch = snapshot_epoch;
+        let mut records_replayed = 0u64;
+        let mut mutations_replayed = 0u64;
+        for record in &log.records {
+            if record.epoch <= snapshot_epoch {
+                continue; // superseded by the snapshot
+            }
+            if record.epoch != epoch + 1 {
+                return Err(WalError::EpochGap {
+                    expected: epoch + 1,
+                    found: record.epoch,
+                });
+            }
+            for op in &record.ops {
+                match *op {
+                    WalOp::InsertEdge(u, v) => {
+                        dynamic.insert_edge(u, v).map_err(WalError::Graph)?;
+                    }
+                    WalOp::RemoveEdge(u, v) => {
+                        dynamic.remove_edge(u, v).map_err(WalError::Graph)?;
+                    }
+                    WalOp::AddVertex(x, y) => {
+                        dynamic.add_vertex();
+                        positions.push(Point::new(x, y));
+                    }
+                    WalOp::MoveVertex(v, x, y) => {
+                        if v as usize >= positions.len() {
+                            return Err(WalError::Graph(GraphError::VertexOutOfRange(v)));
+                        }
+                        positions[v as usize] = Point::new(x, y);
+                    }
+                }
+                mutations_replayed += 1;
+            }
+            epoch = record.epoch;
+            records_replayed += 1;
+        }
+
+        let snapshot = SpatialGraph::new(dynamic.to_graph(), positions).map_err(WalError::Graph)?;
+        let map = image.map.map(Arc::new);
+        let engine = Arc::new(SacEngine::restored(
+            Arc::new(snapshot),
+            engine_config,
+            map,
+            epoch,
+        ));
+        let live = LiveEngine::new(Arc::clone(&engine));
+        live.attach_wal(config, Some(snapshot_epoch))?;
+        let report = RecoveryReport {
+            snapshot_epoch,
+            epoch,
+            records_replayed,
+            mutations_replayed,
+            truncated_bytes: log.truncated_bytes,
+            clean_shutdown: clean_epoch.is_some(),
+            micros: start.elapsed().as_micros() as u64,
+        };
+        if engine.observing() {
+            engine.events().publish(
+                "recovery",
+                format!(
+                    "snapshot_epoch={} epoch={} records={} mutations={} truncated_bytes={} clean={}",
+                    report.snapshot_epoch,
+                    report.epoch,
+                    report.records_replayed,
+                    report.mutations_replayed,
+                    report.truncated_bytes,
+                    report.clean_shutdown
+                ),
+            );
+        }
+        Ok((live, report))
+    }
+
+    /// Opens the log for appending and installs the WAL state.  On a fresh
+    /// directory (no snapshot yet), writes the base checkpoint.
+    fn attach_wal(&self, config: Durability, restored_from: Option<u64>) -> Result<(), WalError> {
+        let writer = WalWriter::open(&config.dir, config.sync)?;
+        let first_live_segment = sac_wal::list_segments(&config.dir)?
+            .first()
+            .copied()
+            .unwrap_or_else(|| writer.segment());
+        let shard_count = self.map.as_ref().map_or(0, |m| m.num_shards());
+        let fresh = restored_from.is_none() && sac_wal::latest_snapshot(&config.dir)?.is_none();
+        let state = WalState {
+            writer,
+            config,
+            obs: WalObs::new(&self.engine),
+            commits_since_checkpoint: 0,
+            last_checkpoint_epoch: restored_from.unwrap_or(0),
+            last_checkpoint_vertices: usize::MAX,
+            frames: Vec::new(),
+            dirty_since_checkpoint: vec![true; shard_count],
+            appended_records: 0,
+            appended_bytes: 0,
+            first_live_segment,
+        };
+        let mut guard = self.wal.lock().expect("wal state poisoned");
+        *guard = Some(state);
+        if fresh {
+            self.run_checkpoint(guard.as_mut().expect("just installed"))?;
+        }
+        Ok(())
+    }
+
+    /// Serializes the current epoch into a snapshot file, rotates the log,
+    /// and deletes every segment strictly older than the new active one.
+    /// Shard frames untouched since the previous checkpoint are reused
+    /// verbatim.  Errors when durability is disabled.
+    pub fn checkpoint(&self) -> Result<CheckpointReport, WalError> {
+        // Quiesce commits so the snapshot and the segment cut are one
+        // consistent point in the epoch sequence.
+        let _front = self.front.lock().expect("write front poisoned");
+        let mut guard = self.wal.lock().expect("wal state poisoned");
+        let wal = guard.as_mut().ok_or(WalError::Disabled)?;
+        self.run_checkpoint(wal)
+    }
+
+    /// Checkpoint body; the caller holds the locks that serialize commits.
+    fn run_checkpoint(&self, wal: &mut WalState) -> Result<CheckpointReport, WalError> {
+        let start = Instant::now();
+        let snapshot = self.engine.snapshot();
+        let decomposition = self.engine.decomposition();
+        let epoch = self.engine.epoch();
+        let graph = snapshot.graph();
+        let positions = snapshot.positions();
+        let map = self.map.as_deref();
+        let n = graph.num_vertices();
+        let expected = map.map_or(1, |m| m.num_shards());
+        let full = wal.last_checkpoint_vertices != n || wal.frames.len() != expected;
+        let mut frames_encoded = 0u32;
+        let mut frames_reused = 0u32;
+        let frames: Vec<SnapshotFrame> = if full {
+            frames_encoded = expected as u32;
+            sac_wal::encode_frames(graph, positions, map)
+        } else {
+            (0..expected)
+                .map(|s| {
+                    let dirty = wal.dirty_since_checkpoint.get(s).copied().unwrap_or(true);
+                    if dirty {
+                        frames_encoded += 1;
+                        sac_wal::encode_frame(graph, positions, map, s as u32)
+                    } else {
+                        frames_reused += 1;
+                        wal.frames[s].clone()
+                    }
+                })
+                .collect()
+        };
+        let snapshot_bytes = sac_wal::write_snapshot(
+            &wal.config.dir,
+            epoch,
+            positions,
+            decomposition.core_numbers(),
+            map,
+            &frames,
+        )?;
+        // All records in pre-rotation segments carry epochs <= the snapshot's
+        // (commits are serialized with this checkpoint), so everything below
+        // the fresh segment is superseded.
+        wal.writer.rotate()?;
+        let segments_removed = wal.writer.remove_segments_below(wal.writer.segment())?;
+        sac_wal::remove_snapshots_below(&wal.config.dir, epoch)?;
+        wal.frames = frames;
+        wal.last_checkpoint_vertices = n;
+        wal.first_live_segment = wal.writer.segment();
+        let report = CheckpointReport {
+            epoch,
+            snapshot_bytes,
+            frames_encoded,
+            frames_reused,
+            segments_removed,
+            segment: wal.writer.segment(),
+            micros: start.elapsed().as_micros() as u64,
+        };
+        wal.note_checkpoint(&report, 1);
+        if self.engine.observing() {
+            self.engine.events().publish(
+                "checkpoint",
+                format!(
+                    "epoch={} bytes={} frames_encoded={} frames_reused={} segments_removed={}",
+                    report.epoch,
+                    report.snapshot_bytes,
+                    report.frames_encoded,
+                    report.frames_reused,
+                    report.segments_removed
+                ),
+            );
+        }
+        Ok(report)
+    }
+
+    /// Flushes and fsyncs the WAL and writes the clean-shutdown marker, so
+    /// the next boot can skip torn-tail scanning.  Returns `false` (and does
+    /// nothing) when durability is disabled.  Mutations still buffered in
+    /// the write front are *not* committed — uncommitted work is volatile by
+    /// design.
+    pub fn shutdown_flush(&self) -> Result<bool, WalError> {
+        let _front = self.front.lock().expect("write front poisoned");
+        let mut guard = self.wal.lock().expect("wal state poisoned");
+        let Some(wal) = guard.as_mut() else {
+            return Ok(false);
+        };
+        wal.writer.sync()?;
+        sac_wal::write_clean_marker(&wal.config.dir, self.engine.epoch())?;
+        Ok(true)
+    }
+
+    /// A point-in-time view of the WAL (`None` when durability is disabled).
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        let guard = self.wal.lock().expect("wal state poisoned");
+        let wal = guard.as_ref()?;
+        let dir = sac_wal::scan_dir(&wal.config.dir).unwrap_or_default();
+        Some(WalStats {
+            dir: wal.config.dir.clone(),
+            sync: wal.config.sync,
+            segments: dir.segments,
+            log_bytes: dir.log_bytes,
+            snapshot_bytes: dir.snapshot_bytes,
+            last_checkpoint_epoch: wal.last_checkpoint_epoch,
+            appended_records: wal.appended_records,
+        })
     }
 
     /// The engine this handle publishes into.
@@ -401,7 +672,13 @@ impl LiveEngine {
     /// engine carries over every cached per-`k` component index the delta did
     /// not touch.  An empty delta publishes nothing and reports the current
     /// epoch.
-    pub fn commit(&self) -> Result<CommitReport, GraphError> {
+    ///
+    /// With durability enabled, the delta's record is appended to the WAL
+    /// (and fsynced per the [`sac_wal::SyncPolicy`]) **before** the epoch
+    /// swap: a crash after the append replays the commit, a crash before it
+    /// loses only what was never acknowledged.  A WAL append failure leaves
+    /// the mutations buffered and publishes nothing.
+    pub fn commit(&self) -> Result<CommitReport, CommitError> {
         let mut front = self.front.lock().expect("write front poisoned");
         if front.delta.is_empty() {
             return Ok(CommitReport {
@@ -437,6 +714,26 @@ impl LiveEngine {
         // Clean shards (no mutation touched their coverage) carry their
         // induced snapshot across the epoch swap; only dirty ones rebuild.
         let dirty_shards = std::mem::take(&mut front.dirty_shards);
+        // Write-ahead: the record must be on the log (durable per policy)
+        // before the epoch swap makes the commit visible.  The wal lock is
+        // held across the publish so a concurrent checkpoint can never cut
+        // the log between this record and its epoch.
+        let mut wal_guard = self.wal.lock().expect("wal state poisoned");
+        if let Some(wal) = wal_guard.as_mut() {
+            let record = DeltaRecord {
+                epoch: self.engine.epoch() + 1,
+                ops: wal_ops(&front.delta),
+            };
+            match wal.writer.append(&record) {
+                Ok(info) => wal.note_append(&info, &dirty_shards),
+                Err(e) => {
+                    // Nothing published: restore the dirty flags so a retry
+                    // still rebuilds the right shards.
+                    front.dirty_shards = dirty_shards;
+                    return Err(CommitError::Wal(e.into()));
+                }
+            }
+        }
         let report = self.engine.publish_update(
             Arc::new(snapshot),
             decomposition,
@@ -455,6 +752,14 @@ impl LiveEngine {
             self.obs
                 .dirty_shards
                 .add(dirty_shards.iter().filter(|&&d| d).count() as u64);
+        }
+        if let Some(wal) = wal_guard.as_mut() {
+            wal.commits_since_checkpoint += 1;
+            if wal.config.checkpoint_every > 0
+                && wal.commits_since_checkpoint >= wal.config.checkpoint_every
+            {
+                self.run_checkpoint(wal).map_err(CommitError::Wal)?;
+            }
         }
         Ok(CommitReport {
             epoch: report.epoch,

@@ -12,8 +12,8 @@ use sac_engine::SacEngine;
 use sac_obs::TraceNode;
 use sac_obs::{Counter, Histogram, Span};
 use sac_proto::{
-    CommitReply, CoreReply, EncodeOptions, EventsReply, MutationReply, ProtoRequest, ProtoResponse,
-    QueryReply, SlowLogReply, StatsReply, VertexReply,
+    CheckpointReply, CommitReply, CoreReply, EncodeOptions, EventsReply, MutationReply,
+    ProtoRequest, ProtoResponse, QueryReply, SlowLogReply, StatsReply, VertexReply, WalStatsReply,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -246,6 +246,14 @@ impl SacService {
                     self.live.pending(),
                 );
                 reply.uptime_secs = Some(self.uptime_secs());
+                reply.wal = self.live.wal_stats().map(|w| WalStatsReply {
+                    sync: w.sync.to_string(),
+                    segments: w.segments,
+                    log_bytes: w.log_bytes,
+                    snapshot_bytes: w.snapshot_bytes,
+                    last_checkpoint_epoch: w.last_checkpoint_epoch,
+                    appended_records: w.appended_records,
+                });
                 ProtoResponse::Stats(reply)
             }
             ProtoRequest::Metrics => ProtoResponse::Metrics {
@@ -346,6 +354,17 @@ impl SacService {
                                 )),
                             )
                     }),
+                }),
+            },
+            ProtoRequest::Checkpoint => match self.live.checkpoint() {
+                Err(e) => ProtoResponse::error(e.to_string()),
+                Ok(report) => ProtoResponse::Checkpoint(CheckpointReply {
+                    epoch: report.epoch,
+                    snapshot_bytes: report.snapshot_bytes,
+                    frames_encoded: report.frames_encoded,
+                    frames_reused: report.frames_reused,
+                    segments_removed: report.segments_removed,
+                    micros: Some(report.micros),
                 }),
             },
             ProtoRequest::Events { since } => {
@@ -569,6 +588,52 @@ mod tests {
             .handle_line(&format!(r#"{{"q":{},"k":2,"trace":true}}"#, figure3::Q))
             .unwrap();
         assert!(line.contains(r#""trace":{"name":"query""#), "got: {line}");
+    }
+
+    #[test]
+    fn checkpoint_and_wal_stats_round_trip_over_the_wire() {
+        // Without durability the admin command is a typed error and stats
+        // stay byte-identical to the historical layout (no `wal` object).
+        let service = service();
+        let err = service.handle_line(r#"{"cmd":"checkpoint"}"#).unwrap();
+        assert!(err.contains(r#""ok":false"#), "got: {err}");
+        let stats = service.handle_line(r#"{"cmd":"stats"}"#).unwrap();
+        assert!(!stats.contains(r#""wal""#), "got: {stats}");
+
+        let dir = std::env::temp_dir().join(format!(
+            "sac-service-wal-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let live = LiveEngine::with_durability(
+            Arc::new(SacEngine::new(figure3_graph())),
+            crate::Durability::new(&dir),
+        )
+        .unwrap();
+        let service = SacService::with_live(live, ServiceConfig::default());
+        service
+            .handle(&ProtoRequest::AddEdge {
+                u: figure3::I,
+                v: figure3::F,
+            })
+            .unwrap();
+        let commit = service.handle_line(r#"{"cmd":"commit"}"#).unwrap();
+        assert!(commit.contains(r#""epoch":2"#), "got: {commit}");
+        let line = service.handle_line(r#"{"cmd":"checkpoint"}"#).unwrap();
+        assert!(line.contains(r#""ok":true"#), "got: {line}");
+        assert!(line.contains(r#""epoch":2"#), "got: {line}");
+        assert!(line.contains(r#""snapshot_bytes":"#), "got: {line}");
+        let stats = service.handle_line(r#"{"cmd":"stats"}"#).unwrap();
+        assert!(
+            stats.contains(r#""wal":{"sync":"always","segments":1"#),
+            "got: {stats}"
+        );
+        assert!(
+            stats.contains(r#""last_checkpoint_epoch":2"#),
+            "got: {stats}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -50,7 +50,7 @@ mod wire;
 
 pub use transport::TransportError;
 pub use wire::{
-    CommitReply, CoreReply, EncodeOptions, EventsReply, LatencyStatsReply, MutationReply,
-    ProtoError, ProtoRequest, ProtoResponse, QueryReply, QueryResult, QuerySpec, ShardStatsReply,
-    SlowLogReply, StatsReply, VertexReply,
+    CheckpointReply, CommitReply, CoreReply, EncodeOptions, EventsReply, LatencyStatsReply,
+    MutationReply, ProtoError, ProtoRequest, ProtoResponse, QueryReply, QueryResult, QuerySpec,
+    ShardStatsReply, SlowLogReply, StatsReply, VertexReply, WalStatsReply,
 };

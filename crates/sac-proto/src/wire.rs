@@ -236,6 +236,10 @@ pub enum ProtoRequest {
         /// (`"trace":true`; rides the wire only when timing is encoded).
         trace: bool,
     },
+    /// Admin: force a snapshot checkpoint of the served epoch and truncate
+    /// log segments the snapshot covers (errors when the engine runs
+    /// without durability).
+    Checkpoint,
     /// End the session.
     Quit,
 }
@@ -295,6 +299,7 @@ impl ProtoRequest {
                 };
                 Ok(ProtoRequest::Commit { trace })
             }
+            "checkpoint" => Ok(ProtoRequest::Checkpoint),
             "warm" => {
                 let ks = value
                     .get("ks")
@@ -647,6 +652,40 @@ impl LatencyStatsReply {
     }
 }
 
+/// The WAL section of a `stats` reply (present only when the engine runs
+/// with durability enabled).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WalStatsReply {
+    /// Configured sync policy, rendered (`always`, `never`, `every_n`).
+    pub sync: String,
+    /// Live log segment files on disk.
+    pub segments: u64,
+    /// Bytes across segment files.
+    pub log_bytes: u64,
+    /// Bytes across snapshot files.
+    pub snapshot_bytes: u64,
+    /// Epoch captured by the newest snapshot checkpoint.
+    pub last_checkpoint_epoch: u64,
+    /// Records appended since this process opened the log.
+    pub appended_records: u64,
+}
+
+impl WalStatsReply {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("sync", Json::Str(self.sync.clone())),
+            ("segments", Json::Num(self.segments as f64)),
+            ("log_bytes", Json::Num(self.log_bytes as f64)),
+            ("snapshot_bytes", Json::Num(self.snapshot_bytes as f64)),
+            (
+                "last_checkpoint_epoch",
+                Json::Num(self.last_checkpoint_epoch as f64),
+            ),
+            ("appended_records", Json::Num(self.appended_records as f64)),
+        ])
+    }
+}
+
 /// The typed reply to a `stats` command.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StatsReply {
@@ -701,6 +740,9 @@ pub struct StatsReply {
     pub windowed_tier_latency: Vec<LatencyStatsReply>,
     /// Wall-clock span the windowed summaries cover, in microseconds.
     pub window_span_micros: u64,
+    /// Write-ahead-log facts (`None` when the engine runs without
+    /// durability; the `wal` object is then omitted from the wire encoding).
+    pub wal: Option<WalStatsReply>,
 }
 
 impl StatsReply {
@@ -758,6 +800,7 @@ impl StatsReply {
                 .map(LatencyStatsReply::from_stats)
                 .collect(),
             window_span_micros: stats.window_span_micros,
+            wal: None,
         }
     }
 
@@ -788,6 +831,9 @@ impl StatsReply {
                         .collect(),
                 ),
             ));
+        }
+        if let Some(wal) = &self.wal {
+            fields.push(("wal", wal.to_json()));
         }
         // Latency summaries and uptime are wall-clock facts: they follow the
         // `timing` determinism switch exactly like per-query `micros`.
@@ -909,6 +955,24 @@ pub struct CommitReply {
     /// Stage-level commit trace (`Some` only when the request asked for one;
     /// encoded only under `timing: true`).
     pub trace: Option<TraceNode>,
+}
+
+/// The typed reply to a `checkpoint` admin command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointReply {
+    /// Epoch the snapshot captured.
+    pub epoch: u64,
+    /// Snapshot bytes written.
+    pub snapshot_bytes: u64,
+    /// Shard frames re-encoded for this snapshot.
+    pub frames_encoded: u32,
+    /// Shard frames reused verbatim from the previous checkpoint.
+    pub frames_reused: u32,
+    /// Log segments deleted (their records are covered by the snapshot).
+    pub segments_removed: u64,
+    /// Checkpoint wall-clock cost in microseconds (`None` under
+    /// `timing: false`).
+    pub micros: Option<u64>,
 }
 
 /// The typed reply to a `slowlog` command: a snapshot of the engine's
@@ -1045,6 +1109,8 @@ pub enum ProtoResponse {
     Vertex(VertexReply),
     /// Reply to `commit`.
     Commit(CommitReply),
+    /// Reply to `checkpoint`.
+    Checkpoint(CheckpointReply),
     /// Reply to `warm`.
     Warmed {
         /// Number of `k` values warmed.
@@ -1124,6 +1190,22 @@ impl ProtoResponse {
                     }
                     if let Some(trace) = &c.trace {
                         fields.push(("trace", trace_node_to_json(trace)));
+                    }
+                }
+                obj(fields)
+            }
+            ProtoResponse::Checkpoint(c) => {
+                let mut fields = vec![
+                    ("ok", Json::Bool(true)),
+                    ("epoch", Json::Num(c.epoch as f64)),
+                    ("snapshot_bytes", Json::Num(c.snapshot_bytes as f64)),
+                    ("frames_encoded", Json::Num(c.frames_encoded as f64)),
+                    ("frames_reused", Json::Num(c.frames_reused as f64)),
+                    ("segments_removed", Json::Num(c.segments_removed as f64)),
+                ];
+                if options.timing {
+                    if let Some(micros) = c.micros {
+                        fields.push(("micros", Json::Num(micros as f64)));
                     }
                 }
                 obj(fields)
@@ -1325,6 +1407,54 @@ mod tests {
     }
 
     #[test]
+    fn wal_stats_and_checkpoint_replies_encode() {
+        let timing = EncodeOptions::default();
+        let no_timing = EncodeOptions {
+            members: true,
+            timing: false,
+        };
+
+        // No durability: the stats encoding has no `wal` object at all.
+        let line = ProtoResponse::Stats(StatsReply::default()).encode_line(timing);
+        assert!(!line.contains(r#""wal""#), "got: {line}");
+
+        let stats = StatsReply {
+            wal: Some(WalStatsReply {
+                sync: "always".to_string(),
+                segments: 2,
+                log_bytes: 4096,
+                snapshot_bytes: 1024,
+                last_checkpoint_epoch: 7,
+                appended_records: 31,
+            }),
+            ..StatsReply::default()
+        };
+        let line = ProtoResponse::Stats(stats).encode_line(timing);
+        assert!(
+            line.contains(
+                r#""wal":{"sync":"always","segments":2,"log_bytes":4096,"snapshot_bytes":1024,"last_checkpoint_epoch":7,"appended_records":31}"#
+            ),
+            "got: {line}"
+        );
+
+        let reply = CheckpointReply {
+            epoch: 9,
+            snapshot_bytes: 2048,
+            frames_encoded: 3,
+            frames_reused: 1,
+            segments_removed: 2,
+            micros: Some(1234),
+        };
+        let line = ProtoResponse::Checkpoint(reply).encode_line(timing);
+        assert_eq!(
+            line,
+            r#"{"ok":true,"epoch":9,"snapshot_bytes":2048,"frames_encoded":3,"frames_reused":1,"segments_removed":2,"micros":1234}"#
+        );
+        let line = ProtoResponse::Checkpoint(reply).encode_line(no_timing);
+        assert!(!line.contains("micros"), "got: {line}");
+    }
+
+    #[test]
     fn observability_replies_honour_the_timing_switch() {
         let timing = EncodeOptions::default();
         let no_timing = EncodeOptions {
@@ -1442,6 +1572,10 @@ mod tests {
         assert_eq!(
             ProtoRequest::parse_line(r#"{"cmd":"commit","trace":true}"#).unwrap(),
             ProtoRequest::Commit { trace: true }
+        );
+        assert_eq!(
+            ProtoRequest::parse_line(r#"{"cmd":"checkpoint"}"#).unwrap(),
+            ProtoRequest::Checkpoint
         );
         let ProtoRequest::Query(spec) =
             ProtoRequest::parse_line(r#"{"q":1,"k":2,"trace":true}"#).unwrap()

@@ -1,0 +1,511 @@
+//! Segmented write-ahead log: append-only segment files with monotone ids,
+//! an explicit fsync policy, torn-tail-tolerant reading, and a
+//! clean-shutdown marker that lets a boot skip tail scanning entirely.
+//!
+//! Segment files are named `wal-<id:020>.log`; ids only grow.  A checkpoint
+//! rotates to a fresh segment and deletes every strictly older one, so the
+//! live set is always a contiguous id range whose records postdate (or are
+//! superseded by) the newest snapshot.
+
+use crate::crc::crc32;
+use crate::record::{DeltaRecord, FRAME_HEADER_BYTES, MAX_RECORD_PAYLOAD};
+use crate::WalError;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const SEGMENT_PREFIX: &str = "wal-";
+const SEGMENT_SUFFIX: &str = ".log";
+const CLEAN_MARKER: &str = "CLEAN";
+
+/// Default segment size before the writer rotates (4 MiB).
+pub const DEFAULT_SEGMENT_BYTES: u64 = 4 << 20;
+
+/// When the writer calls `fsync` after appending a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// fsync after every commit: no committed record is ever lost, at the
+    /// cost of one disk flush per commit.
+    Always,
+    /// fsync every `n` commits: bounds loss to the last `n-1` commits.
+    EveryN(u64),
+    /// Never fsync from the append path (the OS flushes eventually):
+    /// fastest, loses an unbounded tail on power failure.  Clean shutdown
+    /// still flushes.
+    Never,
+}
+
+impl SyncPolicy {
+    /// Parses a CLI spelling: `always`, `never`, or a positive integer `n`
+    /// meaning every-`n`-commits.
+    pub fn parse(s: &str) -> Option<SyncPolicy> {
+        match s {
+            "always" => Some(SyncPolicy::Always),
+            "never" => Some(SyncPolicy::Never),
+            _ => match s.parse::<u64>() {
+                Ok(n) if n >= 1 => Some(SyncPolicy::EveryN(n)),
+                _ => None,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for SyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyncPolicy::Always => write!(f, "always"),
+            SyncPolicy::EveryN(n) => write!(f, "{n}"),
+            SyncPolicy::Never => write!(f, "never"),
+        }
+    }
+}
+
+/// Path of segment `id` under `dir`.
+pub fn segment_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("{SEGMENT_PREFIX}{id:020}{SEGMENT_SUFFIX}"))
+}
+
+/// Sorted ids of the segment files present in `dir`.
+pub fn list_segments(dir: &Path) -> std::io::Result<Vec<u64>> {
+    let mut ids = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(id) = name
+            .strip_prefix(SEGMENT_PREFIX)
+            .and_then(|s| s.strip_suffix(SEGMENT_SUFFIX))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            ids.push(id);
+        }
+    }
+    ids.sort_unstable();
+    Ok(ids)
+}
+
+/// Writes the clean-shutdown marker recording `epoch`, fsynced, so the next
+/// boot knows the log tail is complete and skips torn-tail scanning.
+pub fn write_clean_marker(dir: &Path, epoch: u64) -> std::io::Result<()> {
+    let path = dir.join(CLEAN_MARKER);
+    let mut f = File::create(&path)?;
+    f.write_all(format!("epoch={epoch}\n").as_bytes())?;
+    f.sync_all()
+}
+
+/// Epoch recorded by the clean-shutdown marker, if present and well-formed.
+pub fn read_clean_marker(dir: &Path) -> Option<u64> {
+    let text = fs::read_to_string(dir.join(CLEAN_MARKER)).ok()?;
+    text.trim().strip_prefix("epoch=")?.parse().ok()
+}
+
+/// Removes the clean-shutdown marker (done whenever the log is reopened for
+/// writing: the marker only vouches for a closed log).
+pub fn clear_clean_marker(dir: &Path) -> std::io::Result<()> {
+    match fs::remove_file(dir.join(CLEAN_MARKER)) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Facts about one append, reported back so the caller (the live engine's
+/// durability layer) can feed metrics without `sac-wal` depending on the
+/// observability crate.
+#[derive(Debug, Clone, Copy)]
+pub struct AppendInfo {
+    /// Frame bytes written (header + payload).
+    pub bytes: u64,
+    /// Whether this append ran `fsync`.
+    pub synced: bool,
+    /// Wall-clock microseconds the `fsync` took (0 when not synced).
+    pub sync_micros: u64,
+    /// Segment the record landed in.
+    pub segment: u64,
+}
+
+/// Appending side of the log: owns the active segment file, rotates at a
+/// size threshold, and applies the [`SyncPolicy`].
+#[derive(Debug)]
+pub struct WalWriter {
+    dir: PathBuf,
+    file: File,
+    segment: u64,
+    segment_bytes: u64,
+    max_segment_bytes: u64,
+    policy: SyncPolicy,
+    appends_since_sync: u64,
+}
+
+impl WalWriter {
+    /// Opens (or creates) the log under `dir` for appending: continues in
+    /// the highest existing segment, or starts segment 1.  Clears any
+    /// clean-shutdown marker — the log is live again.
+    pub fn open(dir: &Path, policy: SyncPolicy) -> std::io::Result<WalWriter> {
+        fs::create_dir_all(dir)?;
+        clear_clean_marker(dir)?;
+        let segment = list_segments(dir)?.last().copied().unwrap_or(0).max(1);
+        let path = segment_path(dir, segment);
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let segment_bytes = file.metadata()?.len();
+        Ok(WalWriter {
+            dir: dir.to_path_buf(),
+            file,
+            segment,
+            segment_bytes,
+            max_segment_bytes: DEFAULT_SEGMENT_BYTES,
+            policy,
+            appends_since_sync: 0,
+        })
+    }
+
+    /// Overrides the rotation threshold (useful for tests and benches).
+    pub fn set_max_segment_bytes(&mut self, bytes: u64) {
+        self.max_segment_bytes = bytes.max(1);
+    }
+
+    /// Id of the active segment.
+    pub fn segment(&self) -> u64 {
+        self.segment
+    }
+
+    /// The configured sync policy.
+    pub fn policy(&self) -> SyncPolicy {
+        self.policy
+    }
+
+    /// Directory the log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one record, rotating first if the active segment would exceed
+    /// the size threshold, then fsyncs according to the policy.
+    pub fn append(&mut self, record: &DeltaRecord) -> std::io::Result<AppendInfo> {
+        let frame = record.encode();
+        if self.segment_bytes > 0
+            && self.segment_bytes + frame.len() as u64 > self.max_segment_bytes
+        {
+            self.rotate()?;
+        }
+        self.file.write_all(&frame)?;
+        self.segment_bytes += frame.len() as u64;
+        self.appends_since_sync += 1;
+        let due = match self.policy {
+            SyncPolicy::Always => true,
+            SyncPolicy::EveryN(n) => self.appends_since_sync >= n,
+            SyncPolicy::Never => false,
+        };
+        let mut sync_micros = 0;
+        if due {
+            sync_micros = self.sync()?;
+        }
+        Ok(AppendInfo {
+            bytes: frame.len() as u64,
+            synced: due,
+            sync_micros,
+            segment: self.segment,
+        })
+    }
+
+    /// Forces an fsync of the active segment; returns the microseconds it
+    /// took.
+    pub fn sync(&mut self) -> std::io::Result<u64> {
+        let start = Instant::now();
+        self.file.sync_data()?;
+        self.appends_since_sync = 0;
+        Ok(start.elapsed().as_micros() as u64)
+    }
+
+    /// Finishes the active segment (fsync) and starts the next one.
+    pub fn rotate(&mut self) -> std::io::Result<u64> {
+        self.file.sync_data()?;
+        self.segment += 1;
+        let path = segment_path(&self.dir, self.segment);
+        self.file = OpenOptions::new().create(true).append(true).open(&path)?;
+        self.segment_bytes = 0;
+        self.appends_since_sync = 0;
+        Ok(self.segment)
+    }
+
+    /// Deletes every segment with id strictly below `floor`; returns how
+    /// many were removed.  Called after a checkpoint: all their records are
+    /// covered by the snapshot.
+    pub fn remove_segments_below(&mut self, floor: u64) -> std::io::Result<u64> {
+        let mut removed = 0;
+        for id in list_segments(&self.dir)? {
+            if id < floor && id != self.segment {
+                fs::remove_file(segment_path(&self.dir, id))?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+/// The decoded contents of a log directory, plus replay bookkeeping.
+#[derive(Debug)]
+pub struct ReplayLog {
+    /// All records across all segments, in append order.
+    pub records: Vec<DeltaRecord>,
+    /// Segment ids that were read, ascending.
+    pub segments: Vec<u64>,
+    /// Total record bytes read (after any tail truncation).
+    pub bytes: u64,
+    /// Bytes of torn tail truncated from the last segment (0 on a clean
+    /// log).
+    pub truncated_bytes: u64,
+    /// Per-record `(segment id, end offset within segment)` — the crash
+    /// points the recovery property test cuts the log at.
+    pub boundaries: Vec<(u64, u64)>,
+}
+
+/// Reads every record under `dir`.
+///
+/// With `tolerate_torn_tail`, an incomplete final record in the **last**
+/// segment (a crash mid-append) is truncated away on open and reported in
+/// [`ReplayLog::truncated_bytes`].  A checksum mismatch on a complete frame,
+/// or any anomaly in a non-final segment, is a hard [`WalError::Corrupt`] —
+/// silent data loss is never an option there.  Without tolerance (a
+/// clean-shutdown marker vouched for the tail), any anomaly is corruption.
+pub fn read_log(dir: &Path, tolerate_torn_tail: bool) -> Result<ReplayLog, WalError> {
+    let segments = list_segments(dir)?;
+    let mut out = ReplayLog {
+        records: Vec::new(),
+        segments: segments.clone(),
+        bytes: 0,
+        truncated_bytes: 0,
+        boundaries: Vec::new(),
+    };
+    for (i, &seg) in segments.iter().enumerate() {
+        let last = i + 1 == segments.len();
+        let path = segment_path(dir, seg);
+        let mut buf = Vec::new();
+        File::open(&path)?.read_to_end(&mut buf)?;
+        let mut pos = 0usize;
+        loop {
+            let remaining = buf.len() - pos;
+            if remaining == 0 {
+                break;
+            }
+            let torn = |detail: &str| -> Result<usize, WalError> {
+                if last && tolerate_torn_tail {
+                    Ok(pos)
+                } else {
+                    Err(WalError::Corrupt {
+                        segment: seg,
+                        offset: pos as u64,
+                        detail: detail.to_string(),
+                    })
+                }
+            };
+            if remaining < FRAME_HEADER_BYTES {
+                let cut = torn("incomplete frame header at tail")?;
+                truncate_segment(&path, cut as u64)?;
+                out.truncated_bytes += (buf.len() - cut) as u64;
+                break;
+            }
+            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
+            let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+            if len > MAX_RECORD_PAYLOAD {
+                return Err(WalError::Corrupt {
+                    segment: seg,
+                    offset: pos as u64,
+                    detail: format!("implausible record length {len}"),
+                });
+            }
+            let len = len as usize;
+            if remaining < FRAME_HEADER_BYTES + len {
+                let cut = torn("incomplete record payload at tail")?;
+                truncate_segment(&path, cut as u64)?;
+                out.truncated_bytes += (buf.len() - cut) as u64;
+                break;
+            }
+            let payload = &buf[pos + FRAME_HEADER_BYTES..pos + FRAME_HEADER_BYTES + len];
+            if crc32(payload) != crc {
+                // A complete frame with a bad checksum is bit rot or an
+                // out-of-order write, never a simple torn tail.
+                return Err(WalError::Corrupt {
+                    segment: seg,
+                    offset: pos as u64,
+                    detail: "record checksum mismatch".to_string(),
+                });
+            }
+            let record = DeltaRecord::decode_payload(payload, seg, pos as u64)?;
+            pos += FRAME_HEADER_BYTES + len;
+            out.bytes += (FRAME_HEADER_BYTES + len) as u64;
+            out.boundaries.push((seg, pos as u64));
+            out.records.push(record);
+        }
+    }
+    Ok(out)
+}
+
+fn truncate_segment(path: &Path, len: u64) -> std::io::Result<()> {
+    let f = OpenOptions::new().write(true).open(path)?;
+    f.set_len(len)?;
+    f.sync_data()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::WalOp;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("sac-wal-{tag}-{}-{n}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn rec(epoch: u64, ops: Vec<WalOp>) -> DeltaRecord {
+        DeltaRecord { epoch, ops }
+    }
+
+    #[test]
+    fn append_and_read_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let mut w = WalWriter::open(&dir, SyncPolicy::EveryN(2)).unwrap();
+        let r1 = rec(2, vec![WalOp::InsertEdge(0, 1)]);
+        let r2 = rec(3, vec![WalOp::AddVertex(1.5, 2.5), WalOp::InsertEdge(2, 3)]);
+        let i1 = w.append(&r1).unwrap();
+        assert!(!i1.synced);
+        let i2 = w.append(&r2).unwrap();
+        assert!(i2.synced);
+        let log = read_log(&dir, true).unwrap();
+        assert_eq!(log.records, vec![r1, r2]);
+        assert_eq!(log.truncated_bytes, 0);
+        assert_eq!(log.boundaries.len(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_then_reads_clean() {
+        let dir = temp_dir("torn");
+        let mut w = WalWriter::open(&dir, SyncPolicy::Never).unwrap();
+        let r1 = rec(2, vec![WalOp::InsertEdge(0, 1)]);
+        let r2 = rec(3, vec![WalOp::RemoveEdge(0, 1)]);
+        w.append(&r1).unwrap();
+        w.append(&r2).unwrap();
+        w.sync().unwrap();
+        let seg = segment_path(&dir, w.segment());
+        let full = fs::metadata(&seg).unwrap().len();
+        let torn = full - 3;
+        let f = OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(torn).unwrap();
+        drop(f);
+        let log = read_log(&dir, true).unwrap();
+        assert_eq!(log.records, vec![r1.clone()]);
+        assert!(log.truncated_bytes > 0);
+        // The torn bytes are gone from disk: a strict re-read succeeds.
+        let log2 = read_log(&dir, false).unwrap();
+        assert_eq!(log2.records, vec![r1]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_without_tolerance_is_corruption() {
+        let dir = temp_dir("strict");
+        let mut w = WalWriter::open(&dir, SyncPolicy::Never).unwrap();
+        w.append(&rec(2, vec![WalOp::InsertEdge(0, 1)])).unwrap();
+        w.sync().unwrap();
+        let seg = segment_path(&dir, w.segment());
+        let full = fs::metadata(&seg).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .unwrap()
+            .set_len(full - 1)
+            .unwrap();
+        assert!(matches!(
+            read_log(&dir, false),
+            Err(WalError::Corrupt { .. })
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flipped_byte_is_hard_corruption() {
+        let dir = temp_dir("flip");
+        let mut w = WalWriter::open(&dir, SyncPolicy::Always).unwrap();
+        w.append(&rec(2, vec![WalOp::InsertEdge(0, 1)])).unwrap();
+        w.append(&rec(3, vec![WalOp::InsertEdge(1, 2)])).unwrap();
+        let seg = segment_path(&dir, w.segment());
+        let mut bytes = fs::read(&seg).unwrap();
+        // Flip a payload byte of the *first* record: a complete frame with a
+        // bad checksum, which must be a hard error even with tail tolerance.
+        // (A flip inside the final record's length prefix can be
+        // indistinguishable from a torn tail; that ambiguity is inherent and
+        // resolved in favour of truncation only at the very tail.)
+        bytes[FRAME_HEADER_BYTES + 2] ^= 0x40;
+        fs::write(&seg, &bytes).unwrap();
+        assert!(matches!(
+            read_log(&dir, true),
+            Err(WalError::Corrupt { .. })
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_and_truncation() {
+        let dir = temp_dir("rotate");
+        let mut w = WalWriter::open(&dir, SyncPolicy::Never).unwrap();
+        w.set_max_segment_bytes(64);
+        for e in 0..20u64 {
+            w.append(&rec(e + 2, vec![WalOp::InsertEdge(e as u32, e as u32 + 1)]))
+                .unwrap();
+        }
+        w.sync().unwrap();
+        let segs = list_segments(&dir).unwrap();
+        assert!(segs.len() > 1, "expected rotation, got {segs:?}");
+        let log = read_log(&dir, true).unwrap();
+        assert_eq!(log.records.len(), 20);
+        // Checkpoint-style truncation: rotate, drop everything older.
+        let active = w.rotate().unwrap();
+        let removed = w.remove_segments_below(active).unwrap();
+        assert_eq!(removed as usize, segs.len());
+        assert_eq!(list_segments(&dir).unwrap(), vec![active]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn writer_continues_highest_segment() {
+        let dir = temp_dir("reopen");
+        let mut w = WalWriter::open(&dir, SyncPolicy::Always).unwrap();
+        w.append(&rec(2, vec![WalOp::InsertEdge(0, 1)])).unwrap();
+        w.rotate().unwrap();
+        let seg = w.segment();
+        w.append(&rec(3, vec![WalOp::InsertEdge(1, 2)])).unwrap();
+        drop(w);
+        let w2 = WalWriter::open(&dir, SyncPolicy::Always).unwrap();
+        assert_eq!(w2.segment(), seg);
+        let log = read_log(&dir, true).unwrap();
+        assert_eq!(log.records.len(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clean_marker_lifecycle() {
+        let dir = temp_dir("marker");
+        fs::create_dir_all(&dir).unwrap();
+        write_clean_marker(&dir, 17).unwrap();
+        assert_eq!(read_clean_marker(&dir), Some(17));
+        // Reopening for writing invalidates the marker.
+        let _w = WalWriter::open(&dir, SyncPolicy::Never).unwrap();
+        assert_eq!(read_clean_marker(&dir), None);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sync_policy_parsing() {
+        assert_eq!(SyncPolicy::parse("always"), Some(SyncPolicy::Always));
+        assert_eq!(SyncPolicy::parse("never"), Some(SyncPolicy::Never));
+        assert_eq!(SyncPolicy::parse("8"), Some(SyncPolicy::EveryN(8)));
+        assert_eq!(SyncPolicy::parse("0"), None);
+        assert_eq!(SyncPolicy::parse("sometimes"), None);
+    }
+}

@@ -1,0 +1,92 @@
+//! Minimal SIGINT/SIGTERM shutdown hook (self-pipe pattern, no external
+//! crates): the signal handler writes one byte to a pipe, a watcher thread
+//! blocks on the read end and runs the registered callback, then exits the
+//! process.  The serving binaries use this to flush the WAL and write the
+//! clean-shutdown marker before dying.
+//!
+//! This is the only module in the workspace's durability path that needs
+//! `unsafe` (raw libc `signal`/`pipe`/`read`/`write`); the handler itself
+//! only performs async-signal-safe operations (an atomic load and a `write`
+//! syscall).
+
+/// Installs a process-wide SIGINT/SIGTERM hook running `callback` once, then
+/// exiting with status 0.  Returns `false` (and installs nothing) when the
+/// platform has no signal support or the hook was already installed.
+#[cfg(unix)]
+pub fn on_shutdown(callback: Box<dyn FnOnce() + Send>) -> bool {
+    imp::on_shutdown(callback)
+}
+
+/// Non-Unix fallback: no signal hook; returns `false`.
+#[cfg(not(unix))]
+pub fn on_shutdown(_callback: Box<dyn FnOnce() + Send>) -> bool {
+    false
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
+
+    #[allow(unsafe_code)]
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn pipe(fds: *mut i32) -> i32;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    static WRITE_FD: AtomicI32 = AtomicI32::new(-1);
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_sig: i32) {
+        // Async-signal-safe: atomic load + write(2).  The watcher thread does
+        // the real work.
+        let fd = WRITE_FD.load(Ordering::SeqCst);
+        if fd >= 0 {
+            #[allow(unsafe_code)]
+            unsafe {
+                let _ = write(fd, b"x".as_ptr(), 1);
+            }
+        }
+    }
+
+    pub fn on_shutdown(callback: Box<dyn FnOnce() + Send>) -> bool {
+        if INSTALLED.swap(true, Ordering::SeqCst) {
+            return false;
+        }
+        let mut fds = [-1i32; 2];
+        #[allow(unsafe_code)]
+        let rc = unsafe { pipe(fds.as_mut_ptr()) };
+        if rc != 0 {
+            INSTALLED.store(false, Ordering::SeqCst);
+            return false;
+        }
+        WRITE_FD.store(fds[1], Ordering::SeqCst);
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        #[allow(unsafe_code)]
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+        let read_fd = fds[0];
+        std::thread::Builder::new()
+            .name("sac-wal-shutdown".to_string())
+            .spawn(move || {
+                let mut byte = [0u8; 1];
+                loop {
+                    #[allow(unsafe_code)]
+                    let n = unsafe { read(read_fd, byte.as_mut_ptr(), 1) };
+                    if n != -1 {
+                        break;
+                    }
+                    // Interrupted read (EINTR): retry.
+                }
+                callback();
+                std::process::exit(0);
+            })
+            .is_ok()
+    }
+}
