@@ -803,6 +803,33 @@ impl SacEngine {
         dirty_up_to: u32,
         dirty_shards: Option<&[bool]>,
     ) -> PublishReport {
+        self.publish_at(graph, decomposition, dirty_up_to, dirty_shards, None)
+    }
+
+    /// Publishes `graph` directly as epoch `epoch`, which must exceed the
+    /// currently served epoch.  The replication path uses this when a
+    /// replica re-bootstraps from a shipped snapshot whose epoch is ahead of
+    /// the replica's applied epoch (the intervening delta records were
+    /// truncated by a primary checkpoint, so the replica cannot step through
+    /// them).  Every cache entry is dropped and every shard snapshot is
+    /// rebuilt — nothing from the old epoch can be trusted across the jump.
+    pub fn publish_restored(
+        &self,
+        graph: Arc<SpatialGraph>,
+        decomposition: CoreDecomposition,
+        epoch: u64,
+    ) -> PublishReport {
+        self.publish_at(graph, decomposition, u32::MAX, None, Some(epoch))
+    }
+
+    fn publish_at(
+        &self,
+        graph: Arc<SpatialGraph>,
+        decomposition: CoreDecomposition,
+        dirty_up_to: u32,
+        dirty_shards: Option<&[bool]>,
+        number: Option<u64>,
+    ) -> PublishReport {
         assert_eq!(
             decomposition.core_numbers().len(),
             graph.num_vertices(),
@@ -825,7 +852,12 @@ impl SacEngine {
                 keep
             })
             .collect();
-        let next_number = previous.number + 1;
+        let next_number = number.unwrap_or(previous.number + 1);
+        assert!(
+            next_number > previous.number,
+            "published epoch {next_number} must exceed the served epoch {}",
+            previous.number
+        );
         let mut shards_rebuilt = 0u32;
         let mut shards_carried = 0u32;
         let rebuild_span = if self.obs.enabled {
@@ -882,12 +914,11 @@ impl SacEngine {
         // plain `Copy` value that is never left half-written, and wedging
         // every future publish (and the stats/metrics endpoints) on a dead
         // worker's panic would turn one bad query into a stuck server.
-        let retired = {
+        {
             let mut acc = self.retired_cache.lock().unwrap_or_else(|e| e.into_inner());
             let retired = self.epoch.swap(Arc::new(next));
             *acc = add_cache_stats(*acc, retired.cache.stats());
-            retired
-        };
+        }
         let swap_micros = swap_span.finish();
         self.epochs_published.fetch_add(1, Ordering::Relaxed);
         self.components_carried
@@ -898,14 +929,13 @@ impl SacEngine {
             self.obs.events.publish(
                 "epoch_swap",
                 format!(
-                    "epoch={} carried={carried} invalidated={invalidated} \
-                     shards_rebuilt={shards_rebuilt} shards_carried={shards_carried}",
-                    retired.number + 1
+                    "epoch={next_number} carried={carried} invalidated={invalidated} \
+                     shards_rebuilt={shards_rebuilt} shards_carried={shards_carried}"
                 ),
             );
         }
         PublishReport {
-            epoch: retired.number + 1,
+            epoch: next_number,
             components_carried: carried,
             components_invalidated: invalidated,
             shards_rebuilt,

@@ -6,15 +6,17 @@
 //! ```text
 //! sac-http [OPTIONS]
 //!
-//! Graph source, serving and durability options: identical to sac-serve
-//! (including `--wal-dir`/`--wal-sync`/`--checkpoint-every`), plus
+//! Graph source, serving, durability and replication options: identical to
+//! sac-serve (including `--wal-dir`/`--wal-sync`/`--checkpoint-every` and
+//! `--ship-addr`/`--replicate-from`/`--staleness-ms`/`--fault-inject`), plus
 //!   --addr <host:port>   listener address (default: 127.0.0.1:7878)
 //!
 //! Routes:
 //!   POST /api            body = one protocol JSON document
 //!   GET  /stats          shorthand for {"cmd":"stats"}
 //!   GET  /metrics        Prometheus text exposition of the whole stack
-//!   GET  /healthz        liveness probe (epoch, shards, uptime, WAL state)
+//!   GET  /healthz        liveness probe (epoch, shards, uptime, WAL and
+//!                        replication state; "degraded" on a stale replica)
 //!
 //! With `--wal-dir`, SIGINT/SIGTERM flush the log and write a
 //! clean-shutdown marker before the process exits.

@@ -31,6 +31,22 @@
 //!                        snapshot checkpoint cadence in commits
 //!                        (default: 64; 0 = manual `checkpoint` command only)
 //!
+//! Replication:
+//!   --ship-addr <host:port>
+//!                        ship the WAL to read replicas on this address
+//!                        (requires --wal-dir)
+//!   --replicate-from <host:port>
+//!                        boot as a read replica of this primary: bootstrap
+//!                        from its snapshot, tail its log, serve reads at
+//!                        the applied epoch (mutations get a redirect;
+//!                        conflicts with --wal-dir)
+//!   --staleness-ms <n>   degrade health after this long without primary
+//!                        contact (default: 3000)
+//!   --fault-inject <spec>
+//!                        inject replication-link faults, e.g.
+//!                        seed=7,drop=0.1,dup=0.05,corrupt=0.05,
+//!                        truncate=0.02,delay=0.1:5 (testing)
+//!
 //! Protocol: one JSON document per input line (see the `sac-proto` crate
 //! docs); every non-blank input line produces exactly one output line.
 //! Mutations maintain the k-core structure incrementally; `commit` swaps in a

@@ -3,7 +3,8 @@
 //! address for the HTTP front end.
 
 use crate::http::HttpConfig;
-use crate::{Durability, LiveEngine, SacService, ServiceConfig, SyncPolicy};
+use crate::replication::{spawn_shipper, Replica, ReplicaConfig, ShipConfig};
+use crate::{Durability, FaultPlan, LiveEngine, SacService, ServiceConfig, SyncPolicy};
 use sac_data::{DatasetKind, DatasetSpec};
 use sac_engine::{EngineConfig, SacEngine};
 use sac_graph::io::load_spatial_graph;
@@ -52,6 +53,17 @@ pub struct ServeOptions {
     pub wal_sync: SyncPolicy,
     /// Automatic checkpoint cadence in commits (`0` = manual only).
     pub checkpoint_every: u64,
+    /// Boot as a read replica of this primary shipping address
+    /// (conflicts with `--wal-dir`: a replica has no local WAL).
+    pub replicate_from: Option<String>,
+    /// Address the primary ships its WAL on (requires `--wal-dir`).
+    pub ship_addr: Option<String>,
+    /// Replica staleness threshold in milliseconds: without primary
+    /// contact for longer, `/healthz` reports `degraded`.
+    pub staleness_ms: u64,
+    /// Replication-link fault injection plan (testing; also settable via
+    /// the `SAC_REPL_FAULTS` environment variable).
+    pub faults: Option<FaultPlan>,
     /// Listener address (`sac-http` only).
     pub addr: String,
     /// Largest HTTP request body accepted, in bytes (`sac-http` only).
@@ -80,6 +92,10 @@ impl Default for ServeOptions {
             wal_dir: None,
             wal_sync: SyncPolicy::Always,
             checkpoint_every: 64,
+            replicate_from: None,
+            ship_addr: None,
+            staleness_ms: 3000,
+            faults: None,
             addr: "127.0.0.1:7878".to_string(),
             max_body_bytes: HttpConfig::default().max_body_bytes,
             read_timeout_ms: HttpConfig::default()
@@ -114,7 +130,9 @@ pub fn usage(binary: &str, with_addr: bool) -> String {
          [--edges FILE --locations FILE] [--threads N] [--warm K1,K2] \
          [--shards N] [--slow-query-micros N] [--slowlog-capacity N] \
          [--trace-sample-every N] [--wal-dir DIR] [--wal-sync always|never|N] \
-         [--checkpoint-every N] [--no-members] [--no-timing]{addr}"
+         [--checkpoint-every N] [--ship-addr HOST:PORT] \
+         [--replicate-from HOST:PORT] [--staleness-ms N] [--fault-inject SPEC] \
+         [--no-members] [--no-timing]{addr}"
     )
 }
 
@@ -209,6 +227,20 @@ pub fn parse_args(args: &[String], with_addr: bool) -> Result<ServeOptions, Stri
                     .parse::<u64>()
                     .map_err(|_| "--checkpoint-every must be a non-negative integer")?;
             }
+            "--replicate-from" => opts.replicate_from = Some(value("--replicate-from")?),
+            "--ship-addr" => opts.ship_addr = Some(value("--ship-addr")?),
+            "--staleness-ms" => {
+                opts.staleness_ms = value("--staleness-ms")?
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|ms| *ms >= 1)
+                    .ok_or("--staleness-ms must be a positive integer")?;
+            }
+            "--fault-inject" => {
+                let spec = value("--fault-inject")?;
+                opts.faults =
+                    Some(FaultPlan::parse(&spec).map_err(|e| format!("bad --fault-inject: {e}"))?);
+            }
             "--addr" if with_addr => opts.addr = value("--addr")?,
             "--max-body" if with_addr => {
                 opts.max_body_bytes = value("--max-body")?
@@ -228,6 +260,16 @@ pub fn parse_args(args: &[String], with_addr: bool) -> Result<ServeOptions, Stri
     }
     if opts.edges.is_some() != opts.locations.is_some() {
         return Err("--edges and --locations must be given together".into());
+    }
+    if opts.replicate_from.is_some() && opts.wal_dir.is_some() {
+        return Err(
+            "--replicate-from conflicts with --wal-dir: a replica tails the \
+                    primary's log instead of keeping its own"
+                .into(),
+        );
+    }
+    if opts.ship_addr.is_some() && opts.wal_dir.is_none() {
+        return Err("--ship-addr requires --wal-dir (the shipped log)".into());
     }
     Ok(opts)
 }
@@ -294,10 +336,36 @@ impl ServeOptions {
         })
     }
 
+    /// The replication fault plan: the `--fault-inject` flag, falling back
+    /// to the `SAC_REPL_FAULTS` environment variable.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.faults.or_else(FaultPlan::from_env)
+    }
+
     /// Builds the graph (or recovers it from the WAL directory), warms the
-    /// requested indexes and stands up the protocol service.
+    /// requested indexes and stands up the protocol service.  With
+    /// `--replicate-from` the service fronts a read replica instead; with
+    /// `--ship-addr` the WAL-shipping endpoint is spawned alongside.
     pub fn build_service(&self) -> Result<SacService, String> {
         let config = self.engine_config();
+        if let Some(primary) = &self.replicate_from {
+            let mut replica_config = ReplicaConfig::new(primary.clone());
+            replica_config.staleness = Duration::from_millis(self.staleness_ms);
+            replica_config.engine = config;
+            replica_config.faults = self.fault_plan();
+            let replica = Replica::boot(replica_config)
+                .map_err(|e| format!("replica bootstrap from {primary} failed: {e}"))?;
+            eprintln!(
+                "replica bootstrapped from {primary} at epoch {}",
+                replica.status().applied_epoch()
+            );
+            let engine = replica.engine();
+            if !self.warm.is_empty() {
+                engine.warm(&self.warm);
+                eprintln!("warmed k-core indexes for k = {:?}", self.warm);
+            }
+            return Ok(SacService::for_replica(&replica, self.service_config()));
+        }
         let live = match self.durability() {
             Some(durability) if sac_wal::has_state(&durability.dir) => {
                 // Prior WAL state wins over the dataset flags: boot replays
@@ -346,6 +414,20 @@ impl ServeOptions {
         if !self.warm.is_empty() {
             engine.warm(&self.warm);
             eprintln!("warmed k-core indexes for k = {:?}", self.warm);
+        }
+        if let Some(ship_addr) = &self.ship_addr {
+            let durability = self
+                .durability()
+                .expect("parse_args enforces --ship-addr requires --wal-dir");
+            let listener = std::net::TcpListener::bind(ship_addr)
+                .map_err(|e| format!("cannot bind shipping address {ship_addr}: {e}"))?;
+            let ship_config = ShipConfig {
+                faults: self.fault_plan(),
+                ..ShipConfig::default()
+            };
+            let handle = spawn_shipper(listener, durability.dir, Arc::clone(engine), ship_config)
+                .map_err(|e| format!("cannot start WAL shipper: {e}"))?;
+            eprintln!("shipping WAL to replicas on {}", handle.addr());
         }
         Ok(SacService::with_live(live, self.service_config()))
     }
@@ -454,6 +536,42 @@ mod tests {
         assert!(parse_args(&args(&["--wal-sync", "sometimes"]), false).is_err());
         assert!(parse_args(&args(&["--checkpoint-every", "x"]), false).is_err());
         assert!(parse_args(&args(&["--edges", "a.txt"]), false).is_err());
+        // Replication flags.
+        let opts = parse_args(
+            &args(&[
+                "--wal-dir",
+                "/tmp/wal",
+                "--ship-addr",
+                "127.0.0.1:7900",
+                "--fault-inject",
+                "seed=3,drop=0.1",
+            ]),
+            false,
+        )
+        .unwrap();
+        assert_eq!(opts.ship_addr.as_deref(), Some("127.0.0.1:7900"));
+        assert_eq!(opts.fault_plan().unwrap().drop, 0.1);
+        let opts = parse_args(
+            &args(&[
+                "--replicate-from",
+                "127.0.0.1:7900",
+                "--staleness-ms",
+                "500",
+            ]),
+            false,
+        )
+        .unwrap();
+        assert_eq!(opts.replicate_from.as_deref(), Some("127.0.0.1:7900"));
+        assert_eq!(opts.staleness_ms, 500);
+        // A replica keeps no local WAL; a shipper needs one.
+        assert!(parse_args(
+            &args(&["--replicate-from", "a:1", "--wal-dir", "/tmp/w"]),
+            false
+        )
+        .is_err());
+        assert!(parse_args(&args(&["--ship-addr", "a:1"]), false).is_err());
+        assert!(parse_args(&args(&["--staleness-ms", "0"]), false).is_err());
+        assert!(parse_args(&args(&["--fault-inject", "nope=1"]), false).is_err());
         assert_eq!(parse_args(&args(&["--help"]), false).unwrap_err(), "");
         assert!(usage("sac-http", true).contains("--addr"));
         assert!(!usage("sac-serve", false).contains("--addr"));

@@ -137,6 +137,13 @@ pub struct WalStats {
     pub last_checkpoint_epoch: u64,
     /// Records appended since this process opened the log.
     pub appended_records: u64,
+    /// Epoch of the served (durably applied) state — the point a replication
+    /// follower of this node would converge to.
+    pub last_applied_epoch: u64,
+    /// Segment id of the WAL tail (where the next record lands).
+    pub tail_segment: u64,
+    /// Byte offset of the WAL tail within `tail_segment`.
+    pub tail_offset: u64,
 }
 
 /// Pre-bound WAL instruments in the engine's shared registry.

@@ -14,7 +14,7 @@
 //! | `GET /stats` | shorthand for `{"cmd":"stats"}` |
 //! | `GET /metrics` | Prometheus text exposition (`{"cmd":"metrics"}` carries the same text as JSON) |
 //! | `GET /events?since=N` | structured event-log page from cursor `N` (shorthand for `{"cmd":"events","since":N}`) |
-//! | `GET /healthz` | liveness probe: `{"ok":true,"epoch":…,"shards":…,"uptime_secs":…}` (plus a `wal` object when durability is on) |
+//! | `GET /healthz` | liveness probe: `{"ok":true,"epoch":…,"shards":…,"uptime_secs":…}` (plus a `wal` object when durability is on, and a `replication` object + `"status":"ok"|"degraded"` on replicas) |
 //!
 //! A `{"cmd":"quit"}` document closes the connection (the server keeps
 //! accepting new ones); transport-level problems (unknown route, missing
@@ -404,17 +404,30 @@ pub fn handle_connection_with(
             ("GET", "/healthz") => {
                 let engine = service.engine();
                 let shards = engine.shard_map().map_or(0, |m| m.num_shards());
-                // The WAL section appends after the historical fields so the
-                // no-durability body stays byte-identical.
+                // The WAL and replication sections append after the
+                // historical fields so earlier bodies stay byte-identical.
                 let wal = service.live().wal_stats().map_or(String::new(), |w| {
                     format!(
                         ",\"wal\":{{\"segments\":{},\"log_bytes\":{},\
-                         \"last_checkpoint_epoch\":{}}}",
-                        w.segments, w.log_bytes, w.last_checkpoint_epoch,
+                         \"last_checkpoint_epoch\":{},\"last_applied_epoch\":{},\
+                         \"tail_segment\":{},\"tail_offset\":{}}}",
+                        w.segments,
+                        w.log_bytes,
+                        w.last_checkpoint_epoch,
+                        w.last_applied_epoch,
+                        w.tail_segment,
+                        w.tail_offset,
+                    )
+                });
+                let replication = service.replica_status().map_or(String::new(), |status| {
+                    format!(
+                        ",\"replication\":{},\"status\":\"{}\"",
+                        status.stats_reply().to_json(),
+                        if status.degraded() { "degraded" } else { "ok" },
                     )
                 });
                 let body = format!(
-                    "{{\"ok\":true,\"epoch\":{},\"shards\":{shards},\"uptime_secs\":{}{wal}}}\n",
+                    "{{\"ok\":true,\"epoch\":{},\"shards\":{shards},\"uptime_secs\":{}{wal}{replication}}}\n",
                     engine.epoch(),
                     service.uptime_secs(),
                 );

@@ -47,6 +47,15 @@
 //!   and [`LiveEngine::recover`] replays snapshot + log to a state
 //!   bit-identical to the pre-crash epoch (core numbers, shard layout,
 //!   query answers — pinned by the crash-recovery property suite).
+//! * **Replication** — the WAL doubles as a replication stream:
+//!   [`spawn_shipper`] serves it over TCP with snapshot bootstrap and
+//!   offset-addressable resume, and a [`Replica`] tails it, applying commit
+//!   records through the recovery replay path to serve reads bit-identical
+//!   to the primary at every applied epoch.  [`RetryPolicy`]-driven
+//!   reconnects, deterministic [`FaultInjector`] link faults on either
+//!   side, and staleness-aware degradation ([`ReplicaStatus::degraded`])
+//!   make the link's failure modes first-class and rehearsable (see
+//!   [`replication`]).
 //!
 //! ## Example
 //!
@@ -77,13 +86,21 @@
 pub mod cli;
 mod delta;
 mod durability;
+mod fault;
 pub mod http;
 pub mod ldjson;
 mod live;
+pub mod replication;
+mod retry;
 mod service;
 
 pub use delta::{GraphDelta, Mutation};
 pub use durability::{CheckpointReport, CommitError, Durability, RecoveryReport, WalStats};
+pub use fault::{FaultAction, FaultInjector, FaultPlan};
 pub use live::{BatchApplyReport, CommitReport, LiveEngine};
+pub use replication::{
+    spawn_shipper, Replica, ReplicaConfig, ReplicaError, ReplicaStatus, ShipConfig, ShipHandle,
+};
+pub use retry::RetryPolicy;
 pub use sac_wal::SyncPolicy;
 pub use service::{SacService, ServiceConfig};

@@ -501,6 +501,9 @@ impl LiveEngine {
             snapshot_bytes: dir.snapshot_bytes,
             last_checkpoint_epoch: wal.last_checkpoint_epoch,
             appended_records: wal.appended_records,
+            last_applied_epoch: self.engine.epoch(),
+            tail_segment: wal.writer.segment(),
+            tail_offset: wal.writer.segment_offset(),
         })
     }
 

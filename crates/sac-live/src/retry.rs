@@ -1,0 +1,111 @@
+//! Reconnect policy for the replication link: capped exponential backoff
+//! with deterministic jitter and a per-attempt timeout.
+//!
+//! Jitter is derived from a seed and the attempt number (a splitmix64 hash,
+//! no global RNG), so a test that pins the seed gets the exact same backoff
+//! schedule every run — the replication proptest depends on that.
+
+use std::time::Duration;
+
+/// Backoff/timeout policy driving replication reconnects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Ceiling the exponential backoff saturates at.
+    pub max: Duration,
+    /// Growth factor per attempt (`delay = base * multiplier^attempt`).
+    pub multiplier: f64,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by a deterministic
+    /// factor drawn from `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Socket/handshake timeout for each individual attempt.
+    pub attempt_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base: Duration::from_millis(50),
+            max: Duration::from_secs(2),
+            multiplier: 2.0,
+            jitter: 0.2,
+            attempt_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (0-based), jittered
+    /// deterministically from `seed`.
+    pub fn delay(&self, attempt: u32, seed: u64) -> Duration {
+        let exp = self.multiplier.max(1.0).powi(attempt.min(63) as i32);
+        let raw = self.base.as_secs_f64() * exp;
+        let capped = raw.min(self.max.as_secs_f64());
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        // splitmix64 over (seed, attempt) → uniform in [0, 1).
+        let unit =
+            (splitmix64(seed ^ (u64::from(attempt) << 32)) >> 11) as f64 / (1u64 << 53) as f64;
+        let factor = 1.0 - jitter + 2.0 * jitter * unit;
+        Duration::from_secs_f64((capped * factor).max(0.0))
+    }
+}
+
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_saturates_and_stays_within_jitter_bounds() {
+        let policy = RetryPolicy::default();
+        let mut last = Duration::ZERO;
+        for attempt in 0..12 {
+            let d = policy.delay(attempt, 7);
+            let nominal = (policy.base.as_secs_f64() * 2f64.powi(attempt as i32))
+                .min(policy.max.as_secs_f64());
+            assert!(
+                d.as_secs_f64() >= nominal * 0.8 - 1e-9 && d.as_secs_f64() <= nominal * 1.2 + 1e-9,
+                "attempt {attempt}: {d:?} outside jitter band of {nominal}s"
+            );
+            // Even with jitter, capped growth keeps later delays from
+            // collapsing below much-earlier ones.
+            if attempt >= 2 {
+                assert!(
+                    d >= last / 4,
+                    "attempt {attempt} regressed: {d:?} < {last:?}/4"
+                );
+            }
+            last = d;
+        }
+        // Saturation: far-out attempts sit at the cap (± jitter).
+        let d = policy.delay(40, 7);
+        assert!(d >= policy.max.mul_f64(0.8) && d <= policy.max.mul_f64(1.2));
+    }
+
+    #[test]
+    fn delays_are_deterministic_per_seed() {
+        let policy = RetryPolicy::default();
+        for attempt in 0..8 {
+            assert_eq!(policy.delay(attempt, 42), policy.delay(attempt, 42));
+        }
+        assert_ne!(policy.delay(3, 1), policy.delay(3, 2));
+    }
+
+    #[test]
+    fn zero_jitter_is_exact() {
+        let policy = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(policy.delay(0, 9), policy.base);
+        assert_eq!(policy.delay(2, 9), policy.base * 4);
+        assert_eq!(policy.delay(63, 9), policy.max);
+    }
+}

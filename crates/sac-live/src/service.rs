@@ -7,6 +7,7 @@
 //! and encodes the returned [`ProtoResponse`](sac_proto::ProtoResponse) — the
 //! service owns *all* protocol semantics, so transports cannot drift apart.
 
+use crate::replication::{Replica, ReplicaStatus};
 use crate::LiveEngine;
 use sac_engine::SacEngine;
 use sac_obs::TraceNode;
@@ -144,6 +145,9 @@ pub struct SacService {
     /// Process-start clock for the `uptime_secs` fields of `stats` and
     /// `/healthz`.
     started: Instant,
+    /// Set on read replicas: mutation requests are answered with a typed
+    /// redirect to the primary instead of being applied.
+    replica: Option<Arc<ReplicaStatus>>,
 }
 
 impl SacService {
@@ -160,7 +164,23 @@ impl SacService {
             config,
             obs,
             started: Instant::now(),
+            replica: None,
         }
+    }
+
+    /// A read-only service over a booted [`Replica`]: queries run against
+    /// the replica's converging engine, mutations get a redirect to the
+    /// primary, and `stats`/`/healthz` report replication lag and health.
+    pub fn for_replica(replica: &Replica, config: ServiceConfig) -> Self {
+        let mut service =
+            SacService::with_live(LiveEngine::new(Arc::clone(replica.engine())), config);
+        service.replica = Some(Arc::clone(replica.status()));
+        service
+    }
+
+    /// The replication status when this service fronts a replica.
+    pub fn replica_status(&self) -> Option<&Arc<ReplicaStatus>> {
+        self.replica.as_ref()
     }
 
     /// The engine queries run against.
@@ -200,6 +220,24 @@ impl SacService {
     /// the session without a reply).
     pub fn handle(&self, request: &ProtoRequest) -> Option<ProtoResponse> {
         let engine = self.engine();
+        if let Some(status) = &self.replica {
+            // A replica's state is exactly the primary's log replayed; a
+            // local write would fork it.  Send writers where the WAL is.
+            if matches!(
+                request,
+                ProtoRequest::AddEdge { .. }
+                    | ProtoRequest::RemoveEdge { .. }
+                    | ProtoRequest::AddVertex { .. }
+                    | ProtoRequest::MoveVertex { .. }
+                    | ProtoRequest::Commit { .. }
+                    | ProtoRequest::Checkpoint
+            ) {
+                return Some(ProtoResponse::redirect(
+                    "read-only replica: mutations must go to the primary",
+                    status.primary(),
+                ));
+            }
+        }
         Some(match request {
             ProtoRequest::Quit => return None,
             ProtoRequest::Query(spec) => match spec.to_request(0) {
@@ -253,7 +291,11 @@ impl SacService {
                     snapshot_bytes: w.snapshot_bytes,
                     last_checkpoint_epoch: w.last_checkpoint_epoch,
                     appended_records: w.appended_records,
+                    last_applied_epoch: w.last_applied_epoch,
+                    tail_segment: w.tail_segment,
+                    tail_offset: w.tail_offset,
                 });
+                reply.replication = self.replica.as_ref().map(|status| status.stats_reply());
                 ProtoResponse::Stats(reply)
             }
             ProtoRequest::Metrics => ProtoResponse::Metrics {

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod replication;
 mod transport;
 mod wire;
 
@@ -52,5 +53,5 @@ pub use transport::TransportError;
 pub use wire::{
     CheckpointReply, CommitReply, CoreReply, EncodeOptions, EventsReply, LatencyStatsReply,
     MutationReply, ProtoError, ProtoRequest, ProtoResponse, QueryReply, QueryResult, QuerySpec,
-    ShardStatsReply, SlowLogReply, StatsReply, VertexReply, WalStatsReply,
+    ReplicationStatsReply, ShardStatsReply, SlowLogReply, StatsReply, VertexReply, WalStatsReply,
 };

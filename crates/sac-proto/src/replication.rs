@@ -1,0 +1,389 @@
+//! Replication wire protocol: the handshake and frame stream a replica uses
+//! to tail a primary's write-ahead log.
+//!
+//! The link is one TCP connection per attempt.  The replica opens with a
+//! single JSON line ([`ReplicateRequest`]) naming the log position it wants
+//! to resume from (or asking for a snapshot bootstrap); the primary answers
+//! with a single JSON line ([`ReplicateHello`]) and then switches to binary
+//! frames.  A snapshot hello is followed by the raw snapshot file bytes
+//! before the first frame.
+//!
+//! Binary frame layout (all integers little-endian):
+//!
+//! ```text
+//! record:    kind=1: u8 | segment: u64 | end_offset: u64
+//!                       | len: u32 | crc: u32 | payload (len bytes)
+//! heartbeat: kind=2: u8 | epoch: u64 | segment: u64 | offset: u64
+//! snapshot_required: kind=3: u8
+//! ```
+//!
+//! A record frame carries the on-disk WAL payload verbatim (the CRC is the
+//! stored one, covering the payload only), so the replica re-verifies the
+//! checksum end to end — a byte corrupted anywhere between the primary's
+//! disk and the replica's decoder is caught.  `(segment, end_offset)` is the
+//! resume position *after* the record, fed back on reconnect.  Heartbeats
+//! report the primary's served epoch and WAL tail so the replica can detect
+//! both staleness and silently lost frames.  `snapshot_required` tells the
+//! replica its position was truncated by a checkpoint: reconnect with
+//! `snapshot: true`.
+
+use crate::json::{obj, Json};
+use std::io::{Read, Write};
+
+/// Frame kind: one WAL record.
+pub const REPL_FRAME_RECORD: u8 = 1;
+/// Frame kind: heartbeat (primary epoch + WAL tail position).
+pub const REPL_FRAME_HEARTBEAT: u8 = 2;
+/// Frame kind: the requested position was truncated; re-bootstrap.
+pub const REPL_FRAME_SNAPSHOT_REQUIRED: u8 = 3;
+
+/// Upper bound on a record frame payload accepted off the wire (matches the
+/// WAL's own on-disk sanity bound).
+pub const REPL_MAX_PAYLOAD: u32 = 1 << 28;
+
+/// The replica's opening line: where to resume the stream from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicateRequest {
+    /// Segment of the resume position (ignored under `snapshot`).
+    pub segment: u64,
+    /// Byte offset within `segment` (ignored under `snapshot`).
+    pub offset: u64,
+    /// Ask for a full snapshot bootstrap instead of a log position (first
+    /// boot, or after `snapshot_required`).
+    pub snapshot: bool,
+}
+
+impl ReplicateRequest {
+    /// Encodes the request as one JSON line (no trailing newline).
+    pub fn encode_line(&self) -> String {
+        obj(vec![
+            ("cmd", Json::Str("replicate".to_string())),
+            ("segment", Json::Num(self.segment as f64)),
+            ("offset", Json::Num(self.offset as f64)),
+            ("snapshot", Json::Bool(self.snapshot)),
+        ])
+        .to_string()
+    }
+
+    /// Parses a request line; `None` when the line is not a well-formed
+    /// replicate request.
+    pub fn parse_line(line: &str) -> Option<ReplicateRequest> {
+        let json = Json::parse(line).ok()?;
+        if json.get("cmd")?.as_str()? != "replicate" {
+            return None;
+        }
+        Some(ReplicateRequest {
+            segment: json.get("segment")?.as_u64()?,
+            offset: json.get("offset")?.as_u64()?,
+            snapshot: json
+                .get("snapshot")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+        })
+    }
+}
+
+/// The primary's one-line answer to a [`ReplicateRequest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplicateHello {
+    /// A snapshot bootstrap: `len` raw snapshot-file bytes follow this line,
+    /// then binary frames from `(segment, offset)`.  The replica skips
+    /// records at or below `epoch`, exactly like local recovery.
+    Snapshot {
+        /// Epoch the snapshot captured.
+        epoch: u64,
+        /// Size of the snapshot file in bytes.
+        len: u64,
+        /// Segment the frame stream resumes from.
+        segment: u64,
+        /// Offset within `segment`.
+        offset: u64,
+    },
+    /// Binary frames follow, from the requested position.
+    Tail {
+        /// Segment the frame stream resumes from.
+        segment: u64,
+        /// Offset within `segment`.
+        offset: u64,
+    },
+    /// The requested position predates the oldest live segment; reconnect
+    /// with `snapshot: true`.
+    SnapshotRequired {
+        /// Oldest segment still on disk.
+        oldest: u64,
+    },
+    /// The primary cannot serve the stream (e.g. it runs without a WAL).
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl ReplicateHello {
+    /// Encodes the hello as one JSON line (no trailing newline).
+    pub fn encode_line(&self) -> String {
+        match self {
+            ReplicateHello::Snapshot {
+                epoch,
+                len,
+                segment,
+                offset,
+            } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("mode", Json::Str("snapshot".to_string())),
+                ("epoch", Json::Num(*epoch as f64)),
+                ("len", Json::Num(*len as f64)),
+                ("segment", Json::Num(*segment as f64)),
+                ("offset", Json::Num(*offset as f64)),
+            ]),
+            ReplicateHello::Tail { segment, offset } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("mode", Json::Str("tail".to_string())),
+                ("segment", Json::Num(*segment as f64)),
+                ("offset", Json::Num(*offset as f64)),
+            ]),
+            ReplicateHello::SnapshotRequired { oldest } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("mode", Json::Str("snapshot_required".to_string())),
+                ("oldest", Json::Num(*oldest as f64)),
+            ]),
+            ReplicateHello::Error { message } => obj(vec![
+                ("ok", Json::Bool(false)),
+                ("error", Json::Str(message.clone())),
+            ]),
+        }
+        .to_string()
+    }
+
+    /// Parses a hello line; `None` when malformed.
+    pub fn parse_line(line: &str) -> Option<ReplicateHello> {
+        let json = Json::parse(line).ok()?;
+        if !json.get("ok")?.as_bool()? {
+            return Some(ReplicateHello::Error {
+                message: json
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error")
+                    .to_string(),
+            });
+        }
+        match json.get("mode")?.as_str()? {
+            "snapshot" => Some(ReplicateHello::Snapshot {
+                epoch: json.get("epoch")?.as_u64()?,
+                len: json.get("len")?.as_u64()?,
+                segment: json.get("segment")?.as_u64()?,
+                offset: json.get("offset")?.as_u64()?,
+            }),
+            "tail" => Some(ReplicateHello::Tail {
+                segment: json.get("segment")?.as_u64()?,
+                offset: json.get("offset")?.as_u64()?,
+            }),
+            "snapshot_required" => Some(ReplicateHello::SnapshotRequired {
+                oldest: json.get("oldest")?.as_u64()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded binary frame off the replication stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplFrame {
+    /// A WAL record, payload undecoded (the receiver verifies `crc` and
+    /// decodes through `sac-wal`).
+    Record {
+        /// Segment the record lives in on the primary.
+        segment: u64,
+        /// Resume position after the record.
+        end_offset: u64,
+        /// CRC-32 of the payload as stored on disk.
+        crc: u32,
+        /// The record payload (epoch, op count, ops).
+        payload: Vec<u8>,
+    },
+    /// A liveness beacon carrying the primary's served epoch and WAL tail.
+    Heartbeat {
+        /// Primary's served epoch.
+        epoch: u64,
+        /// Segment of the primary's WAL tail.
+        segment: u64,
+        /// Offset of the primary's WAL tail.
+        offset: u64,
+    },
+    /// The stream position was truncated by a checkpoint; re-bootstrap.
+    SnapshotRequired,
+}
+
+impl ReplFrame {
+    /// Encodes the frame for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            ReplFrame::Record {
+                segment,
+                end_offset,
+                crc,
+                payload,
+            } => {
+                let mut out = Vec::with_capacity(25 + payload.len());
+                out.push(REPL_FRAME_RECORD);
+                out.extend_from_slice(&segment.to_le_bytes());
+                out.extend_from_slice(&end_offset.to_le_bytes());
+                out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                out.extend_from_slice(&crc.to_le_bytes());
+                out.extend_from_slice(payload);
+                out
+            }
+            ReplFrame::Heartbeat {
+                epoch,
+                segment,
+                offset,
+            } => {
+                let mut out = Vec::with_capacity(25);
+                out.push(REPL_FRAME_HEARTBEAT);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&segment.to_le_bytes());
+                out.extend_from_slice(&offset.to_le_bytes());
+                out
+            }
+            ReplFrame::SnapshotRequired => vec![REPL_FRAME_SNAPSHOT_REQUIRED],
+        }
+    }
+
+    /// Writes the encoded frame to `w`.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        w.write_all(&self.encode())
+    }
+
+    /// Reads one frame from `r`, blocking until it is complete.  Errors with
+    /// `InvalidData` on an unknown kind or an implausible payload length,
+    /// and with whatever `r` reports on short reads (`UnexpectedEof` on a
+    /// connection closed mid-frame).
+    pub fn read_from(r: &mut impl Read) -> std::io::Result<ReplFrame> {
+        let mut kind = [0u8; 1];
+        r.read_exact(&mut kind)?;
+        match kind[0] {
+            REPL_FRAME_RECORD => {
+                let segment = read_u64(r)?;
+                let end_offset = read_u64(r)?;
+                let len = read_u32(r)?;
+                let crc = read_u32(r)?;
+                if len > REPL_MAX_PAYLOAD {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("implausible replication payload length {len}"),
+                    ));
+                }
+                let mut payload = vec![0u8; len as usize];
+                r.read_exact(&mut payload)?;
+                Ok(ReplFrame::Record {
+                    segment,
+                    end_offset,
+                    crc,
+                    payload,
+                })
+            }
+            REPL_FRAME_HEARTBEAT => Ok(ReplFrame::Heartbeat {
+                epoch: read_u64(r)?,
+                segment: read_u64(r)?,
+                offset: read_u64(r)?,
+            }),
+            REPL_FRAME_SNAPSHOT_REQUIRED => Ok(ReplFrame::SnapshotRequired),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unknown replication frame kind {other}"),
+            )),
+        }
+    }
+}
+
+fn read_u32(r: &mut impl Read) -> std::io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64(r: &mut impl Read) -> std::io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handshake_lines_roundtrip() {
+        let req = ReplicateRequest {
+            segment: 4,
+            offset: 1024,
+            snapshot: false,
+        };
+        assert_eq!(
+            req.encode_line(),
+            r#"{"cmd":"replicate","segment":4,"offset":1024,"snapshot":false}"#
+        );
+        assert_eq!(ReplicateRequest::parse_line(&req.encode_line()), Some(req));
+
+        for hello in [
+            ReplicateHello::Snapshot {
+                epoch: 9,
+                len: 4096,
+                segment: 3,
+                offset: 0,
+            },
+            ReplicateHello::Tail {
+                segment: 4,
+                offset: 1024,
+            },
+            ReplicateHello::SnapshotRequired { oldest: 7 },
+            ReplicateHello::Error {
+                message: "no wal".to_string(),
+            },
+        ] {
+            assert_eq!(
+                ReplicateHello::parse_line(&hello.encode_line()),
+                Some(hello)
+            );
+        }
+        assert_eq!(ReplicateRequest::parse_line("{}"), None);
+        assert_eq!(ReplicateHello::parse_line("nonsense"), None);
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_byte_stream() {
+        let frames = vec![
+            ReplFrame::Record {
+                segment: 2,
+                end_offset: 77,
+                crc: 0xDEAD_BEEF,
+                payload: vec![1, 2, 3, 4, 5],
+            },
+            ReplFrame::Heartbeat {
+                epoch: 12,
+                segment: 2,
+                offset: 77,
+            },
+            ReplFrame::SnapshotRequired,
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            f.write_to(&mut wire).unwrap();
+        }
+        let mut r = wire.as_slice();
+        for f in &frames {
+            assert_eq!(&ReplFrame::read_from(&mut r).unwrap(), f);
+        }
+        // A truncated stream surfaces as UnexpectedEof, not garbage.
+        let mut short = &wire[..10];
+        assert_eq!(
+            ReplFrame::read_from(&mut short).unwrap_err().kind(),
+            std::io::ErrorKind::UnexpectedEof
+        );
+        let mut bad = [9u8].as_slice();
+        assert_eq!(
+            ReplFrame::read_from(&mut bad).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+    }
+}

@@ -668,6 +668,13 @@ pub struct WalStatsReply {
     pub last_checkpoint_epoch: u64,
     /// Records appended since this process opened the log.
     pub appended_records: u64,
+    /// Epoch of the engine's served (durably applied) state — what a
+    /// replication follower of this node would converge to.
+    pub last_applied_epoch: u64,
+    /// Segment id of the WAL tail (where the next record lands).
+    pub tail_segment: u64,
+    /// Byte offset of the WAL tail within `tail_segment`.
+    pub tail_offset: u64,
 }
 
 impl WalStatsReply {
@@ -682,6 +689,66 @@ impl WalStatsReply {
                 Json::Num(self.last_checkpoint_epoch as f64),
             ),
             ("appended_records", Json::Num(self.appended_records as f64)),
+            (
+                "last_applied_epoch",
+                Json::Num(self.last_applied_epoch as f64),
+            ),
+            ("tail_segment", Json::Num(self.tail_segment as f64)),
+            ("tail_offset", Json::Num(self.tail_offset as f64)),
+        ])
+    }
+}
+
+/// The replication section of a `stats` reply (present only on a replica
+/// booted with `--replicate-from`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReplicationStatsReply {
+    /// Address of the primary this replica tails.
+    pub primary: String,
+    /// Whether the replication link is currently established.
+    pub connected: bool,
+    /// Whether the replica has degraded: the primary has been unreachable
+    /// past the staleness threshold (it keeps serving reads at its last
+    /// applied epoch).
+    pub degraded: bool,
+    /// Newest epoch the replica has applied and serves.
+    pub last_applied_epoch: u64,
+    /// Newest primary epoch the link has observed (via heartbeats).
+    pub primary_epoch: u64,
+    /// `primary_epoch - last_applied_epoch` (0 when caught up or when no
+    /// heartbeat has arrived yet).
+    pub lag_epochs: u64,
+    /// Seconds since the link last heard from the primary.
+    pub stale_secs: u64,
+    /// Times the link reconnected (after the initial connection).
+    pub reconnects: u64,
+    /// Delta records applied through the link.
+    pub records_applied: u64,
+    /// Full snapshot re-bootstraps (the resume position had been truncated
+    /// by a primary checkpoint).
+    pub snapshot_bootstraps: u64,
+}
+
+impl ReplicationStatsReply {
+    /// The JSON object embedded in `stats` replies and `/healthz` bodies.
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("primary", Json::Str(self.primary.clone())),
+            ("connected", Json::Bool(self.connected)),
+            ("degraded", Json::Bool(self.degraded)),
+            (
+                "last_applied_epoch",
+                Json::Num(self.last_applied_epoch as f64),
+            ),
+            ("primary_epoch", Json::Num(self.primary_epoch as f64)),
+            ("lag_epochs", Json::Num(self.lag_epochs as f64)),
+            ("stale_secs", Json::Num(self.stale_secs as f64)),
+            ("reconnects", Json::Num(self.reconnects as f64)),
+            ("records_applied", Json::Num(self.records_applied as f64)),
+            (
+                "snapshot_bootstraps",
+                Json::Num(self.snapshot_bootstraps as f64),
+            ),
         ])
     }
 }
@@ -743,6 +810,9 @@ pub struct StatsReply {
     /// Write-ahead-log facts (`None` when the engine runs without
     /// durability; the `wal` object is then omitted from the wire encoding).
     pub wal: Option<WalStatsReply>,
+    /// Replication-link facts (`None` except on a replica; the
+    /// `replication` object is then omitted from the wire encoding).
+    pub replication: Option<ReplicationStatsReply>,
 }
 
 impl StatsReply {
@@ -801,6 +871,7 @@ impl StatsReply {
                 .collect(),
             window_span_micros: stats.window_span_micros,
             wal: None,
+            replication: None,
         }
     }
 
@@ -834,6 +905,9 @@ impl StatsReply {
         }
         if let Some(wal) = &self.wal {
             fields.push(("wal", wal.to_json()));
+        }
+        if let Some(replication) = &self.replication {
+            fields.push(("replication", replication.to_json()));
         }
         // Latency summaries and uptime are wall-clock facts: they follow the
         // `timing` determinism switch exactly like per-query `micros`.
@@ -1128,6 +1202,15 @@ pub enum ProtoResponse {
         /// Human-readable description.
         message: String,
     },
+    /// A typed rejection pointing the client at another node: a read-only
+    /// replica answers every mutation command with this, naming the primary
+    /// that accepts writes.
+    Redirect {
+        /// Why the command was rejected here.
+        message: String,
+        /// Address of the node that accepts the command.
+        primary: String,
+    },
 }
 
 impl ProtoResponse {
@@ -1135,6 +1218,14 @@ impl ProtoResponse {
     pub fn error(message: impl Into<String>) -> ProtoResponse {
         ProtoResponse::Error {
             message: message.into(),
+        }
+    }
+
+    /// A redirect-to-primary response (replicas reject mutations with this).
+    pub fn redirect(message: impl Into<String>, primary: impl Into<String>) -> ProtoResponse {
+        ProtoResponse::Redirect {
+            message: message.into(),
+            primary: primary.into(),
         }
     }
 
@@ -1240,6 +1331,11 @@ impl ProtoResponse {
             ProtoResponse::Error { message } => obj(vec![
                 ("ok", Json::Bool(false)),
                 ("error", Json::Str(message.clone())),
+            ]),
+            ProtoResponse::Redirect { message, primary } => obj(vec![
+                ("ok", Json::Bool(false)),
+                ("error", Json::Str(message.clone())),
+                ("redirect_to", Json::Str(primary.clone())),
             ]),
         }
     }
@@ -1404,6 +1500,13 @@ mod tests {
 
         let error = ProtoResponse::error("boom").encode_line(EncodeOptions::default());
         assert_eq!(error, r#"{"ok":false,"error":"boom"}"#);
+
+        let redirect = ProtoResponse::redirect("read-only replica", "10.0.0.1:7878")
+            .encode_line(EncodeOptions::default());
+        assert_eq!(
+            redirect,
+            r#"{"ok":false,"error":"read-only replica","redirect_to":"10.0.0.1:7878"}"#
+        );
     }
 
     #[test]
@@ -1426,13 +1529,41 @@ mod tests {
                 snapshot_bytes: 1024,
                 last_checkpoint_epoch: 7,
                 appended_records: 31,
+                last_applied_epoch: 38,
+                tail_segment: 3,
+                tail_offset: 512,
             }),
             ..StatsReply::default()
         };
         let line = ProtoResponse::Stats(stats).encode_line(timing);
         assert!(
             line.contains(
-                r#""wal":{"sync":"always","segments":2,"log_bytes":4096,"snapshot_bytes":1024,"last_checkpoint_epoch":7,"appended_records":31}"#
+                r#""wal":{"sync":"always","segments":2,"log_bytes":4096,"snapshot_bytes":1024,"last_checkpoint_epoch":7,"appended_records":31,"last_applied_epoch":38,"tail_segment":3,"tail_offset":512}"#
+            ),
+            "got: {line}"
+        );
+
+        // Replicas append a `replication` object; everyone else stays
+        // byte-stable with no such key (asserted above).
+        let stats = StatsReply {
+            replication: Some(ReplicationStatsReply {
+                primary: "127.0.0.1:7900".to_string(),
+                connected: true,
+                degraded: false,
+                last_applied_epoch: 12,
+                primary_epoch: 13,
+                lag_epochs: 1,
+                stale_secs: 0,
+                reconnects: 2,
+                records_applied: 11,
+                snapshot_bootstraps: 1,
+            }),
+            ..StatsReply::default()
+        };
+        let line = ProtoResponse::Stats(stats).encode_line(timing);
+        assert!(
+            line.contains(
+                r#""replication":{"primary":"127.0.0.1:7900","connected":true,"degraded":false,"last_applied_epoch":12,"primary_epoch":13,"lag_epochs":1,"stale_secs":0,"reconnects":2,"records_applied":11,"snapshot_bootstraps":1}"#
             ),
             "got: {line}"
         );

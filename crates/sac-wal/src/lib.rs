@@ -32,10 +32,11 @@ pub mod signals;
 pub mod snapshot;
 
 pub use log::{
-    clear_clean_marker, list_segments, read_clean_marker, read_log, segment_path,
-    write_clean_marker, AppendInfo, ReplayLog, SyncPolicy, WalWriter, DEFAULT_SEGMENT_BYTES,
+    clear_clean_marker, list_segments, read_clean_marker, read_log, read_tail, segment_path,
+    write_clean_marker, AppendInfo, ReplayLog, SyncPolicy, TailChunk, TailFrame, WalWriter,
+    DEFAULT_SEGMENT_BYTES,
 };
-pub use record::{DeltaRecord, WalOp, FRAME_HEADER_BYTES};
+pub use record::{DeltaRecord, WalOp, FRAME_HEADER_BYTES, MAX_RECORD_PAYLOAD};
 pub use snapshot::{
     encode_frame, encode_frames, latest_snapshot, list_snapshots, read_snapshot,
     remove_snapshots_below, write_snapshot, SnapshotFrame, SnapshotImage,
@@ -78,6 +79,16 @@ pub enum WalError {
     /// A durability operation was invoked on an engine running without a
     /// WAL (`--wal-dir` not set).
     Disabled,
+    /// A streaming reader asked for a log position that a checkpoint has
+    /// already truncated away: the records it needs no longer exist, and it
+    /// must re-bootstrap from a newer snapshot instead.  This is an expected
+    /// signal on the replication path, not corruption.
+    SnapshotRequired {
+        /// The segment the reader tried to resume from.
+        segment: u64,
+        /// The oldest segment still on disk.
+        oldest: u64,
+    },
     /// The recovered state failed graph-level validation.
     Graph(sac_graph::GraphError),
 }
@@ -107,6 +118,11 @@ impl std::fmt::Display for WalError {
                 "WAL epoch gap: expected record for epoch {expected}, found {found}"
             ),
             WalError::Disabled => write!(f, "durability is disabled (no --wal-dir)"),
+            WalError::SnapshotRequired { segment, oldest } => write!(
+                f,
+                "log position in segment {segment} predates the oldest live segment \
+                 {oldest}: re-bootstrap from a newer snapshot"
+            ),
             WalError::Graph(e) => write!(f, "recovered state failed validation: {e}"),
         }
     }

@@ -170,6 +170,12 @@ impl WalWriter {
         self.segment
     }
 
+    /// Byte offset of the append position within the active segment (the
+    /// WAL tail: where the next frame will land).
+    pub fn segment_offset(&self) -> u64 {
+        self.segment_bytes
+    }
+
     /// The configured sync policy.
     pub fn policy(&self) -> SyncPolicy {
         self.policy
@@ -342,6 +348,182 @@ pub fn read_log(dir: &Path, tolerate_torn_tail: bool) -> Result<ReplayLog, WalEr
     Ok(out)
 }
 
+/// One complete frame read from the live log by a replication shipper: the
+/// raw payload exactly as stored, plus its checksum and resume position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailFrame {
+    /// Segment the frame lives in.
+    pub segment: u64,
+    /// Offset of the first byte *after* the frame within its segment — the
+    /// position a reader resumes from once this frame is applied.
+    pub end_offset: u64,
+    /// CRC-32 of the payload, as stored on disk (already verified).
+    pub crc: u32,
+    /// The record payload (epoch, op count, ops), undecoded.
+    pub payload: Vec<u8>,
+}
+
+/// A batch of frames read forward from a `(segment, offset)` position, plus
+/// the position to resume from on the next poll.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailChunk {
+    /// Complete, CRC-verified frames in append order (possibly empty when
+    /// the reader is caught up).
+    pub frames: Vec<TailFrame>,
+    /// Segment of the resume position.
+    pub segment: u64,
+    /// Offset of the resume position within [`TailChunk::segment`].
+    pub offset: u64,
+}
+
+/// Reads complete frames forward from `(segment, offset)`, following segment
+/// rotations, without ever blocking on the live writer.
+///
+/// This is the streaming counterpart of [`read_log`], built for a shipper
+/// polling a log that is still being appended to:
+///
+/// * an incomplete or checksum-failing frame at the tail of the **newest**
+///   segment is an in-flight append, not corruption — the reader stops
+///   before it and retries on the next poll;
+/// * the same anomaly in an older segment (the writer provably rotated past
+///   it) is a hard [`WalError::Corrupt`];
+/// * a resume position below the oldest segment on disk — or beyond the end
+///   of a non-newest segment — means a checkpoint truncated the records the
+///   reader needs, and surfaces as the clean
+///   [`WalError::SnapshotRequired`] signal;
+/// * at most `max_frames` frames are returned per call, bounding memory.
+pub fn read_tail(
+    dir: &Path,
+    segment: u64,
+    offset: u64,
+    max_frames: usize,
+) -> Result<TailChunk, WalError> {
+    let segments = list_segments(dir)?;
+    let mut chunk = TailChunk {
+        frames: Vec::new(),
+        segment,
+        offset,
+    };
+    let Some(&oldest) = segments.first() else {
+        return Ok(chunk);
+    };
+    if segment < oldest {
+        return Err(WalError::SnapshotRequired { segment, oldest });
+    }
+    let newest = *segments.last().expect("non-empty");
+    let mut seg = segment;
+    let mut pos = offset;
+    loop {
+        if segments.binary_search(&seg).is_err() {
+            // The position names a segment that never existed (a reader from
+            // a different log generation); only a fresh snapshot can help.
+            if seg > newest {
+                return Err(WalError::SnapshotRequired {
+                    segment: seg,
+                    oldest,
+                });
+            }
+            // Ids in the live set are contiguous, but be defensive: skip to
+            // the next segment that does exist.
+            seg = segments
+                .iter()
+                .copied()
+                .find(|&s| s > seg)
+                .expect("seg < newest implies a higher segment exists");
+            pos = 0;
+            continue;
+        }
+        let path = segment_path(dir, seg);
+        let buf = match fs::read(&path) {
+            Ok(buf) => buf,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                // Deleted by a checkpoint between our directory listing and
+                // the open: the records are gone.
+                let oldest = list_segments(dir)?.first().copied().unwrap_or(seg + 1);
+                return Err(WalError::SnapshotRequired {
+                    segment: seg,
+                    oldest,
+                });
+            }
+            Err(e) => return Err(e.into()),
+        };
+        if pos as usize > buf.len() {
+            // Resuming beyond the end of the file: the segment was truncated
+            // (or swapped) underneath the reader's saved position.
+            return Err(WalError::SnapshotRequired {
+                segment: seg,
+                oldest,
+            });
+        }
+        let mut p = pos as usize;
+        let mut in_flight_tail = false;
+        while chunk.frames.len() < max_frames {
+            let remaining = buf.len() - p;
+            if remaining == 0 {
+                break;
+            }
+            // Anomalies at the live tail are in-flight appends; anywhere
+            // else they are corruption.
+            let tail_or_corrupt = |detail: &str| -> Result<(), WalError> {
+                if seg == newest {
+                    Ok(())
+                } else {
+                    Err(WalError::Corrupt {
+                        segment: seg,
+                        offset: p as u64,
+                        detail: detail.to_string(),
+                    })
+                }
+            };
+            if remaining < FRAME_HEADER_BYTES {
+                tail_or_corrupt("incomplete frame header at tail")?;
+                in_flight_tail = true;
+                break;
+            }
+            let len = u32::from_le_bytes(buf[p..p + 4].try_into().unwrap());
+            let crc = u32::from_le_bytes(buf[p + 4..p + 8].try_into().unwrap());
+            if len > MAX_RECORD_PAYLOAD {
+                // At the live tail this can be a partially visible header.
+                tail_or_corrupt(&format!("implausible record length {len}"))?;
+                in_flight_tail = true;
+                break;
+            }
+            let len = len as usize;
+            if remaining < FRAME_HEADER_BYTES + len {
+                tail_or_corrupt("incomplete record payload at tail")?;
+                in_flight_tail = true;
+                break;
+            }
+            let payload = &buf[p + FRAME_HEADER_BYTES..p + FRAME_HEADER_BYTES + len];
+            if crc32(payload) != crc {
+                tail_or_corrupt("record checksum mismatch")?;
+                in_flight_tail = true;
+                break;
+            }
+            p += FRAME_HEADER_BYTES + len;
+            chunk.frames.push(TailFrame {
+                segment: seg,
+                end_offset: p as u64,
+                crc,
+                payload: payload.to_vec(),
+            });
+        }
+        chunk.segment = seg;
+        chunk.offset = p as u64;
+        if in_flight_tail || seg == newest || chunk.frames.len() >= max_frames {
+            return Ok(chunk);
+        }
+        // This segment is drained and the writer has rotated past it: move
+        // to the next segment on disk.
+        seg = segments
+            .iter()
+            .copied()
+            .find(|&s| s > seg)
+            .expect("seg < newest implies a higher segment exists");
+        pos = 0;
+    }
+}
+
 fn truncate_segment(path: &Path, len: u64) -> std::io::Result<()> {
     let f = OpenOptions::new().write(true).open(path)?;
     f.set_len(len)?;
@@ -497,6 +679,103 @@ mod tests {
         // Reopening for writing invalidates the marker.
         let _w = WalWriter::open(&dir, SyncPolicy::Never).unwrap();
         assert_eq!(read_clean_marker(&dir), None);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tail_reader_follows_rotation_and_stops_at_incomplete_tail() {
+        let dir = temp_dir("tail");
+        let mut w = WalWriter::open(&dir, SyncPolicy::Never).unwrap();
+        w.set_max_segment_bytes(64);
+        let mut written = Vec::new();
+        for e in 0..12u64 {
+            let r = rec(e + 2, vec![WalOp::InsertEdge(e as u32, e as u32 + 1)]);
+            w.append(&r).unwrap();
+            written.push(r);
+        }
+        w.sync().unwrap();
+        assert!(list_segments(&dir).unwrap().len() > 1, "expected rotation");
+
+        // Read everything from the origin, in two bounded chunks.
+        let first = read_tail(&dir, 1, 0, 5).unwrap();
+        assert_eq!(first.frames.len(), 5);
+        let rest = read_tail(&dir, first.segment, first.offset, usize::MAX).unwrap();
+        assert_eq!(first.frames.len() + rest.frames.len(), written.len());
+        let decoded: Vec<DeltaRecord> = first
+            .frames
+            .iter()
+            .chain(&rest.frames)
+            .map(|f| DeltaRecord::decode_payload(&f.payload, f.segment, 0).unwrap())
+            .collect();
+        assert_eq!(decoded, written);
+        // Caught up: the resume position matches the writer's tail.
+        assert_eq!(
+            (rest.segment, rest.offset),
+            (w.segment(), w.segment_offset())
+        );
+        let idle = read_tail(&dir, rest.segment, rest.offset, usize::MAX).unwrap();
+        assert!(idle.frames.is_empty());
+
+        // An in-flight (torn) append at the live tail stops the reader
+        // without error; completing the frame makes it visible.
+        let r = rec(14, vec![WalOp::AddVertex(1.0, 2.0)]);
+        let frame = r.encode();
+        let seg = segment_path(&dir, w.segment());
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&frame[..frame.len() - 3]).unwrap();
+        f.sync_data().unwrap();
+        let stalled = read_tail(&dir, rest.segment, rest.offset, usize::MAX).unwrap();
+        assert!(stalled.frames.is_empty());
+        assert_eq!(
+            (stalled.segment, stalled.offset),
+            (rest.segment, rest.offset)
+        );
+        f.write_all(&frame[frame.len() - 3..]).unwrap();
+        f.sync_data().unwrap();
+        drop(f);
+        let done = read_tail(&dir, stalled.segment, stalled.offset, usize::MAX).unwrap();
+        assert_eq!(done.frames.len(), 1);
+        assert_eq!(
+            DeltaRecord::decode_payload(&done.frames[0].payload, 0, 0).unwrap(),
+            r
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tail_reader_signals_snapshot_required_after_truncation() {
+        // The checkpoint-truncation race: a reader holds a position in an
+        // old segment while a checkpoint rotates and deletes it.  The reader
+        // must get the clean SnapshotRequired signal, not a hard error.
+        let dir = temp_dir("tail-truncated");
+        let mut w = WalWriter::open(&dir, SyncPolicy::Never).unwrap();
+        w.set_max_segment_bytes(64);
+        for e in 0..12u64 {
+            w.append(&rec(e + 2, vec![WalOp::InsertEdge(e as u32, e as u32 + 1)]))
+                .unwrap();
+        }
+        w.sync().unwrap();
+        let stale = read_tail(&dir, 1, 0, 3).unwrap();
+        assert_eq!(stale.frames.len(), 3);
+        // Checkpoint-style truncation: rotate and drop the old segments.
+        let active = w.rotate().unwrap();
+        w.remove_segments_below(active).unwrap();
+        match read_tail(&dir, stale.segment, stale.offset, usize::MAX) {
+            Err(WalError::SnapshotRequired { segment, oldest }) => {
+                assert_eq!(segment, stale.segment);
+                assert_eq!(oldest, active);
+            }
+            other => panic!("expected SnapshotRequired, got {other:?}"),
+        }
+        // A position *within* the live set but beyond a (hypothetically
+        // truncated) older segment's end is the same signal.
+        w.append(&rec(14, vec![WalOp::InsertEdge(0, 1)])).unwrap();
+        w.rotate().unwrap();
+        let huge = fs::metadata(segment_path(&dir, active)).unwrap().len() + 64;
+        assert!(matches!(
+            read_tail(&dir, active, huge, usize::MAX),
+            Err(WalError::SnapshotRequired { .. })
+        ));
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -174,9 +174,10 @@ impl DeltaRecord {
         FRAME_HEADER_BYTES + 12 + ops
     }
 
-    /// Decodes a CRC-verified payload.  `context` names the source location
-    /// for error messages.
-    pub(crate) fn decode_payload(
+    /// Decodes a CRC-verified payload.  `segment` and `offset` name the
+    /// source location for error messages (pass 0 for frames that did not
+    /// come from a local segment file, e.g. replication wire frames).
+    pub fn decode_payload(
         payload: &[u8],
         segment: u64,
         offset: u64,

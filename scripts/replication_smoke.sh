@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# Replication smoke test for the serving stack:
+#
+#   1. boot a primary sac-serve with --wal-dir and --ship-addr, and a read
+#      replica with --replicate-from pointed at it; commit on the primary
+#      and assert the replica converges to the same epoch;
+#   2. send a mutation to the replica: it must answer with a typed redirect
+#      carrying the primary's address, never apply locally;
+#   3. kill -9 the primary — the replica must keep answering queries at its
+#      last applied epoch and flip its stats to "degraded":true once the
+#      staleness threshold passes;
+#   4. restart the primary on the same WAL directory and shipping address,
+#      commit again, and assert the replica catches up and sheds the
+#      degraded flag on its own — no replica restart.
+#
+# Run from the repo root after `cargo build --release`.
+set -euo pipefail
+
+BIN=${BIN:-target/release/sac-serve}
+[ -x "$BIN" ] || { echo "missing $BIN (run: cargo build --release)"; exit 1; }
+
+WORK=$(mktemp -d)
+PRIMARY=""
+REPLICA=""
+# Failure paths must not leak either server or the temp directory.
+trap 'status=$?;
+  { [ -n "${PRIMARY:-}" ] && kill -9 "$PRIMARY" 2>/dev/null; } || true;
+  { [ -n "${REPLICA:-}" ] && kill -9 "$REPLICA" 2>/dev/null; } || true;
+  rm -rf "$WORK"; exit $status' EXIT
+WAL_DIR="$WORK/wal"
+
+# Waits until file $1 holds at least $2 lines.
+wait_lines() {
+  for _ in $(seq 1 150); do
+    [ -f "$1" ] && [ "$(wc -l < "$1")" -ge "$2" ] && return 0
+    sleep 0.1
+  done
+  echo "timed out waiting for $2 replies in $1"; cat "$1" 2>/dev/null || true; exit 1
+}
+
+# Waits until file $1 matches pattern $2.
+wait_grep() {
+  for _ in $(seq 1 150); do
+    [ -f "$1" ] && grep -q "$2" "$1" && return 0
+    sleep 0.1
+  done
+  echo "timed out waiting for '$2' in $1"
+  cat "$1" 2>/dev/null || true
+  exit 1
+}
+
+field() { grep -o "\"$2\":[0-9]*" "$1" | head -n1 | cut -d: -f2; }
+
+# Polls the replica's stats (fd 4) until the latest reply matches pattern $1.
+wait_replica() {
+  for _ in $(seq 1 150); do
+    printf '{"cmd":"stats"}\n' >&4
+    sleep 0.1
+    tail -n 1 "$WORK/rout" | grep -q "$1" && return 0
+  done
+  echo "replica never matched '$1'"; tail -n 3 "$WORK/rout"; exit 1
+}
+
+# --- Boot the primary with a shipping endpoint (OS-assigned port). ---------
+mkfifo "$WORK/pin"
+"$BIN" --preset syn1 --scale 0.05 --seed 7 --no-timing \
+  --wal-dir "$WAL_DIR" --ship-addr 127.0.0.1:0 \
+  < "$WORK/pin" > "$WORK/pout" 2> "$WORK/perr" &
+PRIMARY=$!
+exec 3>"$WORK/pin"
+wait_grep "$WORK/perr" "shipping WAL to replicas on"
+SHIP_ADDR=$(grep -o 'shipping WAL to replicas on [0-9.:]*' "$WORK/perr" | awk '{print $NF}')
+echo "primary: shipping on $SHIP_ADDR"
+
+# --- Boot the replica against it. ------------------------------------------
+mkfifo "$WORK/rin"
+"$BIN" --replicate-from "$SHIP_ADDR" --staleness-ms 500 --no-timing \
+  < "$WORK/rin" > "$WORK/rout" 2> "$WORK/rerr" &
+REPLICA=$!
+exec 4>"$WORK/rin"
+wait_grep "$WORK/rerr" "replica bootstrapped from"
+
+# --- Converge: commit on the primary, watch the replica apply it. ----------
+printf '%s\n' \
+  '{"cmd":"add_vertex","x":1.5,"y":2.5}' \
+  '{"cmd":"add_edge","u":0,"v":1}' \
+  '{"cmd":"commit"}' >&3
+wait_lines "$WORK/pout" 3
+EPOCH1=$(field "$WORK/pout" epoch)
+[ "$EPOCH1" = "2" ] || { echo "expected epoch 2 after first commit, got $EPOCH1"; exit 1; }
+wait_replica "\"last_applied_epoch\":$EPOCH1[,}]"
+echo "replica: converged to epoch $EPOCH1"
+
+# --- Read-only contract: mutations on the replica redirect. ----------------
+printf '{"cmd":"add_edge","u":2,"v":3}\n' >&4
+wait_grep "$WORK/rout" '"redirect_to":"'"$SHIP_ADDR"'"'
+echo "replica: mutation redirected to $SHIP_ADDR"
+
+# --- Primary dies hard; the replica degrades but keeps serving. ------------
+kill -9 "$PRIMARY"
+wait "$PRIMARY" 2>/dev/null || true
+PRIMARY=""
+exec 3>&-
+printf '{"q":0,"k":2}\n' >&4
+wait_replica '"degraded":true'
+grep -q '"ok":true' "$WORK/rout" || { echo "replica stopped answering"; cat "$WORK/rout"; exit 1; }
+echo "replica: degraded after losing the primary, still answering queries"
+
+# --- Primary returns on the same WAL dir + address; replica catches up. ----
+mkfifo "$WORK/pin2"
+"$BIN" --wal-dir "$WAL_DIR" --ship-addr "$SHIP_ADDR" --no-timing \
+  < "$WORK/pin2" > "$WORK/pout2" 2> "$WORK/perr2" &
+PRIMARY=$!
+exec 3>"$WORK/pin2"
+wait_grep "$WORK/perr2" "recovered epoch"
+printf '%s\n' '{"cmd":"add_vertex","x":9.5,"y":-3.5}' '{"cmd":"commit"}' >&3
+wait_lines "$WORK/pout2" 2
+EPOCH2=$(tail -n 1 "$WORK/pout2" | grep -o '"epoch":[0-9]*' | cut -d: -f2)
+[ "$EPOCH2" -gt "$EPOCH1" ] || { echo "restart did not advance the epoch: $EPOCH2"; exit 1; }
+wait_replica "\"last_applied_epoch\":$EPOCH2[,}]"
+wait_replica '"degraded":false'
+echo "replica: caught up to epoch $EPOCH2 after primary restart, health recovered"
+
+# --- Orderly shutdown. ------------------------------------------------------
+printf '{"cmd":"quit"}\n' >&3
+printf '{"cmd":"quit"}\n' >&4
+exec 3>&- 4>&-
+wait "$PRIMARY" 2>/dev/null || true
+wait "$REPLICA" 2>/dev/null || true
+PRIMARY=""
+REPLICA=""
+echo "replication smoke: OK"

@@ -17,7 +17,10 @@ BIN=${BIN:-target/release/sac-serve}
 [ -x "$BIN" ] || { echo "missing $BIN (run: cargo build --release)"; exit 1; }
 
 WORK=$(mktemp -d)
-trap 'rm -rf "$WORK"' EXIT
+SERVER=""
+# Failure paths (timeouts, assertion exits) must not leak the server process
+# or the temp WAL directory: kill whatever is still running, then clean up.
+trap 'status=$?; { [ -n "${SERVER:-}" ] && kill -9 "$SERVER" 2>/dev/null; } || true; rm -rf "$WORK"; exit $status' EXIT
 WAL_DIR="$WORK/wal"
 FIFO="$WORK/in"
 mkfifo "$FIFO"
