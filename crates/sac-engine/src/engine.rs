@@ -350,6 +350,9 @@ pub struct EngineStats {
     pub cache: CacheStats,
     /// Number of the currently served epoch (1 for a freshly built engine).
     pub epoch: u64,
+    /// Leadership term this engine serves under (0 until failover stamps
+    /// one; bumped on replica promotion, durably mirrored in the WAL).
+    pub term: u64,
     /// Snapshots published over this engine's lifetime (epoch swaps).
     pub epochs_published: u64,
     /// Per-`k` component indexes carried over across epoch swaps (their `k`
@@ -616,6 +619,10 @@ pub struct SacEngine {
     shard_rebuilds: Vec<AtomicU64>,
     single_shard_queries: AtomicU64,
     fallback_queries: AtomicU64,
+    /// Leadership term (failover fencing): plain state the failover layer
+    /// stamps, carried here so every WAL record and stats reply can read it
+    /// off the engine handle.
+    term: AtomicU64,
     obs: EngineObs,
 }
 
@@ -726,6 +733,7 @@ impl SacEngine {
             shard_rebuilds: (0..shard_count).map(|_| AtomicU64::new(1)).collect(),
             single_shard_queries: AtomicU64::new(0),
             fallback_queries: AtomicU64::new(0),
+            term: AtomicU64::new(0),
             obs,
         }
     }
@@ -765,6 +773,20 @@ impl SacEngine {
     /// Number of the currently served epoch (starts at 1).
     pub fn epoch(&self) -> u64 {
         self.epoch.load().number
+    }
+
+    /// Leadership term this engine currently serves under (0 until the
+    /// failover layer stamps one).
+    pub fn term(&self) -> u64 {
+        self.term.load(Ordering::Acquire)
+    }
+
+    /// Stamps the leadership term.  Called by the failover layer at boot
+    /// (from the recovered WAL) and on replica promotion (bumped past the
+    /// observed term); the commit path stamps the current value into every
+    /// WAL record it appends.
+    pub fn set_term(&self, term: u64) {
+        self.term.store(term, Ordering::Release);
     }
 
     /// Publishes a new snapshot as the next epoch, selectively carrying the
@@ -1570,6 +1592,7 @@ impl SacEngine {
             errors: self.errors.load(Ordering::Relaxed),
             cache: add_cache_stats(retired, epoch.cache.stats()),
             epoch: epoch.number,
+            term: self.term.load(Ordering::Acquire),
             epochs_published: self.epochs_published.load(Ordering::Relaxed),
             components_carried: self.components_carried.load(Ordering::Relaxed),
             components_invalidated: self.components_invalidated.load(Ordering::Relaxed),

@@ -7,8 +7,10 @@
 //! sac-http [OPTIONS]
 //!
 //! Graph source, serving, durability and replication options: identical to
-//! sac-serve (including `--wal-dir`/`--wal-sync`/`--checkpoint-every` and
-//! `--ship-addr`/`--replicate-from`/`--staleness-ms`/`--fault-inject`), plus
+//! sac-serve (including `--wal-dir`/`--wal-sync`/`--checkpoint-every`,
+//! `--ship-addr`/`--replicate-from`/`--staleness-ms`/`--fault-inject` and
+//! the failover flags `--lease-ms`/`--replica-id`/`--advertise`/
+//! `--failover-dir`/`--peer`), plus
 //!   --addr <host:port>   listener address (default: 127.0.0.1:7878)
 //!
 //! Routes:
@@ -58,6 +60,11 @@ fn main() -> ExitCode {
             Err(e) => eprintln!("sac-http: WAL flush failed on shutdown: {e}"),
         }));
     }
+    // A promotion-capable replica watches its lease; the handle keeps the
+    // watchdog alive for the life of the process.
+    let _failover = opts
+        .failover_config()
+        .and_then(|config| sac_live::failover::arm(Arc::clone(&service), config));
     let listener = match TcpListener::bind(&opts.addr) {
         Ok(listener) => listener,
         Err(e) => {

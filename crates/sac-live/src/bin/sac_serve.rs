@@ -42,6 +42,14 @@
 //!                        conflicts with --wal-dir)
 //!   --staleness-ms <n>   degrade health after this long without primary
 //!                        contact (default: 3000)
+//!   --lease-ms <n>       leadership lease stamped into shipped heartbeats
+//!                        (default: 1000; must stay below --staleness-ms)
+//!   --replica-id <n> --advertise <host:port> --failover-dir <dir>
+//!                        stand for promotion: when the lease expires, the
+//!                        lowest connected id promotes itself in place
+//!   --peer <host:port>   probe this peer before serving writes; a peer
+//!                        leading at a higher term demotes this restarted
+//!                        primary to its replica (repeatable)
 //!   --fault-inject <spec>
 //!                        inject replication-link faults, e.g.
 //!                        seed=7,drop=0.1,dup=0.05,corrupt=0.05,
@@ -87,6 +95,11 @@ fn main() -> ExitCode {
             Err(e) => eprintln!("sac-serve: WAL flush failed on shutdown: {e}"),
         }));
     }
+    // A promotion-capable replica watches its lease; the handle keeps the
+    // watchdog alive for the life of the process.
+    let _failover = opts
+        .failover_config()
+        .and_then(|config| sac_live::failover::arm(Arc::clone(&service), config));
     let stdin = std::io::stdin().lock();
     let stdout = std::io::stdout();
     let out = std::io::BufWriter::new(stdout.lock());

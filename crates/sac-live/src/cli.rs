@@ -2,6 +2,7 @@
 //! `sac-http`): graph-source selection, service tunables, and the listener
 //! address for the HTTP front end.
 
+use crate::failover::{find_superseding_primary, FailoverConfig};
 use crate::http::HttpConfig;
 use crate::replication::{spawn_shipper, Replica, ReplicaConfig, ShipConfig};
 use crate::{Durability, FaultPlan, LiveEngine, SacService, ServiceConfig, SyncPolicy};
@@ -61,6 +62,20 @@ pub struct ServeOptions {
     /// Replica staleness threshold in milliseconds: without primary
     /// contact for longer, `/healthz` reports `degraded`.
     pub staleness_ms: u64,
+    /// Leadership lease stamped into shipped heartbeats, in milliseconds
+    /// (must stay below `staleness_ms`: a replica should degrade only
+    /// *after* it had the chance to fail over).
+    pub lease_ms: u64,
+    /// Stable promotion-candidate id announced to the primary
+    /// (with `--advertise` and `--failover-dir`; replicas only).
+    pub replica_id: Option<u64>,
+    /// Address this replica would ship from if promoted.
+    pub advertise: Option<String>,
+    /// Directory a promotion seeds the fresh primary WAL into.
+    pub failover_dir: Option<String>,
+    /// Peer shipping addresses a restarting primary probes before serving:
+    /// a peer leading at a higher term demotes this node to its replica.
+    pub peers: Vec<String>,
     /// Replication-link fault injection plan (testing; also settable via
     /// the `SAC_REPL_FAULTS` environment variable).
     pub faults: Option<FaultPlan>,
@@ -95,6 +110,11 @@ impl Default for ServeOptions {
             replicate_from: None,
             ship_addr: None,
             staleness_ms: 3000,
+            lease_ms: 1000,
+            replica_id: None,
+            advertise: None,
+            failover_dir: None,
+            peers: Vec::new(),
             faults: None,
             addr: "127.0.0.1:7878".to_string(),
             max_body_bytes: HttpConfig::default().max_body_bytes,
@@ -131,7 +151,9 @@ pub fn usage(binary: &str, with_addr: bool) -> String {
          [--shards N] [--slow-query-micros N] [--slowlog-capacity N] \
          [--trace-sample-every N] [--wal-dir DIR] [--wal-sync always|never|N] \
          [--checkpoint-every N] [--ship-addr HOST:PORT] \
-         [--replicate-from HOST:PORT] [--staleness-ms N] [--fault-inject SPEC] \
+         [--replicate-from HOST:PORT] [--staleness-ms N] [--lease-ms N] \
+         [--replica-id N --advertise HOST:PORT --failover-dir DIR] \
+         [--peer HOST:PORT]... [--fault-inject SPEC] \
          [--no-members] [--no-timing]{addr}"
     )
 }
@@ -236,6 +258,23 @@ pub fn parse_args(args: &[String], with_addr: bool) -> Result<ServeOptions, Stri
                     .filter(|ms| *ms >= 1)
                     .ok_or("--staleness-ms must be a positive integer")?;
             }
+            "--lease-ms" => {
+                opts.lease_ms = value("--lease-ms")?
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|ms| *ms >= 1)
+                    .ok_or("--lease-ms must be a positive integer (a zero lease never expires)")?;
+            }
+            "--replica-id" => {
+                opts.replica_id = Some(
+                    value("--replica-id")?
+                        .parse::<u64>()
+                        .map_err(|_| "--replica-id must be a non-negative integer")?,
+                );
+            }
+            "--advertise" => opts.advertise = Some(value("--advertise")?),
+            "--failover-dir" => opts.failover_dir = Some(value("--failover-dir")?),
+            "--peer" => opts.peers.push(value("--peer")?),
             "--fault-inject" => {
                 let spec = value("--fault-inject")?;
                 opts.faults =
@@ -270,6 +309,37 @@ pub fn parse_args(args: &[String], with_addr: bool) -> Result<ServeOptions, Stri
     }
     if opts.ship_addr.is_some() && opts.wal_dir.is_none() {
         return Err("--ship-addr requires --wal-dir (the shipped log)".into());
+    }
+    if opts.lease_ms >= opts.staleness_ms {
+        return Err(format!(
+            "--lease-ms ({}) must be below --staleness-ms ({}): a replica must get the \
+             chance to fail over before it reports itself degraded",
+            opts.lease_ms, opts.staleness_ms
+        ));
+    }
+    let promotion_flags = [
+        opts.replica_id.is_some(),
+        opts.advertise.is_some(),
+        opts.failover_dir.is_some(),
+    ];
+    if promotion_flags.iter().any(|&f| f) {
+        if !promotion_flags.iter().all(|&f| f) {
+            return Err(
+                "--replica-id, --advertise and --failover-dir must be given together \
+                 (the failover identity is all three)"
+                    .into(),
+            );
+        }
+        if opts.replicate_from.is_none() {
+            return Err(
+                "--replica-id/--advertise/--failover-dir require --replicate-from \
+                 (only a replica can stand for promotion)"
+                    .into(),
+            );
+        }
+    }
+    if !opts.peers.is_empty() && opts.wal_dir.is_none() {
+        return Err("--peer requires --wal-dir (the probe fences a restarting primary)".into());
     }
     Ok(opts)
 }
@@ -342,29 +412,54 @@ impl ServeOptions {
         self.faults.or_else(FaultPlan::from_env)
     }
 
+    /// The failover identity these options describe (`None` unless the
+    /// promotion trio `--replica-id`/`--advertise`/`--failover-dir` is set).
+    pub fn failover_config(&self) -> Option<FailoverConfig> {
+        let mut config = FailoverConfig::new(
+            self.replica_id?,
+            self.advertise.clone()?,
+            self.failover_dir.clone()?,
+        );
+        config.ship = ShipConfig {
+            lease_ms: self.lease_ms,
+            faults: self.fault_plan(),
+            ..ShipConfig::default()
+        };
+        Some(config)
+    }
+
+    /// Boots a read replica of `primary` and fronts it with a service.
+    fn boot_replica(&self, primary: &str) -> Result<SacService, String> {
+        let mut replica_config = ReplicaConfig::new(primary);
+        replica_config.staleness = Duration::from_millis(self.staleness_ms);
+        replica_config.engine = self.engine_config();
+        replica_config.faults = self.fault_plan();
+        replica_config.replica_id = self.replica_id;
+        replica_config.advertise = self.advertise.clone();
+        let replica = Replica::boot(replica_config)
+            .map_err(|e| format!("replica bootstrap from {primary} failed: {e}"))?;
+        eprintln!(
+            "replica bootstrapped from {primary} at epoch {}",
+            replica.status().applied_epoch()
+        );
+        if !self.warm.is_empty() {
+            replica.engine().warm(&self.warm);
+            eprintln!("warmed k-core indexes for k = {:?}", self.warm);
+        }
+        Ok(SacService::for_replica(replica, self.service_config()))
+    }
+
     /// Builds the graph (or recovers it from the WAL directory), warms the
     /// requested indexes and stands up the protocol service.  With
     /// `--replicate-from` the service fronts a read replica instead; with
-    /// `--ship-addr` the WAL-shipping endpoint is spawned alongside.
+    /// `--ship-addr` the WAL-shipping endpoint is spawned alongside.  With
+    /// `--peer`, a restarting primary first probes its peers and — when one
+    /// leads at a higher term — demotes itself to that leader's replica
+    /// instead of forking history from its stale WAL.
     pub fn build_service(&self) -> Result<SacService, String> {
         let config = self.engine_config();
         if let Some(primary) = &self.replicate_from {
-            let mut replica_config = ReplicaConfig::new(primary.clone());
-            replica_config.staleness = Duration::from_millis(self.staleness_ms);
-            replica_config.engine = config;
-            replica_config.faults = self.fault_plan();
-            let replica = Replica::boot(replica_config)
-                .map_err(|e| format!("replica bootstrap from {primary} failed: {e}"))?;
-            eprintln!(
-                "replica bootstrapped from {primary} at epoch {}",
-                replica.status().applied_epoch()
-            );
-            let engine = replica.engine();
-            if !self.warm.is_empty() {
-                engine.warm(&self.warm);
-                eprintln!("warmed k-core indexes for k = {:?}", self.warm);
-            }
-            return Ok(SacService::for_replica(&replica, self.service_config()));
+            return self.boot_replica(primary);
         }
         let live = match self.durability() {
             Some(durability) if sac_wal::has_state(&durability.dir) => {
@@ -407,6 +502,22 @@ impl ServeOptions {
                 }
             }
         };
+        if !self.peers.is_empty() {
+            // Zombie fencing: a primary that was deposed while down finds a
+            // peer leading at a higher term and rejoins as its replica (the
+            // stale WAL tail is discarded by the snapshot bootstrap).
+            let local_term = live.engine().term();
+            if let Some((leader, term)) =
+                find_superseding_primary(&self.peers, local_term, Duration::from_secs(2))
+            {
+                eprintln!(
+                    "superseded: peer {leader} leads at term {term} (local term \
+                     {local_term}); demoting to its replica"
+                );
+                drop(live);
+                return self.boot_replica(&leader);
+            }
+        }
         let engine = live.engine();
         if engine.shard_count() > 0 {
             eprintln!("serving {} spatial shards", engine.shard_count());
@@ -422,6 +533,7 @@ impl ServeOptions {
             let listener = std::net::TcpListener::bind(ship_addr)
                 .map_err(|e| format!("cannot bind shipping address {ship_addr}: {e}"))?;
             let ship_config = ShipConfig {
+                lease_ms: self.lease_ms,
                 faults: self.fault_plan(),
                 ..ShipConfig::default()
             };
@@ -557,12 +669,15 @@ mod tests {
                 "127.0.0.1:7900",
                 "--staleness-ms",
                 "500",
+                "--lease-ms",
+                "200",
             ]),
             false,
         )
         .unwrap();
         assert_eq!(opts.replicate_from.as_deref(), Some("127.0.0.1:7900"));
         assert_eq!(opts.staleness_ms, 500);
+        assert_eq!(opts.lease_ms, 200);
         // A replica keeps no local WAL; a shipper needs one.
         assert!(parse_args(
             &args(&["--replicate-from", "a:1", "--wal-dir", "/tmp/w"]),
@@ -572,6 +687,54 @@ mod tests {
         assert!(parse_args(&args(&["--ship-addr", "a:1"]), false).is_err());
         assert!(parse_args(&args(&["--staleness-ms", "0"]), false).is_err());
         assert!(parse_args(&args(&["--fault-inject", "nope=1"]), false).is_err());
+        // Failover flags: zero leases and lease >= staleness are rejected at
+        // parse time with explicit messages, not discovered at runtime.
+        assert!(parse_args(&args(&["--lease-ms", "0"]), false)
+            .unwrap_err()
+            .contains("--lease-ms"));
+        let err = parse_args(
+            &args(&["--staleness-ms", "1000", "--lease-ms", "1000"]),
+            false,
+        )
+        .unwrap_err();
+        assert!(err.contains("below --staleness-ms"), "got: {err}");
+        // The promotion identity is all-or-none and replica-only.
+        assert!(parse_args(&args(&["--replica-id", "1"]), false)
+            .unwrap_err()
+            .contains("given together"));
+        let trio = [
+            "--replica-id",
+            "1",
+            "--advertise",
+            "127.0.0.1:7901",
+            "--failover-dir",
+            "/tmp/f",
+        ];
+        assert!(parse_args(&args(&trio), false)
+            .unwrap_err()
+            .contains("--replicate-from"));
+        let full: Vec<&str> = ["--replicate-from", "127.0.0.1:7900"]
+            .iter()
+            .chain(trio.iter())
+            .copied()
+            .collect();
+        let opts = parse_args(&args(&full), false).unwrap();
+        assert_eq!(opts.replica_id, Some(1));
+        let failover = opts.failover_config().unwrap();
+        assert_eq!(failover.replica_id, 1);
+        assert_eq!(failover.advertise, "127.0.0.1:7901");
+        assert_eq!(failover.ship.lease_ms, 1000);
+        // Probing peers is a primary-side (WAL-holding) concern.
+        assert!(parse_args(&args(&["--peer", "a:1"]), false)
+            .unwrap_err()
+            .contains("--wal-dir"));
+        let opts = parse_args(
+            &args(&["--wal-dir", "/tmp/w", "--peer", "a:1", "--peer", "b:2"]),
+            false,
+        )
+        .unwrap();
+        assert_eq!(opts.peers, vec!["a:1", "b:2"]);
+        assert!(opts.failover_config().is_none(), "no trio, no failover");
         assert_eq!(parse_args(&args(&["--help"]), false).unwrap_err(), "");
         assert!(usage("sac-http", true).contains("--addr"));
         assert!(!usage("sac-serve", false).contains("--addr"));

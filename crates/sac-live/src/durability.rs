@@ -106,6 +106,11 @@ pub struct RecoveryReport {
     pub snapshot_epoch: u64,
     /// Epoch the recovered engine serves (snapshot epoch + replayed records).
     pub epoch: u64,
+    /// Leadership term re-established by recovery: the maximum of the
+    /// durable term marker and the terms carried by replayed records (terms
+    /// may only rise across the replay — a regression is a fenced zombie's
+    /// write and fails recovery).
+    pub term: u64,
     /// Log records replayed on top of the snapshot.
     pub records_replayed: u64,
     /// Individual mutations inside those records.

@@ -1,0 +1,301 @@
+//! Lease-based primary failover: promotion of a read replica to a writable
+//! primary, epoch/term fencing of the deposed leader, and the boot-time
+//! demotion probe that stops a restarted zombie from forking history.
+//!
+//! The protocol piggybacks on the replication stream — there is no separate
+//! consensus service:
+//!
+//! * **Leases.** Every heartbeat the primary ships carries a lease duration
+//!   (`ShipConfig::lease_ms`) and the roster of connected promotion
+//!   candidates.  A replica that applies the heartbeat re-arms its lease;
+//!   silence past the lease is the failure signal.
+//! * **Deterministic election.** When the lease expires, every candidate
+//!   evaluates the *same* rule over the *same* data — the lowest replica id
+//!   in the last broadcast roster wins.  No votes are exchanged: the roster
+//!   all candidates hold is the one the dead primary broadcast, so they
+//!   agree on the winner without talking to each other.
+//! * **Promotion.** The winner stops its tailer, seeds a fresh WAL directory
+//!   from its applied state (the snapshot checkpoint the new log starts
+//!   from), adopts `observed term + 1`, opens its own shipping endpoint on
+//!   the advertised address, and swaps the service's live front in place —
+//!   transports keep their handle, writes start landing.  Losers re-point
+//!   their believed primary at the winner and force a snapshot re-bootstrap
+//!   (the winner's log coordinates are unrelated to the dead primary's).
+//! * **Fencing.** Terms are stamped into every WAL record and replication
+//!   frame.  A restarted zombie primary recovers at its old term; before
+//!   serving writes it probes its peers ([`find_superseding_primary`]) and,
+//!   on finding a leader with a higher term, boots as that leader's replica
+//!   instead — its unreplicated tail is discarded by the snapshot bootstrap,
+//!   so history never forks.  Even without the probe, replicas refuse
+//!   streams whose term regresses, and the shipper refuses replicas that
+//!   observed a higher term, so a zombie cannot re-acquire followers.
+
+use crate::replication;
+use crate::service::{Role, SacService};
+use crate::{Durability, LiveEngine, ShipConfig};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Identity and resources a replica needs to stand for promotion.
+#[derive(Debug, Clone)]
+pub struct FailoverConfig {
+    /// Stable id this replica announced in its handshake (the election
+    /// compares these; lowest connected id wins).
+    pub replica_id: u64,
+    /// Address to ship the WAL on after promotion (the same address peers
+    /// learned from the heartbeat roster).
+    pub advertise: String,
+    /// Directory the promoted primary's fresh WAL is seeded into.  Must not
+    /// hold prior WAL state: promotion starts a new log with a snapshot of
+    /// the applied state as its base checkpoint.
+    pub dir: PathBuf,
+    /// Shipping configuration of the post-promotion endpoint (lease
+    /// duration, poll cadence, fault injection).
+    pub ship: ShipConfig,
+    /// Watchdog poll period override; `None` derives lease/4 (50 ms floor
+    /// fallback while no lease has been granted yet).
+    pub poll: Option<Duration>,
+}
+
+impl FailoverConfig {
+    /// A promotion-capable identity with default shipping and poll cadence.
+    pub fn new(replica_id: u64, advertise: impl Into<String>, dir: impl Into<PathBuf>) -> Self {
+        FailoverConfig {
+            replica_id,
+            advertise: advertise.into(),
+            dir: dir.into(),
+            ship: ShipConfig::default(),
+            poll: None,
+        }
+    }
+}
+
+/// Handle on an armed failover watchdog.
+#[derive(Debug)]
+pub struct FailoverHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl FailoverHandle {
+    /// Asks the watchdog to wind down and waits for it.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Arms the failover watchdog on a replica-fronting service: a background
+/// thread polls the lease and, when it expires, either promotes this node
+/// (it holds the lowest id in the last roster) or re-points the service's
+/// replica link at the deterministic winner.
+///
+/// Returns `None` when the service does not front a replica — a primary has
+/// no lease to watch.
+pub fn arm(service: Arc<SacService>, config: FailoverConfig) -> Option<FailoverHandle> {
+    service.replica_status()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let watchdog_stop = Arc::clone(&stop);
+    let thread = thread::spawn(move || watchdog(&service, &config, &watchdog_stop));
+    Some(FailoverHandle {
+        stop,
+        thread: Some(thread),
+    })
+}
+
+fn watchdog(service: &Arc<SacService>, config: &FailoverConfig, stop: &AtomicBool) {
+    loop {
+        let Some(status) = service.replica_status() else {
+            return; // promoted (or torn down): nothing left to watch
+        };
+        let poll = config.poll.unwrap_or_else(|| {
+            let lease = status.lease_ms();
+            Duration::from_millis(if lease == 0 { 50 } else { (lease / 4).max(10) })
+        });
+        thread::sleep(poll);
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        if !status.lease_expired() {
+            continue;
+        }
+        // Act on this expiry exactly once; a fresh heartbeat re-arms it.
+        status.disarm_lease();
+        let roster = status.roster();
+        let winner = roster.first().cloned();
+        match winner {
+            Some((id, _)) if id == config.replica_id => {
+                match promote(service, config, status.term()) {
+                    Ok(term) => {
+                        eprintln!(
+                            "failover: lease expired, promoted to primary at term {term} \
+                             (shipping on {})",
+                            config.advertise
+                        );
+                        return;
+                    }
+                    Err(e) => {
+                        // Promotion failed (bind error, WAL error): stay a
+                        // replica and keep watching — the next expiry retries.
+                        eprintln!("failover: promotion failed: {e}");
+                        service.set_role(Role::Replica);
+                    }
+                }
+            }
+            Some((id, addr)) => {
+                // A peer wins: follow it.  Its log is a different history
+                // (new term, fresh coordinates), so the next connection must
+                // bootstrap from its snapshot rather than resume our tail.
+                eprintln!("failover: lease expired, following new primary {addr} (id {id})");
+                status.repoint(addr);
+                status.request_bootstrap();
+            }
+            None => {
+                // No roster was ever broadcast: we are the only candidate we
+                // know of — promote.
+                match promote(service, config, status.term()) {
+                    Ok(term) => {
+                        eprintln!(
+                            "failover: lease expired with empty roster, promoted at term {term}"
+                        );
+                        return;
+                    }
+                    Err(e) => {
+                        eprintln!("failover: promotion failed: {e}");
+                        service.set_role(Role::Replica);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Promotes the service's replica to a writable primary in place; returns
+/// the adopted term.
+fn promote(
+    service: &Arc<SacService>,
+    config: &FailoverConfig,
+    observed_term: u64,
+) -> Result<u64, String> {
+    service.set_role(Role::Candidate);
+    let replica = service
+        .take_replica()
+        .ok_or("no replica link to promote (already taken)")?;
+    // Stop the tailer before opening the write path: no frame from the old
+    // primary may land after we start a new history.
+    let (engine, _status) = replica.into_parts();
+    let term = observed_term + 1;
+    // Seed a fresh WAL under the failover directory: attaching durability
+    // writes a base checkpoint of the applied state, the root of the new log.
+    let durability = Durability {
+        dir: config.dir.clone(),
+        ..Durability::new(&config.dir)
+    };
+    let live = LiveEngine::with_durability(engine, durability)
+        .map_err(|e| format!("cannot seed WAL under {}: {e}", config.dir.display()))?;
+    live.adopt_term(term)
+        .map_err(|e| format!("cannot adopt term {term}: {e}"))?;
+    let listener = TcpListener::bind(&config.advertise)
+        .map_err(|e| format!("cannot bind {}: {e}", config.advertise))?;
+    let handle = replication::spawn_shipper(
+        listener,
+        config.dir.clone(),
+        Arc::clone(live.engine()),
+        config.ship,
+    )
+    .map_err(|e| format!("cannot start shipper: {e}"))?;
+    // The shipper outlives its handle; the endpoint serves until exit.
+    let _ = handle;
+    service.install_live(live);
+    Ok(term)
+}
+
+/// Probes `peers` and returns the address and term of a live primary whose
+/// term exceeds `local_term`, if any (the highest such term wins).
+///
+/// A restarted primary calls this before serving writes: a superseding
+/// leader means this node was deposed while down — it must boot as a
+/// replica of that leader instead of forking history from its stale WAL.
+pub fn find_superseding_primary(
+    peers: &[String],
+    local_term: u64,
+    timeout: Duration,
+) -> Option<(String, u64)> {
+    let mut best: Option<(String, u64)> = None;
+    for peer in peers {
+        let Ok(reply) = replication::probe(peer, timeout) else {
+            continue; // an unreachable peer cannot supersede us
+        };
+        if reply.term <= local_term || reply.role != "primary" {
+            continue;
+        }
+        let addr = reply.leader.unwrap_or_else(|| peer.clone());
+        if best.as_ref().is_none_or(|(_, t)| reply.term > *t) {
+            best = Some((addr, reply.term));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replication::spawn_shipper;
+    use crate::ServiceConfig;
+    use sac_core::fixtures::figure3_graph;
+    use sac_engine::SacEngine;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sac-failover-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn arm_refuses_a_primary_service() {
+        let service = Arc::new(SacService::new(
+            Arc::new(SacEngine::new(figure3_graph())),
+            ServiceConfig::default(),
+        ));
+        assert!(arm(service, FailoverConfig::new(1, "127.0.0.1:0", "/tmp/x")).is_none());
+    }
+
+    #[test]
+    fn superseding_probe_ignores_lower_terms_and_dead_peers() {
+        // A live shipper at term 0 never supersedes a node at term 0.
+        let dir = temp_dir("probe");
+        let engine = Arc::new(SacEngine::new(figure3_graph()));
+        let live = LiveEngine::with_durability(Arc::clone(&engine), Durability::new(&dir)).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle = spawn_shipper(
+            listener,
+            dir.clone(),
+            Arc::clone(&engine),
+            ShipConfig::default(),
+        )
+        .unwrap();
+        let addr = handle.addr().to_string();
+        let timeout = Duration::from_millis(500);
+        let peers = vec!["127.0.0.1:1".to_string(), addr.clone()];
+        assert_eq!(find_superseding_primary(&peers, 0, timeout), None);
+        // Raise the shipper's term above ours: now it supersedes.
+        live.adopt_term(3).unwrap();
+        assert_eq!(
+            find_superseding_primary(&peers, 0, timeout),
+            Some((addr.clone(), 3))
+        );
+        assert_eq!(
+            find_superseding_primary(&peers, 3, timeout),
+            None,
+            "equal terms do not supersede"
+        );
+        handle.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

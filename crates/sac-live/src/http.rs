@@ -14,7 +14,7 @@
 //! | `GET /stats` | shorthand for `{"cmd":"stats"}` |
 //! | `GET /metrics` | Prometheus text exposition (`{"cmd":"metrics"}` carries the same text as JSON) |
 //! | `GET /events?since=N` | structured event-log page from cursor `N` (shorthand for `{"cmd":"events","since":N}`) |
-//! | `GET /healthz` | liveness probe: `{"ok":true,"epoch":…,"shards":…,"uptime_secs":…}` (plus a `wal` object when durability is on, and a `replication` object + `"status":"ok"|"degraded"` on replicas) |
+//! | `GET /healthz` | liveness probe: `{"ok":true,"epoch":…,"shards":…,"uptime_secs":…,…,"role":"primary"\|"replica"\|"candidate"}` (plus a `wal` object when durability is on, and a `replication` object + `"status":"ok"|"degraded"` on replicas; `role` is always reported and tracks failover) |
 //!
 //! A `{"cmd":"quit"}` document closes the connection (the server keeps
 //! accepting new ones); transport-level problems (unknown route, missing
@@ -427,9 +427,10 @@ pub fn handle_connection_with(
                     )
                 });
                 let body = format!(
-                    "{{\"ok\":true,\"epoch\":{},\"shards\":{shards},\"uptime_secs\":{}{wal}{replication}}}\n",
+                    "{{\"ok\":true,\"epoch\":{},\"shards\":{shards},\"uptime_secs\":{}{wal}{replication},\"role\":\"{}\"}}\n",
                     engine.epoch(),
                     service.uptime_secs(),
+                    service.role().as_str(),
                 );
                 write_response(service, &mut writer, "200 OK", &body, keep_alive)?;
             }
@@ -578,6 +579,11 @@ mod tests {
         let (status, body) = roundtrip(&mut stream, "GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n");
         assert_eq!(status, "HTTP/1.1 200 OK");
         assert!(body.starts_with(r#"{"ok":true,"epoch":1,"shards":0,"uptime_secs":"#));
+        // Every engine mode reports its role; a plain service is a primary.
+        assert!(
+            body.trim_end().ends_with(r#""role":"primary"}"#),
+            "got: {body}"
+        );
         let (status, body) = roundtrip(&mut stream, "GET /stats HTTP/1.1\r\nHost: test\r\n\r\n");
         assert_eq!(status, "HTTP/1.1 200 OK");
         assert!(body.contains(r#""vertices":10"#));

@@ -56,6 +56,12 @@
 //!   side, and staleness-aware degradation ([`ReplicaStatus::degraded`])
 //!   make the link's failure modes first-class and rehearsable (see
 //!   [`replication`]).
+//! * **Failover** — heartbeats double as leadership leases: when a replica's
+//!   lease expires, the deterministic winner (lowest id in the last roster)
+//!   promotes itself in place — tailer stopped, fresh WAL seeded, term
+//!   bumped, shipping endpoint opened — while losers re-point and
+//!   re-bootstrap.  Terms stamped into every WAL record and frame fence a
+//!   restarted zombie primary out of the new history (see [`failover`]).
 //!
 //! ## Example
 //!
@@ -86,6 +92,7 @@
 pub mod cli;
 mod delta;
 mod durability;
+pub mod failover;
 mod fault;
 pub mod http;
 pub mod ldjson;
@@ -96,11 +103,13 @@ mod service;
 
 pub use delta::{GraphDelta, Mutation};
 pub use durability::{CheckpointReport, CommitError, Durability, RecoveryReport, WalStats};
+pub use failover::{FailoverConfig, FailoverHandle};
 pub use fault::{FaultAction, FaultInjector, FaultPlan};
 pub use live::{BatchApplyReport, CommitReport, LiveEngine};
 pub use replication::{
-    spawn_shipper, Replica, ReplicaConfig, ReplicaError, ReplicaStatus, ShipConfig, ShipHandle,
+    probe, spawn_shipper, Replica, ReplicaConfig, ReplicaError, ReplicaStatus, ShipConfig,
+    ShipHandle,
 };
 pub use retry::RetryPolicy;
 pub use sac_wal::SyncPolicy;
-pub use service::{SacService, ServiceConfig};
+pub use service::{Role, SacService, ServiceConfig};

@@ -274,6 +274,7 @@ impl LiveEngine {
         };
         let image = sac_wal::read_snapshot(&snapshot_path)?;
         let clean_epoch = sac_wal::read_clean_marker(&config.dir);
+        let marker_term = sac_wal::read_term_marker(&config.dir).unwrap_or(0);
         let log = sac_wal::read_log(&config.dir, clean_epoch.is_none())?;
 
         // Replay through the same incremental maintenance the live path uses.
@@ -281,6 +282,7 @@ impl LiveEngine {
         let mut dynamic = DynamicGraph::from_parts(&image.graph, &decomposition);
         let mut positions = image.positions;
         let mut epoch = snapshot_epoch;
+        let mut term = marker_term;
         let mut records_replayed = 0u64;
         let mut mutations_replayed = 0u64;
         for record in &log.records {
@@ -293,6 +295,17 @@ impl LiveEngine {
                     found: record.epoch,
                 });
             }
+            // Terms are monotone within one history: a record below the
+            // established term is a fenced zombie's write — replaying it
+            // would fork history, so recovery refuses.
+            if record.term < term {
+                return Err(WalError::TermRegression {
+                    expected: term,
+                    found: record.term,
+                    epoch: record.epoch,
+                });
+            }
+            term = record.term;
             for op in &record.ops {
                 match *op {
                     WalOp::InsertEdge(u, v) => {
@@ -326,11 +339,13 @@ impl LiveEngine {
             map,
             epoch,
         ));
+        engine.set_term(term);
         let live = LiveEngine::new(Arc::clone(&engine));
         live.attach_wal(config, Some(snapshot_epoch))?;
         let report = RecoveryReport {
             snapshot_epoch,
             epoch,
+            term,
             records_replayed,
             mutations_replayed,
             truncated_bytes: log.truncated_bytes,
@@ -470,6 +485,24 @@ impl LiveEngine {
             );
         }
         Ok(report)
+    }
+
+    /// Durably adopts a new leadership term: mirrors it into the WAL
+    /// directory's term marker **before** stamping it into the engine, so a
+    /// crash between the two leaves the stricter state (recovery
+    /// re-establishes at least this term, and any record logged under it
+    /// satisfies the monotonicity check).  Terms never regress: adopting a
+    /// term at or below the current one is a no-op.  Errors when durability
+    /// is disabled — a promotion without a WAL could not fence anything.
+    pub fn adopt_term(&self, term: u64) -> Result<(), WalError> {
+        if term <= self.engine.term() {
+            return Ok(());
+        }
+        let guard = self.wal.lock().expect("wal state poisoned");
+        let wal = guard.as_ref().ok_or(WalError::Disabled)?;
+        sac_wal::write_term_marker(&wal.config.dir, term)?;
+        self.engine.set_term(term);
+        Ok(())
     }
 
     /// Flushes and fsyncs the WAL and writes the clean-shutdown marker, so
@@ -725,6 +758,7 @@ impl LiveEngine {
         if let Some(wal) = wal_guard.as_mut() {
             let record = DeltaRecord {
                 epoch: self.engine.epoch() + 1,
+                term: self.engine.term(),
                 ops: wal_ops(&front.delta),
             };
             match wal.writer.append(&record) {

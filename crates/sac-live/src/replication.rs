@@ -36,6 +36,14 @@
 //!   **degrades** rather than fails: it keeps answering queries at its
 //!   last applied epoch and flips `/healthz` to `degraded`, recovering
 //!   automatically when the link heals.
+//! * Heartbeats double as **leases** for failover (see
+//!   [`crate::failover`]): each carries the primary's leadership term, a
+//!   lease duration, and the roster of connected promotion candidates.
+//!   The replica tracks the observed term and rejects streams and records
+//!   from a primary whose term regressed (a fenced zombie); a shipping
+//!   endpoint likewise refuses replicas that have observed a newer term
+//!   than its own, and answers [`probe`] requests with its term and role
+//!   so a restarting primary can detect it was superseded.
 //!
 //! Durability is asymmetric by design: a replica trusts that everything
 //! the primary shipped is durable on the primary.  Run primaries with
@@ -47,14 +55,16 @@ use sac_engine::{EngineConfig, SacEngine};
 use sac_geom::Point;
 use sac_graph::{CoreDecomposition, DynamicGraph, GraphError, SpatialGraph};
 use sac_obs::{Counter, Gauge};
-use sac_proto::replication::{ReplFrame, ReplicateHello, ReplicateRequest};
+use sac_proto::replication::{
+    ProbeReply, ProbeRequest, ReplFrame, ReplicateHello, ReplicateRequest,
+};
 use sac_proto::ReplicationStatsReply;
 use sac_wal::{crc::crc32, DeltaRecord, WalError, WalOp};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -74,6 +84,10 @@ pub struct ShipConfig {
     pub poll: Duration,
     /// Maximum record frames per tail read (bounds per-iteration memory).
     pub max_frames: usize,
+    /// Lease duration stamped into every heartbeat, in milliseconds.  A
+    /// replica that hears nothing for this long past its last heartbeat may
+    /// start an election (see [`crate::failover`]).
+    pub lease_ms: u64,
     /// Send-side fault injection, if armed.
     pub faults: Option<FaultPlan>,
 }
@@ -83,6 +97,7 @@ impl Default for ShipConfig {
         ShipConfig {
             poll: Duration::from_millis(15),
             max_frames: 64,
+            lease_ms: 1000,
             faults: None,
         }
     }
@@ -122,6 +137,9 @@ pub fn spawn_shipper(
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let accept_stop = Arc::clone(&stop);
+    // Connected promotion candidates, broadcast in every heartbeat so all
+    // followers elect the same winner when the lease expires.
+    let roster: Arc<Mutex<Vec<(u64, String)>>> = Arc::new(Mutex::new(Vec::new()));
     thread::spawn(move || {
         let conns = AtomicU64::new(0);
         for stream in listener.incoming() {
@@ -133,18 +151,44 @@ pub fn spawn_shipper(
             let dir = dir.clone();
             let engine = Arc::clone(&engine);
             let stop = Arc::clone(&accept_stop);
+            let roster = Arc::clone(&roster);
             thread::spawn(move || {
                 // A broken replica connection is that replica's problem; the
                 // shipper just moves on to the next accept.
-                let _ = ship_connection(stream, &dir, &engine, config, conn_id, &stop);
+                let _ = ship_connection(stream, &dir, &engine, config, conn_id, &stop, &roster);
             });
         }
     });
     Ok(ShipHandle { addr, stop })
 }
 
+/// Registers one candidate in the shipper's roster for the lifetime of its
+/// connection; dropping the guard (connection end) deregisters it.
+struct RosterGuard<'a> {
+    roster: &'a Mutex<Vec<(u64, String)>>,
+    id: u64,
+}
+
+impl<'a> RosterGuard<'a> {
+    fn register(roster: &'a Mutex<Vec<(u64, String)>>, id: u64, addr: String) -> RosterGuard<'a> {
+        let mut r = roster.lock().expect("roster poisoned");
+        r.retain(|(i, _)| *i != id);
+        r.push((id, addr));
+        r.sort_by_key(|(id, _)| *id);
+        RosterGuard { roster, id }
+    }
+}
+
+impl Drop for RosterGuard<'_> {
+    fn drop(&mut self) {
+        let mut r = self.roster.lock().expect("roster poisoned");
+        r.retain(|(i, _)| *i != self.id);
+    }
+}
+
 /// Serves one replica connection: handshake, optional snapshot bootstrap,
 /// then the frame stream.
+#[allow(clippy::too_many_arguments)]
 fn ship_connection(
     stream: TcpStream,
     dir: &Path,
@@ -152,6 +196,7 @@ fn ship_connection(
     config: ShipConfig,
     conn_id: u64,
     stop: &AtomicBool,
+    roster: &Mutex<Vec<(u64, String)>>,
 ) -> std::io::Result<()> {
     stream.set_write_timeout(Some(Duration::from_secs(10)))?;
     stream.set_read_timeout(Some(Duration::from_secs(10)))?;
@@ -159,12 +204,41 @@ fn ship_connection(
     let mut writer = stream;
     let mut line = String::new();
     reader.read_line(&mut line)?;
+    if ProbeRequest::parse_line(line.trim_end()).is_some() {
+        // A leadership probe: answer term + role and hang up.  Anyone
+        // serving this endpoint is acting as a primary.
+        let reply = ProbeReply {
+            term: engine.term(),
+            role: "primary".to_string(),
+            leader: None,
+        };
+        writeln!(writer, "{}", reply.encode_line())?;
+        return Ok(());
+    }
     let Some(request) = ReplicateRequest::parse_line(line.trim_end()) else {
         let hello = ReplicateHello::Error {
             message: "malformed replicate request".to_string(),
         };
         writeln!(writer, "{}", hello.encode_line())?;
         return Ok(());
+    };
+    if request.term > engine.term() {
+        // The replica has observed a newer leadership term than ours: we
+        // were superseded while partitioned.  Refusing the stream keeps a
+        // zombie primary from feeding stale history to the fleet.
+        let hello = ReplicateHello::Error {
+            message: format!(
+                "superseded: replica observed term {} above this primary's term {}",
+                request.term,
+                engine.term()
+            ),
+        };
+        writeln!(writer, "{}", hello.encode_line())?;
+        return Ok(());
+    }
+    let _candidate = match (request.replica_id, request.advertise.clone()) {
+        (Some(id), Some(addr)) => Some(RosterGuard::register(roster, id, addr)),
+        _ => None,
     };
 
     let (mut seg, mut pos) = if request.snapshot {
@@ -175,6 +249,7 @@ fn ship_connection(
                     len: bytes.len() as u64,
                     segment,
                     offset: 0,
+                    term: engine.term(),
                 };
                 writeln!(writer, "{}", hello.encode_line())?;
                 // Bootstrap bytes ship un-injected: faults target the
@@ -195,6 +270,7 @@ fn ship_connection(
         let hello = ReplicateHello::Tail {
             segment: request.segment,
             offset: request.offset,
+            term: engine.term(),
         };
         writeln!(writer, "{}", hello.encode_line())?;
         (request.segment, request.offset)
@@ -236,6 +312,9 @@ fn ship_connection(
             epoch: engine.epoch(),
             segment: seg,
             offset: pos,
+            term: engine.term(),
+            lease_ms: config.lease_ms,
+            roster: roster.lock().expect("roster poisoned").clone(),
         };
         if !send_frame(&mut writer, &heartbeat, injector.as_mut())? {
             return Ok(());
@@ -393,11 +472,18 @@ pub struct ReplicaConfig {
     pub seed: u64,
     /// Connection attempts before [`Replica::boot`] gives up.
     pub boot_attempts: u32,
+    /// Stable id announced in the handshake when this replica is a
+    /// promotion candidate (`None` = anonymous tailer, never promotes).
+    pub replica_id: Option<u64>,
+    /// Shipping address this replica would serve on if promoted, broadcast
+    /// to its peers via the heartbeat roster.
+    pub advertise: Option<String>,
 }
 
 impl ReplicaConfig {
     /// A replica of `primary` with default policies: 3 s staleness
-    /// threshold, default backoff, no fault injection.
+    /// threshold, default backoff, no fault injection, no failover
+    /// identity.
     pub fn new(primary: impl Into<String>) -> ReplicaConfig {
         ReplicaConfig {
             primary: primary.into(),
@@ -407,6 +493,8 @@ impl ReplicaConfig {
             engine: EngineConfig::default(),
             seed: 0x5AC0_0001,
             boot_attempts: 40,
+            replica_id: None,
+            advertise: None,
         }
     }
 }
@@ -415,7 +503,9 @@ impl ReplicaConfig {
 /// `/stats`, `/healthz` and the redirect error of rejected mutations.
 #[derive(Debug)]
 pub struct ReplicaStatus {
-    primary: String,
+    /// Believed primary; the failover watchdog re-points it when a peer
+    /// wins an election, and the tailer re-reads it on every reconnect.
+    primary: Mutex<String>,
     staleness: Duration,
     started: Instant,
     connected: AtomicBool,
@@ -427,12 +517,25 @@ pub struct ReplicaStatus {
     reconnects: AtomicU64,
     records_applied: AtomicU64,
     snapshot_bootstraps: AtomicU64,
+    /// Highest leadership term observed on the link.
+    term: AtomicU64,
+    /// Lease duration granted by the newest heartbeat, ms (0 until the
+    /// first lease-bearing heartbeat — failover stays disarmed until then).
+    lease_ms: AtomicU64,
+    /// Micros since `started` at which the current lease expires.
+    lease_until_micros: AtomicU64,
+    /// Promotion roster from the newest heartbeat.
+    roster: Mutex<Vec<(u64, String)>>,
+    /// Set by the failover watchdog after re-pointing `primary`: the new
+    /// primary's log coordinates are unrelated to the old one's, so the
+    /// next reconnect must bootstrap from a snapshot, not resume a tail.
+    bootstrap_requested: AtomicBool,
 }
 
 impl ReplicaStatus {
     fn new(primary: String, staleness: Duration) -> ReplicaStatus {
         ReplicaStatus {
-            primary,
+            primary: Mutex::new(primary),
             staleness,
             started: Instant::now(),
             connected: AtomicBool::new(false),
@@ -442,6 +545,11 @@ impl ReplicaStatus {
             reconnects: AtomicU64::new(0),
             records_applied: AtomicU64::new(0),
             snapshot_bootstraps: AtomicU64::new(0),
+            term: AtomicU64::new(0),
+            lease_ms: AtomicU64::new(0),
+            lease_until_micros: AtomicU64::new(0),
+            roster: Mutex::new(Vec::new()),
+            bootstrap_requested: AtomicBool::new(false),
         }
     }
 
@@ -455,9 +563,71 @@ impl ReplicaStatus {
         Duration::from_micros(now.saturating_sub(self.last_contact_micros.load(Ordering::Relaxed)))
     }
 
-    /// The primary's shipping address this replica follows.
-    pub fn primary(&self) -> &str {
-        &self.primary
+    /// The believed primary's shipping address.
+    pub fn primary(&self) -> String {
+        self.primary.lock().expect("primary poisoned").clone()
+    }
+
+    /// Re-points the believed primary (an elected peer took over); the
+    /// tailer picks the new address up on its next reconnect.
+    pub fn repoint(&self, primary: String) {
+        *self.primary.lock().expect("primary poisoned") = primary;
+    }
+
+    /// Highest leadership term observed on the link.
+    pub fn term(&self) -> u64 {
+        self.term.load(Ordering::Relaxed)
+    }
+
+    fn observe_term(&self, term: u64) {
+        self.term.fetch_max(term, Ordering::Relaxed);
+    }
+
+    /// Installs a fresh lease from a heartbeat.
+    fn grant_lease(&self, lease_ms: u64) {
+        self.lease_ms.store(lease_ms, Ordering::Relaxed);
+        let until = self.started.elapsed().as_micros() as u64 + lease_ms * 1000;
+        self.lease_until_micros.store(until, Ordering::Relaxed);
+    }
+
+    /// Lease duration granted by the newest heartbeat (0 = no lease seen
+    /// yet; failover stays disarmed).
+    pub fn lease_ms(&self) -> u64 {
+        self.lease_ms.load(Ordering::Relaxed)
+    }
+
+    /// Whether a granted lease has expired: the primary went silent past
+    /// the window it promised to heartbeat within.  Always `false` before
+    /// the first lease-bearing heartbeat.
+    pub fn lease_expired(&self) -> bool {
+        let lease = self.lease_ms.load(Ordering::Relaxed);
+        if lease == 0 {
+            return false;
+        }
+        let now = self.started.elapsed().as_micros() as u64;
+        now > self.lease_until_micros.load(Ordering::Relaxed)
+    }
+
+    fn set_roster(&self, roster: Vec<(u64, String)>) {
+        *self.roster.lock().expect("roster poisoned") = roster;
+    }
+
+    /// The promotion roster from the newest heartbeat: connected candidate
+    /// `(replica id, advertised address)` pairs, ascending by id.
+    pub fn roster(&self) -> Vec<(u64, String)> {
+        self.roster.lock().expect("roster poisoned").clone()
+    }
+
+    /// Forces the tailer's next reconnect to bootstrap from a snapshot (the
+    /// flag sticks until a bootstrap succeeds).  Called after [`Self::repoint`].
+    pub fn request_bootstrap(&self) {
+        self.bootstrap_requested.store(true, Ordering::Relaxed);
+    }
+
+    /// Disarms the lease until the next lease-bearing heartbeat, so the
+    /// failover watchdog acts on an expiry exactly once.
+    pub fn disarm_lease(&self) {
+        self.lease_ms.store(0, Ordering::Relaxed);
     }
 
     /// Whether the replication link is currently established.
@@ -506,7 +676,7 @@ impl ReplicaStatus {
     /// The wire-level stats object for `/stats` and `/healthz`.
     pub fn stats_reply(&self) -> ReplicationStatsReply {
         ReplicationStatsReply {
-            primary: self.primary.clone(),
+            primary: self.primary(),
             connected: self.connected(),
             degraded: self.degraded(),
             last_applied_epoch: self.applied_epoch(),
@@ -516,6 +686,7 @@ impl ReplicaStatus {
             reconnects: self.reconnects(),
             records_applied: self.records_applied(),
             snapshot_bootstraps: self.snapshot_bootstraps(),
+            term: self.term(),
         }
     }
 }
@@ -592,9 +763,10 @@ impl Replica {
     /// snapshot, and spawns the tailer thread that applies the record
     /// stream.  Returns once the snapshot state is being served.
     pub fn boot(config: ReplicaConfig) -> Result<Replica, ReplicaError> {
+        let status = Arc::new(ReplicaStatus::new(config.primary.clone(), config.staleness));
         let mut attempt = 0u32;
         let (reader, state, engine) = loop {
-            match bootstrap(&config) {
+            match bootstrap(&config, &status) {
                 Ok(booted) => break booted,
                 Err(e) => {
                     attempt += 1;
@@ -605,7 +777,6 @@ impl Replica {
                 }
             }
         };
-        let status = Arc::new(ReplicaStatus::new(config.primary.clone(), config.staleness));
         status.connected.store(true, Ordering::Relaxed);
         status.applied_epoch.store(state.applied, Ordering::Relaxed);
         status.primary_epoch.store(state.applied, Ordering::Relaxed);
@@ -648,6 +819,29 @@ impl Replica {
     pub fn stop(&self) {
         self.stop.store(true, Ordering::SeqCst);
     }
+
+    /// Tears the replica down for promotion: stops the tailer and hands
+    /// back the serving engine and the shared status.  The engine keeps
+    /// serving its applied epoch throughout — promotion wraps it in a
+    /// [`crate::LiveEngine`] without a restart.
+    pub fn into_parts(self) -> (Arc<SacEngine>, Arc<ReplicaStatus>) {
+        self.stop();
+        (self.engine, self.status)
+    }
+}
+
+/// Probes a shipping endpoint for its leadership term and role.  Used by a
+/// restarting primary to detect that it was superseded while down (zombie
+/// demotion) before it accepts a single write.
+pub fn probe(addr: &str, timeout: Duration) -> Result<ProbeReply, ReplicaError> {
+    let mut stream = connect(addr, timeout)?;
+    writeln!(stream, "{}", ProbeRequest.encode_line())?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    ProbeReply::parse_line(line.trim_end()).ok_or_else(|| {
+        ReplicaError::Protocol(format!("malformed probe reply: {}", line.trim_end()))
+    })
 }
 
 /// The tailer's mutable replay state: the incrementally maintained graph
@@ -692,13 +886,15 @@ fn connect(primary: &str, timeout: Duration) -> std::io::Result<TcpStream> {
     Ok(stream)
 }
 
-/// Opens a connection and runs the handshake; returns the buffered reader
-/// (positioned right after the hello line) and the primary's answer.
+/// Opens a connection to `primary` and runs the handshake; returns the
+/// buffered reader (positioned right after the hello line) and the
+/// primary's answer.
 fn handshake(
+    primary: &str,
     config: &ReplicaConfig,
     request: &ReplicateRequest,
 ) -> Result<(BufReader<TcpStream>, ReplicateHello), ReplicaError> {
-    let mut stream = connect(&config.primary, config.retry.attempt_timeout)?;
+    let mut stream = connect(primary, config.retry.attempt_timeout)?;
     writeln!(stream, "{}", request.encode_line())?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
@@ -758,24 +954,34 @@ fn state_from_image(image: sac_wal::SnapshotImage) -> Result<RestoredState, Repl
 /// First boot: snapshot handshake, engine construction.
 fn bootstrap(
     config: &ReplicaConfig,
+    status: &ReplicaStatus,
 ) -> Result<(BufReader<TcpStream>, ReplicaState, Arc<SacEngine>), ReplicaError> {
     let request = ReplicateRequest {
-        segment: 0,
-        offset: 0,
-        snapshot: true,
+        term: status.term(),
+        replica_id: config.replica_id,
+        advertise: config.advertise.clone(),
+        ..ReplicateRequest::new(0, 0, true)
     };
-    let (mut reader, hello) = handshake(config, &request)?;
+    let (mut reader, hello) = handshake(&status.primary(), config, &request)?;
     let ReplicateHello::Snapshot {
         epoch,
         len,
         segment,
         offset,
+        term,
     } = hello
     else {
         return Err(ReplicaError::Protocol(format!(
             "expected a snapshot hello, got {hello:?}"
         )));
     };
+    if term < status.term() {
+        return Err(ReplicaError::Protocol(format!(
+            "stale primary: hello term {term} below observed term {}",
+            status.term()
+        )));
+    }
+    status.observe_term(term);
     let image = receive_snapshot(&mut reader, len)?;
     if image.epoch != epoch {
         return Err(ReplicaError::Protocol(format!(
@@ -785,6 +991,7 @@ fn bootstrap(
     }
     let (dynamic, positions, snapshot, _, map) = state_from_image(image)?;
     let engine = Arc::new(SacEngine::restored(snapshot, config.engine, map, epoch));
+    engine.set_term(status.term());
     let state = ReplicaState {
         dynamic,
         positions,
@@ -858,15 +1065,30 @@ fn reconnect(
     state: &mut ReplicaState,
     want_snapshot: bool,
 ) -> Result<BufReader<TcpStream>, ReconnectFail> {
+    let want_snapshot = want_snapshot || ctx.status.bootstrap_requested.load(Ordering::Relaxed);
     let request = ReplicateRequest {
-        segment: state.pos.0,
-        offset: state.pos.1,
-        snapshot: want_snapshot,
+        term: ctx.status.term(),
+        replica_id: ctx.config.replica_id,
+        advertise: ctx.config.advertise.clone(),
+        ..ReplicateRequest::new(state.pos.0, state.pos.1, want_snapshot)
     };
+    // The believed primary is re-read from the status every attempt: the
+    // failover watchdog may have re-pointed it at an elected peer.
+    let primary = ctx.status.primary();
     let (mut reader, hello) =
-        handshake(&ctx.config, &request).map_err(|_| ReconnectFail::TryAgain)?;
+        handshake(&primary, &ctx.config, &request).map_err(|_| ReconnectFail::TryAgain)?;
     match hello {
-        ReplicateHello::Tail { segment, offset } => {
+        ReplicateHello::Tail {
+            segment,
+            offset,
+            term,
+        } => {
+            if term < ctx.status.term() {
+                // A fenced zombie still answering on the old address.
+                return Err(ReconnectFail::TryAgain);
+            }
+            ctx.status.observe_term(term);
+            ctx.engine.set_term(ctx.status.term());
             state.pos = (segment, offset);
             Ok(reader)
         }
@@ -876,14 +1098,27 @@ fn reconnect(
             len,
             segment,
             offset,
+            term,
         } => {
+            if term < ctx.status.term() {
+                return Err(ReconnectFail::TryAgain);
+            }
+            ctx.status.observe_term(term);
+            ctx.engine.set_term(ctx.status.term());
             let image = receive_snapshot(&mut reader, len).map_err(|_| ReconnectFail::TryAgain)?;
             if image.epoch != epoch {
                 return Err(ReconnectFail::TryAgain);
             }
-            if epoch > state.applied {
+            // A post-failover bootstrap is authoritative even at or below
+            // our applied epoch: the new primary's history is the fleet's
+            // history, and anything we applied beyond it (shipped by the
+            // dead primary but never reaching the winner) is discarded so
+            // the fleet converges bit-identically.
+            let forced = ctx.status.bootstrap_requested.load(Ordering::Relaxed);
+            if epoch > state.applied || (forced && epoch != state.applied) {
                 // The records between our applied epoch and the snapshot
-                // were truncated by a primary checkpoint: jump forward.
+                // were truncated by a primary checkpoint (or the snapshot
+                // supersedes our fork): jump to it.
                 let (dynamic, positions, snapshot, decomposition, _) =
                     state_from_image(image).map_err(|_| ReconnectFail::TryAgain)?;
                 ctx.engine.publish_restored(snapshot, decomposition, epoch);
@@ -907,8 +1142,13 @@ fn reconnect(
             }
             // A snapshot at or below our applied epoch carries nothing new:
             // keep the richer local state and just resume the stream —
-            // records at or below `applied` are skipped on arrival.
+            // records at or below `applied` are skipped on arrival.  Either
+            // way the position realigns to this primary's log coordinates,
+            // which satisfies any pending post-failover bootstrap request.
             state.pos = (segment, offset);
+            ctx.status
+                .bootstrap_requested
+                .store(false, Ordering::Relaxed);
             Ok(reader)
         }
         ReplicateHello::Error { .. } => Err(ReconnectFail::TryAgain),
@@ -938,6 +1178,11 @@ fn stream_frames(
             Ok(frame) => frame,
             Err(_) => return StreamEnd::Reconnect,
         };
+        // Re-check after the blocking read: a promotion in progress must
+        // not race this thread into publishing one more epoch.
+        if ctx.stop.load(Ordering::SeqCst) {
+            return StreamEnd::Stop;
+        }
         if let Some(injector) = injector.as_mut() {
             let approx_len = match &frame {
                 ReplFrame::Record { payload, .. } => 25 + payload.len(),
@@ -1010,6 +1255,13 @@ fn process_frame(
                 state.pos = (segment, end_offset);
                 return FrameVerdict::Continue;
             }
+            if record.term < ctx.status.term() {
+                // A fenced zombie's write: never apply it.  Reconnecting
+                // re-runs the handshake, where the stale primary is refused
+                // outright.
+                return FrameVerdict::End(StreamEnd::Reconnect);
+            }
+            ctx.status.observe_term(record.term);
             if record.epoch != state.applied + 1 {
                 // A gap means an earlier record was lost (e.g. dropped by
                 // the fault injector): resume from the last good position.
@@ -1039,8 +1291,21 @@ fn process_frame(
             epoch,
             segment,
             offset,
+            term,
+            lease_ms,
+            roster,
         } => {
             ctx.status.touch();
+            if term < ctx.status.term() {
+                // Stale beacon from a fenced zombie: drop the stream.
+                return FrameVerdict::End(StreamEnd::Reconnect);
+            }
+            ctx.status.observe_term(term);
+            ctx.engine.set_term(ctx.status.term());
+            if lease_ms > 0 {
+                ctx.status.grant_lease(lease_ms);
+                ctx.status.set_roster(roster);
+            }
             ctx.status.primary_epoch.store(epoch, Ordering::Relaxed);
             if ctx.obs.enabled {
                 ctx.obs.primary_epoch.set(epoch as i64);

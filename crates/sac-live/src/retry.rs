@@ -99,6 +99,61 @@ mod tests {
     }
 
     #[test]
+    fn golden_schedule_is_pinned_for_seed_42() {
+        // Golden values captured from this implementation.  Any drift in the
+        // backoff formula or the jitter hash changes the reconnect cadence
+        // operators tune around, so it must show up here as a deliberate
+        // edit, not as silent skew.
+        let policy = RetryPolicy::default();
+        const GOLDEN_NANOS: [(u32, u64); 12] = [
+            (0, 54_831_298),
+            (1, 92_192_895),
+            (2, 171_095_015),
+            (3, 430_061_051),
+            (4, 823_201_407),
+            (5, 1_456_385_634),
+            (6, 1_767_454_415),
+            (7, 2_137_497_463),
+            (8, 2_165_768_512),
+            (9, 1_933_182_488),
+            (63, 2_065_793_906),
+            (1000, 1_675_288_592),
+        ];
+        for (attempt, nanos) in GOLDEN_NANOS {
+            assert_eq!(
+                policy.delay(attempt, 42),
+                Duration::from_nanos(nanos),
+                "attempt {attempt} drifted from the pinned schedule"
+            );
+        }
+        // Cap pinning: once `base * multiplier^n` crosses `max`, every later
+        // delay sits in the jittered cap band [1.6 s, 2.4 s] forever —
+        // including attempts far past the exponent clamp at 63.
+        for attempt in [6, 7, 20, 40, 63, 64, 1000] {
+            let d = policy.delay(attempt, 42);
+            assert!(
+                d >= Duration::from_millis(1600) && d <= Duration::from_millis(2400),
+                "attempt {attempt} escaped the cap band: {d:?}"
+            );
+        }
+        // Monotone growth of the jitter-stripped schedule up to saturation.
+        let exact = RetryPolicy {
+            jitter: 0.0,
+            ..policy
+        };
+        let mut last = Duration::ZERO;
+        for attempt in 0..=6 {
+            let d = exact.delay(attempt, 42);
+            assert!(
+                d > last,
+                "attempt {attempt} did not grow: {d:?} <= {last:?}"
+            );
+            last = d;
+        }
+        assert_eq!(exact.delay(7, 42), exact.delay(63, 42), "cap saturates");
+    }
+
+    #[test]
     fn zero_jitter_is_exact() {
         let policy = RetryPolicy {
             jitter: 0.0,

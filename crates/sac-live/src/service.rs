@@ -16,8 +16,44 @@ use sac_proto::{
     CheckpointReply, CommitReply, CoreReply, EncodeOptions, EventsReply, MutationReply,
     ProtoRequest, ProtoResponse, QueryReply, SlowLogReply, StatsReply, VertexReply, WalStatsReply,
 };
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
+
+/// Which side of the replication link a [`SacService`] currently serves.
+///
+/// A service's role can change at runtime: failover (see [`crate::failover`])
+/// promotes a replica-fronting service to primary in place, passing through
+/// the transient [`Role::Candidate`] while the swap is in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts writes and (optionally) ships its WAL to replicas.
+    Primary,
+    /// Serves reads from a tailed log; mutations are redirected.
+    Replica,
+    /// Mid-promotion: the replica link is stopped but the write path is not
+    /// yet open.
+    Candidate,
+}
+
+impl Role {
+    /// The wire spelling used by `/healthz` and the probe handshake.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Role::Primary => "primary",
+            Role::Replica => "replica",
+            Role::Candidate => "candidate",
+        }
+    }
+
+    fn from_u8(value: u8) -> Role {
+        match value {
+            1 => Role::Replica,
+            2 => Role::Candidate,
+            _ => Role::Primary,
+        }
+    }
+}
 
 /// Tunables of a [`SacService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,15 +175,23 @@ impl ServiceObs {
 /// HTTP connection closes).
 #[derive(Debug)]
 pub struct SacService {
-    live: LiveEngine,
+    /// The live front requests run against, swappable so failover can
+    /// promote a replica to a writable primary without restarting the
+    /// transports (they hold the service, not the engine).
+    live: RwLock<Arc<LiveEngine>>,
     config: ServiceConfig,
     obs: ServiceObs,
     /// Process-start clock for the `uptime_secs` fields of `stats` and
     /// `/healthz`.
     started: Instant,
     /// Set on read replicas: mutation requests are answered with a typed
-    /// redirect to the primary instead of being applied.
-    replica: Option<Arc<ReplicaStatus>>,
+    /// redirect to the primary instead of being applied.  Cleared when
+    /// failover promotes this service.
+    replica: RwLock<Option<Arc<ReplicaStatus>>>,
+    /// The owned replica link (tailer thread handle), consumed by promotion.
+    handle: Mutex<Option<Replica>>,
+    /// Current [`Role`], stored as its discriminant.
+    role: AtomicU8,
 }
 
 impl SacService {
@@ -160,37 +204,80 @@ impl SacService {
     pub fn with_live(live: LiveEngine, config: ServiceConfig) -> Self {
         let obs = ServiceObs::new(live.engine());
         SacService {
-            live,
+            live: RwLock::new(Arc::new(live)),
             config,
             obs,
             started: Instant::now(),
-            replica: None,
+            replica: RwLock::new(None),
+            handle: Mutex::new(None),
+            role: AtomicU8::new(Role::Primary as u8),
         }
     }
 
     /// A read-only service over a booted [`Replica`]: queries run against
     /// the replica's converging engine, mutations get a redirect to the
     /// primary, and `stats`/`/healthz` report replication lag and health.
-    pub fn for_replica(replica: &Replica, config: ServiceConfig) -> Self {
-        let mut service =
-            SacService::with_live(LiveEngine::new(Arc::clone(replica.engine())), config);
-        service.replica = Some(Arc::clone(replica.status()));
+    ///
+    /// The service takes ownership of the replica so failover (see
+    /// [`crate::failover`]) can stop the link and promote the engine in
+    /// place.
+    pub fn for_replica(replica: Replica, config: ServiceConfig) -> Self {
+        let service = SacService::with_live(LiveEngine::new(Arc::clone(replica.engine())), config);
+        *service.replica.write().expect("replica lock poisoned") =
+            Some(Arc::clone(replica.status()));
+        *service.handle.lock().expect("replica handle poisoned") = Some(replica);
+        service.set_role(Role::Replica);
         service
     }
 
-    /// The replication status when this service fronts a replica.
-    pub fn replica_status(&self) -> Option<&Arc<ReplicaStatus>> {
-        self.replica.as_ref()
+    /// The replication status when this service fronts a replica (`None`
+    /// once failover promotes it).
+    pub fn replica_status(&self) -> Option<Arc<ReplicaStatus>> {
+        self.replica.read().expect("replica lock poisoned").clone()
+    }
+
+    /// The role this service currently serves in.
+    pub fn role(&self) -> Role {
+        Role::from_u8(self.role.load(Ordering::Acquire))
+    }
+
+    /// Moves the service to `role` (failover transitions).
+    pub fn set_role(&self, role: Role) {
+        self.role.store(role as u8, Ordering::Release);
+    }
+
+    /// Takes the owned replica link out of the service (promotion consumes
+    /// it; shutdown paths may stop it).
+    pub(crate) fn take_replica(&self) -> Option<Replica> {
+        self.handle.lock().expect("replica handle poisoned").take()
+    }
+
+    /// Stops the owned replica link, if any (orderly shutdown of a
+    /// replica-fronting service).
+    pub fn stop_replica(&self) {
+        if let Some(replica) = self.take_replica() {
+            replica.stop();
+        }
+    }
+
+    /// Installs a new (writable) live front and clears the replica state:
+    /// the final step of a promotion.  Requests that started on the old
+    /// front finish there; new requests see the primary engine.
+    pub(crate) fn install_live(&self, live: LiveEngine) {
+        *self.live.write().expect("service live lock poisoned") = Arc::new(live);
+        *self.replica.write().expect("replica lock poisoned") = None;
+        self.set_role(Role::Primary);
     }
 
     /// The engine queries run against.
-    pub fn engine(&self) -> &Arc<SacEngine> {
-        self.live.engine()
+    pub fn engine(&self) -> Arc<SacEngine> {
+        Arc::clone(self.live().engine())
     }
 
-    /// The live-update front mutations go through.
-    pub fn live(&self) -> &LiveEngine {
-        &self.live
+    /// The live-update front mutations go through (a clone of the current
+    /// handle: failover may swap the front under a running service).
+    pub fn live(&self) -> Arc<LiveEngine> {
+        Arc::clone(&self.live.read().expect("service live lock poisoned"))
     }
 
     /// The encoding options transports must encode responses with.
@@ -219,8 +306,9 @@ impl SacService {
     /// Handles one typed request; `None` means "quit" (the transport ends
     /// the session without a reply).
     pub fn handle(&self, request: &ProtoRequest) -> Option<ProtoResponse> {
-        let engine = self.engine();
-        if let Some(status) = &self.replica {
+        let live = self.live();
+        let engine = live.engine();
+        if let Some(status) = self.replica_status() {
             // A replica's state is exactly the primary's log replayed; a
             // local write would fork it.  Send writers where the WAL is.
             if matches!(
@@ -281,10 +369,10 @@ impl SacService {
                     &stats,
                     graph.num_vertices(),
                     graph.num_edges(),
-                    self.live.pending(),
+                    live.pending(),
                 );
                 reply.uptime_secs = Some(self.uptime_secs());
-                reply.wal = self.live.wal_stats().map(|w| WalStatsReply {
+                reply.wal = live.wal_stats().map(|w| WalStatsReply {
                     sync: w.sync.to_string(),
                     segments: w.segments,
                     log_bytes: w.log_bytes,
@@ -295,7 +383,7 @@ impl SacService {
                     tail_segment: w.tail_segment,
                     tail_offset: w.tail_offset,
                 });
-                reply.replication = self.replica.as_ref().map(|status| status.stats_reply());
+                reply.replication = self.replica_status().map(|status| status.stats_reply());
                 ProtoResponse::Stats(reply)
             }
             ProtoRequest::Metrics => ProtoResponse::Metrics {
@@ -319,42 +407,42 @@ impl SacService {
                 },
                 include_members: self.config.encode.members,
             },
-            ProtoRequest::AddEdge { u, v } => match self.live.add_edge(*u, *v) {
+            ProtoRequest::AddEdge { u, v } => match live.add_edge(*u, *v) {
                 Err(e) => ProtoResponse::error(e.to_string()),
                 Ok(change) => ProtoResponse::Mutation(MutationReply {
                     applied: change.applied,
                     cores_changed: change.changed.len(),
-                    pending: self.live.pending(),
+                    pending: live.pending(),
                 }),
             },
-            ProtoRequest::RemoveEdge { u, v } => match self.live.remove_edge(*u, *v) {
+            ProtoRequest::RemoveEdge { u, v } => match live.remove_edge(*u, *v) {
                 Err(e) => ProtoResponse::error(e.to_string()),
                 Ok(change) => ProtoResponse::Mutation(MutationReply {
                     applied: change.applied,
                     cores_changed: change.changed.len(),
-                    pending: self.live.pending(),
+                    pending: live.pending(),
                 }),
             },
             ProtoRequest::AddVertex { x, y } => {
-                match self.live.add_vertex(sac_geom::Point::new(*x, *y)) {
+                match live.add_vertex(sac_geom::Point::new(*x, *y)) {
                     Err(e) => ProtoResponse::error(e.to_string()),
                     Ok(vertex) => ProtoResponse::Vertex(VertexReply {
                         vertex,
-                        pending: self.live.pending(),
+                        pending: live.pending(),
                     }),
                 }
             }
             ProtoRequest::MoveVertex { v, x, y } => {
-                match self.live.move_vertex(*v, sac_geom::Point::new(*x, *y)) {
+                match live.move_vertex(*v, sac_geom::Point::new(*x, *y)) {
                     Err(e) => ProtoResponse::error(e.to_string()),
                     Ok(applied) => ProtoResponse::Mutation(MutationReply {
                         applied,
                         cores_changed: 0,
-                        pending: self.live.pending(),
+                        pending: live.pending(),
                     }),
                 }
             }
-            ProtoRequest::Commit { trace } => match self.live.commit() {
+            ProtoRequest::Commit { trace } => match live.commit() {
                 Err(e) => ProtoResponse::error(e.to_string()),
                 Ok(report) => ProtoResponse::Commit(CommitReply {
                     epoch: report.epoch,
@@ -398,7 +486,7 @@ impl SacService {
                     }),
                 }),
             },
-            ProtoRequest::Checkpoint => match self.live.checkpoint() {
+            ProtoRequest::Checkpoint => match live.checkpoint() {
                 Err(e) => ProtoResponse::error(e.to_string()),
                 Ok(report) => ProtoResponse::Checkpoint(CheckpointReply {
                     epoch: report.epoch,

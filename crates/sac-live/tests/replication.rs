@@ -445,7 +445,7 @@ fn mutations_on_a_replica_redirect_to_the_primary() {
     assert!(wait_until(Duration::from_secs(20), || {
         replica.status().applied_epoch() == engine.epoch()
     }));
-    let service = SacService::for_replica(&replica, ServiceConfig::default());
+    let service = SacService::for_replica(replica, ServiceConfig::default());
 
     let primary_addr = ship.addr().to_string();
     for request in [
@@ -482,7 +482,10 @@ fn mutations_on_a_replica_redirect_to_the_primary() {
         other => panic!("expected stats, got {other:?}"),
     }
 
-    replica.stop();
+    // Every engine mode reports its role; this service fronts a replica.
+    assert_eq!(service.role(), sac_live::Role::Replica);
+
+    service.stop_replica();
     ship.stop();
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -14,6 +14,8 @@
 //! record:    kind=1: u8 | segment: u64 | end_offset: u64
 //!                       | len: u32 | crc: u32 | payload (len bytes)
 //! heartbeat: kind=2: u8 | epoch: u64 | segment: u64 | offset: u64
+//!                       | term: u64 | lease_ms: u64
+//!                       | count: u16 | count × (id: u64 | alen: u16 | addr)
 //! snapshot_required: kind=3: u8
 //! ```
 //!
@@ -23,9 +25,18 @@
 //! disk and the replica's decoder is caught.  `(segment, end_offset)` is the
 //! resume position *after* the record, fed back on reconnect.  Heartbeats
 //! report the primary's served epoch and WAL tail so the replica can detect
-//! both staleness and silently lost frames.  `snapshot_required` tells the
-//! replica its position was truncated by a checkpoint: reconnect with
-//! `snapshot: true`.
+//! both staleness and silently lost frames — plus the failover lease: the
+//! primary's leadership term, the lease duration it grants, and the roster
+//! of connected promotion candidates (replica id → advertised address), so
+//! every replica can run the same deterministic promotion rule when the
+//! lease expires.  `snapshot_required` tells the replica its position was
+//! truncated by a checkpoint: reconnect with `snapshot: true`.
+//!
+//! A second handshake command, `replicate_probe` ([`ProbeRequest`] /
+//! [`ProbeReply`]), asks a shipping endpoint for its current term, role and
+//! believed leader without opening a stream — a restarting primary probes
+//! its peers with it to detect that it has been superseded (zombie
+//! demotion) before accepting a single write.
 
 use crate::json::{obj, Json};
 use std::io::{Read, Write};
@@ -51,22 +62,54 @@ pub struct ReplicateRequest {
     /// Ask for a full snapshot bootstrap instead of a log position (first
     /// boot, or after `snapshot_required`).
     pub snapshot: bool,
+    /// Highest leadership term the replica has observed (0 when it has seen
+    /// none).  A shipper whose own term is *lower* must refuse the stream:
+    /// it has been superseded and must not keep acting as a primary.
+    pub term: u64,
+    /// The replica's stable id, when it is a promotion candidate (`None`
+    /// for anonymous tailers: they follow but never promote).
+    pub replica_id: Option<u64>,
+    /// The shipping address the replica would serve on if promoted
+    /// (broadcast to its peers via the heartbeat roster).
+    pub advertise: Option<String>,
 }
 
 impl ReplicateRequest {
-    /// Encodes the request as one JSON line (no trailing newline).
+    /// A plain tail/bootstrap request with no failover identity.
+    pub fn new(segment: u64, offset: u64, snapshot: bool) -> ReplicateRequest {
+        ReplicateRequest {
+            segment,
+            offset,
+            snapshot,
+            term: 0,
+            replica_id: None,
+            advertise: None,
+        }
+    }
+
+    /// Encodes the request as one JSON line (no trailing newline).  The
+    /// failover fields append after the historical ones (`replica_id` /
+    /// `advertise` only when present) so pre-failover parsers keep working.
     pub fn encode_line(&self) -> String {
-        obj(vec![
+        let mut fields = vec![
             ("cmd", Json::Str("replicate".to_string())),
             ("segment", Json::Num(self.segment as f64)),
             ("offset", Json::Num(self.offset as f64)),
             ("snapshot", Json::Bool(self.snapshot)),
-        ])
-        .to_string()
+            ("term", Json::Num(self.term as f64)),
+        ];
+        if let Some(id) = self.replica_id {
+            fields.push(("replica_id", Json::Num(id as f64)));
+        }
+        if let Some(addr) = &self.advertise {
+            fields.push(("advertise", Json::Str(addr.clone())));
+        }
+        obj(fields).to_string()
     }
 
     /// Parses a request line; `None` when the line is not a well-formed
-    /// replicate request.
+    /// replicate request.  The failover fields are tolerated missing (term
+    /// 0, anonymous) for wire compatibility with pre-failover replicas.
     pub fn parse_line(line: &str) -> Option<ReplicateRequest> {
         let json = Json::parse(line).ok()?;
         if json.get("cmd")?.as_str()? != "replicate" {
@@ -79,6 +122,76 @@ impl ReplicateRequest {
                 .get("snapshot")
                 .and_then(Json::as_bool)
                 .unwrap_or(false),
+            term: json.get("term").and_then(Json::as_u64).unwrap_or(0),
+            replica_id: json.get("replica_id").and_then(Json::as_u64),
+            advertise: json
+                .get("advertise")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+        })
+    }
+}
+
+/// A leadership probe: asks a shipping endpoint for its term/role/leader
+/// without opening a stream.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProbeRequest;
+
+impl ProbeRequest {
+    /// Encodes the probe as one JSON line (no trailing newline).
+    pub fn encode_line(&self) -> String {
+        obj(vec![("cmd", Json::Str("replicate_probe".to_string()))]).to_string()
+    }
+
+    /// Parses a probe line; `None` when it is not a probe.
+    pub fn parse_line(line: &str) -> Option<ProbeRequest> {
+        let json = Json::parse(line).ok()?;
+        if json.get("cmd")?.as_str()? != "replicate_probe" {
+            return None;
+        }
+        Some(ProbeRequest)
+    }
+}
+
+/// The answer to a [`ProbeRequest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeReply {
+    /// The responder's current leadership term.
+    pub term: u64,
+    /// The responder's role: `"primary"`, `"replica"` or `"candidate"`.
+    pub role: String,
+    /// Address of the leader the responder believes in (its own shipping
+    /// address when it is the primary), when known.
+    pub leader: Option<String>,
+}
+
+impl ProbeReply {
+    /// Encodes the reply as one JSON line (no trailing newline).
+    pub fn encode_line(&self) -> String {
+        let mut fields = vec![
+            ("ok", Json::Bool(true)),
+            ("term", Json::Num(self.term as f64)),
+            ("role", Json::Str(self.role.clone())),
+        ];
+        if let Some(leader) = &self.leader {
+            fields.push(("leader", Json::Str(leader.clone())));
+        }
+        obj(fields).to_string()
+    }
+
+    /// Parses a probe reply; `None` when malformed or not ok.
+    pub fn parse_line(line: &str) -> Option<ProbeReply> {
+        let json = Json::parse(line).ok()?;
+        if !json.get("ok")?.as_bool()? {
+            return None;
+        }
+        Some(ProbeReply {
+            term: json.get("term")?.as_u64()?,
+            role: json.get("role")?.as_str()?.to_string(),
+            leader: json
+                .get("leader")
+                .and_then(Json::as_str)
+                .map(str::to_string),
         })
     }
 }
@@ -98,6 +211,8 @@ pub enum ReplicateHello {
         segment: u64,
         /// Offset within `segment`.
         offset: u64,
+        /// The primary's leadership term (0 on pre-failover primaries).
+        term: u64,
     },
     /// Binary frames follow, from the requested position.
     Tail {
@@ -105,6 +220,8 @@ pub enum ReplicateHello {
         segment: u64,
         /// Offset within `segment`.
         offset: u64,
+        /// The primary's leadership term (0 on pre-failover primaries).
+        term: u64,
     },
     /// The requested position predates the oldest live segment; reconnect
     /// with `snapshot: true`.
@@ -128,6 +245,7 @@ impl ReplicateHello {
                 len,
                 segment,
                 offset,
+                term,
             } => obj(vec![
                 ("ok", Json::Bool(true)),
                 ("mode", Json::Str("snapshot".to_string())),
@@ -135,12 +253,18 @@ impl ReplicateHello {
                 ("len", Json::Num(*len as f64)),
                 ("segment", Json::Num(*segment as f64)),
                 ("offset", Json::Num(*offset as f64)),
+                ("term", Json::Num(*term as f64)),
             ]),
-            ReplicateHello::Tail { segment, offset } => obj(vec![
+            ReplicateHello::Tail {
+                segment,
+                offset,
+                term,
+            } => obj(vec![
                 ("ok", Json::Bool(true)),
                 ("mode", Json::Str("tail".to_string())),
                 ("segment", Json::Num(*segment as f64)),
                 ("offset", Json::Num(*offset as f64)),
+                ("term", Json::Num(*term as f64)),
             ]),
             ReplicateHello::SnapshotRequired { oldest } => obj(vec![
                 ("ok", Json::Bool(true)),
@@ -173,10 +297,12 @@ impl ReplicateHello {
                 len: json.get("len")?.as_u64()?,
                 segment: json.get("segment")?.as_u64()?,
                 offset: json.get("offset")?.as_u64()?,
+                term: json.get("term").and_then(Json::as_u64).unwrap_or(0),
             }),
             "tail" => Some(ReplicateHello::Tail {
                 segment: json.get("segment")?.as_u64()?,
                 offset: json.get("offset")?.as_u64()?,
+                term: json.get("term").and_then(Json::as_u64).unwrap_or(0),
             }),
             "snapshot_required" => Some(ReplicateHello::SnapshotRequired {
                 oldest: json.get("oldest")?.as_u64()?,
@@ -201,7 +327,8 @@ pub enum ReplFrame {
         /// The record payload (epoch, op count, ops).
         payload: Vec<u8>,
     },
-    /// A liveness beacon carrying the primary's served epoch and WAL tail.
+    /// A liveness beacon carrying the primary's served epoch, WAL tail, and
+    /// the failover lease (term, duration, promotion roster).
     Heartbeat {
         /// Primary's served epoch.
         epoch: u64,
@@ -209,6 +336,17 @@ pub enum ReplFrame {
         segment: u64,
         /// Offset of the primary's WAL tail.
         offset: u64,
+        /// Primary's leadership term.
+        term: u64,
+        /// Lease duration granted by this beacon, in milliseconds.  A
+        /// replica that sees no further heartbeat within this window may
+        /// start an election.
+        lease_ms: u64,
+        /// Connected promotion candidates: `(replica id, advertised shipping
+        /// address)`, as registered in their handshakes.  Every follower
+        /// receives the same roster, so the promotion rule (lowest id wins)
+        /// is deterministic across the fleet.
+        roster: Vec<(u64, String)>,
     },
     /// The stream position was truncated by a checkpoint; re-bootstrap.
     SnapshotRequired,
@@ -237,12 +375,23 @@ impl ReplFrame {
                 epoch,
                 segment,
                 offset,
+                term,
+                lease_ms,
+                roster,
             } => {
-                let mut out = Vec::with_capacity(25);
+                let mut out = Vec::with_capacity(43 + roster.len() * 32);
                 out.push(REPL_FRAME_HEARTBEAT);
                 out.extend_from_slice(&epoch.to_le_bytes());
                 out.extend_from_slice(&segment.to_le_bytes());
                 out.extend_from_slice(&offset.to_le_bytes());
+                out.extend_from_slice(&term.to_le_bytes());
+                out.extend_from_slice(&lease_ms.to_le_bytes());
+                out.extend_from_slice(&(roster.len() as u16).to_le_bytes());
+                for (id, addr) in roster {
+                    out.extend_from_slice(&id.to_le_bytes());
+                    out.extend_from_slice(&(addr.len() as u16).to_le_bytes());
+                    out.extend_from_slice(addr.as_bytes());
+                }
                 out
             }
             ReplFrame::SnapshotRequired => vec![REPL_FRAME_SNAPSHOT_REQUIRED],
@@ -282,11 +431,36 @@ impl ReplFrame {
                     payload,
                 })
             }
-            REPL_FRAME_HEARTBEAT => Ok(ReplFrame::Heartbeat {
-                epoch: read_u64(r)?,
-                segment: read_u64(r)?,
-                offset: read_u64(r)?,
-            }),
+            REPL_FRAME_HEARTBEAT => {
+                let epoch = read_u64(r)?;
+                let segment = read_u64(r)?;
+                let offset = read_u64(r)?;
+                let term = read_u64(r)?;
+                let lease_ms = read_u64(r)?;
+                let count = read_u16(r)?;
+                let mut roster = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let id = read_u64(r)?;
+                    let alen = read_u16(r)?;
+                    let mut addr = vec![0u8; alen as usize];
+                    r.read_exact(&mut addr)?;
+                    let addr = String::from_utf8(addr).map_err(|_| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            "non-UTF-8 address in heartbeat roster",
+                        )
+                    })?;
+                    roster.push((id, addr));
+                }
+                Ok(ReplFrame::Heartbeat {
+                    epoch,
+                    segment,
+                    offset,
+                    term,
+                    lease_ms,
+                    roster,
+                })
+            }
             REPL_FRAME_SNAPSHOT_REQUIRED => Ok(ReplFrame::SnapshotRequired),
             other => Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
@@ -294,6 +468,12 @@ impl ReplFrame {
             )),
         }
     }
+}
+
+fn read_u16(r: &mut impl Read) -> std::io::Result<u16> {
+    let mut buf = [0u8; 2];
+    r.read_exact(&mut buf)?;
+    Ok(u16::from_le_bytes(buf))
 }
 
 fn read_u32(r: &mut impl Read) -> std::io::Result<u32> {
@@ -314,16 +494,30 @@ mod tests {
 
     #[test]
     fn handshake_lines_roundtrip() {
-        let req = ReplicateRequest {
-            segment: 4,
-            offset: 1024,
-            snapshot: false,
-        };
+        let req = ReplicateRequest::new(4, 1024, false);
         assert_eq!(
             req.encode_line(),
-            r#"{"cmd":"replicate","segment":4,"offset":1024,"snapshot":false}"#
+            r#"{"cmd":"replicate","segment":4,"offset":1024,"snapshot":false,"term":0}"#
         );
         assert_eq!(ReplicateRequest::parse_line(&req.encode_line()), Some(req));
+
+        let candidate = ReplicateRequest {
+            term: 3,
+            replica_id: Some(12),
+            advertise: Some("127.0.0.1:9100".to_string()),
+            ..ReplicateRequest::new(4, 1024, false)
+        };
+        assert_eq!(
+            ReplicateRequest::parse_line(&candidate.encode_line()),
+            Some(candidate)
+        );
+        // Pre-failover request lines (no term/replica_id/advertise) still
+        // parse, defaulting to term 0 / anonymous.
+        let legacy = ReplicateRequest::parse_line(
+            r#"{"cmd":"replicate","segment":4,"offset":1024,"snapshot":false}"#,
+        )
+        .unwrap();
+        assert_eq!(legacy, ReplicateRequest::new(4, 1024, false));
 
         for hello in [
             ReplicateHello::Snapshot {
@@ -331,10 +525,12 @@ mod tests {
                 len: 4096,
                 segment: 3,
                 offset: 0,
+                term: 2,
             },
             ReplicateHello::Tail {
                 segment: 4,
                 offset: 1024,
+                term: 0,
             },
             ReplicateHello::SnapshotRequired { oldest: 7 },
             ReplicateHello::Error {
@@ -351,6 +547,38 @@ mod tests {
     }
 
     #[test]
+    fn probe_lines_roundtrip() {
+        let probe = ProbeRequest;
+        assert_eq!(probe.encode_line(), r#"{"cmd":"replicate_probe"}"#);
+        assert_eq!(ProbeRequest::parse_line(&probe.encode_line()), Some(probe));
+        // A probe is not a replicate request and vice versa.
+        assert_eq!(
+            ReplicateRequest::parse_line(r#"{"cmd":"replicate_probe"}"#),
+            None
+        );
+        assert_eq!(
+            ProbeRequest::parse_line(&ReplicateRequest::new(0, 0, true).encode_line()),
+            None
+        );
+
+        for reply in [
+            ProbeReply {
+                term: 5,
+                role: "primary".to_string(),
+                leader: Some("127.0.0.1:9100".to_string()),
+            },
+            ProbeReply {
+                term: 0,
+                role: "replica".to_string(),
+                leader: None,
+            },
+        ] {
+            assert_eq!(ProbeReply::parse_line(&reply.encode_line()), Some(reply));
+        }
+        assert_eq!(ProbeReply::parse_line(r#"{"ok":false}"#), None);
+    }
+
+    #[test]
     fn frames_roundtrip_over_a_byte_stream() {
         let frames = vec![
             ReplFrame::Record {
@@ -363,6 +591,20 @@ mod tests {
                 epoch: 12,
                 segment: 2,
                 offset: 77,
+                term: 4,
+                lease_ms: 1000,
+                roster: vec![
+                    (1, "10.0.0.1:9100".to_string()),
+                    (7, "10.0.0.2:9100".to_string()),
+                ],
+            },
+            ReplFrame::Heartbeat {
+                epoch: 13,
+                segment: 2,
+                offset: 99,
+                term: 4,
+                lease_ms: 1000,
+                roster: Vec::new(),
             },
             ReplFrame::SnapshotRequired,
         ];

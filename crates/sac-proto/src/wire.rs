@@ -727,6 +727,9 @@ pub struct ReplicationStatsReply {
     /// Full snapshot re-bootstraps (the resume position had been truncated
     /// by a primary checkpoint).
     pub snapshot_bootstraps: u64,
+    /// Highest leadership term observed on the link (0 before the first
+    /// heartbeat from a failover-aware primary).
+    pub term: u64,
 }
 
 impl ReplicationStatsReply {
@@ -749,6 +752,7 @@ impl ReplicationStatsReply {
                 "snapshot_bootstraps",
                 Json::Num(self.snapshot_bootstraps as f64),
             ),
+            ("term", Json::Num(self.term as f64)),
         ])
     }
 }
@@ -762,6 +766,10 @@ pub struct StatsReply {
     pub edges: usize,
     /// Currently served epoch.
     pub epoch: u64,
+    /// Leadership term the engine serves under (0 until failover stamps
+    /// one; the `term` key is then omitted from the wire encoding, keeping
+    /// pre-failover stats lines byte-stable).
+    pub term: u64,
     /// Snapshots published over the engine's lifetime.
     pub epochs_published: u64,
     /// Mutations buffered since the last commit.
@@ -827,6 +835,7 @@ impl StatsReply {
             vertices,
             edges,
             epoch: stats.epoch,
+            term: stats.term,
             epochs_published: stats.epochs_published,
             pending_mutations,
             queries: stats.queries,
@@ -877,6 +886,9 @@ impl StatsReply {
 
     fn to_json(&self, options: EncodeOptions) -> Json {
         let mut fields = obj_stats_fields(self);
+        if self.term > 0 {
+            fields.push(("term", Json::Num(self.term as f64)));
+        }
         if self.shard_count > 0 {
             fields.push(("shard_count", Json::Num(self.shard_count as f64)));
             fields.push((
@@ -1557,13 +1569,14 @@ mod tests {
                 reconnects: 2,
                 records_applied: 11,
                 snapshot_bootstraps: 1,
+                term: 3,
             }),
             ..StatsReply::default()
         };
         let line = ProtoResponse::Stats(stats).encode_line(timing);
         assert!(
             line.contains(
-                r#""replication":{"primary":"127.0.0.1:7900","connected":true,"degraded":false,"last_applied_epoch":12,"primary_epoch":13,"lag_epochs":1,"stale_secs":0,"reconnects":2,"records_applied":11,"snapshot_bootstraps":1}"#
+                r#""replication":{"primary":"127.0.0.1:7900","connected":true,"degraded":false,"last_applied_epoch":12,"primary_epoch":13,"lag_epochs":1,"stale_secs":0,"reconnects":2,"records_applied":11,"snapshot_bootstraps":1,"term":3}"#
             ),
             "got: {line}"
         );

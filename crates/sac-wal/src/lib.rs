@@ -32,9 +32,9 @@ pub mod signals;
 pub mod snapshot;
 
 pub use log::{
-    clear_clean_marker, list_segments, read_clean_marker, read_log, read_tail, segment_path,
-    write_clean_marker, AppendInfo, ReplayLog, SyncPolicy, TailChunk, TailFrame, WalWriter,
-    DEFAULT_SEGMENT_BYTES,
+    clear_clean_marker, list_segments, read_clean_marker, read_log, read_tail, read_term_marker,
+    segment_path, write_clean_marker, write_term_marker, AppendInfo, ReplayLog, SyncPolicy,
+    TailChunk, TailFrame, WalWriter, DEFAULT_SEGMENT_BYTES,
 };
 pub use record::{DeltaRecord, WalOp, FRAME_HEADER_BYTES, MAX_RECORD_PAYLOAD};
 pub use snapshot::{
@@ -79,6 +79,18 @@ pub enum WalError {
     /// A durability operation was invoked on an engine running without a
     /// WAL (`--wal-dir` not set).
     Disabled,
+    /// The replayed log regresses its leadership term: a record carries a
+    /// term lower than one already seen (or lower than the durable term
+    /// marker).  This is the signature of a fenced zombie primary's stale
+    /// writes; replaying them would fork history.
+    TermRegression {
+        /// The highest term recovery had established.
+        expected: u64,
+        /// The (lower) term the offending record carried.
+        found: u64,
+        /// Epoch of the offending record.
+        epoch: u64,
+    },
     /// A streaming reader asked for a log position that a checkpoint has
     /// already truncated away: the records it needs no longer exist, and it
     /// must re-bootstrap from a newer snapshot instead.  This is an expected
@@ -118,6 +130,15 @@ impl std::fmt::Display for WalError {
                 "WAL epoch gap: expected record for epoch {expected}, found {found}"
             ),
             WalError::Disabled => write!(f, "durability is disabled (no --wal-dir)"),
+            WalError::TermRegression {
+                expected,
+                found,
+                epoch,
+            } => write!(
+                f,
+                "WAL term regression: record for epoch {epoch} carries term {found} \
+                 below the established term {expected} (fenced zombie writes)"
+            ),
             WalError::SnapshotRequired { segment, oldest } => write!(
                 f,
                 "log position in segment {segment} predates the oldest live segment \

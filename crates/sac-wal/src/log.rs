@@ -18,6 +18,7 @@ use std::time::Instant;
 const SEGMENT_PREFIX: &str = "wal-";
 const SEGMENT_SUFFIX: &str = ".log";
 const CLEAN_MARKER: &str = "CLEAN";
+const TERM_MARKER: &str = "TERM";
 
 /// Default segment size before the writer rotates (4 MiB).
 pub const DEFAULT_SEGMENT_BYTES: u64 = 4 << 20;
@@ -108,6 +109,25 @@ pub fn clear_clean_marker(dir: &Path) -> std::io::Result<()> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
         Err(e) => Err(e),
     }
+}
+
+/// Durably records the leadership `term` this log is written under, fsynced.
+/// Written when a node becomes primary (boot or promotion) so a recovery can
+/// fence stale-term records even when no record of the new term was ever
+/// appended.
+pub fn write_term_marker(dir: &Path, term: u64) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(TERM_MARKER);
+    let mut f = File::create(&path)?;
+    f.write_all(format!("term={term}\n").as_bytes())?;
+    f.sync_all()
+}
+
+/// Term recorded by the term marker, if present and well-formed (a log
+/// predating failover support has none: term 0).
+pub fn read_term_marker(dir: &Path) -> Option<u64> {
+    let text = fs::read_to_string(dir.join(TERM_MARKER)).ok()?;
+    text.trim().strip_prefix("term=")?.parse().ok()
 }
 
 /// Facts about one append, reported back so the caller (the live engine's
@@ -545,7 +565,11 @@ mod tests {
     }
 
     fn rec(epoch: u64, ops: Vec<WalOp>) -> DeltaRecord {
-        DeltaRecord { epoch, ops }
+        DeltaRecord {
+            epoch,
+            term: 0,
+            ops,
+        }
     }
 
     #[test]
@@ -679,6 +703,21 @@ mod tests {
         // Reopening for writing invalidates the marker.
         let _w = WalWriter::open(&dir, SyncPolicy::Never).unwrap();
         assert_eq!(read_clean_marker(&dir), None);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn term_marker_lifecycle() {
+        let dir = temp_dir("term");
+        assert_eq!(read_term_marker(&dir), None);
+        write_term_marker(&dir, 3).unwrap();
+        assert_eq!(read_term_marker(&dir), Some(3));
+        // Unlike the clean marker, the term marker survives a writer reopen:
+        // the term is a durable property of the log, not of one session.
+        let _w = WalWriter::open(&dir, SyncPolicy::Never).unwrap();
+        assert_eq!(read_term_marker(&dir), Some(3));
+        write_term_marker(&dir, 9).unwrap();
+        assert_eq!(read_term_marker(&dir), Some(9));
         fs::remove_dir_all(&dir).ok();
     }
 

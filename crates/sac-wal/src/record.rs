@@ -7,7 +7,7 @@
 //! +-----------+-----------+----------------------------------------+
 //! | len: u32  | crc: u32  | payload (len bytes)                    |
 //! +-----------+-----------+----------------------------------------+
-//! payload = epoch: u64 | op_count: u32 | op_count × op
+//! payload = epoch: u64 | term: u64 | op_count: u32 | op_count × op
 //! op      = tag: u8 | operands (see WalOp)
 //! ```
 //!
@@ -53,6 +53,9 @@ const TAG_MOVE_VERTEX: u8 = 4;
 pub struct DeltaRecord {
     /// Epoch number the commit carrying these ops published.
     pub epoch: u64,
+    /// Leadership term the commit was written under (failover fencing: a
+    /// log must never regress its term — see [`crate::WalError::TermRegression`]).
+    pub term: u64,
     /// Operations in application order.
     pub ops: Vec<WalOp>,
 }
@@ -117,10 +120,12 @@ impl<'a> Cursor<'a> {
 }
 
 impl DeltaRecord {
-    /// Encodes the payload (epoch, op count, ops) without the frame header.
+    /// Encodes the payload (epoch, term, op count, ops) without the frame
+    /// header.
     pub(crate) fn encode_payload(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(12 + self.ops.len() * 21);
+        let mut out = Vec::with_capacity(20 + self.ops.len() * 21);
         put_u64(&mut out, self.epoch);
+        put_u64(&mut out, self.term);
         put_u32(&mut out, self.ops.len() as u32);
         for op in &self.ops {
             match *op {
@@ -171,7 +176,7 @@ impl DeltaRecord {
                 WalOp::MoveVertex(..) => 21,
             })
             .sum();
-        FRAME_HEADER_BYTES + 12 + ops
+        FRAME_HEADER_BYTES + 20 + ops
     }
 
     /// Decodes a CRC-verified payload.  `segment` and `offset` name the
@@ -191,6 +196,9 @@ impl DeltaRecord {
         let epoch = c
             .u64()
             .ok_or_else(|| corrupt("payload too short for epoch"))?;
+        let term = c
+            .u64()
+            .ok_or_else(|| corrupt("payload too short for term"))?;
         let count = c
             .u32()
             .ok_or_else(|| corrupt("payload too short for op count"))? as usize;
@@ -240,7 +248,7 @@ impl DeltaRecord {
         if c.remaining() != 0 {
             return Err(corrupt("trailing bytes after last op"));
         }
-        Ok(DeltaRecord { epoch, ops })
+        Ok(DeltaRecord { epoch, term, ops })
     }
 }
 
@@ -251,6 +259,7 @@ mod tests {
     fn sample() -> DeltaRecord {
         DeltaRecord {
             epoch: 42,
+            term: 7,
             ops: vec![
                 WalOp::InsertEdge(1, 2),
                 WalOp::RemoveEdge(3, 4),
@@ -272,6 +281,7 @@ mod tests {
         assert_eq!(crc32(payload), crc);
         let back = DeltaRecord::decode_payload(payload, 0, 0).unwrap();
         assert_eq!(back.epoch, rec.epoch);
+        assert_eq!(back.term, rec.term);
         assert_eq!(back.ops, rec.ops);
         // f64 bit patterns survive exactly (−0.0 included).
         match back.ops[3] {

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Failover smoke test for the serving stack:
+#
+#   1. boot a primary sac-serve shipping its WAL with a 400 ms lease, and
+#      two promotion candidates tailing it with --replica-id 1/2 plus
+#      advertised takeover addresses and failover WAL directories;
+#   2. kill -9 the primary: the lease expires, candidate 1 (lowest id in
+#      the last broadcast roster) promotes itself at term 1 and accepts
+#      writes; candidate 2 re-points at the winner and converges;
+#   3. restart the dead primary on its old WAL directory with --peer
+#      pointed at the winner: the boot-time probe finds a leader at a
+#      higher term, so the zombie demotes itself to a replica of the
+#      winner instead of forking history, and converges on the new one;
+#   4. a mutation sent to the demoted zombie redirects to the winner.
+#
+# Run from the repo root after `cargo build --release`.
+set -euo pipefail
+
+source "$(dirname "$0")/smoke_lib.sh"
+smoke_init "failover smoke" 180
+WAL_DIR="$WORK/wal"
+LEASE_MS=400
+
+free_port() {
+  python3 -c 'import socket; s=socket.socket(); s.bind(("127.0.0.1",0)); print(s.getsockname()[1]); s.close()'
+}
+
+# --- Primary with a lease-stamping shipping endpoint. -----------------------
+smoke_boot "$WORK/pin" "$WORK/pout" "$WORK/perr" \
+  --preset syn1 --scale 0.05 --seed 7 --no-timing \
+  --wal-dir "$WAL_DIR" --ship-addr 127.0.0.1:0 --lease-ms "$LEASE_MS"
+PRIMARY=$SMOKE_PID
+exec 3>"$WORK/pin"
+wait_grep "$WORK/perr" "shipping WAL to replicas on"
+SHIP_ADDR=$(grep -o 'shipping WAL to replicas on [0-9.:]*' "$WORK/perr" | awk '{print $NF}')
+ADVERT1="127.0.0.1:$(free_port)"
+ADVERT2="127.0.0.1:$(free_port)"
+echo "primary: shipping on $SHIP_ADDR (lease ${LEASE_MS}ms); candidates at $ADVERT1 / $ADVERT2"
+
+# --- Two promotion candidates tail the primary. -----------------------------
+smoke_boot "$WORK/r1in" "$WORK/r1out" "$WORK/r1err" \
+  --replicate-from "$SHIP_ADDR" --staleness-ms 5000 --lease-ms "$LEASE_MS" --no-timing \
+  --replica-id 1 --advertise "$ADVERT1" --failover-dir "$WORK/f1"
+R1=$SMOKE_PID
+exec 4>"$WORK/r1in"
+smoke_boot "$WORK/r2in" "$WORK/r2out" "$WORK/r2err" \
+  --replicate-from "$SHIP_ADDR" --staleness-ms 5000 --lease-ms "$LEASE_MS" --no-timing \
+  --replica-id 2 --advertise "$ADVERT2" --failover-dir "$WORK/f2"
+R2=$SMOKE_PID
+exec 5>"$WORK/r2in"
+wait_grep "$WORK/r1err" "replica bootstrapped from"
+wait_grep "$WORK/r2err" "replica bootstrapped from"
+
+# --- Converge both candidates on a committed epoch. -------------------------
+printf '%s\n' \
+  '{"cmd":"add_vertex","x":1.5,"y":2.5}' \
+  '{"cmd":"add_edge","u":0,"v":1}' \
+  '{"cmd":"commit"}' >&3
+wait_lines "$WORK/pout" 3
+EPOCH1=$(field "$WORK/pout" epoch)
+[ "$EPOCH1" = "2" ] || { echo "expected epoch 2 after first commit, got $EPOCH1"; exit 1; }
+wait_stats 4 "$WORK/r1out" "\"last_applied_epoch\":$EPOCH1[,}]"
+wait_stats 5 "$WORK/r2out" "\"last_applied_epoch\":$EPOCH1[,}]"
+echo "candidates: both converged to epoch $EPOCH1"
+
+# --- Kill -9 the primary: candidate 1 promotes, candidate 2 follows. --------
+kill -9 "$PRIMARY"
+wait "$PRIMARY" 2>/dev/null || true
+PRIMARY=""
+exec 3>&-
+wait_grep "$WORK/r1err" "promoted to primary at term 1"
+wait_grep "$WORK/r2err" "following new primary $ADVERT1"
+echo "failover: candidate 1 promoted at term 1, candidate 2 following"
+
+# --- Writes land on the new primary; the loser converges. -------------------
+EPOCH2=$((EPOCH1 + 1))
+printf '%s\n' '{"cmd":"add_vertex","x":9.5,"y":-3.5}' '{"cmd":"commit"}' >&4
+wait_grep "$WORK/r1out" "\"epoch\":$EPOCH2[,}]"
+wait_stats 5 "$WORK/r2out" "\"last_applied_epoch\":$EPOCH2[,}]"
+echo "new primary: committed epoch $EPOCH2; loser caught up"
+
+# --- Zombie restart: fenced by the higher term, demotes to replica. ---------
+smoke_boot "$WORK/zin" "$WORK/zout" "$WORK/zerr" \
+  --wal-dir "$WAL_DIR" --peer "$ADVERT1" --no-timing
+ZOMBIE=$SMOKE_PID
+exec 6>"$WORK/zin"
+wait_grep "$WORK/zerr" "superseded: peer $ADVERT1 leads at term 1"
+wait_grep "$WORK/zerr" "replica bootstrapped from"
+wait_stats 6 "$WORK/zout" "\"last_applied_epoch\":$EPOCH2[,}]"
+printf '{"cmd":"add_edge","u":4,"v":5}\n' >&6
+wait_grep "$WORK/zout" '"redirect_to":"'"$ADVERT1"'"'
+echo "zombie: demoted to replica of $ADVERT1, converged on the new history"
+
+# --- Orderly shutdown. ------------------------------------------------------
+printf '{"cmd":"quit"}\n' >&4
+printf '{"cmd":"quit"}\n' >&5
+printf '{"cmd":"quit"}\n' >&6
+exec 4>&- 5>&- 6>&-
+wait "$R1" 2>/dev/null || true
+wait "$R2" 2>/dev/null || true
+wait "$ZOMBIE" 2>/dev/null || true
+echo "failover smoke: OK"

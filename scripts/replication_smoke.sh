@@ -16,67 +16,24 @@
 # Run from the repo root after `cargo build --release`.
 set -euo pipefail
 
-BIN=${BIN:-target/release/sac-serve}
-[ -x "$BIN" ] || { echo "missing $BIN (run: cargo build --release)"; exit 1; }
-
-WORK=$(mktemp -d)
-PRIMARY=""
-REPLICA=""
-# Failure paths must not leak either server or the temp directory.
-trap 'status=$?;
-  { [ -n "${PRIMARY:-}" ] && kill -9 "$PRIMARY" 2>/dev/null; } || true;
-  { [ -n "${REPLICA:-}" ] && kill -9 "$REPLICA" 2>/dev/null; } || true;
-  rm -rf "$WORK"; exit $status' EXIT
+source "$(dirname "$0")/smoke_lib.sh"
+smoke_init "replication smoke" 150
 WAL_DIR="$WORK/wal"
 
-# Waits until file $1 holds at least $2 lines.
-wait_lines() {
-  for _ in $(seq 1 150); do
-    [ -f "$1" ] && [ "$(wc -l < "$1")" -ge "$2" ] && return 0
-    sleep 0.1
-  done
-  echo "timed out waiting for $2 replies in $1"; cat "$1" 2>/dev/null || true; exit 1
-}
-
-# Waits until file $1 matches pattern $2.
-wait_grep() {
-  for _ in $(seq 1 150); do
-    [ -f "$1" ] && grep -q "$2" "$1" && return 0
-    sleep 0.1
-  done
-  echo "timed out waiting for '$2' in $1"
-  cat "$1" 2>/dev/null || true
-  exit 1
-}
-
-field() { grep -o "\"$2\":[0-9]*" "$1" | head -n1 | cut -d: -f2; }
-
-# Polls the replica's stats (fd 4) until the latest reply matches pattern $1.
-wait_replica() {
-  for _ in $(seq 1 150); do
-    printf '{"cmd":"stats"}\n' >&4
-    sleep 0.1
-    tail -n 1 "$WORK/rout" | grep -q "$1" && return 0
-  done
-  echo "replica never matched '$1'"; tail -n 3 "$WORK/rout"; exit 1
-}
-
 # --- Boot the primary with a shipping endpoint (OS-assigned port). ---------
-mkfifo "$WORK/pin"
-"$BIN" --preset syn1 --scale 0.05 --seed 7 --no-timing \
-  --wal-dir "$WAL_DIR" --ship-addr 127.0.0.1:0 \
-  < "$WORK/pin" > "$WORK/pout" 2> "$WORK/perr" &
-PRIMARY=$!
+smoke_boot "$WORK/pin" "$WORK/pout" "$WORK/perr" \
+  --preset syn1 --scale 0.05 --seed 7 --no-timing \
+  --wal-dir "$WAL_DIR" --ship-addr 127.0.0.1:0
+PRIMARY=$SMOKE_PID
 exec 3>"$WORK/pin"
 wait_grep "$WORK/perr" "shipping WAL to replicas on"
 SHIP_ADDR=$(grep -o 'shipping WAL to replicas on [0-9.:]*' "$WORK/perr" | awk '{print $NF}')
 echo "primary: shipping on $SHIP_ADDR"
 
 # --- Boot the replica against it. ------------------------------------------
-mkfifo "$WORK/rin"
-"$BIN" --replicate-from "$SHIP_ADDR" --staleness-ms 500 --no-timing \
-  < "$WORK/rin" > "$WORK/rout" 2> "$WORK/rerr" &
-REPLICA=$!
+smoke_boot "$WORK/rin" "$WORK/rout" "$WORK/rerr" \
+  --replicate-from "$SHIP_ADDR" --staleness-ms 500 --lease-ms 200 --no-timing
+REPLICA=$SMOKE_PID
 exec 4>"$WORK/rin"
 wait_grep "$WORK/rerr" "replica bootstrapped from"
 
@@ -88,7 +45,7 @@ printf '%s\n' \
 wait_lines "$WORK/pout" 3
 EPOCH1=$(field "$WORK/pout" epoch)
 [ "$EPOCH1" = "2" ] || { echo "expected epoch 2 after first commit, got $EPOCH1"; exit 1; }
-wait_replica "\"last_applied_epoch\":$EPOCH1[,}]"
+wait_stats 4 "$WORK/rout" "\"last_applied_epoch\":$EPOCH1[,}]"
 echo "replica: converged to epoch $EPOCH1"
 
 # --- Read-only contract: mutations on the replica redirect. ----------------
@@ -102,23 +59,22 @@ wait "$PRIMARY" 2>/dev/null || true
 PRIMARY=""
 exec 3>&-
 printf '{"q":0,"k":2}\n' >&4
-wait_replica '"degraded":true'
+wait_stats 4 "$WORK/rout" '"degraded":true'
 grep -q '"ok":true' "$WORK/rout" || { echo "replica stopped answering"; cat "$WORK/rout"; exit 1; }
 echo "replica: degraded after losing the primary, still answering queries"
 
 # --- Primary returns on the same WAL dir + address; replica catches up. ----
-mkfifo "$WORK/pin2"
-"$BIN" --wal-dir "$WAL_DIR" --ship-addr "$SHIP_ADDR" --no-timing \
-  < "$WORK/pin2" > "$WORK/pout2" 2> "$WORK/perr2" &
-PRIMARY=$!
+smoke_boot "$WORK/pin2" "$WORK/pout2" "$WORK/perr2" \
+  --wal-dir "$WAL_DIR" --ship-addr "$SHIP_ADDR" --no-timing
+PRIMARY=$SMOKE_PID
 exec 3>"$WORK/pin2"
 wait_grep "$WORK/perr2" "recovered epoch"
 printf '%s\n' '{"cmd":"add_vertex","x":9.5,"y":-3.5}' '{"cmd":"commit"}' >&3
 wait_lines "$WORK/pout2" 2
 EPOCH2=$(tail -n 1 "$WORK/pout2" | grep -o '"epoch":[0-9]*' | cut -d: -f2)
 [ "$EPOCH2" -gt "$EPOCH1" ] || { echo "restart did not advance the epoch: $EPOCH2"; exit 1; }
-wait_replica "\"last_applied_epoch\":$EPOCH2[,}]"
-wait_replica '"degraded":false'
+wait_stats 4 "$WORK/rout" "\"last_applied_epoch\":$EPOCH2[,}]"
+wait_stats 4 "$WORK/rout" '"degraded":false'
 echo "replica: caught up to epoch $EPOCH2 after primary restart, health recovered"
 
 # --- Orderly shutdown. ------------------------------------------------------
@@ -127,6 +83,4 @@ printf '{"cmd":"quit"}\n' >&4
 exec 3>&- 4>&-
 wait "$PRIMARY" 2>/dev/null || true
 wait "$REPLICA" 2>/dev/null || true
-PRIMARY=""
-REPLICA=""
 echo "replication smoke: OK"

@@ -1,0 +1,102 @@
+# Shared plumbing for the smoke scripts: binary lookup, temp workspace,
+# background-server tracking, reaping on every exit path, line/pattern/stats
+# waits, and a hard per-script timeout that hung servers cannot outlive.
+#
+# Usage, from a script that has already `set -euo pipefail`:
+#
+#   source "$(dirname "$0")/smoke_lib.sh"
+#   smoke_init "wal smoke" 120            # display name + hard timeout (s)
+#   smoke_boot "$WORK/in" "$WORK/out" "$WORK/err" --preset syn1 ...
+#   SERVER=$SMOKE_PID
+#   ...
+#   echo "wal smoke: OK"
+#
+# Every server booted through smoke_boot is SIGKILLed and the workspace is
+# removed on ANY exit path — success, assertion failure, or the watchdog
+# firing.
+
+# Initializes $BIN and $WORK, installs the reap trap, and starts the
+# timeout watchdog.
+smoke_init() {
+  SMOKE_NAME=$1
+  local timeout=${2:-120}
+  BIN=${BIN:-target/release/sac-serve}
+  [ -x "$BIN" ] || { echo "missing $BIN (run: cargo build --release)"; exit 1; }
+  WORK=$(mktemp -d)
+  : > "$WORK/pids"
+  trap 'smoke_reap $?' EXIT
+  # The watchdog outlives hangs in the script itself.  SIGKILL skips the
+  # EXIT trap, so the watchdog performs the same cleanup before killing.
+  (
+    sleep "$timeout"
+    echo "$SMOKE_NAME: HARD TIMEOUT after ${timeout}s" >&2
+    while read -r pid; do kill -9 "$pid" 2>/dev/null || true; done < "$WORK/pids"
+    rm -rf "$WORK"
+    kill -9 "$$" 2>/dev/null || true
+  ) &
+  SMOKE_WATCHDOG=$!
+}
+
+# Reaps every tracked server and the watchdog, removes the workspace, and
+# preserves the script's exit status.  Installed as the EXIT trap.
+smoke_reap() {
+  local status=${1:-$?}
+  if [ -f "${WORK:-/nonexistent}/pids" ]; then
+    while read -r pid; do kill -9 "$pid" 2>/dev/null || true; done < "$WORK/pids"
+  fi
+  { [ -n "${SMOKE_WATCHDOG:-}" ] && kill "$SMOKE_WATCHDOG" 2>/dev/null; } || true
+  rm -rf "${WORK:-}"
+  exit "$status"
+}
+
+# Boots $BIN in the background reading LDJSON from a fresh fifo:
+#   smoke_boot <fifo> <stdout-file> <stderr-file> [server args...]
+# The pid is tracked for reaping and left in $SMOKE_PID.
+smoke_boot() {
+  local fifo=$1 out=$2 err=$3
+  shift 3
+  [ -p "$fifo" ] || mkfifo "$fifo"
+  "$BIN" "$@" < "$fifo" > "$out" 2> "$err" &
+  SMOKE_PID=$!
+  echo "$SMOKE_PID" >> "$WORK/pids"
+}
+
+# Waits until file $1 holds at least $2 lines (server replies are LDJSON,
+# one line per request).
+wait_lines() {
+  for _ in $(seq 1 150); do
+    [ -f "$1" ] && [ "$(wc -l < "$1")" -ge "$2" ] && return 0
+    sleep 0.1
+  done
+  echo "timed out waiting for $2 replies in $1"
+  cat "$1" 2>/dev/null || true
+  exit 1
+}
+
+# Waits until file $1 matches (grep) pattern $2.
+wait_grep() {
+  for _ in $(seq 1 150); do
+    [ -f "$1" ] && grep -q "$2" "$1" && return 0
+    sleep 0.1
+  done
+  echo "timed out waiting for '$2' in $1"
+  cat "$1" 2>/dev/null || true
+  exit 1
+}
+
+# Polls stats through fd $1 until the latest reply in file $2 matches
+# pattern $3 (the fd must be open for writing on a server's fifo).
+wait_stats() {
+  local fd=$1 out=$2 pattern=$3
+  for _ in $(seq 1 150); do
+    printf '{"cmd":"stats"}\n' >&"$fd"
+    sleep 0.1
+    { [ -f "$out" ] && tail -n 1 "$out" | grep -q "$pattern"; } && return 0
+  done
+  echo "stats never matched '$pattern'"
+  tail -n 3 "$out" 2>/dev/null || true
+  exit 1
+}
+
+# First numeric value of field $2 in file $1.
+field() { grep -o "\"$2\":[0-9]*" "$1" | head -n1 | cut -d: -f2; }

@@ -13,35 +13,15 @@
 # Run from the repo root after `cargo build --release`.
 set -euo pipefail
 
-BIN=${BIN:-target/release/sac-serve}
-[ -x "$BIN" ] || { echo "missing $BIN (run: cargo build --release)"; exit 1; }
-
-WORK=$(mktemp -d)
-SERVER=""
-# Failure paths (timeouts, assertion exits) must not leak the server process
-# or the temp WAL directory: kill whatever is still running, then clean up.
-trap 'status=$?; { [ -n "${SERVER:-}" ] && kill -9 "$SERVER" 2>/dev/null; } || true; rm -rf "$WORK"; exit $status' EXIT
+source "$(dirname "$0")/smoke_lib.sh"
+smoke_init "wal smoke" 120
 WAL_DIR="$WORK/wal"
-FIFO="$WORK/in"
-mkfifo "$FIFO"
-
-# Waits until file $1 holds at least $2 lines (server replies are LDJSON,
-# one line per request).
-wait_lines() {
-  for _ in $(seq 1 100); do
-    [ -f "$1" ] && [ "$(wc -l < "$1")" -ge "$2" ] && return 0
-    sleep 0.1
-  done
-  echo "timed out waiting for $2 replies in $1"; cat "$1" || true; exit 1
-}
-
-field() { grep -o "\"$2\":[0-9]*" "$1" | head -n1 | cut -d: -f2; }
 
 # --- Session 1: fresh boot, mutate, commit, crash. -------------------------
-"$BIN" --preset syn1 --scale 0.05 --seed 7 --no-timing \
-  --wal-dir "$WAL_DIR" < "$FIFO" > "$WORK/out1" 2> "$WORK/err1" &
-SERVER=$!
-exec 3>"$FIFO"
+smoke_boot "$WORK/in" "$WORK/out1" "$WORK/err1" \
+  --preset syn1 --scale 0.05 --seed 7 --no-timing --wal-dir "$WAL_DIR"
+SERVER=$SMOKE_PID
+exec 3>"$WORK/in"
 printf '%s\n' \
   '{"cmd":"add_vertex","x":1.5,"y":2.5}' \
   '{"cmd":"add_edge","u":0,"v":1}' \
@@ -50,7 +30,7 @@ printf '%s\n' \
 wait_lines "$WORK/out1" 4
 grep -q '"ok":true' "$WORK/out1" || { echo "session 1 failed"; cat "$WORK/out1"; exit 1; }
 EPOCH1=$(field "$WORK/out1" epoch)
-VERTICES1=$(grep -o '"vertices":[0-9]*' "$WORK/out1" | head -n1 | cut -d: -f2)
+VERTICES1=$(field "$WORK/out1" vertices)
 [ "$EPOCH1" = "2" ] || { echo "expected epoch 2 after first commit, got $EPOCH1"; exit 1; }
 kill -9 "$SERVER"
 wait "$SERVER" 2>/dev/null || true
@@ -59,18 +39,16 @@ exec 3>&-
 echo "session 1: committed epoch $EPOCH1 with $VERTICES1 vertices, then crashed"
 
 # --- Session 2: recover from the WAL directory. ----------------------------
-FIFO2="$WORK/in2"
-mkfifo "$FIFO2"
-"$BIN" --wal-dir "$WAL_DIR" < "$FIFO2" > "$WORK/out2" 2> "$WORK/err2" &
-SERVER=$!
-exec 3>"$FIFO2"
+smoke_boot "$WORK/in2" "$WORK/out2" "$WORK/err2" --wal-dir "$WAL_DIR"
+SERVER=$SMOKE_PID
+exec 3>"$WORK/in2"
 printf '%s\n' '{"cmd":"stats"}' '{"cmd":"checkpoint"}' '{"cmd":"quit"}' >&3
 exec 3>&-
 wait "$SERVER"
 grep -q "recovered epoch" "$WORK/err2" \
   || { echo "boot did not recover from the WAL"; cat "$WORK/err2"; exit 1; }
 EPOCH2=$(field "$WORK/out2" epoch)
-VERTICES2=$(grep -o '"vertices":[0-9]*' "$WORK/out2" | head -n1 | cut -d: -f2)
+VERTICES2=$(field "$WORK/out2" vertices)
 [ "$EPOCH2" = "$EPOCH1" ] || { echo "epoch lost in recovery: $EPOCH2 != $EPOCH1"; exit 1; }
 [ "$VERTICES2" = "$VERTICES1" ] || { echo "vertices lost: $VERTICES2 != $VERTICES1"; exit 1; }
 grep -q '"wal":{' "$WORK/out2" || { echo "stats reply lost its wal section"; cat "$WORK/out2"; exit 1; }
